@@ -1,0 +1,79 @@
+//! Storage arrays — the other hardware baseline from the paper's
+//! background: "storage arrays … assemble multiple drives into a single
+//! logical device with enormous throughput. Unlike multiple-head drives,
+//! storage arrays can be scaled to arbitrary levels of parallelism, though
+//! they have the unfortunate tendency to maximize rotational latency: each
+//! operation must wait for the most poorly positioned disk."
+
+use parsim::SimDuration;
+use simdisk::{DiskGeometry, DiskProfile, SimDisk};
+
+/// Derives the logical device presented by an array of `platters` drives,
+/// each with the given per-drive geometry and profile.
+///
+/// * Transfer is `platters`-way parallel: each logical block is spread
+///   bit/byte-wise over all drives, so per-block transfer divides by p.
+/// * Positioning *worsens*: the seek component is unchanged, but the
+///   rotational component becomes the worst of p uniformly positioned
+///   platters, `E[max] = R · p/(p+1)` for a full rotation of `R` versus
+///   `R/2` on a single drive.
+/// * Capacity multiplies by p.
+///
+/// The split of the base positioning delay into seek and (half-rotation)
+/// latency is taken as 50/50, the usual balance for a Wren-class drive.
+pub fn array_device(
+    per_drive: DiskGeometry,
+    per_drive_profile: DiskProfile,
+    platters: u32,
+) -> SimDisk {
+    assert!(platters > 0, "an array needs at least one platter");
+    let geometry = DiskGeometry {
+        block_size: per_drive.block_size,
+        blocks_per_track: per_drive.blocks_per_track,
+        tracks: per_drive.tracks * platters,
+    };
+    let p = f64::from(platters);
+    let base = per_drive_profile.positioning.as_secs_f64();
+    let seek = base / 2.0;
+    let half_rotation = base / 2.0;
+    let full_rotation = 2.0 * half_rotation;
+    let worst_rotation = full_rotation * p / (p + 1.0);
+    let profile = DiskProfile {
+        positioning: SimDuration::from_secs_f64(seek + worst_rotation),
+        transfer_per_block: SimDuration::from_nanos(
+            (per_drive_profile.transfer_per_block.as_nanos() as f64 / p).round() as u64,
+        ),
+    };
+    SimDisk::new(geometry, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_trades_latency_for_bandwidth() {
+        let base = DiskProfile::wren(); // 15 ms positioning, 1 ms transfer
+        let array = array_device(DiskGeometry::default(), base, 8);
+        let profile = array.profile();
+        // Positioning worsens: 7.5 + 15·(8/9) ≈ 20.8 ms.
+        assert!(profile.positioning > base.positioning);
+        assert!(profile.positioning < SimDuration::from_millis(23));
+        // Transfer improves 8×.
+        assert_eq!(profile.transfer_per_block, SimDuration::from_micros(125));
+        // Capacity scales.
+        assert_eq!(
+            array.capacity_blocks(),
+            DiskGeometry::default().capacity_blocks() * 8
+        );
+    }
+
+    #[test]
+    fn single_platter_array_is_a_plain_disk() {
+        let base = DiskProfile::wren();
+        let array = array_device(DiskGeometry::default(), base, 1);
+        // p = 1: worst rotation = half rotation → same positioning.
+        assert_eq!(array.profile().positioning, base.positioning);
+        assert_eq!(array.profile().transfer_per_block, base.transfer_per_block);
+    }
+}

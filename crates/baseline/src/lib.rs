@@ -1,0 +1,33 @@
+//! # bridge-baseline — the architectures Bridge argues against
+//!
+//! The paper's background (§2) surveys ways to add parallelism *below* the
+//! file system: multi-head drives, storage arrays, and Salem /
+//! Garcia-Molina disk striping. Its thesis: "a bottleneck remains … if the
+//! file system itself uses sequential software or if interaction with the
+//! file system is confined to only one process of a parallel application."
+//!
+//! This crate implements those baselines so the claim can be measured:
+//!
+//! * [`StripedDisk`] — `p` spindles joined block-interleaved under ONE
+//!   file system, with parallel track prefetch: the device is nearly free
+//!   for sequential access, the single FS process is not.
+//! * [`array_device`] — a storage array as one logical device: transfer
+//!   divides by `p`, capacity multiplies, but every operation "must wait
+//!   for the most poorly positioned disk".
+//! * [`BaselineMachine`] / [`SeqFile`] — one-node machines and a
+//!   sequential-file helper so benchmarks read like their Bridge
+//!   counterparts.
+//!
+//! The `baseline_compare` benchmark in `bridge-bench` pits these against
+//! Bridge on the same workloads.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod array;
+mod machine;
+mod striped;
+
+pub use array::array_device;
+pub use machine::{BaselineMachine, SeqFile};
+pub use striped::StripedDisk;

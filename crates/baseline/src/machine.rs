@@ -1,0 +1,158 @@
+//! Baseline "machines": one conventional file system over one (possibly
+//! internally parallel) device — the architecture Bridge is measured
+//! against. However fast the device, there is a single LFS process, a
+//! single request queue, and a single CPU in the I/O path.
+
+use bridge_efs::{spawn_lfs, Efs, EfsConfig, LfsClient, LfsData, LfsFileId, LfsOp};
+use parsim::{Ctx, NodeId, ProcId, Simulation};
+use simdisk::{BlockAddr, BlockDevice};
+
+/// A built baseline machine: one I/O node running the file system, plus a
+/// frontend node for applications.
+#[derive(Debug)]
+pub struct BaselineMachine {
+    /// The node hosting the file system and its device.
+    pub io_node: NodeId,
+    /// The LFS server process.
+    pub lfs: ProcId,
+    /// A node for application processes.
+    pub frontend: NodeId,
+}
+
+impl BaselineMachine {
+    /// Stands up a single file system over `device` inside `sim`.
+    pub fn build_with_device<D: BlockDevice + 'static>(
+        sim: &mut Simulation,
+        device: D,
+        efs: EfsConfig,
+    ) -> BaselineMachine {
+        let io_node = sim.add_node("baseline-io");
+        let frontend = sim.add_node("baseline-frontend");
+        let fs = Efs::format(device, efs);
+        let lfs = spawn_lfs(sim, io_node, "baseline-fs", fs);
+        BaselineMachine {
+            io_node,
+            lfs,
+            frontend,
+        }
+    }
+}
+
+/// A thin sequential-file helper over the stateless LFS protocol, so
+/// baseline benchmarks read like their Bridge counterparts.
+#[derive(Debug)]
+pub struct SeqFile {
+    lfs: ProcId,
+    file: LfsFileId,
+    client: LfsClient,
+    hint: Option<BlockAddr>,
+    cursor: u32,
+    size: u32,
+}
+
+impl SeqFile {
+    /// Creates `file` on `lfs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LFS errors.
+    pub fn create(
+        ctx: &mut Ctx,
+        lfs: ProcId,
+        file: LfsFileId,
+    ) -> Result<SeqFile, bridge_efs::EfsError> {
+        let mut client = LfsClient::new();
+        client.call(ctx, lfs, LfsOp::Create { file })?;
+        Ok(SeqFile {
+            lfs,
+            file,
+            client,
+            hint: None,
+            cursor: 0,
+            size: 0,
+        })
+    }
+
+    /// Opens an existing `file` on `lfs`, positioning at block 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LFS errors.
+    pub fn open(
+        ctx: &mut Ctx,
+        lfs: ProcId,
+        file: LfsFileId,
+    ) -> Result<SeqFile, bridge_efs::EfsError> {
+        let mut client = LfsClient::new();
+        let size = match client.call(ctx, lfs, LfsOp::Stat { file })? {
+            LfsData::Info(info) => info.size,
+            _ => 0,
+        };
+        Ok(SeqFile {
+            lfs,
+            file,
+            client,
+            hint: None,
+            cursor: 0,
+            size,
+        })
+    }
+
+    /// Blocks in the file.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Appends one block (up to 1000 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates LFS errors.
+    pub fn append(&mut self, ctx: &mut Ctx, data: Vec<u8>) -> Result<(), bridge_efs::EfsError> {
+        let reply = self.client.call(
+            ctx,
+            self.lfs,
+            LfsOp::Write {
+                file: self.file,
+                block: self.size,
+                data,
+                hint: self.hint,
+            },
+        )?;
+        if let LfsData::Written { addr } = reply {
+            self.hint = Some(addr);
+        }
+        self.size += 1;
+        Ok(())
+    }
+
+    /// Reads the next block sequentially; `None` at end of file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LFS errors.
+    pub fn read_next(&mut self, ctx: &mut Ctx) -> Result<Option<Vec<u8>>, bridge_efs::EfsError> {
+        if self.cursor >= self.size {
+            return Ok(None);
+        }
+        let reply = self.client.call(
+            ctx,
+            self.lfs,
+            LfsOp::Read {
+                file: self.file,
+                block: self.cursor,
+                hint: self.hint,
+            },
+        )?;
+        match reply {
+            LfsData::Block { data, addr } => {
+                self.hint = Some(addr);
+                self.cursor += 1;
+                Ok(Some(data))
+            }
+            other => Err(bridge_efs::EfsError::Corrupt(format!(
+                "unexpected reply {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests: a full EFS over the baseline devices, and the
+//! software-bottleneck effect the paper builds its case on.
+
+use bridge_baseline::{array_device, BaselineMachine, SeqFile, StripedDisk};
+use bridge_efs::{EfsConfig, LfsFileId};
+use parsim::{SimConfig, SimDuration, Simulation};
+use simdisk::{DiskGeometry, DiskProfile, SimDisk};
+
+fn small_geometry() -> DiskGeometry {
+    DiskGeometry {
+        block_size: 1024,
+        blocks_per_track: 8,
+        tracks: 256,
+    }
+}
+
+fn sequential_read_time<D: simdisk::BlockDevice + 'static>(device: D, blocks: u32) -> SimDuration {
+    let mut sim = Simulation::new(SimConfig::default());
+    let machine = BaselineMachine::build_with_device(&mut sim, device, EfsConfig::default());
+    let lfs = machine.lfs;
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut f = SeqFile::create(ctx, lfs, LfsFileId(1)).unwrap();
+        for i in 0..blocks {
+            f.append(ctx, vec![i as u8; 100]).unwrap();
+        }
+        let mut f = SeqFile::open(ctx, lfs, LfsFileId(1)).unwrap();
+        assert_eq!(f.size(), blocks);
+        let t0 = ctx.now();
+        let mut n = 0;
+        while let Some(block) = f.read_next(ctx).unwrap() {
+            assert_eq!(block[0], n as u8);
+            n += 1;
+        }
+        assert_eq!(n, blocks);
+        ctx.now() - t0
+    })
+}
+
+#[test]
+fn efs_works_over_striped_and_array_devices() {
+    // Functional round trips; timing checked separately.
+    let striped = StripedDisk::new(small_geometry(), DiskProfile::instant(), 4);
+    sequential_read_time(striped, 200);
+    let array = array_device(small_geometry(), DiskProfile::instant(), 4);
+    sequential_read_time(array, 200);
+}
+
+#[test]
+fn striping_speeds_the_device_but_cpu_remains() {
+    let blocks = 512;
+    let single = sequential_read_time(
+        SimDisk::new(small_geometry(), DiskProfile::wren()),
+        blocks,
+    );
+    let striped = sequential_read_time(
+        StripedDisk::new(small_geometry(), DiskProfile::wren(), 8),
+        blocks,
+    );
+    assert!(
+        striped < single,
+        "striping must beat one spindle: {striped} vs {single}"
+    );
+    // But the per-block cost cannot drop below the FS CPU cost (5 ms) plus
+    // messaging: the software bottleneck.
+    let per_block = striped / u64::from(blocks);
+    assert!(
+        per_block >= SimDuration::from_millis(5),
+        "no amount of device parallelism beats the single FS process: {per_block}"
+    );
+}
+
+#[test]
+fn array_has_bandwidth_but_worse_latency() {
+    // Sequential: the array's parallel transfer wins.
+    let blocks = 256;
+    let single_seq = sequential_read_time(
+        SimDisk::new(small_geometry(), DiskProfile::wren()),
+        blocks,
+    );
+    let array_seq = sequential_read_time(
+        array_device(small_geometry(), DiskProfile::wren(), 8),
+        blocks,
+    );
+    assert!(array_seq <= single_seq, "{array_seq} vs {single_seq}");
+
+    // Writes: "each operation must wait for the most poorly positioned
+    // disk" — every write pays the worst-of-p rotational delay, which the
+    // p-way transfer cannot buy back (one block's transfer is tiny).
+    let write_time = |device: SimDisk| -> SimDuration {
+        let mut sim = Simulation::new(SimConfig::default());
+        let machine = BaselineMachine::build_with_device(&mut sim, device, EfsConfig::default());
+        let lfs = machine.lfs;
+        sim.block_on(machine.frontend, "app", move |ctx| {
+            let mut f = SeqFile::create(ctx, lfs, LfsFileId(1)).unwrap();
+            let t0 = ctx.now();
+            for i in 0..blocks {
+                f.append(ctx, vec![i as u8; 100]).unwrap();
+            }
+            ctx.now() - t0
+        })
+    };
+    let single_write = write_time(SimDisk::new(small_geometry(), DiskProfile::wren()));
+    let array_write = write_time(array_device(small_geometry(), DiskProfile::wren(), 8));
+    assert!(
+        array_write > single_write,
+        "array writes pay worst-of-p rotation: {array_write} vs {single_write}"
+    );
+}

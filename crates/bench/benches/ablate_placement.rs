@@ -1,0 +1,150 @@
+//! Ablation A1 — placement strategies (paper §3).
+//!
+//! Quantifies the paper's argument for round-robin interleaving over
+//! Gamma-style chunking and hashing: (a) the probability that p
+//! consecutive blocks land on p distinct nodes, and (b) measured
+//! parallel-open read throughput under each placement.
+
+use bridge_bench::report::Table;
+use bridge_bench::{records_per_second, scale};
+use bridge_core::{
+    BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, CreateSpec, JobDeliver, Placement,
+    PlacementKind, PlacementSpec,
+};
+use parsim::{Ctx, SimDuration};
+use std::collections::HashSet;
+
+fn distinct_window_fraction(kind: PlacementKind, breadth: u32, windows: u64) -> f64 {
+    let placement = Placement::new(kind, breadth);
+    let mut hits = 0u64;
+    for w in 0..windows {
+        let nodes: HashSet<u32> = (w..w + u64::from(breadth))
+            .map(|b| placement.node_of(b).expect("computable").0)
+            .collect();
+        if nodes.len() == breadth as usize {
+            hits += 1;
+        }
+    }
+    hits as f64 / windows as f64
+}
+
+/// Reads the whole file through a parallel open of width p, with sink
+/// workers, and returns the elapsed virtual time.
+fn job_read_throughput(p: u32, blocks: u64, spec: PlacementSpec) -> SimDuration {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(p));
+    let server = machine.server;
+    let worker_nodes = machine.lfs_nodes.clone();
+    sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge
+            .create(
+                ctx,
+                CreateSpec {
+                    placement: spec,
+                    size_hint: Some(blocks),
+                    ..CreateSpec::default()
+                },
+            )
+            .expect("create");
+        for i in 0..blocks {
+            bridge
+                .seq_write(ctx, file, bridge_bench::workload::record_with_key(i, 3))
+                .expect("write");
+        }
+        run_job_read(ctx, &mut bridge, file, &worker_nodes)
+    })
+}
+
+fn run_job_read(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    file: BridgeFileId,
+    worker_nodes: &[parsim::NodeId],
+) -> SimDuration {
+    let me = ctx.me();
+    let workers: Vec<_> = worker_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| {
+            ctx.spawn(node, format!("sink{i}"), move |c: &mut Ctx| loop {
+                let env = c.recv_where(|e| e.is::<JobDeliver>() || e.is::<&str>());
+                if env.is::<&str>() {
+                    c.send(me, ());
+                    return;
+                }
+            })
+        })
+        .collect();
+    let job = bridge.parallel_open(ctx, file, workers.clone()).expect("job");
+    let t0 = ctx.now();
+    loop {
+        let (_, eof) = bridge.job_read(ctx, job).expect("job read");
+        if eof {
+            break;
+        }
+    }
+    let elapsed = ctx.now() - t0;
+    for &w in &workers {
+        ctx.send(w, "stop");
+    }
+    for _ in &workers {
+        ctx.recv_as::<()>();
+    }
+    elapsed
+}
+
+fn main() {
+    println!("## Ablation A1 — block placement strategies (paper §3)\n");
+
+    println!("### Probability that p consecutive blocks hit p distinct nodes");
+    let mut t = Table::new(["p", "round-robin", "hashed", "chunked", "p!/p^p (theory)"]);
+    for &p in &[4u32, 8, 16, 32] {
+        let theory: f64 = (1..=p).map(|i| f64::from(i) / f64::from(p)).product();
+        t.row([
+            p.to_string(),
+            format!(
+                "{:.3}",
+                distinct_window_fraction(PlacementKind::RoundRobin { start: 0 }, p, 500)
+            ),
+            format!(
+                "{:.3}",
+                distinct_window_fraction(PlacementKind::Hashed { seed: 11 }, p, 500)
+            ),
+            format!(
+                "{:.3}",
+                distinct_window_fraction(PlacementKind::Chunked { blocks_per_chunk: 64 }, p, 500)
+            ),
+            format!("{theory:.5}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(The paper: \"with p processors … the probability that p consecutive blocks\n\
+         would be on p different processors would be extremely low.\" Round-robin\n\
+         guarantees it; chunking keeps whole windows on one node.)\n"
+    );
+
+    println!("### Parallel-open read throughput (width p), 2048-block file, p = 8");
+    let blocks = 2048 / scale();
+    let p = 8u32;
+    let mut t = Table::new(["placement", "elapsed", "records/s", "vs round-robin"]);
+    let rr = job_read_throughput(p, blocks, PlacementSpec::RoundRobin);
+    for (name, spec) in [
+        ("round-robin", PlacementSpec::RoundRobin),
+        ("hashed", PlacementSpec::Hashed { seed: 11 }),
+        ("chunked", PlacementSpec::Chunked),
+    ] {
+        let e = job_read_throughput(p, blocks, spec);
+        t.row([
+            name.to_string(),
+            format!("{:.1} s", e.as_secs_f64()),
+            format!("{:.0}", records_per_second(blocks, e)),
+            format!("{:.2}x", e.as_secs_f64() / rr.as_secs_f64()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(Round-robin keeps all p disks busy every wave; hashing collides within\n\
+         waves; chunking serializes each wave on a single disk.)"
+    );
+}

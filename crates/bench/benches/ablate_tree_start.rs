@@ -1,0 +1,102 @@
+//! Ablation A4 — serial vs binary-tree startup/completion (paper §4.5,
+//! §5.1).
+//!
+//! Two serial-startup costs exist in the system, and the paper proposes a
+//! binary tree for both:
+//!
+//! 1. **Create**: "the initiation and termination are sequential, leading
+//!    to an almost linear increase in overhead for additional processors.
+//!    Performance could be improved somewhat by sending startup and
+//!    completion messages through an embedded binary tree."
+//! 2. **Tool worker startup**: the copy tool's O(n/p + log p) bound
+//!    assumes tree-structured worker creation.
+
+use bridge_bench::report::Table;
+use bridge_bench::write_workload;
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine, CreateFanout, CreateSpec};
+use bridge_tools::{copy, Fanout, ToolOptions};
+use parsim::SimDuration;
+
+fn create_time(p: u32, fanout: CreateFanout) -> SimDuration {
+    let mut config = BridgeConfig::paper(p);
+    config.server.create_fanout = fanout;
+    let (mut sim, machine) = BridgeMachine::build(&config);
+    let server = machine.server;
+    sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        // Average a few creates.
+        let t0 = ctx.now();
+        for _ in 0..4 {
+            bridge.create(ctx, CreateSpec::default()).expect("create");
+        }
+        (ctx.now() - t0) / 4
+    })
+}
+
+fn copy_time(p: u32, blocks: u64, create: CreateFanout, workers: Fanout) -> SimDuration {
+    let mut config = BridgeConfig::paper(p);
+    config.server.create_fanout = create;
+    let (mut sim, machine) = BridgeMachine::build(&config);
+    let server = machine.server;
+    sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let src = write_workload(ctx, &mut bridge, blocks, 23);
+        let opts = ToolOptions {
+            fanout: workers,
+            ..ToolOptions::default()
+        };
+        let (_, stats) = copy(ctx, &mut bridge, src, &opts).expect("copy");
+        stats.elapsed
+    })
+}
+
+fn main() {
+    println!("## Ablation A4 — serial vs embedded-binary-tree startup\n");
+
+    println!("### Create (Table 2's serial 145 + 17.5p vs the paper's suggested tree)");
+    let mut t = Table::new(["p", "serial create", "tree create", "tree advantage"]);
+    for &p in &[4u32, 8, 16, 32, 64] {
+        let serial = create_time(p, CreateFanout::Serial);
+        let tree = create_time(p, CreateFanout::Tree);
+        t.row([
+            p.to_string(),
+            format!("{:.0} ms", serial.as_millis_f64()),
+            format!("{:.0} ms", tree.as_millis_f64()),
+            format!("{:.2}x", serial.as_secs_f64() / tree.as_secs_f64()),
+        ]);
+    }
+    t.print();
+
+    println!("\n### Copy tool, startup-dominated (one block per node), both fan-outs applied");
+    let mut t = Table::new(["p", "all-serial", "all-tree", "advantage"]);
+    for &p in &[8u32, 16, 32, 64] {
+        let serial = copy_time(p, u64::from(p), CreateFanout::Serial, Fanout::Serial);
+        let tree = copy_time(p, u64::from(p), CreateFanout::Tree, Fanout::Tree);
+        t.row([
+            p.to_string(),
+            format!("{:.0} ms", serial.as_millis_f64()),
+            format!("{:.0} ms", tree.as_millis_f64()),
+            format!("{:.2}x", serial.as_secs_f64() / tree.as_secs_f64()),
+        ]);
+    }
+    t.print();
+
+    println!("\n### Copy tool, I/O-dominated (2048-block file): startup is in the noise");
+    let mut t = Table::new(["p", "all-serial", "all-tree", "advantage"]);
+    for &p in &[8u32, 32] {
+        let serial = copy_time(p, 2048, CreateFanout::Serial, Fanout::Serial);
+        let tree = copy_time(p, 2048, CreateFanout::Tree, Fanout::Tree);
+        t.row([
+            p.to_string(),
+            format!("{:.1} s", serial.as_secs_f64()),
+            format!("{:.1} s", tree.as_secs_f64()),
+            format!("{:.2}x", serial.as_secs_f64() / tree.as_secs_f64()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nCreate's O(p) serial term becomes O(log p) through the agent tree, and the\n\
+         tool's O(p) worker startup likewise — decisive for small per-node work,\n\
+         invisible once the O(n/p) streaming term dominates."
+    );
+}

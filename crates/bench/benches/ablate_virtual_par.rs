@@ -1,0 +1,139 @@
+//! Ablation A5 — virtual parallelism and the three views (paper §4.1, §6).
+//!
+//! The parallel-open view "offers true parallelism up to the interleaving
+//! breadth of the Bridge file or the bandwidth of interprocessor
+//! communication, whichever is least. It also offers virtual parallelism
+//! to any reasonable degree" — but widths beyond p add lock-step overhead
+//! without adding disks. And because job data flows *through the server
+//! and across the interconnect*, even the best parallel-open width loses
+//! to a tool that reads each column on its own node.
+
+use bridge_bench::report::Table;
+use bridge_bench::{records_per_second, scale, write_workload};
+use bridge_core::{BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, JobDeliver};
+use bridge_tools::{summarize, ToolOptions};
+use parsim::{Ctx, SimDuration};
+
+fn measure(p: u32, blocks: u64, widths: &[u32]) -> (Vec<SimDuration>, SimDuration, SimDuration) {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(p));
+    let server = machine.server;
+    let lfs_nodes = machine.lfs_nodes.clone();
+    let frontend = machine.frontend;
+    let widths = widths.to_vec();
+    sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = write_workload(ctx, &mut bridge, blocks, 31);
+
+        let mut job_times = Vec::new();
+        for &t in &widths {
+            job_times.push(job_read_all(ctx, &mut bridge, file, t, frontend, &lfs_nodes));
+        }
+
+        // Naive sequential read for reference.
+        bridge.open(ctx, file).expect("open");
+        let t0 = ctx.now();
+        while bridge.seq_read(ctx, file).expect("read").is_some() {}
+        let naive = ctx.now() - t0;
+
+        // Tool view: per-node column scan (summarize reads every block on
+        // its own node and ships back a few bytes).
+        let t0 = ctx.now();
+        summarize(ctx, &mut bridge, file, &ToolOptions::default()).expect("summarize");
+        let tool = ctx.now() - t0;
+
+        (job_times, naive, tool)
+    })
+}
+
+/// One full job-read pass with `t` sink workers placed round-robin on the
+/// LFS nodes (as an application would).
+fn job_read_all(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    file: BridgeFileId,
+    t: u32,
+    frontend: parsim::NodeId,
+    lfs_nodes: &[parsim::NodeId],
+) -> SimDuration {
+    let me = ctx.me();
+    let workers: Vec<_> = (0..t)
+        .map(|i| {
+            let node = if lfs_nodes.is_empty() {
+                frontend
+            } else {
+                lfs_nodes[i as usize % lfs_nodes.len()]
+            };
+            ctx.spawn(node, format!("sink{i}"), move |c: &mut Ctx| loop {
+                let env = c.recv_where(|e| e.is::<JobDeliver>() || e.is::<&str>());
+                if env.is::<&str>() {
+                    c.send(me, ());
+                    return;
+                }
+            })
+        })
+        .collect();
+    let job = bridge.parallel_open(ctx, file, workers.clone()).expect("job");
+    let t0 = ctx.now();
+    loop {
+        let (_, eof) = bridge.job_read(ctx, job).expect("job read");
+        if eof {
+            break;
+        }
+    }
+    let elapsed = ctx.now() - t0;
+    bridge.job_close(ctx, job).expect("close");
+    for &w in &workers {
+        ctx.send(w, "stop");
+    }
+    for _ in &workers {
+        ctx.recv_as::<()>();
+    }
+    elapsed
+}
+
+fn main() {
+    let p = 8u32;
+    let blocks = 4096 / scale();
+    let widths = [1u32, 2, 4, 8, 16, 32];
+    println!("## Ablation A5 — virtual parallelism and the three views (p = {p}, {blocks} blocks)\n");
+
+    let (job_times, naive, tool) = measure(p, blocks, &widths);
+
+    let mut t = Table::new(["view", "width t", "elapsed", "records/s"]);
+    t.row([
+        "naive sequential".to_string(),
+        "-".to_string(),
+        format!("{:.1} s", naive.as_secs_f64()),
+        format!("{:.0}", records_per_second(blocks, naive)),
+    ]);
+    for (&w, &e) in widths.iter().zip(&job_times) {
+        let label = if w < p {
+            "parallel open (t < p)"
+        } else if w == p {
+            "parallel open (t = p)"
+        } else {
+            "parallel open (t > p, virtual)"
+        };
+        t.row([
+            label.to_string(),
+            w.to_string(),
+            format!("{:.1} s", e.as_secs_f64()),
+            format!("{:.0}", records_per_second(blocks, e)),
+        ]);
+    }
+    t.row([
+        "tool view (per-node scan)".to_string(),
+        p.to_string(),
+        format!("{:.1} s", tool.as_secs_f64()),
+        format!("{:.0}", records_per_second(blocks, tool)),
+    ]);
+    t.print();
+
+    println!(
+        "\nThroughput rises with t up to t = p (true parallelism), then flattens —\n\
+         virtual parallelism is correct but adds no disks. The tool view beats\n\
+         every server-mediated width because blocks never cross the interconnect:\n\
+         \"the exportation of user-level code allows data to be filtered before\n\
+         it must be moved.\""
+    );
+}

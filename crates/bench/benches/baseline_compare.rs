@@ -1,0 +1,108 @@
+//! Baseline comparison — the paper's thesis, measured.
+//!
+//! "The current state of the art in parallel storage device hardware can
+//! deliver effectively unlimited data rates to the file system. A
+//! bottleneck remains, however, if the file system itself uses sequential
+//! software…" We pit one conventional file system over increasingly
+//! parallel *devices* (one spindle, a storage array, a striped set)
+//! against Bridge's parallel *software* on the same aggregate hardware.
+
+use bridge_baseline::{array_device, BaselineMachine, SeqFile, StripedDisk};
+use bridge_bench::report::Table;
+use bridge_bench::{records_per_second, scale, write_workload};
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine};
+use bridge_efs::{EfsConfig, LfsFileId};
+use parsim::{SimConfig, SimDuration, Simulation};
+use simdisk::{BlockDevice, DiskGeometry, DiskProfile, SimDisk};
+
+fn baseline_seq_read<D: BlockDevice + 'static>(device: D, blocks: u64) -> SimDuration {
+    let mut sim = Simulation::new(SimConfig::default());
+    let machine = BaselineMachine::build_with_device(&mut sim, device, EfsConfig::default());
+    let lfs = machine.lfs;
+    sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut f = SeqFile::create(ctx, lfs, LfsFileId(1)).expect("create");
+        for i in 0..blocks {
+            f.append(ctx, bridge_bench::workload::record_with_key(i, 5))
+                .expect("append");
+        }
+        let mut f = SeqFile::open(ctx, lfs, LfsFileId(1)).expect("open");
+        let t0 = ctx.now();
+        while f.read_next(ctx).expect("read").is_some() {}
+        ctx.now() - t0
+    })
+}
+
+/// Bridge: naive sequential read and the tool-view scan, same file.
+fn bridge_seq_read(p: u32, blocks: u64) -> (SimDuration, SimDuration) {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(p));
+    let server = machine.server;
+    sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = write_workload(ctx, &mut bridge, blocks, 5);
+        bridge.open(ctx, file).expect("open");
+        let t0 = ctx.now();
+        while bridge.seq_read(ctx, file).expect("read").is_some() {}
+        let naive = ctx.now() - t0;
+        let t0 = ctx.now();
+        bridge_tools::summarize(ctx, &mut bridge, file, &bridge_tools::ToolOptions::default())
+            .expect("summarize");
+        let tool = ctx.now() - t0;
+        (naive, tool)
+    })
+}
+
+fn main() {
+    let blocks = 2048 / scale();
+    let geometry = DiskGeometry::default();
+    let profile = DiskProfile::wren();
+    println!("## Baseline comparison — one FS over parallel devices vs Bridge ({blocks}-block file)\n");
+
+    println!("### Reading one file sequentially, 8 spindles of aggregate hardware");
+    let single = baseline_seq_read(SimDisk::new(geometry, profile), blocks);
+    let array = baseline_seq_read(array_device(geometry, profile, 8), blocks);
+    let striped = baseline_seq_read(StripedDisk::new(geometry, profile, 8), blocks);
+    let (naive8, tool8) = bridge_seq_read(8, blocks);
+
+    let mut t = Table::new(["architecture", "per block", "records/s", "bound by"]);
+    for (name, d, bound) in [
+        ("one spindle, one FS", single, "device positioning"),
+        ("storage array (8), one FS", array, "device + FS CPU"),
+        ("striped set (8), one FS", striped, "FS software (CPU + queue)"),
+        ("Bridge (8), naive view", naive8, "server + one stream"),
+        ("Bridge (8), tool view", tool8, "p parallel columns"),
+    ] {
+        t.row([
+            name.to_string(),
+            format!("{:.2} ms", d.as_millis_f64() / blocks as f64),
+            format!("{:.0}", records_per_second(blocks, d)),
+            bound.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n### Scaling the hardware: striped set vs Bridge tool view");
+    let mut t = Table::new([
+        "spindles p",
+        "striped records/s",
+        "bridge tool records/s",
+        "bridge advantage",
+    ]);
+    for &p in &[2u32, 8, 32] {
+        let s = baseline_seq_read(StripedDisk::new(geometry, profile, p), blocks);
+        let (_, tool) = bridge_seq_read(p, blocks);
+        t.row([
+            p.to_string(),
+            format!("{:.0}", records_per_second(blocks, s)),
+            format!("{:.0}", records_per_second(blocks, tool)),
+            format!("{:.1}x", s.as_secs_f64() / tool.as_secs_f64()),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nStriping makes the *device* nearly free, but one file system process still\n\
+         touches every block: its curve is flat in p. Bridge runs p file systems and\n\
+         lets the application meet them where the data is: its curve is linear in p.\n\
+         That gap is the paper's reason to exist."
+    );
+}

@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks for the pure-CPU building blocks: placement
+//! arithmetic, block codecs, and the key comparison at the heart of the
+//! sort tool. These complement the virtual-time reproduction benches by
+//! measuring the *host* cost of the hot paths.
+
+use bridge_core::{
+    decode_payload, encode_payload, BridgeFileId, BridgeHeader, GlobalPtr, Placement,
+    PlacementKind, BRIDGE_DATA,
+};
+use bridge_efs::{decode_block, encode_block, EfsHeader, LfsFileId};
+use bridge_tools::key_of;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simdisk::BlockAddr;
+use std::hint::black_box;
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    let rr = Placement::new(PlacementKind::RoundRobin { start: 3 }, 32);
+    group.bench_function("round_robin_locate", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for blk in 0..1024u64 {
+                let ptr = rr.locate(black_box(blk)).unwrap();
+                acc += u64::from(ptr.lfs.0) + u64::from(ptr.local);
+            }
+            acc
+        })
+    });
+    let chunked = Placement::new(PlacementKind::Chunked { blocks_per_chunk: 40 }, 32);
+    group.bench_function("chunked_locate", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for blk in 0..1024u64 {
+                let ptr = chunked.locate(black_box(blk)).unwrap();
+                acc += u64::from(ptr.local);
+            }
+            acc
+        })
+    });
+    let hashed = Placement::new(PlacementKind::Hashed { seed: 7 }, 32);
+    group.bench_function("hashed_cursor_1024", |b| {
+        b.iter(|| {
+            let mut cursor = hashed.cursor();
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc += u64::from(cursor.next().unwrap().local);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codecs");
+    let efs_header = EfsHeader {
+        file: LfsFileId(7),
+        block_no: 42,
+        next: BlockAddr::new(1000),
+        prev: BlockAddr::new(998),
+    };
+    let payload = vec![0xabu8; 1000];
+    group.bench_function("efs_encode_block", |b| {
+        b.iter(|| encode_block(black_box(&efs_header), black_box(&payload)))
+    });
+    let encoded = encode_block(&efs_header, &payload);
+    group.bench_function("efs_decode_block", |b| {
+        b.iter(|| decode_block(black_box(&encoded)).unwrap())
+    });
+
+    let bridge_header = BridgeHeader {
+        file: BridgeFileId(3),
+        global_block: 123_456,
+        breadth: 32,
+        next: GlobalPtr::new(5, 100),
+        prev: GlobalPtr::new(4, 99),
+    };
+    let data = vec![0x5au8; BRIDGE_DATA];
+    group.bench_function("bridge_encode_payload", |b| {
+        b.iter(|| encode_payload(black_box(&bridge_header), black_box(&data)))
+    });
+    let enc = encode_payload(&bridge_header, &data);
+    group.bench_function("bridge_decode_payload", |b| {
+        b.iter(|| decode_payload(black_box(&enc)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sort_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_kernel");
+    let records: Vec<Vec<u8>> = bridge_bench::workload::records(512, 9);
+    group.bench_function("in_core_sort_512", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |mut batch| {
+                batch.sort_by_key(|d| key_of(d));
+                batch
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("key_extract", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for r in &records {
+                acc ^= key_of(black_box(r))[7];
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_placement, bench_codecs, bench_sort_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Table 2 reproduction: costs of the basic Bridge operations through the
+//! naive interface, as functions of p and file size, with least-squares
+//! fits against the paper's functional forms:
+//!
+//! | op     | paper (ms)              |
+//! |--------|-------------------------|
+//! | Delete | 20 · filesize / p       |
+//! | Create | 145 + 17.5 p            |
+//! | Open   | 80                      |
+//! | Read   | 9.0 + 500 p / filesize  |
+//! | Write  | 31                      |
+
+use bridge_bench::report::{linear_fit, millis, Table};
+use bridge_bench::{paper_machine, scale};
+use bridge_core::{BridgeClient, CreateSpec};
+use parsim::SimDuration;
+
+struct OpCosts {
+    p: u32,
+    blocks: u64,
+    create: SimDuration,
+    open: SimDuration,
+    read_avg: SimDuration,
+    write_avg: SimDuration,
+    delete: SimDuration,
+}
+
+fn measure(p: u32, blocks: u64) -> OpCosts {
+    let (mut sim, machine) = paper_machine(p);
+    let server = machine.server;
+    sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+
+        let t0 = ctx.now();
+        let file = bridge.create(ctx, CreateSpec::default()).expect("create");
+        let create = ctx.now() - t0;
+
+        let t0 = ctx.now();
+        for i in 0..blocks {
+            bridge
+                .seq_write(ctx, file, bridge_bench::workload::record_with_key(i, 1))
+                .expect("write");
+        }
+        let write_avg = (ctx.now() - t0) / blocks;
+
+        let t0 = ctx.now();
+        bridge.open(ctx, file).expect("open");
+        let open = ctx.now() - t0;
+
+        let t0 = ctx.now();
+        let mut read = 0u64;
+        while bridge.seq_read(ctx, file).expect("read").is_some() {
+            read += 1;
+        }
+        assert_eq!(read, blocks);
+        let read_avg = (ctx.now() - t0) / blocks;
+
+        let t0 = ctx.now();
+        bridge.delete(ctx, file).expect("delete");
+        let delete = ctx.now() - t0;
+
+        OpCosts {
+            p,
+            blocks,
+            create,
+            open,
+            read_avg,
+            write_avg,
+            delete,
+        }
+    })
+}
+
+fn main() {
+    let blocks = 1024 / scale().min(4);
+    println!("## Table 2 reproduction — basic operation costs (naive interface)");
+    println!("(file size for per-op table: {blocks} blocks)\n");
+
+    let ps = [2u32, 4, 8, 16, 32];
+    let runs: Vec<OpCosts> = ps.iter().map(|&p| measure(p, blocks)).collect();
+
+    let mut table = Table::new([
+        "p",
+        "Create",
+        "Open",
+        "Read (avg)",
+        "Write (avg)",
+        "Delete",
+        "Delete·p/size",
+    ]);
+    for r in &runs {
+        table.row([
+            r.p.to_string(),
+            millis(r.create),
+            millis(r.open),
+            millis(r.read_avg),
+            millis(r.write_avg),
+            millis(r.delete),
+            format!(
+                "{:.1} ms/blk",
+                r.delete.as_millis_f64() * f64::from(r.p) / r.blocks as f64
+            ),
+        ]);
+    }
+    table.print();
+
+    // Fits against the paper's forms.
+    println!("\n### Fits (paper's functional forms)");
+
+    let create_pts: Vec<(f64, f64)> = runs
+        .iter()
+        .map(|r| (f64::from(r.p), r.create.as_millis_f64()))
+        .collect();
+    let (a, b, r2) = linear_fit(&create_pts);
+    println!("Create  = {a:.0} + {b:.1}·p ms   (r²={r2:.3}; paper: 145 + 17.5·p)");
+
+    let delete_pts: Vec<(f64, f64)> = runs
+        .iter()
+        .map(|r| (r.blocks as f64 / f64::from(r.p), r.delete.as_millis_f64()))
+        .collect();
+    let (a, b, r2) = linear_fit(&delete_pts);
+    println!("Delete  = {a:.0} + {b:.1}·(filesize/p) ms   (r²={r2:.3}; paper: 20·filesize/p)");
+
+    // Read startup term: sweep file size at fixed p.
+    let p = 8u32;
+    let read_pts: Vec<(f64, f64)> = [128u64, 256, 512, 1024]
+        .iter()
+        .map(|&n| {
+            let r = measure(p, n);
+            (f64::from(p) / n as f64, r.read_avg.as_millis_f64())
+        })
+        .collect();
+    let (a, b, r2) = linear_fit(&read_pts);
+    println!("Read    = {a:.1} + {b:.0}·(p/filesize) ms   (r²={r2:.3}; paper: 9.0 + 500·p/filesize)");
+
+    let writes: Vec<f64> = runs.iter().map(|r| r.write_avg.as_millis_f64()).collect();
+    let opens: Vec<f64> = runs.iter().map(|r| r.open.as_millis_f64()).collect();
+    let spread = |v: &[f64]| {
+        let min = v.iter().fold(f64::MAX, |a, &b| a.min(b));
+        let max = v.iter().fold(f64::MIN, |a, &b| a.max(b));
+        (min, max)
+    };
+    let (wmin, wmax) = spread(&writes);
+    let (omin, omax) = spread(&opens);
+    println!("Write   = {wmin:.1}..{wmax:.1} ms, flat in p   (paper: 31 ms)");
+    println!("Open    = {omin:.1}..{omax:.1} ms, flat in p   (paper: 80 ms)");
+}

@@ -1,0 +1,179 @@
+//! Report rendering: markdown tables, ASCII series plots, and the
+//! least-squares fits used to compare measured costs against the paper's
+//! Table-2 formulas.
+
+use parsim::SimDuration;
+
+/// A simple markdown table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table as aligned markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:>w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<w$}-|", "", w = w + 1));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration in seconds with one decimal, like the paper's
+/// tables.
+pub fn secs(d: SimDuration) -> String {
+    format!("{:.1} s", d.as_secs_f64())
+}
+
+/// Formats a duration in minutes with two decimals (Table 4 style).
+pub fn mins(d: SimDuration) -> String {
+    format!("{:.2} min", d.as_secs_f64() / 60.0)
+}
+
+/// Formats a duration in milliseconds with one decimal (Table 2 style).
+pub fn millis(d: SimDuration) -> String {
+    format!("{:.1} ms", d.as_millis_f64())
+}
+
+/// Least-squares fit of `y = a + b·x`; returns `(a, b, r²)`.
+///
+/// # Panics
+///
+/// Panics on fewer than two points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    assert!(points.len() >= 2, "fit needs at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values are degenerate");
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
+    let r2 = if ss_tot.abs() < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    (a, b, r2)
+}
+
+/// A crude ASCII rendering of a (x, y) series, echoing the paper's little
+/// records-per-second plots.
+pub fn ascii_series(title: &str, points: &[(f64, f64)], width: usize) -> String {
+    let max_y = points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    let mut out = format!("{title}\n");
+    for (x, y) in points {
+        let bars = if max_y > 0.0 {
+            ((y / max_y) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!("{x:>6.0} | {:<width$} {y:.1}\n", "#".repeat(bars)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(["p", "time"]);
+        t.row(["2", "311.6 s"]).row(["32", "21.6 s"]);
+        let s = t.render();
+        assert!(s.contains("| 311.6 s |"));
+        assert_eq!(s.lines().count(), 4);
+        for line in s.lines() {
+            assert!(line.starts_with('|') && line.ends_with('|'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=5).map(|x| (x as f64, 145.0 + 17.5 * x as f64)).collect();
+        let (a, b, r2) = linear_fit(&pts);
+        assert!((a - 145.0).abs() < 1e-9);
+        assert!((b - 17.5).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_handles_noise() {
+        let pts = [(1.0, 10.1), (2.0, 19.8), (3.0, 30.2), (4.0, 39.9)];
+        let (a, b, r2) = linear_fit(&pts);
+        assert!(a.abs() < 1.0);
+        assert!((b - 10.0).abs() < 0.2);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(SimDuration::from_millis(21_600)), "21.6 s");
+        assert_eq!(mins(SimDuration::from_secs(307)), "5.12 min");
+        assert_eq!(millis(SimDuration::from_micros(31_000)), "31.0 ms");
+    }
+
+    #[test]
+    fn ascii_series_scales_bars() {
+        let s = ascii_series("plot", &[(2.0, 10.0), (32.0, 100.0)], 20);
+        assert!(s.contains("####################"));
+    }
+}

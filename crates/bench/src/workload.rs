@@ -1,0 +1,105 @@
+//! Synthetic workloads: block-sized records with uniformly shuffled keys,
+//! standing in for the paper's 10 MB experiment files (no trace data from
+//! 1988 survives; the paper's records are opaque block-sized units, so a
+//! seeded uniform shuffle exercises the same code paths).
+
+use bridge_tools::KEY_LEN;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes of payload in each generated record (past the key).
+pub const RECORD_BODY: usize = 120;
+
+/// Generates `n` records whose leading [`KEY_LEN`]-byte keys are a seeded
+/// shuffle of `0..n` (every key distinct — worst case for a merge sort,
+/// no early-out on equal keys).
+pub fn records(n: u64, seed: u64) -> Vec<Vec<u8>> {
+    let mut keys: Vec<u64> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..keys.len()).rev() {
+        let j = rng.random_range(0..=i);
+        keys.swap(i, j);
+    }
+    keys.into_iter().map(|k| record_with_key(k, seed)).collect()
+}
+
+/// One record with the given key and a deterministic body.
+pub fn record_with_key(key: u64, seed: u64) -> Vec<u8> {
+    let mut data = vec![0u8; KEY_LEN + RECORD_BODY];
+    data[..KEY_LEN].copy_from_slice(&key.to_be_bytes());
+    for (i, b) in data.iter_mut().enumerate().skip(KEY_LEN) {
+        *b = (key
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(seed)
+            .wrapping_add(i as u64)
+            % 251) as u8;
+    }
+    data
+}
+
+/// Text-ish records (fixed 80-byte lines) for the filter/grep workloads.
+pub fn text_records(n: u64, needle_every: u64, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut line = format!(
+                "log entry {i:08} level={} msg=routine-operation code={:04x}",
+                if i % 7 == 0 { "WARN" } else { "INFO" },
+                rng.random_range(0..0xffffu32),
+            );
+            if needle_every > 0 && i % needle_every == 0 {
+                line.push_str(" NEEDLE");
+            }
+            let mut bytes = line.into_bytes();
+            bytes.resize(80, b' ');
+            // 12 lines of 80 bytes per 960-byte block.
+            let mut block = Vec::with_capacity(960);
+            for _ in 0..12 {
+                block.extend_from_slice(&bytes);
+            }
+            block
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn records_have_distinct_shuffled_keys() {
+        let recs = records(100, 42);
+        assert_eq!(recs.len(), 100);
+        let keys: HashSet<u64> = recs
+            .iter()
+            .map(|r| u64::from_be_bytes(r[..8].try_into().unwrap()))
+            .collect();
+        assert_eq!(keys.len(), 100, "all keys distinct");
+        // Not already sorted (astronomically unlikely for a real shuffle).
+        let in_order: Vec<u64> = recs
+            .iter()
+            .map(|r| u64::from_be_bytes(r[..8].try_into().unwrap()))
+            .collect();
+        let mut sorted = in_order.clone();
+        sorted.sort_unstable();
+        assert_ne!(in_order, sorted);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(records(50, 7), records(50, 7));
+        assert_ne!(records(50, 7), records(50, 8));
+    }
+
+    #[test]
+    fn text_records_embed_needles() {
+        let recs = text_records(10, 3, 1);
+        assert_eq!(recs.len(), 10);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.len(), 960);
+            let has = r.windows(6).any(|w| w == b"NEEDLE");
+            assert_eq!(has, i % 3 == 0, "record {i}");
+        }
+    }
+}

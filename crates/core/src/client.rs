@@ -1,0 +1,324 @@
+//! Client-side helpers: typed access to the Bridge Server from inside a
+//! simulated process, and the worker half of parallel-open jobs.
+
+use crate::error::BridgeError;
+use crate::ids::{BridgeFileId, JobId};
+use crate::protocol::{
+    request_wire_size, BridgeCmd, BridgeData, BridgeReply, BridgeRequest, CreateSpec, JobDeliver,
+    JobRequest, JobSupply, MachineInfo, OpenInfo,
+};
+use parsim::{Ctx, ProcId};
+
+/// A typed client for the Bridge Server.
+///
+/// Wraps the raw [`BridgeRequest`]/[`BridgeReply`] protocol: requests carry
+/// fresh ids and replies are matched by id (other traffic is stashed by the
+/// underlying selective receive).
+#[derive(Debug)]
+pub struct BridgeClient {
+    server: ProcId,
+    next_id: u64,
+}
+
+impl BridgeClient {
+    /// Creates a client talking to `server`.
+    pub fn new(server: ProcId) -> Self {
+        BridgeClient { server, next_id: 1 }
+    }
+
+    /// The server this client talks to.
+    pub fn server(&self) -> ProcId {
+        self.server
+    }
+
+    /// Sends `cmd` and returns its request id (for pipelining).
+    pub fn send(&mut self, ctx: &mut Ctx, cmd: BridgeCmd) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = request_wire_size(&cmd);
+        ctx.send_sized(self.server, BridgeRequest { id, cmd }, bytes);
+        id
+    }
+
+    /// Waits for the reply to a previously sent request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn wait(&mut self, ctx: &mut Ctx, id: u64) -> Result<BridgeData, BridgeError> {
+        let server = self.server;
+        let env = ctx.recv_where(|e| {
+            e.from() == server && e.downcast_ref::<BridgeReply>().is_some_and(|r| r.id == id)
+        });
+        env.downcast::<BridgeReply>().expect("matched type").result
+    }
+
+    /// Round trip: send `cmd` and wait for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn call(&mut self, ctx: &mut Ctx, cmd: BridgeCmd) -> Result<BridgeData, BridgeError> {
+        let id = self.send(ctx, cmd);
+        self.wait(ctx, id)
+    }
+
+    /// Creates a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn create(&mut self, ctx: &mut Ctx, spec: CreateSpec) -> Result<BridgeFileId, BridgeError> {
+        match self.call(ctx, BridgeCmd::Create(spec))? {
+            BridgeData::Created(file) => Ok(file),
+            other => Err(unexpected("Created", &other)),
+        }
+    }
+
+    /// Deletes a file; returns total blocks freed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn delete(&mut self, ctx: &mut Ctx, file: BridgeFileId) -> Result<u64, BridgeError> {
+        match self.call(ctx, BridgeCmd::Delete { file })? {
+            BridgeData::Deleted { blocks } => Ok(blocks),
+            other => Err(unexpected("Deleted", &other)),
+        }
+    }
+
+    /// Deletes several files in one parallel wave; returns total blocks
+    /// freed. The disk work of different files overlaps, unlike repeated
+    /// [`BridgeClient::delete`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn delete_many(
+        &mut self,
+        ctx: &mut Ctx,
+        files: Vec<BridgeFileId>,
+    ) -> Result<u64, BridgeError> {
+        match self.call(ctx, BridgeCmd::DeleteMany { files })? {
+            BridgeData::Deleted { blocks } => Ok(blocks),
+            other => Err(unexpected("Deleted", &other)),
+        }
+    }
+
+    /// Opens a file: refreshes the server's size view, resets this client's
+    /// sequential cursor, and returns the structural information tools use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn open(&mut self, ctx: &mut Ctx, file: BridgeFileId) -> Result<OpenInfo, BridgeError> {
+        match self.call(ctx, BridgeCmd::Open { file })? {
+            BridgeData::Opened(info) => Ok(info),
+            other => Err(unexpected("Opened", &other)),
+        }
+    }
+
+    /// Reads the next block sequentially; `None` at end of file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn seq_read(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+    ) -> Result<Option<Vec<u8>>, BridgeError> {
+        match self.call(ctx, BridgeCmd::SeqRead { file })? {
+            BridgeData::Block(data) => Ok(Some(data)),
+            BridgeData::Eof => Ok(None),
+            other => Err(unexpected("Block/Eof", &other)),
+        }
+    }
+
+    /// Appends one block (at most 960 bytes); returns its global number.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn seq_write(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        data: Vec<u8>,
+    ) -> Result<u64, BridgeError> {
+        match self.call(ctx, BridgeCmd::SeqWrite { file, data })? {
+            BridgeData::Written { block } => Ok(block),
+            other => Err(unexpected("Written", &other)),
+        }
+    }
+
+    /// Reads a specific global block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn rand_read(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+    ) -> Result<Vec<u8>, BridgeError> {
+        match self.call(ctx, BridgeCmd::RandRead { file, block })? {
+            BridgeData::Block(data) => Ok(data),
+            other => Err(unexpected("Block", &other)),
+        }
+    }
+
+    /// Overwrites a specific global block (or appends when
+    /// `block == size`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn rand_write(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+        data: Vec<u8>,
+    ) -> Result<(), BridgeError> {
+        match self.call(ctx, BridgeCmd::RandWrite { file, block, data })? {
+            BridgeData::Written { .. } => Ok(()),
+            other => Err(unexpected("Written", &other)),
+        }
+    }
+
+    /// Groups the calling process (as controller) and `workers` into a job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn parallel_open(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        workers: Vec<ProcId>,
+    ) -> Result<JobId, BridgeError> {
+        match self.call(ctx, BridgeCmd::ParallelOpen { file, workers })? {
+            BridgeData::JobOpened(job) => Ok(job),
+            other => Err(unexpected("JobOpened", &other)),
+        }
+    }
+
+    /// One lock-step read round: the next `t` blocks go to the workers.
+    /// Returns `(delivered, eof)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn job_read(&mut self, ctx: &mut Ctx, job: JobId) -> Result<(u32, bool), BridgeError> {
+        match self.call(ctx, BridgeCmd::JobRead { job })? {
+            BridgeData::JobReadDone { delivered, eof } => Ok((delivered, eof)),
+            other => Err(unexpected("JobReadDone", &other)),
+        }
+    }
+
+    /// One lock-step write round: gathers one block from each worker.
+    /// Returns the number accepted (< t when a worker signalled end).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn job_write(&mut self, ctx: &mut Ctx, job: JobId) -> Result<u32, BridgeError> {
+        match self.call(ctx, BridgeCmd::JobWrite { job })? {
+            BridgeData::JobWritten { accepted } => Ok(accepted),
+            other => Err(unexpected("JobWritten", &other)),
+        }
+    }
+
+    /// Releases a job's server-side state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn job_close(&mut self, ctx: &mut Ctx, job: JobId) -> Result<(), BridgeError> {
+        match self.call(ctx, BridgeCmd::JobClose { job })? {
+            BridgeData::JobClosed => Ok(()),
+            other => Err(unexpected("JobClosed", &other)),
+        }
+    }
+
+    /// Repairs a redundant file after a node failure (all nodes must be
+    /// back up); returns the number of components rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn rebuild(&mut self, ctx: &mut Ctx, file: BridgeFileId) -> Result<u64, BridgeError> {
+        match self.call(ctx, BridgeCmd::Rebuild { file })? {
+            BridgeData::Rebuilt { repaired } => Ok(repaired),
+            other => Err(unexpected("Rebuilt", &other)),
+        }
+    }
+
+    /// Structural information about the machine (the tool bootstrap).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn get_info(&mut self, ctx: &mut Ctx) -> Result<MachineInfo, BridgeError> {
+        match self.call(ctx, BridgeCmd::GetInfo)? {
+            BridgeData::Info(info) => Ok(info),
+            other => Err(unexpected("Info", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &BridgeData) -> BridgeError {
+    BridgeError::Corrupt(format!("expected {wanted} reply, got {got:?}"))
+}
+
+/// The worker half of a parallel-open job.
+///
+/// Workers don't talk to the server's request interface; they receive
+/// [`JobDeliver`] messages during job reads and answer [`JobRequest`]
+/// messages during job writes.
+#[derive(Debug, Clone, Copy)]
+pub struct JobWorker {
+    job: JobId,
+}
+
+impl JobWorker {
+    /// Binds a worker to a job id (obtained from the controller, e.g. via
+    /// an application message).
+    pub fn new(job: JobId) -> Self {
+        JobWorker { job }
+    }
+
+    /// Receives this worker's block from the current read round:
+    /// `Some((global_block, data))`, or `None` when the file ran out.
+    pub fn recv_block(&self, ctx: &mut Ctx) -> Option<(u64, Vec<u8>)> {
+        let job = self.job;
+        let env = ctx.recv_where(|e| {
+            e.downcast_ref::<JobDeliver>().is_some_and(|d| d.job == job)
+        });
+        let deliver = env.downcast::<JobDeliver>().expect("matched type");
+        deliver.data.map(|d| (deliver.block, d))
+    }
+
+    /// Awaits the server's poll in a write round and supplies `data`
+    /// (`None` = this worker is out of data).
+    pub fn supply_block(&self, ctx: &mut Ctx, data: Option<Vec<u8>>) {
+        let job = self.job;
+        let env = ctx.recv_where(|e| {
+            e.downcast_ref::<JobRequest>().is_some_and(|r| r.job == job)
+        });
+        let server = env.from();
+        let req = env.downcast::<JobRequest>().expect("matched type");
+        let bytes = data.as_ref().map_or(16, |d| 16 + d.len());
+        ctx.send_sized(
+            server,
+            JobSupply {
+                job,
+                block: req.block,
+                data,
+            },
+            bytes,
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! The 40-byte Bridge block header.
+//!
+//! "An additional 40 bytes for Bridge-related header information have been
+//! taken from the data storage area of each block (leaving 960 bytes for
+//! data)." The header labels each block with its global identity and carries
+//! *global pointers* — (LFS instance, local block) pairs — "inherited from
+//! EFS and expanded upon with global pointers". For strictly interleaved
+//! files the pointers are redundant with the placement arithmetic (and the
+//! copy tool happily ignores them, since "the pointers are still valid in
+//! the new file"); for *disordered* (linked) files they are the only record
+//! of block order.
+
+use crate::error::BridgeError;
+use crate::ids::{BridgeFileId, LfsIndex};
+use bytes::{Buf, BufMut};
+use bridge_efs::EFS_PAYLOAD;
+
+/// Bytes of Bridge header inside each EFS payload.
+pub const BRIDGE_HEADER_SIZE: usize = 40;
+/// Data bytes per Bridge block: 1024 − 24 (EFS) − 40 (Bridge) = 960.
+pub const BRIDGE_DATA: usize = EFS_PAYLOAD - BRIDGE_HEADER_SIZE;
+/// Magic tag of a Bridge block.
+pub const BRIDGE_MAGIC: u32 = 0xB21D_6E00;
+
+/// A global block pointer: which LFS instance, and which local block there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GlobalPtr {
+    /// The LFS instance holding the block.
+    pub lfs: LfsIndex,
+    /// The local block number within the constituent file on that LFS.
+    pub local: u32,
+}
+
+impl GlobalPtr {
+    /// Convenience constructor.
+    pub const fn new(lfs: u32, local: u32) -> Self {
+        GlobalPtr {
+            lfs: LfsIndex(lfs),
+            local,
+        }
+    }
+}
+
+impl std::fmt::Display for GlobalPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.lfs, self.local)
+    }
+}
+
+/// The Bridge header carried at the front of every block's EFS payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeHeader {
+    /// Owning Bridge file.
+    pub file: BridgeFileId,
+    /// Global (logical) block number within the Bridge file.
+    pub global_block: u64,
+    /// Interleaving breadth of the file at write time.
+    pub breadth: u32,
+    /// Global pointer to the next block in logical order.
+    pub next: GlobalPtr,
+    /// Global pointer to the previous block in logical order.
+    pub prev: GlobalPtr,
+}
+
+impl BridgeHeader {
+    fn checksum(&self) -> u32 {
+        BRIDGE_MAGIC
+            ^ self.file.0
+            ^ (self.global_block as u32).rotate_left(4)
+            ^ ((self.global_block >> 32) as u32).rotate_left(8)
+            ^ self.breadth.rotate_left(12)
+            ^ self.next.lfs.0.rotate_left(16)
+            ^ self.next.local.rotate_left(20)
+            ^ self.prev.lfs.0.rotate_left(24)
+            ^ self.prev.local.rotate_left(28)
+    }
+}
+
+/// Builds a full EFS payload (1000 bytes): Bridge header + data, data
+/// zero-padded to 960 bytes.
+///
+/// # Panics
+///
+/// Panics if `data` exceeds [`BRIDGE_DATA`] bytes.
+pub fn encode_payload(header: &BridgeHeader, data: &[u8]) -> Vec<u8> {
+    assert!(
+        data.len() <= BRIDGE_DATA,
+        "data of {} bytes exceeds {BRIDGE_DATA}",
+        data.len()
+    );
+    let mut buf = Vec::with_capacity(EFS_PAYLOAD);
+    buf.put_u32_le(BRIDGE_MAGIC);
+    buf.put_u32_le(header.file.0);
+    buf.put_u64_le(header.global_block);
+    buf.put_u32_le(header.breadth);
+    buf.put_u32_le(header.next.lfs.0);
+    buf.put_u32_le(header.next.local);
+    buf.put_u32_le(header.prev.lfs.0);
+    buf.put_u32_le(header.prev.local);
+    buf.put_u32_le(header.checksum());
+    debug_assert_eq!(buf.len(), BRIDGE_HEADER_SIZE);
+    buf.put_slice(data);
+    buf.resize(EFS_PAYLOAD, 0);
+    buf
+}
+
+/// Splits an EFS payload into its Bridge header and 960-byte data area.
+///
+/// # Errors
+///
+/// [`BridgeError::Corrupt`] on bad magic, bad checksum, or wrong length.
+pub fn decode_payload(payload: &[u8]) -> Result<(BridgeHeader, Vec<u8>), BridgeError> {
+    if payload.len() != EFS_PAYLOAD {
+        return Err(BridgeError::Corrupt(format!(
+            "payload is {} bytes, expected {EFS_PAYLOAD}",
+            payload.len()
+        )));
+    }
+    let mut buf = payload;
+    let magic = buf.get_u32_le();
+    if magic != BRIDGE_MAGIC {
+        return Err(BridgeError::Corrupt(format!(
+            "bad Bridge block magic {magic:#x}"
+        )));
+    }
+    let header = BridgeHeader {
+        file: BridgeFileId(buf.get_u32_le()),
+        global_block: buf.get_u64_le(),
+        breadth: buf.get_u32_le(),
+        next: GlobalPtr {
+            lfs: LfsIndex(buf.get_u32_le()),
+            local: buf.get_u32_le(),
+        },
+        prev: GlobalPtr {
+            lfs: LfsIndex(buf.get_u32_le()),
+            local: buf.get_u32_le(),
+        },
+    };
+    let checksum = buf.get_u32_le();
+    if checksum != header.checksum() {
+        return Err(BridgeError::Corrupt(format!(
+            "Bridge header checksum mismatch on {} block {}",
+            header.file, header.global_block
+        )));
+    }
+    Ok((header, buf[..BRIDGE_DATA].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BridgeHeader {
+        BridgeHeader {
+            file: BridgeFileId(12),
+            global_block: 1 << 33,
+            breadth: 8,
+            next: GlobalPtr::new(3, 77),
+            prev: GlobalPtr::new(2, 76),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..BRIDGE_DATA).map(|i| (i % 256) as u8).collect();
+        let payload = encode_payload(&sample(), &data);
+        assert_eq!(payload.len(), EFS_PAYLOAD);
+        let (h, d) = decode_payload(&payload).unwrap();
+        assert_eq!(h, sample());
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn short_data_zero_padded() {
+        let payload = encode_payload(&sample(), b"abc");
+        let (_, d) = decode_payload(&payload).unwrap();
+        assert_eq!(&d[..3], b"abc");
+        assert!(d[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_data_panics() {
+        let _ = encode_payload(&sample(), &vec![0; BRIDGE_DATA + 1]);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut payload = encode_payload(&sample(), b"abc");
+        payload[16] ^= 0x80; // a pointer byte
+        assert!(matches!(
+            decode_payload(&payload),
+            Err(BridgeError::Corrupt(_))
+        ));
+        assert!(decode_payload(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(BRIDGE_HEADER_SIZE, 40);
+        assert_eq!(BRIDGE_DATA, 960);
+    }
+}

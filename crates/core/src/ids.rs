@@ -1,0 +1,54 @@
+//! Identifiers used across the Bridge file system.
+
+use std::fmt;
+
+/// The name of a Bridge (interleaved) file, assigned by the Bridge Server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BridgeFileId(pub u32);
+
+impl fmt::Display for BridgeFileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bridge-file{}", self.0)
+    }
+}
+
+/// A parallel-open job: a controller plus `t` workers moving blocks in
+/// lock step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Position of an LFS instance within the Bridge machine (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LfsIndex(pub u32);
+
+impl LfsIndex {
+    /// The index as a usize, for slicing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LfsIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lfs{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BridgeFileId(3).to_string(), "bridge-file3");
+        assert_eq!(JobId(9).to_string(), "job9");
+        assert_eq!(LfsIndex(2).to_string(), "lfs2");
+        assert_eq!(LfsIndex(2).index(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Building a whole Bridge machine inside a simulation.
+//!
+//! Reproduces the paper's Figure 2 hardware layout: `p` processing nodes,
+//! each with its own simulated disk and LFS server process, plus one node
+//! running the centralized Bridge Server; all connected by a uniform
+//! interconnect.
+
+use crate::server::{spawn_bridge_agent, spawn_bridge_server, BridgeServerConfig};
+use bridge_efs::{spawn_lfs, Efs, EfsConfig};
+use parsim::{NodeId, ProcId, SimConfig, SimDuration, Simulation, UniformLatency};
+use simdisk::{DiskGeometry, DiskProfile, SimDisk};
+
+/// Everything needed to stand up a Bridge machine.
+#[derive(Debug, Clone)]
+pub struct BridgeConfig {
+    /// Number of LFS instances / disks (the paper's `p`).
+    pub breadth: u32,
+    /// Disk layout per node.
+    pub disk_geometry: DiskGeometry,
+    /// Disk timing per node.
+    pub disk_profile: DiskProfile,
+    /// EFS tuning per node.
+    pub efs: EfsConfig,
+    /// Bridge Server tuning.
+    pub server: BridgeServerConfig,
+    /// Interconnect latency model.
+    pub latency: UniformLatency,
+    /// Write-behind queue depth per disk (`None` = synchronous
+    /// write-through, the prototype's behaviour; `Some(d)` models the
+    /// paper's §6 assumption that LFS instances perform write-behind).
+    pub write_behind: Option<u32>,
+    /// Simulation seed (determinism).
+    pub seed: u64,
+}
+
+impl BridgeConfig {
+    /// The paper's experimental setup with `breadth` nodes: Wren-class
+    /// disks, 64 MB each, default EFS and server constants.
+    pub fn paper(breadth: u32) -> Self {
+        BridgeConfig {
+            breadth,
+            disk_geometry: DiskGeometry::default(),
+            disk_profile: DiskProfile::wren(),
+            efs: EfsConfig::default(),
+            server: BridgeServerConfig::default(),
+            latency: UniformLatency::default(),
+            write_behind: None,
+            seed: 0xB21D_6E,
+        }
+    }
+
+    /// A functional-test setup: free disks and interconnect, so tests
+    /// exercise logic without burning virtual (or wall) time.
+    pub fn instant(breadth: u32) -> Self {
+        BridgeConfig {
+            breadth,
+            disk_geometry: DiskGeometry {
+                block_size: 1024,
+                blocks_per_track: 8,
+                tracks: 512,
+            },
+            disk_profile: DiskProfile::instant(),
+            efs: EfsConfig {
+                cpu_per_request: SimDuration::ZERO,
+                ..EfsConfig::default()
+            },
+            server: BridgeServerConfig {
+                cpu_per_request: SimDuration::ZERO,
+                create_init_cpu: SimDuration::ZERO,
+                create_ack_cpu: SimDuration::ZERO,
+                ..BridgeServerConfig::default()
+            },
+            latency: UniformLatency::constant(SimDuration::ZERO),
+            write_behind: None,
+            seed: 0xB21D_6E,
+        }
+    }
+}
+
+impl Default for BridgeConfig {
+    fn default() -> Self {
+        BridgeConfig::paper(8)
+    }
+}
+
+/// Handles to a built Bridge machine.
+#[derive(Debug)]
+pub struct BridgeMachine {
+    /// The Bridge Server process.
+    pub server: ProcId,
+    /// The node the server runs on.
+    pub server_node: NodeId,
+    /// LFS server processes, by machine index.
+    pub lfs: Vec<ProcId>,
+    /// The node of each LFS instance, by machine index.
+    pub lfs_nodes: Vec<NodeId>,
+    /// Per-node fan-out agents (for tree-structured Create).
+    pub agents: Vec<ProcId>,
+    /// A spare node for application / tool controller processes (a
+    /// "front-end" not holding any disk).
+    pub frontend: NodeId,
+}
+
+impl BridgeMachine {
+    /// The machine's breadth (p).
+    pub fn breadth(&self) -> u32 {
+        self.lfs.len() as u32
+    }
+
+    /// Builds a fresh simulation plus machine from `config`.
+    pub fn build(config: &BridgeConfig) -> (Simulation, BridgeMachine) {
+        let mut sim = Simulation::new(SimConfig {
+            latency: Box::new(config.latency),
+            seed: config.seed,
+        });
+        let machine = BridgeMachine::build_in(&mut sim, config);
+        (sim, machine)
+    }
+
+    /// Builds a machine inside an existing simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.breadth` is zero.
+    pub fn build_in(sim: &mut Simulation, config: &BridgeConfig) -> BridgeMachine {
+        assert!(config.breadth > 0, "a Bridge machine needs at least one LFS");
+        let server_node = sim.add_node("bridge-server");
+        let frontend = sim.add_node("frontend");
+        let mut lfs = Vec::with_capacity(config.breadth as usize);
+        let mut lfs_nodes = Vec::with_capacity(config.breadth as usize);
+        let mut agents = Vec::with_capacity(config.breadth as usize);
+        for i in 0..config.breadth {
+            let node = sim.add_node(format!("p{i}"));
+            let mut disk = SimDisk::new(config.disk_geometry, config.disk_profile);
+            if let Some(depth) = config.write_behind {
+                disk.enable_write_behind(depth);
+            }
+            let efs = Efs::format(disk, config.efs);
+            let proc = spawn_lfs(sim, node, format!("lfs{i}"), efs);
+            agents.push(spawn_bridge_agent(
+                sim,
+                node,
+                format!("agent{i}"),
+                config.server.create_init_cpu,
+            ));
+            lfs.push(proc);
+            lfs_nodes.push(node);
+        }
+        let pairs: Vec<(ProcId, NodeId)> =
+            lfs.iter().copied().zip(lfs_nodes.iter().copied()).collect();
+        let server = spawn_bridge_server(
+            sim,
+            server_node,
+            "bridge-server",
+            pairs,
+            agents.clone(),
+            config.server,
+        );
+        BridgeMachine {
+            server,
+            server_node,
+            lfs,
+            lfs_nodes,
+            agents,
+            frontend,
+        }
+    }
+}

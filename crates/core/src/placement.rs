@@ -1,0 +1,313 @@
+//! Block placement strategies.
+//!
+//! Section 3 of the paper weighs three ways to scatter a file's blocks over
+//! `p` local file systems: *round-robin interleaving* (Bridge's choice,
+//! because "consecutive blocks will all be on different nodes … for
+//! parallel execution of sequential file operations this guarantee is
+//! optimal"), Gamma-style *chunking* (rejected: it "requires a priori
+//! information on the ultimate size of a file"), and Gamma-style *hashing*
+//! (rejected: "the probability that p consecutive blocks would be on p
+//! different processors would be extremely low"). All three are implemented
+//! here so the benchmarks can quantify the argument, plus the prototype's
+//! *linked* ("disordered") representation whose order lives only in the
+//! global pointers.
+
+use crate::header::GlobalPtr;
+use crate::ids::LfsIndex;
+
+/// How a file's global blocks map onto its constituent LFS files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// Strict round-robin interleaving; block `n` lives on LFS
+    /// `(n + start) mod p` at local block `n div p`. The paper's default,
+    /// with `start` = the node holding block zero.
+    RoundRobin {
+        /// The LFS position (within the file's node list) of block 0.
+        start: u32,
+    },
+    /// Contiguous chunks dealt round-robin; with `blocks_per_chunk` =
+    /// ceil(size/p) this is Gamma's "exactly p equal-size chunks".
+    Chunked {
+        /// Blocks per contiguous chunk.
+        blocks_per_chunk: u32,
+    },
+    /// Each block's node drawn by a hash of its number.
+    Hashed {
+        /// Hash seed.
+        seed: u64,
+    },
+    /// Disordered: blocks scattered arbitrarily, ordered only by the global
+    /// next/prev pointers in their Bridge headers. Random access degrades
+    /// to a pointer walk.
+    Linked,
+}
+
+/// A placement bound to a breadth (the number of LFS instances the file
+/// spans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    kind: PlacementKind,
+    breadth: u32,
+}
+
+fn hash_node(block: u64, seed: u64, breadth: u32) -> u32 {
+    let mut z = block ^ seed ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % u64::from(breadth)) as u32
+}
+
+impl Placement {
+    /// Binds a placement strategy to a breadth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `breadth` is zero, or if a chunked placement has a zero
+    /// chunk size.
+    pub fn new(kind: PlacementKind, breadth: u32) -> Self {
+        assert!(breadth > 0, "placement needs at least one LFS");
+        if let PlacementKind::Chunked { blocks_per_chunk } = kind {
+            assert!(blocks_per_chunk > 0, "chunk size must be positive");
+        }
+        Placement { kind, breadth }
+    }
+
+    /// The strategy.
+    pub fn kind(&self) -> PlacementKind {
+        self.kind
+    }
+
+    /// Number of LFS instances the file spans.
+    pub fn breadth(&self) -> u32 {
+        self.breadth
+    }
+
+    /// The LFS position that holds global block `block`, or `None` for
+    /// linked files (whose placement is recorded, not computed).
+    pub fn node_of(&self, block: u64) -> Option<LfsIndex> {
+        let p = u64::from(self.breadth);
+        match self.kind {
+            PlacementKind::RoundRobin { start } => {
+                Some(LfsIndex(((block + u64::from(start)) % p) as u32))
+            }
+            PlacementKind::Chunked { blocks_per_chunk } => {
+                let chunk = block / u64::from(blocks_per_chunk);
+                Some(LfsIndex((chunk % p) as u32))
+            }
+            PlacementKind::Hashed { seed } => Some(LfsIndex(hash_node(block, seed, self.breadth))),
+            PlacementKind::Linked => None,
+        }
+    }
+
+    /// Full location of global block `block`.
+    ///
+    /// O(1) for round-robin and chunked placement; **O(block)** for hashed
+    /// placement (the local index is the count of earlier blocks hashed to
+    /// the same node — exactly the bookkeeping cost the paper holds against
+    /// hashing); `None` for linked files.
+    pub fn locate(&self, block: u64) -> Option<GlobalPtr> {
+        let p = u64::from(self.breadth);
+        match self.kind {
+            PlacementKind::RoundRobin { start } => Some(GlobalPtr {
+                lfs: LfsIndex(((block + u64::from(start)) % p) as u32),
+                local: (block / p) as u32,
+            }),
+            PlacementKind::Chunked { blocks_per_chunk } => {
+                let cs = u64::from(blocks_per_chunk);
+                let chunk = block / cs;
+                let node = (chunk % p) as u32;
+                let round = chunk / p;
+                Some(GlobalPtr {
+                    lfs: LfsIndex(node),
+                    local: (round * cs + block % cs) as u32,
+                })
+            }
+            PlacementKind::Hashed { seed } => {
+                let node = hash_node(block, seed, self.breadth);
+                let local = (0..block)
+                    .filter(|&j| hash_node(j, seed, self.breadth) == node)
+                    .count() as u32;
+                Some(GlobalPtr {
+                    lfs: LfsIndex(node),
+                    local,
+                })
+            }
+            PlacementKind::Linked => None,
+        }
+    }
+
+    /// A cursor that yields successive block locations in O(1) amortized
+    /// per step (incremental per-node counters make hashed placement cheap
+    /// when traversed in order).
+    pub fn cursor(&self) -> PlacementCursor {
+        PlacementCursor {
+            placement: *self,
+            next_block: 0,
+            per_node: vec![0; self.breadth as usize],
+        }
+    }
+}
+
+/// Iterates block locations in global order; see [`Placement::cursor`].
+#[derive(Debug, Clone)]
+pub struct PlacementCursor {
+    placement: Placement,
+    next_block: u64,
+    per_node: Vec<u32>,
+}
+
+impl PlacementCursor {
+    /// The global block number the next call to `next` will locate.
+    pub fn position(&self) -> u64 {
+        self.next_block
+    }
+
+    /// Location of the next block in sequence, or `None` for linked files.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: never ends
+    pub fn next(&mut self) -> Option<GlobalPtr> {
+        let block = self.next_block;
+        let ptr = match self.placement.kind {
+            PlacementKind::Hashed { seed } => {
+                let node = hash_node(block, seed, self.placement.breadth);
+                let local = self.per_node[node as usize];
+                self.per_node[node as usize] += 1;
+                Some(GlobalPtr {
+                    lfs: LfsIndex(node),
+                    local,
+                })
+            }
+            _ => self.placement.locate(block),
+        };
+        self.next_block += 1;
+        ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn assert_dense_bijection(placement: &Placement, blocks: u64) {
+        // Injective, and per-node locals are 0..count with no holes.
+        let mut seen = HashSet::new();
+        let mut per_node: HashMap<u32, Vec<u32>> = HashMap::new();
+        for b in 0..blocks {
+            let ptr = placement.locate(b).expect("computable placement");
+            assert!(seen.insert((ptr.lfs.0, ptr.local)), "collision at block {b}");
+            per_node.entry(ptr.lfs.0).or_default().push(ptr.local);
+        }
+        for (node, mut locals) in per_node {
+            locals.sort_unstable();
+            for (i, l) in locals.iter().enumerate() {
+                assert_eq!(*l as usize, i, "node {node} locals not dense");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_matches_paper_formula() {
+        // "the nth block of an interleaved file will be block (n div p) in
+        // the constituent file on LFS (n mod p)"
+        let p = Placement::new(PlacementKind::RoundRobin { start: 0 }, 9);
+        for n in 0..100u64 {
+            let ptr = p.locate(n).unwrap();
+            assert_eq!(u64::from(ptr.lfs.0), n % 9);
+            assert_eq!(u64::from(ptr.local), n / 9);
+        }
+    }
+
+    #[test]
+    fn round_robin_start_rotation() {
+        // "if the round-robin distribution can start on any node, then the
+        // nth block will be found on processor ((n + k) mod p)"
+        let p = Placement::new(PlacementKind::RoundRobin { start: 3 }, 5);
+        for n in 0..40u64 {
+            assert_eq!(u64::from(p.node_of(n).unwrap().0), (n + 3) % 5);
+        }
+        assert_dense_bijection(&p, 203);
+    }
+
+    #[test]
+    fn round_robin_consecutive_blocks_on_distinct_nodes() {
+        // The guarantee the paper calls optimal: any p consecutive blocks
+        // land on p different nodes.
+        let breadth = 7;
+        let p = Placement::new(PlacementKind::RoundRobin { start: 2 }, breadth);
+        for window in 0..50u64 {
+            let nodes: HashSet<u32> = (window..window + u64::from(breadth))
+                .map(|b| p.node_of(b).unwrap().0)
+                .collect();
+            assert_eq!(nodes.len(), breadth as usize);
+        }
+    }
+
+    #[test]
+    fn chunked_is_contiguous_and_dense() {
+        let p = Placement::new(PlacementKind::Chunked { blocks_per_chunk: 10 }, 4);
+        // Blocks 0..10 on node 0, 10..20 on node 1, …
+        assert_eq!(p.node_of(0).unwrap().0, 0);
+        assert_eq!(p.node_of(9).unwrap().0, 0);
+        assert_eq!(p.node_of(10).unwrap().0, 1);
+        assert_eq!(p.node_of(39).unwrap().0, 3);
+        // Overflow past p chunks wraps (appending beyond the size hint).
+        assert_eq!(p.node_of(40).unwrap().0, 0);
+        assert_eq!(p.locate(40).unwrap().local, 10);
+        assert_dense_bijection(&p, 137);
+    }
+
+    #[test]
+    fn hashed_is_dense_and_consecutive_blocks_often_collide() {
+        let breadth = 8;
+        let p = Placement::new(PlacementKind::Hashed { seed: 42 }, breadth);
+        assert_dense_bijection(&p, 300);
+        // The paper's complaint: the probability that p consecutive blocks
+        // land on p distinct nodes is extremely low. Check it empirically.
+        let mut all_distinct = 0;
+        let windows = 200u64;
+        for w in 0..windows {
+            let nodes: HashSet<u32> = (w..w + u64::from(breadth))
+                .map(|b| p.node_of(b).unwrap().0)
+                .collect();
+            if nodes.len() == breadth as usize {
+                all_distinct += 1;
+            }
+        }
+        // Expected fraction is 8!/8^8 ≈ 0.24%; allow generous slack.
+        assert!(
+            all_distinct < windows / 10,
+            "hashed placement rarely spreads p consecutive blocks: {all_distinct}/{windows}"
+        );
+    }
+
+    #[test]
+    fn cursor_agrees_with_locate() {
+        for kind in [
+            PlacementKind::RoundRobin { start: 1 },
+            PlacementKind::Chunked { blocks_per_chunk: 7 },
+            PlacementKind::Hashed { seed: 9 },
+        ] {
+            let p = Placement::new(kind, 5);
+            let mut cursor = p.cursor();
+            for b in 0..200u64 {
+                assert_eq!(cursor.position(), b);
+                assert_eq!(cursor.next(), p.locate(b), "{kind:?} block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn linked_has_no_computable_placement() {
+        let p = Placement::new(PlacementKind::Linked, 4);
+        assert_eq!(p.node_of(0), None);
+        assert_eq!(p.locate(0), None);
+        assert_eq!(p.cursor().next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_breadth_rejected() {
+        let _ = Placement::new(PlacementKind::Linked, 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! The Bridge Server command set (the paper's Table 1) and its replies.
+//!
+//! Three views are expressed over one protocol:
+//!
+//! 1. the **naive view**: `Create`, `Delete`, `Open`, `SeqRead`/`SeqWrite`,
+//!    `RandRead`/`RandWrite` — "users who want to access data without
+//!    bothering with the interleaved structure";
+//! 2. the **parallel-open view**: `ParallelOpen` groups a controller and
+//!    `t` workers into a job; each `JobRead`/`JobWrite` moves `t` blocks in
+//!    lock step, with the server simulating any degree of parallelism;
+//! 3. the **tool view**: `GetInfo` and the structural contents of
+//!    [`OpenInfo`] let a program become part of the file system, talking to
+//!    the LFS instances directly.
+
+use crate::error::BridgeError;
+use crate::header::GlobalPtr;
+use crate::ids::{BridgeFileId, JobId, LfsIndex};
+use crate::placement::PlacementKind;
+use crate::redundancy::Redundancy;
+use bridge_efs::LfsFileId;
+use parsim::{NodeId, ProcId};
+
+/// Placement requested at file creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementSpec {
+    /// Round-robin interleaving; the server picks the start node (rotating
+    /// across creations to balance block 0 hot-spots).
+    #[default]
+    RoundRobin,
+    /// Round-robin with an explicit start node.
+    RoundRobinAt {
+        /// Position (within the file's node list) of block 0.
+        start: u32,
+    },
+    /// Gamma-style chunking; requires `size_hint` in the [`CreateSpec`].
+    Chunked,
+    /// Gamma-style hashed placement.
+    Hashed {
+        /// Hash seed.
+        seed: u64,
+    },
+    /// Disordered file: linked global pointers, arbitrary scattering.
+    Linked,
+}
+
+/// Arguments to `Create`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CreateSpec {
+    /// Placement strategy.
+    pub placement: PlacementSpec,
+    /// LFS positions (machine indexes) the file spans, in placement order;
+    /// `None` means all of them. Subsets are how the sort tool builds files
+    /// "interleaved across 2^k processors".
+    pub nodes: Option<Vec<u32>>,
+    /// Expected final size in blocks; required for chunked placement.
+    pub size_hint: Option<u64>,
+    /// Redundancy mode (requires round-robin placement and breadth ≥ 2
+    /// when not [`Redundancy::None`]).
+    pub redundancy: Redundancy,
+}
+
+/// A request to the Bridge Server.
+#[derive(Debug)]
+pub struct BridgeRequest {
+    /// Client-chosen id echoed in the reply.
+    pub id: u64,
+    /// The command.
+    pub cmd: BridgeCmd,
+}
+
+/// Commands understood by the Bridge Server (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BridgeCmd {
+    /// Create a file; returns the new file id.
+    Create(CreateSpec),
+    /// Delete a file on every constituent LFS (in parallel).
+    Delete {
+        /// File to delete.
+        file: BridgeFileId,
+    },
+    /// Delete several files at once, pipelining every LFS delete across
+    /// all of them — how tools "discard the old files in parallel".
+    DeleteMany {
+        /// Files to delete.
+        files: Vec<BridgeFileId>,
+    },
+    /// Open: a *hint* that sets up an optimized path (cursor reset, LFS
+    /// stats gathered); "there is no close operation".
+    Open {
+        /// File to open.
+        file: BridgeFileId,
+    },
+    /// Read the next block sequentially (per-client cursor).
+    SeqRead {
+        /// File to read.
+        file: BridgeFileId,
+    },
+    /// Append one block of data (at most 960 bytes).
+    SeqWrite {
+        /// File to append to.
+        file: BridgeFileId,
+        /// Block data.
+        data: Vec<u8>,
+    },
+    /// Read a specific global block.
+    RandRead {
+        /// File to read.
+        file: BridgeFileId,
+        /// Global block number.
+        block: u64,
+    },
+    /// Overwrite a specific global block (must exist).
+    RandWrite {
+        /// File to write.
+        file: BridgeFileId,
+        /// Global block number.
+        block: u64,
+        /// Block data (at most 960 bytes).
+        data: Vec<u8>,
+    },
+    /// Group the sender (controller) and `workers` into a job on `file`.
+    ParallelOpen {
+        /// File the job reads or writes.
+        file: BridgeFileId,
+        /// The worker processes, in block-delivery order.
+        workers: Vec<ProcId>,
+    },
+    /// Move the next `t` blocks to the job's workers, one each, in lock
+    /// step ("groups of p disk accesses in parallel" when `t > p`).
+    JobRead {
+        /// The job.
+        job: JobId,
+    },
+    /// Gather one block from each worker and append them in worker order.
+    JobWrite {
+        /// The job.
+        job: JobId,
+    },
+    /// Discard a job's state. (Not in Table 1 — the paper's jobs die with
+    /// their processes; a testbed prefers explicit cleanup.)
+    JobClose {
+        /// The job.
+        job: JobId,
+    },
+    /// Repair a redundant file after a node failure: re-derive every
+    /// missing or stale component (data copy, mirror copy, parity block)
+    /// from the surviving ones. Requires all nodes up.
+    Rebuild {
+        /// File to repair.
+        file: BridgeFileId,
+    },
+    /// Structural information for tools.
+    GetInfo,
+}
+
+/// A reply from the Bridge Server.
+#[derive(Debug)]
+pub struct BridgeReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Outcome.
+    pub result: Result<BridgeData, BridgeError>,
+}
+
+/// Successful reply payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BridgeData {
+    /// `Create` succeeded.
+    Created(BridgeFileId),
+    /// `Delete` succeeded; total blocks freed across all LFS instances.
+    Deleted {
+        /// Blocks freed.
+        blocks: u64,
+    },
+    /// `Open` succeeded.
+    Opened(OpenInfo),
+    /// A block's 960 data bytes.
+    Block(Vec<u8>),
+    /// Sequential read reached end of file.
+    Eof,
+    /// A write landed; which global block it became.
+    Written {
+        /// Global block number written.
+        block: u64,
+    },
+    /// `ParallelOpen` succeeded.
+    JobOpened(JobId),
+    /// `JobRead` finished a lock-step round.
+    JobReadDone {
+        /// Blocks delivered to workers this round (< t means EOF hit).
+        delivered: u32,
+        /// True if the file is exhausted.
+        eof: bool,
+    },
+    /// `JobWrite` finished a lock-step round.
+    JobWritten {
+        /// Blocks accepted (< t means some worker signalled end).
+        accepted: u32,
+    },
+    /// `JobClose` succeeded.
+    JobClosed,
+    /// `Rebuild` finished.
+    Rebuilt {
+        /// Components (data blocks, mirror copies, parity blocks)
+        /// rewritten.
+        repaired: u64,
+    },
+    /// `GetInfo` result.
+    Info(MachineInfo),
+}
+
+/// Everything a tool needs to bypass the server: the paper's `Open` returns
+/// "LFS local names for all the pieces of a file, allowing it to translate
+/// between global and local block names".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenInfo {
+    /// The file.
+    pub file: BridgeFileId,
+    /// Global size in blocks.
+    pub size: u64,
+    /// Resolved placement (with the actual start node / chunk size).
+    pub placement: PlacementKind,
+    /// Redundancy mode.
+    pub redundancy: Redundancy,
+    /// The constituent LFS instances, in placement order.
+    pub nodes: Vec<LfsSlice>,
+    /// The numeric local file name (the same on every constituent LFS).
+    pub lfs_file: LfsFileId,
+    /// Head of the chain (linked files).
+    pub head: Option<GlobalPtr>,
+    /// Tail of the chain (linked files).
+    pub tail: Option<GlobalPtr>,
+}
+
+/// One constituent of an open file: where its column lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfsSlice {
+    /// The machine-wide LFS index.
+    pub index: LfsIndex,
+    /// The LFS server process.
+    pub proc: ProcId,
+    /// The node it runs on (spawn tool workers here).
+    pub node: NodeId,
+    /// Blocks of this file held locally.
+    pub local_size: u32,
+}
+
+/// Machine-level structural information (`GetInfo`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineInfo {
+    /// Number of LFS instances (p).
+    pub breadth: u32,
+    /// Each LFS server process and its node, by machine index.
+    pub lfs: Vec<(ProcId, NodeId)>,
+    /// The Bridge Server's own node.
+    pub server_node: NodeId,
+}
+
+/// Server → worker: one lock-step block delivery (`None` = no block for
+/// you this round; the file ran out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobDeliver {
+    /// The job.
+    pub job: JobId,
+    /// Global block number (meaningful when `data` is `Some`).
+    pub block: u64,
+    /// The 960 data bytes, or `None` at end of file.
+    pub data: Option<Vec<u8>>,
+}
+
+/// Server → worker: request for the worker's next block during `JobWrite`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRequest {
+    /// The job.
+    pub job: JobId,
+    /// Global block number this worker's data will become.
+    pub block: u64,
+}
+
+/// Worker → server: the block requested by [`JobRequest`] (`None` = this
+/// worker has no more data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSupply {
+    /// The job.
+    pub job: JobId,
+    /// Echo of the requested global block number.
+    pub block: u64,
+    /// The data, or `None` to signal end.
+    pub data: Option<Vec<u8>>,
+}
+
+/// Server/agent → agent: create an LFS file across a subtree of nodes,
+/// fanning out through "an embedded binary tree" (the paper's §4.5
+/// suggestion for removing Create's serial initiation).
+#[derive(Debug, Clone)]
+pub struct FanoutCreate {
+    /// Correlates acks with requests across concurrent fan-outs.
+    pub id: u64,
+    /// The numeric local file name to create everywhere.
+    pub lfs_file: LfsFileId,
+    /// Redundancy companion file (mirror/parity) to create alongside.
+    pub companion: Option<LfsFileId>,
+    /// Remaining (agent, LFS server) pairs; the receiver is `targets[0]`
+    /// and forwards the two halves of the rest to its children.
+    pub targets: Vec<(ProcId, ProcId)>,
+}
+
+/// Agent → parent: aggregated completion of a [`FanoutCreate`] subtree.
+#[derive(Debug, Clone)]
+pub struct FanoutAck {
+    /// Echo of the request id.
+    pub id: u64,
+    /// First failure in the subtree, if any.
+    pub result: Result<(), crate::error::BridgeError>,
+}
+
+/// Wire size charged for a request.
+pub fn request_wire_size(cmd: &BridgeCmd) -> usize {
+    match cmd {
+        BridgeCmd::SeqWrite { data, .. } | BridgeCmd::RandWrite { data, .. } => 48 + data.len(),
+        BridgeCmd::ParallelOpen { workers, .. } => 48 + workers.len() * 8,
+        _ => 48,
+    }
+}
+
+/// Wire size charged for a reply.
+pub fn reply_wire_size(reply: &BridgeReply) -> usize {
+    match &reply.result {
+        Ok(BridgeData::Block(data)) => 48 + data.len(),
+        Ok(BridgeData::Opened(info)) => 64 + info.nodes.len() * 24,
+        Ok(BridgeData::Info(info)) => 48 + info.lfs.len() * 16,
+        _ => 48,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = request_wire_size(&BridgeCmd::GetInfo);
+        let write = request_wire_size(&BridgeCmd::SeqWrite {
+            file: BridgeFileId(1),
+            data: vec![0; 960],
+        });
+        assert!(write > small + 900);
+
+        let block = reply_wire_size(&BridgeReply {
+            id: 1,
+            result: Ok(BridgeData::Block(vec![0; 960])),
+        });
+        let done = reply_wire_size(&BridgeReply {
+            id: 1,
+            result: Ok(BridgeData::Eof),
+        });
+        assert!(block > done + 900);
+    }
+
+    #[test]
+    fn create_spec_default_is_round_robin_all_nodes() {
+        let spec = CreateSpec::default();
+        assert_eq!(spec.placement, PlacementSpec::RoundRobin);
+        assert!(spec.nodes.is_none());
+        assert!(spec.size_hint.is_none());
+    }
+}

@@ -1,0 +1,241 @@
+//! Redundancy for interleaved files.
+//!
+//! Section 6 of the paper: "interleaved files (like striped files and
+//! storage arrays) are inherently intolerant of faults. A failure anywhere
+//! in the system is fatal; it ruins every file. Replication helps, but
+//! only at very high cost. Storage capacity must be doubled … One might
+//! hope to reduce the amount of space required by using an
+//! error-correcting scheme like that of the Connection Machine, but we see
+//! no obvious way to do so in a MIMD environment with block-level
+//! interleaving."
+//!
+//! This module implements both options the authors weighed:
+//!
+//! * [`Redundancy::Mirrored`] — every block is written twice, on adjacent
+//!   LFS positions (the 2× capacity cost the paper notes);
+//! * [`Redundancy::Parity`] — the scheme the paper thought obstructed:
+//!   blocks are grouped into stripes of `p−1`, each stripe's XOR parity
+//!   stored on a rotating parity position ([`ParityLayout`]), for a
+//!   capacity overhead of `p/(p−1)` and single-failure tolerance. (RAID
+//!   level 5 was published the same year as Bridge; this is its
+//!   block-interleaved MIMD realization.)
+
+use crate::header::GlobalPtr;
+use crate::ids::LfsIndex;
+
+/// Redundancy mode of a Bridge file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Redundancy {
+    /// No redundancy: any node failure ruins the file (the prototype's
+    /// behaviour the paper worries about).
+    #[default]
+    None,
+    /// Every block mirrored on the next LFS position: survives one
+    /// failure at 2× capacity.
+    Mirrored,
+    /// Rotating XOR parity over stripes of `p−1` blocks: survives one
+    /// failure at `p/(p−1)` capacity.
+    Parity,
+}
+
+/// The rotating-parity layout for breadth `p` (positions, not machine
+/// indexes): stripe `s` holds data blocks `s·(p−1) .. (s+1)·(p−1)` on the
+/// `p−1` positions that are not `s mod p`, and its parity block on
+/// position `s mod p`. Every position holds exactly one block (data or
+/// parity) per stripe, so all local files grow in lock step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityLayout {
+    breadth: u32,
+}
+
+impl ParityLayout {
+    /// Creates the layout for `breadth` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `breadth < 2` (parity needs somewhere else to stand).
+    pub fn new(breadth: u32) -> Self {
+        assert!(breadth >= 2, "parity needs at least two LFS positions");
+        ParityLayout { breadth }
+    }
+
+    /// Data blocks per stripe.
+    pub fn stripe_width(&self) -> u64 {
+        u64::from(self.breadth) - 1
+    }
+
+    /// The stripe containing data block `block`.
+    pub fn stripe_of(&self, block: u64) -> u64 {
+        block / self.stripe_width()
+    }
+
+    /// The position holding stripe `s`'s parity block.
+    pub fn parity_position(&self, stripe: u64) -> u32 {
+        (stripe % u64::from(self.breadth)) as u32
+    }
+
+    /// The position holding data block `block`.
+    pub fn data_position(&self, block: u64) -> u32 {
+        let j = (block % self.stripe_width()) as u32;
+        let hole = self.parity_position(self.stripe_of(block));
+        if j < hole {
+            j
+        } else {
+            j + 1
+        }
+    }
+
+    /// How many stripes in `[0, stripe)` put their parity on `position`.
+    fn parity_count_before(&self, position: u32, stripe: u64) -> u64 {
+        let p = u64::from(self.breadth);
+        let n = u64::from(position);
+        if stripe > n {
+            (stripe - n - 1) / p + 1
+        } else {
+            0
+        }
+    }
+
+    /// The local block index of data block `block` within its position's
+    /// *data* LFS file (dense: parity blocks live in a separate file).
+    pub fn data_local(&self, block: u64) -> u32 {
+        let s = self.stripe_of(block);
+        let pos = self.data_position(block);
+        (s - self.parity_count_before(pos, s)) as u32
+    }
+
+    /// The full location of data block `block`, as (position, data-local).
+    pub fn locate(&self, block: u64) -> GlobalPtr {
+        GlobalPtr {
+            lfs: LfsIndex(self.data_position(block)),
+            local: self.data_local(block),
+        }
+    }
+
+    /// The local index of stripe `s`'s parity block within the parity
+    /// LFS file of its position.
+    pub fn parity_local(&self, stripe: u64) -> u32 {
+        self.parity_count_before(self.parity_position(stripe), stripe) as u32
+    }
+
+    /// The data blocks of `block`'s stripe other than `block` itself,
+    /// clipped to a file of `size` blocks — the peers XORed together with
+    /// the parity block to reconstruct `block`.
+    pub fn stripe_peers(&self, block: u64, size: u64) -> Vec<u64> {
+        let s = self.stripe_of(block);
+        let start = s * self.stripe_width();
+        let end = ((s + 1) * self.stripe_width()).min(size);
+        (start..end).filter(|&b| b != block).collect()
+    }
+}
+
+/// XORs `src` into `acc` in place, growing `acc` if needed.
+pub fn xor_into(acc: &mut Vec<u8>, src: &[u8]) {
+    if acc.len() < src.len() {
+        acc.resize(src.len(), 0);
+    }
+    for (a, &b) in acc.iter_mut().zip(src) {
+        *a ^= b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn every_stripe_touches_every_position_once() {
+        for p in [2u32, 3, 5, 8] {
+            let layout = ParityLayout::new(p);
+            for s in 0..40u64 {
+                let mut positions: HashSet<u32> = HashSet::new();
+                positions.insert(layout.parity_position(s));
+                for j in 0..layout.stripe_width() {
+                    let b = s * layout.stripe_width() + j;
+                    assert_eq!(layout.stripe_of(b), s);
+                    positions.insert(layout.data_position(b));
+                }
+                assert_eq!(positions.len(), p as usize, "p={p} stripe {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn data_locals_are_dense_per_position() {
+        for p in [2u32, 4, 7] {
+            let layout = ParityLayout::new(p);
+            let mut per_pos: HashMap<u32, Vec<u32>> = HashMap::new();
+            for b in 0..(200 * layout.stripe_width()) {
+                per_pos
+                    .entry(layout.data_position(b))
+                    .or_default()
+                    .push(layout.data_local(b));
+            }
+            for (pos, locals) in per_pos {
+                for (i, l) in locals.iter().enumerate() {
+                    assert_eq!(*l as usize, i, "p={p} position {pos}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_locals_are_dense_per_position() {
+        let p = 5u32;
+        let layout = ParityLayout::new(p);
+        let mut per_pos: HashMap<u32, Vec<u32>> = HashMap::new();
+        for s in 0..100u64 {
+            per_pos
+                .entry(layout.parity_position(s))
+                .or_default()
+                .push(layout.parity_local(s));
+        }
+        for (pos, locals) in per_pos {
+            for (i, l) in locals.iter().enumerate() {
+                assert_eq!(*l as usize, i, "position {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn data_never_shares_a_position_with_its_parity() {
+        let layout = ParityLayout::new(6);
+        for b in 0..600u64 {
+            let s = layout.stripe_of(b);
+            assert_ne!(layout.data_position(b), layout.parity_position(s));
+        }
+    }
+
+    #[test]
+    fn stripe_peers_clip_at_eof() {
+        let layout = ParityLayout::new(4); // stripe width 3
+        assert_eq!(layout.stripe_peers(0, 10), vec![1, 2]);
+        assert_eq!(layout.stripe_peers(4, 10), vec![3, 5]);
+        // Last stripe of a 10-block file holds blocks 9 only.
+        assert_eq!(layout.stripe_peers(9, 10), Vec::<u64>::new());
+        assert_eq!(layout.stripe_peers(7, 8), vec![6]);
+    }
+
+    #[test]
+    fn xor_reconstruction_identity() {
+        // parity = b0 ^ b1 ^ b2  ⇒  b1 = parity ^ b0 ^ b2.
+        let b0 = vec![1u8, 2, 3, 4];
+        let b1 = vec![9u8, 8, 7, 6];
+        let b2 = vec![0xa5u8; 4];
+        let mut parity = Vec::new();
+        xor_into(&mut parity, &b0);
+        xor_into(&mut parity, &b1);
+        xor_into(&mut parity, &b2);
+        let mut rec = parity.clone();
+        xor_into(&mut rec, &b0);
+        xor_into(&mut rec, &b2);
+        assert_eq!(rec, b1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn parity_needs_two_positions() {
+        let _ = ParityLayout::new(1);
+    }
+}

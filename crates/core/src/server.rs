@@ -1,0 +1,1528 @@
+//! The Bridge Server process.
+//!
+//! "The Bridge Server is the interface between the Bridge file system and
+//! user programs. Its function is to glue the local file systems together
+//! into a single logical structure. In our implementation the Bridge
+//! Server is a single centralized process" — as here. It owns the Bridge
+//! directory (file id → constituent LFS files, placement, size), enforces
+//! the monitor discipline around Create/Delete/Open, forwards naive
+//! requests to the right LFS with disk-address hints, and runs
+//! parallel-open jobs in lock-step waves of `p`.
+
+use crate::error::BridgeError;
+use crate::header::{decode_payload, encode_payload, BridgeHeader, GlobalPtr, BRIDGE_DATA};
+use crate::ids::{BridgeFileId, JobId, LfsIndex};
+use crate::placement::{Placement, PlacementCursor, PlacementKind};
+use crate::redundancy::{xor_into, ParityLayout, Redundancy};
+use crate::protocol::{
+    reply_wire_size, BridgeCmd, BridgeData, BridgeReply, BridgeRequest, CreateSpec, FanoutAck,
+    FanoutCreate, JobDeliver, JobRequest, JobSupply, LfsSlice, MachineInfo, OpenInfo,
+    PlacementSpec,
+};
+use bridge_efs::{EfsError, LfsClient, LfsData, LfsFileId, LfsOp};
+use parsim::{Ctx, NodeId, ProcId, SimDuration, Simulation};
+use simdisk::BlockAddr;
+use std::collections::HashMap;
+
+/// Tuning knobs for the Bridge Server.
+///
+/// The two `create_*` costs model the serial initiation and completion
+/// handling the paper blames for Create's `145 + 17.5p` ms profile:
+/// "initiation and termination are sequential, leading to an almost linear
+/// increase in overhead for additional processors".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeServerConfig {
+    /// CPU time charged to accept and decode any request.
+    pub cpu_per_request: SimDuration,
+    /// Serial CPU time to initiate one LFS operation during Create.
+    pub create_init_cpu: SimDuration,
+    /// Serial CPU time to process one LFS completion during Create.
+    pub create_ack_cpu: SimDuration,
+    /// Rotate the start node of successive round-robin files so block 0
+    /// does not always hit LFS 0.
+    pub rotate_start: bool,
+    /// How Create reaches the LFS instances: the prototype's sequential
+    /// initiation (Table 2's `145 + 17.5p`), or the paper's suggested
+    /// "embedded binary tree" of per-node agents.
+    pub create_fanout: CreateFanout,
+}
+
+/// Create's fan-out topology (see [`BridgeServerConfig::create_fanout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CreateFanout {
+    /// The server initiates each LFS create itself, serially.
+    #[default]
+    Serial,
+    /// Per-node agents relay the create down a binary tree.
+    Tree,
+}
+
+impl Default for BridgeServerConfig {
+    fn default() -> Self {
+        BridgeServerConfig {
+            cpu_per_request: SimDuration::from_millis(1),
+            create_init_cpu: SimDuration::from_millis(9),
+            create_ack_cpu: SimDuration::from_millis(8),
+            rotate_start: true,
+            create_fanout: CreateFanout::Serial,
+        }
+    }
+}
+
+/// LFS file-id bit marking a mirror companion file.
+const MIRROR_BIT: u32 = 0x4000_0000;
+/// LFS file-id bit marking a parity companion file.
+const PARITY_BIT: u32 = 0x2000_0000;
+
+/// Collapses a write outcome for redundant files: `Ok(true)` = landed,
+/// `Ok(false)` = that component's node has failed (tolerable alone),
+/// `Err` = a real error.
+fn ok_or_failed<T>(r: Result<T, BridgeError>) -> Result<bool, BridgeError> {
+    match r {
+        Ok(_) => Ok(true),
+        Err(BridgeError::Lfs(EfsError::NodeFailed)) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Per-file directory record.
+#[derive(Debug)]
+struct FileMeta {
+    lfs_file: LfsFileId,
+    redundancy: Redundancy,
+    /// Machine LFS indexes the file spans, in placement order.
+    nodes: Vec<u32>,
+    placement: Placement,
+    size: u64,
+    /// Linked files: chain endpoints (machine-indexed pointers).
+    head: Option<GlobalPtr>,
+    tail: Option<GlobalPtr>,
+    /// Linked files: local size per *position* (next local block to use).
+    linked_locals: Vec<u32>,
+    /// Hashed placement: memoized locations (position-indexed pointers).
+    hashed_cache: Vec<GlobalPtr>,
+    hashed_cursor: Option<PlacementCursor>,
+    /// Last known disk address per machine LFS index, passed as hints.
+    hints: Vec<Option<BlockAddr>>,
+}
+
+impl FileMeta {
+    /// Position-space location of a strictly placed global block (lfs =
+    /// position within `nodes`, not a machine index).
+    fn locate_pos(&mut self, block: u64) -> Result<GlobalPtr, BridgeError> {
+        if self.redundancy == Redundancy::Parity {
+            return Ok(ParityLayout::new(self.placement.breadth()).locate(block));
+        }
+        let pos = match self.placement.kind() {
+            PlacementKind::Hashed { .. } => {
+                while self.hashed_cache.len() as u64 <= block {
+                    let cursor = self
+                        .hashed_cursor
+                        .get_or_insert_with(|| self.placement.cursor());
+                    let ptr = cursor.next().expect("hashed placement is computable");
+                    self.hashed_cache.push(ptr);
+                }
+                self.hashed_cache[block as usize]
+            }
+            PlacementKind::Linked => {
+                return Err(BridgeError::LinkedUnsupported { op: "direct placement" })
+            }
+            _ => self.placement.locate(block).expect("computable placement"),
+        };
+        Ok(pos)
+    }
+
+    /// Translates a position-space pointer to machine indexes.
+    fn to_machine(&self, pos: GlobalPtr) -> GlobalPtr {
+        GlobalPtr {
+            lfs: LfsIndex(self.nodes[pos.lfs.index()]),
+            local: pos.local,
+        }
+    }
+
+    /// Machine-indexed location of a strictly placed global block.
+    fn locate(&mut self, block: u64) -> Result<GlobalPtr, BridgeError> {
+        let pos = self.locate_pos(block)?;
+        Ok(self.to_machine(pos))
+    }
+
+    /// The mirror location (position-space) of a data block at `pos`.
+    fn mirror_pos(&self, pos: GlobalPtr) -> GlobalPtr {
+        GlobalPtr {
+            lfs: LfsIndex((pos.lfs.0 + 1) % self.placement.breadth()),
+            local: pos.local,
+        }
+    }
+}
+
+/// Per-(client, file) sequential cursor.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cursor {
+    next_block: u64,
+    /// Linked files: where `next_block` lives, when known.
+    linked_pos: Option<GlobalPtr>,
+}
+
+#[derive(Debug)]
+struct Job {
+    file: BridgeFileId,
+    controller: ProcId,
+    workers: Vec<ProcId>,
+    cursor: u64,
+}
+
+struct Server {
+    lfs: Vec<(ProcId, NodeId)>,
+    /// Per-node fan-out agents (parallel to `lfs`); empty when the machine
+    /// was built without them.
+    agents: Vec<ProcId>,
+    my_node: NodeId,
+    config: BridgeServerConfig,
+    files: HashMap<BridgeFileId, FileMeta>,
+    cursors: HashMap<(ProcId, BridgeFileId), Cursor>,
+    jobs: HashMap<JobId, Job>,
+    next_file: u32,
+    next_job: u64,
+    next_start: u32,
+    next_fanout: u64,
+    client: LfsClient,
+}
+
+/// Spawns the Bridge Server on `node`, gluing together the given LFS
+/// server processes. `agents` are the per-node fan-out agents (one per
+/// LFS, or empty to force serial creates). Returns the server's process
+/// id.
+pub fn spawn_bridge_server(
+    sim: &mut Simulation,
+    node: NodeId,
+    name: impl Into<String>,
+    lfs: Vec<(ProcId, NodeId)>,
+    agents: Vec<ProcId>,
+    config: BridgeServerConfig,
+) -> ProcId {
+    assert!(!lfs.is_empty(), "a Bridge machine needs at least one LFS");
+    assert!(
+        agents.is_empty() || agents.len() == lfs.len(),
+        "agents must be one per LFS (or absent)"
+    );
+    sim.spawn(node, name, move |ctx| {
+        let mut server = Server {
+            lfs,
+            agents,
+            my_node: ctx.node(),
+            config,
+            files: HashMap::new(),
+            cursors: HashMap::new(),
+            jobs: HashMap::new(),
+            next_file: 1,
+            next_job: 1,
+            next_start: 0,
+            next_fanout: 1,
+            client: LfsClient::new(),
+        };
+        loop {
+            let env = ctx.recv_where(|e| e.is::<BridgeRequest>());
+            let from = env.from();
+            let req = env.downcast::<BridgeRequest>().expect("matched type");
+            ctx.delay(server.config.cpu_per_request);
+            let result = server.dispatch(ctx, from, req.cmd);
+            let reply = BridgeReply { id: req.id, result };
+            let bytes = reply_wire_size(&reply);
+            ctx.send_sized(from, reply, bytes);
+        }
+    })
+}
+
+/// Spawns a fan-out agent on `node`: a small resident process that relays
+/// [`FanoutCreate`] requests down the embedded binary tree, performs the
+/// create at its local LFS, and aggregates acknowledgements upward.
+/// `relay_cpu` is the CPU cost the agent pays per message it initiates.
+pub fn spawn_bridge_agent(
+    sim: &mut Simulation,
+    node: NodeId,
+    name: impl Into<String>,
+    relay_cpu: SimDuration,
+) -> ProcId {
+    sim.spawn(node, name, move |ctx| {
+        let mut client = LfsClient::new();
+        loop {
+            let env = ctx.recv_where(|e| e.is::<FanoutCreate>());
+            let parent = env.from();
+            let req = env.downcast::<FanoutCreate>().expect("matched");
+            let id = req.id;
+            let mut targets = req.targets;
+            let (_, my_lfs) = targets.remove(0);
+            let mid = targets.len() / 2;
+            let right = targets.split_off(mid);
+            let left = targets;
+            let mut children = 0;
+            for half in [left, right] {
+                if let Some(&(agent, _)) = half.first() {
+                    ctx.delay(relay_cpu);
+                    ctx.send(
+                        agent,
+                        FanoutCreate {
+                            id,
+                            lfs_file: req.lfs_file,
+                            companion: req.companion,
+                            targets: half,
+                        },
+                    );
+                    children += 1;
+                }
+            }
+            ctx.delay(relay_cpu);
+            let mut result = client
+                .call(ctx, my_lfs, LfsOp::Create { file: req.lfs_file })
+                .map(|_| ())
+                .map_err(BridgeError::Lfs);
+            if result.is_ok() {
+                if let Some(companion) = req.companion {
+                    result = client
+                        .call(ctx, my_lfs, LfsOp::Create { file: companion })
+                        .map(|_| ())
+                        .map_err(BridgeError::Lfs);
+                }
+            }
+            for _ in 0..children {
+                let env = ctx.recv_where(move |e| {
+                    e.downcast_ref::<FanoutAck>().is_some_and(|a| a.id == id)
+                });
+                let ack = env.downcast::<FanoutAck>().expect("matched");
+                if result.is_ok() {
+                    result = ack.result;
+                }
+            }
+            ctx.send(parent, FanoutAck { id, result });
+        }
+    })
+}
+
+impl Server {
+    fn breadth(&self) -> u32 {
+        self.lfs.len() as u32
+    }
+
+    fn lfs_proc(&self, machine_index: LfsIndex) -> ProcId {
+        self.lfs[machine_index.index()].0
+    }
+
+    fn meta(&mut self, file: BridgeFileId) -> Result<&mut FileMeta, BridgeError> {
+        self.files
+            .get_mut(&file)
+            .ok_or(BridgeError::UnknownFile(file))
+    }
+
+    fn dispatch(
+        &mut self,
+        ctx: &mut Ctx,
+        from: ProcId,
+        cmd: BridgeCmd,
+    ) -> Result<BridgeData, BridgeError> {
+        match cmd {
+            BridgeCmd::Create(spec) => self.create(ctx, spec),
+            BridgeCmd::Delete { file } => self.delete(ctx, vec![file]),
+            BridgeCmd::DeleteMany { files } => self.delete(ctx, files),
+            BridgeCmd::Open { file } => self.open(ctx, from, file),
+            BridgeCmd::SeqRead { file } => self.seq_read(ctx, from, file),
+            BridgeCmd::SeqWrite { file, data } => self.append(ctx, file, &data).map(|block| {
+                BridgeData::Written { block }
+            }),
+            BridgeCmd::RandRead { file, block } => self.rand_read(ctx, file, block),
+            BridgeCmd::RandWrite { file, block, data } => self.rand_write(ctx, file, block, &data),
+            BridgeCmd::ParallelOpen { file, workers } => self.parallel_open(from, file, workers),
+            BridgeCmd::JobRead { job } => self.job_read(ctx, from, job),
+            BridgeCmd::JobWrite { job } => self.job_write(ctx, from, job),
+            BridgeCmd::JobClose { job } => {
+                let j = self.jobs.remove(&job).ok_or(BridgeError::UnknownJob(job))?;
+                if j.controller != from {
+                    self.jobs.insert(job, j);
+                    return Err(BridgeError::UnknownJob(job));
+                }
+                Ok(BridgeData::JobClosed)
+            }
+            BridgeCmd::Rebuild { file } => self.rebuild(ctx, file),
+            BridgeCmd::GetInfo => Ok(BridgeData::Info(MachineInfo {
+                breadth: self.breadth(),
+                lfs: self.lfs.clone(),
+                server_node: self.my_node,
+            })),
+        }
+    }
+
+    /// Pipelines one LFS op per (proc, op) pair and collects results in
+    /// order: the server "starts all the LFS operations before waiting for
+    /// them".
+    fn call_many(
+        &mut self,
+        ctx: &mut Ctx,
+        calls: Vec<(ProcId, LfsOp)>,
+    ) -> Vec<Result<LfsData, bridge_efs::EfsError>> {
+        let ids: Vec<(ProcId, u64)> = calls
+            .into_iter()
+            .map(|(proc, op)| (proc, self.client.send(ctx, proc, op)))
+            .collect();
+        ids.into_iter()
+            .map(|(proc, id)| self.client.wait(ctx, proc, id))
+            .collect()
+    }
+
+    fn create(&mut self, ctx: &mut Ctx, spec: CreateSpec) -> Result<BridgeData, BridgeError> {
+        let machine_breadth = self.breadth();
+        let nodes: Vec<u32> = match spec.nodes {
+            Some(nodes) => {
+                for &n in &nodes {
+                    if n >= machine_breadth {
+                        return Err(BridgeError::BadNodeSet {
+                            index: n,
+                            breadth: machine_breadth,
+                        });
+                    }
+                }
+                if nodes.is_empty() {
+                    return Err(BridgeError::BadNodeSet {
+                        index: 0,
+                        breadth: machine_breadth,
+                    });
+                }
+                nodes
+            }
+            None => (0..machine_breadth).collect(),
+        };
+        let breadth = nodes.len() as u32;
+        let kind = match spec.placement {
+            PlacementSpec::RoundRobin => {
+                let start = if self.config.rotate_start {
+                    let s = self.next_start % breadth;
+                    self.next_start = self.next_start.wrapping_add(1);
+                    s
+                } else {
+                    0
+                };
+                PlacementKind::RoundRobin { start }
+            }
+            PlacementSpec::RoundRobinAt { start } => PlacementKind::RoundRobin {
+                start: start % breadth,
+            },
+            PlacementSpec::Chunked => {
+                let size = spec.size_hint.ok_or(BridgeError::ChunkingNeedsSize)?;
+                if size == 0 {
+                    return Err(BridgeError::ChunkingNeedsSize);
+                }
+                PlacementKind::Chunked {
+                    blocks_per_chunk: size.div_ceil(u64::from(breadth)).max(1) as u32,
+                }
+            }
+            PlacementSpec::Hashed { seed } => PlacementKind::Hashed { seed },
+            PlacementSpec::Linked => PlacementKind::Linked,
+        };
+
+        if spec.redundancy != Redundancy::None {
+            if breadth < 2 {
+                return Err(BridgeError::RedundancyUnsupported {
+                    why: "breadth must be at least 2",
+                });
+            }
+            if !matches!(kind, PlacementKind::RoundRobin { .. }) {
+                return Err(BridgeError::RedundancyUnsupported {
+                    why: "redundancy requires round-robin placement",
+                });
+            }
+        }
+
+        let file = BridgeFileId(self.next_file);
+        self.next_file += 1;
+        let lfs_file = LfsFileId(file.0);
+        let companion = match spec.redundancy {
+            Redundancy::None => None,
+            Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
+            Redundancy::Parity => Some(LfsFileId(file.0 | PARITY_BIT)),
+        };
+
+        match self.config.create_fanout {
+            CreateFanout::Serial => {
+                // "The Create operation must create an LFS file on each
+                // disk. Bridge gets some parallelism by starting all the
+                // LFS operations before waiting for them, but the
+                // initiation and termination are sequential."
+                let mut pending = Vec::with_capacity(nodes.len() * 2);
+                for &n in &nodes {
+                    ctx.delay(self.config.create_init_cpu);
+                    let proc = self.lfs[n as usize].0;
+                    let id = self.client.send(ctx, proc, LfsOp::Create { file: lfs_file });
+                    pending.push((proc, id));
+                    if let Some(companion) = companion {
+                        let id = self.client.send(ctx, proc, LfsOp::Create { file: companion });
+                        pending.push((proc, id));
+                    }
+                }
+                for (proc, id) in pending {
+                    self.client.wait(ctx, proc, id).map_err(BridgeError::Lfs)?;
+                    ctx.delay(self.config.create_ack_cpu);
+                }
+            }
+            CreateFanout::Tree => {
+                assert!(
+                    !self.agents.is_empty(),
+                    "tree create requires per-node agents (build the machine with them)"
+                );
+                let fanout_id = self.next_fanout;
+                self.next_fanout += 1;
+                let targets: Vec<(ProcId, ProcId)> = nodes
+                    .iter()
+                    .map(|&n| (self.agents[n as usize], self.lfs[n as usize].0))
+                    .collect();
+                ctx.delay(self.config.create_init_cpu);
+                ctx.send(
+                    targets[0].0,
+                    FanoutCreate {
+                        id: fanout_id,
+                        lfs_file,
+                        companion,
+                        targets,
+                    },
+                );
+                let env = ctx.recv_where(move |e| {
+                    e.downcast_ref::<FanoutAck>().is_some_and(|a| a.id == fanout_id)
+                });
+                let ack = env.downcast::<FanoutAck>().expect("matched");
+                ctx.delay(self.config.create_ack_cpu);
+                ack.result?;
+            }
+        }
+
+        let hints = vec![None; machine_breadth as usize];
+        self.files.insert(
+            file,
+            FileMeta {
+                lfs_file,
+                redundancy: spec.redundancy,
+                linked_locals: vec![0; nodes.len()],
+                nodes,
+                placement: Placement::new(kind, breadth),
+                size: 0,
+                head: None,
+                tail: None,
+                hashed_cache: Vec::new(),
+                hashed_cursor: None,
+                hints,
+            },
+        );
+        Ok(BridgeData::Created(file))
+    }
+
+    fn delete(&mut self, ctx: &mut Ctx, files: Vec<BridgeFileId>) -> Result<BridgeData, BridgeError> {
+        // "The Delete operation runs in parallel on all instances of the
+        // LFS, but it takes time O(n/p)." Batched deletes additionally
+        // pipeline across files, so tools can discard a whole generation of
+        // intermediates in one parallel wave.
+        let mut calls: Vec<(ProcId, LfsOp)> = Vec::new();
+        let mut tolerant = Vec::new();
+        for &file in &files {
+            let meta = self.files.remove(&file).ok_or(BridgeError::UnknownFile(file))?;
+            let companion = match meta.redundancy {
+                Redundancy::None => None,
+                Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
+                Redundancy::Parity => Some(LfsFileId(file.0 | PARITY_BIT)),
+            };
+            for &n in &meta.nodes {
+                let proc = self.lfs[n as usize].0;
+                calls.push((proc, LfsOp::Delete { file: meta.lfs_file }));
+                tolerant.push(meta.redundancy != Redundancy::None);
+                if let Some(companion) = companion {
+                    calls.push((proc, LfsOp::Delete { file: companion }));
+                    tolerant.push(true);
+                }
+            }
+            self.cursors.retain(|&(_, f), _| f != file);
+            self.jobs.retain(|_, j| j.file != file);
+        }
+        let mut blocks = 0u64;
+        for (r, tolerant) in self.call_many(ctx, calls).into_iter().zip(tolerant) {
+            match r {
+                Ok(LfsData::Freed(n)) => blocks += u64::from(n),
+                Ok(_) => {}
+                // A redundant file's column on a failed node is already
+                // lost; deleting the rest must still succeed.
+                Err(EfsError::NodeFailed) if tolerant => {}
+                // An empty companion column (never written to) is fine.
+                Err(EfsError::UnknownFile(_)) if tolerant => {}
+                Err(e) => return Err(BridgeError::Lfs(e)),
+            }
+        }
+        Ok(BridgeData::Deleted { blocks })
+    }
+
+    fn open(
+        &mut self,
+        ctx: &mut Ctx,
+        from: ProcId,
+        file: BridgeFileId,
+    ) -> Result<BridgeData, BridgeError> {
+        let node_indexes: Vec<u32> = self.meta(file)?.nodes.clone();
+        let lfs_procs: Vec<ProcId> = node_indexes
+            .iter()
+            .map(|&n| self.lfs[n as usize].0)
+            .collect();
+        let lfs_file = self.files[&file].lfs_file;
+        let calls: Vec<(ProcId, LfsOp)> = lfs_procs
+            .iter()
+            .map(|&p| (p, LfsOp::Stat { file: lfs_file }))
+            .collect();
+        let stats = self.call_many(ctx, calls);
+
+        let meta = self.files.get_mut(&file).expect("checked above");
+        let mut size = 0u64;
+        let mut slices = Vec::with_capacity(meta.nodes.len());
+        let mut failures = 0u32;
+        for ((&n, proc), stat) in meta.nodes.iter().zip(lfs_procs).zip(stats) {
+            match stat {
+                Ok(LfsData::Info(info)) => {
+                    size += u64::from(info.size);
+                    if let Some(first) = info.first {
+                        meta.hints[n as usize].get_or_insert(first);
+                    }
+                    slices.push(LfsSlice {
+                        index: LfsIndex(n),
+                        proc,
+                        node: self.lfs[n as usize].1,
+                        local_size: info.size,
+                    });
+                }
+                Err(EfsError::NodeFailed) if meta.redundancy != Redundancy::None => {
+                    // Degraded open: report the column as empty and trust
+                    // the directory's cached size below.
+                    failures += 1;
+                    slices.push(LfsSlice {
+                        index: LfsIndex(n),
+                        proc,
+                        node: self.lfs[n as usize].1,
+                        local_size: 0,
+                    });
+                }
+                Ok(_) | Err(_) => {
+                    return Err(BridgeError::Corrupt(format!(
+                        "stat of {lfs_file} failed during open"
+                    )))
+                }
+            }
+        }
+        // Open refreshes the directory's size from the LFS level: tools may
+        // have grown the file behind the server's back. With a failed node
+        // the sum is incomplete, so the cached size stands.
+        if failures == 0 {
+            meta.size = size;
+        }
+        let size = meta.size;
+        self.cursors.insert((from, file), Cursor::default());
+        Ok(BridgeData::Opened(OpenInfo {
+            file,
+            size,
+            placement: meta.placement.kind(),
+            redundancy: meta.redundancy,
+            nodes: slices,
+            lfs_file,
+            head: meta.head,
+            tail: meta.tail,
+        }))
+    }
+
+    /// Reads one strictly placed block and validates its Bridge header.
+    fn read_at(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+        ptr: GlobalPtr,
+    ) -> Result<(BridgeHeader, Vec<u8>, BlockAddr), BridgeError> {
+        let lfs_file = self.files[&file].lfs_file;
+        let hint = self.files[&file].hints[ptr.lfs.index()];
+        let proc = self.lfs_proc(ptr.lfs);
+        let data = self
+            .client
+            .call(
+                ctx,
+                proc,
+                LfsOp::Read {
+                    file: lfs_file,
+                    block: ptr.local,
+                    hint,
+                },
+            )
+            .map_err(BridgeError::Lfs)?;
+        let (payload, addr) = match data {
+            LfsData::Block { data, addr } => (data, addr),
+            other => return Err(BridgeError::Corrupt(format!("unexpected LFS reply {other:?}"))),
+        };
+        let (header, body) = decode_payload(&payload)?;
+        if header.file != file || header.global_block != block {
+            return Err(BridgeError::Corrupt(format!(
+                "expected {file} block {block} at {ptr}, found {} block {}",
+                header.file, header.global_block
+            )));
+        }
+        self.files.get_mut(&file).expect("exists").hints[ptr.lfs.index()] = Some(addr);
+        Ok((header, body, addr))
+    }
+
+    /// Writes one block (overwrite or append at the LFS level).
+    fn write_at(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        ptr: GlobalPtr,
+        header: &BridgeHeader,
+        data: &[u8],
+    ) -> Result<BlockAddr, BridgeError> {
+        let lfs_file = self.files[&file].lfs_file;
+        let hint = self.files[&file].hints[ptr.lfs.index()];
+        let proc = self.lfs_proc(ptr.lfs);
+        let payload = encode_payload(header, data);
+        let reply = self
+            .client
+            .call(
+                ctx,
+                proc,
+                LfsOp::Write {
+                    file: lfs_file,
+                    block: ptr.local,
+                    data: payload,
+                    hint,
+                },
+            )
+            .map_err(BridgeError::Lfs)?;
+        match reply {
+            LfsData::Written { addr } => {
+                self.files.get_mut(&file).expect("exists").hints[ptr.lfs.index()] = Some(addr);
+                Ok(addr)
+            }
+            other => Err(BridgeError::Corrupt(format!("unexpected LFS reply {other:?}"))),
+        }
+    }
+
+    /// Low-level: reads one raw EFS payload from an arbitrary LFS file
+    /// (mirror/parity companions, stripe peers), without Bridge-header
+    /// validation.
+    fn lfs_read_payload(
+        &mut self,
+        ctx: &mut Ctx,
+        machine: LfsIndex,
+        lfs_file: LfsFileId,
+        local: u32,
+    ) -> Result<Vec<u8>, BridgeError> {
+        let proc = self.lfs_proc(machine);
+        match self
+            .client
+            .call(ctx, proc, LfsOp::Read { file: lfs_file, block: local, hint: None })
+            .map_err(BridgeError::Lfs)?
+        {
+            LfsData::Block { data, .. } => Ok(data),
+            other => Err(BridgeError::Corrupt(format!("unexpected LFS reply {other:?}"))),
+        }
+    }
+
+    /// Low-level: writes one raw EFS payload to an arbitrary LFS file.
+    fn lfs_write_payload(
+        &mut self,
+        ctx: &mut Ctx,
+        machine: LfsIndex,
+        lfs_file: LfsFileId,
+        local: u32,
+        payload: Vec<u8>,
+    ) -> Result<(), BridgeError> {
+        let proc = self.lfs_proc(machine);
+        match self
+            .client
+            .call(
+                ctx,
+                proc,
+                LfsOp::Write { file: lfs_file, block: local, data: payload, hint: None },
+            )
+            .map_err(BridgeError::Lfs)?
+        {
+            LfsData::Written { .. } => Ok(()),
+            other => Err(BridgeError::Corrupt(format!("unexpected LFS reply {other:?}"))),
+        }
+    }
+
+    /// Redundancy-aware read of a strictly placed block: primary first,
+    /// then the mirror copy or a parity reconstruction if the primary's
+    /// node has failed.
+    fn read_block(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+    ) -> Result<(BridgeHeader, Vec<u8>), BridgeError> {
+        let meta = self.files.get_mut(&file).ok_or(BridgeError::UnknownFile(file))?;
+        let redundancy = meta.redundancy;
+        let pos = meta.locate_pos(block)?;
+        let ptr = meta.to_machine(pos);
+        match self.read_at(ctx, file, block, ptr) {
+            Ok((header, body, _)) => Ok((header, body)),
+            Err(BridgeError::Lfs(EfsError::NodeFailed)) => {
+                let payload = match redundancy {
+                    Redundancy::None => return Err(BridgeError::Lfs(EfsError::NodeFailed)),
+                    Redundancy::Mirrored => {
+                        let meta = self.files.get_mut(&file).expect("exists");
+                        let m = meta.to_machine(meta.mirror_pos(pos));
+                        self.lfs_read_payload(ctx, m.lfs, LfsFileId(file.0 | MIRROR_BIT), m.local)?
+                    }
+                    Redundancy::Parity => self.reconstruct_payload(ctx, file, block)?,
+                };
+                let (header, body) = decode_payload(&payload)?;
+                if header.file != file || header.global_block != block {
+                    return Err(BridgeError::Corrupt(format!(
+                        "degraded read recovered {} block {} instead of {file} block {block}",
+                        header.file, header.global_block
+                    )));
+                }
+                Ok((header, body))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Rebuilds a lost data block's payload from its stripe peers and the
+    /// stripe's parity block.
+    fn reconstruct_payload(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+    ) -> Result<Vec<u8>, BridgeError> {
+        let (layout, size, lfs_file) = {
+            let meta = self.files.get_mut(&file).expect("exists");
+            let layout = ParityLayout::new(meta.placement.breadth());
+            (layout, meta.size, meta.lfs_file)
+        };
+        let stripe = layout.stripe_of(block);
+        let parity_pos = GlobalPtr {
+            lfs: LfsIndex(layout.parity_position(stripe)),
+            local: layout.parity_local(stripe),
+        };
+        let parity_machine = self.files[&file].to_machine(parity_pos);
+        let mut acc = self.lfs_read_payload(
+            ctx,
+            parity_machine.lfs,
+            LfsFileId(file.0 | PARITY_BIT),
+            parity_machine.local,
+        )?;
+        for peer in layout.stripe_peers(block, size) {
+            let pos = layout.locate(peer);
+            let machine = self.files[&file].to_machine(pos);
+            let payload = self.lfs_read_payload(ctx, machine.lfs, lfs_file, machine.local)?;
+            xor_into(&mut acc, &payload);
+        }
+        Ok(acc)
+    }
+
+    /// Redundancy-aware write of a strictly placed block: an append when
+    /// `block == size`, an overwrite otherwise. `size_after` is the file
+    /// size once the write lands (for the circular header pointers).
+    fn write_block(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+        data: &[u8],
+        size_after: u64,
+    ) -> Result<(), BridgeError> {
+        let header = self.strict_header(file, block, size_after)?;
+        let payload = encode_payload(&header, data);
+        let (redundancy, pos, size) = {
+            let meta = self.files.get_mut(&file).expect("exists");
+            (meta.redundancy, meta.locate_pos(block)?, meta.size)
+        };
+        let ptr = self.files[&file].to_machine(pos);
+        match redundancy {
+            Redundancy::None => {
+                self.write_at(ctx, file, ptr, &header, data)?;
+            }
+            Redundancy::Mirrored => {
+                let r = self.write_at(ctx, file, ptr, &header, data).map(|_| ());
+                let primary = ok_or_failed(r)?;
+                let m = {
+                    let meta = self.files.get_mut(&file).expect("exists");
+                    meta.to_machine(meta.mirror_pos(pos))
+                };
+                let r = self.lfs_write_payload(
+                    ctx,
+                    m.lfs,
+                    LfsFileId(file.0 | MIRROR_BIT),
+                    m.local,
+                    payload,
+                );
+                let mirror = ok_or_failed(r)?;
+                if !primary && !mirror {
+                    return Err(BridgeError::Lfs(EfsError::NodeFailed));
+                }
+            }
+            Redundancy::Parity => {
+                self.parity_write(ctx, file, block, ptr, payload, size)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parity-mode write: data block plus the stripe's parity
+    /// read-modify-write — the classic small-write penalty, tolerated on
+    /// one failed node ("degraded" writes reconstructible from parity).
+    fn parity_write(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+        ptr: GlobalPtr,
+        payload: Vec<u8>,
+        size: u64,
+    ) -> Result<(), BridgeError> {
+        let (layout, lfs_file) = {
+            let meta = self.files.get_mut(&file).expect("exists");
+            (ParityLayout::new(meta.placement.breadth()), meta.lfs_file)
+        };
+        let overwrite = block < size;
+        let old = if overwrite {
+            Some(self.data_payload(ctx, file, block)?)
+        } else {
+            None
+        };
+        let r = self.lfs_write_payload(ctx, ptr.lfs, lfs_file, ptr.local, payload.clone());
+        let data_ok = ok_or_failed(r)?;
+        let r = self.parity_update(ctx, file, &layout, block, old, &payload);
+        let parity_ok = ok_or_failed(r)?;
+        if !data_ok && !parity_ok {
+            return Err(BridgeError::Lfs(EfsError::NodeFailed));
+        }
+        Ok(())
+    }
+
+    /// Applies one data write's effect to its stripe's parity block.
+    fn parity_update(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        layout: &ParityLayout,
+        block: u64,
+        old: Option<Vec<u8>>,
+        new_payload: &[u8],
+    ) -> Result<(), BridgeError> {
+        let stripe = layout.stripe_of(block);
+        let j = block % layout.stripe_width();
+        let parity_pos = GlobalPtr {
+            lfs: LfsIndex(layout.parity_position(stripe)),
+            local: layout.parity_local(stripe),
+        };
+        let m = self.files[&file].to_machine(parity_pos);
+        let parity_file = LfsFileId(file.0 | PARITY_BIT);
+        match old {
+            Some(old) => {
+                // Overwrite: parity ^= old ^ new.
+                let mut p = self.lfs_read_payload(ctx, m.lfs, parity_file, m.local)?;
+                xor_into(&mut p, &old);
+                xor_into(&mut p, new_payload);
+                self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, p)
+            }
+            None if j == 0 => {
+                // First member of a fresh stripe: parity = payload.
+                self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, new_payload.to_vec())
+            }
+            None => {
+                // Later member of the current stripe: parity ^= payload.
+                let mut p = self.lfs_read_payload(ctx, m.lfs, parity_file, m.local)?;
+                xor_into(&mut p, new_payload);
+                self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, p)
+            }
+        }
+    }
+
+    /// Repairs a redundant file after node failures: every data block,
+    /// mirror copy, and parity block is checked against its recoverable
+    /// value and rewritten if missing or stale. Blocks are visited in
+    /// global order, so repaired locals land as ordinary appends.
+    fn rebuild(&mut self, ctx: &mut Ctx, file: BridgeFileId) -> Result<BridgeData, BridgeError> {
+        let (redundancy, size, lfs_file, breadth) = {
+            let meta = self.meta(file)?;
+            (
+                meta.redundancy,
+                meta.size,
+                meta.lfs_file,
+                meta.placement.breadth(),
+            )
+        };
+        if redundancy == Redundancy::None {
+            return Err(BridgeError::RedundancyUnsupported {
+                why: "rebuild applies only to redundant files",
+            });
+        }
+        let mut repaired = 0u64;
+        for block in 0..size {
+            let (pos, ptr) = {
+                let meta = self.files.get_mut(&file).expect("exists");
+                let pos = meta.locate_pos(block)?;
+                (pos, meta.to_machine(pos))
+            };
+            // Canonical payload: primary if intact, else recovered.
+            let payload = match self.lfs_read_payload(ctx, ptr.lfs, lfs_file, ptr.local) {
+                Ok(p) => p,
+                Err(_) => {
+                    let p = match redundancy {
+                        Redundancy::Mirrored => {
+                            let meta = self.files.get_mut(&file).expect("exists");
+                            let m = meta.to_machine(meta.mirror_pos(pos));
+                            self.lfs_read_payload(
+                                ctx,
+                                m.lfs,
+                                LfsFileId(file.0 | MIRROR_BIT),
+                                m.local,
+                            )?
+                        }
+                        Redundancy::Parity => self.reconstruct_payload(ctx, file, block)?,
+                        Redundancy::None => unreachable!("checked above"),
+                    };
+                    self.lfs_write_payload(ctx, ptr.lfs, lfs_file, ptr.local, p.clone())?;
+                    repaired += 1;
+                    p
+                }
+            };
+            if redundancy == Redundancy::Mirrored {
+                let m = {
+                    let meta = self.files.get_mut(&file).expect("exists");
+                    meta.to_machine(meta.mirror_pos(pos))
+                };
+                let mirror_file = LfsFileId(file.0 | MIRROR_BIT);
+                let stale = match self.lfs_read_payload(ctx, m.lfs, mirror_file, m.local) {
+                    Ok(p) => p != payload,
+                    Err(_) => true,
+                };
+                if stale {
+                    self.lfs_write_payload(ctx, m.lfs, mirror_file, m.local, payload)?;
+                    repaired += 1;
+                }
+            }
+        }
+        if redundancy == Redundancy::Parity && size > 0 {
+            // Recompute each stripe's parity and compare.
+            let layout = ParityLayout::new(breadth);
+            let stripes = layout.stripe_of(size - 1) + 1;
+            let parity_file = LfsFileId(file.0 | PARITY_BIT);
+            for stripe in 0..stripes {
+                let start = stripe * layout.stripe_width();
+                let end = ((stripe + 1) * layout.stripe_width()).min(size);
+                let mut expected = Vec::new();
+                for block in start..end {
+                    let p = self.data_payload(ctx, file, block)?;
+                    xor_into(&mut expected, &p);
+                }
+                let ppos = GlobalPtr {
+                    lfs: LfsIndex(layout.parity_position(stripe)),
+                    local: layout.parity_local(stripe),
+                };
+                let m = self.files[&file].to_machine(ppos);
+                let stale = match self.lfs_read_payload(ctx, m.lfs, parity_file, m.local) {
+                    Ok(p) => p != expected,
+                    Err(_) => true,
+                };
+                if stale {
+                    self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, expected)?;
+                    repaired += 1;
+                }
+            }
+        }
+        Ok(BridgeData::Rebuilt { repaired })
+    }
+
+    /// A data block's raw payload, reconstructed from parity if its node
+    /// has failed.
+    fn data_payload(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+    ) -> Result<Vec<u8>, BridgeError> {
+        let (ptr, lfs_file) = {
+            let meta = self.files.get_mut(&file).expect("exists");
+            let pos = meta.locate_pos(block)?;
+            (meta.to_machine(pos), meta.lfs_file)
+        };
+        match self.lfs_read_payload(ctx, ptr.lfs, lfs_file, ptr.local) {
+            Ok(p) => Ok(p),
+            Err(BridgeError::Lfs(EfsError::NodeFailed)) => {
+                self.reconstruct_payload(ctx, file, block)
+            }
+            Err(e) => Err(e),
+        }
+    }
+    fn strict_header(
+        &mut self,
+        file: BridgeFileId,
+        block: u64,
+        size_after: u64,
+    ) -> Result<BridgeHeader, BridgeError> {
+        let breadth = self.files[&file].placement.breadth();
+        let meta = self.files.get_mut(&file).expect("exists");
+        let next = meta.locate(block + 1)?;
+        let prev = if block == 0 {
+            meta.locate(size_after.saturating_sub(1))? // wraps to the tail
+        } else {
+            meta.locate(block - 1)?
+        };
+        Ok(BridgeHeader {
+            file,
+            global_block: block,
+            breadth,
+            next,
+            prev,
+        })
+    }
+
+    fn seq_read(
+        &mut self,
+        ctx: &mut Ctx,
+        from: ProcId,
+        file: BridgeFileId,
+    ) -> Result<BridgeData, BridgeError> {
+        let size = self.meta(file)?.size;
+        let cursor = self.cursors.entry((from, file)).or_default();
+        let block = cursor.next_block;
+        let linked_pos = cursor.linked_pos;
+        if block >= size {
+            return Ok(BridgeData::Eof);
+        }
+        let is_linked = matches!(self.files[&file].placement.kind(), PlacementKind::Linked);
+        let (header, body, pos) = if is_linked {
+            let pos = match linked_pos {
+                Some(p) => p,
+                None if block == 0 => self.files[&file]
+                    .head
+                    .ok_or_else(|| BridgeError::Corrupt("linked file has no head".into()))?,
+                None => self.linked_walk(ctx, file, block)?,
+            };
+            let (h, b, _) = self.read_at(ctx, file, block, pos)?;
+            (h, b, pos)
+        } else {
+            let (h, b) = self.read_block(ctx, file, block)?;
+            // `pos` is only consulted for linked files below.
+            (h, b, GlobalPtr::default())
+        };
+        let cursor = self.cursors.entry((from, file)).or_default();
+        cursor.next_block = block + 1;
+        // A tail block's forward pointer is a provisional self-pointer until
+        // the next append fixes it; never cache that as a cursor position.
+        cursor.linked_pos = (is_linked && header.next != pos).then_some(header.next);
+        Ok(BridgeData::Block(body))
+    }
+
+    fn rand_read(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+    ) -> Result<BridgeData, BridgeError> {
+        let meta = self.meta(file)?;
+        let size = meta.size;
+        if block >= size {
+            return Err(BridgeError::BlockOutOfRange { file, block, size });
+        }
+        if matches!(meta.placement.kind(), PlacementKind::Linked) {
+            let ptr = self.linked_walk(ctx, file, block)?;
+            let (_, body, _) = self.read_at(ctx, file, block, ptr)?;
+            Ok(BridgeData::Block(body))
+        } else {
+            let (_, body) = self.read_block(ctx, file, block)?;
+            Ok(BridgeData::Block(body))
+        }
+    }
+
+    /// Appends one block, returning its global number.
+    fn append(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        data: &[u8],
+    ) -> Result<u64, BridgeError> {
+        if data.len() > BRIDGE_DATA {
+            return Err(BridgeError::DataTooLarge { provided: data.len() });
+        }
+        let meta = self.meta(file)?;
+        let block = meta.size;
+        if matches!(meta.placement.kind(), PlacementKind::Linked) {
+            self.append_linked(ctx, file, block, data)?;
+        } else {
+            self.write_block(ctx, file, block, data, block + 1)?;
+        }
+        self.files.get_mut(&file).expect("exists").size = block + 1;
+        Ok(block)
+    }
+
+    /// Linked append: scatter to a pseudo-random node, then fix the old
+    /// tail's forward pointer (an extra read-modify-write — the price of
+    /// disorder).
+    fn append_linked(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+        data: &[u8],
+    ) -> Result<(), BridgeError> {
+        let (ptr, breadth, old_tail) = {
+            let meta = self.files.get_mut(&file).expect("exists");
+            // Deterministic scatter: a hash of (file, block) picks the
+            // position; the local block is that column's next slot.
+            let pos = {
+                let mut z = u64::from(file.0) << 32 | block;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                (z ^ (z >> 31)) % meta.nodes.len() as u64
+            } as usize;
+            let local = meta.linked_locals[pos];
+            meta.linked_locals[pos] += 1;
+            let ptr = GlobalPtr {
+                lfs: LfsIndex(meta.nodes[pos]),
+                local,
+            };
+            (ptr, meta.placement.breadth(), meta.tail)
+        };
+
+        let header = BridgeHeader {
+            file,
+            global_block: block,
+            breadth,
+            next: ptr, // provisional self-pointer; fixed when block+1 arrives
+            prev: old_tail.unwrap_or(ptr),
+        };
+        self.write_at(ctx, file, ptr, &header, data)?;
+
+        if let Some(tail) = old_tail {
+            // Read-modify-write the old tail to point at the new block.
+            let (tail_header, tail_body, _) = self.read_at(ctx, file, block - 1, tail)?;
+            let fixed = BridgeHeader {
+                next: ptr,
+                ..tail_header
+            };
+            self.write_at(ctx, file, tail, &fixed, &tail_body)?;
+        } else {
+            self.files.get_mut(&file).expect("exists").head = Some(ptr);
+        }
+        self.files.get_mut(&file).expect("exists").tail = Some(ptr);
+        Ok(())
+    }
+
+    /// Walks a linked file's chain to `block`. O(distance) LFS reads — the
+    /// "very slow random access" the paper concedes for disordered files.
+    fn linked_walk(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+    ) -> Result<GlobalPtr, BridgeError> {
+        let meta = &self.files[&file];
+        let size = meta.size;
+        let (mut at, mut pos, forward) = if block <= size / 2 {
+            (
+                0u64,
+                meta.head
+                    .ok_or_else(|| BridgeError::Corrupt("linked file has no head".into()))?,
+                true,
+            )
+        } else {
+            (
+                size - 1,
+                meta.tail
+                    .ok_or_else(|| BridgeError::Corrupt("linked file has no tail".into()))?,
+                false,
+            )
+        };
+        while at != block {
+            let (header, _, _) = self.read_at(ctx, file, at, pos)?;
+            if forward {
+                pos = header.next;
+                at += 1;
+            } else {
+                pos = header.prev;
+                at -= 1;
+            }
+        }
+        Ok(pos)
+    }
+
+    fn rand_write(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+        data: &[u8],
+    ) -> Result<BridgeData, BridgeError> {
+        if data.len() > BRIDGE_DATA {
+            return Err(BridgeError::DataTooLarge { provided: data.len() });
+        }
+        let meta = self.meta(file)?;
+        let size = meta.size;
+        if block == size {
+            // Writing one past the end is an append.
+            let block = self.append(ctx, file, data)?;
+            return Ok(BridgeData::Written { block });
+        }
+        if block > size {
+            return Err(BridgeError::BlockOutOfRange { file, block, size });
+        }
+        if matches!(meta.placement.kind(), PlacementKind::Linked) {
+            let ptr = self.linked_walk(ctx, file, block)?;
+            let (header, _, _) = self.read_at(ctx, file, block, ptr)?;
+            self.write_at(ctx, file, ptr, &header, data)?;
+        } else {
+            self.write_block(ctx, file, block, data, size)?;
+        }
+        Ok(BridgeData::Written { block })
+    }
+
+    fn parallel_open(
+        &mut self,
+        from: ProcId,
+        file: BridgeFileId,
+        workers: Vec<ProcId>,
+    ) -> Result<BridgeData, BridgeError> {
+        if workers.is_empty() {
+            return Err(BridgeError::EmptyWorkerList);
+        }
+        let meta = self.meta(file)?;
+        if matches!(meta.placement.kind(), PlacementKind::Linked) {
+            return Err(BridgeError::LinkedUnsupported { op: "parallel open" });
+        }
+        let job = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs.insert(
+            job,
+            Job {
+                file,
+                controller: from,
+                workers,
+                cursor: 0,
+            },
+        );
+        Ok(BridgeData::JobOpened(job))
+    }
+
+    fn job_of(&self, from: ProcId, job: JobId) -> Result<&Job, BridgeError> {
+        match self.jobs.get(&job) {
+            Some(j) if j.controller == from => Ok(j),
+            _ => Err(BridgeError::UnknownJob(job)),
+        }
+    }
+
+    /// One lock-step read round: deliver the next `t` blocks, one to each
+    /// worker, in waves of at most `p` pipelined LFS reads ("the server
+    /// will perform groups of p disk accesses in parallel until the
+    /// high-level request is satisfied").
+    fn job_read(
+        &mut self,
+        ctx: &mut Ctx,
+        from: ProcId,
+        job_id: JobId,
+    ) -> Result<BridgeData, BridgeError> {
+        let (file, workers, cursor) = {
+            let job = self.job_of(from, job_id)?;
+            (job.file, job.workers.clone(), job.cursor)
+        };
+        let (size, lfs_file, breadth) = {
+            let meta = self.meta(file)?;
+            (meta.size, meta.lfs_file, meta.placement.breadth())
+        };
+        let t = workers.len() as u64;
+        let count = t.min(size.saturating_sub(cursor));
+
+        let mut delivered = 0u64;
+        while delivered < count {
+            let wave = (count - delivered).min(u64::from(breadth));
+            // Pipeline up to p reads.
+            let mut pending = Vec::with_capacity(wave as usize);
+            for i in 0..wave {
+                let block = cursor + delivered + i;
+                let ptr = self.files.get_mut(&file).expect("exists").locate(block)?;
+                let hint = self.files[&file].hints[ptr.lfs.index()];
+                let proc = self.lfs_proc(ptr.lfs);
+                let id = self.client.send(
+                    ctx,
+                    proc,
+                    LfsOp::Read {
+                        file: lfs_file,
+                        block: ptr.local,
+                        hint,
+                    },
+                );
+                pending.push((proc, id, block, ptr));
+            }
+            for (proc, id, block, ptr) in pending {
+                let body = match self.client.wait(ctx, proc, id) {
+                    Ok(LfsData::Block { data, addr }) => {
+                        let (header, body) = decode_payload(&data)?;
+                        if header.file != file || header.global_block != block {
+                            return Err(BridgeError::Corrupt(format!(
+                                "expected {file} block {block}, found {} block {}",
+                                header.file, header.global_block
+                            )));
+                        }
+                        self.files.get_mut(&file).expect("exists").hints[ptr.lfs.index()] =
+                            Some(addr);
+                        body
+                    }
+                    Ok(other) => {
+                        return Err(BridgeError::Corrupt(format!(
+                            "unexpected LFS reply {other:?}"
+                        )))
+                    }
+                    // Degraded read: recover through the redundancy path.
+                    Err(EfsError::NodeFailed) => self.read_block(ctx, file, block)?.1,
+                    Err(e) => return Err(BridgeError::Lfs(e)),
+                };
+                let worker = workers[(block - cursor) as usize];
+                ctx.send_sized(
+                    worker,
+                    JobDeliver {
+                        job: job_id,
+                        block,
+                        data: Some(body),
+                    },
+                    1024,
+                );
+            }
+            delivered += wave;
+        }
+        // Lock step: workers beyond the data get an explicit empty round.
+        for w in &workers[count as usize..] {
+            ctx.send(
+                *w,
+                JobDeliver {
+                    job: job_id,
+                    block: 0,
+                    data: None,
+                },
+            );
+        }
+        let job = self.jobs.get_mut(&job_id).expect("validated");
+        job.cursor += count;
+        let eof = job.cursor >= size;
+        Ok(BridgeData::JobReadDone {
+            delivered: count as u32,
+            eof,
+        })
+    }
+
+    /// One lock-step write round: collect one block from every worker,
+    /// then append the contiguous prefix in waves of `p`.
+    fn job_write(
+        &mut self,
+        ctx: &mut Ctx,
+        from: ProcId,
+        job_id: JobId,
+    ) -> Result<BridgeData, BridgeError> {
+        let (file, workers) = {
+            let job = self.job_of(from, job_id)?;
+            (job.file, job.workers.clone())
+        };
+        let size = self.meta(file)?.size;
+
+        // Poll every worker (requests are small; pipelining them all is
+        // harmless — the disk waves below are the real lock step).
+        for (i, w) in workers.iter().enumerate() {
+            ctx.send(
+                *w,
+                JobRequest {
+                    job: job_id,
+                    block: size + i as u64,
+                },
+            );
+        }
+        let mut supplies: Vec<Option<Vec<u8>>> = vec![None; workers.len()];
+        let mut received = vec![false; workers.len()];
+        for _ in 0..workers.len() {
+            let env = ctx.recv_where(|e| {
+                e.downcast_ref::<JobSupply>()
+                    .is_some_and(|s| s.job == job_id)
+            });
+            let from_worker = env.from();
+            let supply = env.downcast::<JobSupply>().expect("matched");
+            let idx = supply
+                .block
+                .checked_sub(size)
+                .map(|i| i as usize)
+                .filter(|&i| i < workers.len() && workers[i] == from_worker && !received[i])
+                .ok_or(BridgeError::UnknownJob(job_id))?;
+            received[idx] = true;
+            supplies[idx] = supply.data;
+        }
+
+        // The accepted prefix ends at the first None.
+        let accepted = supplies.iter().position(Option::is_none).unwrap_or(supplies.len());
+        if supplies[accepted..].iter().any(Option::is_some) {
+            return Err(BridgeError::WriteGap { job: job_id });
+        }
+        for data in supplies.iter().take(accepted) {
+            let data = data.as_ref().expect("prefix is Some");
+            if data.len() > BRIDGE_DATA {
+                return Err(BridgeError::DataTooLarge { provided: data.len() });
+            }
+        }
+
+        // Redundant files append one block at a time (each write carries a
+        // parity or mirror companion that must not interleave).
+        if self.meta(file)?.redundancy != Redundancy::None {
+            for (k, data) in supplies.iter().take(accepted).enumerate() {
+                let data = data.as_ref().expect("prefix is Some");
+                let block = size + k as u64;
+                self.write_block(ctx, file, block, data, size + accepted as u64)?;
+                self.files.get_mut(&file).expect("exists").size = block + 1;
+            }
+            return Ok(BridgeData::JobWritten {
+                accepted: accepted as u32,
+            });
+        }
+
+        // Append the prefix in waves of p pipelined writes.
+        let breadth = self.meta(file)?.placement.breadth() as usize;
+        let mut written = 0usize;
+        while written < accepted {
+            let wave = (accepted - written).min(breadth);
+            let mut pending = Vec::with_capacity(wave);
+            for i in 0..wave {
+                let block = size + (written + i) as u64;
+                let ptr = self.files.get_mut(&file).expect("exists").locate(block)?;
+                let header = self.strict_header(file, block, size + accepted as u64)?;
+                let data = supplies[written + i].as_ref().expect("prefix");
+                let payload = encode_payload(&header, data);
+                let lfs_file = self.files[&file].lfs_file;
+                let hint = self.files[&file].hints[ptr.lfs.index()];
+                let proc = self.lfs_proc(ptr.lfs);
+                let id = self.client.send(
+                    ctx,
+                    proc,
+                    LfsOp::Write {
+                        file: lfs_file,
+                        block: ptr.local,
+                        data: payload,
+                        hint,
+                    },
+                );
+                pending.push((proc, id, ptr));
+            }
+            for (proc, id, ptr) in pending {
+                match self.client.wait(ctx, proc, id).map_err(BridgeError::Lfs)? {
+                    LfsData::Written { addr } => {
+                        self.files.get_mut(&file).expect("exists").hints[ptr.lfs.index()] =
+                            Some(addr);
+                    }
+                    other => {
+                        return Err(BridgeError::Corrupt(format!(
+                            "unexpected LFS reply {other:?}"
+                        )))
+                    }
+                }
+            }
+            written += wave;
+        }
+        self.files.get_mut(&file).expect("exists").size = size + accepted as u64;
+        Ok(BridgeData::JobWritten {
+            accepted: accepted as u32,
+        })
+    }
+}

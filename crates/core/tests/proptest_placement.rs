@@ -1,0 +1,137 @@
+//! Property tests for the placement algebra and the parity layout: the
+//! invariants every strict placement must satisfy, over arbitrary
+//! breadths, starts, chunk sizes, and seeds.
+
+use bridge_core::{ParityLayout, Placement, PlacementKind};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn kind_strategy() -> impl Strategy<Value = PlacementKind> {
+    prop_oneof![
+        (0u32..64).prop_map(|start| PlacementKind::RoundRobin { start }),
+        (1u32..40).prop_map(|blocks_per_chunk| PlacementKind::Chunked { blocks_per_chunk }),
+        any::<u64>().prop_map(|seed| PlacementKind::Hashed { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Every strict placement is an injective map whose per-node local
+    /// indexes are dense (0, 1, 2, … with no holes) — otherwise columns
+    /// would have gaps no LFS append could fill.
+    #[test]
+    fn strict_placements_are_dense_bijections(
+        kind in kind_strategy(),
+        breadth in 1u32..17,
+        blocks in 1u64..400,
+    ) {
+        let placement = Placement::new(kind, breadth);
+        let mut seen = HashSet::new();
+        let mut per_node: HashMap<u32, Vec<u32>> = HashMap::new();
+        for b in 0..blocks {
+            let ptr = placement.locate(b).expect("strict placement");
+            prop_assert!(ptr.lfs.0 < breadth, "node in range");
+            prop_assert!(seen.insert((ptr.lfs.0, ptr.local)), "no collision");
+            per_node.entry(ptr.lfs.0).or_default().push(ptr.local);
+        }
+        for (_, mut locals) in per_node {
+            locals.sort_unstable();
+            for (i, l) in locals.iter().enumerate() {
+                prop_assert_eq!(*l as usize, i, "dense locals");
+            }
+        }
+    }
+
+    /// The cursor yields exactly what locate computes, in order.
+    #[test]
+    fn cursor_matches_locate(
+        kind in kind_strategy(),
+        breadth in 1u32..17,
+        blocks in 1u64..300,
+    ) {
+        let placement = Placement::new(kind, breadth);
+        let mut cursor = placement.cursor();
+        for b in 0..blocks {
+            prop_assert_eq!(cursor.next(), placement.locate(b));
+        }
+    }
+
+    /// Round-robin's defining guarantee: every window of p consecutive
+    /// blocks covers all p nodes.
+    #[test]
+    fn round_robin_windows_cover_all_nodes(
+        start in 0u32..64,
+        breadth in 1u32..17,
+        window in 0u64..200,
+    ) {
+        let placement = Placement::new(PlacementKind::RoundRobin { start }, breadth);
+        let nodes: HashSet<u32> = (window..window + u64::from(breadth))
+            .map(|b| placement.node_of(b).expect("strict").0)
+            .collect();
+        prop_assert_eq!(nodes.len(), breadth as usize);
+    }
+
+    /// Parity layout: every stripe covers every position exactly once
+    /// (one data or parity block per node per stripe), data and parity
+    /// locals are dense, and a block never shares its node with its own
+    /// stripe's parity.
+    #[test]
+    fn parity_layout_invariants(breadth in 2u32..17, stripes in 1u64..120) {
+        let layout = ParityLayout::new(breadth);
+        let width = layout.stripe_width();
+        let mut data_locals: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut parity_locals: HashMap<u32, Vec<u32>> = HashMap::new();
+        for s in 0..stripes {
+            let mut positions = HashSet::new();
+            let ppos = layout.parity_position(s);
+            positions.insert(ppos);
+            parity_locals.entry(ppos).or_default().push(layout.parity_local(s));
+            for j in 0..width {
+                let b = s * width + j;
+                prop_assert_eq!(layout.stripe_of(b), s);
+                let dpos = layout.data_position(b);
+                prop_assert_ne!(dpos, ppos, "data apart from its parity");
+                positions.insert(dpos);
+                data_locals.entry(dpos).or_default().push(layout.data_local(b));
+            }
+            prop_assert_eq!(positions.len(), breadth as usize);
+        }
+        for locals in data_locals.values().chain(parity_locals.values()) {
+            for (i, l) in locals.iter().enumerate() {
+                prop_assert_eq!(*l as usize, i, "dense per-position growth");
+            }
+        }
+    }
+
+    /// Reconstruction algebra: XOR of any stripe's peers and parity
+    /// recovers the missing member, for arbitrary payloads.
+    #[test]
+    fn parity_xor_recovers_any_member(
+        breadth in 2u32..9,
+        payload_seed in any::<u64>(),
+        missing in 0usize..8,
+    ) {
+        let layout = ParityLayout::new(breadth);
+        let width = layout.stripe_width() as usize;
+        let missing = missing % width;
+        let members: Vec<Vec<u8>> = (0..width)
+            .map(|j| {
+                (0..64u64)
+                    .map(|i| (payload_seed.wrapping_mul(j as u64 + 1).wrapping_add(i * 37) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        let mut parity = Vec::new();
+        for m in &members {
+            bridge_core::xor_into(&mut parity, m);
+        }
+        let mut rec = parity;
+        for (j, m) in members.iter().enumerate() {
+            if j != missing {
+                bridge_core::xor_into(&mut rec, m);
+            }
+        }
+        prop_assert_eq!(&rec, &members[missing]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Edge cases of the Bridge Server protocol: job misuse, write gaps,
+//! degraded opens, and cursor semantics the main suite doesn't reach.
+
+use bridge_core::{
+    BridgeClient, BridgeConfig, BridgeError, BridgeMachine, CreateSpec, JobWorker, PlacementSpec,
+    Redundancy,
+};
+use bridge_efs::LfsFailControl;
+use parsim::{Ctx, SimDuration};
+
+#[test]
+fn job_close_rejected_for_non_controller() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(2));
+    let server = machine.server;
+    let node = machine.frontend;
+    sim.block_on(machine.frontend, "controller", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge.create(ctx, CreateSpec::default()).unwrap();
+        bridge.seq_write(ctx, file, vec![1]).unwrap();
+        let me = ctx.me();
+        let job = bridge.parallel_open(ctx, file, vec![me]).unwrap();
+
+        // Another process may not read or close our job.
+        let intruder_result = {
+            let me2 = ctx.me();
+            ctx.spawn(node, "intruder", move |c: &mut Ctx| {
+                let mut b2 = BridgeClient::new(server);
+                let r = b2.job_read(c, job);
+                c.send(me2, format!("{r:?}"));
+            });
+            ctx.recv_as::<String>().1
+        };
+        assert!(intruder_result.contains("UnknownJob"), "{intruder_result}");
+
+        // The controller still owns it.
+        let (delivered, eof) = bridge.job_read(ctx, job).unwrap();
+        assert_eq!((delivered, eof), (1, true));
+        // Drain our own worker delivery.
+        let worker = JobWorker::new(job);
+        assert!(worker.recv_block(ctx).is_some());
+        bridge.job_close(ctx, job).unwrap();
+    });
+}
+
+#[test]
+fn job_write_gap_is_an_error() {
+    // Worker 0 says "no more data" while worker 1 still supplies: the
+    // round cannot append a gap.
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(2));
+    let server = machine.server;
+    let node = machine.frontend;
+    sim.block_on(machine.frontend, "controller", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge.create(ctx, CreateSpec::default()).unwrap();
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                ctx.spawn(node, format!("w{i}"), move |c: &mut Ctx| {
+                    let (_, job) = c.recv_as::<bridge_core::JobId>();
+                    let w = JobWorker::new(job);
+                    w.supply_block(c, (i == 1).then(|| vec![7u8; 16]));
+                })
+            })
+            .collect();
+        let job = bridge.parallel_open(ctx, file, workers.clone()).unwrap();
+        for &w in &workers {
+            ctx.send(w, job);
+        }
+        assert!(matches!(
+            bridge.job_write(ctx, job),
+            Err(BridgeError::WriteGap { .. })
+        ));
+    });
+}
+
+#[test]
+fn seq_read_sees_new_appends_without_reopen() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(3));
+    let server = machine.server;
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge.create(ctx, CreateSpec::default()).unwrap();
+        bridge.seq_write(ctx, file, b"one".to_vec()).unwrap();
+        // Cursor starts at 0 even without an explicit open.
+        let b = bridge.seq_read(ctx, file).unwrap().unwrap();
+        assert_eq!(&b[..3], b"one");
+        assert_eq!(bridge.seq_read(ctx, file).unwrap(), None, "EOF");
+        // Append more: the same cursor continues past the old EOF.
+        bridge.seq_write(ctx, file, b"two".to_vec()).unwrap();
+        let b = bridge.seq_read(ctx, file).unwrap().unwrap();
+        assert_eq!(&b[..3], b"two");
+    });
+}
+
+#[test]
+fn degraded_open_keeps_cached_size() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+    let server = machine.server;
+    let victim = machine.lfs[0];
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge
+            .create(
+                ctx,
+                CreateSpec {
+                    redundancy: Redundancy::Mirrored,
+                    ..CreateSpec::default()
+                },
+            )
+            .unwrap();
+        for i in 0..17u64 {
+            bridge.seq_write(ctx, file, vec![i as u8; 8]).unwrap();
+        }
+        ctx.send(victim, LfsFailControl { failed: true });
+        ctx.delay(SimDuration::from_micros(500));
+        let info = bridge.open(ctx, file).unwrap();
+        assert_eq!(info.size, 17, "directory size survives the failed stat");
+        let failed_slice = info.nodes.iter().find(|s| s.index.0 == 0).unwrap();
+        assert_eq!(failed_slice.local_size, 0, "failed column reported empty");
+    });
+}
+
+#[test]
+fn linked_rand_write_and_cursor_interplay() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(3));
+    let server = machine.server;
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge
+            .create(
+                ctx,
+                CreateSpec {
+                    placement: PlacementSpec::Linked,
+                    ..CreateSpec::default()
+                },
+            )
+            .unwrap();
+        for i in 0..12u64 {
+            bridge.seq_write(ctx, file, vec![i as u8; 4]).unwrap();
+        }
+        // Overwrite mid-chain (walks, rewrites in place, keeps links).
+        bridge.rand_write(ctx, file, 5, vec![0xEE; 4]).unwrap();
+        bridge.open(ctx, file).unwrap();
+        for i in 0..12u64 {
+            let b = bridge.seq_read(ctx, file).unwrap().unwrap();
+            let expected = if i == 5 { 0xEE } else { i as u8 };
+            assert_eq!(b[0], expected, "block {i}");
+        }
+        // rand_write at size appends to the chain.
+        bridge.rand_write(ctx, file, 12, vec![0xAB; 4]).unwrap();
+        let b = bridge.rand_read(ctx, file, 12).unwrap();
+        assert_eq!(b[0], 0xAB);
+    });
+}
+
+#[test]
+fn hashed_files_keep_locate_cache_consistent_after_reopen() {
+    // The server memoizes hashed placements; re-opening (which re-stats
+    // sizes) must not desynchronize the cache.
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+    let server = machine.server;
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge
+            .create(
+                ctx,
+                CreateSpec {
+                    placement: PlacementSpec::Hashed { seed: 77 },
+                    ..CreateSpec::default()
+                },
+            )
+            .unwrap();
+        for i in 0..30u64 {
+            bridge.seq_write(ctx, file, vec![i as u8; 4]).unwrap();
+            if i % 10 == 9 {
+                bridge.open(ctx, file).unwrap();
+            }
+        }
+        for i in (0..30u64).rev() {
+            let b = bridge.rand_read(ctx, file, i).unwrap();
+            assert_eq!(b[0], i as u8);
+        }
+    });
+}
+
+#[test]
+fn empty_file_edge_cases() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(2));
+    let server = machine.server;
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge.create(ctx, CreateSpec::default()).unwrap();
+        assert_eq!(bridge.open(ctx, file).unwrap().size, 0);
+        assert_eq!(bridge.seq_read(ctx, file).unwrap(), None);
+        assert!(matches!(
+            bridge.rand_read(ctx, file, 0),
+            Err(BridgeError::BlockOutOfRange { .. })
+        ));
+        assert_eq!(bridge.delete(ctx, file).unwrap(), 0);
+
+        // A parallel open on an empty file delivers an all-None round.
+        let file = bridge.create(ctx, CreateSpec::default()).unwrap();
+        let me = ctx.me();
+        let job = bridge.parallel_open(ctx, file, vec![me]).unwrap();
+        let (delivered, eof) = bridge.job_read(ctx, job).unwrap();
+        assert_eq!((delivered, eof), (0, true));
+        let worker = JobWorker::new(job);
+        assert!(worker.recv_block(ctx).is_none());
+    });
+}

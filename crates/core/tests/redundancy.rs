@@ -1,0 +1,293 @@
+//! Fault-tolerance tests (paper §6): without redundancy "a failure
+//! anywhere in the system is fatal; it ruins every file"; mirroring
+//! survives it at 2× capacity; rotating parity survives it at p/(p−1).
+
+use bridge_core::{
+    BridgeClient, BridgeConfig, BridgeError, BridgeFileId, BridgeMachine, CreateSpec, JobDeliver,
+    PlacementSpec, Redundancy,
+};
+use bridge_efs::{EfsError, LfsFailControl};
+use parsim::{Ctx, ProcId};
+
+fn record(tag: u32, block: u64) -> Vec<u8> {
+    let mut data = vec![0u8; 96];
+    data[..4].copy_from_slice(&tag.to_le_bytes());
+    data[4..12].copy_from_slice(&block.to_le_bytes());
+    for (i, b) in data.iter_mut().enumerate().skip(12) {
+        *b = (tag as usize * 5 + block as usize * 11 + i) as u8;
+    }
+    data
+}
+
+fn fail_node(ctx: &mut Ctx, lfs: ProcId, failed: bool) {
+    ctx.send(lfs, LfsFailControl { failed });
+    // The control message races only with messages we haven't sent yet;
+    // a tiny delay orders it before our next request.
+    ctx.delay(parsim::SimDuration::from_micros(500));
+}
+
+fn write_redundant(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    redundancy: Redundancy,
+    blocks: u64,
+) -> BridgeFileId {
+    let file = bridge
+        .create(
+            ctx,
+            CreateSpec {
+                redundancy,
+                ..CreateSpec::default()
+            },
+        )
+        .unwrap();
+    for b in 0..blocks {
+        bridge.seq_write(ctx, file, record(redundancy as u32, b)).unwrap();
+    }
+    file
+}
+
+fn check_all(ctx: &mut Ctx, bridge: &mut BridgeClient, file: BridgeFileId, tag: u32, blocks: u64) {
+    bridge.open(ctx, file).unwrap();
+    for b in 0..blocks {
+        let data = bridge.seq_read(ctx, file).unwrap().expect("block present");
+        assert_eq!(&data[..96], &record(tag, b)[..], "block {b}");
+    }
+    assert_eq!(bridge.seq_read(ctx, file).unwrap(), None);
+    // And random access.
+    for &b in &[0, blocks / 2, blocks - 1] {
+        let data = bridge.rand_read(ctx, file, b).unwrap();
+        assert_eq!(&data[..96], &record(tag, b)[..]);
+    }
+}
+
+#[test]
+fn unprotected_files_are_ruined_by_any_failure() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+    let server = machine.server;
+    let victim = machine.lfs[2];
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = write_redundant(ctx, &mut bridge, Redundancy::None, 20);
+        fail_node(ctx, victim, true);
+        bridge.open(ctx, file).unwrap_err(); // even open fails
+        let err = bridge.rand_read(ctx, file, 2).unwrap_err();
+        assert_eq!(err, BridgeError::Lfs(EfsError::NodeFailed));
+        // Blocks on surviving nodes are still readable... but every p-th
+        // block is gone: the file as a whole is ruined.
+        assert!(bridge.rand_read(ctx, file, 1).is_ok() || bridge.rand_read(ctx, file, 0).is_ok());
+    });
+}
+
+#[test]
+fn mirrored_files_survive_one_failure() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+    let server = machine.server;
+    let victim = machine.lfs[1];
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let blocks = 24;
+        let file = write_redundant(ctx, &mut bridge, Redundancy::Mirrored, blocks);
+        fail_node(ctx, victim, true);
+        check_all(ctx, &mut bridge, file, Redundancy::Mirrored as u32, blocks);
+    });
+}
+
+#[test]
+fn parity_files_survive_one_failure_anywhere() {
+    for p in [2u32, 3, 4, 5, 8] {
+        for victim_idx in 0..p.min(4) {
+            let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(p));
+            let server = machine.server;
+            let victim = machine.lfs[victim_idx as usize];
+            sim.block_on(machine.frontend, "app", move |ctx| {
+                let mut bridge = BridgeClient::new(server);
+                let blocks = 3 * u64::from(p) + 1; // a ragged final stripe
+                let file = write_redundant(ctx, &mut bridge, Redundancy::Parity, blocks);
+                fail_node(ctx, victim, true);
+                check_all(ctx, &mut bridge, file, Redundancy::Parity as u32, blocks);
+            });
+        }
+    }
+}
+
+#[test]
+fn parity_overwrites_keep_parity_consistent() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+    let server = machine.server;
+    let victim = machine.lfs[0];
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let blocks = 15;
+        let file = write_redundant(ctx, &mut bridge, Redundancy::Parity, blocks);
+        // Overwrite a few blocks (parity must follow via RMW).
+        for &b in &[0u64, 7, 14] {
+            bridge.rand_write(ctx, file, b, record(99, b)).unwrap();
+        }
+        fail_node(ctx, victim, true);
+        bridge.open(ctx, file).unwrap();
+        for b in 0..blocks {
+            let data = bridge.rand_read(ctx, file, b).unwrap();
+            let expected = if [0u64, 7, 14].contains(&b) {
+                record(99, b)
+            } else {
+                record(Redundancy::Parity as u32, b)
+            };
+            assert_eq!(&data[..96], &expected[..], "block {b}");
+        }
+    });
+}
+
+#[test]
+fn degraded_writes_land_and_rebuild_restores_health() {
+    for redundancy in [Redundancy::Mirrored, Redundancy::Parity] {
+        let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+        let server = machine.server;
+        let victim = machine.lfs[2];
+        let other = machine.lfs[0];
+        sim.block_on(machine.frontend, "app", move |ctx| {
+            let mut bridge = BridgeClient::new(server);
+            let tag = redundancy as u32;
+            let file = write_redundant(ctx, &mut bridge, redundancy, 10);
+
+            // Node 2 dies; we keep appending and overwriting.
+            fail_node(ctx, victim, true);
+            for b in 10..20u64 {
+                bridge.seq_write(ctx, file, record(tag, b)).unwrap();
+            }
+            bridge.rand_write(ctx, file, 3, record(tag + 50, 3)).unwrap();
+            // Degraded reads see everything, including blocks whose
+            // primary landed on the dead node.
+            for b in 0..20u64 {
+                let data = bridge.rand_read(ctx, file, b).unwrap();
+                let expected = if b == 3 { record(tag + 50, b) } else { record(tag, b) };
+                assert_eq!(&data[..96], &expected[..], "{redundancy:?} block {b}");
+            }
+
+            // The node comes back empty-handed for the degraded interval;
+            // rebuild re-derives what it missed.
+            fail_node(ctx, victim, false);
+            let repaired = bridge.rebuild(ctx, file).unwrap();
+            assert!(repaired > 0, "{redundancy:?}: something was repaired");
+
+            // Now a *different* node can fail and the file still reads.
+            fail_node(ctx, other, true);
+            for b in 0..20u64 {
+                let data = bridge.rand_read(ctx, file, b).unwrap();
+                let expected = if b == 3 { record(tag + 50, b) } else { record(tag, b) };
+                assert_eq!(&data[..96], &expected[..], "{redundancy:?} post-rebuild {b}");
+            }
+        });
+    }
+}
+
+#[test]
+fn double_failure_is_fatal_even_with_redundancy() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+    let server = machine.server;
+    let v1 = machine.lfs[0];
+    let v2 = machine.lfs[1];
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = write_redundant(ctx, &mut bridge, Redundancy::Parity, 16);
+        fail_node(ctx, v1, true);
+        fail_node(ctx, v2, true);
+        // Some block has its data on v1 and a stripe peer or parity on v2.
+        let mut failed = false;
+        for b in 0..16u64 {
+            if bridge.rand_read(ctx, file, b).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "two failures must lose data");
+    });
+}
+
+#[test]
+fn redundancy_constraints_enforced() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(3));
+    let server = machine.server;
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        // Parity on one node is impossible.
+        assert!(matches!(
+            bridge.create(
+                ctx,
+                CreateSpec {
+                    redundancy: Redundancy::Parity,
+                    nodes: Some(vec![0]),
+                    ..CreateSpec::default()
+                }
+            ),
+            Err(BridgeError::RedundancyUnsupported { .. })
+        ));
+        // Redundancy requires round-robin placement.
+        assert!(matches!(
+            bridge.create(
+                ctx,
+                CreateSpec {
+                    redundancy: Redundancy::Mirrored,
+                    placement: PlacementSpec::Hashed { seed: 1 },
+                    ..CreateSpec::default()
+                }
+            ),
+            Err(BridgeError::RedundancyUnsupported { .. })
+        ));
+        // Rebuild of a plain file is refused.
+        let plain = bridge.create(ctx, CreateSpec::default()).unwrap();
+        assert!(matches!(
+            bridge.rebuild(ctx, plain),
+            Err(BridgeError::RedundancyUnsupported { .. })
+        ));
+    });
+}
+
+#[test]
+fn parallel_open_reads_survive_failure() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+    let server = machine.server;
+    let victim = machine.lfs[1];
+    let wnode = machine.frontend;
+    sim.block_on(machine.frontend, "controller", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let blocks = 12u64;
+        let file = write_redundant(ctx, &mut bridge, Redundancy::Parity, blocks);
+        fail_node(ctx, victim, true);
+
+        let me = ctx.me();
+        let workers: Vec<_> = (0..4)
+            .map(|i| {
+                ctx.spawn(wnode, format!("w{i}"), move |c: &mut Ctx| {
+                    let mut got = Vec::new();
+                    loop {
+                        let env = c.recv_where(|e| e.is::<JobDeliver>());
+                        let d = env.downcast::<JobDeliver>().unwrap();
+                        match d.data {
+                            Some(data) => got.push((d.block, data)),
+                            None => break,
+                        }
+                    }
+                    c.send(me, got);
+                })
+            })
+            .collect();
+        let job = bridge.parallel_open(ctx, file, workers).unwrap();
+        loop {
+            let (_, eof) = bridge.job_read(ctx, job).unwrap();
+            if eof {
+                break;
+            }
+        }
+        bridge.job_read(ctx, job).unwrap(); // EOF round releases workers
+        let mut total = 0;
+        for _ in 0..4 {
+            let (_, got) = ctx.recv_as::<Vec<(u64, Vec<u8>)>>();
+            for (b, data) in &got {
+                assert_eq!(&data[..96], &record(Redundancy::Parity as u32, *b)[..]);
+            }
+            total += got.len();
+        }
+        assert_eq!(total, blocks as usize);
+    });
+}

@@ -1,0 +1,160 @@
+//! The block link cache.
+//!
+//! "A cache of recently-accessed blocks makes sequential access more
+//! efficient by keeping neighboring blocks (and their pointers) in memory."
+//! We cache each touched block's *link information* — its disk address and
+//! neighbor pointers — so that sequential access never walks the list on
+//! disk. Block *data* is deliberately not cached here: data locality is the
+//! track buffer's job (see [`simdisk`]), keeping the timing model honest.
+
+use crate::layout::LfsFileId;
+use simdisk::BlockAddr;
+use std::collections::HashMap;
+
+/// Cached link information for one (file, block) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LinkInfo {
+    pub addr: BlockAddr,
+    pub next: BlockAddr,
+    pub prev: BlockAddr,
+}
+
+/// LRU-ish cache of link info, bounded by entry count.
+///
+/// Eviction is amortized: when the map exceeds capacity, the older half
+/// (by access stamp) is dropped in one sweep.
+#[derive(Debug)]
+pub(crate) struct LinkCache {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<(LfsFileId, u32), (LinkInfo, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LinkCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "cache capacity must be at least 2");
+        LinkCache {
+            capacity,
+            stamp: 0,
+            map: HashMap::with_capacity(capacity + 1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub(crate) fn get(&mut self, file: LfsFileId, block_no: u32) -> Option<LinkInfo> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.map.get_mut(&(file, block_no)) {
+            Some((info, s)) => {
+                *s = stamp;
+                self.hits += 1;
+                Some(*info)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without counting a hit/miss or refreshing recency.
+    pub(crate) fn peek(&self, file: LfsFileId, block_no: u32) -> Option<LinkInfo> {
+        self.map.get(&(file, block_no)).map(|(i, _)| *i)
+    }
+
+    pub(crate) fn put(&mut self, file: LfsFileId, block_no: u32, info: LinkInfo) {
+        self.stamp += 1;
+        self.map.insert((file, block_no), (info, self.stamp));
+        if self.map.len() > self.capacity {
+            self.evict_older_half();
+        }
+    }
+
+    /// Drops every cached block of `file` (delete, truncate).
+    pub(crate) fn invalidate_file(&mut self, file: LfsFileId) {
+        self.map.retain(|&(f, _), _| f != file);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn evict_older_half(&mut self) {
+        let mut stamps: Vec<u64> = self.map.values().map(|&(_, s)| s).collect();
+        stamps.sort_unstable();
+        let cutoff = stamps[stamps.len() / 2];
+        self.map.retain(|_, &mut (_, s)| s >= cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(n: u32) -> LinkInfo {
+        LinkInfo {
+            addr: BlockAddr::new(n),
+            next: BlockAddr::new(n + 1),
+            prev: BlockAddr::new(n.wrapping_sub(1)),
+        }
+    }
+
+    #[test]
+    fn get_after_put() {
+        let mut c = LinkCache::new(8);
+        c.put(LfsFileId(1), 0, info(10));
+        assert_eq!(c.get(LfsFileId(1), 0), Some(info(10)));
+        assert_eq!(c.get(LfsFileId(1), 1), None);
+        assert_eq!(c.get(LfsFileId(2), 0), None);
+    }
+
+    #[test]
+    fn eviction_prefers_recent() {
+        let mut c = LinkCache::new(8);
+        for i in 0..8 {
+            c.put(LfsFileId(1), i, info(i));
+        }
+        // Touch the last few to refresh them, then overflow.
+        for i in 4..8 {
+            c.get(LfsFileId(1), i);
+        }
+        c.put(LfsFileId(1), 100, info(100));
+        assert!(c.len() <= 8);
+        for i in 4..8 {
+            assert!(c.peek(LfsFileId(1), i).is_some(), "recent entry {i} kept");
+        }
+        assert!(c.peek(LfsFileId(1), 100).is_some(), "new entry kept");
+    }
+
+    #[test]
+    fn invalidate_file_is_selective() {
+        let mut c = LinkCache::new(16);
+        c.put(LfsFileId(1), 0, info(1));
+        c.put(LfsFileId(2), 0, info(2));
+        c.invalidate_file(LfsFileId(1));
+        assert_eq!(c.peek(LfsFileId(1), 0), None);
+        assert_eq!(c.peek(LfsFileId(2), 0), Some(info(2)));
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let mut c = LinkCache::new(8);
+        assert_eq!(c.hit_rate(), 0.0);
+        c.put(LfsFileId(1), 0, info(0));
+        c.get(LfsFileId(1), 0);
+        c.get(LfsFileId(1), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,769 @@
+//! The Elementary File System proper.
+//!
+//! A stateless local file system per the paper's description of Cronus EFS:
+//! files are doubly linked circular lists of blocks; every request can carry
+//! a disk-address hint; lookups search from the closest of the beginning,
+//! the end, and the hint; deletion explicitly frees block by block. One
+//! `Efs` owns one [`SimDisk`] and is in turn owned by the LFS server
+//! process of its node.
+
+use crate::alloc::BlockAllocator;
+use crate::cache::{LinkCache, LinkInfo};
+use crate::directory::{DirEntry, Directory};
+use crate::error::EfsError;
+use crate::layout::{
+    decode_block, encode_block, encode_free_block, is_free_block, EfsHeader, LfsFileId,
+    EFS_PAYLOAD,
+};
+use bytes::{Buf, BufMut};
+use parsim::{Ctx, SimDuration};
+use simdisk::{BlockAddr, BlockDevice, SimDisk};
+
+const SUPERBLOCK_MAGIC: u32 = 0xB21D_6EF5;
+const SUPERBLOCK_VERSION: u32 = 1;
+
+/// Tuning knobs for one EFS instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EfsConfig {
+    /// Directory hash buckets (one disk block each).
+    pub dir_buckets: u32,
+    /// Entries held by the link cache.
+    pub link_cache_capacity: usize,
+    /// CPU time charged for handling one request (a late-1980s processor
+    /// threading a request through the server; the paper's Table 2
+    /// constants include this).
+    pub cpu_per_request: SimDuration,
+}
+
+impl Default for EfsConfig {
+    fn default() -> Self {
+        EfsConfig {
+            dir_buckets: 128,
+            link_cache_capacity: 256,
+            cpu_per_request: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// Metadata returned by [`Efs::stat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileInfo {
+    /// The file's numeric name.
+    pub file: LfsFileId,
+    /// Size in blocks.
+    pub size: u32,
+    /// Disk address of block 0, if the file is non-empty. Useful as a hint.
+    pub first: Option<BlockAddr>,
+    /// Disk address of the last block, if the file is non-empty.
+    pub last: Option<BlockAddr>,
+}
+
+/// Operation counters for one EFS instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EfsStats {
+    /// Requests served (all kinds).
+    pub requests: u64,
+    /// Block reads served.
+    pub reads: u64,
+    /// Block writes served (overwrites and appends).
+    pub writes: u64,
+    /// Appends among the writes.
+    pub appends: u64,
+    /// Blocks freed by deletes.
+    pub blocks_freed: u64,
+    /// List-walk steps taken to locate blocks.
+    pub walk_steps: u64,
+    /// Hint blocks probed.
+    pub hint_probes: u64,
+}
+
+/// Result of an offline consistency check ([`Efs::fsck`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FsckReport {
+    /// Files found in the directory.
+    pub files: u32,
+    /// Live data blocks accounted for.
+    pub blocks: u32,
+    /// Inconsistencies found (empty means clean).
+    pub errors: Vec<String>,
+}
+
+/// One Elementary File System instance over one block device (a plain
+/// [`SimDisk`] by default; the baseline crate substitutes striped sets and
+/// storage arrays).
+#[derive(Debug)]
+pub struct Efs<D: BlockDevice = SimDisk> {
+    disk: D,
+    config: EfsConfig,
+    dir: Directory,
+    alloc: BlockAllocator,
+    links: LinkCache,
+    stats: EfsStats,
+    data_start: u32,
+    bitmap_start: u32,
+    bitmap_blocks: u32,
+}
+
+struct Layout {
+    dir_start: u32,
+    bitmap_start: u32,
+    bitmap_blocks: u32,
+    data_start: u32,
+}
+
+fn layout_for(disk: &dyn BlockDevice, dir_buckets: u32) -> Layout {
+    let capacity = disk.capacity_blocks();
+    let bits_per_block = (disk.geometry().block_size * 8) as u32;
+    let dir_start = 1;
+    let bitmap_start = dir_start + dir_buckets;
+    let bitmap_blocks = capacity.div_ceil(bits_per_block);
+    let data_start = bitmap_start + bitmap_blocks;
+    assert!(
+        data_start < capacity,
+        "disk too small for metadata ({data_start} metadata blocks, {capacity} total)"
+    );
+    Layout {
+        dir_start,
+        bitmap_start,
+        bitmap_blocks,
+        data_start,
+    }
+}
+
+impl<D: BlockDevice> Efs<D> {
+    /// Formats `disk` and returns a fresh file system. Formatting is
+    /// untimed (it happens before the machine "boots").
+    pub fn format(mut disk: D, config: EfsConfig) -> Self {
+        let layout = layout_for(&disk, config.dir_buckets);
+        let capacity = disk.capacity_blocks();
+
+        let dir = Directory::new(layout.dir_start, config.dir_buckets);
+        dir.format(&mut disk);
+
+        let alloc = BlockAllocator::new(layout.data_start, capacity);
+        let block_size = disk.geometry().block_size;
+
+        // Superblock.
+        let mut sb = Vec::with_capacity(block_size);
+        sb.put_u32_le(SUPERBLOCK_MAGIC);
+        sb.put_u32_le(SUPERBLOCK_VERSION);
+        sb.put_u32_le(layout.dir_start);
+        sb.put_u32_le(config.dir_buckets);
+        sb.put_u32_le(layout.bitmap_start);
+        sb.put_u32_le(layout.bitmap_blocks);
+        sb.put_u32_le(layout.data_start);
+        sb.put_u32_le(capacity);
+        sb.resize(block_size, 0);
+        disk.write_raw(BlockAddr::new(0), &sb);
+
+        let mut efs = Efs {
+            disk,
+            config,
+            dir,
+            alloc,
+            links: LinkCache::new(config.link_cache_capacity),
+            stats: EfsStats::default(),
+            data_start: layout.data_start,
+            bitmap_start: layout.bitmap_start,
+            bitmap_blocks: layout.bitmap_blocks,
+        };
+        efs.write_bitmap_raw();
+        efs
+    }
+
+    /// Re-attaches to a previously formatted disk (untimed). The allocator
+    /// state is read from the persisted bitmap, so call
+    /// [`Efs::sync`] before unmounting, or run [`Efs::fsck`] after
+    /// mounting to rebuild it from the block structure itself.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::Corrupt`] if the superblock is missing or invalid.
+    pub fn mount(disk: D, config: EfsConfig) -> Result<Self, EfsError> {
+        let sb = disk
+            .read_raw(BlockAddr::new(0))
+            .ok_or_else(|| EfsError::Corrupt("no superblock".into()))?;
+        let mut buf = sb;
+        let magic = buf.get_u32_le();
+        if magic != SUPERBLOCK_MAGIC {
+            return Err(EfsError::Corrupt(format!("bad superblock magic {magic:#x}")));
+        }
+        let version = buf.get_u32_le();
+        if version != SUPERBLOCK_VERSION {
+            return Err(EfsError::Corrupt(format!("unsupported version {version}")));
+        }
+        let dir_start = buf.get_u32_le();
+        let dir_buckets = buf.get_u32_le();
+        let bitmap_start = buf.get_u32_le();
+        let bitmap_blocks = buf.get_u32_le();
+        let data_start = buf.get_u32_le();
+        let capacity = buf.get_u32_le();
+        if capacity != disk.capacity_blocks() {
+            return Err(EfsError::Corrupt(
+                "superblock capacity disagrees with device".into(),
+            ));
+        }
+
+        // Rebuild the allocator from the persisted bitmap.
+        let mut alloc = BlockAllocator::new(data_start, capacity);
+        for i in 0..bitmap_blocks {
+            let bytes = disk
+                .read_raw(BlockAddr::new(bitmap_start + i))
+                .ok_or_else(|| EfsError::Corrupt("bitmap region unreadable".into()))?;
+            let base = i as u64 * (bytes.len() as u64 * 8);
+            for (byte_idx, &byte) in bytes.iter().enumerate() {
+                if byte == 0 {
+                    continue;
+                }
+                for bit in 0..8 {
+                    if byte >> bit & 1 == 1 {
+                        let block = base + byte_idx as u64 * 8 + bit;
+                        if block >= u64::from(data_start) && block < u64::from(capacity) {
+                            alloc.reserve(BlockAddr::new(block as u32));
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Efs {
+            dir: Directory::new(dir_start, dir_buckets),
+            alloc,
+            links: LinkCache::new(config.link_cache_capacity),
+            stats: EfsStats::default(),
+            data_start,
+            bitmap_start,
+            bitmap_blocks,
+            disk,
+            config,
+        })
+    }
+
+    /// This instance's configuration.
+    pub fn config(&self) -> EfsConfig {
+        self.config
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> EfsStats {
+        self.stats
+    }
+
+    /// The underlying device (for its counters).
+    pub fn disk(&self) -> &D {
+        &self.disk
+    }
+
+    /// Consumes the file system, returning the device (e.g. to remount).
+    pub fn into_disk(self) -> D {
+        self.disk
+    }
+
+    /// Free data blocks remaining.
+    pub fn free_blocks(&self) -> u32 {
+        self.alloc.free_blocks()
+    }
+
+    /// Link-cache hit rate so far (0.0 when unused), and entries held.
+    pub fn link_cache_usage(&self) -> (f64, usize) {
+        (self.links.hit_rate(), self.links.len())
+    }
+
+    fn charge_cpu(&mut self, ctx: &mut Ctx) {
+        self.stats.requests += 1;
+        ctx.delay(self.config.cpu_per_request);
+    }
+
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::FileExists`] or [`EfsError::DirectoryFull`].
+    pub fn create(&mut self, ctx: &mut Ctx, file: LfsFileId) -> Result<(), EfsError> {
+        self.charge_cpu(ctx);
+        self.dir.insert(
+            ctx,
+            &mut self.disk,
+            DirEntry {
+                file,
+                first: BlockAddr::new(0),
+                last: BlockAddr::new(0),
+                size: 0,
+            },
+        )
+    }
+
+    /// File metadata; the returned addresses make good hints.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::UnknownFile`].
+    pub fn stat(&mut self, ctx: &mut Ctx, file: LfsFileId) -> Result<FileInfo, EfsError> {
+        self.charge_cpu(ctx);
+        let entry = self
+            .dir
+            .lookup(ctx, &mut self.disk, file)?
+            .ok_or(EfsError::UnknownFile(file))?;
+        Ok(FileInfo {
+            file,
+            size: entry.size,
+            first: (entry.size > 0).then_some(entry.first),
+            last: (entry.size > 0).then_some(entry.last),
+        })
+    }
+
+    /// Reads local block `block_no` of `file`, returning the 1000-byte
+    /// payload and the block's disk address (the natural hint for the next
+    /// request).
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::UnknownFile`], [`EfsError::BlockOutOfRange`], or
+    /// [`EfsError::Corrupt`].
+    pub fn read(
+        &mut self,
+        ctx: &mut Ctx,
+        file: LfsFileId,
+        block_no: u32,
+        hint: Option<BlockAddr>,
+    ) -> Result<(Vec<u8>, BlockAddr), EfsError> {
+        self.charge_cpu(ctx);
+        self.stats.reads += 1;
+        let entry = self
+            .dir
+            .lookup(ctx, &mut self.disk, file)?
+            .ok_or(EfsError::UnknownFile(file))?;
+        if block_no >= entry.size {
+            return Err(EfsError::BlockOutOfRange {
+                file,
+                block_no,
+                size: entry.size,
+            });
+        }
+        let addr = self.locate(ctx, &entry, block_no, hint)?;
+        let (header, payload) = self.read_and_check(ctx, addr, file, block_no)?;
+        self.links.put(
+            file,
+            block_no,
+            LinkInfo {
+                addr,
+                next: header.next,
+                prev: header.prev,
+            },
+        );
+        Ok((payload, addr))
+    }
+
+    /// Writes local block `block_no` of `file`: an in-place overwrite when
+    /// `block_no < size`, an append when `block_no == size`. Returns the
+    /// block's disk address.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::UnknownFile`], [`EfsError::WriteBeyondEnd`],
+    /// [`EfsError::PayloadTooLarge`], or [`EfsError::NoSpace`].
+    pub fn write(
+        &mut self,
+        ctx: &mut Ctx,
+        file: LfsFileId,
+        block_no: u32,
+        payload: &[u8],
+        hint: Option<BlockAddr>,
+    ) -> Result<BlockAddr, EfsError> {
+        self.charge_cpu(ctx);
+        if payload.len() > EFS_PAYLOAD {
+            return Err(EfsError::PayloadTooLarge {
+                provided: payload.len(),
+            });
+        }
+        self.stats.writes += 1;
+        let entry = self
+            .dir
+            .lookup(ctx, &mut self.disk, file)?
+            .ok_or(EfsError::UnknownFile(file))?;
+        match block_no.cmp(&entry.size) {
+            std::cmp::Ordering::Less => self.overwrite(ctx, &entry, block_no, payload, hint),
+            std::cmp::Ordering::Equal => {
+                self.stats.appends += 1;
+                self.append(ctx, entry, payload)
+            }
+            std::cmp::Ordering::Greater => Err(EfsError::WriteBeyondEnd {
+                file,
+                block_no,
+                size: entry.size,
+            }),
+        }
+    }
+
+    /// Deletes a file, sequentially freeing every block — the Cronus
+    /// resiliency remnant that makes Delete O(size): "a file deletion
+    /// algorithm that traverses the file sequentially, explicitly freeing
+    /// each block". Returns the number of blocks freed.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::UnknownFile`] or [`EfsError::Corrupt`].
+    pub fn delete(&mut self, ctx: &mut Ctx, file: LfsFileId) -> Result<u32, EfsError> {
+        self.charge_cpu(ctx);
+        let entry = self.dir.remove(ctx, &mut self.disk, file)?;
+        let mut addr = entry.first;
+        let tombstone = encode_free_block();
+        for block_no in 0..entry.size {
+            let (header, _) = self.read_and_check(ctx, addr, file, block_no)?;
+            self.disk.write(ctx, addr, &tombstone)?;
+            self.alloc.release(addr);
+            self.stats.blocks_freed += 1;
+            addr = header.next;
+        }
+        self.links.invalidate_file(file);
+        Ok(entry.size)
+    }
+
+    /// Flushes the directory and allocation bitmap to disk (timed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn sync(&mut self, ctx: &mut Ctx) -> Result<(), EfsError> {
+        self.dir.sync(ctx, &mut self.disk)?;
+        let block_size = self.disk.geometry().block_size;
+        let bytes = self.alloc.to_bytes();
+        for i in 0..self.bitmap_blocks {
+            let start = i as usize * block_size;
+            let end = (start + block_size).min(bytes.len());
+            let mut chunk = bytes[start..end.max(start)].to_vec();
+            chunk.resize(block_size, 0);
+            self.disk
+                .write(ctx, BlockAddr::new(self.bitmap_start + i), &chunk)?;
+        }
+        Ok(())
+    }
+
+    /// All files on this LFS (untimed; debugging and tools' tests).
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::Corrupt`] if a directory bucket fails to decode.
+    pub fn list_files_raw(&self) -> Result<Vec<FileInfo>, EfsError> {
+        Ok(self
+            .dir
+            .scan_raw(&self.disk)?
+            .into_iter()
+            .map(|e| FileInfo {
+                file: e.file,
+                size: e.size,
+                first: (e.size > 0).then_some(e.first),
+                last: (e.size > 0).then_some(e.last),
+            })
+            .collect())
+    }
+
+    /// Offline consistency check (untimed): walks every file's block list,
+    /// validates headers and back-pointers, and rebuilds the allocator from
+    /// what it finds.
+    pub fn fsck(&mut self) -> FsckReport {
+        let mut report = FsckReport::default();
+        let entries = match self.dir.scan_raw(&self.disk) {
+            Ok(e) => e,
+            Err(e) => {
+                report.errors.push(format!("directory scan failed: {e}"));
+                return report;
+            }
+        };
+        let capacity = self.disk.capacity_blocks();
+        let mut rebuilt = BlockAllocator::new(self.data_start, capacity);
+        for entry in entries {
+            report.files += 1;
+            let mut addr = entry.first;
+            let mut prev_addr = entry.last;
+            for block_no in 0..entry.size {
+                let bytes = match self.disk.read_raw(addr) {
+                    Some(b) => b,
+                    None => {
+                        report
+                            .errors
+                            .push(format!("{}: block {block_no} at {addr} unwritten", entry.file));
+                        break;
+                    }
+                };
+                if is_free_block(bytes) {
+                    report
+                        .errors
+                        .push(format!("{}: block {block_no} at {addr} is freed", entry.file));
+                    break;
+                }
+                match decode_block(bytes) {
+                    Ok((header, _)) => {
+                        if header.file != entry.file || header.block_no != block_no {
+                            report.errors.push(format!(
+                                "{}: block {block_no} at {addr} labeled {} #{}",
+                                entry.file, header.file, header.block_no
+                            ));
+                        }
+                        if block_no > 0 && header.prev != prev_addr {
+                            report.errors.push(format!(
+                                "{}: block {block_no} back-pointer {} != {}",
+                                entry.file, header.prev, prev_addr
+                            ));
+                        }
+                        rebuilt.reserve(addr);
+                        report.blocks += 1;
+                        prev_addr = addr;
+                        addr = header.next;
+                    }
+                    Err(e) => {
+                        report
+                            .errors
+                            .push(format!("{}: block {block_no} at {addr}: {e}", entry.file));
+                        break;
+                    }
+                }
+            }
+        }
+        self.alloc = rebuilt;
+        report
+    }
+
+    // ----- internals ---------------------------------------------------
+
+    /// Reads and validates a data block.
+    fn read_and_check(
+        &mut self,
+        ctx: &mut Ctx,
+        addr: BlockAddr,
+        file: LfsFileId,
+        block_no: u32,
+    ) -> Result<(EfsHeader, Vec<u8>), EfsError> {
+        let bytes = self.disk.read(ctx, addr)?;
+        let (header, payload) = decode_block(&bytes)?;
+        if header.file != file || header.block_no != block_no {
+            return Err(EfsError::Corrupt(format!(
+                "expected {file} block {block_no} at {addr}, found {} block {}",
+                header.file, header.block_no
+            )));
+        }
+        Ok((header, payload))
+    }
+
+    /// Finds the disk address of `block_no`, searching "from the closest of
+    /// three locations: the beginning, the end, and the hint", with the
+    /// link cache consulted first.
+    fn locate(
+        &mut self,
+        ctx: &mut Ctx,
+        entry: &DirEntry,
+        block_no: u32,
+        hint: Option<BlockAddr>,
+    ) -> Result<BlockAddr, EfsError> {
+        let file = entry.file;
+        if let Some(info) = self.links.get(file, block_no) {
+            return Ok(info.addr);
+        }
+        // A cached neighbor points straight at the target.
+        if block_no > 0 {
+            if let Some(info) = self.links.peek(file, block_no - 1) {
+                return Ok(info.next);
+            }
+        }
+        if block_no + 1 < entry.size {
+            if let Some(info) = self.links.peek(file, block_no + 1) {
+                return Ok(info.prev);
+            }
+        }
+
+        // Candidate start positions: beginning, end, and the hint (which
+        // costs a probe read to validate).
+        let size = entry.size;
+        let mut candidates: Vec<(u32, BlockAddr)> =
+            vec![(0, entry.first), (size - 1, entry.last)];
+        if let Some(hint_addr) = hint {
+            self.stats.hint_probes += 1;
+            if let Ok(bytes) = self.disk.read(ctx, hint_addr) {
+                if let Ok((header, _)) = decode_block(&bytes) {
+                    if header.file == file && header.block_no < size {
+                        self.links.put(
+                            file,
+                            header.block_no,
+                            LinkInfo {
+                                addr: hint_addr,
+                                next: header.next,
+                                prev: header.prev,
+                            },
+                        );
+                        candidates.push((header.block_no, hint_addr));
+                    }
+                }
+            }
+        }
+
+        // Pick the start with the shortest circular walk.
+        let dist = |from: u32| -> (u32, bool) {
+            let fwd = (block_no + size - from) % size;
+            let back = (from + size - block_no) % size;
+            if fwd <= back {
+                (fwd, true)
+            } else {
+                (back, false)
+            }
+        };
+        let (&(mut cur_no, mut cur_addr), _) = candidates
+            .iter()
+            .map(|c| (c, dist(c.0).0))
+            .min_by_key(|&(_, d)| d)
+            .expect("at least two candidates");
+        let (steps, forward) = dist(cur_no);
+
+        for _ in 0..steps {
+            self.stats.walk_steps += 1;
+            let info = match self.links.peek(file, cur_no) {
+                Some(info) => info,
+                None => {
+                    let (header, _) = self.read_and_check(ctx, cur_addr, file, cur_no)?;
+                    let info = LinkInfo {
+                        addr: cur_addr,
+                        next: header.next,
+                        prev: header.prev,
+                    };
+                    self.links.put(file, cur_no, info);
+                    info
+                }
+            };
+            if forward {
+                cur_addr = info.next;
+                cur_no = (cur_no + 1) % size;
+            } else {
+                cur_addr = info.prev;
+                cur_no = (cur_no + size - 1) % size;
+            }
+        }
+        Ok(cur_addr)
+    }
+
+    fn overwrite(
+        &mut self,
+        ctx: &mut Ctx,
+        entry: &DirEntry,
+        block_no: u32,
+        payload: &[u8],
+        hint: Option<BlockAddr>,
+    ) -> Result<BlockAddr, EfsError> {
+        let file = entry.file;
+        let addr = self.locate(ctx, entry, block_no, hint)?;
+        // Need the link pointers to rebuild the header: from cache, or by
+        // reading the block.
+        let info = match self.links.peek(file, block_no) {
+            Some(info) => info,
+            None => {
+                let (header, _) = self.read_and_check(ctx, addr, file, block_no)?;
+                LinkInfo {
+                    addr,
+                    next: header.next,
+                    prev: header.prev,
+                }
+            }
+        };
+        let header = EfsHeader {
+            file,
+            block_no,
+            next: info.next,
+            prev: info.prev,
+        };
+        self.disk.write(ctx, addr, &encode_block(&header, payload))?;
+        self.links.put(file, block_no, info);
+        Ok(addr)
+    }
+
+    fn append(
+        &mut self,
+        ctx: &mut Ctx,
+        mut entry: DirEntry,
+        payload: &[u8],
+    ) -> Result<BlockAddr, EfsError> {
+        let file = entry.file;
+        let addr = self.alloc.allocate().ok_or(EfsError::NoSpace)?;
+        let block_no = entry.size;
+
+        if entry.size == 0 {
+            // A one-block file is its own circular neighborhood.
+            let header = EfsHeader {
+                file,
+                block_no: 0,
+                next: addr,
+                prev: addr,
+            };
+            self.disk.write(ctx, addr, &encode_block(&header, payload))?;
+            self.links.put(
+                file,
+                0,
+                LinkInfo {
+                    addr,
+                    next: addr,
+                    prev: addr,
+                },
+            );
+            entry.first = addr;
+            entry.last = addr;
+            entry.size = 1;
+            self.dir.update(ctx, &mut self.disk, entry)?;
+            return Ok(addr);
+        }
+
+        let first = entry.first;
+        let old_last = entry.last;
+        let header = EfsHeader {
+            file,
+            block_no,
+            next: first,
+            prev: old_last,
+        };
+        self.disk.write(ctx, addr, &encode_block(&header, payload))?;
+
+        // Fix the old tail's forward pointer (read-modify-write; the track
+        // buffer makes the read cheap on sequential appends). The head's
+        // back-pointer is represented by the directory's `last` field and
+        // repaired lazily, so appends stay O(1) in disk operations.
+        let tail_no = entry.size - 1;
+        let (tail_header, tail_payload) = self.read_and_check(ctx, old_last, file, tail_no)?;
+        let fixed = EfsHeader {
+            next: addr,
+            ..tail_header
+        };
+        self.disk
+            .write(ctx, old_last, &encode_block(&fixed, &tail_payload))?;
+        self.links.put(
+            file,
+            tail_no,
+            LinkInfo {
+                addr: old_last,
+                next: addr,
+                prev: fixed.prev,
+            },
+        );
+        self.links.put(
+            file,
+            block_no,
+            LinkInfo {
+                addr,
+                next: first,
+                prev: old_last,
+            },
+        );
+
+        entry.last = addr;
+        entry.size += 1;
+        self.dir.update(ctx, &mut self.disk, entry)?;
+        Ok(addr)
+    }
+
+    fn write_bitmap_raw(&mut self) {
+        let block_size = self.disk.geometry().block_size;
+        let bytes = self.alloc.to_bytes();
+        for i in 0..self.bitmap_blocks {
+            let start = i as usize * block_size;
+            let end = (start + block_size).min(bytes.len());
+            let mut chunk = bytes[start..end.max(start)].to_vec();
+            chunk.resize(block_size, 0);
+            self.disk.write_raw(BlockAddr::new(self.bitmap_start + i), &chunk);
+        }
+    }
+}

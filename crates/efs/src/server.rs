@@ -1,0 +1,243 @@
+//! The LFS server process: a message loop wrapping an [`Efs`] instance.
+//!
+//! "The instances of EFS are self-sufficient, and operate in ignorance of
+//! one another." Both the Bridge Server and tools talk to LFS instances
+//! with the same stateless request protocol; each request carries a client
+//! supplied id that is echoed in the reply, so a client may pipeline
+//! requests to many LFS instances and collect replies out of order.
+
+use crate::error::EfsError;
+use crate::fs::{Efs, FileInfo};
+use crate::layout::{LfsFileId, BLOCK_SIZE};
+use parsim::{Ctx, ProcId, Simulation};
+use simdisk::BlockAddr;
+
+/// A request to an LFS server process.
+#[derive(Debug)]
+pub struct LfsRequest {
+    /// Client-chosen id echoed in the reply.
+    pub id: u64,
+    /// The operation.
+    pub op: LfsOp,
+}
+
+/// Operations understood by an LFS server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LfsOp {
+    /// Create an empty file.
+    Create {
+        /// Numeric file name.
+        file: LfsFileId,
+    },
+    /// Delete a file, freeing its blocks one by one.
+    Delete {
+        /// Numeric file name.
+        file: LfsFileId,
+    },
+    /// Read one local block.
+    Read {
+        /// Numeric file name.
+        file: LfsFileId,
+        /// Local block number.
+        block: u32,
+        /// Optional disk-address hint.
+        hint: Option<BlockAddr>,
+    },
+    /// Overwrite or append one local block.
+    Write {
+        /// Numeric file name.
+        file: LfsFileId,
+        /// Local block number (`size` means append).
+        block: u32,
+        /// Payload (at most 1000 bytes; zero-padded on disk).
+        data: Vec<u8>,
+        /// Optional disk-address hint.
+        hint: Option<BlockAddr>,
+    },
+    /// Fetch file metadata.
+    Stat {
+        /// Numeric file name.
+        file: LfsFileId,
+    },
+    /// Flush directory and allocation state.
+    Sync,
+}
+
+/// A reply from an LFS server.
+#[derive(Debug)]
+pub struct LfsReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Outcome.
+    pub result: Result<LfsData, EfsError>,
+}
+
+/// Successful reply payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LfsData {
+    /// Create or Sync completed.
+    Done,
+    /// Delete completed; blocks freed.
+    Freed(u32),
+    /// Read completed.
+    Block {
+        /// The 1000-byte payload.
+        data: Vec<u8>,
+        /// Where the block lives; a good hint for the next request.
+        addr: BlockAddr,
+    },
+    /// Write completed.
+    Written {
+        /// Where the block landed; a good hint for the next request.
+        addr: BlockAddr,
+    },
+    /// Stat completed.
+    Info(FileInfo),
+}
+
+/// Fault-injection control for an LFS server process (experiments only):
+/// a failed server answers every request with
+/// [`EfsError::NodeFailed`] until revived — a fail-stop node whose peers
+/// learn of the failure when they next talk to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfsFailControl {
+    /// `true` = fail-stop; `false` = revive.
+    pub failed: bool,
+}
+
+/// Spawns an LFS server process owning `efs` on `node`; returns its id.
+///
+/// The server loops forever serving [`LfsRequest`] messages; it simply
+/// stays blocked in `recv` when traffic ends, which is how a simulation
+/// quiesces. An [`LfsFailControl`] message toggles fail-stop behaviour
+/// for failure-injection experiments.
+pub fn spawn_lfs<D: simdisk::BlockDevice + 'static>(
+    sim: &mut Simulation,
+    node: parsim::NodeId,
+    name: impl Into<String>,
+    mut efs: Efs<D>,
+) -> ProcId {
+    sim.spawn(node, name, move |ctx| {
+        let mut failed = false;
+        loop {
+            let env = ctx.recv();
+            let from = env.from();
+            let env = match env.downcast::<LfsFailControl>() {
+                Ok(control) => {
+                    failed = control.failed;
+                    continue;
+                }
+                Err(env) => env,
+            };
+            match env.downcast::<LfsRequest>() {
+                Ok(req) => {
+                    let reply = if failed {
+                        LfsReply {
+                            id: req.id,
+                            result: Err(EfsError::NodeFailed),
+                        }
+                    } else {
+                        serve(ctx, &mut efs, req)
+                    };
+                    let bytes = reply_wire_size(&reply);
+                    ctx.send_sized(from, reply, bytes);
+                }
+                Err(env) => panic!("LFS received a non-request message: {env:?}"),
+            }
+        }
+    })
+}
+
+/// Handles one request against `efs`, producing the reply.
+pub fn serve<D: simdisk::BlockDevice>(ctx: &mut Ctx, efs: &mut Efs<D>, req: LfsRequest) -> LfsReply {
+    let result = match req.op {
+        LfsOp::Create { file } => efs.create(ctx, file).map(|()| LfsData::Done),
+        LfsOp::Delete { file } => efs.delete(ctx, file).map(LfsData::Freed),
+        LfsOp::Read { file, block, hint } => efs
+            .read(ctx, file, block, hint)
+            .map(|(data, addr)| LfsData::Block { data, addr }),
+        LfsOp::Write {
+            file,
+            block,
+            data,
+            hint,
+        } => efs
+            .write(ctx, file, block, &data, hint)
+            .map(|addr| LfsData::Written { addr }),
+        LfsOp::Stat { file } => efs.stat(ctx, file).map(LfsData::Info),
+        LfsOp::Sync => efs.sync(ctx).map(|()| LfsData::Done),
+    };
+    LfsReply { id: req.id, result }
+}
+
+/// Wire size charged to a request (block writes carry a block).
+pub fn request_wire_size(op: &LfsOp) -> usize {
+    match op {
+        LfsOp::Write { data, .. } => 32 + data.len(),
+        _ => 32,
+    }
+}
+
+/// Wire size charged to a reply (block reads carry a block).
+pub fn reply_wire_size(reply: &LfsReply) -> usize {
+    match &reply.result {
+        Ok(LfsData::Block { .. }) => BLOCK_SIZE + 16,
+        _ => 32,
+    }
+}
+
+/// Client-side helper for talking to LFS servers from inside a simulated
+/// process: sends requests (optionally pipelined) and matches replies by
+/// id, stashing unrelated traffic via [`Ctx::recv_where`].
+#[derive(Debug)]
+pub struct LfsClient {
+    next_id: u64,
+}
+
+impl Default for LfsClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LfsClient {
+    /// Creates a client with a fresh id sequence.
+    pub fn new() -> Self {
+        LfsClient { next_id: 1 }
+    }
+
+    /// Sends `op` to `server` and returns the request id.
+    pub fn send(&mut self, ctx: &mut Ctx, server: ProcId, op: LfsOp) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = request_wire_size(&op);
+        ctx.send_sized(server, LfsRequest { id, op }, bytes);
+        id
+    }
+
+    /// Waits for the reply to `id` from `server`.
+    pub fn wait(&mut self, ctx: &mut Ctx, server: ProcId, id: u64) -> Result<LfsData, EfsError> {
+        let env = ctx.recv_where(|e| {
+            e.from() == server
+                && e.downcast_ref::<LfsReply>().is_some_and(|r| r.id == id)
+        });
+        env.downcast::<LfsReply>()
+            .expect("predicate guarantees type")
+            .result
+    }
+
+    /// Round trip: send and wait.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`EfsError`].
+    pub fn call(
+        &mut self,
+        ctx: &mut Ctx,
+        server: ProcId,
+        op: LfsOp,
+    ) -> Result<LfsData, EfsError> {
+        let id = self.send(ctx, server, op);
+        self.wait(ctx, server, id)
+    }
+}

@@ -1,0 +1,106 @@
+//! Message envelopes delivered between simulated processes.
+
+use crate::process::ProcId;
+use crate::time::SimTime;
+use std::any::Any;
+use std::fmt;
+
+/// A message as received by a process: sender, timing, and a type-erased
+/// payload.
+///
+/// Payloads are type-erased so that independently developed layers (the
+/// Bridge server protocol, the EFS protocol, tool-private tokens) can share
+/// one mailbox, exactly as processes on the Butterfly shared one atomic
+/// queue. Use [`Envelope::is`] / [`Envelope::downcast`] to recover the
+/// concrete type, or the typed helpers on
+/// [`Ctx`](crate::Ctx) such as [`Ctx::recv_as`](crate::Ctx::recv_as).
+pub struct Envelope {
+    pub(crate) from: ProcId,
+    pub(crate) sent_at: SimTime,
+    pub(crate) delivered_at: SimTime,
+    pub(crate) payload: Box<dyn Any + Send>,
+}
+
+impl Envelope {
+    /// The process that sent this message.
+    pub fn from(&self) -> ProcId {
+        self.from
+    }
+
+    /// Virtual time at which the sender posted the message.
+    pub fn sent_at(&self) -> SimTime {
+        self.sent_at
+    }
+
+    /// Virtual time at which the message reached this process's mailbox.
+    pub fn delivered_at(&self) -> SimTime {
+        self.delivered_at
+    }
+
+    /// True if the payload is of type `M`.
+    pub fn is<M: 'static>(&self) -> bool {
+        self.payload.is::<M>()
+    }
+
+    /// Recovers the payload as `M`, or returns the envelope unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` if the payload is not of type `M`.
+    pub fn downcast<M: 'static>(self) -> Result<M, Envelope> {
+        match self.payload.downcast::<M>() {
+            Ok(b) => Ok(*b),
+            Err(payload) => Err(Envelope { payload, ..self }),
+        }
+    }
+
+    /// Borrows the payload as `M` if it has that type.
+    pub fn downcast_ref<M: 'static>(&self) -> Option<&M> {
+        self.payload.downcast_ref::<M>()
+    }
+}
+
+impl fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Envelope")
+            .field("from", &self.from)
+            .field("sent_at", &self.sent_at)
+            .field("delivered_at", &self.delivered_at)
+            .field("payload", &"<dyn Any>")
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope_with(payload: Box<dyn Any + Send>) -> Envelope {
+        Envelope {
+            from: ProcId(7),
+            sent_at: SimTime::ZERO,
+            delivered_at: SimTime::from_nanos(5),
+            payload,
+        }
+    }
+
+    #[test]
+    fn downcast_success_and_failure() {
+        let env = envelope_with(Box::new(42u32));
+        assert!(env.is::<u32>());
+        assert!(!env.is::<String>());
+        assert_eq!(env.downcast_ref::<u32>(), Some(&42));
+
+        let env = env.downcast::<String>().expect_err("wrong type must fail");
+        assert_eq!(env.from(), ProcId(7));
+        assert_eq!(env.downcast::<u32>().expect("right type"), 42);
+    }
+
+    #[test]
+    fn metadata_preserved() {
+        let env = envelope_with(Box::new(()));
+        assert_eq!(env.sent_at(), SimTime::ZERO);
+        assert_eq!(env.delivered_at(), SimTime::from_nanos(5));
+        assert!(format!("{env:?}").contains("Envelope"));
+    }
+}

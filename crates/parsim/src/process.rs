@@ -1,0 +1,305 @@
+//! Simulated processes and the context handle they run with.
+
+use crate::envelope::Envelope;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+use crossbeam::channel::{Receiver, Sender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub(crate) u32);
+
+impl ProcId {
+    /// The process's index in spawn order (0-based).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// The body of a simulated process.
+pub type ProcFn = Box<dyn FnOnce(&mut Ctx) + Send + 'static>;
+
+/// Payload used to unwind a process thread when the simulation shuts down.
+/// Never observed by user code.
+pub(crate) struct ShutdownSignal;
+
+/// Scheduler → process wake-ups. Each carries the authoritative clock.
+pub(crate) enum Resume {
+    /// Start running, or resume after a delay.
+    Go { now: SimTime },
+    /// A message satisfying a pending receive.
+    Msg { env: Envelope, now: SimTime },
+    /// A `recv_timeout` expired with no message.
+    Timeout { now: SimTime },
+    /// The simulation is being torn down; unwind.
+    Shutdown,
+}
+
+/// Process → scheduler requests.
+pub(crate) enum Syscall {
+    /// Fire-and-forget message post; the process keeps running.
+    Post {
+        dst: ProcId,
+        payload: Box<dyn Any + Send>,
+        bytes: usize,
+    },
+    /// Create a new process; replies with its id on `reply`.
+    Spawn {
+        node: NodeId,
+        name: String,
+        f: ProcFn,
+        reply: Sender<ProcId>,
+    },
+    /// Block until a message arrives.
+    BlockRecv,
+    /// Block until a message arrives or the duration elapses.
+    BlockRecvTimeout(SimDuration),
+    /// Block for a fixed span of virtual time.
+    BlockDelay(SimDuration),
+    /// The process body returned (or panicked, carrying the message).
+    Exit { panic: Option<String> },
+}
+
+/// Handle through which a simulated process interacts with virtual time,
+/// the interconnect, and other processes.
+///
+/// A `&mut Ctx` is passed to every process body. All methods that block do
+/// so in *virtual* time: the calling OS thread parks and the scheduler
+/// advances the clock.
+pub struct Ctx {
+    pid: ProcId,
+    node: NodeId,
+    now: SimTime,
+    syscall_tx: Sender<(ProcId, Syscall)>,
+    resume_rx: Receiver<Resume>,
+    stash: VecDeque<Envelope>,
+    rng: SmallRng,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        pid: ProcId,
+        node: NodeId,
+        syscall_tx: Sender<(ProcId, Syscall)>,
+        resume_rx: Receiver<Resume>,
+        rng_seed: u64,
+    ) -> Self {
+        Ctx {
+            pid,
+            node,
+            now: SimTime::ZERO,
+            syscall_tx,
+            resume_rx,
+            stash: VecDeque::new(),
+            rng: SmallRng::seed_from_u64(rng_seed),
+        }
+    }
+
+    /// Parks until the scheduler starts this process; returns the start time.
+    pub(crate) fn wait_start(&mut self) {
+        match self.wait_resume() {
+            Resume::Go { now } => self.now = now,
+            _ => unreachable!("first resume must be Go or Shutdown"),
+        }
+    }
+
+    fn wait_resume(&mut self) -> Resume {
+        match self.resume_rx.recv() {
+            Ok(Resume::Shutdown) | Err(_) => std::panic::panic_any(ShutdownSignal),
+            Ok(r) => r,
+        }
+    }
+
+    fn syscall(&mut self, sc: Syscall) {
+        // A send can only fail if the scheduler is gone, in which case the
+        // simulation is being torn down.
+        if self.syscall_tx.send((self.pid, sc)).is_err() {
+            std::panic::panic_any(ShutdownSignal);
+        }
+    }
+
+    pub(crate) fn exit(&mut self, panic: Option<String>) {
+        let _ = self.syscall_tx.send((self.pid, Syscall::Exit { panic }));
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> ProcId {
+        self.pid
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// A deterministic per-process random number generator.
+    ///
+    /// Seeded from the simulation seed and the process id, so runs are
+    /// reproducible.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Advances virtual time by `d`, modelling computation or device service
+    /// time. Messages arriving in the meantime are queued, not lost.
+    pub fn delay(&mut self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        self.syscall(Syscall::BlockDelay(d));
+        match self.wait_resume() {
+            Resume::Go { now } => self.now = now,
+            _ => unreachable!("delay resumed with non-Go"),
+        }
+    }
+
+    /// Sends `msg` to `dst`, charged as a zero-byte message (header-only
+    /// cost under the latency model). Never blocks.
+    pub fn send<M: Send + 'static>(&mut self, dst: ProcId, msg: M) {
+        self.send_sized(dst, msg, 0);
+    }
+
+    /// Sends `msg` to `dst`, charging the latency model for a payload of
+    /// `bytes` bytes. Never blocks.
+    ///
+    /// Delivery order between the same (sender, receiver) pair is FIFO when
+    /// latencies are equal; the scheduler breaks virtual-time ties in post
+    /// order.
+    pub fn send_sized<M: Send + 'static>(&mut self, dst: ProcId, msg: M, bytes: usize) {
+        self.syscall(Syscall::Post {
+            dst,
+            payload: Box::new(msg),
+            bytes,
+        });
+    }
+
+    /// Receives the next message, blocking in virtual time until one is
+    /// available. Messages set aside by [`Ctx::recv_where`] are returned
+    /// first, oldest first.
+    pub fn recv(&mut self) -> Envelope {
+        if let Some(env) = self.stash.pop_front() {
+            return env;
+        }
+        self.recv_fresh()
+    }
+
+    /// Receives directly from the mailbox, bypassing the stash.
+    fn recv_fresh(&mut self) -> Envelope {
+        self.syscall(Syscall::BlockRecv);
+        match self.wait_resume() {
+            Resume::Msg { env, now } => {
+                self.now = now;
+                env
+            }
+            _ => unreachable!("recv resumed with non-Msg"),
+        }
+    }
+
+    /// Receives the next message, or returns `None` once `d` has elapsed.
+    ///
+    /// Checks the stash first (without consuming any virtual time).
+    pub fn recv_timeout(&mut self, d: SimDuration) -> Option<Envelope> {
+        if let Some(env) = self.stash.pop_front() {
+            return Some(env);
+        }
+        self.syscall(Syscall::BlockRecvTimeout(d));
+        match self.wait_resume() {
+            Resume::Msg { env, now } => {
+                self.now = now;
+                Some(env)
+            }
+            Resume::Timeout { now } => {
+                self.now = now;
+                None
+            }
+            _ => unreachable!("recv_timeout resumed with unexpected variant"),
+        }
+    }
+
+    /// Receives the first message matching `pred`, setting aside (stashing)
+    /// any non-matching messages for later `recv` calls.
+    ///
+    /// This is the selective receive that lets a process serve interleaved
+    /// protocols — e.g. a merge worker awaiting an LFS reply while merge
+    /// tokens keep arriving.
+    pub fn recv_where(&mut self, mut pred: impl FnMut(&Envelope) -> bool) -> Envelope {
+        if let Some(pos) = self.stash.iter().position(&mut pred) {
+            return self.stash.remove(pos).expect("position is in range");
+        }
+        loop {
+            let env = self.recv_fresh();
+            if pred(&env) {
+                return env;
+            }
+            self.stash.push_back(env);
+        }
+    }
+
+    /// Receives the next message whose payload is of type `M`, stashing
+    /// others, and returns the sender and payload.
+    pub fn recv_as<M: Send + 'static>(&mut self) -> (ProcId, M) {
+        let env = self.recv_where(|e| e.is::<M>());
+        let from = env.from();
+        let msg = env.downcast::<M>().expect("predicate guarantees type");
+        (from, msg)
+    }
+
+    /// Receives the next `M` sent by `src`, stashing everything else.
+    pub fn recv_from<M: Send + 'static>(&mut self, src: ProcId) -> M {
+        let env = self.recv_where(|e| e.from() == src && e.is::<M>());
+        env.downcast::<M>().expect("predicate guarantees type")
+    }
+
+    /// Number of messages currently set aside by selective receives.
+    pub fn stashed(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Spawns a new process on `node` and returns its id. The child starts
+    /// at the current virtual time, after the caller next blocks.
+    pub fn spawn(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Ctx) + Send + 'static,
+    ) -> ProcId {
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        self.syscall(Syscall::Spawn {
+            node,
+            name: name.into(),
+            f: Box::new(f),
+            reply: reply_tx,
+        });
+        match reply_rx.recv() {
+            Ok(pid) => pid,
+            Err(_) => std::panic::panic_any(ShutdownSignal),
+        }
+    }
+}
+
+impl fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx")
+            .field("pid", &self.pid)
+            .field("node", &self.node)
+            .field("now", &self.now)
+            .field("stash", &self.stash.len())
+            .finish()
+    }
+}

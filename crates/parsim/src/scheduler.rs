@@ -1,0 +1,527 @@
+//! The deterministic event scheduler.
+//!
+//! Exactly one simulated process executes at any instant. Each process is an
+//! OS thread; when it blocks (message receive, delay) it parks and hands
+//! control back to the scheduler, which pops the next event in
+//! (virtual-time, sequence) order. Runs are therefore bit-for-bit
+//! reproducible regardless of host scheduling.
+
+use crate::envelope::Envelope;
+use crate::process::{Ctx, ProcFn, ProcId, Resume, ShutdownSignal, Syscall};
+use crate::time::SimTime;
+use crate::topology::{LatencyModel, NodeId, UniformLatency};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+use std::thread::JoinHandle;
+
+/// Configuration for a [`Simulation`].
+pub struct SimConfig {
+    /// Interconnect latency model.
+    pub latency: Box<dyn LatencyModel>,
+    /// Seed for per-process deterministic RNGs.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: Box::new(UniformLatency::default()),
+            seed: 0x0b71dce5,
+        }
+    }
+}
+
+impl std::fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("latency", &"<dyn LatencyModel>")
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+/// Counters describing a completed [`Simulation::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Events popped from the queue.
+    pub events: u64,
+    /// Messages delivered to mailboxes or waiting receivers.
+    pub messages: u64,
+    /// Processes spawned over the simulation's lifetime.
+    pub spawned: u64,
+    /// Virtual time when the run stopped.
+    pub end_time: SimTime,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum ProcState {
+    /// Spawned; start event pending.
+    Starting,
+    /// Currently executing (at most one process at a time).
+    Running,
+    BlockedRecv,
+    BlockedRecvTimeout,
+    BlockedDelay,
+    Dead,
+}
+
+struct ProcSlot {
+    name: String,
+    node: NodeId,
+    resume_tx: Sender<Resume>,
+    join: Option<JoinHandle<()>>,
+    state: ProcState,
+    mailbox: VecDeque<Envelope>,
+    /// Generation counter invalidating stale wake events.
+    wake_gen: u64,
+}
+
+enum EventKind {
+    Start { pid: ProcId },
+    Deliver { dst: ProcId, env: Envelope },
+    Wake { pid: ProcId, gen: u64 },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation of a message-passing
+/// multiprocessor.
+///
+/// # Examples
+///
+/// Two processes on different nodes exchanging a message:
+///
+/// ```
+/// use parsim::{SimConfig, SimDuration, Simulation};
+///
+/// let mut sim = Simulation::new(SimConfig::default());
+/// let a = sim.add_node("a");
+/// let b = sim.add_node("b");
+///
+/// let pong = sim.spawn(b, "pong", |ctx| {
+///     let (from, n) = ctx.recv_as::<u32>();
+///     ctx.send(from, n + 1);
+/// });
+///
+/// let got = sim.block_on(a, "ping", move |ctx| {
+///     ctx.send(pong, 41u32);
+///     let (_, n) = ctx.recv_as::<u32>();
+///     n
+/// });
+/// assert_eq!(got, 42);
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    procs: Vec<ProcSlot>,
+    nodes: Vec<String>,
+    syscall_tx: Sender<(ProcId, Syscall)>,
+    syscall_rx: Receiver<(ProcId, Syscall)>,
+    latency: Box<dyn LatencyModel>,
+    seed: u64,
+    stats: RunStats,
+}
+
+/// Suppress the panic-hook output for the internal shutdown unwind while
+/// leaving genuine panics fully reported.
+fn install_panic_filter() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Mixes the simulation seed with a process id into an RNG seed
+/// (splitmix64 finalizer).
+fn mix_seed(seed: u64, pid: u32) -> u64 {
+    let mut z = seed ^ (u64::from(pid).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+static THREAD_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+impl Simulation {
+    /// Creates an empty simulation with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        install_panic_filter();
+        let (syscall_tx, syscall_rx) = unbounded();
+        Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            procs: Vec::new(),
+            nodes: Vec::new(),
+            syscall_tx,
+            syscall_rx,
+            latency: config.latency,
+            seed: config.seed,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Adds a processing node and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.nodes.push(name.into());
+        id
+    }
+
+    /// Adds `n` nodes named `prefix0..prefix{n-1}` and returns their ids.
+    pub fn add_nodes(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
+        (0..n).map(|i| self.add_node(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of processes that are not dead.
+    pub fn live_processes(&self) -> usize {
+        self.procs.iter().filter(|p| p.state != ProcState::Dead).count()
+    }
+
+    /// The registered name of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not spawned by this simulation.
+    pub fn process_name(&self, pid: ProcId) -> &str {
+        &self.procs[pid.index()].name
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Spawns a process on `node`; it starts at the current virtual time
+    /// once [`Simulation::run`] is (next) called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not created by [`Simulation::add_node`].
+    pub fn spawn(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Ctx) + Send + 'static,
+    ) -> ProcId {
+        self.spawn_boxed(node, name.into(), Box::new(f))
+    }
+
+    fn spawn_boxed(&mut self, node: NodeId, name: String, f: ProcFn) -> ProcId {
+        assert!(
+            node.index() < self.nodes.len(),
+            "node {node} does not exist"
+        );
+        let pid = ProcId(u32::try_from(self.procs.len()).expect("too many processes"));
+        let (resume_tx, resume_rx) = unbounded();
+        let syscall_tx = self.syscall_tx.clone();
+        let rng_seed = mix_seed(self.seed, pid.0);
+        let serial = THREAD_SERIAL.fetch_add(1, Ordering::Relaxed);
+        let thread_name = format!("parsim-{serial}-{name}");
+        let join = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let mut ctx = Ctx::new(pid, node, syscall_tx, resume_rx, rng_seed);
+                // The shutdown unwind raises ShutdownSignal from inside
+                // wait_start/recv/delay; catch it here so the thread exits
+                // quietly. Genuine panics are reported back to the scheduler.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    ctx.wait_start();
+                    f(&mut ctx);
+                }));
+                match result {
+                    Ok(()) => ctx.exit(None),
+                    Err(payload) => {
+                        if payload.downcast_ref::<ShutdownSignal>().is_none() {
+                            let msg = panic_message(&*payload);
+                            ctx.exit(Some(msg));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn simulation thread");
+        self.procs.push(ProcSlot {
+            name,
+            node,
+            resume_tx,
+            join: Some(join),
+            state: ProcState::Starting,
+            mailbox: VecDeque::new(),
+            wake_gen: 0,
+        });
+        self.stats.spawned += 1;
+        self.push_event(self.now, EventKind::Start { pid });
+        pid
+    }
+
+    /// Runs until no events remain (all processes exited or are blocked
+    /// waiting for messages that will never arrive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a simulated process panics, propagating its message.
+    pub fn run(&mut self) -> RunStats {
+        self.run_inner(None)
+    }
+
+    /// Runs until the event queue is exhausted or the next event would
+    /// occur after `limit`; the clock is left at `min(limit, end)`.
+    pub fn run_until(&mut self, limit: SimTime) -> RunStats {
+        let stats = self.run_inner(Some(limit));
+        if self.now < limit {
+            self.now = limit;
+        }
+        stats
+    }
+
+    fn run_inner(&mut self, limit: Option<SimTime>) -> RunStats {
+        loop {
+            match self.events.peek() {
+                None => break,
+                Some(Reverse(ev)) => {
+                    if let Some(limit) = limit {
+                        if ev.time > limit {
+                            break;
+                        }
+                    }
+                }
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked event exists");
+            debug_assert!(ev.time >= self.now, "event time regression");
+            self.now = ev.time;
+            self.stats.events += 1;
+            match ev.kind {
+                EventKind::Start { pid } => {
+                    debug_assert_eq!(self.procs[pid.index()].state, ProcState::Starting);
+                    self.resume(pid, Resume::Go { now: self.now });
+                    self.run_process(pid);
+                }
+                EventKind::Deliver { dst, env } => {
+                    self.stats.messages += 1;
+                    let slot = &mut self.procs[dst.index()];
+                    match slot.state {
+                        ProcState::BlockedRecv | ProcState::BlockedRecvTimeout => {
+                            // Invalidate any pending recv-timeout wake.
+                            slot.wake_gen += 1;
+                            self.resume(dst, Resume::Msg { env, now: self.now });
+                            self.run_process(dst);
+                        }
+                        ProcState::Dead => { /* dropped on the floor */ }
+                        ProcState::Starting | ProcState::BlockedDelay => {
+                            slot.mailbox.push_back(env);
+                        }
+                        ProcState::Running => {
+                            unreachable!("no process runs while the scheduler dispatches")
+                        }
+                    }
+                }
+                EventKind::Wake { pid, gen } => {
+                    let slot = &self.procs[pid.index()];
+                    if slot.wake_gen != gen {
+                        continue; // stale: superseded by a message or later block
+                    }
+                    match slot.state {
+                        ProcState::BlockedDelay => {
+                            self.resume(pid, Resume::Go { now: self.now });
+                            self.run_process(pid);
+                        }
+                        ProcState::BlockedRecvTimeout => {
+                            self.resume(pid, Resume::Timeout { now: self.now });
+                            self.run_process(pid);
+                        }
+                        _ => { /* stale */ }
+                    }
+                }
+            }
+        }
+        RunStats {
+            end_time: self.now,
+            ..self.stats
+        }
+    }
+
+    fn resume(&mut self, pid: ProcId, r: Resume) {
+        let slot = &mut self.procs[pid.index()];
+        slot.state = ProcState::Running;
+        slot.resume_tx
+            .send(r)
+            .expect("process thread terminated without Exit");
+    }
+
+    /// Services syscalls from `pid` until it blocks or exits.
+    fn run_process(&mut self, pid: ProcId) {
+        loop {
+            let (from, sc) = self
+                .syscall_rx
+                .recv()
+                .expect("syscall channel closed while a process was running");
+            debug_assert_eq!(from, pid, "syscall from a process that is not running");
+            match sc {
+                Syscall::Post { dst, payload, bytes } => {
+                    assert!(
+                        dst.index() < self.procs.len(),
+                        "message to unknown process {dst}"
+                    );
+                    let lat = self.latency.latency(
+                        self.procs[pid.index()].node,
+                        self.procs[dst.index()].node,
+                        bytes,
+                    );
+                    let env = Envelope {
+                        from: pid,
+                        sent_at: self.now,
+                        delivered_at: self.now + lat,
+                        payload,
+                    };
+                    self.push_event(self.now + lat, EventKind::Deliver { dst, env });
+                }
+                Syscall::Spawn { node, name, f, reply } => {
+                    let child = self.spawn_boxed(node, name, f);
+                    reply
+                        .send(child)
+                        .expect("spawning process vanished mid-spawn");
+                }
+                Syscall::BlockRecv => {
+                    let slot = &mut self.procs[pid.index()];
+                    if let Some(env) = slot.mailbox.pop_front() {
+                        slot.resume_tx
+                            .send(Resume::Msg { env, now: self.now })
+                            .expect("process thread terminated without Exit");
+                    } else {
+                        slot.state = ProcState::BlockedRecv;
+                        return;
+                    }
+                }
+                Syscall::BlockRecvTimeout(d) => {
+                    let slot = &mut self.procs[pid.index()];
+                    if let Some(env) = slot.mailbox.pop_front() {
+                        slot.resume_tx
+                            .send(Resume::Msg { env, now: self.now })
+                            .expect("process thread terminated without Exit");
+                    } else {
+                        slot.wake_gen += 1;
+                        slot.state = ProcState::BlockedRecvTimeout;
+                        let gen = slot.wake_gen;
+                        self.push_event(self.now + d, EventKind::Wake { pid, gen });
+                        return;
+                    }
+                }
+                Syscall::BlockDelay(d) => {
+                    let slot = &mut self.procs[pid.index()];
+                    slot.wake_gen += 1;
+                    slot.state = ProcState::BlockedDelay;
+                    let gen = slot.wake_gen;
+                    self.push_event(self.now + d, EventKind::Wake { pid, gen });
+                    return;
+                }
+                Syscall::Exit { panic } => {
+                    let slot = &mut self.procs[pid.index()];
+                    slot.state = ProcState::Dead;
+                    if let Some(msg) = panic {
+                        let name = slot.name.clone();
+                        panic!("simulated process '{name}' ({pid}) panicked: {msg}");
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Spawns `f`, runs the simulation to quiescence, and returns `f`'s
+    /// result. The go-to way to drive a simulation from a test or bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation quiesces before `f` completes (deadlock).
+    pub fn block_on<R: Send + 'static>(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Ctx) -> R + Send + 'static,
+    ) -> R {
+        let cell = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        let out = cell.clone();
+        let name = name.into();
+        self.spawn(node, name.clone(), move |ctx| {
+            let r = f(ctx);
+            *out.lock() = Some(r);
+        });
+        self.run();
+        let result = cell.lock().take();
+        result
+            .unwrap_or_else(|| panic!("process '{name}' did not complete: simulation deadlocked"))
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        for slot in &mut self.procs {
+            if slot.state != ProcState::Dead {
+                let _ = slot.resume_tx.send(Resume::Shutdown);
+            }
+        }
+        for slot in &mut self.procs {
+            if let Some(join) = slot.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("processes", &self.procs.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

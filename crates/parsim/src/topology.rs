@@ -1,0 +1,154 @@
+//! Machine topology: nodes and the interconnect latency model.
+//!
+//! The Bridge paper runs on a BBN Butterfly, where "messages are implemented
+//! with atomic queues and buffers in shared memory, but could be realized
+//! equally well on any local area network". We abstract the interconnect as
+//! a [`LatencyModel`]: a function from (source node, destination node,
+//! message size) to a virtual-time delay.
+
+use crate::time::SimDuration;
+use std::fmt;
+
+/// Identifies a processing node of the simulated machine.
+///
+/// Every simulated process is placed on a node; messages between processes
+/// on the *same* node are cheaper than messages that cross the interconnect,
+/// which is exactly the asymmetry Bridge tools exploit by exporting code to
+/// the node that holds the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The node's index in creation order (0-based).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Computes the virtual-time cost of moving a message between nodes.
+///
+/// Implementations must be deterministic: the simulator's reproducibility
+/// guarantee depends on it.
+pub trait LatencyModel: Send {
+    /// Delay between posting a message on `from` and its arrival at `to`.
+    fn latency(&self, from: NodeId, to: NodeId, bytes: usize) -> SimDuration;
+}
+
+/// A uniform interconnect: constant local cost, and a base-plus-per-byte
+/// cost for remote messages, independent of which pair of nodes talks.
+///
+/// The defaults approximate the Butterfly switch as the paper describes it:
+/// interprocessor communication is *slow compared to aggregate I/O
+/// bandwidth* but fast compared to a single 15 ms disk access.
+///
+/// # Examples
+///
+/// ```
+/// use parsim::{LatencyModel, SimDuration, UniformLatency};
+///
+/// let net = UniformLatency::default();
+/// // 1 KiB remote block transfer costs base + per-byte.
+/// let d = net.remote_base + net.per_byte * 1024;
+/// assert_eq!(d, SimDuration::from_nanos(100_000 + 1024 * 50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformLatency {
+    /// Cost of a message between two processes on the same node.
+    pub local: SimDuration,
+    /// Fixed cost of any message that crosses the interconnect.
+    pub remote_base: SimDuration,
+    /// Additional cost per payload byte for remote messages.
+    pub per_byte: SimDuration,
+}
+
+impl Default for UniformLatency {
+    fn default() -> Self {
+        UniformLatency {
+            local: SimDuration::from_micros(5),
+            remote_base: SimDuration::from_micros(100),
+            per_byte: SimDuration::from_nanos(50),
+        }
+    }
+}
+
+impl UniformLatency {
+    /// A model where every message, local or remote, costs exactly `d`.
+    pub fn constant(d: SimDuration) -> Self {
+        UniformLatency {
+            local: d,
+            remote_base: d,
+            per_byte: SimDuration::ZERO,
+        }
+    }
+}
+
+impl LatencyModel for UniformLatency {
+    fn latency(&self, from: NodeId, to: NodeId, bytes: usize) -> SimDuration {
+        if from == to {
+            self.local
+        } else {
+            self.remote_base + self.per_byte * bytes as u64
+        }
+    }
+}
+
+/// A free interconnect; useful for isolating disk behaviour in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeroLatency;
+
+impl LatencyModel for ZeroLatency {
+    fn latency(&self, _from: NodeId, _to: NodeId, _bytes: usize) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_local_vs_remote() {
+        let m = UniformLatency {
+            local: SimDuration::from_micros(2),
+            remote_base: SimDuration::from_micros(100),
+            per_byte: SimDuration::from_nanos(10),
+        };
+        let a = NodeId(0);
+        let b = NodeId(1);
+        assert_eq!(m.latency(a, a, 4096), SimDuration::from_micros(2));
+        assert_eq!(
+            m.latency(a, b, 1000),
+            SimDuration::from_micros(100) + SimDuration::from_micros(10)
+        );
+    }
+
+    #[test]
+    fn constant_ignores_size_and_placement() {
+        let m = UniformLatency::constant(SimDuration::from_micros(7));
+        assert_eq!(m.latency(NodeId(0), NodeId(0), 0), SimDuration::from_micros(7));
+        assert_eq!(
+            m.latency(NodeId(0), NodeId(3), 10_000),
+            SimDuration::from_micros(7)
+        );
+    }
+
+    #[test]
+    fn zero_latency_is_free() {
+        assert_eq!(
+            ZeroLatency.latency(NodeId(0), NodeId(9), 1 << 20),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn node_display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(NodeId(3).index(), 3);
+    }
+}

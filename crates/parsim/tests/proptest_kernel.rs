@@ -1,0 +1,105 @@
+//! Property tests for the simulation kernel: determinism under arbitrary
+//! workloads, FIFO delivery, and monotonic time.
+
+use parsim::{Ctx, SimConfig, SimDuration, Simulation, UniformLatency};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// A little random workload: `senders` processes each send `msgs` numbered
+/// messages to a hub, with arbitrary think times between them.
+fn run_workload(seed: u64, senders: usize, delays: &[u16]) -> Vec<(u64, u32, u32)> {
+    let mut sim = Simulation::new(SimConfig {
+        latency: Box::new(UniformLatency::default()),
+        seed,
+    });
+    let nodes: Vec<_> = (0..senders.max(1)).map(|i| sim.add_node(format!("n{i}"))).collect();
+    let hub_node = sim.add_node("hub");
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    let sunk = trace.clone();
+    let per_sender = delays.len();
+    let total = senders * per_sender;
+    let hub = sim.spawn(hub_node, "hub", move |ctx| {
+        for _ in 0..total {
+            let (_, (who, k)) = ctx.recv_as::<(u32, u32)>();
+            sunk.lock().unwrap().push((ctx.now().as_nanos(), who, k));
+        }
+    });
+    let delays = delays.to_vec();
+    for (i, &node) in nodes.iter().enumerate().take(senders) {
+        let delays = delays.clone();
+        sim.spawn(node, format!("s{i}"), move |ctx: &mut Ctx| {
+            for (k, &d) in delays.iter().enumerate() {
+                ctx.delay(SimDuration::from_micros(u64::from(d)));
+                ctx.send(hub, (i as u32, k as u32));
+            }
+        });
+    }
+    sim.run();
+    let t = trace.lock().unwrap().clone();
+    assert_eq!(t.len(), total);
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Bit-for-bit determinism: the same seed and workload produce the
+    /// same trace, timestamps included.
+    #[test]
+    fn identical_runs_produce_identical_traces(
+        seed in any::<u64>(),
+        senders in 1usize..6,
+        delays in proptest::collection::vec(0u16..5000, 1..20),
+    ) {
+        let a = run_workload(seed, senders, &delays);
+        let b = run_workload(seed, senders, &delays);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Per-sender FIFO: each sender's messages arrive in send order, and
+    /// hub timestamps never decrease.
+    #[test]
+    fn fifo_and_monotonic_time(
+        seed in any::<u64>(),
+        senders in 1usize..6,
+        delays in proptest::collection::vec(0u16..5000, 1..20),
+    ) {
+        let t = run_workload(seed, senders, &delays);
+        let mut last_time = 0u64;
+        let mut next_k = vec![0u32; senders];
+        for (time, who, k) in t {
+            prop_assert!(time >= last_time, "time is monotonic");
+            last_time = time;
+            prop_assert_eq!(k, next_k[who as usize], "sender {} in order", who);
+            next_k[who as usize] += 1;
+        }
+    }
+
+    /// Selective receive never loses messages: a process that takes the
+    /// evens first still sees every odd afterwards, in order.
+    #[test]
+    fn recv_where_conserves_messages(count in 1u32..40) {
+        let mut sim = Simulation::new(SimConfig::default());
+        let n = sim.add_node("n");
+        let (evens, odds) = sim.block_on(n, "main", move |ctx| {
+            let me = ctx.me();
+            ctx.spawn(n, "gen", move |c: &mut Ctx| {
+                for i in 0..count {
+                    c.send(me, i);
+                }
+            });
+            let mut evens = Vec::new();
+            for _ in 0..count.div_ceil(2) {
+                let env = ctx.recv_where(|e| e.downcast_ref::<u32>().is_some_and(|v| v % 2 == 0));
+                evens.push(env.downcast::<u32>().unwrap());
+            }
+            let mut odds = Vec::new();
+            for _ in 0..count / 2 {
+                odds.push(ctx.recv_as::<u32>().1);
+            }
+            (evens, odds)
+        });
+        prop_assert_eq!(evens, (0..count).step_by(2).collect::<Vec<_>>());
+        prop_assert_eq!(odds, (1..count).step_by(2).collect::<Vec<_>>());
+    }
+}

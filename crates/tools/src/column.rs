@@ -1,0 +1,169 @@
+//! Streaming one *column* of an interleaved file — the portion held by a
+//! single LFS — with hint chaining, the access pattern at the heart of
+//! every tool: "a lengthy series of interactions between the subprocesses
+//! and the instances of LFS".
+
+use crate::error::ToolError;
+use bridge_core::{decode_payload, encode_payload, BridgeHeader};
+use bridge_efs::{LfsClient, LfsData, LfsFileId, LfsOp};
+use parsim::{Ctx, ProcId};
+use simdisk::BlockAddr;
+
+/// Sequentially reads the local blocks of one constituent LFS file.
+#[derive(Debug)]
+pub struct ColumnReader {
+    lfs: ProcId,
+    file: LfsFileId,
+    size: u32,
+    next: u32,
+    hint: Option<BlockAddr>,
+}
+
+impl ColumnReader {
+    /// A reader over `size` local blocks of `file` on the LFS server `lfs`.
+    pub fn new(lfs: ProcId, file: LfsFileId, size: u32) -> Self {
+        ColumnReader {
+            lfs,
+            file,
+            size,
+            next: 0,
+            hint: None,
+        }
+    }
+
+    /// Local blocks remaining.
+    pub fn remaining(&self) -> u32 {
+        self.size - self.next
+    }
+
+    /// Reads the next local block's raw 1000-byte EFS payload, or `None`
+    /// at the end of the column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LFS errors.
+    pub fn next_raw(
+        &mut self,
+        ctx: &mut Ctx,
+        client: &mut LfsClient,
+    ) -> Result<Option<Vec<u8>>, ToolError> {
+        if self.next >= self.size {
+            return Ok(None);
+        }
+        let reply = client.call(
+            ctx,
+            self.lfs,
+            LfsOp::Read {
+                file: self.file,
+                block: self.next,
+                hint: self.hint,
+            },
+        )?;
+        match reply {
+            LfsData::Block { data, addr } => {
+                self.hint = Some(addr);
+                self.next += 1;
+                Ok(Some(data))
+            }
+            other => Err(ToolError::Protocol(format!("unexpected LFS reply {other:?}"))),
+        }
+    }
+
+    /// Reads and decodes the next Bridge block: `(header, 960-byte data)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LFS errors; [`ToolError::Bridge`] on a corrupt header.
+    pub fn next_block(
+        &mut self,
+        ctx: &mut Ctx,
+        client: &mut LfsClient,
+    ) -> Result<Option<(BridgeHeader, Vec<u8>)>, ToolError> {
+        match self.next_raw(ctx, client)? {
+            None => Ok(None),
+            Some(payload) => {
+                let (header, data) = decode_payload(&payload).map_err(ToolError::Bridge)?;
+                Ok(Some((header, data)))
+            }
+        }
+    }
+}
+
+/// Appends local blocks to one constituent LFS file.
+#[derive(Debug)]
+pub struct ColumnWriter {
+    lfs: ProcId,
+    file: LfsFileId,
+    next: u32,
+    hint: Option<BlockAddr>,
+}
+
+impl ColumnWriter {
+    /// A writer appending to `file` on `lfs`, starting at local block
+    /// `start` (pass the current local size to append to an existing
+    /// column).
+    pub fn new(lfs: ProcId, file: LfsFileId, start: u32) -> Self {
+        ColumnWriter {
+            lfs,
+            file,
+            next: start,
+            hint: None,
+        }
+    }
+
+    /// Local blocks written so far through this writer (plus the starting
+    /// offset).
+    pub fn position(&self) -> u32 {
+        self.next
+    }
+
+    /// Appends a raw 1000-byte EFS payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LFS errors.
+    pub fn append_raw(
+        &mut self,
+        ctx: &mut Ctx,
+        client: &mut LfsClient,
+        payload: Vec<u8>,
+    ) -> Result<(), ToolError> {
+        let reply = client.call(
+            ctx,
+            self.lfs,
+            LfsOp::Write {
+                file: self.file,
+                block: self.next,
+                data: payload,
+                hint: self.hint,
+            },
+        )?;
+        match reply {
+            LfsData::Written { addr } => {
+                self.hint = Some(addr);
+                self.next += 1;
+                Ok(())
+            }
+            other => Err(ToolError::Protocol(format!("unexpected LFS reply {other:?}"))),
+        }
+    }
+
+    /// Encodes and appends one Bridge block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LFS errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds 960 bytes.
+    pub fn append_block(
+        &mut self,
+        ctx: &mut Ctx,
+        client: &mut LfsClient,
+        header: &BridgeHeader,
+        data: &[u8],
+    ) -> Result<(), ToolError> {
+        self.append_raw(ctx, client, encode_payload(header, data))
+    }
+}

@@ -1,0 +1,260 @@
+//! The copy tool and its one-to-one filter family (paper §5.1).
+//!
+//! "If the copy program is written as a Bridge tool, files can be copied in
+//! time O(n/p + log(p)) with p-way interleaving. … The while loop in ecopy
+//! could contain any transformation on the blocks of data that preserves
+//! their number and order" — character translation, encryption, lexical
+//! analysis on fixed-length lines. `copy_with` is exactly that loop with a
+//! pluggable transformation.
+
+use crate::column::{ColumnReader, ColumnWriter};
+use crate::error::ToolError;
+use crate::options::ToolOptions;
+use crate::toolkit::{run_workers, WorkerSpec};
+use bridge_core::{
+    BridgeClient, BridgeError, BridgeFileId, CreateSpec, PlacementKind, PlacementSpec,
+};
+use bridge_efs::LfsClient;
+use parsim::{Ctx, SimDuration};
+use std::sync::Arc;
+
+/// A transformation applied in place to each block's 960 data bytes.
+pub type BlockTransform = Arc<dyn Fn(&mut [u8]) + Send + Sync>;
+
+/// Ready-made one-to-one filters.
+pub mod transforms {
+    use super::BlockTransform;
+    use std::sync::Arc;
+
+    /// The plain copy: leave every byte alone.
+    pub fn identity() -> BlockTransform {
+        Arc::new(|_| {})
+    }
+
+    /// Byte-for-byte character translation through a 256-entry table.
+    pub fn translate(table: [u8; 256]) -> BlockTransform {
+        Arc::new(move |data| {
+            for b in data {
+                *b = table[*b as usize];
+            }
+        })
+    }
+
+    /// ROT13 over ASCII letters (a classic translation filter).
+    pub fn rot13() -> BlockTransform {
+        let mut table = [0u8; 256];
+        for (i, t) in table.iter_mut().enumerate() {
+            let b = i as u8;
+            *t = match b {
+                b'a'..=b'z' => (b - b'a' + 13) % 26 + b'a',
+                b'A'..=b'Z' => (b - b'A' + 13) % 26 + b'A',
+                _ => b,
+            };
+        }
+        translate(table)
+    }
+
+    /// XOR stream "encryption" with a repeating key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is empty.
+    pub fn xor_cipher(key: Vec<u8>) -> BlockTransform {
+        assert!(!key.is_empty(), "cipher key must be non-empty");
+        Arc::new(move |data| {
+            for (i, b) in data.iter_mut().enumerate() {
+                *b ^= key[i % key.len()];
+            }
+        })
+    }
+
+    /// Lexical analysis on fixed-length lines: every byte of each
+    /// `line_len`-byte line is replaced by a character-class code
+    /// (`A` alpha, `0` digit, `_` space, `.` punctuation), a block-parallel
+    /// tokenizer in the spirit of the paper's "lexical analysis on
+    /// fixed-length lines".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_len` is zero.
+    pub fn lex_classes(line_len: usize) -> BlockTransform {
+        assert!(line_len > 0, "line length must be positive");
+        Arc::new(move |data| {
+            for line in data.chunks_mut(line_len) {
+                for b in line {
+                    *b = match *b {
+                        b'a'..=b'z' | b'A'..=b'Z' => b'A',
+                        b'0'..=b'9' => b'0',
+                        b' ' | b'\t' => b'_',
+                        _ => b'.',
+                    };
+                }
+            }
+        })
+    }
+}
+
+/// What a copy accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyStats {
+    /// Global blocks copied.
+    pub blocks: u64,
+    /// Virtual time from first server contact to completion.
+    pub elapsed: SimDuration,
+}
+
+/// Copies `src` into a fresh file with identical placement, using one
+/// `ecopy` worker per LFS node. Returns the new file and stats.
+///
+/// # Errors
+///
+/// Propagates server and LFS errors; linked (disordered) files are not
+/// supported (their chain endpoints live in the server's directory and
+/// cannot be rebuilt from a column-wise copy).
+pub fn copy(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    src: BridgeFileId,
+    opts: &ToolOptions,
+) -> Result<(BridgeFileId, CopyStats), ToolError> {
+    copy_with(ctx, bridge, src, transforms::identity(), opts)
+}
+
+/// [`copy`] with a transformation applied to every block's data — "any
+/// one-to-one filter will display the same behavior".
+///
+/// # Errors
+///
+/// See [`copy`].
+pub fn copy_with(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    src: BridgeFileId,
+    transform: BlockTransform,
+    opts: &ToolOptions,
+) -> Result<(BridgeFileId, CopyStats), ToolError> {
+    let t0 = ctx.now();
+    // (1) the brief phase of communication with the Bridge Server.
+    let open = bridge.open(ctx, src)?;
+    let placement = match open.placement {
+        PlacementKind::RoundRobin { start } => PlacementSpec::RoundRobinAt { start },
+        PlacementKind::Hashed { seed } => PlacementSpec::Hashed { seed },
+        PlacementKind::Chunked { .. } => {
+            // Chunked needs its size hint recomputed; handled separately.
+            let breadth = open.nodes.len() as u64;
+            return copy_chunked(ctx, bridge, open, transform, opts, t0, breadth);
+        }
+        PlacementKind::Linked => {
+            return Err(ToolError::Bridge(BridgeError::LinkedUnsupported {
+                op: "copy tool",
+            }))
+        }
+    };
+    let nodes: Vec<u32> = open.nodes.iter().map(|s| s.index.0).collect();
+    let dst = bridge.create(
+        ctx,
+        CreateSpec {
+            placement,
+            nodes: Some(nodes),
+            size_hint: Some(open.size),
+            redundancy: open.redundancy,
+        },
+    )?;
+    run_ecopy(ctx, bridge, open, dst, transform, opts, t0)
+}
+
+fn copy_chunked(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    open: bridge_core::OpenInfo,
+    transform: BlockTransform,
+    opts: &ToolOptions,
+    t0: parsim::SimTime,
+    breadth: u64,
+) -> Result<(BridgeFileId, CopyStats), ToolError> {
+    let PlacementKind::Chunked { blocks_per_chunk } = open.placement else {
+        unreachable!("caller checked");
+    };
+    let nodes: Vec<u32> = open.nodes.iter().map(|s| s.index.0).collect();
+    let dst = bridge.create(
+        ctx,
+        CreateSpec {
+            placement: PlacementSpec::Chunked,
+            nodes: Some(nodes),
+            // The server derives blocks_per_chunk = ceil(hint / breadth);
+            // this hint reproduces the source's chunk size exactly.
+            size_hint: Some(u64::from(blocks_per_chunk) * breadth),
+            redundancy: open.redundancy,
+        },
+    )?;
+    run_ecopy(ctx, bridge, open, dst, transform, opts, t0)
+}
+
+fn run_ecopy(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    open: bridge_core::OpenInfo,
+    dst: BridgeFileId,
+    transform: BlockTransform,
+    opts: &ToolOptions,
+    t0: parsim::SimTime,
+) -> Result<(BridgeFileId, CopyStats), ToolError> {
+    let dst_open = bridge.open(ctx, dst)?;
+
+    // (2) create subprocesses on all the LFS nodes; (3) they stream their
+    // columns locally.
+    let specs: Vec<WorkerSpec<u32>> = open
+        .nodes
+        .iter()
+        .zip(dst_open.nodes.iter())
+        .enumerate()
+        .map(|(i, (src_slice, dst_slice))| {
+            debug_assert_eq!(src_slice.index, dst_slice.index);
+            let src_proc = src_slice.proc;
+            let dst_proc = dst_slice.proc;
+            let src_file = open.lfs_file;
+            let dst_file = dst_open.lfs_file;
+            let local_size = src_slice.local_size;
+            let transform = Arc::clone(&transform);
+            WorkerSpec {
+                node: src_slice.node,
+                name: format!("ecopy{i}"),
+                run: Box::new(move |c: &mut Ctx| {
+                    let mut client = LfsClient::new();
+                    let mut reader = ColumnReader::new(src_proc, src_file, local_size);
+                    let mut writer = ColumnWriter::new(dst_proc, dst_file, 0);
+                    while let Some((mut header, mut data)) = reader.next_block(c, &mut client)? {
+                        // "The copy tool ignores the Bridge headers in the
+                        // file it is copying. Since all the header pointers
+                        // are block-number/LFS-instance pairs, the pointers
+                        // are still valid in the new file." Our headers also
+                        // name the owning file (for integrity checks), so
+                        // ecopy relabels that one field.
+                        header.file = dst;
+                        transform(&mut data);
+                        writer.append_block(c, &mut client, &header, &data)?;
+                    }
+                    Ok(writer.position())
+                }),
+            }
+        })
+        .collect();
+    let per_node = run_workers(ctx, opts, specs)?;
+    let blocks: u64 = per_node.iter().map(|&n| u64::from(n)).sum();
+
+    // Refresh the server's view of the destination (tools grew it behind
+    // the server's back).
+    bridge.open(ctx, dst)?;
+    // Tools write data columns directly, so a redundant destination's
+    // mirror/parity companions are derived afterwards by the server.
+    if open.redundancy != bridge_core::Redundancy::None {
+        bridge.rebuild(ctx, dst)?;
+    }
+    Ok((
+        dst,
+        CopyStats {
+            blocks,
+            elapsed: ctx.now() - t0,
+        },
+    ))
+}

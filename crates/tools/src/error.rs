@@ -1,0 +1,65 @@
+//! Tool error type.
+
+use bridge_core::BridgeError;
+use bridge_efs::EfsError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by Bridge tools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolError {
+    /// An error from the Bridge Server.
+    Bridge(BridgeError),
+    /// An error from direct LFS access.
+    Lfs(EfsError),
+    /// A worker reported a failure or violated the tool's protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::Bridge(e) => write!(f, "bridge error: {e}"),
+            ToolError::Lfs(e) => write!(f, "LFS error: {e}"),
+            ToolError::Protocol(why) => write!(f, "tool protocol error: {why}"),
+        }
+    }
+}
+
+impl Error for ToolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ToolError::Bridge(e) => Some(e),
+            ToolError::Lfs(e) => Some(e),
+            ToolError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<BridgeError> for ToolError {
+    fn from(e: BridgeError) -> Self {
+        ToolError::Bridge(e)
+    }
+}
+
+impl From<EfsError> for ToolError {
+    fn from(e: EfsError) -> Self {
+        ToolError::Lfs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ToolError = BridgeError::EmptyWorkerList.into();
+        assert!(e.to_string().contains("bridge error"));
+        assert!(Error::source(&e).is_some());
+        let e: ToolError = EfsError::NoSpace.into();
+        assert!(e.to_string().contains("LFS error"));
+        let e = ToolError::Protocol("bad".into());
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! Options shared by all tools: worker start-up/completion topology.
+//!
+//! The copy tool runs in O(n/p) "plus O(log(p)) for startup and
+//! completion" — achieved by fanning worker creation out through a binary
+//! tree instead of having the controller start every worker itself
+//! (the improvement the paper also suggests for Create's sequential
+//! initiation). Both topologies are provided; the ablation benchmark
+//! `ablate_tree_start` compares them.
+
+use parsim::SimDuration;
+
+/// How a controller starts (and joins) its per-node workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fanout {
+    /// Workers are started one by one by the controller: O(p) startup.
+    Serial,
+    /// Workers start their subtree's workers: O(log p) startup, and
+    /// completions aggregate up the same tree.
+    #[default]
+    Tree,
+}
+
+/// Tool tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToolOptions {
+    /// CPU cost of creating one remote worker process (a late-1980s
+    /// operating system starting a process on another node).
+    pub spawn_cost: SimDuration,
+    /// Startup/completion topology.
+    pub fanout: Fanout,
+}
+
+impl Default for ToolOptions {
+    fn default() -> Self {
+        ToolOptions {
+            spawn_cost: SimDuration::from_millis(3),
+            fanout: Fanout::Tree,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_use_tree_fanout() {
+        let opts = ToolOptions::default();
+        assert_eq!(opts.fanout, Fanout::Tree);
+        assert!(!opts.spawn_cost.is_zero());
+    }
+}

@@ -1,0 +1,917 @@
+//! The merge sort tool (paper §5.2).
+//!
+//! Two phases:
+//!
+//! 1. **Local sort** — each node sorts its column with a classic external
+//!    merge sort: in-core runs of `c` records (the paper uses c = 512),
+//!    then 2-way merge passes over scratch LFS files. "Consider the
+//!    resulting files to be 'interleaved' across only one processor."
+//! 2. **Parallel merge** — log(p) passes; pass `k` merges pairs of
+//!    2^(k-1)-way interleaved files into 2^k-way interleaved files using
+//!    the token-passing algorithm of the paper's Figure 4, with `t/2`
+//!    reader processes per input file and `t` writer processes for the
+//!    destination. Old files are discarded in parallel after each pass.
+//!
+//! Records are block-sized ("we assume that the records to be sorted are
+//! the same size as a disk block") and ordered by their leading
+//! [`KEY_LEN`]-byte key, compared lexicographically.
+//!
+//! The paper notes that "special cases are required to deal with
+//! termination"; we resolve the one it leaves open — telling the *other*
+//! processes the merge has ended — with a controller-mediated completion
+//! broadcast.
+
+use crate::column::{ColumnReader, ColumnWriter};
+use crate::error::ToolError;
+use crate::options::ToolOptions;
+use crate::toolkit::{run_workers, WorkerSpec};
+use bridge_core::{
+    BridgeClient, BridgeError, BridgeFileId, BridgeHeader, CreateSpec, GlobalPtr, LfsSlice,
+    PlacementKind, PlacementSpec,
+};
+use bridge_efs::{LfsClient, LfsFileId, LfsOp};
+use parsim::{Ctx, ProcId, SimDuration};
+
+/// Bytes of each record's sort key (its leading bytes).
+pub const KEY_LEN: usize = 8;
+
+/// Extracts a record's key.
+pub fn key_of(data: &[u8]) -> [u8; KEY_LEN] {
+    let mut key = [0u8; KEY_LEN];
+    let n = KEY_LEN.min(data.len());
+    key[..n].copy_from_slice(&data[..n]);
+    key
+}
+
+/// Arity of the local merge passes (the paper suggests that "with a faster
+/// (e.g. multi-way) local merge" the sort's super-linear speedup anomaly
+/// should disappear — the `ablate_multiway` benchmark tests that claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalMergeArity {
+    /// Classic 2-way merge passes (the paper's prototype).
+    #[default]
+    Binary,
+    /// One multi-way (heap) merge pass over all runs.
+    MultiWay,
+}
+
+/// Sort tool tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortOptions {
+    /// In-core buffer size in records (the paper's c = 512).
+    pub in_core_records: u32,
+    /// Local merge arity.
+    pub local_merge: LocalMergeArity,
+    /// Worker startup options.
+    pub tool: ToolOptions,
+    /// CPU time to handle one merge token.
+    pub token_cpu: SimDuration,
+    /// CPU time per record of in-core sorting/merging work.
+    pub compare_cpu: SimDuration,
+}
+
+impl Default for SortOptions {
+    fn default() -> Self {
+        SortOptions {
+            in_core_records: 512,
+            local_merge: LocalMergeArity::Binary,
+            tool: ToolOptions::default(),
+            token_cpu: SimDuration::from_micros(100),
+            compare_cpu: SimDuration::from_micros(30),
+        }
+    }
+}
+
+/// What the sort accomplished, phase by phase (the paper's Table 4
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortStats {
+    /// Records sorted.
+    pub records: u64,
+    /// Duration of the local sort phase (barrier to barrier).
+    pub local_sort: SimDuration,
+    /// Duration of the parallel merge phase.
+    pub merge: SimDuration,
+    /// Whole-tool duration (includes setup).
+    pub total: SimDuration,
+    /// Local merge passes performed (max over nodes).
+    pub local_merge_passes: u32,
+    /// Global merge passes (⌈log2 p⌉).
+    pub merge_passes: u32,
+}
+
+/// Base of the LFS file-id range reserved for tool scratch files, outside
+/// the Bridge Server's assignment sequence.
+const SCRATCH_BASE: u32 = 0x8000_0000;
+
+// ---------------------------------------------------------------------
+// Merge-network messages (private protocol).
+
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    tag: u32,
+    start: bool,
+    end: bool,
+    key: [u8; KEY_LEN],
+    originator: ProcId,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct WriteRec {
+    tag: u32,
+    seq: u64,
+    data: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WriterStop {
+    tag: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WriterDone {
+    tag: u32,
+    widx: u32,
+    count: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MergeDone {
+    tag: u32,
+    records: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReaderStop {
+    tag: u32,
+}
+
+// ---------------------------------------------------------------------
+
+/// Sorts `src` into a fresh interleaved file; returns it with phase
+/// timings. `src` is left intact.
+///
+/// # Errors
+///
+/// Propagates server and LFS errors; rejects linked files.
+pub fn sort(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    src: BridgeFileId,
+    opts: &SortOptions,
+) -> Result<(BridgeFileId, SortStats), ToolError> {
+    let t0 = ctx.now();
+    let open = bridge.open(ctx, src)?;
+    if matches!(open.placement, PlacementKind::Linked) {
+        return Err(ToolError::Bridge(BridgeError::LinkedUnsupported {
+            op: "sort tool",
+        }));
+    }
+    let p = open.nodes.len();
+
+    // Create the phase-1 output files: one per node, "interleaved across
+    // only one processor". All Bridge files come from the server — it is
+    // the monitor around directory operations.
+    let mut phase1_files = Vec::with_capacity(p);
+    for slice in &open.nodes {
+        let id = bridge.create(
+            ctx,
+            CreateSpec {
+                placement: PlacementSpec::RoundRobinAt { start: 0 },
+                nodes: Some(vec![slice.index.0]),
+                ..CreateSpec::default()
+            },
+        )?;
+        phase1_files.push(id);
+    }
+
+    // Phase 1: local external sorts, one worker per node.
+    let t_local = ctx.now();
+    let specs: Vec<WorkerSpec<(u32, u32)>> = open
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, slice)| {
+            let params = LocalSortParams {
+                worker: i as u32,
+                lfs: slice.proc,
+                src_file: open.lfs_file,
+                src_size: slice.local_size,
+                out_bridge: phase1_files[i],
+                out_file: LfsFileId(phase1_files[i].0),
+                lfs_index: slice.index.0,
+                in_core: *opts,
+            };
+            WorkerSpec {
+                node: slice.node,
+                name: format!("esort{i}"),
+                run: Box::new(move |c: &mut Ctx| local_sort(c, params)),
+            }
+        })
+        .collect();
+    let local_results = run_workers(ctx, &opts.tool, specs)?;
+    let local_sort_time = ctx.now() - t_local;
+    let records: u64 = local_results.iter().map(|&(n, _)| u64::from(n)).sum();
+    let local_merge_passes = local_results.iter().map(|&(_, p)| p).max().unwrap_or(0);
+
+    // Phase 2: log(p) passes of pairwise token merges.
+    let t_merge = ctx.now();
+    let mut files: Vec<MergeFile> = open
+        .nodes
+        .iter()
+        .zip(&phase1_files)
+        .zip(&local_results)
+        .map(|((slice, &id), &(count, _))| MergeFile {
+            id,
+            lfs_file: LfsFileId(id.0),
+            slices: vec![LfsSlice {
+                local_size: count,
+                ..*slice
+            }],
+            size: u64::from(count),
+        })
+        .collect();
+
+    let mut merge_passes = 0u32;
+    let mut tag_base = 0u32;
+    while files.len() > 1 {
+        merge_passes += 1;
+        let mut next_files = Vec::with_capacity(files.len().div_ceil(2));
+        let mut pending = Vec::new();
+        let mut inputs_to_delete = Vec::new();
+        let mut iter = files.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => {
+                    let tag = tag_base;
+                    tag_base += 1;
+                    let out = create_merge_output(ctx, bridge, &a, &b)?;
+                    let network = spawn_merge_network(ctx, opts, tag, &a, &b, &out)?;
+                    inputs_to_delete.push(a.id);
+                    inputs_to_delete.push(b.id);
+                    pending.push((tag, out, network));
+                }
+                None => next_files.push(a), // odd file gets a bye
+            }
+        }
+        // Await every merge of this pass, then stop its processes.
+        let mut finished = Vec::with_capacity(pending.len());
+        for (tag, mut out, network) in pending {
+            let env = ctx.recv_where(move |e| {
+                e.downcast_ref::<MergeDone>().is_some_and(|d| d.tag == tag)
+            });
+            let done = env.downcast::<MergeDone>().expect("matched");
+            out.size = done.records;
+            finished.push((tag, out, network));
+        }
+        for (tag, mut out, network) in finished {
+            for &r in &network.readers {
+                ctx.send(r, ReaderStop { tag });
+            }
+            let mut counts = vec![0u32; network.writers.len()];
+            for &w in &network.writers {
+                ctx.send(w, WriterStop { tag });
+            }
+            for _ in 0..network.writers.len() {
+                let env = ctx.recv_where(move |e| {
+                    e.downcast_ref::<WriterDone>().is_some_and(|d| d.tag == tag)
+                });
+                let done = env.downcast::<WriterDone>().expect("matched");
+                counts[done.widx as usize] = done.count;
+            }
+            for (slice, &count) in out.slices.iter_mut().zip(&counts) {
+                slice.local_size = count;
+            }
+            debug_assert_eq!(
+                out.size,
+                counts.iter().map(|&c| u64::from(c)).sum::<u64>(),
+                "writer counts agree with the token sequence"
+            );
+            next_files.push(out);
+        }
+        // "Discard the old files in parallel."
+        if !inputs_to_delete.is_empty() {
+            bridge.delete_many(ctx, inputs_to_delete)?;
+        }
+        files = next_files;
+    }
+    let merge_time = ctx.now() - t_merge;
+
+    let result = files.pop().expect("at least one file");
+    // Refresh the server's size view of the output.
+    bridge.open(ctx, result.id)?;
+    Ok((
+        result.id,
+        SortStats {
+            records,
+            local_sort: local_sort_time,
+            merge: merge_time,
+            total: ctx.now() - t0,
+            local_merge_passes,
+            merge_passes,
+        },
+    ))
+}
+
+/// A file between merge passes: identity plus per-node layout.
+#[derive(Debug, Clone)]
+struct MergeFile {
+    id: BridgeFileId,
+    lfs_file: LfsFileId,
+    slices: Vec<LfsSlice>,
+    size: u64,
+}
+
+fn create_merge_output(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    a: &MergeFile,
+    b: &MergeFile,
+) -> Result<MergeFile, ToolError> {
+    let nodes: Vec<u32> = a
+        .slices
+        .iter()
+        .chain(&b.slices)
+        .map(|s| s.index.0)
+        .collect();
+    let id = bridge.create(
+        ctx,
+        CreateSpec {
+            placement: PlacementSpec::RoundRobinAt { start: 0 },
+            nodes: Some(nodes),
+            ..CreateSpec::default()
+        },
+    )?;
+    let open = bridge.open(ctx, id)?;
+    Ok(MergeFile {
+        id,
+        lfs_file: open.lfs_file,
+        slices: open.nodes,
+        size: 0,
+    })
+}
+
+struct MergeNetwork {
+    readers: Vec<ProcId>,
+    writers: Vec<ProcId>,
+}
+
+/// Spawns the Figure-4 process network for one pairwise merge: readers
+/// over both input files' columns, writers for every output column, and
+/// the start token.
+fn spawn_merge_network(
+    ctx: &mut Ctx,
+    opts: &SortOptions,
+    tag: u32,
+    a: &MergeFile,
+    b: &MergeFile,
+    out: &MergeFile,
+) -> Result<MergeNetwork, ToolError> {
+    let controller = ctx.me();
+    let t = out.slices.len() as u64;
+
+    // Writers first, so readers can be given their addresses.
+    let mut writers = Vec::with_capacity(out.slices.len());
+    for (w, slice) in out.slices.iter().enumerate() {
+        ctx.delay(opts.tool.spawn_cost);
+        let params = WriterParams {
+            tag,
+            widx: w as u32,
+            t,
+            lfs: slice.proc,
+            lfs_index: slice.index.0,
+            file: out.id,
+            lfs_file: out.lfs_file,
+        };
+        writers.push(ctx.spawn(slice.node, format!("m{tag}w{w}"), move |c: &mut Ctx| {
+            merge_writer(c, params)
+        }));
+    }
+
+    // Reader rings: positions of each input file, in order.
+    let mut readers = Vec::new();
+    let mut ring_a = Vec::with_capacity(a.slices.len());
+    let mut ring_b = Vec::with_capacity(b.slices.len());
+    for (which, (file, ring)) in [(a, &mut ring_a), (b, &mut ring_b)].into_iter().enumerate() {
+        for (i, slice) in file.slices.iter().enumerate() {
+            ctx.delay(opts.tool.spawn_cost);
+            let params = ReaderParams {
+                tag,
+                controller,
+                lfs: slice.proc,
+                lfs_file: file.lfs_file,
+                local_size: slice.local_size,
+                token_cpu: opts.token_cpu,
+            };
+            let pid = ctx.spawn(
+                slice.node,
+                format!("m{tag}r{which}_{i}"),
+                move |c: &mut Ctx| merge_reader(c, params),
+            );
+            ring.push(pid);
+            readers.push(pid);
+        }
+    }
+
+    // Tell each reader its ring successor, the other file's first process
+    // (Figure 4 needs both), and the writer addresses; then fire the start
+    // token at the first process of file A.
+    for (i, &r) in ring_a.iter().enumerate() {
+        let next = ring_a[(i + 1) % ring_a.len()];
+        ctx.send(r, RingSetup { next, other_first: ring_b[0] });
+        ctx.send(r, WriterList(writers.clone()));
+    }
+    for (i, &r) in ring_b.iter().enumerate() {
+        let next = ring_b[(i + 1) % ring_b.len()];
+        ctx.send(r, RingSetup { next, other_first: ring_a[0] });
+        ctx.send(r, WriterList(writers.clone()));
+    }
+    ctx.send(
+        ring_a[0],
+        Token {
+            tag,
+            start: true,
+            end: false,
+            key: [0; KEY_LEN],
+            originator: controller,
+            seq: 0,
+        },
+    );
+    Ok(MergeNetwork { readers, writers })
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RingSetup {
+    next: ProcId,
+    other_first: ProcId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReaderParams {
+    tag: u32,
+    controller: ProcId,
+    lfs: ProcId,
+    lfs_file: LfsFileId,
+    local_size: u32,
+    token_cpu: SimDuration,
+    // The writer list travels separately as a `WriterList` message.
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WriterParams {
+    tag: u32,
+    widx: u32,
+    t: u64,
+    lfs: ProcId,
+    lfs_index: u32,
+    file: BridgeFileId,
+    lfs_file: LfsFileId,
+}
+
+/// One merge writer: appends records it is sent, in arrival order (the
+/// token discipline guarantees its sequence numbers ascend by t).
+fn merge_writer(ctx: &mut Ctx, params: WriterParams) {
+    let mut client = LfsClient::new();
+    let mut writer = ColumnWriter::new(params.lfs, params.lfs_file, 0);
+    let tag = params.tag;
+    loop {
+        let env = ctx.recv_where(|e| {
+            e.downcast_ref::<WriteRec>().is_some_and(|r| r.tag == tag)
+                || e.downcast_ref::<WriterStop>().is_some_and(|s| s.tag == tag)
+        });
+        if env.is::<WriterStop>() {
+            let from = env.from();
+            ctx.send(
+                from,
+                WriterDone {
+                    tag,
+                    widx: params.widx,
+                    count: writer.position(),
+                },
+            );
+            return;
+        }
+        let rec = env.downcast::<WriteRec>().expect("matched");
+        debug_assert_eq!(rec.seq % params.t, u64::from(params.widx), "stripe discipline");
+        let header = BridgeHeader {
+            file: params.file,
+            global_block: rec.seq,
+            breadth: params.t as u32,
+            next: GlobalPtr::new(params.lfs_index, writer.position() + 1),
+            prev: GlobalPtr::new(params.lfs_index, writer.position().saturating_sub(1)),
+        };
+        if let Err(e) = writer.append_block(ctx, &mut client, &header, &rec.data) {
+            panic!("merge writer {tag}/{}: {e}", params.widx);
+        }
+    }
+}
+
+/// One merge reader: the paper's Figure 4, verbatim in structure.
+fn merge_reader(ctx: &mut Ctx, params: ReaderParams) {
+    // First the controller's ring setup, then the token loop.
+    let setup = {
+        let env = ctx.recv_where(|e| e.is::<RingSetup>());
+        *env.downcast_ref::<RingSetup>().expect("matched")
+    };
+    let tag = params.tag;
+    let mut client = LfsClient::new();
+    let mut reader = ColumnReader::new(params.lfs, params.lfs_file, params.local_size);
+    let mut read_record = |c: &mut Ctx, client: &mut LfsClient| -> Option<([u8; KEY_LEN], Vec<u8>)> {
+        match reader.next_block(c, client) {
+            Ok(Some((_, data))) => Some((key_of(&data), data)),
+            Ok(None) => None,
+            Err(e) => panic!("merge reader {tag}: {e}"),
+        }
+    };
+
+    let writers = {
+        let env = ctx.recv_where(|e| e.is::<WriterList>());
+        env.downcast::<WriterList>().expect("matched").0
+    };
+    // "Read a record."
+    let mut current = read_record(ctx, &mut client);
+
+    loop {
+        let env = ctx.recv_where(|e| {
+            e.downcast_ref::<Token>().is_some_and(|t| t.tag == tag)
+                || e.downcast_ref::<ReaderStop>().is_some_and(|s| s.tag == tag)
+        });
+        if env.is::<ReaderStop>() {
+            return;
+        }
+        let token = *env.downcast_ref::<Token>().expect("matched");
+        ctx.delay(params.token_cpu);
+
+        if token.start {
+            match &current {
+                Some((key, _)) => ctx.send(
+                    setup.other_first,
+                    Token {
+                        tag,
+                        start: false,
+                        end: false,
+                        key: *key,
+                        originator: ctx.me(),
+                        seq: 0,
+                    },
+                ),
+                // Empty file at the very start: hand an end token to the
+                // other file so it can drain itself.
+                None => ctx.send(
+                    setup.other_first,
+                    Token {
+                        tag,
+                        start: false,
+                        end: true,
+                        key: [0; KEY_LEN],
+                        originator: ctx.me(),
+                        seq: 0,
+                    },
+                ),
+            }
+        } else if token.end {
+            match current.take() {
+                None => {
+                    // DONE: the merge is complete; report and await Stop.
+                    ctx.send(params.controller, MergeDone { tag, records: token.seq });
+                }
+                Some((_, data)) => {
+                    let seq = token.seq;
+                    let dest = writers[(seq % writers.len() as u64) as usize];
+                    ctx.send_sized(dest, WriteRec { tag, seq, data }, 1024);
+                    ctx.send(
+                        setup.next,
+                        Token {
+                            seq: seq + 1,
+                            ..token
+                        },
+                    );
+                    current = read_record(ctx, &mut client);
+                }
+            }
+        } else {
+            match &current {
+                None => {
+                    // End of file: tell the other side to drain.
+                    ctx.send(
+                        token.originator,
+                        Token {
+                            tag,
+                            start: false,
+                            end: true,
+                            key: [0; KEY_LEN],
+                            originator: ctx.me(),
+                            seq: token.seq,
+                        },
+                    );
+                }
+                Some((key, _)) if *key <= token.key => {
+                    let (_, data) = current.take().expect("checked Some");
+                    let seq = token.seq;
+                    let dest = writers[(seq % writers.len() as u64) as usize];
+                    ctx.send_sized(dest, WriteRec { tag, seq, data }, 1024);
+                    ctx.send(
+                        setup.next,
+                        Token {
+                            seq: seq + 1,
+                            ..token
+                        },
+                    );
+                    current = read_record(ctx, &mut client);
+                }
+                Some((key, _)) => {
+                    ctx.send(
+                        token.originator,
+                        Token {
+                            tag,
+                            start: false,
+                            end: false,
+                            key: *key,
+                            originator: ctx.me(),
+                            seq: token.seq,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WriterList(Vec<ProcId>);
+
+// ---------------------------------------------------------------------
+// Phase 1: local external sort.
+
+#[derive(Debug, Clone, Copy)]
+struct LocalSortParams {
+    worker: u32,
+    lfs: ProcId,
+    src_file: LfsFileId,
+    src_size: u32,
+    out_bridge: BridgeFileId,
+    out_file: LfsFileId,
+    lfs_index: u32,
+    in_core: SortOptions,
+}
+
+/// Sorts one column into the worker's phase-1 output file. Returns
+/// (records, local merge passes).
+fn local_sort(ctx: &mut Ctx, params: LocalSortParams) -> Result<(u32, u32), ToolError> {
+    let mut client = LfsClient::new();
+    let opts = params.in_core;
+    let c = opts.in_core_records.max(1);
+
+    let mut reader = ColumnReader::new(params.lfs, params.src_file, params.src_size);
+    let mut out = OutputColumn::new(&params);
+
+    // Run formation.
+    let mut runs: Vec<(LfsFileId, u32)> = Vec::new();
+    let mut run_counter = 0u32;
+    loop {
+        let mut batch: Vec<Vec<u8>> = Vec::with_capacity(c as usize);
+        while (batch.len() as u32) < c {
+            match reader.next_block(ctx, &mut client)? {
+                Some((_, data)) => batch.push(data),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        charge_sort_cpu(ctx, &opts, batch.len());
+        batch.sort_by_key(|d| key_of(d));
+        let exhausted = reader.remaining() == 0;
+        if runs.is_empty() && exhausted {
+            // The whole column fits in core: write straight to the output.
+            for data in batch {
+                out.append(ctx, &mut client, &data)?;
+            }
+            return Ok((out.count(), 0));
+        }
+        // Spill a scratch run.
+        let run_file = scratch_file_id(params.out_bridge, params.worker, run_counter);
+        run_counter += 1;
+        client.call(ctx, params.lfs, LfsOp::Create { file: run_file })?;
+        let mut w = ColumnWriter::new(params.lfs, run_file, 0);
+        let len = batch.len() as u32;
+        for data in batch {
+            let mut payload = data;
+            payload.resize(bridge_efs::EFS_PAYLOAD, 0);
+            w.append_raw(ctx, &mut client, payload)?;
+        }
+        runs.push((run_file, len));
+        if exhausted {
+            break;
+        }
+    }
+
+    if runs.is_empty() {
+        return Ok((0, 0));
+    }
+
+    let mut passes = 0u32;
+    match opts.local_merge {
+        LocalMergeArity::Binary => {
+            // 2-way merge passes; the final merge streams into the output.
+            while runs.len() > 2 {
+                passes += 1;
+                let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
+                let mut iter = runs.into_iter();
+                while let Some(a) = iter.next() {
+                    match iter.next() {
+                        Some(b) => {
+                            let dst = scratch_file_id(params.out_bridge, params.worker, run_counter);
+                            run_counter += 1;
+                            client.call(ctx, params.lfs, LfsOp::Create { file: dst })?;
+                            let mut w = ColumnWriter::new(params.lfs, dst, 0);
+                            let merged = merge_two_runs(
+                                ctx,
+                                &mut client,
+                                &params,
+                                a,
+                                b,
+                                &mut |ctx, client, data| {
+                                    let mut payload = data.to_vec();
+                                    payload.resize(bridge_efs::EFS_PAYLOAD, 0);
+                                    w.append_raw(ctx, client, payload)
+                                },
+                                &opts,
+                            )?;
+                            next_runs.push((dst, merged));
+                        }
+                        None => next_runs.push(a),
+                    }
+                }
+                runs = next_runs;
+            }
+            passes += 1;
+            if runs.len() == 2 {
+                let b = runs.pop().expect("two runs");
+                let a = runs.pop().expect("two runs");
+                merge_two_runs(
+                    ctx,
+                    &mut client,
+                    &params,
+                    a,
+                    b,
+                    &mut |ctx, client, data| out.append_ref(ctx, client, data),
+                    &opts,
+                )?;
+            } else {
+                // Single run: stream it into the output.
+                let (run, len) = runs.pop().expect("one run");
+                let mut r = ColumnReader::new(params.lfs, run, len);
+                while let Some(payload) = r.next_raw(ctx, &mut client)? {
+                    out.append(ctx, &mut client, &payload[..bridge_core::BRIDGE_DATA])?;
+                }
+                client.call(ctx, params.lfs, LfsOp::Delete { file: run })?;
+            }
+        }
+        LocalMergeArity::MultiWay => {
+            passes = 1;
+            // One heap-based k-way pass over all runs.
+            let mut heads: Vec<(ColumnReader, Option<([u8; KEY_LEN], Vec<u8>)>)> = Vec::new();
+            for &(run, len) in &runs {
+                let mut r = ColumnReader::new(params.lfs, run, len);
+                let head = r
+                    .next_raw(ctx, &mut client)?
+                    .map(|p| (key_of(&p), p[..bridge_core::BRIDGE_DATA].to_vec()));
+                heads.push((r, head));
+            }
+            loop {
+                let min = heads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, (_, h))| h.as_ref().map(|(k, _)| (i, *k)))
+                    .min_by_key(|&(_, k)| k);
+                let Some((i, _)) = min else { break };
+                ctx.delay(opts.compare_cpu);
+                let (_, data) = heads[i].1.take().expect("checked Some");
+                out.append(ctx, &mut client, &data)?;
+                let (r, slot) = &mut heads[i];
+                *slot = r
+                    .next_raw(ctx, &mut client)?
+                    .map(|p| (key_of(&p), p[..bridge_core::BRIDGE_DATA].to_vec()));
+            }
+            for (run, _) in runs {
+                client.call(ctx, params.lfs, LfsOp::Delete { file: run })?;
+            }
+        }
+    }
+    Ok((out.count(), passes))
+}
+
+fn scratch_file_id(out: BridgeFileId, worker: u32, run: u32) -> LfsFileId {
+    LfsFileId(SCRATCH_BASE | (out.0 & 0xFFF) << 16 | (worker & 0x3F) << 10 | (run & 0x3FF))
+}
+
+fn charge_sort_cpu(ctx: &mut Ctx, opts: &SortOptions, records: usize) {
+    let log = usize::BITS - records.next_power_of_two().leading_zeros();
+    ctx.delay(opts.compare_cpu * (records as u64) * u64::from(log));
+}
+
+/// Streams the 2-way merge of two scratch runs into `emit`, deleting both
+/// runs afterwards. Returns the merged length.
+fn merge_two_runs(
+    ctx: &mut Ctx,
+    client: &mut LfsClient,
+    params: &LocalSortParams,
+    a: (LfsFileId, u32),
+    b: (LfsFileId, u32),
+    emit: &mut dyn FnMut(&mut Ctx, &mut LfsClient, &[u8]) -> Result<(), ToolError>,
+    opts: &SortOptions,
+) -> Result<u32, ToolError> {
+    let mut ra = ColumnReader::new(params.lfs, a.0, a.1);
+    let mut rb = ColumnReader::new(params.lfs, b.0, b.1);
+    let next = |ctx: &mut Ctx, client: &mut LfsClient, r: &mut ColumnReader| {
+        r.next_raw(ctx, client).map(|o| {
+            o.map(|p| {
+                let data = p[..bridge_core::BRIDGE_DATA].to_vec();
+                (key_of(&data), data)
+            })
+        })
+    };
+    let mut ha = next(ctx, client, &mut ra)?;
+    let mut hb = next(ctx, client, &mut rb)?;
+    let mut count = 0u32;
+    loop {
+        ctx.delay(opts.compare_cpu);
+        match (&ha, &hb) {
+            (Some((ka, _)), Some((kb, _))) => {
+                if ka <= kb {
+                    let (_, data) = ha.take().expect("Some");
+                    emit(ctx, client, &data)?;
+                    ha = next(ctx, client, &mut ra)?;
+                } else {
+                    let (_, data) = hb.take().expect("Some");
+                    emit(ctx, client, &data)?;
+                    hb = next(ctx, client, &mut rb)?;
+                }
+            }
+            (Some(_), None) => {
+                let (_, data) = ha.take().expect("Some");
+                emit(ctx, client, &data)?;
+                ha = next(ctx, client, &mut ra)?;
+            }
+            (None, Some(_)) => {
+                let (_, data) = hb.take().expect("Some");
+                emit(ctx, client, &data)?;
+                hb = next(ctx, client, &mut rb)?;
+            }
+            (None, None) => break,
+        }
+        count += 1;
+    }
+    client.call(ctx, params.lfs, LfsOp::Delete { file: a.0 })?;
+    client.call(ctx, params.lfs, LfsOp::Delete { file: b.0 })?;
+    Ok(count)
+}
+
+/// Appends Bridge-formatted blocks to a worker's phase-1 output column.
+struct OutputColumn {
+    writer: ColumnWriter,
+    file: BridgeFileId,
+    lfs_index: u32,
+}
+
+impl OutputColumn {
+    fn new(params: &LocalSortParams) -> Self {
+        OutputColumn {
+            writer: ColumnWriter::new(params.lfs, params.out_file, 0),
+            file: params.out_bridge,
+            lfs_index: params.lfs_index,
+        }
+    }
+
+    fn count(&self) -> u32 {
+        self.writer.position()
+    }
+
+    fn append(
+        &mut self,
+        ctx: &mut Ctx,
+        client: &mut LfsClient,
+        data: &[u8],
+    ) -> Result<(), ToolError> {
+        self.append_ref(ctx, client, data)
+    }
+
+    fn append_ref(
+        &mut self,
+        ctx: &mut Ctx,
+        client: &mut LfsClient,
+        data: &[u8],
+    ) -> Result<(), ToolError> {
+        let local = self.writer.position();
+        let header = BridgeHeader {
+            file: self.file,
+            global_block: u64::from(local),
+            breadth: 1,
+            next: GlobalPtr::new(self.lfs_index, local + 1),
+            prev: GlobalPtr::new(self.lfs_index, local.saturating_sub(1)),
+        };
+        self.writer.append_block(ctx, client, &header, data)
+    }
+}

@@ -1,0 +1,226 @@
+//! Worker orchestration: starting one subprocess per LFS node and joining
+//! their results, serially or through a binary fan-out tree.
+//!
+//! "Typical interaction between tools and the other components of the
+//! system involves (1) a brief phase of communication with the Bridge
+//! Server …, (2) the creation of subprocesses on all the LFS nodes, and
+//! (3) a lengthy series of interactions between the subprocesses and the
+//! instances of LFS." This module is phase (2), with completion handled by
+//! the same topology.
+
+use crate::error::ToolError;
+use crate::options::{Fanout, ToolOptions};
+use parsim::{Ctx, NodeId, ProcId};
+
+/// One worker to start: where, what to call it, and what it runs.
+pub struct WorkerSpec<R> {
+    /// Node to start the worker on (tools place workers on the LFS nodes
+    /// that hold their data).
+    pub node: NodeId,
+    /// Process name (debugging).
+    pub name: String,
+    /// The worker body.
+    pub run: Box<dyn FnOnce(&mut Ctx) -> Result<R, ToolError> + Send>,
+}
+
+impl<R> std::fmt::Debug for WorkerSpec<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerSpec")
+            .field("node", &self.node)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+type Batch<R> = Vec<(usize, Result<R, ToolError>)>;
+
+/// Starts every worker, waits for all of them, and returns their results
+/// in spec order.
+///
+/// With [`Fanout::Serial`] the controller pays `spawn_cost` per worker;
+/// with [`Fanout::Tree`] workers start their own subtrees and completions
+/// aggregate back up, making startup and completion O(log p).
+///
+/// # Errors
+///
+/// Returns the first failing worker's error (by spec order).
+pub fn run_workers<R: Send + 'static>(
+    ctx: &mut Ctx,
+    opts: &ToolOptions,
+    specs: Vec<WorkerSpec<R>>,
+) -> Result<Vec<R>, ToolError> {
+    if specs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let me = ctx.me();
+    let n = specs.len();
+    let mut collected: Vec<Option<Result<R, ToolError>>> = Vec::new();
+    collected.resize_with(n, || None);
+
+    match opts.fanout {
+        Fanout::Serial => {
+            for (idx, spec) in specs.into_iter().enumerate() {
+                ctx.delay(opts.spawn_cost);
+                ctx.spawn(spec.node, spec.name, move |c: &mut Ctx| {
+                    let r = (spec.run)(c);
+                    c.send(me, vec![(idx, r)] as Batch<R>);
+                });
+            }
+            for _ in 0..n {
+                let (_, batch) = ctx.recv_as::<Batch<R>>();
+                for (idx, r) in batch {
+                    collected[idx] = Some(r);
+                }
+            }
+        }
+        Fanout::Tree => {
+            let indexed: Vec<(usize, WorkerSpec<R>)> = specs.into_iter().enumerate().collect();
+            let spawn_cost = opts.spawn_cost;
+            spawn_subtree(ctx, me, indexed, spawn_cost);
+            let (_, batch) = ctx.recv_as::<Batch<R>>();
+            for (idx, r) in batch {
+                collected[idx] = Some(r);
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for (idx, slot) in collected.into_iter().enumerate() {
+        match slot {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(ToolError::Protocol(format!(
+                    "worker {idx} never reported"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Spawns the head of `specs` as a relay worker that starts the two halves
+/// of the remainder, runs its own body, and sends the aggregated batch to
+/// `parent`.
+fn spawn_subtree<R: Send + 'static>(
+    ctx: &mut Ctx,
+    parent: ProcId,
+    mut specs: Vec<(usize, WorkerSpec<R>)>,
+    spawn_cost: parsim::SimDuration,
+) {
+    debug_assert!(!specs.is_empty());
+    let rest = specs.split_off(1);
+    let (idx, spec) = specs.pop().expect("head exists");
+    ctx.delay(spawn_cost);
+    ctx.spawn(spec.node, spec.name, move |c: &mut Ctx| {
+        let me = c.me();
+        let mid = rest.len() / 2;
+        let mut rest = rest;
+        let right = rest.split_off(mid);
+        let left = rest;
+        let mut children = 0;
+        if !left.is_empty() {
+            spawn_subtree(c, me, left, spawn_cost);
+            children += 1;
+        }
+        if !right.is_empty() {
+            spawn_subtree(c, me, right, spawn_cost);
+            children += 1;
+        }
+        let mine = (spec.run)(c);
+        let mut batch: Batch<R> = vec![(idx, mine)];
+        for _ in 0..children {
+            let (_, sub) = c.recv_as::<Batch<R>>();
+            batch.extend(sub);
+        }
+        c.send(parent, batch);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim::{SimConfig, SimDuration, SimTime, Simulation};
+
+    fn run_with(fanout: Fanout, workers: usize) -> (Vec<u32>, SimDuration) {
+        let mut sim = Simulation::new(SimConfig::default());
+        let nodes: Vec<NodeId> = (0..workers).map(|i| sim.add_node(format!("n{i}"))).collect();
+        let ctrl = sim.add_node("ctrl");
+        let opts = ToolOptions {
+            spawn_cost: SimDuration::from_millis(10),
+            fanout,
+        };
+        sim.block_on(ctrl, "controller", move |ctx| {
+            let specs: Vec<WorkerSpec<u32>> = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| WorkerSpec {
+                    node,
+                    name: format!("w{i}"),
+                    run: Box::new(move |_c: &mut Ctx| Ok(i as u32 * 10)),
+                })
+                .collect();
+            let t0 = ctx.now();
+            let results = run_workers(ctx, &opts, specs).unwrap();
+            (results, ctx.now() - t0)
+        })
+    }
+
+    #[test]
+    fn results_come_back_in_order_both_modes() {
+        for fanout in [Fanout::Serial, Fanout::Tree] {
+            let (results, _) = run_with(fanout, 9);
+            assert_eq!(results, (0..9).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tree_startup_is_logarithmic() {
+        let (_, serial64) = run_with(Fanout::Serial, 64);
+        let (_, tree64) = run_with(Fanout::Tree, 64);
+        assert!(
+            tree64 < serial64 / 3,
+            "tree {tree64} should beat serial {serial64} clearly at p=64"
+        );
+        // And the gap widens with p (logarithmic vs linear).
+        let (_, serial16) = run_with(Fanout::Serial, 16);
+        let (_, tree16) = run_with(Fanout::Tree, 16);
+        let gain16 = serial16.as_secs_f64() / tree16.as_secs_f64();
+        let gain64 = serial64.as_secs_f64() / tree64.as_secs_f64();
+        assert!(gain64 > gain16, "advantage grows: {gain16:.2} → {gain64:.2}");
+    }
+
+    #[test]
+    fn worker_errors_propagate() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let n = sim.add_node("n");
+        let err = sim.block_on(n, "controller", move |ctx| {
+            let specs: Vec<WorkerSpec<()>> = (0..3)
+                .map(|i| WorkerSpec {
+                    node: n,
+                    name: format!("w{i}"),
+                    run: Box::new(move |_c: &mut Ctx| {
+                        if i == 1 {
+                            Err(ToolError::Protocol("worker 1 failed".into()))
+                        } else {
+                            Ok(())
+                        }
+                    }),
+                })
+                .collect();
+            run_workers(ctx, &ToolOptions::default(), specs).unwrap_err()
+        });
+        assert_eq!(err, ToolError::Protocol("worker 1 failed".into()));
+    }
+
+    #[test]
+    fn empty_spec_list_is_fine() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let n = sim.add_node("n");
+        let out = sim.block_on(n, "controller", move |ctx| {
+            run_workers::<u8>(ctx, &ToolOptions::default(), vec![]).unwrap()
+        });
+        assert!(out.is_empty());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+}

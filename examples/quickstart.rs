@@ -1,0 +1,63 @@
+//! Quickstart: stand up a simulated 8-node Bridge machine, store a file
+//! through the naive interface, and read it back — no knowledge of the
+//! interleaving required.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec};
+
+fn main() {
+    // An 8-node machine with paper-faithful timing: Wren-class disks
+    // (15 ms positioning), Butterfly-like interconnect.
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(8));
+    let server = machine.server;
+
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+
+        // Create an interleaved file. Round-robin placement across all 8
+        // LFS instances is the default.
+        let file = bridge.create(ctx, CreateSpec::default()).expect("create");
+        println!("created {file}");
+
+        // Write 100 blocks through the naive sequential interface.
+        let t0 = ctx.now();
+        for i in 0..100u32 {
+            let data = format!("record {i:03}: the quick brown fox");
+            bridge
+                .seq_write(ctx, file, data.into_bytes())
+                .expect("write");
+        }
+        let write_time = ctx.now() - t0;
+
+        // Open (a hint, not a lock — Bridge has no close) and read back.
+        let info = bridge.open(ctx, file).expect("open");
+        println!(
+            "file spans {} LFS instances, {} blocks total ({} per column)",
+            info.nodes.len(),
+            info.size,
+            info.nodes[0].local_size
+        );
+
+        let t0 = ctx.now();
+        let mut count = 0;
+        while let Some(block) = bridge.seq_read(ctx, file).expect("read") {
+            if count < 3 {
+                let text = String::from_utf8_lossy(&block[..32]);
+                println!("  block {count}: {text}");
+            }
+            count += 1;
+        }
+        let read_time = ctx.now() - t0;
+
+        println!("wrote 100 blocks in {write_time} of virtual time ({} per block)", write_time / 100);
+        println!("read  100 blocks in {read_time} of virtual time ({} per block)", read_time / 100);
+        println!(
+            "(sequential reads amortize disk positioning through full-track \
+             buffering,\n which is why they are far cheaper than the 15 ms disk latency)"
+        );
+
+        let freed = bridge.delete(ctx, file).expect("delete");
+        println!("deleted {freed} blocks");
+    });
+}

@@ -1,0 +1,155 @@
+//! Property-based system tests: arbitrary operation sequences against a
+//! whole Bridge machine behave like an in-memory model, for every strict
+//! placement.
+
+use bridge_repro::core::{
+    BridgeClient, BridgeConfig, BridgeError, BridgeFileId, BridgeMachine, CreateSpec,
+    PlacementSpec, BRIDGE_DATA,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Delete(u8),
+    Append { slot: u8, byte: u8 },
+    Overwrite { slot: u8, at: u16, byte: u8 },
+    ReadSeqAll(u8),
+    ReadRand { slot: u8, at: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let slot = 0u8..4;
+    prop_oneof![
+        slot.clone().prop_map(Op::Create),
+        slot.clone().prop_map(Op::Delete),
+        (slot.clone(), any::<u8>()).prop_map(|(slot, byte)| Op::Append { slot, byte }),
+        (slot.clone(), 0u16..64, any::<u8>())
+            .prop_map(|(slot, at, byte)| Op::Overwrite { slot, at, byte }),
+        slot.clone().prop_map(Op::ReadSeqAll),
+        (slot, 0u16..64).prop_map(|(slot, at)| Op::ReadRand { slot, at }),
+    ]
+}
+
+fn block(byte: u8) -> Vec<u8> {
+    vec![byte; 50]
+}
+
+fn padded(byte: u8) -> Vec<u8> {
+    let mut b = block(byte);
+    b.resize(BRIDGE_DATA, 0);
+    b
+}
+
+fn run_ops(placement: PlacementSpec, ops: Vec<Op>) {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(3));
+    let server = machine.server;
+    sim.block_on(machine.frontend, "prop", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        // slot → (file id, model blocks)
+        let mut model: HashMap<u8, (BridgeFileId, Vec<Vec<u8>>)> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Create(slot) => {
+                    if !model.contains_key(&slot) {
+                        let file = bridge
+                            .create(
+                                ctx,
+                                CreateSpec {
+                                    placement,
+                                    size_hint: Some(64),
+                                    ..CreateSpec::default()
+                                },
+                            )
+                            .unwrap();
+                        model.insert(slot, (file, Vec::new()));
+                    }
+                }
+                Op::Delete(slot) => {
+                    if let Some((file, blocks)) = model.remove(&slot) {
+                        let freed = bridge.delete(ctx, file).unwrap();
+                        assert_eq!(freed, blocks.len() as u64);
+                    }
+                }
+                Op::Append { slot, byte } => {
+                    if let Some((file, blocks)) = model.get_mut(&slot) {
+                        let n = bridge.seq_write(ctx, *file, block(byte)).unwrap();
+                        assert_eq!(n, blocks.len() as u64);
+                        blocks.push(padded(byte));
+                    }
+                }
+                Op::Overwrite { slot, at, byte } => {
+                    if let Some((file, blocks)) = model.get_mut(&slot) {
+                        if blocks.is_empty() {
+                            continue;
+                        }
+                        let at = u64::from(at) % blocks.len() as u64;
+                        bridge.rand_write(ctx, *file, at, block(byte)).unwrap();
+                        blocks[at as usize] = padded(byte);
+                    }
+                }
+                Op::ReadSeqAll(slot) => {
+                    if let Some((file, blocks)) = model.get(&slot) {
+                        bridge.open(ctx, *file).unwrap();
+                        let mut got = Vec::new();
+                        while let Some(b) = bridge.seq_read(ctx, *file).unwrap() {
+                            got.push(b);
+                        }
+                        assert_eq!(&got, blocks);
+                    }
+                }
+                Op::ReadRand { slot, at } => match model.get(&slot) {
+                    Some((file, blocks)) if !blocks.is_empty() => {
+                        let at = u64::from(at) % blocks.len() as u64;
+                        let got = bridge.rand_read(ctx, *file, at).unwrap();
+                        assert_eq!(got, blocks[at as usize]);
+                    }
+                    Some((file, _)) => {
+                        assert!(matches!(
+                            bridge.rand_read(ctx, *file, u64::from(at)),
+                            Err(BridgeError::BlockOutOfRange { .. })
+                        ));
+                    }
+                    None => {}
+                },
+            }
+        }
+        // Final verification of every surviving file.
+        for (file, blocks) in model.values() {
+            bridge.open(ctx, *file).unwrap();
+            let mut got = Vec::new();
+            while let Some(b) = bridge.seq_read(ctx, *file).unwrap() {
+                got.push(b);
+            }
+            assert_eq!(&got, blocks);
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn round_robin_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_ops(PlacementSpec::RoundRobin, ops);
+    }
+
+    #[test]
+    fn chunked_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_ops(PlacementSpec::Chunked, ops);
+    }
+
+    #[test]
+    fn hashed_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_ops(PlacementSpec::Hashed { seed: 5 }, ops);
+    }
+
+    #[test]
+    fn linked_matches_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_ops(PlacementSpec::Linked, ops);
+    }
+}

@@ -1,0 +1,229 @@
+//! Whole-system integration tests: every layer together — simulator,
+//! disks, EFS, Bridge Server, and tools — under realistic scenarios.
+
+use bridge_repro::core::{
+    BridgeClient, BridgeConfig, BridgeMachine, CreateSpec, PlacementSpec,
+};
+use bridge_repro::tools::{
+    copy, copy_with, grep, sort, summarize, transforms, SortOptions, ToolOptions,
+};
+use parsim::Ctx;
+
+fn record(i: u64) -> Vec<u8> {
+    let mut r = (i * 7919 % 100_000).to_be_bytes().to_vec();
+    r.extend_from_slice(format!(" body of record {i}").as_bytes());
+    r
+}
+
+#[test]
+fn full_lifecycle_across_all_layers() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(4));
+    let server = machine.server;
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let opts = ToolOptions::default();
+
+        // Naive writes.
+        let original = bridge.create(ctx, CreateSpec::default()).unwrap();
+        for i in 0..200u64 {
+            bridge.seq_write(ctx, original, record(i)).unwrap();
+        }
+
+        // Copy tool → identical summary.
+        let (duplicate, cstats) = copy(ctx, &mut bridge, original, &opts).unwrap();
+        assert_eq!(cstats.blocks, 200);
+        let s1 = summarize(ctx, &mut bridge, original, &opts).unwrap();
+        let s2 = summarize(ctx, &mut bridge, duplicate, &opts).unwrap();
+        assert_eq!(s1, s2);
+
+        // Sort tool → ordered output with the same multiset of blocks.
+        let (sorted, stats) = sort(
+            ctx,
+            &mut bridge,
+            duplicate,
+            &SortOptions {
+                in_core_records: 16,
+                ..SortOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.records, 200);
+        let s3 = summarize(ctx, &mut bridge, sorted, &opts).unwrap();
+        assert_eq!(s1.checksum, s3.checksum, "sort permutes, never alters");
+        bridge.open(ctx, sorted).unwrap();
+        let mut prev = vec![0u8; 8];
+        while let Some(block) = bridge.seq_read(ctx, sorted).unwrap() {
+            assert!(block[..8].to_vec() >= prev, "non-decreasing keys");
+            prev = block[..8].to_vec();
+        }
+
+        // Grep the sorted file for a known body substring.
+        let hits = grep(ctx, &mut bridge, sorted, b"record 199".to_vec(), &opts).unwrap();
+        assert_eq!(hits.len(), 1);
+
+        // Tear everything down in one wave; names remain usable afterwards.
+        let freed = bridge
+            .delete_many(ctx, vec![original, duplicate, sorted])
+            .unwrap();
+        assert_eq!(freed, 600);
+        let fresh = bridge.create(ctx, CreateSpec::default()).unwrap();
+        bridge.seq_write(ctx, fresh, b"still works".to_vec()).unwrap();
+        assert_eq!(bridge.open(ctx, fresh).unwrap().size, 1);
+    });
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || -> (u64, u64) {
+        let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(4));
+        let server = machine.server;
+        let checksum = sim.block_on(machine.frontend, "app", move |ctx| {
+            let mut bridge = BridgeClient::new(server);
+            let file = bridge.create(ctx, CreateSpec::default()).unwrap();
+            for i in 0..64u64 {
+                bridge.seq_write(ctx, file, record(i)).unwrap();
+            }
+            let (sorted, _) = sort(ctx, &mut bridge, file, &SortOptions::default()).unwrap();
+            summarize(ctx, &mut bridge, sorted, &ToolOptions::default())
+                .unwrap()
+                .checksum
+        });
+        (checksum, sim.now().as_nanos())
+    };
+    let (c1, t1) = run();
+    let (c2, t2) = run();
+    assert_eq!(c1, c2, "identical results");
+    assert_eq!(t1, t2, "identical virtual timelines, down to the nanosecond");
+}
+
+#[test]
+fn concurrent_clients_share_the_machine() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+    let server = machine.server;
+    let node = machine.frontend;
+    sim.block_on(machine.frontend, "main", move |ctx| {
+        // Three concurrent client processes, each with a private file.
+        let me = ctx.me();
+        for k in 0..3u64 {
+            ctx.spawn(node, format!("client{k}"), move |c: &mut Ctx| {
+                let mut bridge = BridgeClient::new(server);
+                let file = bridge.create(c, CreateSpec::default()).unwrap();
+                for i in 0..40u64 {
+                    bridge.seq_write(c, file, record(k * 1000 + i)).unwrap();
+                }
+                bridge.open(c, file).unwrap();
+                let mut n = 0u64;
+                while let Some(block) = bridge.seq_read(c, file).unwrap() {
+                    let expected = record(k * 1000 + n);
+                    assert_eq!(&block[..expected.len()], &expected[..]);
+                    n += 1;
+                }
+                assert_eq!(n, 40);
+                c.send(me, k);
+            });
+        }
+        let mut done = Vec::new();
+        for _ in 0..3 {
+            done.push(ctx.recv_as::<u64>().1);
+        }
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1, 2]);
+    });
+}
+
+#[test]
+fn filters_compose_with_sort() {
+    // Encrypt, sort the ciphertext, decrypt block-wise: contents survive,
+    // order is by ciphertext key.
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+    let server = machine.server;
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let opts = ToolOptions::default();
+        let plain = bridge.create(ctx, CreateSpec::default()).unwrap();
+        for i in 0..60u64 {
+            bridge.seq_write(ctx, plain, record(i)).unwrap();
+        }
+        let key = vec![0x42u8, 0x17];
+        let (cipher, _) =
+            copy_with(ctx, &mut bridge, plain, transforms::xor_cipher(key.clone()), &opts)
+                .unwrap();
+        let (sorted_cipher, _) =
+            sort(ctx, &mut bridge, cipher, &SortOptions::default()).unwrap();
+        let (restored, _) =
+            copy_with(ctx, &mut bridge, sorted_cipher, transforms::xor_cipher(key), &opts)
+                .unwrap();
+        // The multiset of plaintext blocks is preserved.
+        let a = summarize(ctx, &mut bridge, plain, &opts).unwrap();
+        let b = summarize(ctx, &mut bridge, restored, &opts).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.blocks, b.blocks);
+    });
+}
+
+#[test]
+fn tools_work_on_every_strict_placement() {
+    for placement in [
+        PlacementSpec::RoundRobin,
+        PlacementSpec::Chunked,
+        PlacementSpec::Hashed { seed: 99 },
+    ] {
+        let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(3));
+        let server = machine.server;
+        sim.block_on(machine.frontend, "app", move |ctx| {
+            let mut bridge = BridgeClient::new(server);
+            let file = bridge
+                .create(
+                    ctx,
+                    CreateSpec {
+                        placement,
+                        size_hint: Some(50),
+                        ..CreateSpec::default()
+                    },
+                )
+                .unwrap();
+            for i in 0..50u64 {
+                bridge.seq_write(ctx, file, record(i)).unwrap();
+            }
+            let (sorted, stats) =
+                sort(ctx, &mut bridge, file, &SortOptions::default()).unwrap();
+            assert_eq!(stats.records, 50, "{placement:?}");
+            bridge.open(ctx, sorted).unwrap();
+            let mut prev = vec![0u8; 8];
+            while let Some(block) = bridge.seq_read(ctx, sorted).unwrap() {
+                assert!(block[..8].to_vec() >= prev, "{placement:?}");
+                prev = block[..8].to_vec();
+            }
+        });
+    }
+}
+
+#[test]
+fn virtual_time_is_consistent_across_views() {
+    // Reading the same file through the naive view, a width-p job, and the
+    // summary tool must get cheaper in that order (per the paper's §6).
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(8));
+    let server = machine.server;
+    let lfs_nodes = machine.lfs_nodes.clone();
+    let (naive, tool) = sim.block_on(machine.frontend, "app", move |ctx| {
+        let _ = lfs_nodes;
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge.create(ctx, CreateSpec::default()).unwrap();
+        for i in 0..256u64 {
+            bridge.seq_write(ctx, file, record(i)).unwrap();
+        }
+        bridge.open(ctx, file).unwrap();
+        let t0 = ctx.now();
+        while bridge.seq_read(ctx, file).unwrap().is_some() {}
+        let naive = ctx.now() - t0;
+
+        let t0 = ctx.now();
+        summarize(ctx, &mut bridge, file, &ToolOptions::default()).unwrap();
+        let tool = ctx.now() - t0;
+        (naive, tool)
+    });
+    assert!(
+        tool.as_secs_f64() * 3.0 < naive.as_secs_f64(),
+        "tool view ({tool}) should beat the naive view ({naive}) by far more than 3x"
+    );
+}
