@@ -115,7 +115,7 @@ impl SeqFile {
             LfsOp::Write {
                 file: self.file,
                 block: self.size,
-                data,
+                data: data.into(),
                 hint: self.hint,
             },
         )?;
@@ -131,7 +131,10 @@ impl SeqFile {
     /// # Errors
     ///
     /// Propagates LFS errors.
-    pub fn read_next(&mut self, ctx: &mut Ctx) -> Result<Option<Vec<u8>>, bridge_efs::EfsError> {
+    pub fn read_next(
+        &mut self,
+        ctx: &mut Ctx,
+    ) -> Result<Option<bytes::Bytes>, bridge_efs::EfsError> {
         if self.cursor >= self.size {
             return Ok(None);
         }

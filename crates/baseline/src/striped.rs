@@ -6,6 +6,7 @@
 //! limited by disk or channel speed, but … they are limited by the
 //! throughput of the file system software."
 
+use bytes::Bytes;
 use parsim::{Ctx, SimDuration};
 use simdisk::{BlockAddr, BlockDevice, DiskError, DiskGeometry, DiskProfile, DiskStats};
 use std::fmt;
@@ -23,7 +24,7 @@ pub struct StripedDisk {
     members: u32,
     member_geometry: DiskGeometry,
     profile: DiskProfile,
-    blocks: Vec<Option<Box<[u8]>>>,
+    blocks: Vec<Option<Bytes>>,
     /// Per-member buffered track (member-local track index).
     buffered: Vec<Option<u32>>,
     stats: DiskStats,
@@ -83,7 +84,7 @@ impl BlockDevice for StripedDisk {
         }
     }
 
-    fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Vec<u8>, DiskError> {
+    fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Bytes, DiskError> {
         let idx = self.check(addr)?;
         let (member, local) = self.split(addr);
         let track = local / self.member_geometry.blocks_per_track;
@@ -105,7 +106,7 @@ impl BlockDevice for StripedDisk {
             }
         }
         match &self.blocks[idx] {
-            Some(data) => Ok(data.to_vec()),
+            Some(data) => Ok(data.clone()),
             None => Err(DiskError::Unwritten { addr }),
         }
     }
@@ -122,23 +123,28 @@ impl BlockDevice for StripedDisk {
         self.stats.writes += 1;
         let d = self.profile.positioning + self.profile.transfer_per_block;
         self.charge(ctx, d);
-        self.blocks[idx] = Some(data.to_vec().into_boxed_slice());
+        self.blocks[idx] = Some(Bytes::copy_from_slice(data));
         self.buffered[member] = Some(local / self.member_geometry.blocks_per_track);
         Ok(())
     }
 
     fn read_raw(&self, addr: BlockAddr) -> Option<&[u8]> {
-        self.blocks.get(addr.index() as usize).and_then(|b| b.as_deref())
+        self.blocks
+            .get(addr.index() as usize)
+            .and_then(|b| b.as_ref())
+            .map(|b| b.as_ref())
     }
 
     fn write_raw(&mut self, addr: BlockAddr, data: &[u8]) {
-        let idx = self.check(addr).unwrap_or_else(|e| panic!("write_raw: {e}"));
+        let idx = self
+            .check(addr)
+            .unwrap_or_else(|e| panic!("write_raw: {e}"));
         assert_eq!(
             data.len(),
             self.member_geometry.block_size,
             "write_raw: data must be exactly one block"
         );
-        self.blocks[idx] = Some(data.to_vec().into_boxed_slice());
+        self.blocks[idx] = Some(Bytes::copy_from_slice(data));
     }
 
     fn clear_raw(&mut self, addr: BlockAddr) {
@@ -198,7 +204,8 @@ mod tests {
     fn round_trips_across_the_stripe() {
         on(|ctx, disk| {
             for i in 0..64u32 {
-                disk.write(ctx, BlockAddr::new(i), &vec![i as u8; 1024]).unwrap();
+                disk.write(ctx, BlockAddr::new(i), &vec![i as u8; 1024])
+                    .unwrap();
             }
             for i in 0..64u32 {
                 assert_eq!(disk.read(ctx, BlockAddr::new(i)).unwrap()[0], i as u8);

@@ -48,10 +48,7 @@ fn efs_works_over_striped_and_array_devices() {
 #[test]
 fn striping_speeds_the_device_but_cpu_remains() {
     let blocks = 512;
-    let single = sequential_read_time(
-        SimDisk::new(small_geometry(), DiskProfile::wren()),
-        blocks,
-    );
+    let single = sequential_read_time(SimDisk::new(small_geometry(), DiskProfile::wren()), blocks);
     let striped = sequential_read_time(
         StripedDisk::new(small_geometry(), DiskProfile::wren(), 8),
         blocks,
@@ -73,10 +70,8 @@ fn striping_speeds_the_device_but_cpu_remains() {
 fn array_has_bandwidth_but_worse_latency() {
     // Sequential: the array's parallel transfer wins.
     let blocks = 256;
-    let single_seq = sequential_read_time(
-        SimDisk::new(small_geometry(), DiskProfile::wren()),
-        blocks,
-    );
+    let single_seq =
+        sequential_read_time(SimDisk::new(small_geometry(), DiskProfile::wren()), blocks);
     let array_seq = sequential_read_time(
         array_device(small_geometry(), DiskProfile::wren(), 8),
         blocks,

@@ -37,7 +37,10 @@ fn main() {
     println!("## Ablation A2 — 2-way vs multi-way local merge ({blocks} records)\n");
 
     let ps = [2u32, 4, 8, 16, 32];
-    let binary: Vec<SortStats> = ps.iter().map(|&p| run(p, blocks, LocalMergeArity::Binary)).collect();
+    let binary: Vec<SortStats> = ps
+        .iter()
+        .map(|&p| run(p, blocks, LocalMergeArity::Binary))
+        .collect();
     let multi: Vec<SortStats> = ps
         .iter()
         .map(|&p| run(p, blocks, LocalMergeArity::MultiWay))

@@ -75,7 +75,9 @@ fn run_job_read(
             })
         })
         .collect();
-    let job = bridge.parallel_open(ctx, file, workers.clone()).expect("job");
+    let job = bridge
+        .parallel_open(ctx, file, workers.clone())
+        .expect("job");
     let t0 = ctx.now();
     loop {
         let (_, eof) = bridge.job_read(ctx, job).expect("job read");
@@ -112,7 +114,13 @@ fn main() {
             ),
             format!(
                 "{:.3}",
-                distinct_window_fraction(PlacementKind::Chunked { blocks_per_chunk: 64 }, p, 500)
+                distinct_window_fraction(
+                    PlacementKind::Chunked {
+                        blocks_per_chunk: 64
+                    },
+                    p,
+                    500
+                )
             ),
             format!("{theory:.5}"),
         ]);

@@ -89,7 +89,9 @@ fn fail(ctx: &mut Ctx, lfs: parsim::ProcId, failed: bool) {
 fn main() {
     let p = 8u32;
     let blocks = 1024 / scale();
-    println!("## Ablation A6 — the price of surviving one node failure (p = {p}, {blocks} blocks)\n");
+    println!(
+        "## Ablation A6 — the price of surviving one node failure (p = {p}, {blocks} blocks)\n"
+    );
 
     let mut t = Table::new([
         "redundancy",
@@ -109,10 +111,9 @@ fn main() {
             format!("{:.2}x", run.blocks_stored),
             format!("{:.1} ms", run.write.as_millis_f64() / blocks as f64),
             format!("{:.1} ms", run.read.as_millis_f64() / blocks as f64),
-            run.degraded_read
-                .map_or("fatal".to_string(), |d| {
-                    format!("{:.1} ms", d.as_millis_f64() / blocks as f64)
-                }),
+            run.degraded_read.map_or("fatal".to_string(), |d| {
+                format!("{:.1} ms", d.as_millis_f64() / blocks as f64)
+            }),
         ]);
     }
     t.print();

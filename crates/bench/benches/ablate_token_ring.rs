@@ -39,7 +39,10 @@ fn main() {
         per_byte: fast.per_byte * 20,
     };
 
-    for (name, latency) in [("paper-like interconnect", fast), ("20× slower interconnect", slow)] {
+    for (name, latency) in [
+        ("paper-like interconnect", fast),
+        ("20× slower interconnect", slow),
+    ] {
         println!("### {name} (remote base {})", latency.remote_base);
         let mut t = Table::new(["p", "merge time", "merge records/s", "gain vs previous p"]);
         let mut prev: Option<SimDuration> = None;

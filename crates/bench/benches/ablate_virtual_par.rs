@@ -26,7 +26,14 @@ fn measure(p: u32, blocks: u64, widths: &[u32]) -> (Vec<SimDuration>, SimDuratio
 
         let mut job_times = Vec::new();
         for &t in &widths {
-            job_times.push(job_read_all(ctx, &mut bridge, file, t, frontend, &lfs_nodes));
+            job_times.push(job_read_all(
+                ctx,
+                &mut bridge,
+                file,
+                t,
+                frontend,
+                &lfs_nodes,
+            ));
         }
 
         // Naive sequential read for reference.
@@ -72,7 +79,9 @@ fn job_read_all(
             })
         })
         .collect();
-    let job = bridge.parallel_open(ctx, file, workers.clone()).expect("job");
+    let job = bridge
+        .parallel_open(ctx, file, workers.clone())
+        .expect("job");
     let t0 = ctx.now();
     loop {
         let (_, eof) = bridge.job_read(ctx, job).expect("job read");
@@ -95,7 +104,9 @@ fn main() {
     let p = 8u32;
     let blocks = 4096 / scale();
     let widths = [1u32, 2, 4, 8, 16, 32];
-    println!("## Ablation A5 — virtual parallelism and the three views (p = {p}, {blocks} blocks)\n");
+    println!(
+        "## Ablation A5 — virtual parallelism and the three views (p = {p}, {blocks} blocks)\n"
+    );
 
     let (job_times, naive, tool) = measure(p, blocks, &widths);
 

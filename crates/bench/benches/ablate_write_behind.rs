@@ -39,8 +39,7 @@ fn measure(p: u32, blocks: u64, write_behind: Option<u32>) -> Run {
             copy(ctx, &mut bridge, file, &ToolOptions::default()).expect("copy");
         bridge.delete(ctx, copy_file).expect("delete");
 
-        let (sorted, sstats) =
-            sort(ctx, &mut bridge, file, &SortOptions::default()).expect("sort");
+        let (sorted, sstats) = sort(ctx, &mut bridge, file, &SortOptions::default()).expect("sort");
         bridge.delete(ctx, sorted).expect("delete");
 
         Run {

@@ -44,8 +44,13 @@ fn bridge_seq_read(p: u32, blocks: u64) -> (SimDuration, SimDuration) {
         while bridge.seq_read(ctx, file).expect("read").is_some() {}
         let naive = ctx.now() - t0;
         let t0 = ctx.now();
-        bridge_tools::summarize(ctx, &mut bridge, file, &bridge_tools::ToolOptions::default())
-            .expect("summarize");
+        bridge_tools::summarize(
+            ctx,
+            &mut bridge,
+            file,
+            &bridge_tools::ToolOptions::default(),
+        )
+        .expect("summarize");
         let tool = ctx.now() - t0;
         (naive, tool)
     })
@@ -55,7 +60,9 @@ fn main() {
     let blocks = 2048 / scale();
     let geometry = DiskGeometry::default();
     let profile = DiskProfile::wren();
-    println!("## Baseline comparison — one FS over parallel devices vs Bridge ({blocks}-block file)\n");
+    println!(
+        "## Baseline comparison — one FS over parallel devices vs Bridge ({blocks}-block file)\n"
+    );
 
     println!("### Reading one file sequentially, 8 spindles of aggregate hardware");
     let single = baseline_seq_read(SimDisk::new(geometry, profile), blocks);
@@ -67,7 +74,11 @@ fn main() {
     for (name, d, bound) in [
         ("one spindle, one FS", single, "device positioning"),
         ("storage array (8), one FS", array, "device + FS CPU"),
-        ("striped set (8), one FS", striped, "FS software (CPU + queue)"),
+        (
+            "striped set (8), one FS",
+            striped,
+            "FS software (CPU + queue)",
+        ),
         ("Bridge (8), naive view", naive8, "server + one stream"),
         ("Bridge (8), tool view", tool8, "p parallel columns"),
     ] {

@@ -26,7 +26,12 @@ fn bench_placement(c: &mut Criterion) {
             acc
         })
     });
-    let chunked = Placement::new(PlacementKind::Chunked { blocks_per_chunk: 40 }, 32);
+    let chunked = Placement::new(
+        PlacementKind::Chunked {
+            blocks_per_chunk: 40,
+        },
+        32,
+    );
     group.bench_function("chunked_locate", |b| {
         b.iter(|| {
             let mut acc = 0u64;
@@ -63,7 +68,7 @@ fn bench_codecs(c: &mut Criterion) {
     group.bench_function("efs_encode_block", |b| {
         b.iter(|| encode_block(black_box(&efs_header), black_box(&payload)))
     });
-    let encoded = encode_block(&efs_header, &payload);
+    let encoded = bytes::Bytes::from(encode_block(&efs_header, &payload));
     group.bench_function("efs_decode_block", |b| {
         b.iter(|| decode_block(black_box(&encoded)).unwrap())
     });
@@ -79,7 +84,7 @@ fn bench_codecs(c: &mut Criterion) {
     group.bench_function("bridge_encode_payload", |b| {
         b.iter(|| encode_payload(black_box(&bridge_header), black_box(&data)))
     });
-    let enc = encode_payload(&bridge_header, &data);
+    let enc = bytes::Bytes::from(encode_payload(&bridge_header, &data));
     group.bench_function("bridge_decode_payload", |b| {
         b.iter(|| decode_payload(black_box(&enc)).unwrap())
     });

@@ -131,7 +131,9 @@ fn main() {
         })
         .collect();
     let (a, b, r2) = linear_fit(&read_pts);
-    println!("Read    = {a:.1} + {b:.0}·(p/filesize) ms   (r²={r2:.3}; paper: 9.0 + 500·p/filesize)");
+    println!(
+        "Read    = {a:.1} + {b:.0}·(p/filesize) ms   (r²={r2:.3}; paper: 9.0 + 500·p/filesize)"
+    );
 
     let writes: Vec<f64> = runs.iter().map(|r| r.write_avg.as_millis_f64()).collect();
     let opens: Vec<f64> = runs.iter().map(|r| r.open.as_millis_f64()).collect();

@@ -85,9 +85,7 @@ mod tests {
 
     #[test]
     fn rates_and_speedups() {
-        assert!(
-            (records_per_second(100, SimDuration::from_secs(2)) - 50.0).abs() < 1e-9
-        );
+        assert!((records_per_second(100, SimDuration::from_secs(2)) - 50.0).abs() < 1e-9);
         assert!(
             (speedup(SimDuration::from_secs(10), SimDuration::from_secs(2)) - 5.0).abs() < 1e-9
         );

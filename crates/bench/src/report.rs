@@ -2,7 +2,7 @@
 //! least-squares fits used to compare measured costs against the paper's
 //! Table-2 formulas.
 
-use parsim::SimDuration;
+use parsim::{RunStats, SimDuration};
 
 /// A simple markdown table builder.
 #[derive(Debug, Default)]
@@ -62,6 +62,33 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+}
+
+/// One-line summary of a run's kernel-side costs: event count, delivered
+/// messages, payload bytes, and the event-queue high-water mark. Printed
+/// by the benches so batching wins show up as hard counter deltas, not
+/// just virtual-time ones.
+pub fn kernel_stats(stats: &RunStats) -> String {
+    format!(
+        "events={} messages={} bytes_sent={} queue_high_water={}",
+        stats.events,
+        stats.messages,
+        count(stats.bytes_sent),
+        stats.queue_high_water,
+    )
+}
+
+/// Formats a large count with thousands separators (`12_345_678`).
+pub fn count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
 }
 
 /// Formats a duration in seconds with one decimal, like the paper's
@@ -148,7 +175,9 @@ mod tests {
 
     #[test]
     fn linear_fit_recovers_exact_line() {
-        let pts: Vec<(f64, f64)> = (1..=5).map(|x| (x as f64, 145.0 + 17.5 * x as f64)).collect();
+        let pts: Vec<(f64, f64)> = (1..=5)
+            .map(|x| (x as f64, 145.0 + 17.5 * x as f64))
+            .collect();
         let (a, b, r2) = linear_fit(&pts);
         assert!((a - 145.0).abs() < 1e-9);
         assert!((b - 17.5).abs() < 1e-9);
@@ -169,6 +198,25 @@ mod tests {
         assert_eq!(secs(SimDuration::from_millis(21_600)), "21.6 s");
         assert_eq!(mins(SimDuration::from_secs(307)), "5.12 min");
         assert_eq!(millis(SimDuration::from_micros(31_000)), "31.0 ms");
+        assert_eq!(count(5), "5");
+        assert_eq!(count(1234), "1_234");
+        assert_eq!(count(1_234_567), "1_234_567");
+    }
+
+    #[test]
+    fn kernel_stats_lists_every_counter() {
+        let stats = RunStats {
+            events: 10,
+            messages: 4,
+            bytes_sent: 123_456,
+            queue_high_water: 7,
+            ..RunStats::default()
+        };
+        let line = kernel_stats(&stats);
+        assert!(line.contains("events=10"));
+        assert!(line.contains("messages=4"));
+        assert!(line.contains("bytes_sent=123_456"));
+        assert!(line.contains("queue_high_water=7"));
     }
 
     #[test]

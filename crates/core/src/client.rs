@@ -7,6 +7,7 @@ use crate::protocol::{
     request_wire_size, BridgeCmd, BridgeData, BridgeReply, BridgeRequest, CreateSpec, JobDeliver,
     JobRequest, JobSupply, MachineInfo, OpenInfo,
 };
+use bytes::Bytes;
 use parsim::{Ctx, ProcId};
 
 /// A typed client for the Bridge Server.
@@ -127,7 +128,7 @@ impl BridgeClient {
         &mut self,
         ctx: &mut Ctx,
         file: BridgeFileId,
-    ) -> Result<Option<Vec<u8>>, BridgeError> {
+    ) -> Result<Option<Bytes>, BridgeError> {
         match self.call(ctx, BridgeCmd::SeqRead { file })? {
             BridgeData::Block(data) => Ok(Some(data)),
             BridgeData::Eof => Ok(None),
@@ -144,8 +145,9 @@ impl BridgeClient {
         &mut self,
         ctx: &mut Ctx,
         file: BridgeFileId,
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
     ) -> Result<u64, BridgeError> {
+        let data = data.into();
         match self.call(ctx, BridgeCmd::SeqWrite { file, data })? {
             BridgeData::Written { block } => Ok(block),
             other => Err(unexpected("Written", &other)),
@@ -162,7 +164,7 @@ impl BridgeClient {
         ctx: &mut Ctx,
         file: BridgeFileId,
         block: u64,
-    ) -> Result<Vec<u8>, BridgeError> {
+    ) -> Result<Bytes, BridgeError> {
         match self.call(ctx, BridgeCmd::RandRead { file, block })? {
             BridgeData::Block(data) => Ok(data),
             other => Err(unexpected("Block", &other)),
@@ -180,8 +182,9 @@ impl BridgeClient {
         ctx: &mut Ctx,
         file: BridgeFileId,
         block: u64,
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
     ) -> Result<(), BridgeError> {
+        let data = data.into();
         match self.call(ctx, BridgeCmd::RandWrite { file, block, data })? {
             BridgeData::Written { .. } => Ok(()),
             other => Err(unexpected("Written", &other)),
@@ -292,22 +295,18 @@ impl JobWorker {
 
     /// Receives this worker's block from the current read round:
     /// `Some((global_block, data))`, or `None` when the file ran out.
-    pub fn recv_block(&self, ctx: &mut Ctx) -> Option<(u64, Vec<u8>)> {
+    pub fn recv_block(&self, ctx: &mut Ctx) -> Option<(u64, Bytes)> {
         let job = self.job;
-        let env = ctx.recv_where(|e| {
-            e.downcast_ref::<JobDeliver>().is_some_and(|d| d.job == job)
-        });
+        let env = ctx.recv_where(|e| e.downcast_ref::<JobDeliver>().is_some_and(|d| d.job == job));
         let deliver = env.downcast::<JobDeliver>().expect("matched type");
         deliver.data.map(|d| (deliver.block, d))
     }
 
     /// Awaits the server's poll in a write round and supplies `data`
     /// (`None` = this worker is out of data).
-    pub fn supply_block(&self, ctx: &mut Ctx, data: Option<Vec<u8>>) {
+    pub fn supply_block(&self, ctx: &mut Ctx, data: Option<Bytes>) {
         let job = self.job;
-        let env = ctx.recv_where(|e| {
-            e.downcast_ref::<JobRequest>().is_some_and(|r| r.job == job)
-        });
+        let env = ctx.recv_where(|e| e.downcast_ref::<JobRequest>().is_some_and(|r| r.job == job));
         let server = env.from();
         let req = env.downcast::<JobRequest>().expect("matched type");
         let bytes = data.as_ref().map_or(16, |d| 16 + d.len());

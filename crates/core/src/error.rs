@@ -69,7 +69,10 @@ impl fmt::Display for BridgeError {
                 write!(f, "{file} block {block} out of range (size {size})")
             }
             BridgeError::DataTooLarge { provided } => {
-                write!(f, "data of {provided} bytes exceeds a 960-byte Bridge block")
+                write!(
+                    f,
+                    "data of {provided} bytes exceeds a 960-byte Bridge block"
+                )
             }
             BridgeError::UnknownJob(job) => write!(f, "{job} is not an open job"),
             BridgeError::EmptyWorkerList => write!(f, "parallel open requires workers"),

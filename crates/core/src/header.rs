@@ -12,8 +12,8 @@
 
 use crate::error::BridgeError;
 use crate::ids::{BridgeFileId, LfsIndex};
-use bytes::{Buf, BufMut};
 use bridge_efs::EFS_PAYLOAD;
+use bytes::{Buf, BufMut, Bytes};
 
 /// Bytes of Bridge header inside each EFS payload.
 pub const BRIDGE_HEADER_SIZE: usize = 40;
@@ -105,18 +105,19 @@ pub fn encode_payload(header: &BridgeHeader, data: &[u8]) -> Vec<u8> {
 }
 
 /// Splits an EFS payload into its Bridge header and 960-byte data area.
+/// The data area is an O(1) slice of the payload buffer — no copy.
 ///
 /// # Errors
 ///
 /// [`BridgeError::Corrupt`] on bad magic, bad checksum, or wrong length.
-pub fn decode_payload(payload: &[u8]) -> Result<(BridgeHeader, Vec<u8>), BridgeError> {
+pub fn decode_payload(payload: &Bytes) -> Result<(BridgeHeader, Bytes), BridgeError> {
     if payload.len() != EFS_PAYLOAD {
         return Err(BridgeError::Corrupt(format!(
             "payload is {} bytes, expected {EFS_PAYLOAD}",
             payload.len()
         )));
     }
-    let mut buf = payload;
+    let mut buf: &[u8] = payload;
     let magic = buf.get_u32_le();
     if magic != BRIDGE_MAGIC {
         return Err(BridgeError::Corrupt(format!(
@@ -143,7 +144,10 @@ pub fn decode_payload(payload: &[u8]) -> Result<(BridgeHeader, Vec<u8>), BridgeE
             header.file, header.global_block
         )));
     }
-    Ok((header, buf[..BRIDGE_DATA].to_vec()))
+    Ok((
+        header,
+        payload.slice(BRIDGE_HEADER_SIZE..BRIDGE_HEADER_SIZE + BRIDGE_DATA),
+    ))
 }
 
 #[cfg(test)]
@@ -163,7 +167,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let data: Vec<u8> = (0..BRIDGE_DATA).map(|i| (i % 256) as u8).collect();
-        let payload = encode_payload(&sample(), &data);
+        let payload = Bytes::from(encode_payload(&sample(), &data));
         assert_eq!(payload.len(), EFS_PAYLOAD);
         let (h, d) = decode_payload(&payload).unwrap();
         assert_eq!(h, sample());
@@ -172,10 +176,18 @@ mod tests {
 
     #[test]
     fn short_data_zero_padded() {
-        let payload = encode_payload(&sample(), b"abc");
+        let payload = Bytes::from(encode_payload(&sample(), b"abc"));
         let (_, d) = decode_payload(&payload).unwrap();
         assert_eq!(&d[..3], b"abc");
         assert!(d[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn decoded_data_shares_the_payload_buffer() {
+        let payload = Bytes::from(encode_payload(&sample(), b"zero-copy"));
+        let (_, d) = decode_payload(&payload).unwrap();
+        let tail: &[u8] = &payload[BRIDGE_HEADER_SIZE..];
+        assert!(std::ptr::eq(tail.as_ptr(), d.as_ptr()), "no copy");
     }
 
     #[test]
@@ -189,10 +201,10 @@ mod tests {
         let mut payload = encode_payload(&sample(), b"abc");
         payload[16] ^= 0x80; // a pointer byte
         assert!(matches!(
-            decode_payload(&payload),
+            decode_payload(&payload.into()),
             Err(BridgeError::Corrupt(_))
         ));
-        assert!(decode_payload(&[0u8; 10]).is_err());
+        assert!(decode_payload(&Bytes::copy_from_slice(&[0u8; 10])).is_err());
     }
 
     #[test]

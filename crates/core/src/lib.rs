@@ -60,10 +60,12 @@ pub use header::{
 pub use ids::{BridgeFileId, JobId, LfsIndex};
 pub use machine::{BridgeConfig, BridgeMachine};
 pub use placement::{Placement, PlacementCursor, PlacementKind};
-pub use redundancy::{xor_into, ParityLayout, Redundancy};
 pub use protocol::{
     reply_wire_size, request_wire_size, BridgeCmd, BridgeData, BridgeReply, BridgeRequest,
     CreateSpec, FanoutAck, FanoutCreate, JobDeliver, JobRequest, JobSupply, LfsSlice, MachineInfo,
     OpenInfo, PlacementSpec,
 };
-pub use server::{spawn_bridge_agent, spawn_bridge_server, BridgeServerConfig, CreateFanout};
+pub use redundancy::{xor_into, ParityLayout, Redundancy};
+pub use server::{
+    spawn_bridge_agent, spawn_bridge_server, BatchPolicy, BridgeServerConfig, CreateFanout,
+};

@@ -45,7 +45,7 @@ impl BridgeConfig {
             server: BridgeServerConfig::default(),
             latency: UniformLatency::default(),
             write_behind: None,
-            seed: 0xB21D_6E,
+            seed: 0x00B2_1D6E,
         }
     }
 
@@ -72,7 +72,7 @@ impl BridgeConfig {
             },
             latency: UniformLatency::constant(SimDuration::ZERO),
             write_behind: None,
-            seed: 0xB21D_6E,
+            seed: 0x00B2_1D6E,
         }
     }
 }
@@ -123,7 +123,10 @@ impl BridgeMachine {
     ///
     /// Panics if `config.breadth` is zero.
     pub fn build_in(sim: &mut Simulation, config: &BridgeConfig) -> BridgeMachine {
-        assert!(config.breadth > 0, "a Bridge machine needs at least one LFS");
+        assert!(
+            config.breadth > 0,
+            "a Bridge machine needs at least one LFS"
+        );
         let server_node = sim.add_node("bridge-server");
         let frontend = sim.add_node("frontend");
         let mut lfs = Vec::with_capacity(config.breadth as usize);

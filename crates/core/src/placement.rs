@@ -195,7 +195,10 @@ mod tests {
         let mut per_node: HashMap<u32, Vec<u32>> = HashMap::new();
         for b in 0..blocks {
             let ptr = placement.locate(b).expect("computable placement");
-            assert!(seen.insert((ptr.lfs.0, ptr.local)), "collision at block {b}");
+            assert!(
+                seen.insert((ptr.lfs.0, ptr.local)),
+                "collision at block {b}"
+            );
             per_node.entry(ptr.lfs.0).or_default().push(ptr.local);
         }
         for (node, mut locals) in per_node {
@@ -245,7 +248,12 @@ mod tests {
 
     #[test]
     fn chunked_is_contiguous_and_dense() {
-        let p = Placement::new(PlacementKind::Chunked { blocks_per_chunk: 10 }, 4);
+        let p = Placement::new(
+            PlacementKind::Chunked {
+                blocks_per_chunk: 10,
+            },
+            4,
+        );
         // Blocks 0..10 on node 0, 10..20 on node 1, …
         assert_eq!(p.node_of(0).unwrap().0, 0);
         assert_eq!(p.node_of(9).unwrap().0, 0);
@@ -285,7 +293,9 @@ mod tests {
     fn cursor_agrees_with_locate() {
         for kind in [
             PlacementKind::RoundRobin { start: 1 },
-            PlacementKind::Chunked { blocks_per_chunk: 7 },
+            PlacementKind::Chunked {
+                blocks_per_chunk: 7,
+            },
             PlacementKind::Hashed { seed: 9 },
         ] {
             let p = Placement::new(kind, 5);

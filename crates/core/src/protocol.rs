@@ -18,6 +18,7 @@ use crate::ids::{BridgeFileId, JobId, LfsIndex};
 use crate::placement::PlacementKind;
 use crate::redundancy::Redundancy;
 use bridge_efs::LfsFileId;
+use bytes::Bytes;
 use parsim::{NodeId, ProcId};
 
 /// Placement requested at file creation.
@@ -100,7 +101,7 @@ pub enum BridgeCmd {
         /// File to append to.
         file: BridgeFileId,
         /// Block data.
-        data: Vec<u8>,
+        data: Bytes,
     },
     /// Read a specific global block.
     RandRead {
@@ -116,7 +117,7 @@ pub enum BridgeCmd {
         /// Global block number.
         block: u64,
         /// Block data (at most 960 bytes).
-        data: Vec<u8>,
+        data: Bytes,
     },
     /// Group the sender (controller) and `workers` into a job on `file`.
     ParallelOpen {
@@ -175,7 +176,7 @@ pub enum BridgeData {
     /// `Open` succeeded.
     Opened(OpenInfo),
     /// A block's 960 data bytes.
-    Block(Vec<u8>),
+    Block(Bytes),
     /// Sequential read reached end of file.
     Eof,
     /// A write landed; which global block it became.
@@ -265,7 +266,7 @@ pub struct JobDeliver {
     /// Global block number (meaningful when `data` is `Some`).
     pub block: u64,
     /// The 960 data bytes, or `None` at end of file.
-    pub data: Option<Vec<u8>>,
+    pub data: Option<Bytes>,
 }
 
 /// Server → worker: request for the worker's next block during `JobWrite`.
@@ -286,7 +287,7 @@ pub struct JobSupply {
     /// Echo of the requested global block number.
     pub block: u64,
     /// The data, or `None` to signal end.
-    pub data: Option<Vec<u8>>,
+    pub data: Option<Bytes>,
 }
 
 /// Server/agent → agent: create an LFS file across a subtree of nodes,
@@ -342,13 +343,13 @@ mod tests {
         let small = request_wire_size(&BridgeCmd::GetInfo);
         let write = request_wire_size(&BridgeCmd::SeqWrite {
             file: BridgeFileId(1),
-            data: vec![0; 960],
+            data: vec![0; 960].into(),
         });
         assert!(write > small + 900);
 
         let block = reply_wire_size(&BridgeReply {
             id: 1,
-            result: Ok(BridgeData::Block(vec![0; 960])),
+            result: Ok(BridgeData::Block(vec![0; 960].into())),
         });
         let done = reply_wire_size(&BridgeReply {
             id: 1,

@@ -13,16 +13,17 @@ use crate::error::BridgeError;
 use crate::header::{decode_payload, encode_payload, BridgeHeader, GlobalPtr, BRIDGE_DATA};
 use crate::ids::{BridgeFileId, JobId, LfsIndex};
 use crate::placement::{Placement, PlacementCursor, PlacementKind};
-use crate::redundancy::{xor_into, ParityLayout, Redundancy};
 use crate::protocol::{
     reply_wire_size, BridgeCmd, BridgeData, BridgeReply, BridgeRequest, CreateSpec, FanoutAck,
     FanoutCreate, JobDeliver, JobRequest, JobSupply, LfsSlice, MachineInfo, OpenInfo,
     PlacementSpec,
 };
+use crate::redundancy::{xor_into, ParityLayout, Redundancy};
 use bridge_efs::{EfsError, LfsClient, LfsData, LfsFileId, LfsOp};
+use bytes::Bytes;
 use parsim::{Ctx, NodeId, ProcId, SimDuration, Simulation};
 use simdisk::BlockAddr;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Tuning knobs for the Bridge Server.
 ///
@@ -45,6 +46,34 @@ pub struct BridgeServerConfig {
     /// initiation (Table 2's `145 + 17.5p`), or the paper's suggested
     /// "embedded binary tree" of per-node agents.
     pub create_fanout: CreateFanout,
+    /// Scatter-gather batching of the server's LFS traffic.
+    pub batch: BatchPolicy,
+}
+
+/// Scatter-gather batching policy for server ↔ LFS traffic.
+///
+/// `Off` (the default) reproduces the prototype exactly: one LFS message
+/// per block. `Runs(d)` lets sequential reads/appends, parallel-open
+/// rounds and rebuilds pool up to `d` consecutive blocks per LFS into a
+/// single `ReadRun`/`WriteRun` message, cutting both message counts and
+/// per-request CPU charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// One LFS message per block (the prototype's behaviour).
+    #[default]
+    Off,
+    /// Pool up to this many consecutive blocks per LFS message.
+    Runs(u32),
+}
+
+impl BatchPolicy {
+    /// Maximum blocks per LFS message under this policy.
+    pub fn depth(self) -> u32 {
+        match self {
+            BatchPolicy::Off => 1,
+            BatchPolicy::Runs(d) => d.max(1),
+        }
+    }
 }
 
 /// Create's fan-out topology (see [`BridgeServerConfig::create_fanout`]).
@@ -65,6 +94,7 @@ impl Default for BridgeServerConfig {
             create_ack_cpu: SimDuration::from_millis(8),
             rotate_start: true,
             create_fanout: CreateFanout::Serial,
+            batch: BatchPolicy::Off,
         }
     }
 }
@@ -125,7 +155,9 @@ impl FileMeta {
                 self.hashed_cache[block as usize]
             }
             PlacementKind::Linked => {
-                return Err(BridgeError::LinkedUnsupported { op: "direct placement" })
+                return Err(BridgeError::LinkedUnsupported {
+                    op: "direct placement",
+                })
             }
             _ => self.placement.locate(block).expect("computable placement"),
         };
@@ -156,11 +188,55 @@ impl FileMeta {
 }
 
 /// Per-(client, file) sequential cursor.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct Cursor {
     next_block: u64,
     /// Linked files: where `next_block` lives, when known.
     linked_pos: Option<GlobalPtr>,
+    /// Blocks already fetched by a batched read, `next_block` first.
+    prefetch: VecDeque<Bytes>,
+}
+
+/// Appends buffered under [`BatchPolicy::Runs`], flushed as per-LFS
+/// `WriteRun`s when the buffer fills or any other command arrives.
+struct PendingAppends {
+    file: BridgeFileId,
+    payloads: Vec<Bytes>,
+}
+
+/// A planned run: blocks on one LFS with consecutive local numbers, in
+/// global order.
+struct RunPlan {
+    lfs: LfsIndex,
+    first: u32,
+    globals: Vec<u64>,
+}
+
+/// Groups located blocks into per-LFS runs of consecutive locals, at most
+/// `depth` long, preserving each LFS's visit order. Strict placements
+/// hand consecutive locals to each node, so a window of consecutive
+/// globals collapses to one run per LFS.
+fn plan_runs(ptrs: &[(u64, GlobalPtr)], depth: u32) -> Vec<RunPlan> {
+    let mut runs: Vec<RunPlan> = Vec::new();
+    let mut open: HashMap<LfsIndex, usize> = HashMap::new();
+    for &(global, ptr) in ptrs {
+        let extend = open.get(&ptr.lfs).copied().filter(|&i| {
+            runs[i].first + runs[i].globals.len() as u32 == ptr.local
+                && (runs[i].globals.len() as u32) < depth
+        });
+        match extend {
+            Some(i) => runs[i].globals.push(global),
+            None => {
+                open.insert(ptr.lfs, runs.len());
+                runs.push(RunPlan {
+                    lfs: ptr.lfs,
+                    first: ptr.local,
+                    globals: vec![global],
+                });
+            }
+        }
+    }
+    runs
 }
 
 #[derive(Debug)]
@@ -185,6 +261,7 @@ struct Server {
     next_job: u64,
     next_start: u32,
     next_fanout: u64,
+    pending: Option<PendingAppends>,
     client: LfsClient,
 }
 
@@ -218,6 +295,7 @@ pub fn spawn_bridge_server(
             next_job: 1,
             next_start: 0,
             next_fanout: 1,
+            pending: None,
             client: LfsClient::new(),
         };
         loop {
@@ -285,9 +363,8 @@ pub fn spawn_bridge_agent(
                 }
             }
             for _ in 0..children {
-                let env = ctx.recv_where(move |e| {
-                    e.downcast_ref::<FanoutAck>().is_some_and(|a| a.id == id)
-                });
+                let env = ctx
+                    .recv_where(move |e| e.downcast_ref::<FanoutAck>().is_some_and(|a| a.id == id));
                 let ack = env.downcast::<FanoutAck>().expect("matched");
                 if result.is_ok() {
                     result = ack.result;
@@ -319,15 +396,22 @@ impl Server {
         from: ProcId,
         cmd: BridgeCmd,
     ) -> Result<BridgeData, BridgeError> {
+        // Buffered appends survive only an unbroken train of SeqWrites to
+        // the same file; anything else sees fully flushed state.
+        let buffering = matches!(
+            (&cmd, &self.pending),
+            (BridgeCmd::SeqWrite { file, .. }, Some(p)) if *file == p.file
+        );
+        if !buffering {
+            self.flush_appends(ctx)?;
+        }
         match cmd {
             BridgeCmd::Create(spec) => self.create(ctx, spec),
             BridgeCmd::Delete { file } => self.delete(ctx, vec![file]),
             BridgeCmd::DeleteMany { files } => self.delete(ctx, files),
             BridgeCmd::Open { file } => self.open(ctx, from, file),
             BridgeCmd::SeqRead { file } => self.seq_read(ctx, from, file),
-            BridgeCmd::SeqWrite { file, data } => self.append(ctx, file, &data).map(|block| {
-                BridgeData::Written { block }
-            }),
+            BridgeCmd::SeqWrite { file, data } => self.seq_write(ctx, file, data),
             BridgeCmd::RandRead { file, block } => self.rand_read(ctx, file, block),
             BridgeCmd::RandWrite { file, block, data } => self.rand_write(ctx, file, block, &data),
             BridgeCmd::ParallelOpen { file, workers } => self.parallel_open(from, file, workers),
@@ -449,10 +533,14 @@ impl Server {
                 for &n in &nodes {
                     ctx.delay(self.config.create_init_cpu);
                     let proc = self.lfs[n as usize].0;
-                    let id = self.client.send(ctx, proc, LfsOp::Create { file: lfs_file });
+                    let id = self
+                        .client
+                        .send(ctx, proc, LfsOp::Create { file: lfs_file });
                     pending.push((proc, id));
                     if let Some(companion) = companion {
-                        let id = self.client.send(ctx, proc, LfsOp::Create { file: companion });
+                        let id = self
+                            .client
+                            .send(ctx, proc, LfsOp::Create { file: companion });
                         pending.push((proc, id));
                     }
                 }
@@ -483,7 +571,8 @@ impl Server {
                     },
                 );
                 let env = ctx.recv_where(move |e| {
-                    e.downcast_ref::<FanoutAck>().is_some_and(|a| a.id == fanout_id)
+                    e.downcast_ref::<FanoutAck>()
+                        .is_some_and(|a| a.id == fanout_id)
                 });
                 let ack = env.downcast::<FanoutAck>().expect("matched");
                 ctx.delay(self.config.create_ack_cpu);
@@ -511,7 +600,11 @@ impl Server {
         Ok(BridgeData::Created(file))
     }
 
-    fn delete(&mut self, ctx: &mut Ctx, files: Vec<BridgeFileId>) -> Result<BridgeData, BridgeError> {
+    fn delete(
+        &mut self,
+        ctx: &mut Ctx,
+        files: Vec<BridgeFileId>,
+    ) -> Result<BridgeData, BridgeError> {
         // "The Delete operation runs in parallel on all instances of the
         // LFS, but it takes time O(n/p)." Batched deletes additionally
         // pipeline across files, so tools can discard a whole generation of
@@ -519,7 +612,10 @@ impl Server {
         let mut calls: Vec<(ProcId, LfsOp)> = Vec::new();
         let mut tolerant = Vec::new();
         for &file in &files {
-            let meta = self.files.remove(&file).ok_or(BridgeError::UnknownFile(file))?;
+            let meta = self
+                .files
+                .remove(&file)
+                .ok_or(BridgeError::UnknownFile(file))?;
             let companion = match meta.redundancy {
                 Redundancy::None => None,
                 Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
@@ -527,7 +623,12 @@ impl Server {
             };
             for &n in &meta.nodes {
                 let proc = self.lfs[n as usize].0;
-                calls.push((proc, LfsOp::Delete { file: meta.lfs_file }));
+                calls.push((
+                    proc,
+                    LfsOp::Delete {
+                        file: meta.lfs_file,
+                    },
+                ));
                 tolerant.push(meta.redundancy != Redundancy::None);
                 if let Some(companion) = companion {
                     calls.push((proc, LfsOp::Delete { file: companion }));
@@ -634,7 +735,7 @@ impl Server {
         file: BridgeFileId,
         block: u64,
         ptr: GlobalPtr,
-    ) -> Result<(BridgeHeader, Vec<u8>, BlockAddr), BridgeError> {
+    ) -> Result<(BridgeHeader, Bytes, BlockAddr), BridgeError> {
         let lfs_file = self.files[&file].lfs_file;
         let hint = self.files[&file].hints[ptr.lfs.index()];
         let proc = self.lfs_proc(ptr.lfs);
@@ -652,7 +753,11 @@ impl Server {
             .map_err(BridgeError::Lfs)?;
         let (payload, addr) = match data {
             LfsData::Block { data, addr } => (data, addr),
-            other => return Err(BridgeError::Corrupt(format!("unexpected LFS reply {other:?}"))),
+            other => {
+                return Err(BridgeError::Corrupt(format!(
+                    "unexpected LFS reply {other:?}"
+                )))
+            }
         };
         let (header, body) = decode_payload(&payload)?;
         if header.file != file || header.global_block != block {
@@ -686,7 +791,7 @@ impl Server {
                 LfsOp::Write {
                     file: lfs_file,
                     block: ptr.local,
-                    data: payload,
+                    data: payload.into(),
                     hint,
                 },
             )
@@ -696,7 +801,9 @@ impl Server {
                 self.files.get_mut(&file).expect("exists").hints[ptr.lfs.index()] = Some(addr);
                 Ok(addr)
             }
-            other => Err(BridgeError::Corrupt(format!("unexpected LFS reply {other:?}"))),
+            other => Err(BridgeError::Corrupt(format!(
+                "unexpected LFS reply {other:?}"
+            ))),
         }
     }
 
@@ -709,15 +816,25 @@ impl Server {
         machine: LfsIndex,
         lfs_file: LfsFileId,
         local: u32,
-    ) -> Result<Vec<u8>, BridgeError> {
+    ) -> Result<Bytes, BridgeError> {
         let proc = self.lfs_proc(machine);
         match self
             .client
-            .call(ctx, proc, LfsOp::Read { file: lfs_file, block: local, hint: None })
+            .call(
+                ctx,
+                proc,
+                LfsOp::Read {
+                    file: lfs_file,
+                    block: local,
+                    hint: None,
+                },
+            )
             .map_err(BridgeError::Lfs)?
         {
             LfsData::Block { data, .. } => Ok(data),
-            other => Err(BridgeError::Corrupt(format!("unexpected LFS reply {other:?}"))),
+            other => Err(BridgeError::Corrupt(format!(
+                "unexpected LFS reply {other:?}"
+            ))),
         }
     }
 
@@ -728,7 +845,7 @@ impl Server {
         machine: LfsIndex,
         lfs_file: LfsFileId,
         local: u32,
-        payload: Vec<u8>,
+        payload: Bytes,
     ) -> Result<(), BridgeError> {
         let proc = self.lfs_proc(machine);
         match self
@@ -736,12 +853,19 @@ impl Server {
             .call(
                 ctx,
                 proc,
-                LfsOp::Write { file: lfs_file, block: local, data: payload, hint: None },
+                LfsOp::Write {
+                    file: lfs_file,
+                    block: local,
+                    data: payload,
+                    hint: None,
+                },
             )
             .map_err(BridgeError::Lfs)?
         {
             LfsData::Written { .. } => Ok(()),
-            other => Err(BridgeError::Corrupt(format!("unexpected LFS reply {other:?}"))),
+            other => Err(BridgeError::Corrupt(format!(
+                "unexpected LFS reply {other:?}"
+            ))),
         }
     }
 
@@ -753,8 +877,11 @@ impl Server {
         ctx: &mut Ctx,
         file: BridgeFileId,
         block: u64,
-    ) -> Result<(BridgeHeader, Vec<u8>), BridgeError> {
-        let meta = self.files.get_mut(&file).ok_or(BridgeError::UnknownFile(file))?;
+    ) -> Result<(BridgeHeader, Bytes), BridgeError> {
+        let meta = self
+            .files
+            .get_mut(&file)
+            .ok_or(BridgeError::UnknownFile(file))?;
         let redundancy = meta.redundancy;
         let pos = meta.locate_pos(block)?;
         let ptr = meta.to_machine(pos);
@@ -768,7 +895,7 @@ impl Server {
                         let m = meta.to_machine(meta.mirror_pos(pos));
                         self.lfs_read_payload(ctx, m.lfs, LfsFileId(file.0 | MIRROR_BIT), m.local)?
                     }
-                    Redundancy::Parity => self.reconstruct_payload(ctx, file, block)?,
+                    Redundancy::Parity => self.reconstruct_payload(ctx, file, block)?.into(),
                 };
                 let (header, body) = decode_payload(&payload)?;
                 if header.file != file || header.global_block != block {
@@ -802,12 +929,14 @@ impl Server {
             local: layout.parity_local(stripe),
         };
         let parity_machine = self.files[&file].to_machine(parity_pos);
-        let mut acc = self.lfs_read_payload(
-            ctx,
-            parity_machine.lfs,
-            LfsFileId(file.0 | PARITY_BIT),
-            parity_machine.local,
-        )?;
+        let mut acc = self
+            .lfs_read_payload(
+                ctx,
+                parity_machine.lfs,
+                LfsFileId(file.0 | PARITY_BIT),
+                parity_machine.local,
+            )?
+            .to_vec();
         for peer in layout.stripe_peers(block, size) {
             let pos = layout.locate(peer);
             let machine = self.files[&file].to_machine(pos);
@@ -829,7 +958,7 @@ impl Server {
         size_after: u64,
     ) -> Result<(), BridgeError> {
         let header = self.strict_header(file, block, size_after)?;
-        let payload = encode_payload(&header, data);
+        let payload: Bytes = encode_payload(&header, data).into();
         let (redundancy, pos, size) = {
             let meta = self.files.get_mut(&file).expect("exists");
             (meta.redundancy, meta.locate_pos(block)?, meta.size)
@@ -874,7 +1003,7 @@ impl Server {
         file: BridgeFileId,
         block: u64,
         ptr: GlobalPtr,
-        payload: Vec<u8>,
+        payload: Bytes,
         size: u64,
     ) -> Result<(), BridgeError> {
         let (layout, lfs_file) = {
@@ -904,7 +1033,7 @@ impl Server {
         file: BridgeFileId,
         layout: &ParityLayout,
         block: u64,
-        old: Option<Vec<u8>>,
+        old: Option<Bytes>,
         new_payload: &[u8],
     ) -> Result<(), BridgeError> {
         let stripe = layout.stripe_of(block);
@@ -918,20 +1047,30 @@ impl Server {
         match old {
             Some(old) => {
                 // Overwrite: parity ^= old ^ new.
-                let mut p = self.lfs_read_payload(ctx, m.lfs, parity_file, m.local)?;
+                let mut p = self
+                    .lfs_read_payload(ctx, m.lfs, parity_file, m.local)?
+                    .to_vec();
                 xor_into(&mut p, &old);
                 xor_into(&mut p, new_payload);
-                self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, p)
+                self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, p.into())
             }
             None if j == 0 => {
                 // First member of a fresh stripe: parity = payload.
-                self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, new_payload.to_vec())
+                self.lfs_write_payload(
+                    ctx,
+                    m.lfs,
+                    parity_file,
+                    m.local,
+                    Bytes::copy_from_slice(new_payload),
+                )
             }
             None => {
                 // Later member of the current stripe: parity ^= payload.
-                let mut p = self.lfs_read_payload(ctx, m.lfs, parity_file, m.local)?;
+                let mut p = self
+                    .lfs_read_payload(ctx, m.lfs, parity_file, m.local)?
+                    .to_vec();
                 xor_into(&mut p, new_payload);
-                self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, p)
+                self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, p.into())
             }
         }
     }
@@ -955,6 +1094,44 @@ impl Server {
                 why: "rebuild applies only to redundant files",
             });
         }
+        // Under `Runs(d)`, pool the canonical primary reads into per-LFS
+        // runs up front; blocks whose run fails (a lost node) fall back to
+        // the per-block recovery path below. Repairs only touch blocks
+        // absent from this map, so prefetching cannot go stale.
+        let mut prefetched: HashMap<u64, Bytes> = HashMap::new();
+        if self.config.batch.depth() > 1 && size > 0 {
+            let mut ptrs = Vec::with_capacity(size as usize);
+            for block in 0..size {
+                let meta = self.files.get_mut(&file).expect("exists");
+                let pos = meta.locate_pos(block)?;
+                ptrs.push((block, meta.to_machine(pos)));
+            }
+            let runs = plan_runs(&ptrs, self.config.batch.depth());
+            let mut pending = Vec::with_capacity(runs.len());
+            for run in &runs {
+                let proc = self.lfs_proc(run.lfs);
+                let id = self.client.send(
+                    ctx,
+                    proc,
+                    LfsOp::ReadRun {
+                        file: lfs_file,
+                        first: run.first,
+                        count: run.globals.len() as u32,
+                        hint: None,
+                    },
+                );
+                pending.push((proc, id));
+            }
+            for (run, (proc, id)) in runs.iter().zip(pending) {
+                if let Ok(LfsData::Run { blocks }) = self.client.wait(ctx, proc, id) {
+                    if blocks.len() == run.globals.len() {
+                        for (&g, (payload, _)) in run.globals.iter().zip(blocks) {
+                            prefetched.insert(g, payload);
+                        }
+                    }
+                }
+            }
+        }
         let mut repaired = 0u64;
         for block in 0..size {
             let (pos, ptr) = {
@@ -963,7 +1140,11 @@ impl Server {
                 (pos, meta.to_machine(pos))
             };
             // Canonical payload: primary if intact, else recovered.
-            let payload = match self.lfs_read_payload(ctx, ptr.lfs, lfs_file, ptr.local) {
+            let payload = match prefetched
+                .remove(&block)
+                .ok_or(())
+                .or_else(|()| self.lfs_read_payload(ctx, ptr.lfs, lfs_file, ptr.local))
+            {
                 Ok(p) => p,
                 Err(_) => {
                     let p = match redundancy {
@@ -977,7 +1158,7 @@ impl Server {
                                 m.local,
                             )?
                         }
-                        Redundancy::Parity => self.reconstruct_payload(ctx, file, block)?,
+                        Redundancy::Parity => self.reconstruct_payload(ctx, file, block)?.into(),
                         Redundancy::None => unreachable!("checked above"),
                     };
                     self.lfs_write_payload(ctx, ptr.lfs, lfs_file, ptr.local, p.clone())?;
@@ -1024,7 +1205,7 @@ impl Server {
                     Err(_) => true,
                 };
                 if stale {
-                    self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, expected)?;
+                    self.lfs_write_payload(ctx, m.lfs, parity_file, m.local, expected.into())?;
                     repaired += 1;
                 }
             }
@@ -1039,7 +1220,7 @@ impl Server {
         ctx: &mut Ctx,
         file: BridgeFileId,
         block: u64,
-    ) -> Result<Vec<u8>, BridgeError> {
+    ) -> Result<Bytes, BridgeError> {
         let (ptr, lfs_file) = {
             let meta = self.files.get_mut(&file).expect("exists");
             let pos = meta.locate_pos(block)?;
@@ -1048,7 +1229,7 @@ impl Server {
         match self.lfs_read_payload(ctx, ptr.lfs, lfs_file, ptr.local) {
             Ok(p) => Ok(p),
             Err(BridgeError::Lfs(EfsError::NodeFailed)) => {
-                self.reconstruct_payload(ctx, file, block)
+                self.reconstruct_payload(ctx, file, block).map(Bytes::from)
             }
             Err(e) => Err(e),
         }
@@ -1084,12 +1265,28 @@ impl Server {
     ) -> Result<BridgeData, BridgeError> {
         let size = self.meta(file)?.size;
         let cursor = self.cursors.entry((from, file)).or_default();
+        if let Some(body) = cursor.prefetch.pop_front() {
+            cursor.next_block += 1;
+            return Ok(BridgeData::Block(body));
+        }
         let block = cursor.next_block;
         let linked_pos = cursor.linked_pos;
         if block >= size {
             return Ok(BridgeData::Eof);
         }
         let is_linked = matches!(self.files[&file].placement.kind(), PlacementKind::Linked);
+        let depth = self.config.batch.depth();
+        if depth > 1 && !is_linked {
+            // Batched path: fetch up to `depth` consecutive globals as
+            // per-LFS runs, answer with the first, stash the rest.
+            let count = u64::from(depth).min(size - block);
+            let mut bodies = self.read_range(ctx, file, block, count)?;
+            let first = bodies.pop_front().expect("count >= 1");
+            let cursor = self.cursors.entry((from, file)).or_default();
+            cursor.next_block = block + 1;
+            cursor.prefetch = bodies;
+            return Ok(BridgeData::Block(first));
+        }
         let (header, body, pos) = if is_linked {
             let pos = match linked_pos {
                 Some(p) => p,
@@ -1134,6 +1331,212 @@ impl Server {
         }
     }
 
+    /// Reads `count` consecutive strictly placed globals starting at
+    /// `block` as per-LFS `ReadRun`s, recovering block by block through
+    /// the redundancy path when a run's node has failed. Returns bodies in
+    /// global order.
+    fn read_range(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+        count: u64,
+    ) -> Result<VecDeque<Bytes>, BridgeError> {
+        let lfs_file = self.files[&file].lfs_file;
+        let mut ptrs = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let ptr = self
+                .files
+                .get_mut(&file)
+                .expect("exists")
+                .locate(block + i)?;
+            ptrs.push((block + i, ptr));
+        }
+        let runs = plan_runs(&ptrs, self.config.batch.depth());
+        let mut pending = Vec::with_capacity(runs.len());
+        for run in &runs {
+            let hint = self.files[&file].hints[run.lfs.index()];
+            let proc = self.lfs_proc(run.lfs);
+            let id = self.client.send(
+                ctx,
+                proc,
+                LfsOp::ReadRun {
+                    file: lfs_file,
+                    first: run.first,
+                    count: run.globals.len() as u32,
+                    hint,
+                },
+            );
+            pending.push((proc, id));
+        }
+        let mut out: HashMap<u64, Bytes> = HashMap::with_capacity(count as usize);
+        for (run, (proc, id)) in runs.iter().zip(pending) {
+            match self.client.wait(ctx, proc, id) {
+                Ok(LfsData::Run { blocks }) => {
+                    if blocks.len() != run.globals.len() {
+                        return Err(BridgeError::Corrupt(format!(
+                            "run of {} blocks answered with {}",
+                            run.globals.len(),
+                            blocks.len()
+                        )));
+                    }
+                    for (&global, (payload, addr)) in run.globals.iter().zip(blocks) {
+                        let (header, body) = decode_payload(&payload)?;
+                        if header.file != file || header.global_block != global {
+                            return Err(BridgeError::Corrupt(format!(
+                                "expected {file} block {global}, found {} block {}",
+                                header.file, header.global_block
+                            )));
+                        }
+                        self.files.get_mut(&file).expect("exists").hints[run.lfs.index()] =
+                            Some(addr);
+                        out.insert(global, body);
+                    }
+                }
+                Ok(other) => {
+                    return Err(BridgeError::Corrupt(format!(
+                        "unexpected LFS reply {other:?}"
+                    )))
+                }
+                // A failed node fails its whole run; recover block by
+                // block (mirror/parity), as the unbatched path would.
+                Err(EfsError::NodeFailed) => {
+                    for &global in &run.globals {
+                        let (_, body) = self.read_block(ctx, file, global)?;
+                        out.insert(global, body);
+                    }
+                }
+                Err(e) => return Err(BridgeError::Lfs(e)),
+            }
+        }
+        Ok((0..count)
+            .map(|i| out.remove(&(block + i)).expect("all globals resolved"))
+            .collect())
+    }
+
+    /// Appends `payloads` as globals `size..size + n` in per-LFS
+    /// `WriteRun`s (strictly placed, non-redundant files only).
+    fn write_range(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        payloads: &[Bytes],
+    ) -> Result<(), BridgeError> {
+        let (size, lfs_file) = {
+            let meta = self.meta(file)?;
+            (meta.size, meta.lfs_file)
+        };
+        let size_after = size + payloads.len() as u64;
+        let mut ptrs = Vec::with_capacity(payloads.len());
+        for i in 0..payloads.len() as u64 {
+            let ptr = self
+                .files
+                .get_mut(&file)
+                .expect("exists")
+                .locate(size + i)?;
+            ptrs.push((size + i, ptr));
+        }
+        let runs = plan_runs(&ptrs, self.config.batch.depth());
+        let mut pending = Vec::with_capacity(runs.len());
+        for run in &runs {
+            let mut data = Vec::with_capacity(run.globals.len());
+            for &global in &run.globals {
+                let header = self.strict_header(file, global, size_after)?;
+                let body = &payloads[(global - size) as usize];
+                data.push(Bytes::from(encode_payload(&header, body)));
+            }
+            let hint = self.files[&file].hints[run.lfs.index()];
+            let proc = self.lfs_proc(run.lfs);
+            let id = self.client.send(
+                ctx,
+                proc,
+                LfsOp::WriteRun {
+                    file: lfs_file,
+                    first: run.first,
+                    data,
+                    hint,
+                },
+            );
+            pending.push((proc, id));
+        }
+        for (run, (proc, id)) in runs.iter().zip(pending) {
+            match self.client.wait(ctx, proc, id).map_err(BridgeError::Lfs)? {
+                LfsData::WrittenRun { addrs } => {
+                    if let Some(&addr) = addrs.last() {
+                        self.files.get_mut(&file).expect("exists").hints[run.lfs.index()] =
+                            Some(addr);
+                    }
+                }
+                other => {
+                    return Err(BridgeError::Corrupt(format!(
+                        "unexpected LFS reply {other:?}"
+                    )))
+                }
+            }
+        }
+        self.files.get_mut(&file).expect("exists").size = size_after;
+        Ok(())
+    }
+
+    /// Appends one block: immediately, or — under [`BatchPolicy::Runs`],
+    /// for strictly placed non-redundant files — into the server's append
+    /// buffer, acknowledged at once and flushed as per-LFS `WriteRun`s.
+    fn seq_write(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        data: Bytes,
+    ) -> Result<BridgeData, BridgeError> {
+        let depth = self.config.batch.depth();
+        if depth > 1 {
+            let (plain, size) = {
+                let meta = self.meta(file)?;
+                (
+                    meta.redundancy == Redundancy::None
+                        && !matches!(meta.placement.kind(), PlacementKind::Linked),
+                    meta.size,
+                )
+            };
+            if plain {
+                if data.len() > BRIDGE_DATA {
+                    return Err(BridgeError::DataTooLarge {
+                        provided: data.len(),
+                    });
+                }
+                let pending = self.pending.get_or_insert_with(|| PendingAppends {
+                    file,
+                    payloads: Vec::new(),
+                });
+                pending.payloads.push(data);
+                let block = size + pending.payloads.len() as u64 - 1;
+                if pending.payloads.len() as u32 >= depth {
+                    self.flush_appends(ctx)?;
+                }
+                return Ok(BridgeData::Written { block });
+            }
+        }
+        self.append(ctx, file, &data)
+            .map(|block| BridgeData::Written { block })
+    }
+
+    /// Flushes the buffered append train, if any.
+    fn flush_appends(&mut self, ctx: &mut Ctx) -> Result<(), BridgeError> {
+        let Some(PendingAppends { file, payloads }) = self.pending.take() else {
+            return Ok(());
+        };
+        self.write_range(ctx, file, &payloads)
+    }
+
+    /// Forgets batched read-ahead for `file` (called before overwrites;
+    /// appends and value-preserving repairs cannot stale it).
+    fn drop_prefetch(&mut self, file: BridgeFileId) {
+        for ((_, f), cursor) in self.cursors.iter_mut() {
+            if *f == file {
+                cursor.prefetch.clear();
+            }
+        }
+    }
+
     /// Appends one block, returning its global number.
     fn append(
         &mut self,
@@ -1142,7 +1545,9 @@ impl Server {
         data: &[u8],
     ) -> Result<u64, BridgeError> {
         if data.len() > BRIDGE_DATA {
-            return Err(BridgeError::DataTooLarge { provided: data.len() });
+            return Err(BridgeError::DataTooLarge {
+                provided: data.len(),
+            });
         }
         let meta = self.meta(file)?;
         let block = meta.size;
@@ -1254,8 +1659,11 @@ impl Server {
         data: &[u8],
     ) -> Result<BridgeData, BridgeError> {
         if data.len() > BRIDGE_DATA {
-            return Err(BridgeError::DataTooLarge { provided: data.len() });
+            return Err(BridgeError::DataTooLarge {
+                provided: data.len(),
+            });
         }
+        self.drop_prefetch(file);
         let meta = self.meta(file)?;
         let size = meta.size;
         if block == size {
@@ -1287,7 +1695,9 @@ impl Server {
         }
         let meta = self.meta(file)?;
         if matches!(meta.placement.kind(), PlacementKind::Linked) {
-            return Err(BridgeError::LinkedUnsupported { op: "parallel open" });
+            return Err(BridgeError::LinkedUnsupported {
+                op: "parallel open",
+            });
         }
         let job = JobId(self.next_job);
         self.next_job += 1;
@@ -1331,53 +1741,15 @@ impl Server {
         let t = workers.len() as u64;
         let count = t.min(size.saturating_sub(cursor));
 
-        let mut delivered = 0u64;
-        while delivered < count {
-            let wave = (count - delivered).min(u64::from(breadth));
-            // Pipeline up to p reads.
-            let mut pending = Vec::with_capacity(wave as usize);
-            for i in 0..wave {
-                let block = cursor + delivered + i;
-                let ptr = self.files.get_mut(&file).expect("exists").locate(block)?;
-                let hint = self.files[&file].hints[ptr.lfs.index()];
-                let proc = self.lfs_proc(ptr.lfs);
-                let id = self.client.send(
-                    ctx,
-                    proc,
-                    LfsOp::Read {
-                        file: lfs_file,
-                        block: ptr.local,
-                        hint,
-                    },
-                );
-                pending.push((proc, id, block, ptr));
-            }
-            for (proc, id, block, ptr) in pending {
-                let body = match self.client.wait(ctx, proc, id) {
-                    Ok(LfsData::Block { data, addr }) => {
-                        let (header, body) = decode_payload(&data)?;
-                        if header.file != file || header.global_block != block {
-                            return Err(BridgeError::Corrupt(format!(
-                                "expected {file} block {block}, found {} block {}",
-                                header.file, header.global_block
-                            )));
-                        }
-                        self.files.get_mut(&file).expect("exists").hints[ptr.lfs.index()] =
-                            Some(addr);
-                        body
-                    }
-                    Ok(other) => {
-                        return Err(BridgeError::Corrupt(format!(
-                            "unexpected LFS reply {other:?}"
-                        )))
-                    }
-                    // Degraded read: recover through the redundancy path.
-                    Err(EfsError::NodeFailed) => self.read_block(ctx, file, block)?.1,
-                    Err(e) => return Err(BridgeError::Lfs(e)),
-                };
-                let worker = workers[(block - cursor) as usize];
+        if self.config.batch.depth() > 1 && count > 0 {
+            // Batched round: the whole round's blocks become one run per
+            // LFS (each node's share of `t` consecutive globals has
+            // consecutive locals), pipelined together.
+            let bodies = self.read_range(ctx, file, cursor, count)?;
+            for (i, body) in bodies.into_iter().enumerate() {
+                let block = cursor + i as u64;
                 ctx.send_sized(
-                    worker,
+                    workers[i],
                     JobDeliver {
                         job: job_id,
                         block,
@@ -1386,7 +1758,64 @@ impl Server {
                     1024,
                 );
             }
-            delivered += wave;
+        } else {
+            let mut delivered = 0u64;
+            while delivered < count {
+                let wave = (count - delivered).min(u64::from(breadth));
+                // Pipeline up to p reads.
+                let mut pending = Vec::with_capacity(wave as usize);
+                for i in 0..wave {
+                    let block = cursor + delivered + i;
+                    let ptr = self.files.get_mut(&file).expect("exists").locate(block)?;
+                    let hint = self.files[&file].hints[ptr.lfs.index()];
+                    let proc = self.lfs_proc(ptr.lfs);
+                    let id = self.client.send(
+                        ctx,
+                        proc,
+                        LfsOp::Read {
+                            file: lfs_file,
+                            block: ptr.local,
+                            hint,
+                        },
+                    );
+                    pending.push((proc, id, block, ptr));
+                }
+                for (proc, id, block, ptr) in pending {
+                    let body = match self.client.wait(ctx, proc, id) {
+                        Ok(LfsData::Block { data, addr }) => {
+                            let (header, body) = decode_payload(&data)?;
+                            if header.file != file || header.global_block != block {
+                                return Err(BridgeError::Corrupt(format!(
+                                    "expected {file} block {block}, found {} block {}",
+                                    header.file, header.global_block
+                                )));
+                            }
+                            self.files.get_mut(&file).expect("exists").hints[ptr.lfs.index()] =
+                                Some(addr);
+                            body
+                        }
+                        Ok(other) => {
+                            return Err(BridgeError::Corrupt(format!(
+                                "unexpected LFS reply {other:?}"
+                            )))
+                        }
+                        // Degraded read: recover through the redundancy path.
+                        Err(EfsError::NodeFailed) => self.read_block(ctx, file, block)?.1,
+                        Err(e) => return Err(BridgeError::Lfs(e)),
+                    };
+                    let worker = workers[(block - cursor) as usize];
+                    ctx.send_sized(
+                        worker,
+                        JobDeliver {
+                            job: job_id,
+                            block,
+                            data: Some(body),
+                        },
+                        1024,
+                    );
+                }
+                delivered += wave;
+            }
         }
         // Lock step: workers beyond the data get an explicit empty round.
         for w in &workers[count as usize..] {
@@ -1433,7 +1862,7 @@ impl Server {
                 },
             );
         }
-        let mut supplies: Vec<Option<Vec<u8>>> = vec![None; workers.len()];
+        let mut supplies: Vec<Option<Bytes>> = vec![None; workers.len()];
         let mut received = vec![false; workers.len()];
         for _ in 0..workers.len() {
             let env = ctx.recv_where(|e| {
@@ -1453,14 +1882,19 @@ impl Server {
         }
 
         // The accepted prefix ends at the first None.
-        let accepted = supplies.iter().position(Option::is_none).unwrap_or(supplies.len());
+        let accepted = supplies
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or(supplies.len());
         if supplies[accepted..].iter().any(Option::is_some) {
             return Err(BridgeError::WriteGap { job: job_id });
         }
         for data in supplies.iter().take(accepted) {
             let data = data.as_ref().expect("prefix is Some");
             if data.len() > BRIDGE_DATA {
-                return Err(BridgeError::DataTooLarge { provided: data.len() });
+                return Err(BridgeError::DataTooLarge {
+                    provided: data.len(),
+                });
             }
         }
 
@@ -1473,6 +1907,20 @@ impl Server {
                 self.write_block(ctx, file, block, data, size + accepted as u64)?;
                 self.files.get_mut(&file).expect("exists").size = block + 1;
             }
+            return Ok(BridgeData::JobWritten {
+                accepted: accepted as u32,
+            });
+        }
+
+        if self.config.batch.depth() > 1 && accepted > 0 {
+            // Batched round: the accepted prefix becomes one `WriteRun`
+            // per LFS, pipelined together.
+            let prefix: Vec<Bytes> = supplies
+                .iter()
+                .take(accepted)
+                .map(|d| d.clone().expect("prefix is Some"))
+                .collect();
+            self.write_range(ctx, file, &prefix)?;
             return Ok(BridgeData::JobWritten {
                 accepted: accepted as u32,
             });
@@ -1499,7 +1947,7 @@ impl Server {
                     LfsOp::Write {
                         file: lfs_file,
                         block: ptr.local,
-                        data: payload,
+                        data: payload.into(),
                         hint,
                     },
                 );

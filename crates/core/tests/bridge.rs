@@ -66,7 +66,7 @@ fn cursors_are_per_client() {
             let mut b2 = BridgeClient::new(server);
             b2.open(c, file).unwrap();
             let first = b2.seq_read(c, file).unwrap().unwrap();
-            c.send(me, first);
+            c.send(me, first.to_vec());
         });
         let (_, first) = ctx.recv_as::<Vec<u8>>();
         assert_eq!(&first[..64], &record(9, 0)[..], "other client sees block 0");
@@ -93,7 +93,9 @@ fn random_access_and_overwrite() {
             assert_eq!(&data[..64], &record(2, b)[..]);
         }
         // Overwrite in the middle.
-        bridge.rand_write(ctx, file, 13, b"patched".to_vec()).unwrap();
+        bridge
+            .rand_write(ctx, file, 13, b"patched".to_vec())
+            .unwrap();
         let data = bridge.rand_read(ctx, file, 13).unwrap();
         assert_eq!(&data[..7], b"patched");
         // rand_write at size == append.
@@ -312,7 +314,7 @@ fn parallel_open_reads_deliver_to_workers_in_order() {
                     let env = c.recv_where(|e| e.is::<bridge_core::JobDeliver>());
                     let d = env.downcast::<bridge_core::JobDeliver>().unwrap();
                     match d.data {
-                        Some(data) => got.push((d.block, data)),
+                        Some(data) => got.push((d.block, data.to_vec())),
                         None => break,
                     }
                 }
@@ -326,7 +328,8 @@ fn parallel_open_reads_deliver_to_workers_in_order() {
         assert_eq!(bridge.job_read(ctx, job).unwrap(), (2, true));
         assert_eq!(bridge.job_read(ctx, job).unwrap(), (0, true));
         // Another read past EOF delivered None to every worker → they report.
-        let mut reports: Vec<(parsim::ProcId, Vec<(u64, Vec<u8>)>)> = Vec::new();
+        type StripeReport = (parsim::ProcId, Vec<(u64, Vec<u8>)>);
+        let mut reports: Vec<StripeReport> = Vec::new();
         for _ in 0..4 {
             let (from, got) = ctx.recv_as::<Vec<(u64, Vec<u8>)>>();
             reports.push((from, got));
@@ -371,7 +374,7 @@ fn virtual_parallelism_width_exceeds_breadth() {
                         let env = c.recv_where(|e| e.is::<bridge_core::JobDeliver>());
                         let d = env.downcast::<bridge_core::JobDeliver>().unwrap();
                         if let Some(data) = d.data {
-                            got.push((d.block, data));
+                            got.push((d.block, data.to_vec()));
                         }
                     }
                     c.send(me, got);
@@ -411,7 +414,7 @@ fn parallel_write_gathers_from_workers() {
                     let (_, job) = c.recv_as::<bridge_core::JobId>();
                     let worker = JobWorker::new(job);
                     for round in 0..3u64 {
-                        worker.supply_block(c, Some(record(i, round)));
+                        worker.supply_block(c, Some(record(i, round).into()));
                     }
                     worker.supply_block(c, None);
                     c.send(me, ());
@@ -482,8 +485,7 @@ fn tool_path_reads_lfs_directly() {
                     // Global block of (position 1, local): the paper's
                     // translation between global and local names.
                     let p = 4u64;
-                    let expected_global =
-                        u64::from(local) * p + ((1 + p - u64::from(start)) % p);
+                    let expected_global = u64::from(local) * p + ((1 + p - u64::from(start)) % p);
                     assert_eq!(header.global_block, expected_global);
                     assert_eq!(&body[..64], &record(11, expected_global)[..]);
                 }
@@ -513,10 +515,7 @@ fn create_cost_grows_linearly_and_open_is_flat() {
     let (create4, open4) = cost(4);
     let (create16, open16) = cost(16);
     let slope = (create16.as_millis_f64() - create4.as_millis_f64()) / 12.0;
-    assert!(
-        slope > 5.0,
-        "create grows with p: slope {slope:.1} ms/node"
-    );
+    assert!(slope > 5.0, "create grows with p: slope {slope:.1} ms/node");
     let open_ratio = open16.as_millis_f64() / open4.as_millis_f64();
     assert!(
         open_ratio < 1.8,

@@ -57,7 +57,7 @@ fn job_write_gap_is_an_error() {
                 ctx.spawn(node, format!("w{i}"), move |c: &mut Ctx| {
                     let (_, job) = c.recv_as::<bridge_core::JobId>();
                     let w = JobWorker::new(job);
-                    w.supply_block(c, (i == 1).then(|| vec![7u8; 16]));
+                    w.supply_block(c, (i == 1).then(|| vec![7u8; 16].into()));
                 })
             })
             .collect();

@@ -42,7 +42,9 @@ fn write_redundant(
         )
         .unwrap();
     for b in 0..blocks {
-        bridge.seq_write(ctx, file, record(redundancy as u32, b)).unwrap();
+        bridge
+            .seq_write(ctx, file, record(redundancy as u32, b))
+            .unwrap();
     }
     file
 }
@@ -155,12 +157,18 @@ fn degraded_writes_land_and_rebuild_restores_health() {
             for b in 10..20u64 {
                 bridge.seq_write(ctx, file, record(tag, b)).unwrap();
             }
-            bridge.rand_write(ctx, file, 3, record(tag + 50, 3)).unwrap();
+            bridge
+                .rand_write(ctx, file, 3, record(tag + 50, 3))
+                .unwrap();
             // Degraded reads see everything, including blocks whose
             // primary landed on the dead node.
             for b in 0..20u64 {
                 let data = bridge.rand_read(ctx, file, b).unwrap();
-                let expected = if b == 3 { record(tag + 50, b) } else { record(tag, b) };
+                let expected = if b == 3 {
+                    record(tag + 50, b)
+                } else {
+                    record(tag, b)
+                };
                 assert_eq!(&data[..96], &expected[..], "{redundancy:?} block {b}");
             }
 
@@ -174,8 +182,16 @@ fn degraded_writes_land_and_rebuild_restores_health() {
             fail_node(ctx, other, true);
             for b in 0..20u64 {
                 let data = bridge.rand_read(ctx, file, b).unwrap();
-                let expected = if b == 3 { record(tag + 50, b) } else { record(tag, b) };
-                assert_eq!(&data[..96], &expected[..], "{redundancy:?} post-rebuild {b}");
+                let expected = if b == 3 {
+                    record(tag + 50, b)
+                } else {
+                    record(tag, b)
+                };
+                assert_eq!(
+                    &data[..96],
+                    &expected[..],
+                    "{redundancy:?} post-rebuild {b}"
+                );
             }
         });
     }
@@ -264,7 +280,7 @@ fn parallel_open_reads_survive_failure() {
                         let env = c.recv_where(|e| e.is::<JobDeliver>());
                         let d = env.downcast::<JobDeliver>().unwrap();
                         match d.data {
-                            Some(data) => got.push((d.block, data)),
+                            Some(data) => got.push((d.block, data.to_vec())),
                             None => break,
                         }
                     }

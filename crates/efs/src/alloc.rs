@@ -72,7 +72,11 @@ impl BlockAllocator {
             if !self.get(b) {
                 self.set(b, true);
                 self.free -= 1;
-                self.cursor = if b + 1 >= self.capacity { self.start } else { b + 1 };
+                self.cursor = if b + 1 >= self.capacity {
+                    self.start
+                } else {
+                    b + 1
+                };
                 return Some(BlockAddr::new(b));
             }
         }

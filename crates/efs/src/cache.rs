@@ -9,7 +9,7 @@
 
 use crate::layout::LfsFileId;
 use simdisk::BlockAddr;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Cached link information for one (file, block) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,15 +19,21 @@ pub(crate) struct LinkInfo {
     pub prev: BlockAddr,
 }
 
-/// LRU-ish cache of link info, bounded by entry count.
+/// True-LRU cache of link info, bounded by entry count.
 ///
-/// Eviction is amortized: when the map exceeds capacity, the older half
-/// (by access stamp) is dropped in one sweep.
+/// Every `get`/`put` refreshes the entry's recency; when an insert would
+/// exceed capacity, exactly the least-recently-used entry is evicted.
+/// Sequential scans rely on this: the hint for the block a reader will ask
+/// for next is always the most recently touched and therefore the last to
+/// go.
 #[derive(Debug)]
 pub(crate) struct LinkCache {
     capacity: usize,
     stamp: u64,
     map: HashMap<(LfsFileId, u32), (LinkInfo, u64)>,
+    /// Recency index: stamp → key, oldest first. Stamps are unique, so
+    /// the first entry is always the eviction victim.
+    order: BTreeMap<u64, (LfsFileId, u32)>,
     hits: u64,
     misses: u64,
 }
@@ -39,6 +45,7 @@ impl LinkCache {
             capacity,
             stamp: 0,
             map: HashMap::with_capacity(capacity + 1),
+            order: BTreeMap::new(),
             hits: 0,
             misses: 0,
         }
@@ -49,6 +56,8 @@ impl LinkCache {
         let stamp = self.stamp;
         match self.map.get_mut(&(file, block_no)) {
             Some((info, s)) => {
+                self.order.remove(s);
+                self.order.insert(stamp, (file, block_no));
                 *s = stamp;
                 self.hits += 1;
                 Some(*info)
@@ -67,18 +76,25 @@ impl LinkCache {
 
     pub(crate) fn put(&mut self, file: LfsFileId, block_no: u32, info: LinkInfo) {
         self.stamp += 1;
-        self.map.insert((file, block_no), (info, self.stamp));
+        let stamp = self.stamp;
+        if let Some((_, old)) = self.map.insert((file, block_no), (info, stamp)) {
+            self.order.remove(&old);
+        }
+        self.order.insert(stamp, (file, block_no));
         if self.map.len() > self.capacity {
-            self.evict_older_half();
+            let (_, victim) = self.order.pop_first().expect("cache is over capacity");
+            self.map.remove(&victim);
         }
     }
 
     /// Drops every cached block of `file` (delete, truncate).
     pub(crate) fn invalidate_file(&mut self, file: LfsFileId) {
         self.map.retain(|&(f, _), _| f != file);
+        self.order.retain(|_, &mut (f, _)| f != file);
     }
 
     pub(crate) fn len(&self) -> usize {
+        debug_assert_eq!(self.map.len(), self.order.len(), "indexes in sync");
         self.map.len()
     }
 
@@ -89,13 +105,6 @@ impl LinkCache {
         } else {
             self.hits as f64 / total as f64
         }
-    }
-
-    fn evict_older_half(&mut self) {
-        let mut stamps: Vec<u64> = self.map.values().map(|&(_, s)| s).collect();
-        stamps.sort_unstable();
-        let cutoff = stamps[stamps.len() / 2];
-        self.map.retain(|_, &mut (_, s)| s >= cutoff);
     }
 }
 
@@ -136,6 +145,48 @@ mod tests {
             assert!(c.peek(LfsFileId(1), i).is_some(), "recent entry {i} kept");
         }
         assert!(c.peek(LfsFileId(1), 100).is_some(), "new entry kept");
+    }
+
+    #[test]
+    fn eviction_follows_exact_lru_order() {
+        let mut c = LinkCache::new(4);
+        for i in 0..4 {
+            c.put(LfsFileId(1), i, info(i));
+        }
+        // Recency now (oldest → newest): 0, 1, 2, 3. Touch 0 and 2 so the
+        // order becomes 1, 3, 0, 2.
+        c.get(LfsFileId(1), 0);
+        c.get(LfsFileId(1), 2);
+        // Each overflow must evict exactly the current LRU entry.
+        for (inserted, victim) in [(10, 1), (11, 3), (12, 0), (13, 2)] {
+            c.put(LfsFileId(1), inserted, info(inserted));
+            assert_eq!(c.len(), 4);
+            assert_eq!(
+                c.peek(LfsFileId(1), victim),
+                None,
+                "inserting {inserted} must evict {victim}",
+            );
+        }
+        // Only the four new entries survive.
+        for i in 10..14 {
+            assert!(c.peek(LfsFileId(1), i).is_some(), "entry {i} kept");
+        }
+    }
+
+    #[test]
+    fn put_refreshes_recency_of_existing_key() {
+        let mut c = LinkCache::new(2);
+        c.put(LfsFileId(1), 0, info(0));
+        c.put(LfsFileId(1), 1, info(1));
+        // Re-putting block 0 must refresh it, making block 1 the LRU.
+        c.put(LfsFileId(1), 0, info(100));
+        c.put(LfsFileId(1), 2, info(2));
+        assert_eq!(
+            c.peek(LfsFileId(1), 0),
+            Some(info(100)),
+            "refreshed entry kept"
+        );
+        assert_eq!(c.peek(LfsFileId(1), 1), None, "stale entry evicted");
     }
 
     #[test]

@@ -116,7 +116,12 @@ impl Directory {
     }
 
     /// Loads (and caches) a bucket, charging disk time on a cold read.
-    fn load(&mut self, ctx: &mut Ctx, disk: &mut dyn BlockDevice, bucket: u32) -> Result<(), EfsError> {
+    fn load(
+        &mut self,
+        ctx: &mut Ctx,
+        disk: &mut dyn BlockDevice,
+        bucket: u32,
+    ) -> Result<(), EfsError> {
         if self.cache.contains_key(&bucket) {
             return Ok(());
         }
@@ -125,7 +130,12 @@ impl Directory {
         Ok(())
     }
 
-    fn store(&mut self, ctx: &mut Ctx, disk: &mut dyn BlockDevice, bucket: u32) -> Result<(), EfsError> {
+    fn store(
+        &mut self,
+        ctx: &mut Ctx,
+        disk: &mut dyn BlockDevice,
+        bucket: u32,
+    ) -> Result<(), EfsError> {
         let bytes = self.cache[&bucket].encode();
         disk.write(ctx, self.addr_of_bucket(bucket), &bytes)?;
         self.dirty.insert(bucket, false);
@@ -141,7 +151,11 @@ impl Directory {
     ) -> Result<Option<DirEntry>, EfsError> {
         let bucket = self.bucket_of(file);
         self.load(ctx, disk, bucket)?;
-        Ok(self.cache[&bucket].entries.iter().copied().find(|e| e.file == file))
+        Ok(self.cache[&bucket]
+            .entries
+            .iter()
+            .copied()
+            .find(|e| e.file == file))
     }
 
     /// Adds a new entry (write-through).
@@ -219,7 +233,11 @@ impl Directory {
     }
 
     /// Writes back all dirty buckets.
-    pub(crate) fn sync(&mut self, ctx: &mut Ctx, disk: &mut dyn BlockDevice) -> Result<(), EfsError> {
+    pub(crate) fn sync(
+        &mut self,
+        ctx: &mut Ctx,
+        disk: &mut dyn BlockDevice,
+    ) -> Result<(), EfsError> {
         let mut dirty: Vec<u32> = self
             .dirty
             .iter()
@@ -282,7 +300,10 @@ mod tests {
         with_dir(|ctx, disk, dir| {
             dir.insert(ctx, disk, entry(1, 5)).unwrap();
             dir.insert(ctx, disk, entry(2, 9)).unwrap();
-            assert_eq!(dir.lookup(ctx, disk, LfsFileId(1)).unwrap(), Some(entry(1, 5)));
+            assert_eq!(
+                dir.lookup(ctx, disk, LfsFileId(1)).unwrap(),
+                Some(entry(1, 5))
+            );
             assert_eq!(dir.lookup(ctx, disk, LfsFileId(3)).unwrap(), None);
             let removed = dir.remove(ctx, disk, LfsFileId(1)).unwrap();
             assert_eq!(removed, entry(1, 5));

@@ -12,10 +12,10 @@ use crate::cache::{LinkCache, LinkInfo};
 use crate::directory::{DirEntry, Directory};
 use crate::error::EfsError;
 use crate::layout::{
-    decode_block, encode_block, encode_free_block, is_free_block, EfsHeader, LfsFileId,
-    EFS_PAYLOAD,
+    decode_block, decode_header, encode_block, encode_free_block, is_free_block, EfsHeader,
+    LfsFileId, EFS_PAYLOAD,
 };
-use bytes::{Buf, BufMut};
+use bytes::{Buf, BufMut, Bytes};
 use parsim::{Ctx, SimDuration};
 use simdisk::{BlockAddr, BlockDevice, SimDisk};
 
@@ -186,7 +186,9 @@ impl<D: BlockDevice> Efs<D> {
         let mut buf = sb;
         let magic = buf.get_u32_le();
         if magic != SUPERBLOCK_MAGIC {
-            return Err(EfsError::Corrupt(format!("bad superblock magic {magic:#x}")));
+            return Err(EfsError::Corrupt(format!(
+                "bad superblock magic {magic:#x}"
+            )));
         }
         let version = buf.get_u32_le();
         if version != SUPERBLOCK_VERSION {
@@ -326,7 +328,7 @@ impl<D: BlockDevice> Efs<D> {
         file: LfsFileId,
         block_no: u32,
         hint: Option<BlockAddr>,
-    ) -> Result<(Vec<u8>, BlockAddr), EfsError> {
+    ) -> Result<(Bytes, BlockAddr), EfsError> {
         self.charge_cpu(ctx);
         self.stats.reads += 1;
         let entry = self
@@ -393,6 +395,162 @@ impl<D: BlockDevice> Efs<D> {
                 size: entry.size,
             }),
         }
+    }
+
+    /// Reads `count` consecutive local blocks starting at `first` in one
+    /// request: a single CPU charge and one hint search, then a walk of the
+    /// doubly-linked list that hands the device a whole run
+    /// ([`BlockDevice::read_many`]) whenever the upcoming addresses are
+    /// already known from the link cache. Returns each block's payload and
+    /// disk address in order; the last address is the natural hint for the
+    /// next run.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::UnknownFile`], [`EfsError::BlockOutOfRange`] (when any
+    /// part of the run is past the end), or [`EfsError::Corrupt`].
+    pub fn read_run(
+        &mut self,
+        ctx: &mut Ctx,
+        file: LfsFileId,
+        first: u32,
+        count: u32,
+        hint: Option<BlockAddr>,
+    ) -> Result<Vec<(Bytes, BlockAddr)>, EfsError> {
+        self.charge_cpu(ctx);
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let entry = self
+            .dir
+            .lookup(ctx, &mut self.disk, file)?
+            .ok_or(EfsError::UnknownFile(file))?;
+        let end = first
+            .checked_add(count)
+            .filter(|&e| e <= entry.size)
+            .ok_or(EfsError::BlockOutOfRange {
+                file,
+                block_no: first.saturating_add(count - 1),
+                size: entry.size,
+            })?;
+        self.stats.reads += u64::from(count);
+        let mut out: Vec<(Bytes, BlockAddr)> = Vec::with_capacity(count as usize);
+        let mut no = first;
+        let mut addr = self.locate(ctx, &entry, first, hint)?;
+        while no < end {
+            // Extend the segment through link-cache knowledge so the disk
+            // sees one run, not one block; a cold walk degrades to chained
+            // single-block reads (each block names its successor).
+            let mut addrs = vec![addr];
+            let mut cur_no = no;
+            let mut cur_addr = addr;
+            while cur_no + 1 < end {
+                let Some(info) = self.links.peek(file, cur_no) else {
+                    break;
+                };
+                if info.addr != cur_addr {
+                    break;
+                }
+                cur_addr = info.next;
+                cur_no += 1;
+                addrs.push(cur_addr);
+            }
+            let blocks = self.disk.read_many(ctx, &addrs)?;
+            let mut next_addr = addr;
+            for (bytes, &a) in blocks.iter().zip(&addrs) {
+                let (header, payload) = decode_block(bytes)?;
+                if header.file != file || header.block_no != no {
+                    return Err(EfsError::Corrupt(format!(
+                        "expected {file} block {no} at {a}, found {} block {}",
+                        header.file, header.block_no
+                    )));
+                }
+                self.links.put(
+                    file,
+                    no,
+                    LinkInfo {
+                        addr: a,
+                        next: header.next,
+                        prev: header.prev,
+                    },
+                );
+                out.push((payload, a));
+                next_addr = header.next;
+                no += 1;
+            }
+            addr = next_addr;
+        }
+        Ok(out)
+    }
+
+    /// Writes `payloads.len()` consecutive local blocks starting at `first`
+    /// in one request, charging CPU once for the whole run. A pure append
+    /// run (`first == size`) allocates all its blocks up front, links them
+    /// in memory, and hands the device a single
+    /// [`BlockDevice::write_many`] — positioning once per track — followed
+    /// by one directory update. Runs that overwrite existing blocks fall
+    /// back to block-at-a-time servicing.
+    ///
+    /// Returns the disk address of every block written, in order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Efs::write`]. On an error mid-run, earlier blocks of the run
+    /// may already be written — the same partial-failure contract as
+    /// issuing the writes separately.
+    pub fn write_run(
+        &mut self,
+        ctx: &mut Ctx,
+        file: LfsFileId,
+        first: u32,
+        payloads: &[Bytes],
+        hint: Option<BlockAddr>,
+    ) -> Result<Vec<BlockAddr>, EfsError> {
+        self.charge_cpu(ctx);
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        for p in payloads {
+            if p.len() > EFS_PAYLOAD {
+                return Err(EfsError::PayloadTooLarge { provided: p.len() });
+            }
+        }
+        let entry = self
+            .dir
+            .lookup(ctx, &mut self.disk, file)?
+            .ok_or(EfsError::UnknownFile(file))?;
+        if first > entry.size {
+            return Err(EfsError::WriteBeyondEnd {
+                file,
+                block_no: first,
+                size: entry.size,
+            });
+        }
+        if first == entry.size {
+            return self.append_run(ctx, entry, payloads);
+        }
+        // The run overwrites existing blocks (and possibly appends past
+        // the end): block-at-a-time, but still one message and one CPU
+        // charge for the caller.
+        let mut addrs = Vec::with_capacity(payloads.len());
+        let mut hint = hint;
+        for (i, payload) in payloads.iter().enumerate() {
+            let block_no = first + i as u32;
+            let entry = self
+                .dir
+                .lookup(ctx, &mut self.disk, file)?
+                .ok_or(EfsError::UnknownFile(file))?;
+            self.stats.writes += 1;
+            let addr = if block_no < entry.size {
+                self.overwrite(ctx, &entry, block_no, payload, hint)?
+            } else {
+                self.stats.appends += 1;
+                self.append(ctx, entry, payload)?
+            };
+            hint = Some(addr);
+            addrs.push(addr);
+        }
+        Ok(addrs)
     }
 
     /// Deletes a file, sequentially freeing every block — the Cronus
@@ -480,20 +638,22 @@ impl<D: BlockDevice> Efs<D> {
                 let bytes = match self.disk.read_raw(addr) {
                     Some(b) => b,
                     None => {
-                        report
-                            .errors
-                            .push(format!("{}: block {block_no} at {addr} unwritten", entry.file));
+                        report.errors.push(format!(
+                            "{}: block {block_no} at {addr} unwritten",
+                            entry.file
+                        ));
                         break;
                     }
                 };
                 if is_free_block(bytes) {
-                    report
-                        .errors
-                        .push(format!("{}: block {block_no} at {addr} is freed", entry.file));
+                    report.errors.push(format!(
+                        "{}: block {block_no} at {addr} is freed",
+                        entry.file
+                    ));
                     break;
                 }
-                match decode_block(bytes) {
-                    Ok((header, _)) => {
+                match decode_header(bytes) {
+                    Ok(header) => {
                         if header.file != entry.file || header.block_no != block_no {
                             report.errors.push(format!(
                                 "{}: block {block_no} at {addr} labeled {} #{}",
@@ -533,7 +693,7 @@ impl<D: BlockDevice> Efs<D> {
         addr: BlockAddr,
         file: LfsFileId,
         block_no: u32,
-    ) -> Result<(EfsHeader, Vec<u8>), EfsError> {
+    ) -> Result<(EfsHeader, Bytes), EfsError> {
         let bytes = self.disk.read(ctx, addr)?;
         let (header, payload) = decode_block(&bytes)?;
         if header.file != file || header.block_no != block_no {
@@ -574,12 +734,11 @@ impl<D: BlockDevice> Efs<D> {
         // Candidate start positions: beginning, end, and the hint (which
         // costs a probe read to validate).
         let size = entry.size;
-        let mut candidates: Vec<(u32, BlockAddr)> =
-            vec![(0, entry.first), (size - 1, entry.last)];
+        let mut candidates: Vec<(u32, BlockAddr)> = vec![(0, entry.first), (size - 1, entry.last)];
         if let Some(hint_addr) = hint {
             self.stats.hint_probes += 1;
             if let Ok(bytes) = self.disk.read(ctx, hint_addr) {
-                if let Ok((header, _)) = decode_block(&bytes) {
+                if let Ok(header) = decode_header(&bytes) {
                     if header.file == file && header.block_no < size {
                         self.links.put(
                             file,
@@ -668,7 +827,8 @@ impl<D: BlockDevice> Efs<D> {
             next: info.next,
             prev: info.prev,
         };
-        self.disk.write(ctx, addr, &encode_block(&header, payload))?;
+        self.disk
+            .write(ctx, addr, &encode_block(&header, payload))?;
         self.links.put(file, block_no, info);
         Ok(addr)
     }
@@ -691,7 +851,8 @@ impl<D: BlockDevice> Efs<D> {
                 next: addr,
                 prev: addr,
             };
-            self.disk.write(ctx, addr, &encode_block(&header, payload))?;
+            self.disk
+                .write(ctx, addr, &encode_block(&header, payload))?;
             self.links.put(
                 file,
                 0,
@@ -716,7 +877,8 @@ impl<D: BlockDevice> Efs<D> {
             next: first,
             prev: old_last,
         };
-        self.disk.write(ctx, addr, &encode_block(&header, payload))?;
+        self.disk
+            .write(ctx, addr, &encode_block(&header, payload))?;
 
         // Fix the old tail's forward pointer (read-modify-write; the track
         // buffer makes the read cheap on sequential appends). The head's
@@ -755,6 +917,101 @@ impl<D: BlockDevice> Efs<D> {
         Ok(addr)
     }
 
+    /// Appends a whole run: preallocate every block, link them in memory,
+    /// one device run (old-tail fixup folded in), one directory update.
+    fn append_run(
+        &mut self,
+        ctx: &mut Ctx,
+        mut entry: DirEntry,
+        payloads: &[Bytes],
+    ) -> Result<Vec<BlockAddr>, EfsError> {
+        let file = entry.file;
+        let n = payloads.len() as u32;
+        let mut addrs = Vec::with_capacity(payloads.len());
+        for _ in 0..n {
+            match self.alloc.allocate() {
+                Some(a) => addrs.push(a),
+                None => {
+                    for &a in &addrs {
+                        self.alloc.release(a);
+                    }
+                    return Err(EfsError::NoSpace);
+                }
+            }
+        }
+        self.stats.writes += u64::from(n);
+        self.stats.appends += u64::from(n);
+
+        let head = if entry.size == 0 {
+            addrs[0]
+        } else {
+            entry.first
+        };
+        let old_last = (entry.size > 0).then_some(entry.last);
+        let new_last = *addrs.last().expect("run is non-empty");
+        let mut writes: Vec<(BlockAddr, Bytes)> = Vec::with_capacity(payloads.len() + 1);
+
+        // The old tail's forward pointer moves to the first new block; the
+        // read-modify-write joins the same device run as the new blocks.
+        if let Some(tail_addr) = old_last {
+            let tail_no = entry.size - 1;
+            let (tail_header, tail_payload) = self.read_and_check(ctx, tail_addr, file, tail_no)?;
+            let fixed = EfsHeader {
+                next: addrs[0],
+                ..tail_header
+            };
+            writes.push((tail_addr, encode_block(&fixed, &tail_payload).into()));
+            self.links.put(
+                file,
+                tail_no,
+                LinkInfo {
+                    addr: tail_addr,
+                    next: addrs[0],
+                    prev: fixed.prev,
+                },
+            );
+        }
+
+        for (i, payload) in payloads.iter().enumerate() {
+            let block_no = entry.size + i as u32;
+            let next = if i + 1 < addrs.len() {
+                addrs[i + 1]
+            } else {
+                head
+            };
+            let prev = if i == 0 {
+                old_last.unwrap_or(new_last)
+            } else {
+                addrs[i - 1]
+            };
+            let header = EfsHeader {
+                file,
+                block_no,
+                next,
+                prev,
+            };
+            writes.push((addrs[i], encode_block(&header, payload).into()));
+            self.links.put(
+                file,
+                block_no,
+                LinkInfo {
+                    addr: addrs[i],
+                    next,
+                    prev,
+                },
+            );
+        }
+        self.disk.write_many(ctx, &writes)?;
+
+        if entry.size == 0 {
+            entry.first = addrs[0];
+        }
+        entry.last = new_last;
+        entry.size += n;
+        self.dir.update(ctx, &mut self.disk, entry)?;
+        Ok(addrs)
+    }
+
     fn write_bitmap_raw(&mut self) {
         let block_size = self.disk.geometry().block_size;
         let bytes = self.alloc.to_bytes();
@@ -763,7 +1020,8 @@ impl<D: BlockDevice> Efs<D> {
             let end = (start + block_size).min(bytes.len());
             let mut chunk = bytes[start..end.max(start)].to_vec();
             chunk.resize(block_size, 0);
-            self.disk.write_raw(BlockAddr::new(self.bitmap_start + i), &chunk);
+            self.disk
+                .write_raw(BlockAddr::new(self.bitmap_start + i), &chunk);
         }
     }
 }

@@ -9,7 +9,7 @@
 //! to blocks that are interpreted as adjacent within the local context."
 
 use crate::error::EfsError;
-use bytes::{Buf, BufMut};
+use bytes::{Buf, BufMut, Bytes};
 use simdisk::BlockAddr;
 
 /// Bytes in a physical block.
@@ -54,7 +54,9 @@ pub struct EfsHeader {
 
 impl EfsHeader {
     fn checksum(&self) -> u32 {
-        BLOCK_MAGIC ^ self.file.0 ^ self.block_no.rotate_left(8)
+        BLOCK_MAGIC
+            ^ self.file.0
+            ^ self.block_no.rotate_left(8)
             ^ self.next.index().rotate_left(16)
             ^ self.prev.index().rotate_left(24)
     }
@@ -84,13 +86,14 @@ pub fn encode_block(header: &EfsHeader, payload: &[u8]) -> Vec<u8> {
     buf
 }
 
-/// Decodes a data block into its header and 1000-byte payload.
+/// Decodes and validates a data block's 24-byte header without touching
+/// the payload (no allocation).
 ///
 /// # Errors
 ///
 /// Returns [`EfsError::Corrupt`] if the block is not a live data block
 /// (wrong magic, freed, or bad checksum) or is the wrong length.
-pub fn decode_block(bytes: &[u8]) -> Result<(EfsHeader, Vec<u8>), EfsError> {
+pub fn decode_header(bytes: &[u8]) -> Result<EfsHeader, EfsError> {
     if bytes.len() != BLOCK_SIZE {
         return Err(EfsError::Corrupt(format!(
             "block is {} bytes, expected {BLOCK_SIZE}",
@@ -118,7 +121,19 @@ pub fn decode_block(bytes: &[u8]) -> Result<(EfsHeader, Vec<u8>), EfsError> {
             header.file, header.block_no
         )));
     }
-    Ok((header, buf[..EFS_PAYLOAD].to_vec()))
+    Ok(header)
+}
+
+/// Decodes a data block into its header and 1000-byte payload. The payload
+/// is an O(1) slice of the block buffer — no copy.
+///
+/// # Errors
+///
+/// Returns [`EfsError::Corrupt`] if the block is not a live data block
+/// (wrong magic, freed, or bad checksum) or is the wrong length.
+pub fn decode_block(bytes: &Bytes) -> Result<(EfsHeader, Bytes), EfsError> {
+    let header = decode_header(bytes)?;
+    Ok((header, bytes.slice(EFS_HEADER_SIZE..BLOCK_SIZE)))
 }
 
 /// Encodes the tombstone written over a freed block.
@@ -153,7 +168,8 @@ mod tests {
         let payload: Vec<u8> = (0..EFS_PAYLOAD as u32).map(|i| (i % 251) as u8).collect();
         let block = encode_block(&header, &payload);
         assert_eq!(block.len(), BLOCK_SIZE);
-        let (h, p) = decode_block(&block).unwrap();
+        assert_eq!(decode_header(&block).unwrap(), header);
+        let (h, p) = decode_block(&Bytes::from(block)).unwrap();
         assert_eq!(h, header);
         assert_eq!(p, payload);
     }
@@ -161,7 +177,7 @@ mod tests {
     #[test]
     fn short_payload_zero_padded() {
         let block = encode_block(&sample_header(), b"hello");
-        let (_, p) = decode_block(&block).unwrap();
+        let (_, p) = decode_block(&Bytes::from(block)).unwrap();
         assert_eq!(&p[..5], b"hello");
         assert!(p[5..].iter().all(|&b| b == 0));
         assert_eq!(p.len(), EFS_PAYLOAD);
@@ -177,14 +193,17 @@ mod tests {
     fn corrupt_magic_detected() {
         let mut block = encode_block(&sample_header(), b"x");
         block[0] ^= 0xff;
-        assert!(matches!(decode_block(&block), Err(EfsError::Corrupt(_))));
+        assert!(matches!(
+            decode_block(&Bytes::from(block)),
+            Err(EfsError::Corrupt(_))
+        ));
     }
 
     #[test]
     fn corrupt_pointer_detected_by_checksum() {
         let mut block = encode_block(&sample_header(), b"x");
         block[12] ^= 0x01; // flip a bit in the `next` pointer
-        let err = decode_block(&block).unwrap_err();
+        let err = decode_block(&Bytes::from(block)).unwrap_err();
         assert!(err.to_string().contains("checksum"), "got: {err}");
     }
 
@@ -192,13 +211,25 @@ mod tests {
     fn freed_block_is_recognized() {
         let free = encode_free_block();
         assert!(is_free_block(&free));
-        assert!(matches!(decode_block(&free), Err(EfsError::Corrupt(_))));
+        assert!(matches!(
+            decode_block(&Bytes::from(free)),
+            Err(EfsError::Corrupt(_))
+        ));
         let live = encode_block(&sample_header(), b"x");
         assert!(!is_free_block(&live));
     }
 
     #[test]
     fn wrong_length_rejected() {
-        assert!(decode_block(&[0u8; 10]).is_err());
+        assert!(decode_header(&[0u8; 10]).is_err());
+        assert!(decode_block(&Bytes::copy_from_slice(&[0u8; 10])).is_err());
+    }
+
+    #[test]
+    fn decoded_payload_shares_the_block_buffer() {
+        let block = Bytes::from(encode_block(&sample_header(), b"zero-copy"));
+        let (_, p) = decode_block(&block).unwrap();
+        let block_tail: &[u8] = &block[EFS_HEADER_SIZE..];
+        assert!(std::ptr::eq(block_tail.as_ptr(), p.as_ptr()), "no copy");
     }
 }

@@ -24,7 +24,7 @@
 //!
 //! let mut sim = Simulation::new(SimConfig::default());
 //! let node = sim.add_node("lfs0");
-//! let data = sim.block_on(node, "driver", |ctx| -> Result<Vec<u8>, bridge_efs::EfsError> {
+//! let data = sim.block_on(node, "driver", |ctx| -> Result<bytes::Bytes, bridge_efs::EfsError> {
 //!     let disk = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
 //!     let mut efs = Efs::format(disk, EfsConfig::default());
 //!     let f = LfsFileId(42);
@@ -51,11 +51,10 @@ pub use directory::{DirEntry, BUCKET_CAPACITY};
 pub use error::EfsError;
 pub use fs::{Efs, EfsConfig, EfsStats, FileInfo, FsckReport};
 pub use layout::{
-    decode_block, encode_block, encode_free_block, is_free_block, EfsHeader, LfsFileId,
-    BLOCK_MAGIC, BLOCK_SIZE, EFS_HEADER_SIZE, EFS_PAYLOAD, FREE_MAGIC,
+    decode_block, decode_header, encode_block, encode_free_block, is_free_block, EfsHeader,
+    LfsFileId, BLOCK_MAGIC, BLOCK_SIZE, EFS_HEADER_SIZE, EFS_PAYLOAD, FREE_MAGIC,
 };
 pub use server::{
-    LfsFailControl,
-    reply_wire_size, request_wire_size, serve, spawn_lfs, LfsClient, LfsData, LfsOp, LfsReply,
-    LfsRequest,
+    reply_wire_size, request_wire_size, serve, spawn_lfs, LfsClient, LfsData, LfsFailControl,
+    LfsOp, LfsReply, LfsRequest,
 };

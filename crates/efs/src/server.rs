@@ -9,6 +9,7 @@
 use crate::error::EfsError;
 use crate::fs::{Efs, FileInfo};
 use crate::layout::{LfsFileId, BLOCK_SIZE};
+use bytes::Bytes;
 use parsim::{Ctx, ProcId, Simulation};
 use simdisk::BlockAddr;
 
@@ -50,8 +51,34 @@ pub enum LfsOp {
         /// Local block number (`size` means append).
         block: u32,
         /// Payload (at most 1000 bytes; zero-padded on disk).
-        data: Vec<u8>,
+        data: Bytes,
         /// Optional disk-address hint.
+        hint: Option<BlockAddr>,
+    },
+    /// Read a run of consecutive local blocks in one round trip: one hint
+    /// search, one walk of the doubly-linked list, all payloads in a
+    /// single reply ([`LfsData::Run`]).
+    ReadRun {
+        /// Numeric file name.
+        file: LfsFileId,
+        /// First local block number of the run.
+        first: u32,
+        /// Blocks to read.
+        count: u32,
+        /// Optional disk-address hint for the first block.
+        hint: Option<BlockAddr>,
+    },
+    /// Write a run of consecutive local blocks in one round trip (see
+    /// [`Efs::write_run`]; a pure append run pays positioning once per
+    /// track).
+    WriteRun {
+        /// Numeric file name.
+        file: LfsFileId,
+        /// First local block number of the run (`size` means append).
+        first: u32,
+        /// Payloads, one per block (each at most 1000 bytes).
+        data: Vec<Bytes>,
+        /// Optional disk-address hint for the first block.
         hint: Option<BlockAddr>,
     },
     /// Fetch file metadata.
@@ -82,7 +109,7 @@ pub enum LfsData {
     /// Read completed.
     Block {
         /// The 1000-byte payload.
-        data: Vec<u8>,
+        data: Bytes,
         /// Where the block lives; a good hint for the next request.
         addr: BlockAddr,
     },
@@ -90,6 +117,17 @@ pub enum LfsData {
     Written {
         /// Where the block landed; a good hint for the next request.
         addr: BlockAddr,
+    },
+    /// ReadRun completed.
+    Run {
+        /// Payload and disk address of each block, in run order; the last
+        /// address is the natural hint for the next run.
+        blocks: Vec<(Bytes, BlockAddr)>,
+    },
+    /// WriteRun completed.
+    WrittenRun {
+        /// Where each block landed, in run order.
+        addrs: Vec<BlockAddr>,
     },
     /// Stat completed.
     Info(FileInfo),
@@ -149,7 +187,11 @@ pub fn spawn_lfs<D: simdisk::BlockDevice + 'static>(
 }
 
 /// Handles one request against `efs`, producing the reply.
-pub fn serve<D: simdisk::BlockDevice>(ctx: &mut Ctx, efs: &mut Efs<D>, req: LfsRequest) -> LfsReply {
+pub fn serve<D: simdisk::BlockDevice>(
+    ctx: &mut Ctx,
+    efs: &mut Efs<D>,
+    req: LfsRequest,
+) -> LfsReply {
     let result = match req.op {
         LfsOp::Create { file } => efs.create(ctx, file).map(|()| LfsData::Done),
         LfsOp::Delete { file } => efs.delete(ctx, file).map(LfsData::Freed),
@@ -164,24 +206,43 @@ pub fn serve<D: simdisk::BlockDevice>(ctx: &mut Ctx, efs: &mut Efs<D>, req: LfsR
         } => efs
             .write(ctx, file, block, &data, hint)
             .map(|addr| LfsData::Written { addr }),
+        LfsOp::ReadRun {
+            file,
+            first,
+            count,
+            hint,
+        } => efs
+            .read_run(ctx, file, first, count, hint)
+            .map(|blocks| LfsData::Run { blocks }),
+        LfsOp::WriteRun {
+            file,
+            first,
+            data,
+            hint,
+        } => efs
+            .write_run(ctx, file, first, &data, hint)
+            .map(|addrs| LfsData::WrittenRun { addrs }),
         LfsOp::Stat { file } => efs.stat(ctx, file).map(LfsData::Info),
         LfsOp::Sync => efs.sync(ctx).map(|()| LfsData::Done),
     };
     LfsReply { id: req.id, result }
 }
 
-/// Wire size charged to a request (block writes carry a block).
+/// Wire size charged to a request (block writes carry their blocks).
 pub fn request_wire_size(op: &LfsOp) -> usize {
     match op {
         LfsOp::Write { data, .. } => 32 + data.len(),
+        LfsOp::WriteRun { data, .. } => 32 + data.iter().map(|d| d.len() + 8).sum::<usize>(),
         _ => 32,
     }
 }
 
-/// Wire size charged to a reply (block reads carry a block).
+/// Wire size charged to a reply (block reads carry their blocks).
 pub fn reply_wire_size(reply: &LfsReply) -> usize {
     match &reply.result {
         Ok(LfsData::Block { .. }) => BLOCK_SIZE + 16,
+        Ok(LfsData::Run { blocks }) => 16 + blocks.len() * (BLOCK_SIZE + 8),
+        Ok(LfsData::WrittenRun { addrs }) => 32 + addrs.len() * 8,
         _ => 32,
     }
 }
@@ -218,8 +279,7 @@ impl LfsClient {
     /// Waits for the reply to `id` from `server`.
     pub fn wait(&mut self, ctx: &mut Ctx, server: ProcId, id: u64) -> Result<LfsData, EfsError> {
         let env = ctx.recv_where(|e| {
-            e.from() == server
-                && e.downcast_ref::<LfsReply>().is_some_and(|r| r.id == id)
+            e.from() == server && e.downcast_ref::<LfsReply>().is_some_and(|r| r.id == id)
         });
         env.downcast::<LfsReply>()
             .expect("predicate guarantees type")
@@ -231,12 +291,7 @@ impl LfsClient {
     /// # Errors
     ///
     /// Propagates the server-side [`EfsError`].
-    pub fn call(
-        &mut self,
-        ctx: &mut Ctx,
-        server: ProcId,
-        op: LfsOp,
-    ) -> Result<LfsData, EfsError> {
+    pub fn call(&mut self, ctx: &mut Ctx, server: ProcId, op: LfsOp) -> Result<LfsData, EfsError> {
         let id = self.send(ctx, server, op);
         self.wait(ctx, server, id)
     }

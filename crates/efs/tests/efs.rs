@@ -1,9 +1,7 @@
 //! End-to-end tests of the Elementary File System: functional behaviour,
 //! timing shape, persistence, and the LFS server protocol.
 
-use bridge_efs::{
-    Efs, EfsConfig, EfsError, LfsClient, LfsData, LfsFileId, LfsOp, EFS_PAYLOAD,
-};
+use bridge_efs::{Efs, EfsConfig, EfsError, LfsClient, LfsData, LfsFileId, LfsOp, EFS_PAYLOAD};
 use parsim::{Ctx, SimConfig, SimDuration, Simulation};
 use simdisk::{BlockAddr, DiskGeometry, DiskProfile, SimDisk};
 
@@ -16,7 +14,10 @@ fn small_geometry() -> DiskGeometry {
 }
 
 fn fresh_efs(profile: DiskProfile) -> Efs {
-    Efs::format(SimDisk::new(small_geometry(), profile), EfsConfig::default())
+    Efs::format(
+        SimDisk::new(small_geometry(), profile),
+        EfsConfig::default(),
+    )
 }
 
 /// Runs `f` inside a simulated process with a freshly formatted EFS.
@@ -109,10 +110,7 @@ fn error_cases_are_reported() {
             Err(EfsError::UnknownFile(_))
         ));
         efs.create(ctx, f).unwrap();
-        assert!(matches!(
-            efs.create(ctx, f),
-            Err(EfsError::FileExists(_))
-        ));
+        assert!(matches!(efs.create(ctx, f), Err(EfsError::FileExists(_))));
         assert!(matches!(
             efs.read(ctx, f, 0, None),
             Err(EfsError::BlockOutOfRange { .. })
@@ -145,10 +143,7 @@ fn delete_frees_blocks_for_reuse() {
         let freed = efs.delete(ctx, f).unwrap();
         assert_eq!(freed, 30);
         assert_eq!(efs.free_blocks(), before);
-        assert!(matches!(
-            efs.stat(ctx, f),
-            Err(EfsError::UnknownFile(_))
-        ));
+        assert!(matches!(efs.stat(ctx, f), Err(EfsError::UnknownFile(_))));
         // The name can be reused.
         efs.create(ctx, f).unwrap();
         efs.write(ctx, f, 0, b"again", None).unwrap();
@@ -370,17 +365,14 @@ fn fsck_detects_corrupted_block() {
             let addr = addrs[2];
             let mut raw = efs.disk().read_raw(addr).unwrap().to_vec();
             raw[8] ^= 0xFF; // flip a header byte (the block-number field)
-            // Re-inject via a fresh disk image.
+                            // Re-inject via a fresh disk image.
             let mut disk = efs.into_disk();
             disk.write_raw(addr, &raw);
             disk
         };
         let mut efs = Efs::mount(disk, EfsConfig::default()).unwrap();
         let report = efs.fsck();
-        assert!(
-            !report.errors.is_empty(),
-            "corruption must surface in fsck"
-        );
+        assert!(!report.errors.is_empty(), "corruption must surface in fsck");
         // And a timed read of that block fails too.
         assert!(matches!(
             efs.read(ctx, f, 2, None),
@@ -408,7 +400,7 @@ fn lfs_server_round_trips_via_protocol() {
                 LfsOp::Write {
                     file: f,
                     block: 0,
-                    data: payload,
+                    data: payload.into(),
                     hint: None,
                 },
             )

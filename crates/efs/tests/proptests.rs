@@ -6,6 +6,7 @@ use bridge_efs::{Efs, EfsConfig, EfsError, LfsFileId, EFS_PAYLOAD};
 use parsim::{Ctx, SimConfig, Simulation};
 use proptest::prelude::*;
 use simdisk::{DiskGeometry, DiskProfile, SimDisk};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -74,11 +75,14 @@ fn run_ops(ops: Vec<Op>) {
             match op {
                 Op::Create(f) => {
                     let real = efs.create(ctx, LfsFileId(f));
-                    if model.files.contains_key(&f) {
-                        assert!(matches!(real, Err(EfsError::FileExists(_))));
-                    } else {
-                        real.unwrap();
-                        model.files.insert(f, Vec::new());
+                    match model.files.entry(f) {
+                        Entry::Occupied(_) => {
+                            assert!(matches!(real, Err(EfsError::FileExists(_))));
+                        }
+                        Entry::Vacant(slot) => {
+                            real.unwrap();
+                            slot.insert(Vec::new());
+                        }
                     }
                 }
                 Op::Delete(f) => {
@@ -88,7 +92,12 @@ fn run_ops(ops: Vec<Op>) {
                         None => assert!(matches!(real, Err(EfsError::UnknownFile(_)))),
                     }
                 }
-                Op::Write { file, append, at, byte } => {
+                Op::Write {
+                    file,
+                    append,
+                    at,
+                    byte,
+                } => {
                     let size = model.files.get(&file).map(|b| b.len() as u32);
                     let block = match (size, append) {
                         (Some(s), true) => s,
@@ -181,7 +190,7 @@ proptest! {
             prev: BlockAddr::new(prev),
         };
         let encoded = encode_block(&header, &payload);
-        let (h, p) = decode_block(&encoded).unwrap();
+        let (h, p) = decode_block(&encoded.into()).unwrap();
         prop_assert_eq!(h, header);
         prop_assert_eq!(&p[..payload.len()], &payload[..]);
         prop_assert!(p[payload.len()..].iter().all(|&b| b == 0));

@@ -1,9 +1,7 @@
 //! Additional EFS coverage: the Sync protocol op, fail-stop behaviour,
 //! backward walks, and remount-after-crash semantics.
 
-use bridge_efs::{
-    Efs, EfsConfig, EfsError, LfsClient, LfsData, LfsFailControl, LfsFileId, LfsOp,
-};
+use bridge_efs::{Efs, EfsConfig, EfsError, LfsClient, LfsData, LfsFailControl, LfsFileId, LfsOp};
 use parsim::{SimConfig, SimDuration, Simulation};
 use simdisk::{DiskGeometry, DiskProfile, SimDisk};
 
@@ -36,7 +34,7 @@ fn sync_op_round_trips_through_the_protocol() {
                     LfsOp::Write {
                         file: f,
                         block: i,
-                        data: vec![i as u8; 10],
+                        data: vec![i as u8; 10].into(),
                         hint: None,
                     },
                 )
@@ -63,21 +61,31 @@ fn failed_node_rejects_everything_until_revived() {
         let f = LfsFileId(1);
         client.call(ctx, lfs, LfsOp::Create { file: f }).unwrap();
         client
-            .call(ctx, lfs, LfsOp::Write { file: f, block: 0, data: vec![7; 4], hint: None })
+            .call(
+                ctx,
+                lfs,
+                LfsOp::Write {
+                    file: f,
+                    block: 0,
+                    data: vec![7u8; 4].into(),
+                    hint: None,
+                },
+            )
             .unwrap();
 
         ctx.send(lfs, LfsFailControl { failed: true });
         ctx.delay(SimDuration::from_micros(100));
         for op in [
-            LfsOp::Read { file: f, block: 0, hint: None },
+            LfsOp::Read {
+                file: f,
+                block: 0,
+                hint: None,
+            },
             LfsOp::Stat { file: f },
             LfsOp::Create { file: LfsFileId(2) },
             LfsOp::Sync,
         ] {
-            assert_eq!(
-                client.call(ctx, lfs, op).unwrap_err(),
-                EfsError::NodeFailed
-            );
+            assert_eq!(client.call(ctx, lfs, op).unwrap_err(), EfsError::NodeFailed);
         }
 
         ctx.send(lfs, LfsFailControl { failed: false });
@@ -85,7 +93,15 @@ fn failed_node_rejects_everything_until_revived() {
         // Data written before the failure is intact (fail-stop, not
         // destruction).
         match client
-            .call(ctx, lfs, LfsOp::Read { file: f, block: 0, hint: None })
+            .call(
+                ctx,
+                lfs,
+                LfsOp::Read {
+                    file: f,
+                    block: 0,
+                    hint: None,
+                },
+            )
             .unwrap()
         {
             LfsData::Block { data, .. } => assert_eq!(&data[..4], &[7, 7, 7, 7]),
@@ -162,7 +178,8 @@ fn many_files_fill_multiple_directory_buckets() {
         );
         for i in 0..200u32 {
             efs.create(ctx, LfsFileId(i)).unwrap();
-            efs.write(ctx, LfsFileId(i), 0, &[i as u8; 4], None).unwrap();
+            efs.write(ctx, LfsFileId(i), 0, &[i as u8; 4], None)
+                .unwrap();
         }
         let files = efs.list_files_raw().unwrap();
         assert_eq!(files.len(), 200);

@@ -1,0 +1,202 @@
+//! Run-based scatter-gather operations: equivalence with block-at-a-time
+//! I/O, cost accounting, and the LFS protocol surface.
+
+use bridge_efs::{Efs, EfsConfig, EfsError, LfsFileId, EFS_PAYLOAD};
+use bytes::Bytes;
+use parsim::{Ctx, SimConfig, SimDuration, Simulation};
+use simdisk::{DiskGeometry, DiskProfile, SimDisk};
+
+fn small_geometry() -> DiskGeometry {
+    DiskGeometry {
+        block_size: 1024,
+        blocks_per_track: 8,
+        tracks: 512,
+    }
+}
+
+fn on_efs<R: Send + 'static>(
+    profile: DiskProfile,
+    f: impl FnOnce(&mut Ctx, &mut Efs<SimDisk>) -> R + Send + 'static,
+) -> R {
+    let mut sim = Simulation::new(SimConfig::default());
+    let node = sim.add_node("n");
+    sim.block_on(node, "driver", move |ctx| {
+        let mut efs = Efs::format(
+            SimDisk::new(small_geometry(), profile),
+            EfsConfig::default(),
+        );
+        f(ctx, &mut efs)
+    })
+}
+
+fn payload(i: u32) -> Vec<u8> {
+    vec![(i % 251) as u8; 100]
+}
+
+#[test]
+fn write_run_append_matches_block_at_a_time() {
+    on_efs(DiskProfile::instant(), |ctx, efs| {
+        let runs = LfsFileId(1);
+        let singles = LfsFileId(2);
+        efs.create(ctx, runs).unwrap();
+        efs.create(ctx, singles).unwrap();
+
+        let batch: Vec<Bytes> = (0..20).map(|i| Bytes::from(payload(i))).collect();
+        // Two runs: one from empty, one extending a non-empty file.
+        let addrs_a = efs.write_run(ctx, runs, 0, &batch[..7], None).unwrap();
+        let addrs_b = efs.write_run(ctx, runs, 7, &batch[7..], None).unwrap();
+        assert_eq!(addrs_a.len(), 7);
+        assert_eq!(addrs_b.len(), 13);
+        for (i, p) in batch.iter().enumerate() {
+            efs.write(ctx, singles, i as u32, p, None).unwrap();
+        }
+
+        for i in 0..20u32 {
+            let (a, _) = efs.read(ctx, runs, i, None).unwrap();
+            let (b, _) = efs.read(ctx, singles, i, None).unwrap();
+            assert_eq!(a, b, "block {i}");
+        }
+        assert_eq!(efs.stat(ctx, runs).unwrap().size, 20);
+
+        let report = efs.fsck();
+        assert!(report.errors.is_empty(), "fsck: {:?}", report.errors);
+    });
+}
+
+#[test]
+fn read_run_matches_block_at_a_time() {
+    on_efs(DiskProfile::instant(), |ctx, efs| {
+        let f = LfsFileId(9);
+        efs.create(ctx, f).unwrap();
+        for i in 0..30u32 {
+            efs.write(ctx, f, i, &payload(i), None).unwrap();
+        }
+        // Whole file in one run.
+        let run = efs.read_run(ctx, f, 0, 30, None).unwrap();
+        assert_eq!(run.len(), 30);
+        for (i, (data, addr)) in run.iter().enumerate() {
+            let (want, want_addr) = efs.read(ctx, f, i as u32, None).unwrap();
+            assert_eq!(data, &want, "block {i}");
+            assert_eq!(addr, &want_addr, "addr {i}");
+        }
+        // An interior run, with a hint.
+        let hint = run[4].1;
+        let mid = efs.read_run(ctx, f, 5, 10, Some(hint)).unwrap();
+        for (i, (data, _)) in mid.iter().enumerate() {
+            let (want, _) = efs.read(ctx, f, 5 + i as u32, None).unwrap();
+            assert_eq!(data, &want);
+        }
+        // Empty run is a no-op.
+        assert!(efs.read_run(ctx, f, 3, 0, None).unwrap().is_empty());
+    });
+}
+
+#[test]
+fn run_bounds_are_checked() {
+    on_efs(DiskProfile::instant(), |ctx, efs| {
+        let f = LfsFileId(3);
+        efs.create(ctx, f).unwrap();
+        efs.write_run(ctx, f, 0, &vec![Bytes::from(payload(0)); 4], None)
+            .unwrap();
+        assert!(matches!(
+            efs.read_run(ctx, f, 2, 3, None),
+            Err(EfsError::BlockOutOfRange { .. })
+        ));
+        assert!(matches!(
+            efs.read_run(ctx, LfsFileId(99), 0, 1, None),
+            Err(EfsError::UnknownFile(_))
+        ));
+        assert!(matches!(
+            efs.write_run(ctx, f, 6, &[Bytes::from(payload(0))], None),
+            Err(EfsError::WriteBeyondEnd { .. })
+        ));
+        assert!(matches!(
+            efs.write_run(ctx, f, 0, &[Bytes::from(vec![0u8; EFS_PAYLOAD + 1])], None),
+            Err(EfsError::PayloadTooLarge { .. })
+        ));
+    });
+}
+
+#[test]
+fn write_run_overwrite_path_round_trips() {
+    on_efs(DiskProfile::instant(), |ctx, efs| {
+        let f = LfsFileId(5);
+        efs.create(ctx, f).unwrap();
+        efs.write_run(
+            ctx,
+            f,
+            0,
+            &(0..10).map(|i| Bytes::from(payload(i))).collect::<Vec<_>>(),
+            None,
+        )
+        .unwrap();
+        // A run that overwrites 8..10 and appends 10..14.
+        let mixed: Vec<Bytes> = (100..106).map(|i| Bytes::from(payload(i))).collect();
+        let addrs = efs.write_run(ctx, f, 8, &mixed, None).unwrap();
+        assert_eq!(addrs.len(), 6);
+        assert_eq!(efs.stat(ctx, f).unwrap().size, 14);
+        for (i, want) in mixed.iter().enumerate() {
+            let (got, _) = efs.read(ctx, f, 8 + i as u32, None).unwrap();
+            assert_eq!(&got[..100], &want[..], "block {}", 8 + i);
+        }
+        let report = efs.fsck();
+        assert!(report.errors.is_empty(), "fsck: {:?}", report.errors);
+    });
+}
+
+#[test]
+fn runs_charge_cpu_once() {
+    // 20 appends cost 20 CPU charges block-at-a-time but only 1 as a run.
+    let (run_requests, single_requests) = {
+        let a = on_efs(DiskProfile::instant(), |ctx, efs| {
+            let f = LfsFileId(1);
+            efs.create(ctx, f).unwrap();
+            let before = efs.stats().requests;
+            let batch: Vec<Bytes> = (0..20).map(|i| Bytes::from(payload(i))).collect();
+            efs.write_run(ctx, f, 0, &batch, None).unwrap();
+            efs.read_run(ctx, f, 0, 20, None).unwrap();
+            efs.stats().requests - before
+        });
+        let b = on_efs(DiskProfile::instant(), |ctx, efs| {
+            let f = LfsFileId(1);
+            efs.create(ctx, f).unwrap();
+            let before = efs.stats().requests;
+            for i in 0..20u32 {
+                efs.write(ctx, f, i, &payload(i), None).unwrap();
+            }
+            for i in 0..20u32 {
+                efs.read(ctx, f, i, None).unwrap();
+            }
+            efs.stats().requests - before
+        });
+        (a, b)
+    };
+    assert_eq!(run_requests, 2);
+    assert_eq!(single_requests, 40);
+}
+
+#[test]
+fn append_run_is_cheaper_in_virtual_time() {
+    let run_time = on_efs(DiskProfile::wren(), |ctx, efs| {
+        let f = LfsFileId(1);
+        efs.create(ctx, f).unwrap();
+        let batch: Vec<Bytes> = (0..32).map(|i| Bytes::from(payload(i))).collect();
+        let t0 = ctx.now();
+        efs.write_run(ctx, f, 0, &batch, None).unwrap();
+        ctx.now() - t0
+    });
+    let single_time = on_efs(DiskProfile::wren(), |ctx, efs| {
+        let f = LfsFileId(1);
+        efs.create(ctx, f).unwrap();
+        let t0 = ctx.now();
+        for i in 0..32u32 {
+            efs.write(ctx, f, i, &payload(i), None).unwrap();
+        }
+        ctx.now() - t0
+    });
+    assert!(
+        run_time * 2 < single_time,
+        "append run {run_time} should be well under half of {single_time}"
+    );
+    assert!(single_time > SimDuration::from_millis(32 * 16));
+}

@@ -135,7 +135,11 @@ pub struct SortPrediction {
 pub fn sort_prediction(c: &Constants, n: u64, p: u32, in_core: u32) -> SortPrediction {
     let col = (n as f64 / f64::from(p)).ceil();
     let runs = (col / f64::from(in_core.max(1))).ceil().max(1.0);
-    let local_passes = if runs <= 1.0 { 0 } else { runs.log2().ceil() as u32 };
+    let local_passes = if runs <= 1.0 {
+        0
+    } else {
+        runs.log2().ceil() as u32
+    };
 
     let run_formation = col * (c.seq_read_ms + c.write_ms);
     let per_pass = col * (c.thrashed_read_ms + c.write_ms + c.delete_ms);
@@ -153,10 +157,10 @@ pub fn sort_prediction(c: &Constants, n: u64, p: u32, in_core: u32) -> SortPredi
     let mut merge_ms = 0.0;
     for k in 1..=merge_passes {
         let t = 2u64.pow(k).min(u64::from(p)); // ring size of each merge
-        // Disk-limited rate: each node serves one read + one write per
-        // record it owns, plus its share of discarding the pass's input
-        // files ("discard the old files in parallel" — the O(n/p)
-        // sequential-delete remnant); records per pass per node = n/p.
+                                               // Disk-limited rate: each node serves one read + one write per
+                                               // record it owns, plus its share of discarding the pass's input
+                                               // files ("discard the old files in parallel" — the O(n/p)
+                                               // sequential-delete remnant); records per pass per node = n/p.
         let disk_ms_per_record = c.thrashed_read_ms + c.write_ms + c.delete_ms;
         let disk_pass = (n as f64 / f64::from(p)) * disk_ms_per_record;
         // Token-limited rate: the token must visit a reader per record;

@@ -53,6 +53,12 @@ pub struct RunStats {
     pub messages: u64,
     /// Processes spawned over the simulation's lifetime.
     pub spawned: u64,
+    /// Payload bytes posted through the interconnect (the sum of every
+    /// `send_sized` size argument).
+    pub bytes_sent: u64,
+    /// High-water mark of the pending event queue — the scheduler's peak
+    /// working-set, which batching should shrink.
+    pub queue_high_water: usize,
     /// Virtual time when the run stopped.
     pub end_time: SimTime,
 }
@@ -201,7 +207,9 @@ impl Simulation {
 
     /// Adds `n` nodes named `prefix0..prefix{n-1}` and returns their ids.
     pub fn add_nodes(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
-        (0..n).map(|i| self.add_node(format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.add_node(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Current virtual time.
@@ -211,7 +219,10 @@ impl Simulation {
 
     /// Number of processes that are not dead.
     pub fn live_processes(&self) -> usize {
-        self.procs.iter().filter(|p| p.state != ProcState::Dead).count()
+        self.procs
+            .iter()
+            .filter(|p| p.state != ProcState::Dead)
+            .count()
     }
 
     /// The registered name of a process.
@@ -227,6 +238,9 @@ impl Simulation {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { time, seq, kind }));
+        if self.events.len() > self.stats.queue_high_water {
+            self.stats.queue_high_water = self.events.len();
+        }
     }
 
     /// Spawns a process on `node`; it starts at the current virtual time
@@ -394,11 +408,16 @@ impl Simulation {
                 .expect("syscall channel closed while a process was running");
             debug_assert_eq!(from, pid, "syscall from a process that is not running");
             match sc {
-                Syscall::Post { dst, payload, bytes } => {
+                Syscall::Post {
+                    dst,
+                    payload,
+                    bytes,
+                } => {
                     assert!(
                         dst.index() < self.procs.len(),
                         "message to unknown process {dst}"
                     );
+                    self.stats.bytes_sent += bytes as u64;
                     let lat = self.latency.latency(
                         self.procs[pid.index()].node,
                         self.procs[dst.index()].node,
@@ -412,7 +431,12 @@ impl Simulation {
                     };
                     self.push_event(self.now + lat, EventKind::Deliver { dst, env });
                 }
-                Syscall::Spawn { node, name, f, reply } => {
+                Syscall::Spawn {
+                    node,
+                    name,
+                    f,
+                    reply,
+                } => {
                     let child = self.spawn_boxed(node, name, f);
                     reply
                         .send(child)
@@ -476,17 +500,16 @@ impl Simulation {
         name: impl Into<String>,
         f: impl FnOnce(&mut Ctx) -> R + Send + 'static,
     ) -> R {
-        let cell = std::sync::Arc::new(parking_lot::Mutex::new(None));
-        let out = cell.clone();
+        let (result_tx, result_rx) = crossbeam::channel::bounded(1);
         let name = name.into();
         self.spawn(node, name.clone(), move |ctx| {
             let r = f(ctx);
-            *out.lock() = Some(r);
+            let _ = result_tx.send(r);
         });
         self.run();
-        let result = cell.lock().take();
-        result
-            .unwrap_or_else(|| panic!("process '{name}' did not complete: simulation deadlocked"))
+        result_rx
+            .try_recv()
+            .unwrap_or_else(|_| panic!("process '{name}' did not complete: simulation deadlocked"))
     }
 }
 

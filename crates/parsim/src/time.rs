@@ -255,11 +255,11 @@ impl fmt::Display for SimDuration {
         let ns = self.0;
         if ns == 0 {
             write!(f, "0ns")
-        } else if ns % 1_000_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns % 1_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000) {
             write!(f, "{}ms", ns / 1_000_000)
-        } else if ns % 1_000 == 0 {
+        } else if ns.is_multiple_of(1_000) {
             write!(f, "{}us", ns / 1_000)
         } else if ns >= 1_000_000_000 {
             write!(f, "{:.3}s", self.as_secs_f64())
@@ -288,7 +288,10 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_millis(10);
         let u = t + SimDuration::from_millis(5);
         assert_eq!(u - t, SimDuration::from_millis(5));
-        assert_eq!(u.duration_since(SimTime::ZERO), SimDuration::from_millis(15));
+        assert_eq!(
+            u.duration_since(SimTime::ZERO),
+            SimDuration::from_millis(15)
+        );
         assert_eq!(
             SimTime::ZERO.saturating_duration_since(u),
             SimDuration::ZERO

@@ -131,7 +131,10 @@ mod tests {
     #[test]
     fn constant_ignores_size_and_placement() {
         let m = UniformLatency::constant(SimDuration::from_micros(7));
-        assert_eq!(m.latency(NodeId(0), NodeId(0), 0), SimDuration::from_micros(7));
+        assert_eq!(
+            m.latency(NodeId(0), NodeId(0), 0),
+            SimDuration::from_micros(7)
+        );
         assert_eq!(
             m.latency(NodeId(0), NodeId(3), 10_000),
             SimDuration::from_micros(7)

@@ -47,7 +47,10 @@ fn message_latency_is_charged_per_model() {
         (sent, env.delivered_at())
     });
     // Round trip: 2 * (100us + 1024 * 50ns) = 2 * 151.2us
-    assert_eq!(got.duration_since(sent), SimDuration::from_nanos(2 * 151_200));
+    assert_eq!(
+        got.duration_since(sent),
+        SimDuration::from_nanos(2 * 151_200)
+    );
 }
 
 #[test]
@@ -223,7 +226,11 @@ fn spawn_tree_runs_to_completion() {
         ctx.spawn(node, "w", move |c: &mut Ctx| worker(c, 5, Some(me)));
         ctx.recv_as::<u64>().1
     });
-    assert_eq!(total, (1 << 6) - 1, "2^6 - 1 nodes in a depth-5 binary tree");
+    assert_eq!(
+        total,
+        (1 << 6) - 1,
+        "2^6 - 1 nodes in a depth-5 binary tree"
+    );
 }
 
 #[test]
@@ -239,10 +246,7 @@ fn determinism_identical_runs() {
         let hub = sim.spawn(nodes[0], "hub", move |ctx| {
             for _ in 0..30 {
                 let (_, v) = ctx.recv_as::<u32>();
-                hub_trace
-                    .lock()
-                    .unwrap()
-                    .push((ctx.now().as_nanos(), v));
+                hub_trace.lock().unwrap().push((ctx.now().as_nanos(), v));
             }
         });
         for (i, &nd) in nodes.iter().enumerate().take(3) {
@@ -303,12 +307,47 @@ fn run_stats_count_events_and_messages() {
 }
 
 #[test]
+fn run_stats_count_bytes_and_queue_high_water() {
+    let mut sim = sim_with(ZeroLatency);
+    let n = sim.add_node("n");
+    let rx = sim.spawn(n, "rx", |ctx| {
+        for _ in 0..4 {
+            ctx.recv();
+        }
+    });
+    sim.spawn(n, "tx", move |ctx| {
+        // Posted back to back: all four deliveries are queued at once, so
+        // the high-water mark must reach at least 4.
+        for _ in 0..4 {
+            ctx.send_sized(rx, (), 1024);
+        }
+    });
+    let stats = sim.run();
+    assert_eq!(stats.bytes_sent, 4 * 1024);
+    assert!(
+        stats.queue_high_water >= 4,
+        "4 in-flight deliveries must register, got {}",
+        stats.queue_high_water
+    );
+}
+
+#[test]
 #[should_panic(expected = "deadlocked")]
 fn block_on_detects_deadlock() {
     let mut sim = sim_with(ZeroLatency);
     let n = sim.add_node("n");
     let _: () = sim.block_on(n, "waiter", |ctx| {
         ctx.recv(); // nobody will ever send
+    });
+}
+
+#[test]
+#[should_panic(expected = "simulated process 'kaboom'")]
+fn block_on_panic_reports_process_name() {
+    let mut sim = sim_with(ZeroLatency);
+    let n = sim.add_node("n");
+    let _: () = sim.block_on(n, "kaboom", |_ctx| {
+        panic!("intentional failure");
     });
 }
 

@@ -12,7 +12,9 @@ fn run_workload(seed: u64, senders: usize, delays: &[u16]) -> Vec<(u64, u32, u32
         latency: Box::new(UniformLatency::default()),
         seed,
     });
-    let nodes: Vec<_> = (0..senders.max(1)).map(|i| sim.add_node(format!("n{i}"))).collect();
+    let nodes: Vec<_> = (0..senders.max(1))
+        .map(|i| sim.add_node(format!("n{i}")))
+        .collect();
     let hub_node = sim.add_node("hub");
     let trace = Arc::new(Mutex::new(Vec::new()));
     let sunk = trace.clone();

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use bytes::Bytes;
 use parsim::{Ctx, SimDuration};
 use std::error::Error;
 use std::fmt;
@@ -220,7 +221,7 @@ pub trait BlockDevice: Send + std::fmt::Debug {
     /// # Errors
     ///
     /// [`DiskError::OutOfRange`] or [`DiskError::Unwritten`].
-    fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Vec<u8>, DiskError>;
+    fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Bytes, DiskError>;
 
     /// Writes one block, charging virtual time.
     ///
@@ -228,6 +229,40 @@ pub trait BlockDevice: Send + std::fmt::Debug {
     ///
     /// [`DiskError::OutOfRange`] or [`DiskError::WrongBlockSize`].
     fn write(&mut self, ctx: &mut Ctx, addr: BlockAddr, data: &[u8]) -> Result<(), DiskError>;
+
+    /// Reads a run of blocks in one device request.
+    ///
+    /// The default implementation loops over [`read`](BlockDevice::read);
+    /// devices with a smarter controller (see [`SimDisk::read_many`])
+    /// override it to charge the whole run as one service interval.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::OutOfRange`] or [`DiskError::Unwritten`].
+    fn read_many(&mut self, ctx: &mut Ctx, addrs: &[BlockAddr]) -> Result<Vec<Bytes>, DiskError> {
+        addrs.iter().map(|&a| self.read(ctx, a)).collect()
+    }
+
+    /// Writes a run of blocks in one device request.
+    ///
+    /// The default implementation loops over [`write`](BlockDevice::write);
+    /// devices with a smarter controller (see [`SimDisk::write_many`])
+    /// override it to pay positioning once per track instead of once per
+    /// block.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::OutOfRange`] or [`DiskError::WrongBlockSize`].
+    fn write_many(
+        &mut self,
+        ctx: &mut Ctx,
+        writes: &[(BlockAddr, Bytes)],
+    ) -> Result<(), DiskError> {
+        for (addr, data) in writes {
+            self.write(ctx, *addr, data)?;
+        }
+        Ok(())
+    }
 
     /// Reads a block without charging time (formatting, tests, recovery).
     fn read_raw(&self, addr: BlockAddr) -> Option<&[u8]>;
@@ -259,7 +294,7 @@ pub trait BlockDevice: Send + std::fmt::Debug {
 pub struct SimDisk {
     geometry: DiskGeometry,
     profile: DiskProfile,
-    blocks: Vec<Option<Box<[u8]>>>,
+    blocks: Vec<Option<Bytes>>,
     buffered_track: Option<u32>,
     /// Write-behind queue depth (`None` = synchronous write-through).
     write_behind: Option<u32>,
@@ -323,7 +358,10 @@ impl SimDisk {
         if addr.0 < cap {
             Ok(addr.0 as usize)
         } else {
-            Err(DiskError::OutOfRange { addr, capacity: cap })
+            Err(DiskError::OutOfRange {
+                addr,
+                capacity: cap,
+            })
         }
     }
 
@@ -351,8 +389,8 @@ impl SimDisk {
         ctx.delay(immediate);
         // Backpressure: never let the queue run more than `depth` writes
         // ahead of the clock.
-        let max_lead = (self.profile.positioning + self.profile.transfer_per_block)
-            * u64::from(depth);
+        let max_lead =
+            (self.profile.positioning + self.profile.transfer_per_block) * u64::from(depth);
         let lead = self.free_at.saturating_duration_since(ctx.now());
         ctx.delay(lead.saturating_sub(max_lead));
     }
@@ -365,7 +403,7 @@ impl SimDisk {
     /// # Errors
     ///
     /// [`DiskError::OutOfRange`] or [`DiskError::Unwritten`].
-    pub fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Vec<u8>, DiskError> {
+    pub fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Bytes, DiskError> {
         let idx = self.check_addr(addr)?;
         let track = self.geometry.track_of(addr);
         self.stats.reads += 1;
@@ -381,9 +419,109 @@ impl SimDisk {
             self.buffered_track = Some(track);
         }
         match &self.blocks[idx] {
-            Some(data) => Ok(data.to_vec()),
+            Some(data) => Ok(data.clone()),
             None => Err(DiskError::Unwritten { addr }),
         }
+    }
+
+    /// Reads a run of blocks as one device request: the same track-buffer
+    /// economics as block-at-a-time reads (positioning once per distinct
+    /// track, transfer per block), but charged as a single service interval
+    /// — one queue pass, one clock event — instead of one per block.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::OutOfRange`] if any address is bad (nothing is charged),
+    /// [`DiskError::Unwritten`] on the first hole in the run (time for the
+    /// whole run is still charged, as the media was read before checking).
+    pub fn read_many(
+        &mut self,
+        ctx: &mut Ctx,
+        addrs: &[BlockAddr],
+    ) -> Result<Vec<Bytes>, DiskError> {
+        let mut idxs = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            idxs.push(self.check_addr(addr)?);
+        }
+        let mut total = SimDuration::ZERO;
+        for &addr in addrs {
+            let track = self.geometry.track_of(addr);
+            self.stats.reads += 1;
+            if self.buffered_track == Some(track) {
+                self.stats.buffer_hits += 1;
+                total += self.profile.transfer_per_block;
+            } else {
+                self.stats.track_loads += 1;
+                total += self.profile.positioning
+                    + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track);
+                self.buffered_track = Some(track);
+            }
+        }
+        self.charge(ctx, total);
+        idxs.iter()
+            .zip(addrs)
+            .map(|(&idx, &addr)| {
+                self.blocks[idx]
+                    .clone()
+                    .ok_or(DiskError::Unwritten { addr })
+            })
+            .collect()
+    }
+
+    /// Writes a run of blocks as one device request: the controller queues
+    /// the whole run, so each distinct track pays positioning once and the
+    /// remaining blocks on it stream at media rate — versus positioning per
+    /// block for separate writes.
+    ///
+    /// With write-behind enabled this falls back to block-at-a-time
+    /// deferred writes, which already hide positioning behind the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::OutOfRange`] or [`DiskError::WrongBlockSize`] if any
+    /// element is bad; nothing is written or charged in that case.
+    pub fn write_many(
+        &mut self,
+        ctx: &mut Ctx,
+        writes: &[(BlockAddr, Bytes)],
+    ) -> Result<(), DiskError> {
+        for (addr, data) in writes {
+            self.check_addr(*addr)?;
+            if data.len() != self.geometry.block_size {
+                return Err(DiskError::WrongBlockSize {
+                    provided: data.len(),
+                    required: self.geometry.block_size,
+                });
+            }
+        }
+        if self.write_behind.is_some() {
+            for (addr, data) in writes {
+                self.write(ctx, *addr, data)?;
+            }
+            return Ok(());
+        }
+        let mut total = SimDuration::ZERO;
+        let mut run_track = None;
+        for (addr, data) in writes {
+            let idx = addr.0 as usize;
+            let track = self.geometry.track_of(*addr);
+            self.stats.writes += 1;
+            // Each distinct track in the run pays positioning once; a
+            // pre-existing buffered track does not discount the first
+            // write, so a one-element run costs the same as `write`.
+            if run_track == Some(track) {
+                total += self.profile.transfer_per_block;
+            } else {
+                total += self.profile.positioning + self.profile.transfer_per_block;
+                run_track = Some(track);
+            }
+            self.blocks[idx] = Some(data.clone());
+        }
+        self.charge(ctx, total);
+        if let Some(track) = run_track {
+            self.buffered_track = Some(track);
+        }
+        Ok(())
     }
 
     /// Writes one block (write-through), charging positioning plus one
@@ -407,7 +545,7 @@ impl SimDisk {
         } else {
             self.charge(ctx, d);
         }
-        self.blocks[idx] = Some(data.to_vec().into_boxed_slice());
+        self.blocks[idx] = Some(Bytes::copy_from_slice(data));
         // The controller retains the image of the track it just wrote, so a
         // read-modify-write of a neighboring block (EFS tail-pointer fixup)
         // does not pay positioning again.
@@ -419,7 +557,8 @@ impl SimDisk {
     pub fn read_raw(&self, addr: BlockAddr) -> Option<&[u8]> {
         self.blocks
             .get(addr.0 as usize)
-            .and_then(|b| b.as_deref())
+            .and_then(|b| b.as_ref())
+            .map(|b| b.as_ref())
     }
 
     /// Writes a block without charging time (formatting, tests).
@@ -436,7 +575,7 @@ impl SimDisk {
             self.geometry.block_size,
             "write_raw: data must be exactly one block"
         );
-        self.blocks[idx] = Some(data.to_vec().into_boxed_slice());
+        self.blocks[idx] = Some(Bytes::copy_from_slice(data));
     }
 
     /// Marks a block as unwritten without charging time.
@@ -457,12 +596,24 @@ impl BlockDevice for SimDisk {
         SimDisk::geometry(self)
     }
 
-    fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Vec<u8>, DiskError> {
+    fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Bytes, DiskError> {
         SimDisk::read(self, ctx, addr)
     }
 
     fn write(&mut self, ctx: &mut Ctx, addr: BlockAddr, data: &[u8]) -> Result<(), DiskError> {
         SimDisk::write(self, ctx, addr, data)
+    }
+
+    fn read_many(&mut self, ctx: &mut Ctx, addrs: &[BlockAddr]) -> Result<Vec<Bytes>, DiskError> {
+        SimDisk::read_many(self, ctx, addrs)
+    }
+
+    fn write_many(
+        &mut self,
+        ctx: &mut Ctx,
+        writes: &[(BlockAddr, Bytes)],
+    ) -> Result<(), DiskError> {
+        SimDisk::write_many(self, ctx, writes)
     }
 
     fn read_raw(&self, addr: BlockAddr) -> Option<&[u8]> {
@@ -527,10 +678,14 @@ mod tests {
     fn write_then_read_round_trips() {
         on_disk(DiskProfile::instant(), |ctx, disk| {
             for i in 0..20u32 {
-                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8)).unwrap();
+                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8))
+                    .unwrap();
             }
             for i in 0..20u32 {
-                assert_eq!(disk.read(ctx, BlockAddr::new(i)).unwrap(), block_of(i as u8));
+                assert_eq!(
+                    disk.read(ctx, BlockAddr::new(i)).unwrap(),
+                    block_of(i as u8)
+                );
             }
         });
     }
@@ -539,7 +694,12 @@ mod tests {
     fn read_of_unwritten_block_errors() {
         on_disk(DiskProfile::instant(), |ctx, disk| {
             let err = disk.read(ctx, BlockAddr::new(5)).unwrap_err();
-            assert_eq!(err, DiskError::Unwritten { addr: BlockAddr::new(5) });
+            assert_eq!(
+                err,
+                DiskError::Unwritten {
+                    addr: BlockAddr::new(5)
+                }
+            );
         });
     }
 
@@ -549,7 +709,9 @@ mod tests {
             let cap = disk.capacity_blocks();
             let err = disk.read(ctx, BlockAddr::new(cap)).unwrap_err();
             assert!(matches!(err, DiskError::OutOfRange { .. }));
-            let err = disk.write(ctx, BlockAddr::new(cap), &block_of(0)).unwrap_err();
+            let err = disk
+                .write(ctx, BlockAddr::new(cap), &block_of(0))
+                .unwrap_err();
             assert!(matches!(err, DiskError::OutOfRange { .. }));
         });
     }
@@ -560,7 +722,10 @@ mod tests {
             let err = disk.write(ctx, BlockAddr::new(0), &[0u8; 100]).unwrap_err();
             assert_eq!(
                 err,
-                DiskError::WrongBlockSize { provided: 100, required: 1024 }
+                DiskError::WrongBlockSize {
+                    provided: 100,
+                    required: 1024
+                }
             );
         });
     }
@@ -660,12 +825,14 @@ mod tests {
             disk.enable_write_behind(4);
             let t0 = ctx.now();
             for i in 0..4u32 {
-                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8)).unwrap();
+                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8))
+                    .unwrap();
             }
             let first = (ctx.now() - t0) / 4;
             let t1 = ctx.now();
             for i in 4..64u32 {
-                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8)).unwrap();
+                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8))
+                    .unwrap();
             }
             let sustained = (ctx.now() - t1) / 60;
             // A read queues behind the remaining writes.
@@ -695,11 +862,117 @@ mod tests {
         on_disk(DiskProfile::wren(), |ctx, disk| {
             disk.enable_write_behind(8);
             for i in 0..32u32 {
-                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8)).unwrap();
+                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8))
+                    .unwrap();
             }
             for i in 0..32u32 {
                 assert_eq!(disk.read(ctx, BlockAddr::new(i)).unwrap()[0], i as u8);
             }
+        });
+    }
+
+    #[test]
+    fn read_many_matches_block_at_a_time_cost() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        let (run, single) = sim.block_on(node, "driver", |ctx| {
+            let mut disk = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            let addrs: Vec<BlockAddr> = (0..16u32).map(BlockAddr::new).collect();
+            for &a in &addrs {
+                disk.write_raw(a, &block_of(a.index() as u8));
+            }
+            let t0 = ctx.now();
+            let run_data = disk.read_many(ctx, &addrs).unwrap();
+            let run = ctx.now() - t0;
+            for (a, d) in addrs.iter().zip(&run_data) {
+                assert_eq!(d[0], a.index() as u8);
+            }
+
+            let mut disk2 = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            for &a in &addrs {
+                disk2.write_raw(a, &block_of(0));
+            }
+            let t1 = ctx.now();
+            for &a in &addrs {
+                disk2.read(ctx, a).unwrap();
+            }
+            (run, ctx.now() - t1)
+        });
+        // Same track-buffer economics either way: 2 track loads + 14 hits.
+        assert_eq!(run, single);
+        assert_eq!(run, SimDuration::from_millis(2 * 23 + 14));
+    }
+
+    #[test]
+    fn write_many_pays_positioning_once_per_track() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        let (run, single) = sim.block_on(node, "driver", |ctx| {
+            let mut disk = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            let writes: Vec<(BlockAddr, Bytes)> = (0..8u32)
+                .map(|i| (BlockAddr::new(i), Bytes::from(block_of(i as u8))))
+                .collect();
+            let t0 = ctx.now();
+            disk.write_many(ctx, &writes).unwrap();
+            let run = ctx.now() - t0;
+            for i in 0..8u32 {
+                assert_eq!(disk.read_raw(BlockAddr::new(i)).unwrap()[0], i as u8);
+            }
+
+            let mut disk2 = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            let t1 = ctx.now();
+            for (a, d) in &writes {
+                disk2.write(ctx, *a, d).unwrap();
+            }
+            (run, ctx.now() - t1)
+        });
+        // One track: 15 ms positioning + 8 x 1 ms transfer = 23 ms,
+        // versus 8 x 16 ms block-at-a-time.
+        assert_eq!(run, SimDuration::from_millis(23));
+        assert_eq!(single, SimDuration::from_millis(8 * 16));
+    }
+
+    #[test]
+    fn single_element_runs_cost_the_same_as_single_ops() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        sim.block_on(node, "driver", |ctx| {
+            let mut disk = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            let t0 = ctx.now();
+            disk.write_many(ctx, &[(BlockAddr::new(0), Bytes::from(block_of(1)))])
+                .unwrap();
+            assert_eq!(ctx.now() - t0, SimDuration::from_millis(16));
+            // The run retained the track, exactly like `write` would.
+            let t1 = ctx.now();
+            let got = disk.read_many(ctx, &[BlockAddr::new(1)]);
+            assert_eq!(ctx.now() - t1, SimDuration::from_millis(1));
+            assert!(matches!(got, Err(DiskError::Unwritten { .. })));
+        });
+    }
+
+    #[test]
+    fn write_many_rejects_bad_runs_without_charging() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        sim.block_on(node, "driver", |ctx| {
+            let mut disk = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            let cap = disk.capacity_blocks();
+            let err = disk
+                .write_many(
+                    ctx,
+                    &[
+                        (BlockAddr::new(0), Bytes::from(block_of(0))),
+                        (BlockAddr::new(cap), Bytes::from(block_of(0))),
+                    ],
+                )
+                .unwrap_err();
+            assert!(matches!(err, DiskError::OutOfRange { .. }));
+            let err = disk
+                .write_many(ctx, &[(BlockAddr::new(0), Bytes::from(vec![0u8; 10]))])
+                .unwrap_err();
+            assert!(matches!(err, DiskError::WrongBlockSize { .. }));
+            assert_eq!(ctx.now(), SimTime::ZERO, "failed runs charge nothing");
+            assert_eq!(disk.blocks_in_use(), 0, "failed runs write nothing");
         });
     }
 

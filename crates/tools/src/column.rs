@@ -2,12 +2,20 @@
 //! single LFS — with hint chaining, the access pattern at the heart of
 //! every tool: "a lengthy series of interactions between the subprocesses
 //! and the instances of LFS".
+//!
+//! With [`BatchPolicy::Runs`] both directions run-batch: the reader
+//! prefetches up to `depth` consecutive local blocks per
+//! [`LfsOp::ReadRun`] and the writer buffers appends until it can issue
+//! one [`LfsOp::WriteRun`], turning `depth` request/reply pairs into one.
+//! [`BatchPolicy::Off`] keeps the block-at-a-time protocol of the paper.
 
 use crate::error::ToolError;
-use bridge_core::{decode_payload, encode_payload, BridgeHeader};
+use bridge_core::{decode_payload, encode_payload, BatchPolicy, BridgeHeader};
 use bridge_efs::{LfsClient, LfsData, LfsFileId, LfsOp};
+use bytes::Bytes;
 use parsim::{Ctx, ProcId};
 use simdisk::BlockAddr;
+use std::collections::VecDeque;
 
 /// Sequentially reads the local blocks of one constituent LFS file.
 #[derive(Debug)]
@@ -17,6 +25,8 @@ pub struct ColumnReader {
     size: u32,
     next: u32,
     hint: Option<BlockAddr>,
+    depth: u32,
+    prefetched: VecDeque<Bytes>,
 }
 
 impl ColumnReader {
@@ -28,7 +38,16 @@ impl ColumnReader {
             size,
             next: 0,
             hint: None,
+            depth: 1,
+            prefetched: VecDeque::new(),
         }
+    }
+
+    /// Enables run prefetching per `batch` (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.depth = batch.depth();
+        self
     }
 
     /// Local blocks remaining.
@@ -46,9 +65,37 @@ impl ColumnReader {
         &mut self,
         ctx: &mut Ctx,
         client: &mut LfsClient,
-    ) -> Result<Option<Vec<u8>>, ToolError> {
+    ) -> Result<Option<Bytes>, ToolError> {
+        if let Some(payload) = self.prefetched.pop_front() {
+            self.next += 1;
+            return Ok(Some(payload));
+        }
         if self.next >= self.size {
             return Ok(None);
+        }
+        if self.depth > 1 {
+            let count = self.depth.min(self.size - self.next);
+            let reply = client.call(
+                ctx,
+                self.lfs,
+                LfsOp::ReadRun {
+                    file: self.file,
+                    first: self.next,
+                    count,
+                    hint: self.hint,
+                },
+            )?;
+            return match reply {
+                LfsData::Run { blocks } if blocks.len() == count as usize => {
+                    self.hint = blocks.last().map(|b| b.1);
+                    self.prefetched = blocks.into_iter().map(|(data, _)| data).collect();
+                    self.next += 1;
+                    Ok(self.prefetched.pop_front())
+                }
+                other => Err(ToolError::Protocol(format!(
+                    "unexpected LFS run reply {other:?}"
+                ))),
+            };
         }
         let reply = client.call(
             ctx,
@@ -65,11 +112,14 @@ impl ColumnReader {
                 self.next += 1;
                 Ok(Some(data))
             }
-            other => Err(ToolError::Protocol(format!("unexpected LFS reply {other:?}"))),
+            other => Err(ToolError::Protocol(format!(
+                "unexpected LFS reply {other:?}"
+            ))),
         }
     }
 
     /// Reads and decodes the next Bridge block: `(header, 960-byte data)`.
+    /// The data is a zero-copy slice of the block's payload.
     ///
     /// # Errors
     ///
@@ -78,7 +128,7 @@ impl ColumnReader {
         &mut self,
         ctx: &mut Ctx,
         client: &mut LfsClient,
-    ) -> Result<Option<(BridgeHeader, Vec<u8>)>, ToolError> {
+    ) -> Result<Option<(BridgeHeader, Bytes)>, ToolError> {
         match self.next_raw(ctx, client)? {
             None => Ok(None),
             Some(payload) => {
@@ -90,12 +140,18 @@ impl ColumnReader {
 }
 
 /// Appends local blocks to one constituent LFS file.
+///
+/// Under [`BatchPolicy::Runs`] appends are buffered and shipped as
+/// [`LfsOp::WriteRun`]s; call [`ColumnWriter::flush`] before relying on
+/// the column's on-disk contents (readers, size reports).
 #[derive(Debug)]
 pub struct ColumnWriter {
     lfs: ProcId,
     file: LfsFileId,
     next: u32,
     hint: Option<BlockAddr>,
+    depth: u32,
+    pending: Vec<Bytes>,
 }
 
 impl ColumnWriter {
@@ -108,11 +164,20 @@ impl ColumnWriter {
             file,
             next: start,
             hint: None,
+            depth: 1,
+            pending: Vec::new(),
         }
     }
 
+    /// Enables run write-behind per `batch` (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.depth = batch.depth();
+        self
+    }
+
     /// Local blocks written so far through this writer (plus the starting
-    /// offset).
+    /// offset), counting blocks still buffered for the next run.
     pub fn position(&self) -> u32 {
         self.next
     }
@@ -126,8 +191,17 @@ impl ColumnWriter {
         &mut self,
         ctx: &mut Ctx,
         client: &mut LfsClient,
-        payload: Vec<u8>,
+        payload: impl Into<Bytes>,
     ) -> Result<(), ToolError> {
+        let payload = payload.into();
+        if self.depth > 1 {
+            self.pending.push(payload);
+            self.next += 1;
+            if self.pending.len() as u32 >= self.depth {
+                self.flush(ctx, client)?;
+            }
+            return Ok(());
+        }
         let reply = client.call(
             ctx,
             self.lfs,
@@ -144,7 +218,42 @@ impl ColumnWriter {
                 self.next += 1;
                 Ok(())
             }
-            other => Err(ToolError::Protocol(format!("unexpected LFS reply {other:?}"))),
+            other => Err(ToolError::Protocol(format!(
+                "unexpected LFS reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Ships any buffered appends as one [`LfsOp::WriteRun`]. A no-op when
+    /// nothing is pending (in particular with batching off).
+    ///
+    /// # Errors
+    ///
+    /// Propagates LFS errors.
+    pub fn flush(&mut self, ctx: &mut Ctx, client: &mut LfsClient) -> Result<(), ToolError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let data = std::mem::take(&mut self.pending);
+        let first = self.next - data.len() as u32;
+        let reply = client.call(
+            ctx,
+            self.lfs,
+            LfsOp::WriteRun {
+                file: self.file,
+                first,
+                data,
+                hint: self.hint,
+            },
+        )?;
+        match reply {
+            LfsData::WrittenRun { addrs } => {
+                self.hint = addrs.last().copied();
+                Ok(())
+            }
+            other => Err(ToolError::Protocol(format!(
+                "unexpected LFS run reply {other:?}"
+            ))),
         }
     }
 

@@ -200,6 +200,7 @@ fn run_ecopy(
     t0: parsim::SimTime,
 ) -> Result<(BridgeFileId, CopyStats), ToolError> {
     let dst_open = bridge.open(ctx, dst)?;
+    let batch = opts.batch;
 
     // (2) create subprocesses on all the LFS nodes; (3) they stream their
     // columns locally.
@@ -221,9 +222,10 @@ fn run_ecopy(
                 name: format!("ecopy{i}"),
                 run: Box::new(move |c: &mut Ctx| {
                     let mut client = LfsClient::new();
-                    let mut reader = ColumnReader::new(src_proc, src_file, local_size);
-                    let mut writer = ColumnWriter::new(dst_proc, dst_file, 0);
-                    while let Some((mut header, mut data)) = reader.next_block(c, &mut client)? {
+                    let mut reader =
+                        ColumnReader::new(src_proc, src_file, local_size).with_batch(batch);
+                    let mut writer = ColumnWriter::new(dst_proc, dst_file, 0).with_batch(batch);
+                    while let Some((mut header, data)) = reader.next_block(c, &mut client)? {
                         // "The copy tool ignores the Bridge headers in the
                         // file it is copying. Since all the header pointers
                         // are block-number/LFS-instance pairs, the pointers
@@ -231,9 +233,11 @@ fn run_ecopy(
                         // name the owning file (for integrity checks), so
                         // ecopy relabels that one field.
                         header.file = dst;
+                        let mut data = data.to_vec();
                         transform(&mut data);
                         writer.append_block(c, &mut client, &header, &data)?;
                     }
+                    writer.flush(c, &mut client)?;
                     Ok(writer.position())
                 }),
             }

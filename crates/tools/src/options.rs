@@ -7,6 +7,7 @@
 //! initiation). Both topologies are provided; the ablation benchmark
 //! `ablate_tree_start` compares them.
 
+use bridge_core::BatchPolicy;
 use parsim::SimDuration;
 
 /// How a controller starts (and joins) its per-node workers.
@@ -28,6 +29,12 @@ pub struct ToolOptions {
     pub spawn_cost: SimDuration,
     /// Startup/completion topology.
     pub fanout: Fanout,
+    /// Run batching for the column streams: with [`BatchPolicy::Runs`]
+    /// every reader prefetches and every writer flushes runs of up to
+    /// `depth` consecutive local blocks in one LFS round trip, cutting the
+    /// per-block message traffic. [`BatchPolicy::Off`] (the default)
+    /// reproduces the paper's block-at-a-time protocol exactly.
+    pub batch: BatchPolicy,
 }
 
 impl Default for ToolOptions {
@@ -35,6 +42,7 @@ impl Default for ToolOptions {
         ToolOptions {
             spawn_cost: SimDuration::from_millis(3),
             fanout: Fanout::Tree,
+            batch: BatchPolicy::Off,
         }
     }
 }
@@ -48,5 +56,7 @@ mod tests {
         let opts = ToolOptions::default();
         assert_eq!(opts.fanout, Fanout::Tree);
         assert!(!opts.spawn_cost.is_zero());
+        assert_eq!(opts.batch, BatchPolicy::Off);
+        assert_eq!(opts.batch.depth(), 1);
     }
 }

@@ -50,6 +50,7 @@ pub fn grep(
             op: "grep tool",
         }));
     }
+    let batch = opts.batch;
     let specs: Vec<WorkerSpec<Vec<Match>>> = open
         .nodes
         .iter()
@@ -64,7 +65,8 @@ pub fn grep(
                 name: format!("egrep{i}"),
                 run: Box::new(move |c: &mut Ctx| {
                     let mut client = LfsClient::new();
-                    let mut reader = ColumnReader::new(proc, lfs_file, local_size);
+                    let mut reader =
+                        ColumnReader::new(proc, lfs_file, local_size).with_batch(batch);
                     let mut hits = Vec::new();
                     while let Some((header, data)) = reader.next_block(c, &mut client)? {
                         let mut start = 0usize;
@@ -86,15 +88,16 @@ pub fn grep(
             }
         })
         .collect();
-    let mut all: Vec<Match> = run_workers(ctx, opts, specs)?.into_iter().flatten().collect();
+    let mut all: Vec<Match> = run_workers(ctx, opts, specs)?
+        .into_iter()
+        .flatten()
+        .collect();
     all.sort_unstable();
     Ok(all)
 }
 
 fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 /// Aggregate facts about a file, computed in one pass per column.
@@ -181,6 +184,7 @@ pub fn summarize(
             op: "summary tool",
         }));
     }
+    let batch = opts.batch;
     let specs: Vec<WorkerSpec<Summary>> = open
         .nodes
         .iter()
@@ -194,7 +198,8 @@ pub fn summarize(
                 name: format!("esum{i}"),
                 run: Box::new(move |c: &mut Ctx| {
                     let mut client = LfsClient::new();
-                    let mut reader = ColumnReader::new(proc, lfs_file, local_size);
+                    let mut reader =
+                        ColumnReader::new(proc, lfs_file, local_size).with_batch(batch);
                     let mut summary = Summary::default();
                     while let Some((_, data)) = reader.next_block(c, &mut client)? {
                         summary.absorb_block(&data);

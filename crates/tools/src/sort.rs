@@ -26,14 +26,21 @@ use crate::error::ToolError;
 use crate::options::ToolOptions;
 use crate::toolkit::{run_workers, WorkerSpec};
 use bridge_core::{
-    BridgeClient, BridgeError, BridgeFileId, BridgeHeader, CreateSpec, GlobalPtr, LfsSlice,
-    PlacementKind, PlacementSpec,
+    BatchPolicy, BridgeClient, BridgeError, BridgeFileId, BridgeHeader, CreateSpec, GlobalPtr,
+    LfsSlice, PlacementKind, PlacementSpec,
 };
 use bridge_efs::{LfsClient, LfsFileId, LfsOp};
+use bytes::Bytes;
 use parsim::{Ctx, ProcId, SimDuration};
 
 /// Bytes of each record's sort key (its leading bytes).
 pub const KEY_LEN: usize = 8;
+
+/// A scratch-run column stream with its buffered head record.
+type RunHead = (ColumnReader, Option<([u8; KEY_LEN], Vec<u8>)>);
+
+/// Record sink fed by the streaming merge passes.
+type EmitFn<'a> = dyn FnMut(&mut Ctx, &mut LfsClient, &[u8]) -> Result<(), ToolError> + 'a;
 
 /// Extracts a record's key.
 pub fn key_of(data: &[u8]) -> [u8; KEY_LEN] {
@@ -121,7 +128,7 @@ struct Token {
 struct WriteRec {
     tag: u32,
     seq: u64,
-    data: Vec<u8>,
+    data: Bytes,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -258,9 +265,8 @@ pub fn sort(
         // Await every merge of this pass, then stop its processes.
         let mut finished = Vec::with_capacity(pending.len());
         for (tag, mut out, network) in pending {
-            let env = ctx.recv_where(move |e| {
-                e.downcast_ref::<MergeDone>().is_some_and(|d| d.tag == tag)
-            });
+            let env = ctx
+                .recv_where(move |e| e.downcast_ref::<MergeDone>().is_some_and(|d| d.tag == tag));
             let done = env.downcast::<MergeDone>().expect("matched");
             out.size = done.records;
             finished.push((tag, out, network));
@@ -383,10 +389,13 @@ fn spawn_merge_network(
             lfs_index: slice.index.0,
             file: out.id,
             lfs_file: out.lfs_file,
+            batch: opts.tool.batch,
         };
-        writers.push(ctx.spawn(slice.node, format!("m{tag}w{w}"), move |c: &mut Ctx| {
-            merge_writer(c, params)
-        }));
+        writers.push(
+            ctx.spawn(slice.node, format!("m{tag}w{w}"), move |c: &mut Ctx| {
+                merge_writer(c, params)
+            }),
+        );
     }
 
     // Reader rings: positions of each input file, in order.
@@ -403,6 +412,7 @@ fn spawn_merge_network(
                 lfs_file: file.lfs_file,
                 local_size: slice.local_size,
                 token_cpu: opts.token_cpu,
+                batch: opts.tool.batch,
             };
             let pid = ctx.spawn(
                 slice.node,
@@ -419,12 +429,24 @@ fn spawn_merge_network(
     // token at the first process of file A.
     for (i, &r) in ring_a.iter().enumerate() {
         let next = ring_a[(i + 1) % ring_a.len()];
-        ctx.send(r, RingSetup { next, other_first: ring_b[0] });
+        ctx.send(
+            r,
+            RingSetup {
+                next,
+                other_first: ring_b[0],
+            },
+        );
         ctx.send(r, WriterList(writers.clone()));
     }
     for (i, &r) in ring_b.iter().enumerate() {
         let next = ring_b[(i + 1) % ring_b.len()];
-        ctx.send(r, RingSetup { next, other_first: ring_a[0] });
+        ctx.send(
+            r,
+            RingSetup {
+                next,
+                other_first: ring_a[0],
+            },
+        );
         ctx.send(r, WriterList(writers.clone()));
     }
     ctx.send(
@@ -455,6 +477,7 @@ struct ReaderParams {
     lfs_file: LfsFileId,
     local_size: u32,
     token_cpu: SimDuration,
+    batch: BatchPolicy,
     // The writer list travels separately as a `WriterList` message.
 }
 
@@ -467,13 +490,14 @@ struct WriterParams {
     lfs_index: u32,
     file: BridgeFileId,
     lfs_file: LfsFileId,
+    batch: BatchPolicy,
 }
 
 /// One merge writer: appends records it is sent, in arrival order (the
 /// token discipline guarantees its sequence numbers ascend by t).
 fn merge_writer(ctx: &mut Ctx, params: WriterParams) {
     let mut client = LfsClient::new();
-    let mut writer = ColumnWriter::new(params.lfs, params.lfs_file, 0);
+    let mut writer = ColumnWriter::new(params.lfs, params.lfs_file, 0).with_batch(params.batch);
     let tag = params.tag;
     loop {
         let env = ctx.recv_where(|e| {
@@ -481,6 +505,9 @@ fn merge_writer(ctx: &mut Ctx, params: WriterParams) {
                 || e.downcast_ref::<WriterStop>().is_some_and(|s| s.tag == tag)
         });
         if env.is::<WriterStop>() {
+            if let Err(e) = writer.flush(ctx, &mut client) {
+                panic!("merge writer {tag}/{}: {e}", params.widx);
+            }
             let from = env.from();
             ctx.send(
                 from,
@@ -493,7 +520,11 @@ fn merge_writer(ctx: &mut Ctx, params: WriterParams) {
             return;
         }
         let rec = env.downcast::<WriteRec>().expect("matched");
-        debug_assert_eq!(rec.seq % params.t, u64::from(params.widx), "stripe discipline");
+        debug_assert_eq!(
+            rec.seq % params.t,
+            u64::from(params.widx),
+            "stripe discipline"
+        );
         let header = BridgeHeader {
             file: params.file,
             global_block: rec.seq,
@@ -516,8 +547,9 @@ fn merge_reader(ctx: &mut Ctx, params: ReaderParams) {
     };
     let tag = params.tag;
     let mut client = LfsClient::new();
-    let mut reader = ColumnReader::new(params.lfs, params.lfs_file, params.local_size);
-    let mut read_record = |c: &mut Ctx, client: &mut LfsClient| -> Option<([u8; KEY_LEN], Vec<u8>)> {
+    let mut reader =
+        ColumnReader::new(params.lfs, params.lfs_file, params.local_size).with_batch(params.batch);
+    let mut read_record = |c: &mut Ctx, client: &mut LfsClient| -> Option<([u8; KEY_LEN], Bytes)> {
         match reader.next_block(c, client) {
             Ok(Some((_, data))) => Some((key_of(&data), data)),
             Ok(None) => None,
@@ -574,7 +606,13 @@ fn merge_reader(ctx: &mut Ctx, params: ReaderParams) {
             match current.take() {
                 None => {
                     // DONE: the merge is complete; report and await Stop.
-                    ctx.send(params.controller, MergeDone { tag, records: token.seq });
+                    ctx.send(
+                        params.controller,
+                        MergeDone {
+                            tag,
+                            records: token.seq,
+                        },
+                    );
                 }
                 Some((_, data)) => {
                     let seq = token.seq;
@@ -661,16 +699,18 @@ struct LocalSortParams {
 fn local_sort(ctx: &mut Ctx, params: LocalSortParams) -> Result<(u32, u32), ToolError> {
     let mut client = LfsClient::new();
     let opts = params.in_core;
+    let policy = opts.tool.batch;
     let c = opts.in_core_records.max(1);
 
-    let mut reader = ColumnReader::new(params.lfs, params.src_file, params.src_size);
+    let mut reader =
+        ColumnReader::new(params.lfs, params.src_file, params.src_size).with_batch(policy);
     let mut out = OutputColumn::new(&params);
 
     // Run formation.
     let mut runs: Vec<(LfsFileId, u32)> = Vec::new();
     let mut run_counter = 0u32;
     loop {
-        let mut batch: Vec<Vec<u8>> = Vec::with_capacity(c as usize);
+        let mut batch: Vec<Bytes> = Vec::with_capacity(c as usize);
         while (batch.len() as u32) < c {
             match reader.next_block(ctx, &mut client)? {
                 Some((_, data)) => batch.push(data),
@@ -688,19 +728,21 @@ fn local_sort(ctx: &mut Ctx, params: LocalSortParams) -> Result<(u32, u32), Tool
             for data in batch {
                 out.append(ctx, &mut client, &data)?;
             }
+            out.flush(ctx, &mut client)?;
             return Ok((out.count(), 0));
         }
         // Spill a scratch run.
         let run_file = scratch_file_id(params.out_bridge, params.worker, run_counter);
         run_counter += 1;
         client.call(ctx, params.lfs, LfsOp::Create { file: run_file })?;
-        let mut w = ColumnWriter::new(params.lfs, run_file, 0);
+        let mut w = ColumnWriter::new(params.lfs, run_file, 0).with_batch(policy);
         let len = batch.len() as u32;
         for data in batch {
-            let mut payload = data;
+            let mut payload = data.to_vec();
             payload.resize(bridge_efs::EFS_PAYLOAD, 0);
             w.append_raw(ctx, &mut client, payload)?;
         }
+        w.flush(ctx, &mut client)?;
         runs.push((run_file, len));
         if exhausted {
             break;
@@ -722,10 +764,11 @@ fn local_sort(ctx: &mut Ctx, params: LocalSortParams) -> Result<(u32, u32), Tool
                 while let Some(a) = iter.next() {
                     match iter.next() {
                         Some(b) => {
-                            let dst = scratch_file_id(params.out_bridge, params.worker, run_counter);
+                            let dst =
+                                scratch_file_id(params.out_bridge, params.worker, run_counter);
                             run_counter += 1;
                             client.call(ctx, params.lfs, LfsOp::Create { file: dst })?;
-                            let mut w = ColumnWriter::new(params.lfs, dst, 0);
+                            let mut w = ColumnWriter::new(params.lfs, dst, 0).with_batch(policy);
                             let merged = merge_two_runs(
                                 ctx,
                                 &mut client,
@@ -739,6 +782,7 @@ fn local_sort(ctx: &mut Ctx, params: LocalSortParams) -> Result<(u32, u32), Tool
                                 },
                                 &opts,
                             )?;
+                            w.flush(ctx, &mut client)?;
                             next_runs.push((dst, merged));
                         }
                         None => next_runs.push(a),
@@ -762,7 +806,7 @@ fn local_sort(ctx: &mut Ctx, params: LocalSortParams) -> Result<(u32, u32), Tool
             } else {
                 // Single run: stream it into the output.
                 let (run, len) = runs.pop().expect("one run");
-                let mut r = ColumnReader::new(params.lfs, run, len);
+                let mut r = ColumnReader::new(params.lfs, run, len).with_batch(policy);
                 while let Some(payload) = r.next_raw(ctx, &mut client)? {
                     out.append(ctx, &mut client, &payload[..bridge_core::BRIDGE_DATA])?;
                 }
@@ -772,9 +816,9 @@ fn local_sort(ctx: &mut Ctx, params: LocalSortParams) -> Result<(u32, u32), Tool
         LocalMergeArity::MultiWay => {
             passes = 1;
             // One heap-based k-way pass over all runs.
-            let mut heads: Vec<(ColumnReader, Option<([u8; KEY_LEN], Vec<u8>)>)> = Vec::new();
+            let mut heads: Vec<RunHead> = Vec::new();
             for &(run, len) in &runs {
-                let mut r = ColumnReader::new(params.lfs, run, len);
+                let mut r = ColumnReader::new(params.lfs, run, len).with_batch(policy);
                 let head = r
                     .next_raw(ctx, &mut client)?
                     .map(|p| (key_of(&p), p[..bridge_core::BRIDGE_DATA].to_vec()));
@@ -800,6 +844,7 @@ fn local_sort(ctx: &mut Ctx, params: LocalSortParams) -> Result<(u32, u32), Tool
             }
         }
     }
+    out.flush(ctx, &mut client)?;
     Ok((out.count(), passes))
 }
 
@@ -820,11 +865,11 @@ fn merge_two_runs(
     params: &LocalSortParams,
     a: (LfsFileId, u32),
     b: (LfsFileId, u32),
-    emit: &mut dyn FnMut(&mut Ctx, &mut LfsClient, &[u8]) -> Result<(), ToolError>,
+    emit: &mut EmitFn<'_>,
     opts: &SortOptions,
 ) -> Result<u32, ToolError> {
-    let mut ra = ColumnReader::new(params.lfs, a.0, a.1);
-    let mut rb = ColumnReader::new(params.lfs, b.0, b.1);
+    let mut ra = ColumnReader::new(params.lfs, a.0, a.1).with_batch(params.in_core.tool.batch);
+    let mut rb = ColumnReader::new(params.lfs, b.0, b.1).with_batch(params.in_core.tool.batch);
     let next = |ctx: &mut Ctx, client: &mut LfsClient, r: &mut ColumnReader| {
         r.next_raw(ctx, client).map(|o| {
             o.map(|p| {
@@ -879,7 +924,8 @@ struct OutputColumn {
 impl OutputColumn {
     fn new(params: &LocalSortParams) -> Self {
         OutputColumn {
-            writer: ColumnWriter::new(params.lfs, params.out_file, 0),
+            writer: ColumnWriter::new(params.lfs, params.out_file, 0)
+                .with_batch(params.in_core.tool.batch),
             file: params.out_bridge,
             lfs_index: params.lfs_index,
         }
@@ -887,6 +933,10 @@ impl OutputColumn {
 
     fn count(&self) -> u32 {
         self.writer.position()
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx, client: &mut LfsClient) -> Result<(), ToolError> {
+        self.writer.flush(ctx, client)
     }
 
     fn append(

@@ -12,6 +12,9 @@ use crate::error::ToolError;
 use crate::options::{Fanout, ToolOptions};
 use parsim::{Ctx, NodeId, ProcId};
 
+/// The boxed body a worker runs on its node.
+pub type WorkerBody<R> = Box<dyn FnOnce(&mut Ctx) -> Result<R, ToolError> + Send>;
+
 /// One worker to start: where, what to call it, and what it runs.
 pub struct WorkerSpec<R> {
     /// Node to start the worker on (tools place workers on the LFS nodes
@@ -20,7 +23,7 @@ pub struct WorkerSpec<R> {
     /// Process name (debugging).
     pub name: String,
     /// The worker body.
-    pub run: Box<dyn FnOnce(&mut Ctx) -> Result<R, ToolError> + Send>,
+    pub run: WorkerBody<R>,
 }
 
 impl<R> std::fmt::Debug for WorkerSpec<R> {
@@ -89,11 +92,7 @@ pub fn run_workers<R: Send + 'static>(
         match slot {
             Some(Ok(r)) => out.push(r),
             Some(Err(e)) => return Err(e),
-            None => {
-                return Err(ToolError::Protocol(format!(
-                    "worker {idx} never reported"
-                )))
-            }
+            None => return Err(ToolError::Protocol(format!("worker {idx} never reported"))),
         }
     }
     Ok(out)
@@ -144,11 +143,14 @@ mod tests {
 
     fn run_with(fanout: Fanout, workers: usize) -> (Vec<u32>, SimDuration) {
         let mut sim = Simulation::new(SimConfig::default());
-        let nodes: Vec<NodeId> = (0..workers).map(|i| sim.add_node(format!("n{i}"))).collect();
+        let nodes: Vec<NodeId> = (0..workers)
+            .map(|i| sim.add_node(format!("n{i}")))
+            .collect();
         let ctrl = sim.add_node("ctrl");
         let opts = ToolOptions {
             spawn_cost: SimDuration::from_millis(10),
             fanout,
+            ..ToolOptions::default()
         };
         sim.block_on(ctrl, "controller", move |ctx| {
             let specs: Vec<WorkerSpec<u32>> = nodes
@@ -187,7 +189,10 @@ mod tests {
         let (_, tree16) = run_with(Fanout::Tree, 16);
         let gain16 = serial16.as_secs_f64() / tree16.as_secs_f64();
         let gain64 = serial64.as_secs_f64() / tree64.as_secs_f64();
-        assert!(gain64 > gain16, "advantage grows: {gain16:.2} → {gain64:.2}");
+        assert!(
+            gain64 > gain16,
+            "advantage grows: {gain16:.2} → {gain64:.2}"
+        );
     }
 
     #[test]

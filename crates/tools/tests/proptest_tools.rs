@@ -15,11 +15,7 @@ fn record_from(key: u64, body: u8) -> Vec<u8> {
     r
 }
 
-fn write_records(
-    ctx: &mut Ctx,
-    bridge: &mut BridgeClient,
-    records: &[Vec<u8>],
-) -> BridgeFileId {
+fn write_records(ctx: &mut Ctx, bridge: &mut BridgeClient, records: &[Vec<u8>]) -> BridgeFileId {
     let file = bridge.create(ctx, CreateSpec::default()).unwrap();
     for r in records {
         bridge.seq_write(ctx, file, r.clone()).unwrap();
@@ -31,7 +27,7 @@ fn read_records(ctx: &mut Ctx, bridge: &mut BridgeClient, file: BridgeFileId) ->
     bridge.open(ctx, file).unwrap();
     let mut out = Vec::new();
     while let Some(b) = bridge.seq_read(ctx, file).unwrap() {
-        out.push(b);
+        out.push(b.to_vec());
     }
     out
 }

@@ -2,8 +2,7 @@
 //! the two-phase parallel merge sort.
 
 use bridge_core::{
-    BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, CreateSpec, PlacementSpec,
-    BRIDGE_DATA,
+    BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, CreateSpec, PlacementSpec, BRIDGE_DATA,
 };
 use bridge_tools::{
     copy, copy_with, grep, key_of, sort, summarize, transforms, LocalMergeArity, SortOptions,
@@ -40,7 +39,7 @@ fn read_all(ctx: &mut Ctx, bridge: &mut BridgeClient, file: BridgeFileId) -> Vec
     bridge.open(ctx, file).unwrap();
     let mut out = Vec::new();
     while let Some(block) = bridge.seq_read(ctx, file).unwrap() {
-        out.push(block);
+        out.push(block.to_vec());
     }
     out
 }
@@ -138,12 +137,22 @@ fn filters_transform_every_block() {
         let src = write_file(ctx, &mut bridge, &records, CreateSpec::default());
 
         // ROT13 twice is the identity.
-        let (once, _) =
-            copy_with(ctx, &mut bridge, src, transforms::rot13(), &ToolOptions::default())
-                .unwrap();
-        let (twice, _) =
-            copy_with(ctx, &mut bridge, once, transforms::rot13(), &ToolOptions::default())
-                .unwrap();
+        let (once, _) = copy_with(
+            ctx,
+            &mut bridge,
+            src,
+            transforms::rot13(),
+            &ToolOptions::default(),
+        )
+        .unwrap();
+        let (twice, _) = copy_with(
+            ctx,
+            &mut bridge,
+            once,
+            transforms::rot13(),
+            &ToolOptions::default(),
+        )
+        .unwrap();
         let round_trip = read_all(ctx, &mut bridge, twice);
         for (i, block) in round_trip.iter().enumerate() {
             assert_eq!(block, &pad(records[i].clone()), "rot13∘rot13 block {i}");
@@ -215,7 +224,11 @@ fn grep_finds_all_matches_in_order() {
         )
         .unwrap();
         let expected_blocks: Vec<u64> = (0..20).filter(|i| i % 3 == 0).collect();
-        assert_eq!(hits.len(), expected_blocks.len() * 2, "two hits per match block");
+        assert_eq!(
+            hits.len(),
+            expected_blocks.len() * 2,
+            "two hits per match block"
+        );
         let mut sorted = hits.clone();
         sorted.sort();
         assert_eq!(hits, sorted, "matches come back ordered");
@@ -379,8 +392,10 @@ fn sort_phase_times_and_pass_counts_are_reported() {
     let server = machine.server;
     let stats = sim.block_on(machine.frontend, "tool", move |ctx| {
         let mut bridge = BridgeClient::new(server);
-        let records: Vec<Vec<u8>> =
-            shuffled_keys(128, 9).iter().map(|&k| keyed_record(k, 2)).collect();
+        let records: Vec<Vec<u8>> = shuffled_keys(128, 9)
+            .iter()
+            .map(|&k| keyed_record(k, 2))
+            .collect();
         let src = write_file(ctx, &mut bridge, &records, CreateSpec::default());
         let (_, stats) = sort(
             ctx,
@@ -410,8 +425,10 @@ fn sort_scratch_files_are_cleaned_up() {
     let server = machine.server;
     sim.block_on(machine.frontend, "tool", move |ctx| {
         let mut bridge = BridgeClient::new(server);
-        let records: Vec<Vec<u8>> =
-            shuffled_keys(64, 11).iter().map(|&k| keyed_record(k, 3)).collect();
+        let records: Vec<Vec<u8>> = shuffled_keys(64, 11)
+            .iter()
+            .map(|&k| keyed_record(k, 3))
+            .collect();
         let src = write_file(ctx, &mut bridge, &records, CreateSpec::default());
         let (out1, _) = sort(
             ctx,
@@ -463,7 +480,94 @@ fn copy_tool_preserves_redundancy_mode() {
         ctx.delay(parsim::SimDuration::from_micros(500));
         for b in 0..blocks {
             let data = bridge.rand_read(ctx, dup, b).unwrap();
-            assert_eq!(&data[..136], &pad(records[b as usize].clone())[..136], "block {b}");
+            assert_eq!(
+                &data[..136],
+                &pad(records[b as usize].clone())[..136],
+                "block {b}"
+            );
         }
     });
+}
+
+#[test]
+fn batched_tools_match_unbatched() {
+    use bridge_core::BatchPolicy;
+    // Every tool, run with run-batched column streams, must produce exactly
+    // what the block-at-a-time protocol produces.
+    let records: Vec<Vec<u8>> = (0..61)
+        .map(|i| keyed_record((i * 7) % 23, i as u8))
+        .collect();
+    let run = |batch: BatchPolicy| {
+        let records = records.clone();
+        let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+        let server = machine.server;
+        sim.block_on(machine.frontend, "tool", move |ctx| {
+            let mut bridge = BridgeClient::new(server);
+            let src = write_file(ctx, &mut bridge, &records, CreateSpec::default());
+            let opts = ToolOptions {
+                batch,
+                ..ToolOptions::default()
+            };
+            let (copied, stats) = copy(ctx, &mut bridge, src, &opts).unwrap();
+            assert_eq!(stats.blocks, 61);
+            let copy_out = read_all(ctx, &mut bridge, copied);
+            let hits = grep(ctx, &mut bridge, src, b"\x00\x00\x00\x07".to_vec(), &opts).unwrap();
+            let summary = summarize(ctx, &mut bridge, src, &opts).unwrap();
+            let sort_opts = SortOptions {
+                in_core_records: 8,
+                tool: opts,
+                ..SortOptions::default()
+            };
+            let (sorted, sstats) = sort(ctx, &mut bridge, src, &sort_opts).unwrap();
+            assert_eq!(sstats.records, 61);
+            let sort_out = read_all(ctx, &mut bridge, sorted);
+            (copy_out, hits, summary, sort_out)
+        })
+    };
+    let baseline = run(BatchPolicy::Off);
+    for depth in [2u32, 8, 32] {
+        assert_eq!(run(BatchPolicy::Runs(depth)), baseline, "depth {depth}");
+    }
+    // And the baseline is right: copy preserves, sort orders by key (the
+    // parallel sort is not stable, so only keys are comparable).
+    assert_eq!(
+        baseline.0,
+        records.iter().cloned().map(pad).collect::<Vec<_>>()
+    );
+    let got_keys: Vec<[u8; 8]> = baseline.3.iter().map(|r| key_of(r)).collect();
+    let mut expected_keys: Vec<[u8; 8]> = records.iter().map(|r| key_of(r)).collect();
+    expected_keys.sort_unstable();
+    assert_eq!(got_keys, expected_keys);
+}
+
+#[test]
+fn batched_copy_sends_fewer_messages() {
+    use bridge_core::BatchPolicy;
+    // The headline batching claim at tool level: one LFS round trip per
+    // run instead of per block, in both directions.
+    let run = |batch: BatchPolicy| {
+        let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
+        let server = machine.server;
+        let (tx, rx) = std::sync::mpsc::channel();
+        sim.spawn(machine.frontend, "tool", move |ctx| {
+            let mut bridge = BridgeClient::new(server);
+            let records: Vec<Vec<u8>> = (0..64).map(|i| keyed_record(i, 3)).collect();
+            let src = write_file(ctx, &mut bridge, &records, CreateSpec::default());
+            let opts = ToolOptions {
+                batch,
+                ..ToolOptions::default()
+            };
+            let (_, stats) = copy(ctx, &mut bridge, src, &opts).unwrap();
+            let _ = tx.send(stats.blocks);
+        });
+        let stats = sim.run();
+        assert_eq!(rx.try_recv().unwrap(), 64);
+        stats.messages
+    };
+    let unbatched = run(BatchPolicy::Off);
+    let batched = run(BatchPolicy::Runs(8));
+    assert!(
+        batched < unbatched,
+        "batched copy should send fewer messages: {batched} < {unbatched}"
+    );
 }

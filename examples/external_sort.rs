@@ -37,8 +37,14 @@ fn main() {
         let (sorted, stats) = sort(ctx, &mut bridge, file, &opts).expect("sort");
 
         println!("sorted {} records on {p} nodes", stats.records);
-        println!("  local sort : {} ({} local merge passes)", stats.local_sort, stats.local_merge_passes);
-        println!("  merge      : {} ({} token-merge passes)", stats.merge, stats.merge_passes);
+        println!(
+            "  local sort : {} ({} local merge passes)",
+            stats.local_sort, stats.local_merge_passes
+        );
+        println!(
+            "  merge      : {} ({} token-merge passes)",
+            stats.merge, stats.merge_passes
+        );
         println!("  total      : {}", stats.total);
 
         // Verify: keys ascend.

@@ -68,7 +68,7 @@ fn main() {
             for b in 0..blocks {
                 match bridge.rand_read(ctx, file, b) {
                     Ok(data) => {
-                        assert_eq!(&data[..16], format!("precious record ").as_bytes());
+                        assert_eq!(&data[..16], b"precious record ");
                         ok += 1;
                     }
                     Err(_) => lost += 1,

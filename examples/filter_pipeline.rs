@@ -23,21 +23,24 @@ fn main() {
             line.truncate(80);
             let mut bytes = line.into_bytes();
             bytes.resize(80, b' ');
-            let block: Vec<u8> = bytes
-                .iter()
-                .cycle()
-                .take(960)
-                .copied()
-                .collect();
+            let block: Vec<u8> = bytes.iter().cycle().take(960).copied().collect();
             bridge.seq_write(ctx, plain, block).expect("write");
         }
         let before = summarize(ctx, &mut bridge, plain, &opts).expect("summary");
 
         let key = b"butterfly".to_vec();
-        let (cipher, enc_stats) =
-            copy_with(ctx, &mut bridge, plain, transforms::xor_cipher(key.clone()), &opts)
-                .expect("encrypt");
-        println!("encrypted {} blocks in {}", enc_stats.blocks, enc_stats.elapsed);
+        let (cipher, enc_stats) = copy_with(
+            ctx,
+            &mut bridge,
+            plain,
+            transforms::xor_cipher(key.clone()),
+            &opts,
+        )
+        .expect("encrypt");
+        println!(
+            "encrypted {} blocks in {}",
+            enc_stats.blocks, enc_stats.elapsed
+        );
 
         let mid = summarize(ctx, &mut bridge, cipher, &opts).expect("summary");
         assert_ne!(before.checksum, mid.checksum, "ciphertext differs");
@@ -45,7 +48,10 @@ fn main() {
         let (restored, dec_stats) =
             copy_with(ctx, &mut bridge, cipher, transforms::xor_cipher(key), &opts)
                 .expect("decrypt");
-        println!("decrypted {} blocks in {}", dec_stats.blocks, dec_stats.elapsed);
+        println!(
+            "decrypted {} blocks in {}",
+            dec_stats.blocks, dec_stats.elapsed
+        );
 
         let after = summarize(ctx, &mut bridge, restored, &opts).expect("summary");
         assert_eq!(before, after, "decrypt(encrypt(x)) == x");
@@ -53,8 +59,7 @@ fn main() {
 
         // A lexical pass over fixed-length lines, as the paper suggests.
         let (lexed, lex_stats) =
-            copy_with(ctx, &mut bridge, plain, transforms::lex_classes(80), &opts)
-                .expect("lex");
+            copy_with(ctx, &mut bridge, plain, transforms::lex_classes(80), &opts).expect("lex");
         println!("lexed {} blocks in {}", lex_stats.blocks, lex_stats.elapsed);
         bridge.open(ctx, lexed).expect("open");
         let first = bridge.seq_read(ctx, lexed).expect("read").expect("block");

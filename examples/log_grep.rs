@@ -48,7 +48,10 @@ fn main() {
         let tool_time = ctx.now() - t0;
 
         assert_eq!(hits.len(), naive_hits, "both methods agree");
-        println!("log: {blocks} blocks across {p} nodes; {} PANIC lines", hits.len());
+        println!(
+            "log: {blocks} blocks across {p} nodes; {} PANIC lines",
+            hits.len()
+        );
         println!("first hits: {:?}", &hits[..3.min(hits.len())]);
         println!("naive client-side scan: {naive_time}");
         println!("grep tool (code to data): {tool_time}");
@@ -71,8 +74,12 @@ fn make_log(blocks: u64) -> Vec<Vec<u8>> {
                 } else {
                     "INFO"
                 };
-                let mut line = format!("2026-07-06T12:{:02}:{:02} {level} unit=fs event={}",
-                    (i / 60) % 60, i % 60, i * 12 + line_no);
+                let mut line = format!(
+                    "2026-07-06T12:{:02}:{:02} {level} unit=fs event={}",
+                    (i / 60) % 60,
+                    i % 60,
+                    i * 12 + line_no
+                );
                 line.truncate(80);
                 let mut bytes = line.into_bytes();
                 bytes.resize(80, b' ');

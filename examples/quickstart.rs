@@ -50,8 +50,14 @@ fn main() {
         }
         let read_time = ctx.now() - t0;
 
-        println!("wrote 100 blocks in {write_time} of virtual time ({} per block)", write_time / 100);
-        println!("read  100 blocks in {read_time} of virtual time ({} per block)", read_time / 100);
+        println!(
+            "wrote 100 blocks in {write_time} of virtual time ({} per block)",
+            write_time / 100
+        );
+        println!(
+            "read  100 blocks in {read_time} of virtual time ({} per block)",
+            read_time / 100
+        );
         println!(
             "(sequential reads amortize disk positioning through full-track \
              buffering,\n which is why they are far cheaper than the 15 ms disk latency)"

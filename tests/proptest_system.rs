@@ -7,6 +7,7 @@ use bridge_repro::core::{
     PlacementSpec, BRIDGE_DATA,
 };
 use proptest::prelude::*;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -25,8 +26,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         slot.clone().prop_map(Op::Create),
         slot.clone().prop_map(Op::Delete),
         (slot.clone(), any::<u8>()).prop_map(|(slot, byte)| Op::Append { slot, byte }),
-        (slot.clone(), 0u16..64, any::<u8>())
-            .prop_map(|(slot, at, byte)| Op::Overwrite { slot, at, byte }),
+        (slot.clone(), 0u16..64, any::<u8>()).prop_map(|(slot, at, byte)| Op::Overwrite {
+            slot,
+            at,
+            byte
+        }),
         slot.clone().prop_map(Op::ReadSeqAll),
         (slot, 0u16..64).prop_map(|(slot, at)| Op::ReadRand { slot, at }),
     ]
@@ -52,7 +56,7 @@ fn run_ops(placement: PlacementSpec, ops: Vec<Op>) {
         for op in ops {
             match op {
                 Op::Create(slot) => {
-                    if !model.contains_key(&slot) {
+                    if let Entry::Vacant(open_slot) = model.entry(slot) {
                         let file = bridge
                             .create(
                                 ctx,
@@ -63,7 +67,7 @@ fn run_ops(placement: PlacementSpec, ops: Vec<Op>) {
                                 },
                             )
                             .unwrap();
-                        model.insert(slot, (file, Vec::new()));
+                        open_slot.insert((file, Vec::new()));
                     }
                 }
                 Op::Delete(slot) => {

@@ -1,9 +1,7 @@
 //! Whole-system integration tests: every layer together — simulator,
 //! disks, EFS, Bridge Server, and tools — under realistic scenarios.
 
-use bridge_repro::core::{
-    BridgeClient, BridgeConfig, BridgeMachine, CreateSpec, PlacementSpec,
-};
+use bridge_repro::core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec, PlacementSpec};
 use bridge_repro::tools::{
     copy, copy_with, grep, sort, summarize, transforms, SortOptions, ToolOptions,
 };
@@ -67,7 +65,9 @@ fn full_lifecycle_across_all_layers() {
             .unwrap();
         assert_eq!(freed, 600);
         let fresh = bridge.create(ctx, CreateSpec::default()).unwrap();
-        bridge.seq_write(ctx, fresh, b"still works".to_vec()).unwrap();
+        bridge
+            .seq_write(ctx, fresh, b"still works".to_vec())
+            .unwrap();
         assert_eq!(bridge.open(ctx, fresh).unwrap().size, 1);
     });
 }
@@ -93,7 +93,10 @@ fn runs_are_deterministic() {
     let (c1, t1) = run();
     let (c2, t2) = run();
     assert_eq!(c1, c2, "identical results");
-    assert_eq!(t1, t2, "identical virtual timelines, down to the nanosecond");
+    assert_eq!(
+        t1, t2,
+        "identical virtual timelines, down to the nanosecond"
+    );
 }
 
 #[test]
@@ -145,14 +148,23 @@ fn filters_compose_with_sort() {
             bridge.seq_write(ctx, plain, record(i)).unwrap();
         }
         let key = vec![0x42u8, 0x17];
-        let (cipher, _) =
-            copy_with(ctx, &mut bridge, plain, transforms::xor_cipher(key.clone()), &opts)
-                .unwrap();
-        let (sorted_cipher, _) =
-            sort(ctx, &mut bridge, cipher, &SortOptions::default()).unwrap();
-        let (restored, _) =
-            copy_with(ctx, &mut bridge, sorted_cipher, transforms::xor_cipher(key), &opts)
-                .unwrap();
+        let (cipher, _) = copy_with(
+            ctx,
+            &mut bridge,
+            plain,
+            transforms::xor_cipher(key.clone()),
+            &opts,
+        )
+        .unwrap();
+        let (sorted_cipher, _) = sort(ctx, &mut bridge, cipher, &SortOptions::default()).unwrap();
+        let (restored, _) = copy_with(
+            ctx,
+            &mut bridge,
+            sorted_cipher,
+            transforms::xor_cipher(key),
+            &opts,
+        )
+        .unwrap();
         // The multiset of plaintext blocks is preserved.
         let a = summarize(ctx, &mut bridge, plain, &opts).unwrap();
         let b = summarize(ctx, &mut bridge, restored, &opts).unwrap();
@@ -185,8 +197,7 @@ fn tools_work_on_every_strict_placement() {
             for i in 0..50u64 {
                 bridge.seq_write(ctx, file, record(i)).unwrap();
             }
-            let (sorted, stats) =
-                sort(ctx, &mut bridge, file, &SortOptions::default()).unwrap();
+            let (sorted, stats) = sort(ctx, &mut bridge, file, &SortOptions::default()).unwrap();
             assert_eq!(stats.records, 50, "{placement:?}");
             bridge.open(ctx, sorted).unwrap();
             let mut prev = vec![0u8; 8];

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The simulation kernel only needs `crossbeam::channel`'s basics —
+//! `unbounded`, `bounded`, cloneable senders, blocking `send`/`recv` with
+//! disconnect errors — so this vendored crate provides exactly that over
+//! `Mutex` + `Condvar`. Performance is adequate: the DES scheduler strictly
+//! alternates one running process with the scheduler, so channels are never
+//! contended.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// Receiving half; cloneable (any one receiver gets each message).
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// The message could not be delivered: all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// The channel is empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A channel holding at most `cap` undelivered messages; `send` blocks
+    /// while full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity channels are not supported");
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `value`, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.inner.lock().expect("channel poisoned");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match inner.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.0.not_full.wait(inner).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Takes the next message, blocking until one arrives; errs once
+        /// the channel is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.not_empty.wait(inner).expect("channel poisoned");
+            }
+        }
+
+        /// Takes the next message if one is already queued.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.inner.lock().expect("channel poisoned");
+            match inner.queue.pop_front() {
+                Some(value) => {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    Ok(value)
+                }
+                None => Err(RecvError),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().expect("channel poisoned").senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().expect("channel poisoned").receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().expect("channel poisoned");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().expect("channel poisoned");
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_channel() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn recv_errors_after_last_sender_drops() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            drop(tx);
+            tx2.send(2).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_receiver_drops() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(5).is_err());
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1u32).unwrap();
+            let handle = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until the 1 is taken
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn cross_thread_rendezvous() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+            handle.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, range/tuple/`any`/`prop_oneof!`/
+//! `prop_map` strategies, `collection::vec`, `array::uniform32`, and a
+//! simple `.{a,b}`-style string strategy. Failing cases are **not
+//! shrunk**; instead every generated input is printed verbatim on failure
+//! together with the case number, and generation is deterministic (seeded
+//! from the test name), so failures reproduce exactly on re-run.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// `proptest::collection` — strategies for containers.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `proptest::array` — strategies for fixed-size arrays.
+pub mod array {
+    use crate::strategy::{ArrayStrategy, Strategy};
+
+    /// A `[T; 32]` with every element drawn from `element`.
+    pub fn uniform32<S: Strategy>(element: S) -> ArrayStrategy<S, 32> {
+        ArrayStrategy { element }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(arms)
+    }};
+}
+
+/// Declares property-test functions: each named argument is drawn from its
+/// strategy and the body re-runs for `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::effective_cases(config.cases);
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..cases {
+                $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $( let $arg = ::std::clone::Clone::clone(&$arg); )+
+                    $body
+                }));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed with inputs:",
+                        stringify!($name),
+                        case + 1,
+                        cases,
+                    );
+                    $( eprintln!("  {} = {:?}", stringify!($arg), $arg); )+
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
