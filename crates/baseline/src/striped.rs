@@ -27,6 +27,9 @@ pub struct StripedDisk {
     blocks: Vec<Option<Bytes>>,
     /// Per-member buffered track (member-local track index).
     buffered: Vec<Option<u32>>,
+    /// Per-member per-block validity of the buffered track: all blocks
+    /// after a full-track load, only the transferred block after a write.
+    buffered_valid: Vec<Vec<bool>>,
     stats: DiskStats,
 }
 
@@ -45,6 +48,10 @@ impl StripedDisk {
             profile,
             blocks: vec![None; capacity],
             buffered: vec![None; members as usize],
+            buffered_valid: vec![
+                vec![false; member_geometry.blocks_per_track as usize];
+                members as usize
+            ],
             stats: DiskStats::default(),
         }
     }
@@ -88,22 +95,34 @@ impl BlockDevice for StripedDisk {
         let idx = self.check(addr)?;
         let (member, local) = self.split(addr);
         let track = local / self.member_geometry.blocks_per_track;
+        let offset = (local % self.member_geometry.blocks_per_track) as usize;
         self.stats.reads += 1;
-        if self.buffered[member] == Some(track) {
+        let t0 = ctx.now();
+        let hit = self.buffered[member] == Some(track) && self.buffered_valid[member][offset];
+        let d = if hit {
             self.stats.buffer_hits += 1;
-            let d = self.profile.transfer_per_block;
-            self.charge(ctx, d);
+            self.profile.transfer_per_block
         } else {
             // All members position and stream in parallel; the caller
             // waits one track's worth, the stripe set loads p tracks.
             self.stats.track_loads += 1;
-            let d = self.profile.positioning
-                + self.profile.transfer_per_block
-                    * u64::from(self.member_geometry.blocks_per_track);
-            self.charge(ctx, d);
-            for b in self.buffered.iter_mut() {
+            self.profile.positioning
+                + self.profile.transfer_per_block * u64::from(self.member_geometry.blocks_per_track)
+        };
+        self.charge(ctx, d);
+        if !hit {
+            for (b, valid) in self.buffered.iter_mut().zip(&mut self.buffered_valid) {
                 *b = Some(track);
+                valid.fill(true);
             }
+        }
+        if ctx.trace_enabled() {
+            let name = if hit {
+                "disk.read.hit"
+            } else {
+                "disk.read.load"
+            };
+            ctx.trace_span("disk", name, t0, &[("busy", d.as_nanos())]);
         }
         match &self.blocks[idx] {
             Some(data) => Ok(data.clone()),
@@ -122,9 +141,22 @@ impl BlockDevice for StripedDisk {
         let (member, local) = self.split(addr);
         self.stats.writes += 1;
         let d = self.profile.positioning + self.profile.transfer_per_block;
+        let t0 = ctx.now();
         self.charge(ctx, d);
+        if ctx.trace_enabled() {
+            ctx.trace_span("disk", "disk.write", t0, &[("busy", d.as_nanos())]);
+        }
         self.blocks[idx] = Some(Bytes::copy_from_slice(data));
-        self.buffered[member] = Some(local / self.member_geometry.blocks_per_track);
+        // Only the transferred block becomes valid in the member's buffer;
+        // marking the whole track buffered here would make later reads of
+        // its untouched neighbors phantom hits.
+        let track = local / self.member_geometry.blocks_per_track;
+        let offset = (local % self.member_geometry.blocks_per_track) as usize;
+        if self.buffered[member] != Some(track) {
+            self.buffered[member] = Some(track);
+            self.buffered_valid[member].fill(false);
+        }
+        self.buffered_valid[member][offset] = true;
         Ok(())
     }
 
@@ -230,6 +262,26 @@ mod tests {
         // 4 misses, 124 hits.
         assert_eq!(loads, 4);
         assert_eq!(hits, 124);
+    }
+
+    #[test]
+    fn write_does_not_phantom_buffer_the_member_track() {
+        // Regression test mirroring SimDisk: a write validates only the
+        // block it transferred, so the neighbor on the same member track
+        // still pays a full miss.
+        on(|ctx, disk| {
+            // Blocks 0 and 4 both live on member 0, local track 0.
+            disk.write_raw(BlockAddr::new(4), &vec![9u8; 1024]);
+            disk.write(ctx, BlockAddr::new(0), &vec![1u8; 1024])
+                .unwrap();
+            let t0 = ctx.now();
+            disk.read(ctx, BlockAddr::new(4)).unwrap();
+            assert_eq!(ctx.now() - t0, SimDuration::from_millis(23));
+            // Rereading the written block itself is a hit.
+            let t1 = ctx.now();
+            disk.read(ctx, BlockAddr::new(0)).unwrap();
+            assert_eq!(ctx.now() - t1, SimDuration::from_millis(1));
+        });
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //! for p ∈ {2, 4, 8, 16, 32}, plus the records-per-second series plotted
 //! beside the table (475 records/s at p = 32 in the paper).
 
-use bridge_bench::report::{ascii_series, secs, Table};
+use bridge_bench::report::{ascii_series, kernel_stats, secs, Table};
 use bridge_bench::{
-    file_blocks, paper_machine, records_per_second, speedup, write_workload, PAPER_PROCESSORS,
+    file_blocks, paper_machine, paper_machine_traced, records_per_second, speedup, write_workload,
+    PAPER_PROCESSORS,
 };
 use bridge_core::BridgeClient;
 use bridge_tools::{copy, ToolOptions};
+use bridge_trace::{Metrics, TraceCollector};
 use parsim::SimDuration;
 
 const PAPER_SECONDS: [f64; 5] = [311.6, 156.0, 79.3, 41.0, 21.6];
@@ -68,4 +70,24 @@ fn main() {
         "\nSpeedup p=2 → p=32: {s:.1}x measured (ideal 16.0x; paper {:.1}x)",
         PAPER_SECONDS[0] / PAPER_SECONDS[4]
     );
+
+    // BRIDGE_TRACE=1: re-run the p=4 row with the trace collector
+    // installed and render the metrics registry next to the kernel
+    // counters. Tracing is observation-only, so the traced run must land
+    // on exactly the table's p=4 virtual time.
+    if std::env::var("BRIDGE_TRACE").is_ok() {
+        let collector = TraceCollector::install();
+        let (mut sim, machine) = paper_machine_traced(4, collector.as_tracer());
+        let server = machine.server;
+        let t = sim.block_on(machine.frontend, "bench", move |ctx| {
+            let mut bridge = BridgeClient::new(server);
+            let src = write_workload(ctx, &mut bridge, blocks, 42);
+            let (_, stats) = copy(ctx, &mut bridge, src, &ToolOptions::default()).expect("copy");
+            stats.elapsed
+        });
+        assert_eq!(t, elapsed[1], "tracing changed the p=4 copy time");
+        println!("\n### Trace metrics — p = 4 copy (BRIDGE_TRACE)");
+        println!("{}", kernel_stats(&sim.stats()));
+        print!("{}", Metrics::from_trace(&collector.snapshot()).render());
+    }
 }

@@ -40,6 +40,18 @@ pub fn paper_machine(p: u32) -> (parsim::Simulation, BridgeMachine) {
     BridgeMachine::build(&BridgeConfig::paper(p))
 }
 
+/// Builds the paper's machine at breadth `p` with `tracer` installed.
+/// Tracing is observation-only: the traced machine reproduces the
+/// untraced one's virtual times and kernel counters exactly.
+pub fn paper_machine_traced(
+    p: u32,
+    tracer: parsim::TracerHandle,
+) -> (parsim::Simulation, BridgeMachine) {
+    let mut config = BridgeConfig::paper(p);
+    config.tracer = Some(tracer);
+    BridgeMachine::build(&config)
+}
+
 /// Writes `blocks` key-shuffled records into a fresh default-placement
 /// file (setup time is excluded by measuring around, not through, this).
 pub fn write_workload(

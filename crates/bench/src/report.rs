@@ -136,12 +136,24 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
 
 /// A crude ASCII rendering of a (x, y) series, echoing the paper's little
 /// records-per-second plots.
+///
+/// Bars scale against the largest finite positive y; rows whose y is not
+/// a finite positive number (or when no such maximum exists — empty or
+/// all-negative series) get zero bars, and bars never exceed `width`.
 pub fn ascii_series(title: &str, points: &[(f64, f64)], width: usize) -> String {
-    let max_y = points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    let max_y = points
+        .iter()
+        .map(|p| p.1)
+        .filter(|y| y.is_finite() && *y > 0.0)
+        .fold(0.0_f64, f64::max);
     let mut out = format!("{title}\n");
+    if points.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
     for (x, y) in points {
-        let bars = if max_y > 0.0 {
-            ((y / max_y) * width as f64).round() as usize
+        let bars = if max_y > 0.0 && y.is_finite() && *y > 0.0 {
+            (((y / max_y) * width as f64).round() as usize).min(width)
         } else {
             0
         };
@@ -223,5 +235,38 @@ mod tests {
     fn ascii_series_scales_bars() {
         let s = ascii_series("plot", &[(2.0, 10.0), (32.0, 100.0)], 20);
         assert!(s.contains("####################"));
+    }
+
+    #[test]
+    fn ascii_series_empty_input_is_marked_not_garbage() {
+        let s = ascii_series("plot", &[], 20);
+        assert_eq!(s, "plot\n  (no data)\n");
+    }
+
+    #[test]
+    fn ascii_series_all_negative_draws_no_bars() {
+        let s = ascii_series("plot", &[(1.0, -5.0), (2.0, -1.0)], 20);
+        assert!(
+            !s.contains('#'),
+            "negative values must not render bars: {s}"
+        );
+        assert!(s.contains("-5.0") && s.contains("-1.0"));
+    }
+
+    #[test]
+    fn ascii_series_ignores_non_finite_and_clamps_width() {
+        let s = ascii_series(
+            "plot",
+            &[(1.0, f64::NAN), (2.0, f64::INFINITY), (3.0, 50.0)],
+            10,
+        );
+        // The finite point owns the full width; NaN/inf rows draw nothing.
+        for line in s.lines().skip(1) {
+            let bars = line.matches('#').count();
+            assert!(bars <= 10, "bar overflow in {line:?}");
+        }
+        assert!(s.lines().nth(3).unwrap().contains("##########"));
+        assert!(!s.lines().nth(1).unwrap().contains('#'));
+        assert!(!s.lines().nth(2).unwrap().contains('#'));
     }
 }

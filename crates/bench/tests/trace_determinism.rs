@@ -1,0 +1,76 @@
+//! Tracing must be observation-only: with a collector installed, every
+//! [`parsim::RunStats`] counter and the virtual end time must match the
+//! untraced run bit for bit, on both a Table-2-style basic-operation
+//! workload and a Table-3-style copy workload.
+
+use bridge_bench::{paper_machine, paper_machine_traced, write_workload};
+use bridge_core::{BridgeClient, CreateSpec};
+use bridge_tools::{copy, ToolOptions};
+use bridge_trace::TraceCollector;
+use parsim::{RunStats, SimDuration};
+
+/// Runs `f` on the paper machine at breadth `p`, with or without the
+/// trace collector, returning the workload's virtual duration and the
+/// kernel's run counters.
+fn measure<R: Send + 'static>(
+    p: u32,
+    traced: bool,
+    f: impl FnOnce(&mut parsim::Ctx, &mut BridgeClient) -> R + Send + 'static,
+) -> (R, RunStats, u64) {
+    let collector = traced.then(TraceCollector::install);
+    let (mut sim, machine) = match &collector {
+        Some(c) => paper_machine_traced(p, c.as_tracer()),
+        None => paper_machine(p),
+    };
+    let server = machine.server;
+    let r = sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        f(ctx, &mut bridge)
+    });
+    let spans = collector.map_or(0, |c| c.snapshot().spans.len() as u64);
+    (r, sim.stats(), spans)
+}
+
+fn table2_style_ops(ctx: &mut parsim::Ctx, bridge: &mut BridgeClient) -> SimDuration {
+    let t0 = ctx.now();
+    let file = bridge.create(ctx, CreateSpec::default()).expect("create");
+    for i in 0..96u64 {
+        bridge
+            .seq_write(ctx, file, bridge_bench::workload::record_with_key(i, 1))
+            .expect("write");
+    }
+    bridge.open(ctx, file).expect("open");
+    let mut read = 0u64;
+    while bridge.seq_read(ctx, file).expect("read").is_some() {
+        read += 1;
+    }
+    assert_eq!(read, 96);
+    bridge.delete(ctx, file).expect("delete");
+    ctx.now() - t0
+}
+
+fn table3_style_copy(ctx: &mut parsim::Ctx, bridge: &mut BridgeClient) -> SimDuration {
+    let src = write_workload(ctx, bridge, 256, 42);
+    let (_, stats) = copy(ctx, bridge, src, &ToolOptions::default()).expect("copy");
+    stats.elapsed
+}
+
+#[test]
+fn tracing_does_not_change_basic_op_timing() {
+    let (plain_t, plain_stats, _) = measure(4, false, table2_style_ops);
+    let (traced_t, traced_stats, spans) = measure(4, true, table2_style_ops);
+    assert_eq!(plain_t, traced_t, "virtual op timing changed under tracing");
+    assert_eq!(plain_stats, traced_stats, "kernel counters changed");
+    assert!(spans > 0, "the traced run recorded no spans");
+}
+
+#[test]
+fn tracing_does_not_change_copy_timing() {
+    for p in [2u32, 4] {
+        let (plain_t, plain_stats, _) = measure(p, false, table3_style_copy);
+        let (traced_t, traced_stats, spans) = measure(p, true, table3_style_copy);
+        assert_eq!(plain_t, traced_t, "p={p}: copy time changed under tracing");
+        assert_eq!(plain_stats, traced_stats, "p={p}: kernel counters changed");
+        assert!(spans > 0, "p={p}: the traced run recorded no spans");
+    }
+}

@@ -7,7 +7,7 @@
 
 use crate::server::{spawn_bridge_agent, spawn_bridge_server, BridgeServerConfig};
 use bridge_efs::{spawn_lfs, Efs, EfsConfig};
-use parsim::{NodeId, ProcId, SimConfig, SimDuration, Simulation, UniformLatency};
+use parsim::{NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle, UniformLatency};
 use simdisk::{DiskGeometry, DiskProfile, SimDisk};
 
 /// Everything needed to stand up a Bridge machine.
@@ -31,6 +31,9 @@ pub struct BridgeConfig {
     pub write_behind: Option<u32>,
     /// Simulation seed (determinism).
     pub seed: u64,
+    /// Optional virtual-time tracer (see the `bridge-trace` crate).
+    /// `None` installs the no-op tracer; tracing never changes timing.
+    pub tracer: Option<TracerHandle>,
 }
 
 impl BridgeConfig {
@@ -46,6 +49,7 @@ impl BridgeConfig {
             latency: UniformLatency::default(),
             write_behind: None,
             seed: 0x00B2_1D6E,
+            tracer: None,
         }
     }
 
@@ -73,6 +77,7 @@ impl BridgeConfig {
             latency: UniformLatency::constant(SimDuration::ZERO),
             write_behind: None,
             seed: 0x00B2_1D6E,
+            tracer: None,
         }
     }
 }
@@ -112,6 +117,7 @@ impl BridgeMachine {
         let mut sim = Simulation::new(SimConfig {
             latency: Box::new(config.latency),
             seed: config.seed,
+            tracer: config.tracer.clone(),
         });
         let machine = BridgeMachine::build_in(&mut sim, config);
         (sim, machine)

@@ -154,6 +154,28 @@ pub enum BridgeCmd {
     GetInfo,
 }
 
+impl BridgeCmd {
+    /// Stable span/metric name for this command, e.g. `"bridge.seq_read"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BridgeCmd::Create(_) => "bridge.create",
+            BridgeCmd::Delete { .. } => "bridge.delete",
+            BridgeCmd::DeleteMany { .. } => "bridge.delete_many",
+            BridgeCmd::Open { .. } => "bridge.open",
+            BridgeCmd::SeqRead { .. } => "bridge.seq_read",
+            BridgeCmd::SeqWrite { .. } => "bridge.seq_write",
+            BridgeCmd::RandRead { .. } => "bridge.rand_read",
+            BridgeCmd::RandWrite { .. } => "bridge.rand_write",
+            BridgeCmd::ParallelOpen { .. } => "bridge.parallel_open",
+            BridgeCmd::JobRead { .. } => "bridge.job_read",
+            BridgeCmd::JobWrite { .. } => "bridge.job_write",
+            BridgeCmd::JobClose { .. } => "bridge.job_close",
+            BridgeCmd::Rebuild { .. } => "bridge.rebuild",
+            BridgeCmd::GetInfo => "bridge.get_info",
+        }
+    }
+}
+
 /// A reply from the Bridge Server.
 #[derive(Debug)]
 pub struct BridgeReply {

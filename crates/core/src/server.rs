@@ -302,8 +302,13 @@ pub fn spawn_bridge_server(
             let env = ctx.recv_where(|e| e.is::<BridgeRequest>());
             let from = env.from();
             let req = env.downcast::<BridgeRequest>().expect("matched type");
+            let cmd_name = req.cmd.name();
+            let t0 = ctx.now();
             ctx.delay(server.config.cpu_per_request);
             let result = server.dispatch(ctx, from, req.cmd);
+            if ctx.trace_enabled() {
+                ctx.trace_span("bridge", cmd_name, t0, &[("ok", u64::from(result.is_ok()))]);
+            }
             let reply = BridgeReply { id: req.id, result };
             let bytes = reply_wire_size(&reply);
             ctx.send_sized(from, reply, bytes);

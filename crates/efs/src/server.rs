@@ -88,6 +88,28 @@ pub enum LfsOp {
     },
     /// Flush directory and allocation state.
     Sync,
+    /// Fetch the underlying disk's operation counters (free: a control
+    /// query, not a media access). Lets tools and trace reconciliation
+    /// reach the per-node [`simdisk::DiskStats`] that only the LFS
+    /// process can see.
+    DiskStats,
+}
+
+impl LfsOp {
+    /// Stable span/metric name for this operation, e.g. `"lfs.read_run"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LfsOp::Create { .. } => "lfs.create",
+            LfsOp::Delete { .. } => "lfs.delete",
+            LfsOp::Read { .. } => "lfs.read",
+            LfsOp::Write { .. } => "lfs.write",
+            LfsOp::ReadRun { .. } => "lfs.read_run",
+            LfsOp::WriteRun { .. } => "lfs.write_run",
+            LfsOp::Stat { .. } => "lfs.stat",
+            LfsOp::Sync => "lfs.sync",
+            LfsOp::DiskStats => "lfs.disk_stats",
+        }
+    }
 }
 
 /// A reply from an LFS server.
@@ -131,6 +153,8 @@ pub enum LfsData {
     },
     /// Stat completed.
     Info(FileInfo),
+    /// DiskStats completed.
+    DiskCounters(simdisk::DiskStats),
 }
 
 /// Fault-injection control for an LFS server process (experiments only):
@@ -192,6 +216,8 @@ pub fn serve<D: simdisk::BlockDevice>(
     efs: &mut Efs<D>,
     req: LfsRequest,
 ) -> LfsReply {
+    let op_name = req.op.name();
+    let t0 = ctx.now();
     let result = match req.op {
         LfsOp::Create { file } => efs.create(ctx, file).map(|()| LfsData::Done),
         LfsOp::Delete { file } => efs.delete(ctx, file).map(LfsData::Freed),
@@ -224,7 +250,11 @@ pub fn serve<D: simdisk::BlockDevice>(
             .map(|addrs| LfsData::WrittenRun { addrs }),
         LfsOp::Stat { file } => efs.stat(ctx, file).map(LfsData::Info),
         LfsOp::Sync => efs.sync(ctx).map(|()| LfsData::Done),
+        LfsOp::DiskStats => Ok(LfsData::DiskCounters(efs.disk().stats())),
     };
+    if ctx.trace_enabled() {
+        ctx.trace_span("lfs", op_name, t0, &[("ok", u64::from(result.is_ok()))]);
+    }
     LfsReply { id: req.id, result }
 }
 

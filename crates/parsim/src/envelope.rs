@@ -19,6 +19,8 @@ pub struct Envelope {
     pub(crate) sent_at: SimTime,
     pub(crate) delivered_at: SimTime,
     pub(crate) payload: Box<dyn Any + Send>,
+    /// Message id pairing the tracer's flow_send/flow_recv events.
+    pub(crate) flow: u64,
 }
 
 impl Envelope {
@@ -81,6 +83,7 @@ mod tests {
             sent_at: SimTime::ZERO,
             delivered_at: SimTime::from_nanos(5),
             payload,
+            flow: 0,
         }
     }
 

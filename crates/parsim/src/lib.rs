@@ -52,9 +52,11 @@ mod process;
 mod scheduler;
 mod time;
 mod topology;
+pub mod trace;
 
 pub use envelope::Envelope;
 pub use process::{Ctx, ProcFn, ProcId};
 pub use scheduler::{RunStats, SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LatencyModel, NodeId, UniformLatency, ZeroLatency};
+pub use trace::{nop_tracer, NopTracer, TraceArg, Tracer, TracerHandle};

@@ -3,6 +3,7 @@
 use crate::envelope::Envelope;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NodeId;
+use crate::trace::{TraceArg, Tracer, TracerHandle};
 use crossbeam::channel::{Receiver, Sender};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -85,6 +86,7 @@ pub struct Ctx {
     resume_rx: Receiver<Resume>,
     stash: VecDeque<Envelope>,
     rng: SmallRng,
+    tracer: TracerHandle,
 }
 
 impl Ctx {
@@ -94,6 +96,7 @@ impl Ctx {
         syscall_tx: Sender<(ProcId, Syscall)>,
         resume_rx: Receiver<Resume>,
         rng_seed: u64,
+        tracer: TracerHandle,
     ) -> Self {
         Ctx {
             pid,
@@ -103,6 +106,7 @@ impl Ctx {
             resume_rx,
             stash: VecDeque::new(),
             rng: SmallRng::seed_from_u64(rng_seed),
+            tracer,
         }
     }
 
@@ -154,6 +158,30 @@ impl Ctx {
     /// reproducible.
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.rng
+    }
+
+    /// The simulation's tracer (the no-op tracer unless one was installed
+    /// via [`SimConfig`](crate::SimConfig)).
+    pub fn tracer(&self) -> &dyn Tracer {
+        &*self.tracer
+    }
+
+    /// True when a recording tracer is installed. Gate span/instant
+    /// emission on this so disabled runs construct nothing.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Emits a span attributed to this process, closing at the current
+    /// virtual time. Call with the `start` captured before the traced work.
+    pub fn trace_span(&self, cat: &'static str, name: &str, start: SimTime, args: &[TraceArg]) {
+        self.tracer.span(self.pid, cat, name, start, self.now, args);
+    }
+
+    /// Emits a zero-duration marker attributed to this process at the
+    /// current virtual time.
+    pub fn trace_instant(&self, cat: &'static str, name: &str, args: &[TraceArg]) {
+        self.tracer.instant(self.pid, cat, name, self.now, args);
     }
 
     /// Advances virtual time by `d`, modelling computation or device service

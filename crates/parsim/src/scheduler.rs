@@ -10,6 +10,7 @@ use crate::envelope::Envelope;
 use crate::process::{Ctx, ProcFn, ProcId, Resume, ShutdownSignal, Syscall};
 use crate::time::SimTime;
 use crate::topology::{LatencyModel, NodeId, UniformLatency};
+use crate::trace::{nop_tracer, TracerHandle};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -24,6 +25,10 @@ pub struct SimConfig {
     pub latency: Box<dyn LatencyModel>,
     /// Seed for per-process deterministic RNGs.
     pub seed: u64,
+    /// Virtual-time tracer (`None` = the no-op tracer). Tracers observe
+    /// only: installing one never changes scheduling, [`RunStats`], or the
+    /// virtual end time.
+    pub tracer: Option<TracerHandle>,
 }
 
 impl Default for SimConfig {
@@ -31,6 +36,7 @@ impl Default for SimConfig {
         SimConfig {
             latency: Box::new(UniformLatency::default()),
             seed: 0x0b71dce5,
+            tracer: None,
         }
     }
 }
@@ -40,6 +46,7 @@ impl std::fmt::Debug for SimConfig {
         f.debug_struct("SimConfig")
             .field("latency", &"<dyn LatencyModel>")
             .field("seed", &self.seed)
+            .field("tracer", &self.tracer)
             .finish()
     }
 }
@@ -84,6 +91,11 @@ struct ProcSlot {
     mailbox: VecDeque<Envelope>,
     /// Generation counter invalidating stale wake events.
     wake_gen: u64,
+    /// Virtual time the current run interval began (tracing only): set
+    /// when the process leaves a receive wait, cleared when it next blocks
+    /// in one. Delays do not end an interval — they model the process
+    /// actively computing or waiting on a device, not sitting idle.
+    run_started: Option<SimTime>,
 }
 
 enum EventKind {
@@ -152,6 +164,9 @@ pub struct Simulation {
     latency: Box<dyn LatencyModel>,
     seed: u64,
     stats: RunStats,
+    tracer: TracerHandle,
+    /// Next message id handed to the tracer's flow events.
+    flow_seq: u64,
 }
 
 /// Suppress the panic-hook output for the internal shutdown unwind while
@@ -195,13 +210,19 @@ impl Simulation {
             latency: config.latency,
             seed: config.seed,
             stats: RunStats::default(),
+            tracer: config.tracer.unwrap_or_else(nop_tracer),
+            flow_seq: 0,
         }
     }
 
     /// Adds a processing node and returns its id.
     pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
-        self.nodes.push(name.into());
+        let name = name.into();
+        if self.tracer.enabled() {
+            self.tracer.node_named(id, &name);
+        }
+        self.nodes.push(name);
         id
     }
 
@@ -264,15 +285,19 @@ impl Simulation {
             "node {node} does not exist"
         );
         let pid = ProcId(u32::try_from(self.procs.len()).expect("too many processes"));
+        if self.tracer.enabled() {
+            self.tracer.proc_named(pid, node, &name);
+        }
         let (resume_tx, resume_rx) = unbounded();
         let syscall_tx = self.syscall_tx.clone();
         let rng_seed = mix_seed(self.seed, pid.0);
+        let tracer = self.tracer.clone();
         let serial = THREAD_SERIAL.fetch_add(1, Ordering::Relaxed);
         let thread_name = format!("parsim-{serial}-{name}");
         let join = std::thread::Builder::new()
             .name(thread_name)
             .spawn(move || {
-                let mut ctx = Ctx::new(pid, node, syscall_tx, resume_rx, rng_seed);
+                let mut ctx = Ctx::new(pid, node, syscall_tx, resume_rx, rng_seed, tracer);
                 // The shutdown unwind raises ShutdownSignal from inside
                 // wait_start/recv/delay; catch it here so the thread exits
                 // quietly. Genuine panics are reported back to the scheduler.
@@ -299,6 +324,7 @@ impl Simulation {
             state: ProcState::Starting,
             mailbox: VecDeque::new(),
             wake_gen: 0,
+            run_started: None,
         });
         self.stats.spawned += 1;
         self.push_event(self.now, EventKind::Start { pid });
@@ -313,6 +339,17 @@ impl Simulation {
     /// Panics if a simulated process panics, propagating its message.
     pub fn run(&mut self) -> RunStats {
         self.run_inner(None)
+    }
+
+    /// The counters accumulated so far, with `end_time` at the current
+    /// clock — the same value the most recent [`run`](Simulation::run)
+    /// returned. Lets callers of [`block_on`](Simulation::block_on)
+    /// (which keeps the process result, not the run's stats) read them.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            end_time: self.now,
+            ..self.stats
+        }
     }
 
     /// Runs until the event queue is exhausted or the next event would
@@ -349,6 +386,9 @@ impl Simulation {
                 }
                 EventKind::Deliver { dst, env } => {
                     self.stats.messages += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.flow_recv(env.flow, env.from, dst, self.now);
+                    }
                     let slot = &mut self.procs[dst.index()];
                     match slot.state {
                         ProcState::BlockedRecv | ProcState::BlockedRecvTimeout => {
@@ -394,9 +434,23 @@ impl Simulation {
     fn resume(&mut self, pid: ProcId, r: Resume) {
         let slot = &mut self.procs[pid.index()];
         slot.state = ProcState::Running;
+        // A run interval opens when the process leaves a receive wait (or
+        // starts); a delay wake-up resumes the interval already open.
+        if slot.run_started.is_none() {
+            slot.run_started = Some(self.now);
+        }
         slot.resume_tx
             .send(r)
             .expect("process thread terminated without Exit");
+    }
+
+    /// Closes `pid`'s run interval (if open) and reports it to the tracer.
+    fn trace_run_end(&mut self, pid: ProcId) {
+        if let Some(start) = self.procs[pid.index()].run_started.take() {
+            if self.tracer.enabled() {
+                self.tracer.span(pid, "sched", "run", start, self.now, &[]);
+            }
+        }
     }
 
     /// Services syscalls from `pid` until it blocks or exits.
@@ -423,11 +477,17 @@ impl Simulation {
                         self.procs[dst.index()].node,
                         bytes,
                     );
+                    let flow = self.flow_seq;
+                    self.flow_seq += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.flow_send(flow, pid, dst, self.now, bytes);
+                    }
                     let env = Envelope {
                         from: pid,
                         sent_at: self.now,
                         delivered_at: self.now + lat,
                         payload,
+                        flow,
                     };
                     self.push_event(self.now + lat, EventKind::Deliver { dst, env });
                 }
@@ -450,6 +510,7 @@ impl Simulation {
                             .expect("process thread terminated without Exit");
                     } else {
                         slot.state = ProcState::BlockedRecv;
+                        self.trace_run_end(pid);
                         return;
                     }
                 }
@@ -464,6 +525,7 @@ impl Simulation {
                         slot.state = ProcState::BlockedRecvTimeout;
                         let gen = slot.wake_gen;
                         self.push_event(self.now + d, EventKind::Wake { pid, gen });
+                        self.trace_run_end(pid);
                         return;
                     }
                 }
@@ -476,6 +538,7 @@ impl Simulation {
                     return;
                 }
                 Syscall::Exit { panic } => {
+                    self.trace_run_end(pid);
                     let slot = &mut self.procs[pid.index()];
                     slot.state = ProcState::Dead;
                     if let Some(msg) = panic {

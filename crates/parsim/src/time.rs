@@ -252,19 +252,24 @@ impl fmt::Display for SimTime {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Magnitude picks the unit; an exact multiple drops the fraction.
+        // (Magnitude first, so an 11.2 s duration never prints as
+        // 11227560us just because it happens to be a whole microsecond.)
         let ns = self.0;
-        if ns == 0 {
-            write!(f, "0ns")
-        } else if ns.is_multiple_of(1_000_000_000) {
-            write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns.is_multiple_of(1_000_000) {
-            write!(f, "{}ms", ns / 1_000_000)
-        } else if ns.is_multiple_of(1_000) {
-            write!(f, "{}us", ns / 1_000)
-        } else if ns >= 1_000_000_000 {
-            write!(f, "{:.3}s", self.as_secs_f64())
+        if ns >= 1_000_000_000 {
+            if ns.is_multiple_of(1_000_000_000) {
+                write!(f, "{}s", ns / 1_000_000_000)
+            } else {
+                write!(f, "{:.3}s", self.as_secs_f64())
+            }
         } else if ns >= 1_000_000 {
-            write!(f, "{:.3}ms", self.as_millis_f64())
+            if ns.is_multiple_of(1_000_000) {
+                write!(f, "{}ms", ns / 1_000_000)
+            } else {
+                write!(f, "{:.3}ms", self.as_millis_f64())
+            }
+        } else if ns >= 1_000 && ns.is_multiple_of(1_000) {
+            write!(f, "{}us", ns / 1_000)
         } else {
             write!(f, "{ns}ns")
         }
@@ -327,7 +332,9 @@ mod tests {
         assert_eq!(SimDuration::from_micros(17).to_string(), "17us");
         assert_eq!(SimDuration::from_millis(17).to_string(), "17ms");
         assert_eq!(SimDuration::from_secs(17).to_string(), "17s");
-        assert_eq!(SimDuration::from_nanos(1_500_000).to_string(), "1500us");
+        assert_eq!(SimDuration::from_nanos(1_500_000).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_nanos(1_500).to_string(), "1500ns");
+        assert_eq!(SimDuration::from_micros(11_227_560).to_string(), "11.228s");
     }
 
     #[test]

@@ -10,6 +10,7 @@ fn sim_with(latency: impl parsim::LatencyModel + 'static) -> Simulation {
     Simulation::new(SimConfig {
         latency: Box::new(latency),
         seed: 7,
+        tracer: None,
     })
 }
 
@@ -239,6 +240,7 @@ fn determinism_identical_runs() {
         let mut sim = Simulation::new(SimConfig {
             latency: Box::new(UniformLatency::default()),
             seed: 1234,
+            tracer: None,
         });
         let nodes = sim.add_nodes("n", 4);
         let trace = Arc::new(Mutex::new(Vec::new()));
@@ -402,6 +404,7 @@ fn per_process_rng_is_deterministic_and_distinct() {
         let mut sim = Simulation::new(SimConfig {
             latency: Box::new(ZeroLatency),
             seed,
+            tracer: None,
         });
         let n = sim.add_node("n");
         sim.block_on(n, "main", move |ctx| {

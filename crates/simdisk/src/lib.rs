@@ -117,6 +117,13 @@ impl DiskGeometry {
 /// track in; subsequent reads of the same track pay only the per-block
 /// transfer. Writes are write-through: every write pays positioning plus
 /// one block transfer (rotation must come around to the sector).
+///
+/// The track buffer is *per-block precise*: a full-track load validates
+/// every block of the track, while a write refreshes only the block it
+/// transferred (and, if the head moved to a new track, invalidates the
+/// rest of the buffer). A read of a block the buffer never earned —
+/// e.g. the untouched neighbors after a partial-track write — therefore
+/// pays positioning like any other miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskProfile {
     /// Seek plus rotational delay for an access that must position the head.
@@ -296,6 +303,10 @@ pub struct SimDisk {
     profile: DiskProfile,
     blocks: Vec<Option<Bytes>>,
     buffered_track: Option<u32>,
+    /// Which blocks of `buffered_track` actually hold media data: all of
+    /// them after a full-track load, only the transferred ones after
+    /// writes. Indexed by in-track offset.
+    buffered_valid: Vec<bool>,
     /// Write-behind queue depth (`None` = synchronous write-through).
     write_behind: Option<u32>,
     /// Virtual time at which the device finishes its queued work.
@@ -311,6 +322,7 @@ impl SimDisk {
             profile,
             blocks: vec![None; geometry.capacity_blocks() as usize],
             buffered_track: None,
+            buffered_valid: vec![false; geometry.blocks_per_track as usize],
             write_behind: None,
             free_at: parsim::SimTime::ZERO,
             stats: DiskStats::default(),
@@ -365,6 +377,35 @@ impl SimDisk {
         }
     }
 
+    /// True if `addr` can be served from the track buffer: the right track
+    /// is buffered *and* this particular block's image is valid.
+    fn buffer_hit(&self, addr: BlockAddr) -> bool {
+        let track = self.geometry.track_of(addr);
+        self.buffered_track == Some(track)
+            && self.buffered_valid[(addr.0 % self.geometry.blocks_per_track) as usize]
+    }
+
+    /// Records a full-track load: every block of `track` is now buffered.
+    fn buffer_load(&mut self, track: u32) {
+        self.buffered_track = Some(track);
+        self.buffered_valid.fill(true);
+    }
+
+    /// Records the buffer effect of writing one block. Writing refreshes
+    /// only the block actually transferred: on the buffered track the
+    /// block's image stays (or becomes) valid, while moving the head to a
+    /// different track discards the old image and leaves just the written
+    /// block valid.
+    fn buffer_note_write(&mut self, addr: BlockAddr) {
+        let track = self.geometry.track_of(addr);
+        let offset = (addr.0 % self.geometry.blocks_per_track) as usize;
+        if self.buffered_track != Some(track) {
+            self.buffered_track = Some(track);
+            self.buffered_valid.fill(false);
+        }
+        self.buffered_valid[offset] = true;
+    }
+
     fn charge(&mut self, ctx: &mut Ctx, d: SimDuration) {
         self.stats.busy += d;
         if self.write_behind.is_some() {
@@ -407,16 +448,27 @@ impl SimDisk {
         let idx = self.check_addr(addr)?;
         let track = self.geometry.track_of(addr);
         self.stats.reads += 1;
-        if self.buffered_track == Some(track) {
+        let t0 = ctx.now();
+        let hit = self.buffer_hit(addr);
+        let d = if hit {
             self.stats.buffer_hits += 1;
-            let d = self.profile.transfer_per_block;
-            self.charge(ctx, d);
+            self.profile.transfer_per_block
         } else {
             self.stats.track_loads += 1;
-            let d = self.profile.positioning
-                + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track);
-            self.charge(ctx, d);
-            self.buffered_track = Some(track);
+            self.profile.positioning
+                + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track)
+        };
+        self.charge(ctx, d);
+        if !hit {
+            self.buffer_load(track);
+        }
+        if ctx.trace_enabled() {
+            let name = if hit {
+                "disk.read.hit"
+            } else {
+                "disk.read.load"
+            };
+            ctx.trace_span("disk", name, t0, &[("busy", d.as_nanos())]);
         }
         match &self.blocks[idx] {
             Some(data) => Ok(data.clone()),
@@ -444,20 +496,38 @@ impl SimDisk {
             idxs.push(self.check_addr(addr)?);
         }
         let mut total = SimDuration::ZERO;
+        let mut run_loads = 0u64;
+        let mut run_hits = 0u64;
         for &addr in addrs {
             let track = self.geometry.track_of(addr);
             self.stats.reads += 1;
-            if self.buffered_track == Some(track) {
+            if self.buffer_hit(addr) {
                 self.stats.buffer_hits += 1;
+                run_hits += 1;
                 total += self.profile.transfer_per_block;
             } else {
                 self.stats.track_loads += 1;
+                run_loads += 1;
                 total += self.profile.positioning
                     + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track);
-                self.buffered_track = Some(track);
+                self.buffer_load(track);
             }
         }
+        let t0 = ctx.now();
         self.charge(ctx, total);
+        if ctx.trace_enabled() {
+            ctx.trace_span(
+                "disk",
+                "disk.read_run",
+                t0,
+                &[
+                    ("blocks", addrs.len() as u64),
+                    ("track_loads", run_loads),
+                    ("hits", run_hits),
+                    ("busy", total.as_nanos()),
+                ],
+            );
+        }
         idxs.iter()
             .zip(addrs)
             .map(|(&idx, &addr)| {
@@ -468,10 +538,16 @@ impl SimDisk {
             .collect()
     }
 
-    /// Writes a run of blocks as one device request: the controller queues
-    /// the whole run, so each distinct track pays positioning once and the
-    /// remaining blocks on it stream at media rate — versus positioning per
-    /// block for separate writes.
+    /// Writes a run of blocks as one device request: the controller sorts
+    /// the queued run by track, so each *distinct* track pays positioning
+    /// once (however the caller interleaved its blocks) and the remaining
+    /// blocks on it stream at media rate — versus positioning per block
+    /// for separate writes.
+    ///
+    /// Tracks are serviced in first-appearance order, preserving the
+    /// caller's intra-track block order; a pre-existing buffered track
+    /// does not discount its positioning charge, so a one-element run
+    /// costs the same as [`write`](SimDisk::write).
     ///
     /// With write-behind enabled this falls back to block-at-a-time
     /// deferred writes, which already hide positioning behind the queue.
@@ -500,26 +576,44 @@ impl SimDisk {
             }
             return Ok(());
         }
-        let mut total = SimDuration::ZERO;
-        let mut run_track = None;
-        for (addr, data) in writes {
-            let idx = addr.0 as usize;
+        // Group the run per track, first-seen order, keeping each track's
+        // blocks in caller order.
+        let mut track_order: Vec<u32> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, (addr, _)) in writes.iter().enumerate() {
             let track = self.geometry.track_of(*addr);
-            self.stats.writes += 1;
-            // Each distinct track in the run pays positioning once; a
-            // pre-existing buffered track does not discount the first
-            // write, so a one-element run costs the same as `write`.
-            if run_track == Some(track) {
-                total += self.profile.transfer_per_block;
-            } else {
-                total += self.profile.positioning + self.profile.transfer_per_block;
-                run_track = Some(track);
+            match track_order.iter().position(|&t| t == track) {
+                Some(g) => groups[g].push(i),
+                None => {
+                    track_order.push(track);
+                    groups.push(vec![i]);
+                }
             }
-            self.blocks[idx] = Some(data.clone());
         }
+        let mut total = SimDuration::ZERO;
+        for group in &groups {
+            total +=
+                self.profile.positioning + self.profile.transfer_per_block * group.len() as u64;
+            for &i in group {
+                let (addr, data) = &writes[i];
+                self.stats.writes += 1;
+                self.blocks[addr.0 as usize] = Some(data.clone());
+                self.buffer_note_write(*addr);
+            }
+        }
+        let t0 = ctx.now();
         self.charge(ctx, total);
-        if let Some(track) = run_track {
-            self.buffered_track = Some(track);
+        if ctx.trace_enabled() {
+            ctx.trace_span(
+                "disk",
+                "disk.write_run",
+                t0,
+                &[
+                    ("blocks", writes.len() as u64),
+                    ("tracks", groups.len() as u64),
+                    ("busy", total.as_nanos()),
+                ],
+            );
         }
         Ok(())
     }
@@ -540,16 +634,22 @@ impl SimDisk {
         }
         self.stats.writes += 1;
         let d = self.profile.positioning + self.profile.transfer_per_block;
+        let t0 = ctx.now();
         if self.write_behind.is_some() {
             self.charge_deferred(ctx, d, self.profile.transfer_per_block);
         } else {
             self.charge(ctx, d);
         }
+        if ctx.trace_enabled() {
+            ctx.trace_span("disk", "disk.write", t0, &[("busy", d.as_nanos())]);
+        }
         self.blocks[idx] = Some(Bytes::copy_from_slice(data));
-        // The controller retains the image of the track it just wrote, so a
-        // read-modify-write of a neighboring block (EFS tail-pointer fixup)
-        // does not pay positioning again.
-        self.buffered_track = Some(self.geometry.track_of(addr));
+        // The controller retains the image of the block it just transferred
+        // — and only that block: the rest of the track was never read, so a
+        // later read of a neighbor must still pay positioning. (A
+        // read-modify-write of a block this process previously wrote or
+        // loaded, e.g. the EFS tail-pointer fixup, still hits.)
+        self.buffer_note_write(addr);
         Ok(())
     }
 
@@ -942,11 +1042,90 @@ mod tests {
             disk.write_many(ctx, &[(BlockAddr::new(0), Bytes::from(block_of(1)))])
                 .unwrap();
             assert_eq!(ctx.now() - t0, SimDuration::from_millis(16));
-            // The run retained the track, exactly like `write` would.
+            // The run buffered the block it wrote, exactly like `write`
+            // would: rereading it is a hit ...
             let t1 = ctx.now();
-            let got = disk.read_many(ctx, &[BlockAddr::new(1)]);
+            disk.read_many(ctx, &[BlockAddr::new(0)]).unwrap();
             assert_eq!(ctx.now() - t1, SimDuration::from_millis(1));
+            // ... but its untouched neighbor was never transferred, so
+            // reading it is a full-track miss, not a phantom hit.
+            let t2 = ctx.now();
+            let got = disk.read_many(ctx, &[BlockAddr::new(1)]);
+            assert_eq!(ctx.now() - t2, SimDuration::from_millis(23));
             assert!(matches!(got, Err(DiskError::Unwritten { .. })));
+        });
+    }
+
+    #[test]
+    fn read_after_partial_write_pays_positioning() {
+        // Regression test: `write` used to mark the whole track buffered
+        // after transferring a single block, so reads of the track's other
+        // blocks were phantom hits that skipped positioning.
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        let stats = sim.block_on(node, "driver", |ctx| {
+            let mut disk = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            disk.write_raw(BlockAddr::new(3), &block_of(3));
+            disk.write(ctx, BlockAddr::new(2), &block_of(2)).unwrap(); // 16ms
+                                                                       // Same track, but block 3 was never transferred: full miss.
+            let t0 = ctx.now();
+            disk.read(ctx, BlockAddr::new(3)).unwrap();
+            assert_eq!(ctx.now() - t0, SimDuration::from_millis(23));
+            // The miss loaded the whole track; now everything hits.
+            let t1 = ctx.now();
+            disk.read(ctx, BlockAddr::new(2)).unwrap();
+            assert_eq!(ctx.now() - t1, SimDuration::from_millis(1));
+            disk.stats()
+        });
+        assert_eq!(stats.track_loads, 1);
+        assert_eq!(stats.buffer_hits, 1);
+    }
+
+    #[test]
+    fn rereading_own_write_still_hits() {
+        // The block the write actually transferred stays valid — the EFS
+        // tail-pointer read-modify-write pattern must not regress.
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        sim.block_on(node, "driver", |ctx| {
+            let mut disk = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            disk.write(ctx, BlockAddr::new(5), &block_of(5)).unwrap();
+            let t0 = ctx.now();
+            disk.read(ctx, BlockAddr::new(5)).unwrap();
+            assert_eq!(ctx.now() - t0, SimDuration::from_millis(1));
+        });
+    }
+
+    #[test]
+    fn write_many_groups_alternating_tracks() {
+        // Regression test: `write_many` documented "each distinct track
+        // pays positioning once" but charged positioning on every track
+        // *switch*. An alternating run must cost 2 positionings, not 6.
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        sim.block_on(node, "driver", |ctx| {
+            let mut disk = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            let blocks = [0u32, 8, 1, 9, 2, 10]; // track 0 / track 1 interleaved
+            let writes: Vec<(BlockAddr, Bytes)> = blocks
+                .iter()
+                .map(|&i| (BlockAddr::new(i), Bytes::from(block_of(i as u8))))
+                .collect();
+            let t0 = ctx.now();
+            disk.write_many(ctx, &writes).unwrap();
+            // 2 tracks x 15ms positioning + 6 x 1ms transfer.
+            assert_eq!(ctx.now() - t0, SimDuration::from_millis(2 * 15 + 6));
+            for &i in &blocks {
+                assert_eq!(disk.read_raw(BlockAddr::new(i)).unwrap()[0], i as u8);
+            }
+            // Track 1 was serviced last; its written blocks are buffered.
+            let t1 = ctx.now();
+            disk.read(ctx, BlockAddr::new(9)).unwrap();
+            assert_eq!(ctx.now() - t1, SimDuration::from_millis(1));
+            // Track 0's image was displaced: full miss.
+            let t2 = ctx.now();
+            disk.read(ctx, BlockAddr::new(0)).unwrap();
+            assert_eq!(ctx.now() - t2, SimDuration::from_millis(23));
+            assert_eq!(disk.stats().writes, 6);
         });
     }
 

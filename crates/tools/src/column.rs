@@ -75,6 +75,7 @@ impl ColumnReader {
         }
         if self.depth > 1 {
             let count = self.depth.min(self.size - self.next);
+            let t0 = ctx.now();
             let reply = client.call(
                 ctx,
                 self.lfs,
@@ -85,6 +86,14 @@ impl ColumnReader {
                     hint: self.hint,
                 },
             )?;
+            if ctx.trace_enabled() {
+                ctx.trace_span(
+                    "tool",
+                    "tool.read_batch",
+                    t0,
+                    &[("blocks", u64::from(count))],
+                );
+            }
             return match reply {
                 LfsData::Run { blocks } if blocks.len() == count as usize => {
                     self.hint = blocks.last().map(|b| b.1);
@@ -236,6 +245,8 @@ impl ColumnWriter {
         }
         let data = std::mem::take(&mut self.pending);
         let first = self.next - data.len() as u32;
+        let blocks = data.len() as u64;
+        let t0 = ctx.now();
         let reply = client.call(
             ctx,
             self.lfs,
@@ -246,6 +257,9 @@ impl ColumnWriter {
                 hint: self.hint,
             },
         )?;
+        if ctx.trace_enabled() {
+            ctx.trace_span("tool", "tool.write_batch", t0, &[("blocks", blocks)]);
+        }
         match reply {
             LfsData::WrittenRun { addrs } => {
                 self.hint = addrs.last().copied();

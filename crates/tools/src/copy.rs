@@ -221,6 +221,7 @@ fn run_ecopy(
                 node: src_slice.node,
                 name: format!("ecopy{i}"),
                 run: Box::new(move |c: &mut Ctx| {
+                    let worker_t0 = c.now();
                     let mut client = LfsClient::new();
                     let mut reader =
                         ColumnReader::new(src_proc, src_file, local_size).with_batch(batch);
@@ -238,6 +239,14 @@ fn run_ecopy(
                         writer.append_block(c, &mut client, &header, &data)?;
                     }
                     writer.flush(c, &mut client)?;
+                    if c.trace_enabled() {
+                        c.trace_span(
+                            "tool",
+                            "tool.ecopy",
+                            worker_t0,
+                            &[("blocks", u64::from(writer.position()))],
+                        );
+                    }
                     Ok(writer.position())
                 }),
             }
@@ -253,6 +262,9 @@ fn run_ecopy(
     // mirror/parity companions are derived afterwards by the server.
     if open.redundancy != bridge_core::Redundancy::None {
         bridge.rebuild(ctx, dst)?;
+    }
+    if ctx.trace_enabled() {
+        ctx.trace_span("tool", "tool.copy", t0, &[("blocks", blocks)]);
     }
     Ok((
         dst,

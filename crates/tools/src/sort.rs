@@ -219,6 +219,14 @@ pub fn sort(
         .collect();
     let local_results = run_workers(ctx, &opts.tool, specs)?;
     let local_sort_time = ctx.now() - t_local;
+    if ctx.trace_enabled() {
+        ctx.trace_span(
+            "tool",
+            "tool.sort.local",
+            t_local,
+            &[("nodes", open.nodes.len() as u64)],
+        );
+    }
     let records: u64 = local_results.iter().map(|&(n, _)| u64::from(n)).sum();
     let local_merge_passes = local_results.iter().map(|&(_, p)| p).max().unwrap_or(0);
 
@@ -301,8 +309,26 @@ pub fn sort(
             bridge.delete_many(ctx, inputs_to_delete)?;
         }
         files = next_files;
+        if ctx.trace_enabled() {
+            ctx.trace_instant(
+                "tool",
+                "tool.sort.pass_done",
+                &[
+                    ("pass", u64::from(merge_passes)),
+                    ("files", files.len() as u64),
+                ],
+            );
+        }
     }
     let merge_time = ctx.now() - t_merge;
+    if ctx.trace_enabled() {
+        ctx.trace_span(
+            "tool",
+            "tool.sort.merge",
+            t_merge,
+            &[("passes", u64::from(merge_passes))],
+        );
+    }
 
     let result = files.pop().expect("at least one file");
     // Refresh the server's size view of the output.

@@ -1,0 +1,370 @@
+//! Chrome trace-event JSON export and validation.
+//!
+//! The exported file loads in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`. Simulated *nodes* map to trace "processes" and
+//! simulated *processes* to trace "threads", so a p-node Bridge machine
+//! renders as p+2 swimlane groups, exactly like the paper's Figure 2.
+//!
+//! Scheduler run intervals (`cat == "sched"`) go on a separate synthetic
+//! thread lane per process: a Bridge-server dispatch span legitimately
+//! *crosses* run-interval boundaries (the server blocks mid-request
+//! awaiting LFS replies), and the Chrome format requires events on one
+//! thread to nest.
+
+use crate::collect::TraceData;
+use crate::json::{self, write_str, Json};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Offset added to a process's thread id to form its scheduler lane.
+const SCHED_TID_BASE: usize = 100_000;
+
+fn push_us(out: &mut String, nanos: u64) {
+    // Chrome timestamps are microseconds; emit sub-us precision as a
+    // fraction so nothing collapses at ns resolution.
+    let _ = write!(out, "{}.{:03}", nanos / 1_000, nanos % 1_000);
+}
+
+fn push_common(out: &mut String, ph: char, pid: usize, tid: usize, name: &str, cat: &str) {
+    let _ = write!(out, r#"{{"ph":"{ph}","pid":{pid},"tid":{tid},"#);
+    out.push_str("\"name\":");
+    write_str(out, name);
+    out.push_str(",\"cat\":");
+    write_str(out, cat);
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, u64)]) {
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        let _ = write!(out, ":{v}");
+    }
+    out.push('}');
+}
+
+/// Renders collected trace data as a Chrome trace-event JSON document.
+///
+/// Layout: trace pid = node index + 1 (named by `process_name`
+/// metadata), trace tid = process index + 1 (named by `thread_name`),
+/// plus one `"(sched)"` lane per process holding its scheduler run
+/// intervals. Spans become `"X"` (complete) events, instants `"i"`
+/// events, and message send/delivery pairs `"s"`/`"f"` flow events.
+pub fn chrome_trace_json(data: &TraceData) -> String {
+    let mut out = String::with_capacity(
+        256 + 160 * (data.spans.len() + data.instants.len() + data.flows.len()),
+    );
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+    };
+
+    let node_pid = |node: usize| node + 1;
+    let proc_pid = |pid: usize| {
+        data.procs
+            .get(pid)
+            .map(|p| node_pid(p.node))
+            .unwrap_or(usize::MAX)
+    };
+
+    for (idx, name) in data.nodes.iter().enumerate() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            r#"{{"ph":"M","pid":{},"name":"process_name","args":{{"name":"#,
+            node_pid(idx)
+        );
+        write_str(&mut out, name);
+        out.push_str("}}");
+    }
+    for (idx, meta) in data.procs.iter().enumerate() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            r#"{{"ph":"M","pid":{},"tid":{},"name":"thread_name","args":{{"name":"#,
+            node_pid(meta.node),
+            idx + 1
+        );
+        write_str(&mut out, &meta.name);
+        out.push_str("}}");
+        sep(&mut out);
+        let _ = write!(
+            out,
+            r#"{{"ph":"M","pid":{},"tid":{},"name":"thread_name","args":{{"name":"#,
+            node_pid(meta.node),
+            idx + 1 + SCHED_TID_BASE
+        );
+        write_str(&mut out, &format!("{} (sched)", meta.name));
+        out.push_str("}}");
+    }
+
+    for span in &data.spans {
+        sep(&mut out);
+        let tid = if span.cat == "sched" {
+            span.pid + 1 + SCHED_TID_BASE
+        } else {
+            span.pid + 1
+        };
+        push_common(&mut out, 'X', proc_pid(span.pid), tid, &span.name, span.cat);
+        out.push_str(",\"ts\":");
+        push_us(&mut out, span.start.as_nanos());
+        out.push_str(",\"dur\":");
+        push_us(&mut out, span.dur_nanos());
+        push_args(&mut out, &span.args);
+        out.push('}');
+    }
+
+    for inst in &data.instants {
+        sep(&mut out);
+        push_common(
+            &mut out,
+            'i',
+            proc_pid(inst.pid),
+            inst.pid + 1,
+            &inst.name,
+            inst.cat,
+        );
+        out.push_str(",\"s\":\"t\",\"ts\":");
+        push_us(&mut out, inst.at.as_nanos());
+        push_args(&mut out, &inst.args);
+        out.push('}');
+    }
+
+    for flow in &data.flows {
+        sep(&mut out);
+        let (ph, owner) = if flow.send {
+            ('s', flow.from)
+        } else {
+            ('f', flow.to)
+        };
+        push_common(&mut out, ph, proc_pid(owner), owner + 1, "msg", "msg");
+        let _ = write!(out, r#","id":{}"#, flow.id);
+        if !flow.send {
+            out.push_str(r#","bp":"e""#);
+        }
+        out.push_str(",\"ts\":");
+        push_us(&mut out, flow.at.as_nanos());
+        if flow.send {
+            push_args(&mut out, &[("bytes", flow.bytes as u64)]);
+        }
+        out.push('}');
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// What [`validate_chrome_trace`] learned about a well-formed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Number of `"X"` (complete span) events.
+    pub spans: usize,
+    /// Number of flow (`"s"`/`"f"`) events.
+    pub flows: usize,
+    /// Trace pids that have `process_name` metadata.
+    pub named_pids: BTreeSet<u64>,
+    /// Counts of `"X"` events per span name.
+    pub span_counts: BTreeMap<String, u64>,
+}
+
+fn num_field(ev: &Json, key: &str, i: usize) -> Result<f64, String> {
+    ev.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("event {i}: missing numeric \"{key}\""))
+}
+
+/// Checks that `src` is a loadable Chrome trace: it parses as JSON, has a
+/// `traceEvents` array, every `"X"` event carries numeric `ts`/`dur`,
+/// spans on each (pid, tid) lane nest properly, and every pid referenced
+/// by a span has `process_name` metadata.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_chrome_trace(src: &str) -> Result<ChromeSummary, String> {
+    let doc = json::parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    let mut named_pids = BTreeSet::new();
+    let mut span_pids = BTreeSet::new();
+    let mut span_counts: BTreeMap<String, u64> = BTreeMap::new();
+    // (pid, tid) -> [(start_ns, end_ns, name)]
+    type Lane = Vec<(u64, u64, String)>;
+    let mut lanes: BTreeMap<(u64, u64), Lane> = BTreeMap::new();
+    let mut spans = 0usize;
+    let mut flows = 0usize;
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => {
+                let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+                if name == "process_name" {
+                    let pid = num_field(ev, "pid", i)? as u64;
+                    named_pids.insert(pid);
+                }
+            }
+            "X" => {
+                spans += 1;
+                let pid = num_field(ev, "pid", i)? as u64;
+                let tid = num_field(ev, "tid", i)? as u64;
+                let ts = num_field(ev, "ts", i)?;
+                let dur = num_field(ev, "dur", i)?;
+                if !(ts >= 0.0 && dur >= 0.0) {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: span without name"))?;
+                *span_counts.entry(name.to_string()).or_insert(0) += 1;
+                span_pids.insert(pid);
+                let start = (ts * 1_000.0).round() as u64;
+                let end = start + (dur * 1_000.0).round() as u64;
+                lanes
+                    .entry((pid, tid))
+                    .or_default()
+                    .push((start, end, name.to_string()));
+            }
+            "s" | "f" => {
+                flows += 1;
+                num_field(ev, "ts", i)?;
+                ev.get("id")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: flow without id"))?;
+            }
+            "i" => {
+                num_field(ev, "ts", i)?;
+            }
+            other => return Err(format!("event {i}: unknown ph \"{other}\"")),
+        }
+    }
+
+    for pid in &span_pids {
+        if !named_pids.contains(pid) {
+            return Err(format!("pid {pid} has spans but no process_name metadata"));
+        }
+    }
+
+    // Nesting check per lane: order by (start asc, end desc) so an outer
+    // span precedes the spans it contains, then verify stack containment.
+    for ((pid, tid), mut lane) in lanes {
+        lane.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut stack: Vec<(u64, u64)> = Vec::new();
+        for (start, end, name) in &lane {
+            while let Some(&(_, top_end)) = stack.last() {
+                if top_end <= *start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(top_start, top_end)) = stack.last() {
+                if *end > top_end {
+                    return Err(format!(
+                        "lane ({pid},{tid}): span \"{name}\" [{start},{end}] \
+                         overlaps enclosing [{top_start},{top_end}] without nesting"
+                    ));
+                }
+            }
+            stack.push((*start, *end));
+        }
+    }
+
+    Ok(ChromeSummary {
+        events: events.len(),
+        spans,
+        flows,
+        named_pids,
+        span_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::TraceCollector;
+    use parsim::{SimConfig, SimDuration, Simulation};
+
+    fn sample_trace() -> TraceData {
+        let collector = TraceCollector::install();
+        let mut sim = Simulation::new(SimConfig {
+            tracer: Some(collector.as_tracer()),
+            ..SimConfig::default()
+        });
+        let node_a = sim.add_node("alpha");
+        let node_b = sim.add_node("beta");
+        let worker = sim.spawn(node_b, "worker", |ctx| {
+            let (from, n) = ctx.recv_as::<u32>();
+            let t0 = ctx.now();
+            ctx.delay(SimDuration::from_millis(5));
+            ctx.trace_span("tool", "tool.work", t0, &[("n", u64::from(n))]);
+            ctx.send(from, n);
+        });
+        sim.block_on(node_a, "main", move |ctx| {
+            let t0 = ctx.now();
+            ctx.send(worker, 7u32);
+            let _ = ctx.recv_as::<u32>();
+            ctx.trace_span("tool", "tool.round", t0, &[]);
+            ctx.trace_instant("tool", "done", &[("ok", 1)]);
+        });
+        collector.snapshot()
+    }
+
+    #[test]
+    fn export_validates_and_reflects_the_run() {
+        let data = sample_trace();
+        let json = chrome_trace_json(&data);
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(summary.spans, data.spans.len());
+        assert_eq!(summary.flows, data.flows.len());
+        assert_eq!(summary.span_counts.get("tool.work"), Some(&1));
+        assert_eq!(summary.span_counts.get("tool.round"), Some(&1));
+        // Both nodes referenced and named.
+        assert!(summary.named_pids.contains(&1));
+        assert!(summary.named_pids.contains(&2));
+    }
+
+    #[test]
+    fn validator_rejects_overlapping_spans_on_one_lane() {
+        let bad = r#"{"traceEvents":[
+            {"ph":"M","pid":1,"name":"process_name","args":{"name":"n"}},
+            {"ph":"X","pid":1,"tid":1,"name":"a","cat":"t","ts":0,"dur":10},
+            {"ph":"X","pid":1,"tid":1,"name":"b","cat":"t","ts":5,"dur":10}
+        ]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("without nesting"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_spans_without_process_metadata() {
+        let bad = r#"{"traceEvents":[
+            {"ph":"X","pid":9,"tid":1,"name":"a","cat":"t","ts":0,"dur":1}
+        ]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("process_name"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+}

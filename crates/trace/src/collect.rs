@@ -1,0 +1,315 @@
+//! In-memory trace collection.
+
+use parsim::{NodeId, ProcId, SimTime, TraceArg, Tracer, TracerHandle};
+use std::sync::{Arc, Mutex};
+
+/// A completed span of virtual time attributed to one simulated process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Index of the process the span belongs to.
+    pub pid: usize,
+    /// Category (`"sched"`, `"disk"`, `"lfs"`, `"bridge"`, `"tool"`, ...).
+    pub cat: &'static str,
+    /// Span name, e.g. `"disk.read.load"`.
+    pub name: String,
+    /// Start of the interval.
+    pub start: SimTime,
+    /// End of the interval (`start <= end`).
+    pub end: SimTime,
+    /// Numeric annotations.
+    pub args: Vec<TraceArg>,
+}
+
+impl SpanEvent {
+    /// The span's duration in nanoseconds.
+    pub fn dur_nanos(&self) -> u64 {
+        self.end.as_nanos() - self.start.as_nanos()
+    }
+
+    /// Looks up a numeric annotation by key.
+    pub fn arg(&self, key: &str) -> Option<u64> {
+        self.args.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+}
+
+/// A zero-duration marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantEvent {
+    /// Index of the process the marker belongs to.
+    pub pid: usize,
+    /// Category.
+    pub cat: &'static str,
+    /// Marker name.
+    pub name: String,
+    /// When it happened.
+    pub at: SimTime,
+    /// Numeric annotations.
+    pub args: Vec<TraceArg>,
+}
+
+/// One side of a message transfer: the send or the matching delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// Message id; the send and its delivery share one id.
+    pub id: u64,
+    /// Sending process index.
+    pub from: usize,
+    /// Receiving process index.
+    pub to: usize,
+    /// Virtual time of this side of the transfer.
+    pub at: SimTime,
+    /// Payload size charged to the latency model (sends only; zero on
+    /// deliveries).
+    pub bytes: usize,
+    /// True for the send side, false for the delivery side.
+    pub send: bool,
+}
+
+/// Identity of one simulated process.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProcMeta {
+    /// The process's spawn name.
+    pub name: String,
+    /// Index of the node it runs on.
+    pub node: usize,
+}
+
+/// Everything a [`TraceCollector`] recorded, in emission order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceData {
+    /// Node names by node index.
+    pub nodes: Vec<String>,
+    /// Process identities by process index.
+    pub procs: Vec<ProcMeta>,
+    /// Completed spans.
+    pub spans: Vec<SpanEvent>,
+    /// Zero-duration markers.
+    pub instants: Vec<InstantEvent>,
+    /// Message sends and deliveries.
+    pub flows: Vec<FlowEvent>,
+}
+
+impl TraceData {
+    /// The latest timestamp appearing in the trace (zero if empty).
+    pub fn last_time(&self) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for s in &self.spans {
+            t = t.max(s.end);
+        }
+        for i in &self.instants {
+            t = t.max(i.at);
+        }
+        for f in &self.flows {
+            t = t.max(f.at);
+        }
+        t
+    }
+
+    /// Spans of the given category, in emission order.
+    pub fn spans_in<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a SpanEvent> + 'a {
+        self.spans.iter().filter(move |s| s.cat == cat)
+    }
+
+    /// The name of process `pid`, or a placeholder if it was never named.
+    pub fn proc_name(&self, pid: usize) -> &str {
+        self.procs
+            .get(pid)
+            .map(|p| p.name.as_str())
+            .unwrap_or("<unnamed>")
+    }
+}
+
+/// A recording [`Tracer`]: accumulates every event into a [`TraceData`].
+///
+/// The scheduler delivers tracer callbacks from one process at a time, so
+/// the internal mutex is uncontended; it exists because the `Tracer`
+/// methods take `&self` across OS threads.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    data: Mutex<TraceData>,
+}
+
+impl TraceCollector {
+    /// Creates a collector ready to install as
+    /// [`SimConfig::tracer`](parsim::SimConfig).
+    pub fn install() -> Arc<TraceCollector> {
+        Arc::new(TraceCollector::default())
+    }
+
+    /// A [`TracerHandle`] view of this collector (what `SimConfig` wants).
+    pub fn as_tracer(self: &Arc<Self>) -> TracerHandle {
+        self.clone()
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn snapshot(&self) -> TraceData {
+        self.data.lock().expect("trace mutex poisoned").clone()
+    }
+
+    /// Moves out everything recorded so far, leaving the collector empty.
+    pub fn take(&self) -> TraceData {
+        std::mem::take(&mut *self.data.lock().expect("trace mutex poisoned"))
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut TraceData) -> R) -> R {
+        f(&mut self.data.lock().expect("trace mutex poisoned"))
+    }
+}
+
+impl Tracer for TraceCollector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn node_named(&self, node: NodeId, name: &str) {
+        self.with(|d| {
+            let idx = node.index();
+            if d.nodes.len() <= idx {
+                d.nodes.resize(idx + 1, String::new());
+            }
+            d.nodes[idx] = name.to_string();
+        });
+    }
+
+    fn proc_named(&self, pid: ProcId, node: NodeId, name: &str) {
+        self.with(|d| {
+            let idx = pid.index();
+            if d.procs.len() <= idx {
+                d.procs.resize(idx + 1, ProcMeta::default());
+            }
+            d.procs[idx] = ProcMeta {
+                name: name.to_string(),
+                node: node.index(),
+            };
+        });
+    }
+
+    fn span(
+        &self,
+        pid: ProcId,
+        cat: &'static str,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+        args: &[TraceArg],
+    ) {
+        self.with(|d| {
+            d.spans.push(SpanEvent {
+                pid: pid.index(),
+                cat,
+                name: name.to_string(),
+                start,
+                end,
+                args: args.to_vec(),
+            });
+        });
+    }
+
+    fn instant(&self, pid: ProcId, cat: &'static str, name: &str, at: SimTime, args: &[TraceArg]) {
+        self.with(|d| {
+            d.instants.push(InstantEvent {
+                pid: pid.index(),
+                cat,
+                name: name.to_string(),
+                at,
+                args: args.to_vec(),
+            });
+        });
+    }
+
+    fn flow_send(&self, id: u64, from: ProcId, to: ProcId, at: SimTime, bytes: usize) {
+        self.with(|d| {
+            d.flows.push(FlowEvent {
+                id,
+                from: from.index(),
+                to: to.index(),
+                at,
+                bytes,
+                send: true,
+            });
+        });
+    }
+
+    fn flow_recv(&self, id: u64, from: ProcId, to: ProcId, at: SimTime) {
+        self.with(|d| {
+            d.flows.push(FlowEvent {
+                id,
+                from: from.index(),
+                to: to.index(),
+                at,
+                bytes: 0,
+                send: false,
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim::{SimConfig, SimDuration, Simulation};
+
+    #[test]
+    fn collector_records_a_small_simulation() {
+        let collector = TraceCollector::install();
+        let mut sim = Simulation::new(SimConfig {
+            tracer: Some(collector.as_tracer()),
+            ..SimConfig::default()
+        });
+        let node = sim.add_node("cpu0");
+        let echo = sim.spawn(node, "echo", |ctx| {
+            let (from, n) = ctx.recv_as::<u64>();
+            ctx.delay(SimDuration::from_millis(2));
+            ctx.send(from, n + 1);
+        });
+        sim.block_on(node, "main", move |ctx| {
+            let t0 = ctx.now();
+            ctx.send(echo, 41u64);
+            let (_, reply) = ctx.recv_as::<u64>();
+            assert_eq!(reply, 42);
+            ctx.trace_span("tool", "tool.rpc", t0, &[("replies", 1)]);
+        });
+
+        let data = collector.snapshot();
+        assert_eq!(data.nodes, vec!["cpu0".to_string()]);
+        assert_eq!(data.procs.len(), 2);
+        assert_eq!(data.proc_name(0), "echo");
+        assert_eq!(data.proc_name(1), "main");
+
+        // One app span with its arg, plus scheduler run intervals.
+        let rpc = data
+            .spans
+            .iter()
+            .find(|s| s.name == "tool.rpc")
+            .expect("app span recorded");
+        assert_eq!(rpc.arg("replies"), Some(1));
+        assert!(rpc.dur_nanos() >= SimDuration::from_millis(2).as_nanos());
+        assert!(
+            data.spans_in("sched").count() >= 2,
+            "both processes have run intervals"
+        );
+
+        // Flows pair up: every delivery has a matching send.
+        let sends: Vec<u64> = data.flows.iter().filter(|f| f.send).map(|f| f.id).collect();
+        for f in data.flows.iter().filter(|f| !f.send) {
+            assert!(sends.contains(&f.id), "delivery {} has no send", f.id);
+        }
+        assert!(data.last_time() >= rpc.end);
+    }
+
+    #[test]
+    fn take_drains_the_collector() {
+        let collector = TraceCollector::install();
+        let mut sim = Simulation::new(SimConfig {
+            tracer: Some(collector.as_tracer()),
+            ..SimConfig::default()
+        });
+        let node = sim.add_node("n");
+        sim.block_on(node, "p", |ctx| {
+            ctx.trace_instant("tool", "mark", &[]);
+        });
+        let first = collector.take();
+        assert_eq!(first.instants.len(), 1);
+        assert_eq!(collector.snapshot(), TraceData::default());
+    }
+}

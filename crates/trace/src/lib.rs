@@ -1,0 +1,55 @@
+//! # bridge-trace — observability for the Bridge reproduction
+//!
+//! The simulation's virtual clock makes every timing claim checkable: if
+//! the model says a copy took 180 ms, some sequence of disk service
+//! intervals, message hops, and CPU charges must add up to exactly that.
+//! This crate records those events and renders them two ways:
+//!
+//! * [`chrome_trace_json`] — Chrome trace-event JSON, loadable in
+//!   Perfetto / `chrome://tracing`, with one "process" per simulated node
+//!   and one "thread" per simulated process;
+//! * [`Metrics`] — counters, latency histograms, and per-disk utilization
+//!   suitable for printing next to a bench report's kernel stats.
+//!
+//! The recording side is a [`TraceCollector`], an implementation of
+//! [`parsim::Tracer`] installed via
+//! [`SimConfig::tracer`](parsim::SimConfig) (or
+//! `BridgeConfig::tracer` one level up). Tracing is observation-only:
+//! a run with a collector installed produces bit-identical
+//! [`RunStats`](parsim::RunStats) and virtual end time to the same run
+//! without one.
+//!
+//! ## Example
+//!
+//! ```
+//! use bridge_trace::{chrome_trace_json, validate_chrome_trace, TraceCollector};
+//! use parsim::{SimConfig, SimDuration, Simulation};
+//!
+//! let collector = TraceCollector::install();
+//! let mut sim = Simulation::new(SimConfig {
+//!     tracer: Some(collector.clone()),
+//!     ..SimConfig::default()
+//! });
+//! let node = sim.add_node("cpu0");
+//! sim.block_on(node, "worker", |ctx| {
+//!     let t0 = ctx.now();
+//!     ctx.delay(SimDuration::from_millis(3));
+//!     ctx.trace_span("tool", "tool.step", t0, &[("items", 1)]);
+//! });
+//! let data = collector.snapshot();
+//! assert!(data.spans.iter().any(|s| s.name == "tool.step"));
+//! let json = chrome_trace_json(&data);
+//! validate_chrome_trace(&json).expect("well-formed trace");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chrome;
+mod collect;
+pub mod json;
+mod metrics;
+
+pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
+pub use collect::{FlowEvent, InstantEvent, ProcMeta, SpanEvent, TraceCollector, TraceData};
+pub use metrics::{DiskUtilization, Histogram, Metrics};

@@ -1,0 +1,283 @@
+//! Aggregated metrics derived from a trace: counters, latency
+//! histograms, and per-disk utilization, rendered as a text block for
+//! bench reports.
+
+use crate::collect::TraceData;
+use parsim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A log2-bucketed histogram of durations in nanoseconds.
+///
+/// Bucket `i` holds durations `d` with `floor(log2(d)) == i` (zero goes
+/// in bucket 0), so the whole `u64` range fits in 64 buckets and
+/// recording is one `leading_zeros` away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one duration (in nanoseconds).
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += nanos;
+        self.max = self.max.max(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_nanos(self.sum.checked_div(self.count).unwrap_or(0))
+    }
+
+    /// Sum of the recorded samples.
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.sum)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max)
+    }
+
+    /// Upper bound (exclusive, in nanoseconds) of the smallest bucket
+    /// prefix containing at least `q` (0..=1) of the samples — a coarse
+    /// quantile, precise to a factor of two.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Busy time and utilization of one disk-owning process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskUtilization {
+    /// Index of the process that owns the disk (its LFS).
+    pub pid: usize,
+    /// The owning process's name.
+    pub proc_name: String,
+    /// Total device service time ("busy" arguments of its disk spans).
+    pub busy: SimDuration,
+    /// `busy` as a fraction of the trace's end time (0..=1).
+    pub utilization: f64,
+}
+
+/// Counters and histograms aggregated from one [`TraceData`].
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Latency histogram per span name (also carries the span count).
+    pub latency: BTreeMap<String, Histogram>,
+    /// Summed numeric args per span name, e.g. `("disk.read_run",
+    /// "track_loads") -> 12`.
+    pub arg_totals: BTreeMap<String, BTreeMap<&'static str, u64>>,
+    /// Message sends observed.
+    pub msg_sends: u64,
+    /// Total payload bytes across message sends.
+    pub msg_bytes: u64,
+    /// Per-disk busy/utilization, one entry per process that emitted
+    /// `"disk"` spans, in pid order.
+    pub disks: Vec<DiskUtilization>,
+    /// The trace's end time (denominator of utilization).
+    pub end_time: SimTime,
+}
+
+impl Metrics {
+    /// Aggregates `data`, using the latest event as the end of the run.
+    pub fn from_trace(data: &TraceData) -> Metrics {
+        let mut m = Metrics {
+            end_time: data.last_time(),
+            ..Metrics::default()
+        };
+        let mut disk_busy: BTreeMap<usize, u64> = BTreeMap::new();
+        for span in &data.spans {
+            m.latency
+                .entry(span.name.clone())
+                .or_default()
+                .record(span.dur_nanos());
+            if !span.args.is_empty() {
+                let totals = m.arg_totals.entry(span.name.clone()).or_default();
+                for &(k, v) in &span.args {
+                    *totals.entry(k).or_insert(0) += v;
+                }
+            }
+            if span.cat == "disk" {
+                *disk_busy.entry(span.pid).or_insert(0) +=
+                    span.arg("busy").unwrap_or_else(|| span.dur_nanos());
+            }
+        }
+        for flow in data.flows.iter().filter(|f| f.send) {
+            m.msg_sends += 1;
+            m.msg_bytes += flow.bytes as u64;
+        }
+        let end = m.end_time.as_nanos();
+        for (pid, busy) in disk_busy {
+            m.disks.push(DiskUtilization {
+                pid,
+                proc_name: data.proc_name(pid).to_string(),
+                busy: SimDuration::from_nanos(busy),
+                utilization: if end == 0 {
+                    0.0
+                } else {
+                    busy as f64 / end as f64
+                },
+            });
+        }
+        m
+    }
+
+    /// Number of spans recorded under `name`.
+    pub fn count(&self, name: &str) -> u64 {
+        self.latency.get(name).map(Histogram::count).unwrap_or(0)
+    }
+
+    /// Sum of arg `key` across all spans named `name`.
+    pub fn arg_total(&self, name: &str, key: &str) -> u64 {
+        self.arg_totals
+            .get(name)
+            .and_then(|t| t.get(key))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Renders the registry as an indented text block (for bench reports,
+    /// next to the kernel stats).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace metrics (virtual end {})", self.end_time);
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>12} {:>12} {:>12}",
+            "span", "count", "mean", "max", "total"
+        );
+        for (name, h) in &self.latency {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>8} {:>12} {:>12} {:>12}",
+                name,
+                h.count(),
+                h.mean().to_string(),
+                h.max().to_string(),
+                h.total().to_string()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  messages: {} sends, {} payload bytes",
+            self.msg_sends, self.msg_bytes
+        );
+        if !self.disks.is_empty() {
+            let _ = writeln!(out, "  disk utilization");
+            for d in &self.disks {
+                let _ = writeln!(
+                    out,
+                    "    {:<12} busy {:>12}  ({:>5.1}%)",
+                    d.proc_name,
+                    d.busy.to_string(),
+                    d.utilization * 100.0
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{SpanEvent, TraceData};
+
+    fn span(pid: usize, cat: &'static str, name: &str, start: u64, end: u64) -> SpanEvent {
+        SpanEvent {
+            pid,
+            cat,
+            name: name.to_string(),
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+            args: vec![("busy", end - start)],
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::default();
+        for d in [0, 1, 2, 3, 1000, 1_000_000] {
+            h.record(d);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.total(), SimDuration::from_nanos(1_001_006));
+        assert_eq!(h.max(), SimDuration::from_millis(1));
+        assert!(h.quantile_bound(0.5) <= 4);
+        assert!(h.quantile_bound(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn metrics_aggregate_counts_args_and_utilization() {
+        let mut data = TraceData::default();
+        data.procs.push(crate::collect::ProcMeta {
+            name: "lfs0".to_string(),
+            node: 0,
+        });
+        // Disk busy 40ns of a 100ns run.
+        data.spans.push(span(0, "disk", "disk.read.load", 0, 30));
+        data.spans.push(span(0, "disk", "disk.read.hit", 60, 70));
+        data.spans.push(span(0, "tool", "tool.copy", 0, 100));
+        // Strip the busy arg from the tool span.
+        data.spans[2].args.clear();
+
+        let m = Metrics::from_trace(&data);
+        assert_eq!(m.count("disk.read.load"), 1);
+        assert_eq!(m.arg_total("disk.read.hit", "busy"), 10);
+        assert_eq!(m.end_time, SimTime::from_nanos(100));
+        assert_eq!(m.disks.len(), 1);
+        assert_eq!(m.disks[0].proc_name, "lfs0");
+        assert_eq!(m.disks[0].busy, SimDuration::from_nanos(40));
+        assert!((m.disks[0].utilization - 0.4).abs() < 1e-9);
+
+        let rendered = m.render();
+        assert!(rendered.contains("disk.read.load"));
+        assert!(rendered.contains("disk utilization"));
+        assert!(rendered.contains("lfs0"));
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panicking() {
+        let m = Metrics::from_trace(&TraceData::default());
+        assert_eq!(m.count("anything"), 0);
+        assert!(m.render().contains("trace metrics"));
+    }
+}

@@ -14,11 +14,14 @@
 //! * [`tools`] — copy/filter/grep/summary/sort tools.
 //! * [`baseline`] — §2's striped sets and storage arrays under one FS.
 //! * [`model`] — the analytical companion (the paper's reference [17]).
+//! * [`trace`] — virtual-time tracing: Chrome trace export and a metrics
+//!   registry, observation-only by construction.
 
 pub use bridge_baseline as baseline;
 pub use bridge_core as core;
 pub use bridge_efs as efs;
 pub use bridge_model as model;
 pub use bridge_tools as tools;
+pub use bridge_trace as trace;
 pub use parsim;
 pub use simdisk;
