@@ -43,6 +43,7 @@ pub fn array_device(
         transfer_per_block: SimDuration::from_nanos(
             (per_drive_profile.transfer_per_block.as_nanos() as f64 / p).round() as u64,
         ),
+        seek: per_drive_profile.seek,
     };
     SimDisk::new(geometry, profile)
 }

@@ -17,7 +17,6 @@ use bridge_bench::scale;
 use bridge_core::{
     BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, CreateSpec, Redundancy,
 };
-use bridge_efs::LfsFailControl;
 use parsim::{Ctx, SimDuration};
 
 struct Run {
@@ -82,8 +81,7 @@ fn measure(p: u32, blocks: u64, redundancy: Redundancy) -> Run {
 }
 
 fn fail(ctx: &mut Ctx, lfs: parsim::ProcId, failed: bool) {
-    ctx.send(lfs, LfsFailControl { failed });
-    ctx.delay(SimDuration::from_micros(500));
+    bridge_efs::set_failed(ctx, lfs, failed);
 }
 
 fn main() {

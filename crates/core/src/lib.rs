@@ -69,3 +69,5 @@ pub use redundancy::{xor_into, ParityLayout, Redundancy};
 pub use server::{
     spawn_bridge_agent, spawn_bridge_server, BatchPolicy, BridgeServerConfig, CreateFanout,
 };
+// Re-exported so machine builders can set a policy without naming simdisk.
+pub use simdisk::{SchedConfig, SchedPolicy};

@@ -6,9 +6,9 @@
 //! interconnect.
 
 use crate::server::{spawn_bridge_agent, spawn_bridge_server, BridgeServerConfig};
-use bridge_efs::{spawn_lfs, Efs, EfsConfig};
+use bridge_efs::{spawn_lfs_sched, Efs, EfsConfig};
 use parsim::{NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle, UniformLatency};
-use simdisk::{DiskGeometry, DiskProfile, SimDisk};
+use simdisk::{DiskGeometry, DiskProfile, SchedConfig, SimDisk};
 
 /// Everything needed to stand up a Bridge machine.
 #[derive(Debug, Clone)]
@@ -29,6 +29,11 @@ pub struct BridgeConfig {
     /// write-through, the prototype's behaviour; `Some(d)` models the
     /// paper's §6 assumption that LFS instances perform write-behind).
     pub write_behind: Option<u32>,
+    /// Per-LFS request scheduling (policy + aging bound). The default,
+    /// [`SchedConfig::fifo`], is the prototype's arrival-order service;
+    /// other policies reorder pending requests by head distance while
+    /// preserving per-(client, file) order.
+    pub sched: SchedConfig,
     /// Simulation seed (determinism).
     pub seed: u64,
     /// Optional virtual-time tracer (see the `bridge-trace` crate).
@@ -48,6 +53,7 @@ impl BridgeConfig {
             server: BridgeServerConfig::default(),
             latency: UniformLatency::default(),
             write_behind: None,
+            sched: SchedConfig::fifo(),
             seed: 0x00B2_1D6E,
             tracer: None,
         }
@@ -76,6 +82,7 @@ impl BridgeConfig {
             },
             latency: UniformLatency::constant(SimDuration::ZERO),
             write_behind: None,
+            sched: SchedConfig::fifo(),
             seed: 0x00B2_1D6E,
             tracer: None,
         }
@@ -145,7 +152,7 @@ impl BridgeMachine {
                 disk.enable_write_behind(depth);
             }
             let efs = Efs::format(disk, config.efs);
-            let proc = spawn_lfs(sim, node, format!("lfs{i}"), efs);
+            let proc = spawn_lfs_sched(sim, node, format!("lfs{i}"), efs, config.sched);
             agents.push(spawn_bridge_agent(
                 sim,
                 node,
@@ -164,6 +171,7 @@ impl BridgeMachine {
             pairs,
             agents.clone(),
             config.server,
+            config.sched.policy,
         );
         BridgeMachine {
             server,

@@ -277,6 +277,8 @@ pub struct MachineInfo {
     pub lfs: Vec<(ProcId, NodeId)>,
     /// The Bridge Server's own node.
     pub server_node: NodeId,
+    /// The request-scheduling policy the LFS instances run.
+    pub sched: simdisk::SchedPolicy,
 }
 
 /// Server → worker: one lock-step block delivery (`None` = no block for

@@ -22,7 +22,7 @@ use crate::redundancy::{xor_into, ParityLayout, Redundancy};
 use bridge_efs::{EfsError, LfsClient, LfsData, LfsFileId, LfsOp};
 use bytes::Bytes;
 use parsim::{Ctx, NodeId, ProcId, SimDuration, Simulation};
-use simdisk::BlockAddr;
+use simdisk::{BlockAddr, SchedPolicy};
 use std::collections::{HashMap, VecDeque};
 
 /// Tuning knobs for the Bridge Server.
@@ -254,6 +254,9 @@ struct Server {
     agents: Vec<ProcId>,
     my_node: NodeId,
     config: BridgeServerConfig,
+    /// The request-scheduling policy the machine's LFS instances run
+    /// (reported via `GetInfo`).
+    sched: SchedPolicy,
     files: HashMap<BridgeFileId, FileMeta>,
     cursors: HashMap<(ProcId, BridgeFileId), Cursor>,
     jobs: HashMap<JobId, Job>,
@@ -276,6 +279,7 @@ pub fn spawn_bridge_server(
     lfs: Vec<(ProcId, NodeId)>,
     agents: Vec<ProcId>,
     config: BridgeServerConfig,
+    sched: SchedPolicy,
 ) -> ProcId {
     assert!(!lfs.is_empty(), "a Bridge machine needs at least one LFS");
     assert!(
@@ -288,6 +292,7 @@ pub fn spawn_bridge_server(
             agents,
             my_node: ctx.node(),
             config,
+            sched,
             files: HashMap::new(),
             cursors: HashMap::new(),
             jobs: HashMap::new(),
@@ -435,6 +440,7 @@ impl Server {
                 breadth: self.breadth(),
                 lfs: self.lfs.clone(),
                 server_node: self.my_node,
+                sched: self.sched,
             })),
         }
     }

@@ -8,7 +8,6 @@ use bridge_core::{
     BatchPolicy, BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, CreateSpec, JobWorker,
     Redundancy,
 };
-use bridge_efs::LfsFailControl;
 use parsim::{Ctx, ProcId};
 use proptest::prelude::*;
 use std::sync::mpsc;
@@ -30,8 +29,7 @@ fn config(p: u32, batch: BatchPolicy) -> BridgeConfig {
 }
 
 fn fail_node(ctx: &mut Ctx, lfs: ProcId, failed: bool) {
-    ctx.send(lfs, LfsFailControl { failed });
-    ctx.delay(parsim::SimDuration::from_micros(500));
+    bridge_efs::set_failed(ctx, lfs, failed);
 }
 
 fn write_file(

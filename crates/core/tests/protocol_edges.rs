@@ -5,8 +5,7 @@ use bridge_core::{
     BridgeClient, BridgeConfig, BridgeError, BridgeMachine, CreateSpec, JobWorker, PlacementSpec,
     Redundancy,
 };
-use bridge_efs::LfsFailControl;
-use parsim::{Ctx, SimDuration};
+use parsim::Ctx;
 
 #[test]
 fn job_close_rejected_for_non_controller() {
@@ -110,8 +109,7 @@ fn degraded_open_keeps_cached_size() {
         for i in 0..17u64 {
             bridge.seq_write(ctx, file, vec![i as u8; 8]).unwrap();
         }
-        ctx.send(victim, LfsFailControl { failed: true });
-        ctx.delay(SimDuration::from_micros(500));
+        bridge_efs::set_failed(ctx, victim, true);
         let info = bridge.open(ctx, file).unwrap();
         assert_eq!(info.size, 17, "directory size survives the failed stat");
         let failed_slice = info.nodes.iter().find(|s| s.index.0 == 0).unwrap();

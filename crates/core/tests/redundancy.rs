@@ -6,7 +6,7 @@ use bridge_core::{
     BridgeClient, BridgeConfig, BridgeError, BridgeFileId, BridgeMachine, CreateSpec, JobDeliver,
     PlacementSpec, Redundancy,
 };
-use bridge_efs::{EfsError, LfsFailControl};
+use bridge_efs::EfsError;
 use parsim::{Ctx, ProcId};
 
 fn record(tag: u32, block: u64) -> Vec<u8> {
@@ -20,10 +20,9 @@ fn record(tag: u32, block: u64) -> Vec<u8> {
 }
 
 fn fail_node(ctx: &mut Ctx, lfs: ProcId, failed: bool) {
-    ctx.send(lfs, LfsFailControl { failed });
-    // The control message races only with messages we haven't sent yet;
-    // a tiny delay orders it before our next request.
-    ctx.delay(parsim::SimDuration::from_micros(500));
+    // The acknowledged round trip orders the toggle before any later
+    // request, whatever the interconnect latency.
+    bridge_efs::set_failed(ctx, lfs, failed);
 }
 
 fn write_redundant(

@@ -9,7 +9,7 @@
 
 use crate::layout::LfsFileId;
 use simdisk::BlockAddr;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Cached link information for one (file, block) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,9 @@ pub(crate) struct LinkCache {
     /// Recency index: stamp → key, oldest first. Stamps are unique, so
     /// the first entry is always the eviction victim.
     order: BTreeMap<u64, (LfsFileId, u32)>,
+    /// Per-file index of cached block numbers, so invalidating one file
+    /// touches only its own entries instead of walking the whole cache.
+    by_file: HashMap<LfsFileId, BTreeSet<u32>>,
     hits: u64,
     misses: u64,
 }
@@ -46,6 +49,7 @@ impl LinkCache {
             stamp: 0,
             map: HashMap::with_capacity(capacity + 1),
             order: BTreeMap::new(),
+            by_file: HashMap::new(),
             hits: 0,
             misses: 0,
         }
@@ -79,22 +83,50 @@ impl LinkCache {
         let stamp = self.stamp;
         if let Some((_, old)) = self.map.insert((file, block_no), (info, stamp)) {
             self.order.remove(&old);
+        } else {
+            self.by_file.entry(file).or_default().insert(block_no);
         }
         self.order.insert(stamp, (file, block_no));
         if self.map.len() > self.capacity {
             let (_, victim) = self.order.pop_first().expect("cache is over capacity");
             self.map.remove(&victim);
+            self.unindex(victim);
         }
     }
 
-    /// Drops every cached block of `file` (delete, truncate).
+    /// Removes `key` from the per-file index.
+    fn unindex(&mut self, key: (LfsFileId, u32)) {
+        let (file, block_no) = key;
+        if let Some(blocks) = self.by_file.get_mut(&file) {
+            blocks.remove(&block_no);
+            if blocks.is_empty() {
+                self.by_file.remove(&file);
+            }
+        }
+    }
+
+    /// Drops every cached block of `file` (delete, truncate). Costs
+    /// O(entries of `file`), not a walk of the whole cache.
     pub(crate) fn invalidate_file(&mut self, file: LfsFileId) {
-        self.map.retain(|&(f, _), _| f != file);
-        self.order.retain(|_, &mut (f, _)| f != file);
+        let Some(blocks) = self.by_file.remove(&file) else {
+            return;
+        };
+        for block_no in blocks {
+            let (_, stamp) = self
+                .map
+                .remove(&(file, block_no))
+                .expect("indexed entry present in map");
+            self.order.remove(&stamp);
+        }
     }
 
     pub(crate) fn len(&self) -> usize {
         debug_assert_eq!(self.map.len(), self.order.len(), "indexes in sync");
+        debug_assert_eq!(
+            self.map.len(),
+            self.by_file.values().map(BTreeSet::len).sum::<usize>(),
+            "per-file index in sync"
+        );
         self.map.len()
     }
 
@@ -197,6 +229,34 @@ mod tests {
         c.invalidate_file(LfsFileId(1));
         assert_eq!(c.peek(LfsFileId(1), 0), None);
         assert_eq!(c.peek(LfsFileId(2), 0), Some(info(2)));
+    }
+
+    #[test]
+    fn invalidate_after_eviction_and_reinsert_stays_consistent() {
+        let mut c = LinkCache::new(4);
+        // Fill with file 1, overflow with file 2 so file 1 entries are
+        // evicted, then re-insert one — the per-file index must track
+        // every transition.
+        for i in 0..4 {
+            c.put(LfsFileId(1), i, info(i));
+        }
+        for i in 0..3 {
+            c.put(LfsFileId(2), i, info(10 + i));
+        }
+        assert_eq!(c.len(), 4);
+        c.put(LfsFileId(1), 0, info(50));
+        c.invalidate_file(LfsFileId(1));
+        assert_eq!(c.peek(LfsFileId(1), 0), None);
+        c.invalidate_file(LfsFileId(1)); // second invalidate is a no-op
+        c.invalidate_file(LfsFileId(9)); // unknown file is a no-op
+        assert_eq!(c.len(), 3);
+        for i in 0..3 {
+            assert_eq!(c.peek(LfsFileId(2), i), Some(info(10 + i)));
+        }
+        // Surviving entries still participate in LRU eviction normally.
+        c.put(LfsFileId(3), 0, info(30));
+        c.put(LfsFileId(3), 1, info(31));
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

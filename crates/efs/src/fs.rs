@@ -271,6 +271,14 @@ impl<D: BlockDevice> Efs<D> {
         (self.links.hit_rate(), self.links.len())
     }
 
+    /// Cached disk address of `(file, block_no)`, if the link cache holds
+    /// it. Free — no hit/miss accounting, no recency refresh, no media
+    /// access — so the request scheduler can use it to estimate where a
+    /// pending request will move the head.
+    pub(crate) fn link_addr(&self, file: LfsFileId, block_no: u32) -> Option<BlockAddr> {
+        self.links.peek(file, block_no).map(|info| info.addr)
+    }
+
     fn charge_cpu(&mut self, ctx: &mut Ctx) {
         self.stats.requests += 1;
         ctx.delay(self.config.cpu_per_request);

@@ -55,6 +55,6 @@ pub use layout::{
     LfsFileId, BLOCK_MAGIC, BLOCK_SIZE, EFS_HEADER_SIZE, EFS_PAYLOAD, FREE_MAGIC,
 };
 pub use server::{
-    reply_wire_size, request_wire_size, serve, spawn_lfs, LfsClient, LfsData, LfsFailControl,
-    LfsOp, LfsReply, LfsRequest,
+    reply_wire_size, request_wire_size, serve, set_failed, spawn_lfs, spawn_lfs_sched, LfsClient,
+    LfsData, LfsFailAck, LfsFailControl, LfsOp, LfsReply, LfsRequest,
 };

@@ -10,8 +10,9 @@ use crate::error::EfsError;
 use crate::fs::{Efs, FileInfo};
 use crate::layout::{LfsFileId, BLOCK_SIZE};
 use bytes::Bytes;
-use parsim::{Ctx, ProcId, Simulation};
-use simdisk::BlockAddr;
+use parsim::{Ctx, ProcId, SimDuration, SimTime, Simulation};
+use simdisk::{BlockAddr, BlockDevice, RequestQueue, SchedConfig};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A request to an LFS server process.
 #[derive(Debug)]
@@ -110,6 +111,22 @@ impl LfsOp {
             LfsOp::DiskStats => "lfs.disk_stats",
         }
     }
+
+    /// The file an operation targets, if any. `None` (Sync, DiskStats)
+    /// means the operation is ordered as a barrier against *all* of its
+    /// client's pending operations.
+    pub fn file(&self) -> Option<LfsFileId> {
+        match self {
+            LfsOp::Create { file }
+            | LfsOp::Delete { file }
+            | LfsOp::Read { file, .. }
+            | LfsOp::Write { file, .. }
+            | LfsOp::ReadRun { file, .. }
+            | LfsOp::WriteRun { file, .. }
+            | LfsOp::Stat { file } => Some(*file),
+            LfsOp::Sync | LfsOp::DiskStats => None,
+        }
+    }
 }
 
 /// A reply from an LFS server.
@@ -160,54 +177,318 @@ pub enum LfsData {
 /// Fault-injection control for an LFS server process (experiments only):
 /// a failed server answers every request with
 /// [`EfsError::NodeFailed`] until revived — a fail-stop node whose peers
-/// learn of the failure when they next talk to it.
+/// learn of the failure when they next talk to it. The server confirms
+/// every control with an [`LfsFailAck`], so a controller that waits for
+/// the ack (see [`set_failed`]) knows the toggle has taken effect no
+/// matter what the message latency is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LfsFailControl {
     /// `true` = fail-stop; `false` = revive.
     pub failed: bool,
 }
 
+/// Acknowledgement of an [`LfsFailControl`], echoing the new state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfsFailAck {
+    /// The state the server is now in.
+    pub failed: bool,
+}
+
+/// Sets or clears fail-stop on an LFS server and waits for the server's
+/// [`LfsFailAck`] before returning.
+///
+/// This replaces the old fire-and-forget control plus "sleep longer than
+/// the message latency" idiom, which silently broke ordering whenever a
+/// topology's latency exceeded the magic delay: once the ack is back,
+/// every later request from *any* client is guaranteed to be ordered
+/// after the toggle.
+pub fn set_failed(ctx: &mut Ctx, lfs: ProcId, failed: bool) {
+    ctx.send_sized(lfs, LfsFailControl { failed }, 16);
+    let env = ctx.recv_where(|e| e.from() == lfs && e.downcast_ref::<LfsFailAck>().is_some());
+    let ack = env
+        .downcast::<LfsFailAck>()
+        .expect("predicate guarantees type");
+    assert_eq!(ack.failed, failed, "server acknowledged the wrong state");
+}
+
 /// Spawns an LFS server process owning `efs` on `node`; returns its id.
 ///
-/// The server loops forever serving [`LfsRequest`] messages; it simply
-/// stays blocked in `recv` when traffic ends, which is how a simulation
-/// quiesces. An [`LfsFailControl`] message toggles fail-stop behaviour
-/// for failure-injection experiments.
-pub fn spawn_lfs<D: simdisk::BlockDevice + 'static>(
+/// The server loops forever serving [`LfsRequest`] messages in arrival
+/// order; it simply stays blocked in `recv` when traffic ends, which is
+/// how a simulation quiesces. An [`LfsFailControl`] message toggles
+/// fail-stop behaviour for failure-injection experiments.
+///
+/// Equivalent to [`spawn_lfs_sched`] with [`SchedConfig::fifo`]: the
+/// paper-faithful arrival-order service discipline.
+pub fn spawn_lfs<D: BlockDevice + 'static>(
+    sim: &mut Simulation,
+    node: parsim::NodeId,
+    name: impl Into<String>,
+    efs: Efs<D>,
+) -> ProcId {
+    spawn_lfs_sched(sim, node, name, efs, SchedConfig::fifo())
+}
+
+/// One admitted request parked in the scheduler.
+struct Queued {
+    req: LfsRequest,
+    from: ProcId,
+    delivered_at: SimTime,
+}
+
+/// Pending-request bookkeeping for a scheduled LFS server.
+///
+/// Requests are admitted into per-client *lanes* (arrival order) and only
+/// a lane's schedulable prefix is exposed to the policy queue: at most one
+/// op per (client, file) chain, and nothing past a file-less barrier op
+/// (Sync, DiskStats). Reordering is therefore invisible to any single
+/// client — its operations on one file, and around barriers, complete in
+/// the order it issued them.
+struct SchedState {
+    sched: RequestQueue<u64>,
+    /// Every admitted, not-yet-serviced request by server sequence number.
+    queued: HashMap<u64, Queued>,
+    /// Per-client arrival order: (seq, target file; `None` = barrier).
+    lanes: HashMap<ProcId, VecDeque<(u64, Option<LfsFileId>)>>,
+    /// Sequence numbers currently offered to the policy queue.
+    in_sched: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl SchedState {
+    fn new(config: SchedConfig) -> Self {
+        SchedState {
+            sched: RequestQueue::new(config),
+            queued: HashMap::new(),
+            lanes: HashMap::new(),
+            in_sched: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        !self.queued.is_empty()
+    }
+
+    /// Admits one request and refreshes its client's schedulable prefix.
+    fn admit<D: BlockDevice>(&mut self, efs: &Efs<D>, req: LfsRequest, from: ProcId, at: SimTime) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = req.op.file();
+        self.queued.insert(
+            seq,
+            Queued {
+                req,
+                from,
+                delivered_at: at,
+            },
+        );
+        self.lanes.entry(from).or_default().push_back((seq, key));
+        self.offer_lane(efs, from);
+    }
+
+    /// Pushes a lane's newly schedulable requests into the policy queue:
+    /// the head of each (client, file) chain, up to the first barrier.
+    fn offer_lane<D: BlockDevice>(&mut self, efs: &Efs<D>, client: ProcId) {
+        let Some(lane) = self.lanes.get(&client) else {
+            return;
+        };
+        let mut offer = Vec::new();
+        let mut seen = HashSet::new();
+        for (i, &(seq, key)) in lane.iter().enumerate() {
+            match key {
+                None => {
+                    // A barrier is schedulable only once it is the oldest
+                    // pending op of its client, and blocks everything
+                    // behind it.
+                    if i == 0 {
+                        offer.push(seq);
+                    }
+                    break;
+                }
+                Some(file) => {
+                    if seen.insert(file) {
+                        offer.push(seq);
+                    }
+                }
+            }
+        }
+        for seq in offer {
+            if self.in_sched.insert(seq) {
+                let track = track_hint(efs, &self.queued[&seq].req.op);
+                self.sched.push(track, seq);
+            }
+        }
+    }
+
+    /// Removes and returns the request the policy serves next.
+    fn take_next<D: BlockDevice>(&mut self, efs: &Efs<D>) -> Option<Queued> {
+        let (_, seq) = self.sched.pop(efs.disk().head_track())?;
+        self.in_sched.remove(&seq);
+        let q = self.queued.remove(&seq).expect("scheduled request queued");
+        let lane = self.lanes.get_mut(&q.from).expect("lane exists");
+        let pos = lane
+            .iter()
+            .position(|&(s, _)| s == seq)
+            .expect("request in its lane");
+        lane.remove(pos);
+        if lane.is_empty() {
+            self.lanes.remove(&q.from);
+        }
+        Some(q)
+    }
+
+    /// Drains every pending request in arrival order (fail-stop flush).
+    fn drain_all(&mut self) -> Vec<Queued> {
+        let mut seqs: Vec<u64> = self.queued.keys().copied().collect();
+        seqs.sort_unstable();
+        let drained = seqs
+            .into_iter()
+            .map(|s| self.queued.remove(&s).expect("key listed"))
+            .collect();
+        self.lanes.clear();
+        self.in_sched.clear();
+        while self.sched.pop(0).is_some() {}
+        drained
+    }
+}
+
+/// Estimates the disk track a request will touch, for scheduling. Costs
+/// nothing: uses only the client's address hint, the in-memory link
+/// cache, and the current head position — never the media.
+fn track_hint<D: BlockDevice>(efs: &Efs<D>, op: &LfsOp) -> u32 {
+    let geometry = efs.disk().geometry();
+    let addr = match op {
+        LfsOp::Read { file, block, hint }
+        | LfsOp::Write {
+            file, block, hint, ..
+        } => hint
+            .or_else(|| efs.link_addr(*file, *block))
+            .or_else(|| efs.link_addr(*file, block.saturating_sub(1))),
+        LfsOp::ReadRun {
+            file, first, hint, ..
+        }
+        | LfsOp::WriteRun {
+            file, first, hint, ..
+        } => hint
+            .or_else(|| efs.link_addr(*file, *first))
+            .or_else(|| efs.link_addr(*file, first.saturating_sub(1))),
+        // Metadata ops work against the directory and bitmap at the front
+        // of the disk.
+        LfsOp::Create { .. } | LfsOp::Delete { .. } | LfsOp::Stat { .. } | LfsOp::Sync => {
+            return 0;
+        }
+        // A pure control query touches no media: wherever the head is.
+        LfsOp::DiskStats => return efs.disk().head_track(),
+    };
+    match addr {
+        Some(a) => geometry.track_of(a),
+        None => efs.disk().head_track(),
+    }
+}
+
+/// Spawns an LFS server whose pending-request queue is serviced in
+/// `sched` policy order; returns its id.
+///
+/// Each service cycle the server first drains *all* deliverable messages
+/// (a zero-duration receive costs no virtual time), admits them into the
+/// scheduler, then serves one request chosen by the policy from the
+/// current head position. Per-(client, file) order is preserved — see
+/// [`SchedState`] — so scheduling changes only *whose* request goes next,
+/// never the order any one client observes.
+///
+/// When tracing is enabled, every serviced request emits an
+/// `lfs.queue_wait` span covering its time in the queue, with `wait`
+/// (nanoseconds) and `depth` (requests pending at service start,
+/// including this one) arguments.
+pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
     sim: &mut Simulation,
     node: parsim::NodeId,
     name: impl Into<String>,
     mut efs: Efs<D>,
+    sched: SchedConfig,
 ) -> ProcId {
     sim.spawn(node, name, move |ctx| {
+        let mut state = SchedState::new(sched);
         let mut failed = false;
         loop {
-            let env = ctx.recv();
+            // Drain the mailbox into the scheduler. Block only when idle.
+            let env = if state.has_work() {
+                let Some(env) = ctx.recv_timeout(SimDuration::ZERO) else {
+                    // Nothing more deliverable now: service one request,
+                    // then come back for whatever arrived meanwhile.
+                    service_one(ctx, &mut efs, &mut state);
+                    continue;
+                };
+                env
+            } else {
+                ctx.recv()
+            };
             let from = env.from();
+            let delivered_at = env.delivered_at();
             let env = match env.downcast::<LfsFailControl>() {
                 Ok(control) => {
                     failed = control.failed;
+                    if failed {
+                        // Fail-stop: everything already queued dies with
+                        // the node.
+                        for q in state.drain_all() {
+                            let reply = LfsReply {
+                                id: q.req.id,
+                                result: Err(EfsError::NodeFailed),
+                            };
+                            let bytes = reply_wire_size(&reply);
+                            ctx.send_sized(q.from, reply, bytes);
+                        }
+                    }
+                    ctx.send_sized(from, LfsFailAck { failed }, 16);
                     continue;
                 }
                 Err(env) => env,
             };
             match env.downcast::<LfsRequest>() {
                 Ok(req) => {
-                    let reply = if failed {
-                        LfsReply {
+                    if failed {
+                        let reply = LfsReply {
                             id: req.id,
                             result: Err(EfsError::NodeFailed),
-                        }
+                        };
+                        let bytes = reply_wire_size(&reply);
+                        ctx.send_sized(from, reply, bytes);
                     } else {
-                        serve(ctx, &mut efs, req)
-                    };
-                    let bytes = reply_wire_size(&reply);
-                    ctx.send_sized(from, reply, bytes);
+                        state.admit(&efs, req, from, delivered_at);
+                    }
                 }
                 Err(env) => panic!("LFS received a non-request message: {env:?}"),
             }
         }
     })
+}
+
+/// Serves the scheduler's next request: queue-wait span, the operation
+/// itself, the reply, and a refresh of the client's schedulable prefix.
+fn service_one<D: BlockDevice>(ctx: &mut Ctx, efs: &mut Efs<D>, state: &mut SchedState) {
+    // Queue depth at service start, this request included.
+    let depth = state.queued.len() as u64;
+    let Some(q) = state.take_next(efs) else {
+        return;
+    };
+    if ctx.trace_enabled() {
+        let wait = ctx.now().saturating_duration_since(q.delivered_at);
+        ctx.trace_span(
+            "lfs",
+            "lfs.queue_wait",
+            q.delivered_at,
+            &[("wait", wait.as_nanos()), ("depth", depth)],
+        );
+    }
+    let from = q.from;
+    let reply = serve(ctx, efs, q.req);
+    let bytes = reply_wire_size(&reply);
+    ctx.send_sized(from, reply, bytes);
+    // Serving this request may unblock the next op of its (client, file)
+    // chain.
+    state.offer_lane(efs, from);
 }
 
 /// Handles one request against `efs`, producing the reply.

@@ -1,8 +1,8 @@
 //! Additional EFS coverage: the Sync protocol op, fail-stop behaviour,
 //! backward walks, and remount-after-crash semantics.
 
-use bridge_efs::{Efs, EfsConfig, EfsError, LfsClient, LfsData, LfsFailControl, LfsFileId, LfsOp};
-use parsim::{SimConfig, SimDuration, Simulation};
+use bridge_efs::{set_failed, Efs, EfsConfig, EfsError, LfsClient, LfsData, LfsFileId, LfsOp};
+use parsim::{SimConfig, Simulation};
 use simdisk::{DiskGeometry, DiskProfile, SimDisk};
 
 fn small_geometry() -> DiskGeometry {
@@ -73,8 +73,7 @@ fn failed_node_rejects_everything_until_revived() {
             )
             .unwrap();
 
-        ctx.send(lfs, LfsFailControl { failed: true });
-        ctx.delay(SimDuration::from_micros(100));
+        set_failed(ctx, lfs, true);
         for op in [
             LfsOp::Read {
                 file: f,
@@ -88,8 +87,7 @@ fn failed_node_rejects_everything_until_revived() {
             assert_eq!(client.call(ctx, lfs, op).unwrap_err(), EfsError::NodeFailed);
         }
 
-        ctx.send(lfs, LfsFailControl { failed: false });
-        ctx.delay(SimDuration::from_micros(100));
+        set_failed(ctx, lfs, false);
         // Data written before the failure is intact (fail-stop, not
         // destruction).
         match client

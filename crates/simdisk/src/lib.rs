@@ -36,8 +36,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod sched;
+
+pub use sched::{RequestQueue, SchedConfig, SchedPolicy};
+
 use bytes::Bytes;
 use parsim::{Ctx, SimDuration};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -111,6 +116,31 @@ impl DiskGeometry {
     }
 }
 
+/// Distance-dependent seek model: the cost of repositioning the head grows
+/// with the number of tracks it must travel.
+///
+/// The paper's prototype charged a flat delay for every positioning; real
+/// drives pay a fixed settle/rotation cost plus travel time, which is what
+/// makes request *ordering* matter. A [`DiskProfile`] carries an optional
+/// `SeekCurve`; when present, positioning an access on track `t` with the
+/// head on track `h` costs `settle + per_track · |t − h|` instead of the
+/// flat `positioning` figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeekCurve {
+    /// Head settle plus average rotational delay, charged on every
+    /// repositioning regardless of distance (including distance zero).
+    pub settle: SimDuration,
+    /// Additional travel time per track of head movement.
+    pub per_track: SimDuration,
+}
+
+impl SeekCurve {
+    /// Positioning cost for a head travel of `distance` tracks.
+    pub fn cost(&self, distance: u32) -> SimDuration {
+        self.settle + self.per_track * u64::from(distance)
+    }
+}
+
 /// Timing model of a simulated drive.
 ///
 /// Reads that miss the track buffer pay `positioning` and stream the whole
@@ -124,12 +154,21 @@ impl DiskGeometry {
 /// rest of the buffer). A read of a block the buffer never earned —
 /// e.g. the untouched neighbors after a partial-track write — therefore
 /// pays positioning like any other miss.
+///
+/// With `seek: None` (the default, and the paper's model) every
+/// positioning costs the flat `positioning` delay. With a [`SeekCurve`]
+/// installed, positioning cost depends on how far the head travels, which
+/// is what gives disk-aware request scheduling something to win.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskProfile {
-    /// Seek plus rotational delay for an access that must position the head.
+    /// Seek plus rotational delay for an access that must position the
+    /// head (used when `seek` is `None`).
     pub positioning: SimDuration,
     /// Media transfer time for one block.
     pub transfer_per_block: SimDuration,
+    /// Optional distance-dependent seek curve; `None` charges the flat
+    /// `positioning` figure, preserving the paper's timing bit-for-bit.
+    pub seek: Option<SeekCurve>,
 }
 
 impl DiskProfile {
@@ -139,6 +178,22 @@ impl DiskProfile {
         DiskProfile {
             positioning: SimDuration::from_millis(15),
             transfer_per_block: SimDuration::from_millis(1),
+            seek: None,
+        }
+    }
+
+    /// A Wren-class disk with a distance-dependent seek curve: 8 ms settle
+    /// plus rotation, and travel calibrated so the average random seek
+    /// (a third of the default geometry's 8192 tracks) lands near the flat
+    /// profile's 15 ms — short seeks are much cheaper, full strokes cost
+    /// about twice the average.
+    pub fn wren_seek() -> Self {
+        DiskProfile {
+            seek: Some(SeekCurve {
+                settle: SimDuration::from_millis(8),
+                per_track: SimDuration::from_nanos(2_560),
+            }),
+            ..DiskProfile::wren()
         }
     }
 
@@ -148,6 +203,15 @@ impl DiskProfile {
         DiskProfile {
             positioning: SimDuration::ZERO,
             transfer_per_block: SimDuration::ZERO,
+            seek: None,
+        }
+    }
+
+    /// Positioning cost for an access on `to` with the head on `from`.
+    pub fn positioning_cost(&self, from: u32, to: u32) -> SimDuration {
+        match self.seek {
+            None => self.positioning,
+            Some(curve) => curve.cost(from.abs_diff(to)),
         }
     }
 }
@@ -209,6 +273,9 @@ pub struct DiskStats {
     pub buffer_hits: u64,
     /// Full-track loads (read misses).
     pub track_loads: u64,
+    /// Tracks of head travel accumulated by positionings (always zero
+    /// under the flat profile, which does not model head distance).
+    pub head_travel: u64,
     /// Total virtual time this disk spent servicing requests.
     pub busy: SimDuration,
 }
@@ -291,6 +358,14 @@ pub trait BlockDevice: Send + std::fmt::Debug {
     fn capacity_blocks(&self) -> u32 {
         self.geometry().capacity_blocks()
     }
+
+    /// The track the device's head is currently positioned over, for
+    /// request scheduling. Devices without a meaningful single head
+    /// (striped sets, arrays) report track 0, which degrades scheduling
+    /// to policy order without affecting correctness.
+    fn head_track(&self) -> u32 {
+        0
+    }
 }
 
 /// An in-memory simulated disk with virtual-time delays.
@@ -311,6 +386,11 @@ pub struct SimDisk {
     write_behind: Option<u32>,
     /// Virtual time at which the device finishes its queued work.
     free_at: parsim::SimTime,
+    /// Completion times of queued write-behind operations, oldest first;
+    /// entries at or before the current clock are retired lazily.
+    deferred: VecDeque<parsim::SimTime>,
+    /// Track the head is currently positioned over (starts at track 0).
+    head_track: u32,
     stats: DiskStats,
 }
 
@@ -325,6 +405,8 @@ impl SimDisk {
             buffered_valid: vec![false; geometry.blocks_per_track as usize],
             write_behind: None,
             free_at: parsim::SimTime::ZERO,
+            deferred: VecDeque::new(),
+            head_track: 0,
             stats: DiskStats::default(),
         }
     }
@@ -406,6 +488,23 @@ impl SimDisk {
         self.buffered_valid[offset] = true;
     }
 
+    /// Moves the head to `track`, returning the positioning cost (flat
+    /// under the paper profile, distance-dependent under a seek curve) and
+    /// accounting the travel.
+    fn seek_to(&mut self, track: u32) -> SimDuration {
+        let d = self.profile.positioning_cost(self.head_track, track);
+        if self.profile.seek.is_some() {
+            self.stats.head_travel += u64::from(self.head_track.abs_diff(track));
+        }
+        self.head_track = track;
+        d
+    }
+
+    /// The track the head is currently positioned over.
+    pub fn head_track(&self) -> u32 {
+        self.head_track
+    }
+
     fn charge(&mut self, ctx: &mut Ctx, d: SimDuration) {
         self.stats.busy += d;
         if self.write_behind.is_some() {
@@ -424,16 +523,35 @@ impl SimDisk {
     /// the queue-depth backpressure).
     fn charge_deferred(&mut self, ctx: &mut Ctx, d: SimDuration, immediate: SimDuration) {
         self.stats.busy += d;
-        let depth = self.write_behind.expect("only called with write-behind on");
+        let depth = self.write_behind.expect("only called with write-behind on") as usize;
         let start = self.free_at.max(ctx.now());
         self.free_at = start + d;
+        self.deferred.push_back(self.free_at);
         ctx.delay(immediate);
-        // Backpressure: never let the queue run more than `depth` writes
-        // ahead of the clock.
-        let max_lead =
-            (self.profile.positioning + self.profile.transfer_per_block) * u64::from(depth);
-        let lead = self.free_at.saturating_duration_since(ctx.now());
-        ctx.delay(lead.saturating_sub(max_lead));
+        // Backpressure: at most `depth` writes may be outstanding on the
+        // device. Bounding by op count (not a worst-case time lead) keeps
+        // the bound exact when queued writes cost less than the worst
+        // case, e.g. short seeks under a seek curve.
+        self.retire_deferred(ctx.now());
+        if self.deferred.len() > depth {
+            let wake = self.deferred[self.deferred.len() - 1 - depth];
+            ctx.delay(wake.saturating_duration_since(ctx.now()));
+            self.retire_deferred(ctx.now());
+        }
+    }
+
+    /// Drops queued-write completion records that the clock has passed.
+    fn retire_deferred(&mut self, now: parsim::SimTime) {
+        while self.deferred.front().is_some_and(|&c| c <= now) {
+            self.deferred.pop_front();
+        }
+    }
+
+    /// Number of write-behind operations still outstanding on the device
+    /// at `now` (always zero without write-behind).
+    pub fn deferred_outstanding(&mut self, now: parsim::SimTime) -> usize {
+        self.retire_deferred(now);
+        self.deferred.len()
     }
 
     /// Reads one block, charging virtual time.
@@ -455,7 +573,7 @@ impl SimDisk {
             self.profile.transfer_per_block
         } else {
             self.stats.track_loads += 1;
-            self.profile.positioning
+            self.seek_to(track)
                 + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track)
         };
         self.charge(ctx, d);
@@ -508,7 +626,7 @@ impl SimDisk {
             } else {
                 self.stats.track_loads += 1;
                 run_loads += 1;
-                total += self.profile.positioning
+                total += self.seek_to(track)
                     + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track);
                 self.buffer_load(track);
             }
@@ -591,9 +709,8 @@ impl SimDisk {
             }
         }
         let mut total = SimDuration::ZERO;
-        for group in &groups {
-            total +=
-                self.profile.positioning + self.profile.transfer_per_block * group.len() as u64;
+        for (group, &track) in groups.iter().zip(&track_order) {
+            total += self.seek_to(track) + self.profile.transfer_per_block * group.len() as u64;
             for &i in group {
                 let (addr, data) = &writes[i];
                 self.stats.writes += 1;
@@ -633,7 +750,7 @@ impl SimDisk {
             });
         }
         self.stats.writes += 1;
-        let d = self.profile.positioning + self.profile.transfer_per_block;
+        let d = self.seek_to(self.geometry.track_of(addr)) + self.profile.transfer_per_block;
         let t0 = ctx.now();
         if self.write_behind.is_some() {
             self.charge_deferred(ctx, d, self.profile.transfer_per_block);
@@ -731,6 +848,10 @@ impl BlockDevice for SimDisk {
     fn stats(&self) -> DiskStats {
         SimDisk::stats(self)
     }
+
+    fn head_track(&self) -> u32 {
+        SimDisk::head_track(self)
+    }
 }
 
 impl fmt::Debug for SimDisk {
@@ -739,6 +860,7 @@ impl fmt::Debug for SimDisk {
             .field("geometry", &self.geometry)
             .field("profile", &self.profile)
             .field("buffered_track", &self.buffered_track)
+            .field("head_track", &self.head_track)
             .field("stats", &self.stats)
             .finish()
     }
@@ -1152,6 +1274,126 @@ mod tests {
             assert!(matches!(err, DiskError::WrongBlockSize { .. }));
             assert_eq!(ctx.now(), SimTime::ZERO, "failed runs charge nothing");
             assert_eq!(disk.blocks_in_use(), 0, "failed runs write nothing");
+        });
+    }
+
+    #[test]
+    fn seek_curve_charges_by_distance() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        let stats = sim.block_on(node, "driver", |ctx| {
+            let profile = DiskProfile {
+                positioning: SimDuration::from_millis(15),
+                transfer_per_block: SimDuration::from_millis(1),
+                seek: Some(SeekCurve {
+                    settle: SimDuration::from_millis(4),
+                    per_track: SimDuration::from_micros(10),
+                }),
+            };
+            let mut disk = SimDisk::new(DiskGeometry::default(), profile);
+            // Head starts at track 0: a same-track write costs settle only.
+            let t0 = ctx.now();
+            disk.write(ctx, BlockAddr::new(0), &block_of(0)).unwrap();
+            assert_eq!(ctx.now() - t0, SimDuration::from_millis(5), "4 settle + 1");
+            // 100 tracks away: 4 ms settle + 100 × 10 µs travel + 1 transfer.
+            let t1 = ctx.now();
+            disk.write(ctx, BlockAddr::new(800), &block_of(1)).unwrap();
+            assert_eq!(ctx.now() - t1, SimDuration::from_millis(6));
+            // Coming back costs the same distance again.
+            let t2 = ctx.now();
+            disk.write(ctx, BlockAddr::new(1), &block_of(2)).unwrap();
+            assert_eq!(ctx.now() - t2, SimDuration::from_millis(6));
+            // A read miss seeks too: head at 0, target track 100.
+            disk.write_raw(BlockAddr::new(801), &block_of(3));
+            let t3 = ctx.now();
+            disk.read(ctx, BlockAddr::new(801)).unwrap();
+            assert_eq!(
+                ctx.now() - t3,
+                SimDuration::from_millis(4 + 1 + 8),
+                "settle + travel + full-track transfer"
+            );
+            disk.stats()
+        });
+        assert_eq!(stats.head_travel, 300, "0→100→0→100 tracks");
+    }
+
+    #[test]
+    fn flat_profile_reports_no_head_travel() {
+        let stats = on_disk(DiskProfile::wren(), |ctx, disk| {
+            disk.write(ctx, BlockAddr::new(0), &block_of(0)).unwrap();
+            disk.write(ctx, BlockAddr::new(4000), &block_of(1)).unwrap();
+            disk.stats()
+        });
+        assert_eq!(stats.head_travel, 0);
+    }
+
+    #[test]
+    fn wren_seek_average_matches_flat_wren() {
+        // The calibrated curve: an average-distance random seek (a third
+        // of the stroke) costs about the flat profile's 15 ms.
+        let p = DiskProfile::wren_seek();
+        let avg = DiskGeometry::default().tracks / 3;
+        let cost = p.positioning_cost(0, avg);
+        assert!(
+            cost >= SimDuration::from_millis(14) && cost <= SimDuration::from_millis(16),
+            "average seek {cost} should be near 15 ms"
+        );
+        assert!(p.positioning_cost(0, 0) < SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn write_behind_backpressure_bounds_outstanding_ops_not_worst_case_time() {
+        // Regression test: backpressure used to bound the queue by a
+        // worst-case `positioning + transfer` time lead, so writes that
+        // cost less than the worst case (short seeks under a curve) were
+        // mis-throttled. The bound is the queued-op *count*.
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        sim.block_on(node, "driver", |ctx| {
+            let profile = DiskProfile {
+                positioning: SimDuration::from_millis(15),
+                transfer_per_block: SimDuration::from_millis(1),
+                seek: Some(SeekCurve {
+                    settle: SimDuration::from_millis(4),
+                    per_track: SimDuration::from_micros(10),
+                }),
+            };
+            let mut disk = SimDisk::new(DiskGeometry::default(), profile);
+            disk.enable_write_behind(4);
+            // Same-track writes cost 5 ms each on the device but return at
+            // the 1 ms transfer rate until `depth` are outstanding.
+            let t0 = ctx.now();
+            for i in 0..4u32 {
+                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8))
+                    .unwrap();
+            }
+            assert_eq!(
+                ctx.now() - t0,
+                SimDuration::from_millis(4),
+                "first `depth` writes pay only the buffer transfer"
+            );
+            assert_eq!(disk.deferred_outstanding(ctx.now()), 4);
+            // The fifth write's transfer ends at t = 5 ms, exactly when the
+            // first queued write completes on the device — the slot frees
+            // just in time, so no extra stall.
+            let t1 = ctx.now();
+            disk.write(ctx, BlockAddr::new(4), &block_of(4)).unwrap();
+            assert_eq!(ctx.now() - t1, SimDuration::from_millis(1));
+            assert_eq!(disk.deferred_outstanding(ctx.now()), 4);
+            // The sixth write (queued at t = 5 ms) must wait for the write
+            // completing at t = 10 ms before a slot opens: 1 ms transfer
+            // plus 4 ms stall. The old time-lead bound allowed a lead of
+            // depth × (positioning + transfer) = 64 ms and would not have
+            // stalled here at all, letting far more than `depth` of these
+            // cheap writes pile up outstanding.
+            let t2 = ctx.now();
+            disk.write(ctx, BlockAddr::new(5), &block_of(5)).unwrap();
+            assert_eq!(
+                ctx.now() - t2,
+                SimDuration::from_millis(5),
+                "1 ms transfer + 4 ms waiting for a queue slot"
+            );
+            assert_eq!(disk.deferred_outstanding(ctx.now()), 4);
         });
     }
 

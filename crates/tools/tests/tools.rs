@@ -450,7 +450,6 @@ fn sort_scratch_files_are_cleaned_up() {
 #[test]
 fn copy_tool_preserves_redundancy_mode() {
     use bridge_core::Redundancy;
-    use bridge_efs::LfsFailControl;
     let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
     let server = machine.server;
     let victim = machine.lfs[3];
@@ -476,8 +475,7 @@ fn copy_tool_preserves_redundancy_mode() {
         // ecopy writes data columns directly; the tool then asks the
         // server to derive the mirror columns, so the copy survives a
         // node failure just like its source.
-        ctx.send(victim, LfsFailControl { failed: true });
-        ctx.delay(parsim::SimDuration::from_micros(500));
+        bridge_efs::set_failed(ctx, victim, true);
         for b in 0..blocks {
             let data = bridge.rand_read(ctx, dup, b).unwrap();
             assert_eq!(

@@ -7,14 +7,21 @@ use parsim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// A log2-bucketed histogram of durations in nanoseconds.
+/// Sub-buckets per octave: each power-of-two range is split by the top
+/// `SUB_BITS` mantissa bits, bounding quantile error to 1/8 of the value.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB + SUB;
+
+/// A log-linear histogram of durations in nanoseconds.
 ///
-/// Bucket `i` holds durations `d` with `floor(log2(d)) == i` (zero goes
-/// in bucket 0), so the whole `u64` range fits in 64 buckets and
-/// recording is one `leading_zeros` away.
+/// Each power-of-two octave is split into [`SUB`] linear sub-buckets (the
+/// HDR-histogram scheme), so recording is a couple of shifts and quantile
+/// bounds are precise to 12.5% instead of a factor of two, while the whole
+/// `u64` range still fits in a few hundred buckets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: [u64; 64],
+    buckets: [u64; BUCKETS],
     count: u64,
     sum: u64,
     max: u64,
@@ -23,7 +30,7 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [0; 64],
+            buckets: [0; BUCKETS],
             count: 0,
             sum: 0,
             max: 0,
@@ -32,14 +39,30 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    fn bucket_of(nanos: u64) -> usize {
+        if nanos < SUB as u64 {
+            return nanos as usize;
+        }
+        let exp = 63 - nanos.leading_zeros(); // >= SUB_BITS
+        let sub = ((nanos >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        (exp - SUB_BITS + 1) as usize * SUB + sub
+    }
+
+    /// Exclusive upper bound of bucket `i`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i < SUB {
+            return i as u64 + 1;
+        }
+        let group = (i / SUB) as u32; // >= 1
+        let sub = (i % SUB) as u64;
+        let exp = group + SUB_BITS - 1;
+        let step = 1u64 << (exp - SUB_BITS);
+        (1u64 << exp).saturating_add((sub + 1).saturating_mul(step))
+    }
+
     /// Records one duration (in nanoseconds).
     pub fn record(&mut self, nanos: u64) {
-        let bucket = if nanos == 0 {
-            0
-        } else {
-            63 - nanos.leading_zeros() as usize
-        };
-        self.buckets[bucket] += 1;
+        self.buckets[Self::bucket_of(nanos)] += 1;
         self.count += 1;
         self.sum += nanos;
         self.max = self.max.max(nanos);
@@ -66,8 +89,8 @@ impl Histogram {
     }
 
     /// Upper bound (exclusive, in nanoseconds) of the smallest bucket
-    /// prefix containing at least `q` (0..=1) of the samples — a coarse
-    /// quantile, precise to a factor of two.
+    /// prefix containing at least `q` (0..=1) of the samples — a quantile
+    /// bound precise to 12.5% of the value.
     pub fn quantile_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -77,7 +100,7 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return 1u64 << (i + 1).min(63);
+                return Self::bucket_upper(i);
             }
         }
         u64::MAX
@@ -97,6 +120,37 @@ pub struct DiskUtilization {
     pub utilization: f64,
 }
 
+/// Request-queue statistics of scheduled LFS servers, aggregated from
+/// their `lfs.queue_wait` spans (one per serviced request: the span
+/// covers the request's time in the pending queue; its `depth` argument
+/// is the number of requests pending at service start, itself included).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueMetrics {
+    /// Queue-wait distribution (span durations, nanoseconds).
+    pub wait: Histogram,
+    /// Largest pending-queue depth observed at any service start.
+    pub depth_max: u64,
+    /// Sum of observed depths (for the mean).
+    depth_sum: u64,
+}
+
+impl QueueMetrics {
+    /// Mean queue depth at service start (zero when nothing was traced).
+    pub fn depth_mean(&self) -> f64 {
+        if self.wait.count() == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.wait.count() as f64
+        }
+    }
+
+    fn observe(&mut self, wait_nanos: u64, depth: u64) {
+        self.wait.record(wait_nanos);
+        self.depth_max = self.depth_max.max(depth);
+        self.depth_sum += depth;
+    }
+}
+
 /// Counters and histograms aggregated from one [`TraceData`].
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -112,6 +166,9 @@ pub struct Metrics {
     /// Per-disk busy/utilization, one entry per process that emitted
     /// `"disk"` spans, in pid order.
     pub disks: Vec<DiskUtilization>,
+    /// LFS request-queue statistics (empty when no `lfs.queue_wait`
+    /// spans were traced).
+    pub queue: QueueMetrics,
     /// The trace's end time (denominator of utilization).
     pub end_time: SimTime,
 }
@@ -134,6 +191,10 @@ impl Metrics {
                 for &(k, v) in &span.args {
                     *totals.entry(k).or_insert(0) += v;
                 }
+            }
+            if span.name == "lfs.queue_wait" {
+                m.queue
+                    .observe(span.dur_nanos(), span.arg("depth").unwrap_or(1));
             }
             if span.cat == "disk" {
                 *disk_busy.entry(span.pid).or_insert(0) +=
@@ -200,6 +261,16 @@ impl Metrics {
             "  messages: {} sends, {} payload bytes",
             self.msg_sends, self.msg_bytes
         );
+        if self.queue.wait.count() > 0 {
+            let _ = writeln!(
+                out,
+                "  lfs queue: mean wait {}, p99 wait <= {}, depth mean {:.1} max {}",
+                self.queue.wait.mean(),
+                SimDuration::from_nanos(self.queue.wait.quantile_bound(0.99)),
+                self.queue.depth_mean(),
+                self.queue.depth_max
+            );
+        }
         if !self.disks.is_empty() {
             let _ = writeln!(out, "  disk utilization");
             for d in &self.disks {
@@ -246,6 +317,17 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_bounds_are_log_linear_tight() {
+        for v in [0u64, 5, 9, 100, 1_000, 12_345, 1_000_000, 987_654_321] {
+            let mut h = Histogram::default();
+            h.record(v);
+            let bound = h.quantile_bound(1.0);
+            assert!(bound > v, "bound {bound} must exceed the sample {v}");
+            assert!(bound <= v + v / 8 + 1, "bound {bound} too loose for {v}");
+        }
+    }
+
+    #[test]
     fn metrics_aggregate_counts_args_and_utilization() {
         let mut data = TraceData::default();
         data.procs.push(crate::collect::ProcMeta {
@@ -272,6 +354,38 @@ mod tests {
         assert!(rendered.contains("disk.read.load"));
         assert!(rendered.contains("disk utilization"));
         assert!(rendered.contains("lfs0"));
+    }
+
+    #[test]
+    fn queue_metrics_aggregate_wait_and_depth() {
+        let mut data = TraceData::default();
+        data.procs.push(crate::collect::ProcMeta {
+            name: "lfs0".to_string(),
+            node: 0,
+        });
+        for (start, end, depth) in [(0u64, 100, 1u64), (10, 400, 3), (20, 220, 2)] {
+            data.spans.push(SpanEvent {
+                pid: 0,
+                cat: "lfs",
+                name: "lfs.queue_wait".to_string(),
+                start: SimTime::from_nanos(start),
+                end: SimTime::from_nanos(end),
+                args: vec![("wait", end - start), ("depth", depth)],
+            });
+        }
+        let m = Metrics::from_trace(&data);
+        assert_eq!(m.queue.wait.count(), 3);
+        assert_eq!(
+            m.queue.wait.total(),
+            SimDuration::from_nanos(100 + 390 + 200)
+        );
+        assert_eq!(m.queue.depth_max, 3);
+        assert!((m.queue.depth_mean() - 2.0).abs() < 1e-9);
+        assert!(m.render().contains("lfs queue"));
+        // A queue-less trace renders no queue line and an empty registry.
+        let empty = Metrics::from_trace(&TraceData::default());
+        assert_eq!(empty.queue, QueueMetrics::default());
+        assert!(!empty.render().contains("lfs queue"));
     }
 
     #[test]
