@@ -16,6 +16,7 @@
 //! is the measured phase alone.
 
 use bridge_bench::report::{count, kernel_stats, secs, Table};
+use bridge_bench::results::{emit, Metric};
 use bridge_bench::{file_blocks, speedup, write_workload};
 use bridge_core::{BatchPolicy, BridgeClient, BridgeConfig, BridgeMachine};
 use bridge_tools::{copy, ToolOptions};
@@ -163,6 +164,7 @@ fn sweep_copy(blocks: u64) {
     };
 
     let mut headline: Option<(u64, u64)> = None;
+    let mut tracked: Vec<Metric> = Vec::new();
     for &p in &PROCESSORS {
         let mut table = Table::new([
             "Depth",
@@ -179,6 +181,16 @@ fn sweep_copy(blocks: u64) {
             let (t1, m1) = *baseline.get_or_insert((cost.elapsed, cost.messages));
             if p == 32 && depth == 8 {
                 headline = Some((m1, cost.messages));
+            }
+            if p == 32 && (depth == 1 || depth == 8) {
+                tracked.push(Metric::lower(
+                    format!("copy_p32_depth{depth}.secs"),
+                    cost.elapsed.as_secs_f64(),
+                ));
+                tracked.push(Metric::lower(
+                    format!("copy_p32_depth{depth}.messages"),
+                    cost.messages as f64,
+                ));
             }
             table.row([
                 if depth == 1 {
@@ -217,6 +229,8 @@ fn sweep_copy(blocks: u64) {
         reduction >= 5.0,
         "expected >=5x message reduction at p=32 depth=8, got {reduction:.2}x"
     );
+    tracked.push(Metric::higher("copy_p32_depth8.msg_reduction", reduction));
+    emit("ablate_batch_io", &tracked);
 }
 
 fn main() {

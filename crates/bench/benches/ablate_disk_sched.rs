@@ -24,6 +24,7 @@
 //! and depth come from the server's `lfs.queue_wait` spans.
 
 use bridge_bench::report::{count, secs, Table};
+use bridge_bench::results::{emit, Metric};
 use bridge_bench::{records_per_second, scale};
 use bridge_efs::{spawn_lfs_sched, Efs, EfsConfig, LfsClient, LfsData, LfsFileId, LfsOp};
 use bridge_trace::{Metrics, TraceCollector};
@@ -98,6 +99,7 @@ fn run_policy(policy: SchedPolicy) -> RunResult {
         latency: Box::new(UniformLatency::default()),
         seed: 0x5C4E_D015,
         tracer: Some(collector.as_tracer()),
+        ..SimConfig::default()
     });
     let lfs_node = sim.add_node("lfs");
 
@@ -298,4 +300,17 @@ fn main() {
         ms(best.p99_bound),
         ms(fifo.p99_bound),
     );
+
+    let mut metrics = Vec::new();
+    for r in &results {
+        metrics.push(Metric::higher(
+            format!("{}.ops_per_s", r.policy),
+            r.throughput,
+        ));
+        metrics.push(Metric::lower(
+            format!("{}.p99_ns", r.policy),
+            r.p99_bound as f64,
+        ));
+    }
+    emit("ablate_disk_sched", &metrics);
 }

@@ -1,0 +1,109 @@
+//! The bench-regression gate.
+//!
+//! ```text
+//! bench_gate check <BENCH_baseline.json> <results_dir> [tolerance]
+//! bench_gate baseline <out.json> <results_dir>
+//! ```
+//!
+//! `check` compares the per-bench JSON files emitted into `results_dir`
+//! (by the ablation benches, see `bridge_bench::results`) against the
+//! committed baseline and exits non-zero when a tracked metric is worse
+//! by more than the tolerance (default 0.15 = 15%), disappeared, or was
+//! measured at a different scale. `baseline` merges a results directory
+//! into a fresh baseline file — run it after an intended performance
+//! change and commit the output.
+
+use bridge_bench::results::{compare, load_baseline, load_results, render_baseline};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_gate check <baseline.json> <results_dir> [tolerance]\n\
+         \x20      bench_gate baseline <out.json> <results_dir>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, baseline, results] if cmd == "check" => check(baseline, results, 0.15),
+        [cmd, baseline, results, tol] if cmd == "check" => match tol.parse() {
+            Ok(tol) => check(baseline, results, tol),
+            Err(_) => return usage(),
+        },
+        [cmd, out, results] if cmd == "baseline" => write_baseline(out, results),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("bench_gate: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(baseline: &str, results: &str, tolerance: f64) -> Result<ExitCode, String> {
+    let base = load_baseline(Path::new(baseline))?;
+    let current = load_results(Path::new(results))?;
+    let (deltas, failures) = compare(&base, &current, tolerance);
+    println!(
+        "bench gate: {} metrics vs {} (tolerance {:.0}%)",
+        deltas.len(),
+        baseline,
+        tolerance * 100.0
+    );
+    for d in &deltas {
+        println!(
+            "  {dir} {label}: {base:.4} -> {current:.4} ({pct:+.1}% {verdict})",
+            dir = if d.worsening > tolerance {
+                "✗"
+            } else {
+                "✓"
+            },
+            label = d.label,
+            base = d.base,
+            current = d.current,
+            pct = -d.worsening * 100.0,
+            verdict = if d.worsening > 0.0 {
+                "worse"
+            } else {
+                "better-or-equal"
+            },
+        );
+    }
+    if failures.is_empty() {
+        println!("bench gate: PASS");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("bench gate: FAIL");
+    for f in &failures {
+        println!("  regression: {f}");
+    }
+    println!(
+        "If the change is intended, refresh the baseline:\n  \
+         cargo run -p bridge-bench --bin bench_gate -- baseline {baseline} {results}"
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn write_baseline(out: &str, results: &str) -> Result<ExitCode, String> {
+    let current = load_results(Path::new(results))?;
+    if current.is_empty() {
+        return Err(format!("no result files in {results}"));
+    }
+    let text = render_baseline(&current);
+    std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out} from {} bench(es): {}",
+        current.len(),
+        current
+            .iter()
+            .map(|b| b.bench.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(ExitCode::SUCCESS)
+}

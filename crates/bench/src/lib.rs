@@ -10,6 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod report;
+pub mod results;
 pub mod workload;
 
 use bridge_core::{BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, CreateSpec};

@@ -1,0 +1,60 @@
+//! The fault layer must be pay-for-what-you-use: a machine built with an
+//! explicit [`parsim::FaultPlan::none`] — and one with retries armed but
+//! no faults — must reproduce the plain machine's [`parsim::RunStats`]
+//! counters and virtual timestamps bit for bit. The empty plan takes the
+//! fast path (no PRNG draws, no delivery rewrites), so nothing about the
+//! schedule may shift.
+
+use bridge_bench::write_workload;
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine, RetryPolicy};
+use parsim::{FaultPlan, RunStats, SimDuration};
+
+const BREADTH: u32 = 4;
+const BLOCKS: u64 = 192;
+
+/// Write-then-read-back on the paper machine under `config`, returning
+/// the workload's virtual phase times and the kernel's run counters.
+fn measure(config: &BridgeConfig, retry: RetryPolicy) -> (SimDuration, SimDuration, RunStats) {
+    let (mut sim, machine) = BridgeMachine::build(config);
+    let server = machine.server;
+    let (write, read) = sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::with_retry(server, retry);
+        let t0 = ctx.now();
+        let file = write_workload(ctx, &mut bridge, BLOCKS, 42);
+        let write = ctx.now() - t0;
+        bridge.open(ctx, file).expect("open");
+        let t0 = ctx.now();
+        let mut read = 0u64;
+        while bridge.seq_read(ctx, file).expect("read").is_some() {
+            read += 1;
+        }
+        assert_eq!(read, BLOCKS, "every block read back");
+        (write, ctx.now() - t0)
+    });
+    (write, read, sim.stats())
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    let plain = measure(&BridgeConfig::paper(BREADTH), RetryPolicy::none());
+    let with_empty_plan = measure(
+        &BridgeConfig::paper(BREADTH).with_faults(FaultPlan::none()),
+        RetryPolicy::none(),
+    );
+    assert_eq!(
+        plain, with_empty_plan,
+        "FaultPlan::none() changed timings or kernel counters"
+    );
+}
+
+#[test]
+fn arming_retries_without_faults_is_bit_identical() {
+    let plain = measure(&BridgeConfig::paper(BREADTH), RetryPolicy::none());
+    let mut armed_config = BridgeConfig::paper(BREADTH);
+    armed_config.server.lfs_retry = RetryPolicy::standard();
+    let armed = measure(&armed_config, RetryPolicy::standard());
+    assert_eq!(
+        plain, armed,
+        "idle retry timeouts changed timings or kernel counters"
+    );
+}

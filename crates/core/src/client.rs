@@ -7,24 +7,51 @@ use crate::protocol::{
     request_wire_size, BridgeCmd, BridgeData, BridgeReply, BridgeRequest, CreateSpec, JobDeliver,
     JobRequest, JobSupply, MachineInfo, OpenInfo,
 };
+use bridge_efs::RetryPolicy;
 use bytes::Bytes;
 use parsim::{Ctx, ProcId};
 
 /// A typed client for the Bridge Server.
 ///
 /// Wraps the raw [`BridgeRequest`]/[`BridgeReply`] protocol: requests carry
-/// fresh ids and replies are matched by id (other traffic is stashed by the
-/// underlying selective receive).
+/// fresh ids (drawn from the owning process's [`Ctx::unique_id`] stream, so
+/// ids never collide across client instances in one process) and replies
+/// are matched by id (other traffic is stashed by the underlying selective
+/// receive).
+///
+/// With a [`RetryPolicy`] installed ([`with_retry`](BridgeClient::with_retry)),
+/// [`call`](BridgeClient::call) — and every typed helper built on it —
+/// times out, resends the *same* request id with capped exponential
+/// backoff, and gives up with [`BridgeError::TimedOut`] once the budget is
+/// spent. The server's dedup window makes the resend safe for
+/// non-idempotent commands. The pipelined [`send`](BridgeClient::send) /
+/// [`wait`](BridgeClient::wait) pair retries too: `send` records the
+/// command so `wait` can resend it (without a policy it waits
+/// indefinitely).
 #[derive(Debug)]
 pub struct BridgeClient {
     server: ProcId,
-    next_id: u64,
+    retry: RetryPolicy,
+    /// Commands sent but not yet waited on, kept only when retries are
+    /// enabled so `wait` can resend them. Host-side bookkeeping: recording
+    /// a command has no effect on virtual time.
+    pending: Vec<(u64, BridgeCmd)>,
 }
 
 impl BridgeClient {
-    /// Creates a client talking to `server`.
+    /// Creates a client talking to `server` that waits indefinitely for
+    /// replies (no retries).
     pub fn new(server: ProcId) -> Self {
-        BridgeClient { server, next_id: 1 }
+        Self::with_retry(server, RetryPolicy::none())
+    }
+
+    /// Creates a client whose calls time out and resend per `retry`.
+    pub fn with_retry(server: ProcId, retry: RetryPolicy) -> Self {
+        BridgeClient {
+            server,
+            retry,
+            pending: Vec::new(),
+        }
     }
 
     /// The server this client talks to.
@@ -32,36 +59,134 @@ impl BridgeClient {
         self.server
     }
 
+    /// The client's retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Sends `cmd` and returns its request id (for pipelining).
     pub fn send(&mut self, ctx: &mut Ctx, cmd: BridgeCmd) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = ctx.unique_id();
         let bytes = request_wire_size(&cmd);
-        ctx.send_sized(self.server, BridgeRequest { id, cmd }, bytes);
+        if self.retry.is_enabled() {
+            self.pending.push((id, cmd.clone()));
+        }
+        ctx.send_sized_cloneable(self.server, BridgeRequest { id, cmd }, bytes);
         id
     }
 
-    /// Waits for the reply to a previously sent request.
+    /// Waits for the reply to a previously sent request, resending it on
+    /// timeout when the client has a retry policy.
     ///
     /// # Errors
     ///
-    /// Propagates the server-side [`BridgeError`].
+    /// Propagates the server-side [`BridgeError`], or returns
+    /// [`BridgeError::TimedOut`] when the retry budget is spent without a
+    /// reply.
     pub fn wait(&mut self, ctx: &mut Ctx, id: u64) -> Result<BridgeData, BridgeError> {
         let server = self.server;
-        let env = ctx.recv_where(|e| {
-            e.from() == server && e.downcast_ref::<BridgeReply>().is_some_and(|r| r.id == id)
-        });
-        env.downcast::<BridgeReply>().expect("matched type").result
+        match self.pending.iter().position(|(p, _)| *p == id) {
+            Some(slot) => {
+                let (_, cmd) = self.pending.swap_remove(slot);
+                self.wait_retrying(ctx, id, &cmd)
+            }
+            None => {
+                let env = ctx.recv_where(|e| {
+                    e.from() == server
+                        && e.downcast_ref::<BridgeReply>().is_some_and(|r| r.id == id)
+                });
+                env.downcast::<BridgeReply>().expect("matched type").result
+            }
+        }
     }
 
-    /// Round trip: send `cmd` and wait for its reply.
+    /// Round trip: send `cmd` and wait for its reply, resending on
+    /// timeout when the client has a retry policy.
     ///
     /// # Errors
     ///
-    /// Propagates the server-side [`BridgeError`].
+    /// Propagates the server-side [`BridgeError`], or returns
+    /// [`BridgeError::TimedOut`] when the retry budget is spent without a
+    /// reply.
     pub fn call(&mut self, ctx: &mut Ctx, cmd: BridgeCmd) -> Result<BridgeData, BridgeError> {
         let id = self.send(ctx, cmd);
         self.wait(ctx, id)
+    }
+
+    /// The retry loop behind [`wait`](Self::wait) and
+    /// [`call`](Self::call): the first attempt is already on the wire.
+    fn wait_retrying(
+        &mut self,
+        ctx: &mut Ctx,
+        id: u64,
+        cmd: &BridgeCmd,
+    ) -> Result<BridgeData, BridgeError> {
+        let server = self.server;
+        let bytes = request_wire_size(cmd);
+        let t0 = ctx.now();
+        let mut attempt = 1u32;
+        loop {
+            let reply = ctx.recv_where_timeout(
+                |e| {
+                    e.from() == server
+                        && e.downcast_ref::<BridgeReply>().is_some_and(|r| r.id == id)
+                },
+                self.retry.wait_for(attempt - 1),
+            );
+            match reply {
+                Some(env) => {
+                    // The network may duplicate replies and earlier
+                    // attempts may still produce replays: purge any copy
+                    // the selective receive already stashed so they cannot
+                    // pile up.
+                    ctx.discard_stashed(|e| {
+                        e.from() == server
+                            && e.downcast_ref::<BridgeReply>().is_some_and(|r| r.id == id)
+                    });
+                    if attempt > 1 && ctx.trace_enabled() {
+                        let latency = ctx.now().duration_since(t0);
+                        ctx.trace_instant(
+                            "retry",
+                            "retry.recovered",
+                            &[
+                                ("id", id),
+                                ("attempts", u64::from(attempt)),
+                                ("latency_nanos", latency.as_nanos()),
+                            ],
+                        );
+                    }
+                    return env.downcast::<BridgeReply>().expect("matched type").result;
+                }
+                None if attempt >= self.retry.budget => {
+                    if ctx.trace_enabled() {
+                        ctx.trace_instant(
+                            "retry",
+                            "retry.exhausted",
+                            &[("id", id), ("attempts", u64::from(attempt))],
+                        );
+                    }
+                    return Err(BridgeError::TimedOut { attempts: attempt });
+                }
+                None => {
+                    if ctx.trace_enabled() {
+                        ctx.trace_instant(
+                            "retry",
+                            "retry.resend",
+                            &[("id", id), ("attempt", u64::from(attempt))],
+                        );
+                    }
+                    ctx.send_sized_cloneable(
+                        server,
+                        BridgeRequest {
+                            id,
+                            cmd: cmd.clone(),
+                        },
+                        bytes,
+                    );
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// Creates a file.

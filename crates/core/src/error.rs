@@ -59,6 +59,12 @@ pub enum BridgeError {
     Corrupt(String),
     /// An error from a local file system.
     Lfs(EfsError),
+    /// A client call exhausted its retry budget without seeing a reply
+    /// (see [`RetryPolicy`](bridge_efs::RetryPolicy)).
+    TimedOut {
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for BridgeError {
@@ -93,6 +99,9 @@ impl fmt::Display for BridgeError {
             }
             BridgeError::Corrupt(why) => write!(f, "corrupt Bridge structure: {why}"),
             BridgeError::Lfs(e) => write!(f, "local file system error: {e}"),
+            BridgeError::TimedOut { attempts } => {
+                write!(f, "no reply after {attempts} attempts (retry budget spent)")
+            }
         }
     }
 }

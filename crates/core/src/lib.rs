@@ -71,3 +71,7 @@ pub use server::{
 };
 // Re-exported so machine builders can set a policy without naming simdisk.
 pub use simdisk::{SchedConfig, SchedPolicy};
+// Re-exported so applications can install client retries (and fault plans
+// via `BridgeConfig::faults`) without naming the lower crates.
+pub use bridge_efs::RetryPolicy;
+pub use parsim::{FaultPlan, MsgFaults, Outage, OutageKind};

@@ -6,9 +6,11 @@
 //! interconnect.
 
 use crate::server::{spawn_bridge_agent, spawn_bridge_server, BridgeServerConfig};
-use bridge_efs::{spawn_lfs_sched, Efs, EfsConfig};
-use parsim::{NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle, UniformLatency};
-use simdisk::{DiskGeometry, DiskProfile, SchedConfig, SimDisk};
+use bridge_efs::{spawn_lfs_sched, Efs, EfsConfig, RetryPolicy};
+use parsim::{
+    FaultPlan, NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle, UniformLatency,
+};
+use simdisk::{DiskFaultState, DiskGeometry, DiskProfile, SchedConfig, SimDisk};
 
 /// Everything needed to stand up a Bridge machine.
 #[derive(Debug, Clone)]
@@ -39,6 +41,16 @@ pub struct BridgeConfig {
     /// Optional virtual-time tracer (see the `bridge-trace` crate).
     /// `None` installs the no-op tracer; tracing never changes timing.
     pub tracer: Option<TracerHandle>,
+    /// Deterministic fault plan. [`FaultPlan::none`] (the default)
+    /// installs no fault state anywhere — the machine takes the exact
+    /// pre-fault-layer code path. The plan's `disk` section is keyed by
+    /// LFS ordinal: [`BlockFaultRule::disk`](parsim::BlockFaultRule) `i`
+    /// targets the disk of `lfs[i]`. Plans that drop or duplicate
+    /// messages need retrying clients: set
+    /// [`BridgeServerConfig::lfs_retry`] for the server↔LFS leg and use
+    /// [`BridgeClient::with_retry`](crate::BridgeClient::with_retry) for
+    /// the application leg.
+    pub faults: FaultPlan,
 }
 
 impl BridgeConfig {
@@ -56,6 +68,7 @@ impl BridgeConfig {
             sched: SchedConfig::fifo(),
             seed: 0x00B2_1D6E,
             tracer: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -85,7 +98,17 @@ impl BridgeConfig {
             sched: SchedConfig::fifo(),
             seed: 0x00B2_1D6E,
             tracer: None,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// `self` with fault plan `faults` and [`RetryPolicy::standard`] on
+    /// the server's internal LFS clients — the one-liner chaos tests and
+    /// benches use to fault an otherwise stock machine.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self.server.lfs_retry = RetryPolicy::standard();
+        self
     }
 }
 
@@ -125,6 +148,7 @@ impl BridgeMachine {
             latency: Box::new(config.latency),
             seed: config.seed,
             tracer: config.tracer.clone(),
+            faults: config.faults.clone(),
         });
         let machine = BridgeMachine::build_in(&mut sim, config);
         (sim, machine)
@@ -151,6 +175,11 @@ impl BridgeMachine {
             if let Some(depth) = config.write_behind {
                 disk.enable_write_behind(depth);
             }
+            disk.inject_faults(DiskFaultState::from_plan(
+                &config.faults.disk,
+                config.faults.seed,
+                i,
+            ));
             let efs = Efs::format(disk, config.efs);
             let proc = spawn_lfs_sched(sim, node, format!("lfs{i}"), efs, config.sched);
             agents.push(spawn_bridge_agent(
@@ -158,6 +187,7 @@ impl BridgeMachine {
                 node,
                 format!("agent{i}"),
                 config.server.create_init_cpu,
+                config.server.lfs_retry,
             ));
             lfs.push(proc);
             lfs_nodes.push(node);

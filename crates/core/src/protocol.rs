@@ -61,7 +61,7 @@ pub struct CreateSpec {
 }
 
 /// A request to the Bridge Server.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BridgeRequest {
     /// Client-chosen id echoed in the reply.
     pub id: u64,
@@ -177,7 +177,7 @@ impl BridgeCmd {
 }
 
 /// A reply from the Bridge Server.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BridgeReply {
     /// Echo of the request id.
     pub id: u64,

@@ -19,7 +19,9 @@ use crate::protocol::{
     PlacementSpec,
 };
 use crate::redundancy::{xor_into, ParityLayout, Redundancy};
-use bridge_efs::{EfsError, LfsClient, LfsData, LfsFileId, LfsOp};
+use bridge_efs::{
+    Admission, DedupWindow, EfsError, LfsClient, LfsData, LfsFileId, LfsOp, RetryPolicy,
+};
 use bytes::Bytes;
 use parsim::{Ctx, NodeId, ProcId, SimDuration, Simulation};
 use simdisk::{BlockAddr, SchedPolicy};
@@ -48,6 +50,11 @@ pub struct BridgeServerConfig {
     pub create_fanout: CreateFanout,
     /// Scatter-gather batching of the server's LFS traffic.
     pub batch: BatchPolicy,
+    /// Timeout/retry policy for the server's (and agents') internal LFS
+    /// clients. [`RetryPolicy::none`] — the default — waits indefinitely,
+    /// the pre-retry behaviour; under a fault plan that drops server↔LFS
+    /// traffic, install [`RetryPolicy::standard`].
+    pub lfs_retry: RetryPolicy,
 }
 
 /// Scatter-gather batching policy for server ↔ LFS traffic.
@@ -95,6 +102,7 @@ impl Default for BridgeServerConfig {
             rotate_start: true,
             create_fanout: CreateFanout::Serial,
             batch: BatchPolicy::Off,
+            lfs_retry: RetryPolicy::none(),
         }
     }
 }
@@ -301,22 +309,49 @@ pub fn spawn_bridge_server(
             next_start: 0,
             next_fanout: 1,
             pending: None,
-            client: LfsClient::new(),
+            client: LfsClient::with_retry(config.lfs_retry),
         };
+        // Duplicate suppression for retransmitted requests: the server is
+        // single-threaded (one dispatch at a time), so a retransmit either
+        // finds its original's cached reply here or — having been stashed
+        // during the original's dispatch — finds it on the next loop turn.
+        let mut dedup: DedupWindow<BridgeReply> = DedupWindow::standard();
         loop {
             let env = ctx.recv_where(|e| e.is::<BridgeRequest>());
             let from = env.from();
             let req = env.downcast::<BridgeRequest>().expect("matched type");
-            let cmd_name = req.cmd.name();
-            let t0 = ctx.now();
             ctx.delay(server.config.cpu_per_request);
-            let result = server.dispatch(ctx, from, req.cmd);
-            if ctx.trace_enabled() {
-                ctx.trace_span("bridge", cmd_name, t0, &[("ok", u64::from(result.is_ok()))]);
-            }
-            let reply = BridgeReply { id: req.id, result };
+            let reply = match dedup.admit(from, req.id) {
+                Admission::New => {
+                    let cmd_name = req.cmd.name();
+                    let t0 = ctx.now();
+                    let result = server.dispatch(ctx, from, req.cmd);
+                    if ctx.trace_enabled() {
+                        ctx.trace_span(
+                            "bridge",
+                            cmd_name,
+                            t0,
+                            &[("ok", u64::from(result.is_ok()))],
+                        );
+                    }
+                    let reply = BridgeReply { id: req.id, result };
+                    dedup.complete(from, req.id, ctx.now(), reply.clone());
+                    reply
+                }
+                // Single-threaded service means an admitted id is always
+                // completed before the next request is received.
+                Admission::InFlight => unreachable!("request completed before the next receive"),
+                Admission::Replay(reply) => {
+                    // Already executed: resend the recorded outcome rather
+                    // than re-running a possibly non-idempotent command.
+                    if ctx.trace_enabled() {
+                        ctx.trace_instant("retry", "retry.replay", &[("id", req.id)]);
+                    }
+                    reply
+                }
+            };
             let bytes = reply_wire_size(&reply);
-            ctx.send_sized(from, reply, bytes);
+            ctx.send_sized_cloneable(from, reply, bytes);
         }
     })
 }
@@ -324,15 +359,19 @@ pub fn spawn_bridge_server(
 /// Spawns a fan-out agent on `node`: a small resident process that relays
 /// [`FanoutCreate`] requests down the embedded binary tree, performs the
 /// create at its local LFS, and aggregates acknowledgements upward.
-/// `relay_cpu` is the CPU cost the agent pays per message it initiates.
+/// `relay_cpu` is the CPU cost the agent pays per message it initiates;
+/// `retry` is applied to the agent's local-LFS client (the agent↔agent
+/// relay itself is not retried — fault plans exercising the tree fan-out
+/// must keep it lossless).
 pub fn spawn_bridge_agent(
     sim: &mut Simulation,
     node: NodeId,
     name: impl Into<String>,
     relay_cpu: SimDuration,
+    retry: RetryPolicy,
 ) -> ProcId {
     sim.spawn(node, name, move |ctx| {
-        let mut client = LfsClient::new();
+        let mut client = LfsClient::with_retry(retry);
         loop {
             let env = ctx.recv_where(|e| e.is::<FanoutCreate>());
             let parent = env.from();

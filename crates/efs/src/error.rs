@@ -50,6 +50,12 @@ pub enum EfsError {
     /// The node hosting this LFS has failed (fail-stop); no request can
     /// be served until it is revived.
     NodeFailed,
+    /// A client call exhausted its retry budget without seeing a reply
+    /// (see [`RetryPolicy`](crate::RetryPolicy)).
+    TimedOut {
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for EfsError {
@@ -74,6 +80,9 @@ impl fmt::Display for EfsError {
             EfsError::Corrupt(why) => write!(f, "corrupt on-disk structure: {why}"),
             EfsError::Disk(e) => write!(f, "device error: {e}"),
             EfsError::NodeFailed => write!(f, "node failed (fail-stop)"),
+            EfsError::TimedOut { attempts } => {
+                write!(f, "no reply after {attempts} attempts (retry budget spent)")
+            }
         }
     }
 }

@@ -45,6 +45,7 @@ mod directory;
 mod error;
 mod fs;
 mod layout;
+mod retry;
 mod server;
 
 pub use directory::{DirEntry, BUCKET_CAPACITY};
@@ -54,6 +55,7 @@ pub use layout::{
     decode_block, decode_header, encode_block, encode_free_block, is_free_block, EfsHeader,
     LfsFileId, BLOCK_MAGIC, BLOCK_SIZE, EFS_HEADER_SIZE, EFS_PAYLOAD, FREE_MAGIC,
 };
+pub use retry::{Admission, DedupWindow, RetryPolicy, DEDUP_RETENTION, DEDUP_WINDOW};
 pub use server::{
     reply_wire_size, request_wire_size, serve, set_failed, spawn_lfs, spawn_lfs_sched, LfsClient,
     LfsData, LfsFailAck, LfsFailControl, LfsOp, LfsReply, LfsRequest,

@@ -1,0 +1,264 @@
+//! Client timeout/retry policy and server-side duplicate suppression.
+//!
+//! The LFS protocol is request/reply over an interconnect that a fault
+//! plan may drop, duplicate, or delay (see [`parsim::FaultPlan`]). End to
+//! end recovery needs both halves:
+//!
+//! * **Client:** every call carries a per-process unique id; if no reply
+//!   arrives within a timeout the client resends the *same id* with
+//!   capped exponential backoff, up to a retry budget
+//!   ([`RetryPolicy`]).
+//! * **Server:** a [`DedupWindow`] remembers, per client, which ids are
+//!   in flight and a ring of recently completed replies. A retransmit of
+//!   an in-flight request is dropped (the original's reply will serve);
+//!   a retransmit of a completed request replays the cached reply instead
+//!   of re-executing — which is what makes retries safe for
+//!   non-idempotent operations (append-writes, deletes).
+//!
+//! Everything runs on virtual time, so timeouts and backoff are exactly
+//! reproducible.
+
+use parsim::{ProcId, SimDuration, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Client-side timeout/retry policy for request/reply calls.
+///
+/// The wait for attempt `n` (0-based) is `timeout << n`, capped at
+/// `backoff_cap`. A policy with a zero timeout or budget is *disabled*:
+/// calls block forever, exactly like the pre-retry protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Wait for the first attempt's reply. Zero disables retries.
+    pub timeout: SimDuration,
+    /// Upper bound on the per-attempt wait as backoff doubles.
+    pub backoff_cap: SimDuration,
+    /// Total send attempts allowed (first try included). Zero disables
+    /// retries.
+    pub budget: u32,
+}
+
+impl RetryPolicy {
+    /// The disabled policy: wait forever, never resend.
+    pub fn none() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+            budget: 0,
+        }
+    }
+
+    /// A policy tuned for the simulated Bridge machine: generous against
+    /// queueing delay (LFS service times are tens of milliseconds), and
+    /// with enough budget to ride out multi-second outage windows.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_millis(250),
+            backoff_cap: SimDuration::from_secs(4),
+            budget: 40,
+        }
+    }
+
+    /// True when calls should time out and resend.
+    pub fn is_enabled(&self) -> bool {
+        !self.timeout.is_zero() && self.budget > 0
+    }
+
+    /// The reply wait for 0-based attempt `n`: `timeout * 2^n`, capped.
+    pub fn wait_for(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.min(20);
+        let doubled =
+            SimDuration::from_nanos(self.timeout.as_nanos().saturating_mul(1u64 << shift));
+        doubled.min(self.backoff_cap.max(self.timeout))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// How many completed replies a [`DedupWindow`] retains per client
+/// regardless of age.
+pub const DEDUP_WINDOW: usize = 64;
+
+/// How long a [`DedupWindow`] keeps completed replies beyond the ring
+/// capacity. A duplicate the network can still deliver must find its
+/// cached reply even when the client has completed more than
+/// [`DEDUP_WINDOW`] calls in the meantime — operations can finish in
+/// near-zero virtual time on a zero-latency interconnect, so a pure
+/// count-based ring is not enough. The latest a duplicate can arrive is
+/// its fault delay (`delay_max`) plus any outage deferral chain it lands
+/// in, so a *bounded* fault plan must keep that sum below this retention
+/// for replay to be airtight.
+pub const DEDUP_RETENTION: SimDuration = SimDuration::from_secs(4);
+
+/// Verdict of [`DedupWindow::admit`] for an arriving request id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission<R> {
+    /// First sighting: execute it (the id is now recorded in flight).
+    New,
+    /// A retransmit of a request still being serviced: drop it — the
+    /// original's reply will satisfy the client.
+    InFlight,
+    /// A retransmit of a completed request: resend this cached reply
+    /// without re-executing.
+    Replay(R),
+}
+
+/// Per-client duplicate suppression with a bounded replay cache.
+///
+/// Keys are `(client process, request id)`; ids must be unique per client
+/// process (see [`Ctx::unique_id`](parsim::Ctx::unique_id)), never reused.
+/// Completed replies are kept per client in a ring of at least `cap`
+/// entries; entries beyond `cap` linger until they are `retention` old in
+/// virtual time, so a retransmit or network duplicate still in flight
+/// (delays are bounded by the fault plan) always finds its cached reply,
+/// however quickly the client churns through calls.
+#[derive(Debug)]
+pub struct DedupWindow<R> {
+    cap: usize,
+    retention: SimDuration,
+    in_flight: HashSet<(ProcId, u64)>,
+    done: HashMap<ProcId, VecDeque<(u64, SimTime, R)>>,
+}
+
+impl<R: Clone> DedupWindow<R> {
+    /// An empty window retaining `cap` completed replies per client, plus
+    /// any newer than `retention`.
+    pub fn new(cap: usize, retention: SimDuration) -> Self {
+        DedupWindow {
+            cap,
+            retention,
+            in_flight: HashSet::new(),
+            done: HashMap::new(),
+        }
+    }
+
+    /// The standard window: [`DEDUP_WINDOW`] entries held for at least
+    /// [`DEDUP_RETENTION`].
+    pub fn standard() -> Self {
+        Self::new(DEDUP_WINDOW, DEDUP_RETENTION)
+    }
+
+    /// Classifies an arriving request and, if new, marks it in flight.
+    pub fn admit(&mut self, client: ProcId, id: u64) -> Admission<R> {
+        if let Some(ring) = self.done.get(&client) {
+            if let Some((_, _, reply)) = ring.iter().find(|(done_id, _, _)| *done_id == id) {
+                return Admission::Replay(reply.clone());
+            }
+        }
+        if !self.in_flight.insert((client, id)) {
+            return Admission::InFlight;
+        }
+        Admission::New
+    }
+
+    /// Records the reply for an executed request so retransmits replay it.
+    /// `now` is the completion's virtual time, used for age-based
+    /// eviction.
+    pub fn complete(&mut self, client: ProcId, id: u64, now: SimTime, reply: R) {
+        self.in_flight.remove(&(client, id));
+        let ring = self.done.entry(client).or_default();
+        ring.push_back((id, now, reply));
+        while ring.len() > self.cap {
+            match ring.front() {
+                Some(&(_, done_at, _)) if now.duration_since(done_at) > self.retention => {
+                    ring.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Forgets an admitted request that was discarded without executing
+    /// (fail-stop drain), so a later retransmit runs it fresh.
+    pub fn forget(&mut self, client: ProcId, id: u64) {
+        self.in_flight.remove(&(client, id));
+    }
+
+    /// Requests currently marked in flight (tests, debugging).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: usize) -> ProcId {
+        ProcId::from_index(n)
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            timeout: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_millis(350),
+            budget: 5,
+        };
+        assert_eq!(p.wait_for(0), SimDuration::from_millis(100));
+        assert_eq!(p.wait_for(1), SimDuration::from_millis(200));
+        assert_eq!(p.wait_for(2), SimDuration::from_millis(350));
+        assert_eq!(p.wait_for(63), SimDuration::from_millis(350), "no overflow");
+    }
+
+    #[test]
+    fn disabled_policies_say_so() {
+        assert!(!RetryPolicy::none().is_enabled());
+        assert!(!RetryPolicy::default().is_enabled());
+        assert!(RetryPolicy::standard().is_enabled());
+    }
+
+    fn at(millis: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(millis)
+    }
+
+    #[test]
+    fn window_classifies_new_inflight_done() {
+        let mut w: DedupWindow<&'static str> = DedupWindow::new(4, SimDuration::ZERO);
+        assert_eq!(w.admit(pid(1), 10), Admission::New);
+        assert_eq!(w.admit(pid(1), 10), Admission::InFlight);
+        assert_eq!(w.admit(pid(2), 10), Admission::New, "keyed per client");
+        w.complete(pid(1), 10, at(0), "reply");
+        assert_eq!(w.admit(pid(1), 10), Admission::Replay("reply"));
+        assert_eq!(w.in_flight(), 1, "client 2's request still open");
+    }
+
+    #[test]
+    fn window_evicts_oldest_aged_out_reply() {
+        let mut w: DedupWindow<u64> = DedupWindow::new(2, SimDuration::from_millis(10));
+        for id in 0..3u64 {
+            assert_eq!(w.admit(pid(1), id), Admission::New);
+            w.complete(pid(1), id, at(id * 100), id * 100);
+        }
+        assert_eq!(w.admit(pid(1), 0), Admission::New, "evicted: runs fresh");
+        assert_eq!(w.admit(pid(1), 2), Admission::Replay(200));
+    }
+
+    #[test]
+    fn window_retains_young_overflow_entries() {
+        let mut w: DedupWindow<u64> = DedupWindow::new(2, SimDuration::from_secs(1));
+        for id in 0..50u64 {
+            assert_eq!(w.admit(pid(1), id), Admission::New);
+            // All completions within one retention window: nothing may be
+            // evicted even though the ring capacity is 2.
+            w.complete(pid(1), id, at(id), id);
+        }
+        assert_eq!(w.admit(pid(1), 0), Admission::Replay(0));
+        // Once completions move past the retention horizon, old entries go.
+        w.admit(pid(1), 99);
+        w.complete(pid(1), 99, at(5000), 99);
+        assert_eq!(w.admit(pid(1), 0), Admission::New, "aged out: runs fresh");
+        assert_eq!(w.admit(pid(1), 99), Admission::Replay(99));
+    }
+
+    #[test]
+    fn forget_reopens_an_id() {
+        let mut w: DedupWindow<u64> = DedupWindow::new(2, SimDuration::ZERO);
+        assert_eq!(w.admit(pid(1), 5), Admission::New);
+        w.forget(pid(1), 5);
+        assert_eq!(w.admit(pid(1), 5), Admission::New);
+    }
+}

@@ -9,13 +9,14 @@
 use crate::error::EfsError;
 use crate::fs::{Efs, FileInfo};
 use crate::layout::{LfsFileId, BLOCK_SIZE};
+use crate::retry::{Admission, DedupWindow, RetryPolicy};
 use bytes::Bytes;
 use parsim::{Ctx, ProcId, SimDuration, SimTime, Simulation};
 use simdisk::{BlockAddr, BlockDevice, RequestQueue, SchedConfig};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A request to an LFS server process.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LfsRequest {
     /// Client-chosen id echoed in the reply.
     pub id: u64,
@@ -130,7 +131,7 @@ impl LfsOp {
 }
 
 /// A reply from an LFS server.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LfsReply {
     /// Echo of the request id.
     pub id: u64,
@@ -394,7 +395,7 @@ fn track_hint<D: BlockDevice>(efs: &Efs<D>, op: &LfsOp) -> u32 {
 /// (a zero-duration receive costs no virtual time), admits them into the
 /// scheduler, then serves one request chosen by the policy from the
 /// current head position. Per-(client, file) order is preserved — see
-/// [`SchedState`] — so scheduling changes only *whose* request goes next,
+/// `SchedState` — so scheduling changes only *whose* request goes next,
 /// never the order any one client observes.
 ///
 /// When tracing is enabled, every serviced request emits an
@@ -410,6 +411,7 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
 ) -> ProcId {
     sim.spawn(node, name, move |ctx| {
         let mut state = SchedState::new(sched);
+        let mut dedup: DedupWindow<LfsReply> = DedupWindow::standard();
         let mut failed = false;
         loop {
             // Drain the mailbox into the scheduler. Block only when idle.
@@ -417,7 +419,7 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
                 let Some(env) = ctx.recv_timeout(SimDuration::ZERO) else {
                     // Nothing more deliverable now: service one request,
                     // then come back for whatever arrived meanwhile.
-                    service_one(ctx, &mut efs, &mut state);
+                    service_one(ctx, &mut efs, &mut state, &mut dedup);
                     continue;
                 };
                 env
@@ -431,14 +433,16 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
                     failed = control.failed;
                     if failed {
                         // Fail-stop: everything already queued dies with
-                        // the node.
+                        // the node. Nothing executed, so retransmits of
+                        // these ids must run fresh after a revive.
                         for q in state.drain_all() {
+                            dedup.forget(q.from, q.req.id);
                             let reply = LfsReply {
                                 id: q.req.id,
                                 result: Err(EfsError::NodeFailed),
                             };
                             let bytes = reply_wire_size(&reply);
-                            ctx.send_sized(q.from, reply, bytes);
+                            ctx.send_sized_cloneable(q.from, reply, bytes);
                         }
                     }
                     ctx.send_sized(from, LfsFailAck { failed }, 16);
@@ -454,9 +458,32 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
                             result: Err(EfsError::NodeFailed),
                         };
                         let bytes = reply_wire_size(&reply);
-                        ctx.send_sized(from, reply, bytes);
+                        ctx.send_sized_cloneable(from, reply, bytes);
                     } else {
-                        state.admit(&efs, req, from, delivered_at);
+                        match dedup.admit(from, req.id) {
+                            Admission::New => state.admit(&efs, req, from, delivered_at),
+                            Admission::InFlight => {
+                                // Retransmit of a queued/in-service request:
+                                // the original's reply will serve.
+                                if ctx.trace_enabled() {
+                                    ctx.trace_instant(
+                                        "retry",
+                                        "retry.dup_dropped",
+                                        &[("id", req.id)],
+                                    );
+                                }
+                            }
+                            Admission::Replay(reply) => {
+                                // Already executed: resend the cached reply
+                                // instead of re-running a possibly
+                                // non-idempotent operation.
+                                if ctx.trace_enabled() {
+                                    ctx.trace_instant("retry", "retry.replay", &[("id", req.id)]);
+                                }
+                                let bytes = reply_wire_size(&reply);
+                                ctx.send_sized_cloneable(from, reply, bytes);
+                            }
+                        }
                     }
                 }
                 Err(env) => panic!("LFS received a non-request message: {env:?}"),
@@ -466,8 +493,14 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
 }
 
 /// Serves the scheduler's next request: queue-wait span, the operation
-/// itself, the reply, and a refresh of the client's schedulable prefix.
-fn service_one<D: BlockDevice>(ctx: &mut Ctx, efs: &mut Efs<D>, state: &mut SchedState) {
+/// itself, the reply (recorded in the dedup window for retransmits), and
+/// a refresh of the client's schedulable prefix.
+fn service_one<D: BlockDevice>(
+    ctx: &mut Ctx,
+    efs: &mut Efs<D>,
+    state: &mut SchedState,
+    dedup: &mut DedupWindow<LfsReply>,
+) {
     // Queue depth at service start, this request included.
     let depth = state.queued.len() as u64;
     let Some(q) = state.take_next(efs) else {
@@ -484,8 +517,9 @@ fn service_one<D: BlockDevice>(ctx: &mut Ctx, efs: &mut Efs<D>, state: &mut Sche
     }
     let from = q.from;
     let reply = serve(ctx, efs, q.req);
+    dedup.complete(from, reply.id, ctx.now(), reply.clone());
     let bytes = reply_wire_size(&reply);
-    ctx.send_sized(from, reply, bytes);
+    ctx.send_sized_cloneable(from, reply, bytes);
     // Serving this request may unblock the next op of its (client, file)
     // chain.
     state.offer_lane(efs, from);
@@ -561,49 +595,159 @@ pub fn reply_wire_size(reply: &LfsReply) -> usize {
 /// Client-side helper for talking to LFS servers from inside a simulated
 /// process: sends requests (optionally pipelined) and matches replies by
 /// id, stashing unrelated traffic via [`Ctx::recv_where`].
-#[derive(Debug)]
+///
+/// Request ids come from the owning process's [`Ctx::unique_id`] stream,
+/// so ids never collide across client instances in one process — which is
+/// what the server's dedup window keys on.
+///
+/// With a [`RetryPolicy`] installed ([`with_retry`](LfsClient::with_retry)),
+/// [`call`](LfsClient::call) times out, resends the *same* request id with
+/// capped exponential backoff, and gives up with [`EfsError::TimedOut`]
+/// once the budget is spent. The pipelined [`send`](LfsClient::send) /
+/// [`wait`](LfsClient::wait) pair retries too: `send` records the op so
+/// `wait` can resend it (without a policy it waits indefinitely).
+#[derive(Debug, Default)]
 pub struct LfsClient {
-    next_id: u64,
-}
-
-impl Default for LfsClient {
-    fn default() -> Self {
-        Self::new()
-    }
+    retry: RetryPolicy,
+    /// Ops sent but not yet waited on, kept only when retries are enabled
+    /// so `wait` can resend them. Host-side bookkeeping: recording an op
+    /// has no effect on virtual time.
+    pending: Vec<(u64, LfsOp)>,
 }
 
 impl LfsClient {
-    /// Creates a client with a fresh id sequence.
+    /// Creates a client that waits indefinitely for replies (no retries).
     pub fn new() -> Self {
-        LfsClient { next_id: 1 }
+        Self::with_retry(RetryPolicy::none())
+    }
+
+    /// Creates a client whose calls time out and resend per `retry`.
+    pub fn with_retry(retry: RetryPolicy) -> Self {
+        LfsClient {
+            retry,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The client's retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Sends `op` to `server` and returns the request id.
     pub fn send(&mut self, ctx: &mut Ctx, server: ProcId, op: LfsOp) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = ctx.unique_id();
         let bytes = request_wire_size(&op);
-        ctx.send_sized(server, LfsRequest { id, op }, bytes);
+        if self.retry.is_enabled() {
+            self.pending.push((id, op.clone()));
+        }
+        ctx.send_sized_cloneable(server, LfsRequest { id, op }, bytes);
         id
     }
 
-    /// Waits for the reply to `id` from `server`.
-    pub fn wait(&mut self, ctx: &mut Ctx, server: ProcId, id: u64) -> Result<LfsData, EfsError> {
-        let env = ctx.recv_where(|e| {
-            e.from() == server && e.downcast_ref::<LfsReply>().is_some_and(|r| r.id == id)
-        });
-        env.downcast::<LfsReply>()
-            .expect("predicate guarantees type")
-            .result
-    }
-
-    /// Round trip: send and wait.
+    /// Waits for the reply to `id` from `server`, resending the request on
+    /// timeout when the client has a retry policy.
     ///
     /// # Errors
     ///
-    /// Propagates the server-side [`EfsError`].
+    /// Propagates the server-side [`EfsError`], or returns
+    /// [`EfsError::TimedOut`] when the retry budget is spent without a
+    /// reply.
+    pub fn wait(&mut self, ctx: &mut Ctx, server: ProcId, id: u64) -> Result<LfsData, EfsError> {
+        match self.pending.iter().position(|(p, _)| *p == id) {
+            Some(slot) => {
+                let (_, op) = self.pending.swap_remove(slot);
+                self.wait_retrying(ctx, server, id, &op)
+            }
+            None => {
+                let env = ctx.recv_where(|e| {
+                    e.from() == server && e.downcast_ref::<LfsReply>().is_some_and(|r| r.id == id)
+                });
+                env.downcast::<LfsReply>()
+                    .expect("predicate guarantees type")
+                    .result
+            }
+        }
+    }
+
+    /// Round trip: send and wait, resending on timeout when the client
+    /// has a retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`EfsError`], or returns
+    /// [`EfsError::TimedOut`] when the retry budget is spent without a
+    /// reply.
     pub fn call(&mut self, ctx: &mut Ctx, server: ProcId, op: LfsOp) -> Result<LfsData, EfsError> {
         let id = self.send(ctx, server, op);
         self.wait(ctx, server, id)
+    }
+
+    /// The retry loop behind [`wait`](Self::wait) and
+    /// [`call`](Self::call): the first attempt is already on the wire.
+    fn wait_retrying(
+        &mut self,
+        ctx: &mut Ctx,
+        server: ProcId,
+        id: u64,
+        op: &LfsOp,
+    ) -> Result<LfsData, EfsError> {
+        let bytes = request_wire_size(op);
+        let t0 = ctx.now();
+        let mut attempt = 1u32;
+        loop {
+            let reply = ctx.recv_where_timeout(
+                |e| e.from() == server && e.downcast_ref::<LfsReply>().is_some_and(|r| r.id == id),
+                self.retry.wait_for(attempt - 1),
+            );
+            match reply {
+                Some(env) => {
+                    // The network may duplicate replies and earlier
+                    // attempts may still produce replays: drop any copy
+                    // that already got stashed so they cannot pile up.
+                    ctx.discard_stashed(|e| {
+                        e.from() == server
+                            && e.downcast_ref::<LfsReply>().is_some_and(|r| r.id == id)
+                    });
+                    if attempt > 1 && ctx.trace_enabled() {
+                        let latency = ctx.now().duration_since(t0);
+                        ctx.trace_instant(
+                            "retry",
+                            "retry.recovered",
+                            &[
+                                ("id", id),
+                                ("attempts", u64::from(attempt)),
+                                ("latency_nanos", latency.as_nanos()),
+                            ],
+                        );
+                    }
+                    return env
+                        .downcast::<LfsReply>()
+                        .expect("predicate guarantees type")
+                        .result;
+                }
+                None if attempt >= self.retry.budget => {
+                    if ctx.trace_enabled() {
+                        ctx.trace_instant(
+                            "retry",
+                            "retry.exhausted",
+                            &[("id", id), ("attempts", u64::from(attempt))],
+                        );
+                    }
+                    return Err(EfsError::TimedOut { attempts: attempt });
+                }
+                None => {
+                    if ctx.trace_enabled() {
+                        ctx.trace_instant(
+                            "retry",
+                            "retry.resend",
+                            &[("id", id), ("attempt", u64::from(attempt))],
+                        );
+                    }
+                    ctx.send_sized_cloneable(server, LfsRequest { id, op: op.clone() }, bytes);
+                    attempt += 1;
+                }
+            }
+        }
     }
 }

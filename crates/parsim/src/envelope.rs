@@ -5,6 +5,11 @@ use crate::time::SimTime;
 use std::any::Any;
 use std::fmt;
 
+/// Clones a type-erased payload. Captured at send time for `Clone`
+/// payloads so the fault layer can duplicate messages without knowing
+/// their concrete type.
+pub(crate) type PayloadCloner = fn(&(dyn Any + Send)) -> Box<dyn Any + Send>;
+
 /// A message as received by a process: sender, timing, and a type-erased
 /// payload.
 ///
@@ -21,6 +26,24 @@ pub struct Envelope {
     pub(crate) payload: Box<dyn Any + Send>,
     /// Message id pairing the tracer's flow_send/flow_recv events.
     pub(crate) flow: u64,
+    /// Payload duplicator, present only for cloneable sends.
+    pub(crate) cloner: Option<PayloadCloner>,
+}
+
+impl Envelope {
+    /// A copy of this envelope (same sender and timing; the caller assigns
+    /// a fresh flow id), or `None` if the payload was not sent cloneable.
+    pub(crate) fn duplicate(&self) -> Option<Envelope> {
+        let cloner = self.cloner?;
+        Some(Envelope {
+            from: self.from,
+            sent_at: self.sent_at,
+            delivered_at: self.delivered_at,
+            payload: cloner(&*self.payload),
+            flow: self.flow,
+            cloner: self.cloner,
+        })
+    }
 }
 
 impl Envelope {
@@ -84,7 +107,21 @@ mod tests {
             delivered_at: SimTime::from_nanos(5),
             payload,
             flow: 0,
+            cloner: None,
         }
+    }
+
+    #[test]
+    fn duplicate_requires_a_cloner() {
+        let env = envelope_with(Box::new(5u32));
+        assert!(env.duplicate().is_none());
+        let env = Envelope {
+            cloner: Some(|p| Box::new(*p.downcast_ref::<u32>().expect("cloner payload type"))),
+            ..env
+        };
+        let copy = env.duplicate().expect("cloneable payload duplicates");
+        assert_eq!(copy.downcast_ref::<u32>(), Some(&5));
+        assert_eq!(copy.from(), env.from());
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes every fault a simulation run will see: message
+//! drops, duplicates, and extra delays; node outage windows; and transient
+//! disk I/O errors (consumed by the disk layer, not the scheduler). The plan
+//! is *pure data* — all randomness comes from a [splitmix64] stream seeded
+//! by [`FaultPlan::seed`] and stepped at deterministic points (once per
+//! posted message, once per disk operation), never from the wall clock or
+//! the OS. Two runs with the same plan therefore inject byte-identical
+//! faults at identical virtual times, which is what makes a failing chaos
+//! seed replayable.
+//!
+//! With [`FaultPlan::none`] the scheduler installs no fault state at all:
+//! the fault-free fast path is the exact pre-fault-layer code path, and
+//! [`RunStats`](crate::RunStats) plus every virtual timestamp stay
+//! bit-identical to a build without the hooks.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+
+/// Advances a splitmix64 state and returns the next value in the stream.
+///
+/// This is the only random-number generator the fault layer uses; it is
+/// exposed so other layers (the simulated disk) can draw from the same
+/// family of deterministic streams.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes two seeds into one (a single splitmix64 step of `a ^ b`), used to
+/// derive per-component streams from a plan seed without correlation.
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut s = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    splitmix64(&mut s)
+}
+
+/// Message-level fault rates, in parts per thousand of posted messages.
+///
+/// Each posted message draws one value from the plan's PRNG and the draw's
+/// sub-fields decide its fate, checked in order: drop, duplicate, delay.
+/// Rates are independent per message; values above 1000 are rejected when
+/// the simulation is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MsgFaults {
+    /// Probability (‰) that a message is silently lost.
+    pub drop_per_mille: u16,
+    /// Probability (‰) that a message is delivered twice. Only payloads
+    /// sent with [`Ctx::send_sized_cloneable`](crate::Ctx::send_sized_cloneable)
+    /// can actually be duplicated; others deliver once regardless.
+    pub dup_per_mille: u16,
+    /// Probability (‰) that a message is delivered late.
+    pub delay_per_mille: u16,
+    /// Upper bound on the extra delivery delay; the actual extra delay is
+    /// drawn uniformly from `[0, delay_max)`.
+    pub delay_max: SimDuration,
+    /// Hard cap on drops in a row across the whole run: after this many
+    /// consecutive drops the next message is forced through. Keeps any
+    /// bounded-retry protocol convergent. Zero disables dropping entirely
+    /// (a cap of zero means no drop is ever allowed).
+    pub max_consecutive_drops: u32,
+}
+
+impl MsgFaults {
+    /// True when no message fault can ever fire.
+    pub fn is_inert(&self) -> bool {
+        (self.drop_per_mille == 0 || self.max_consecutive_drops == 0)
+            && self.dup_per_mille == 0
+            && self.delay_per_mille == 0
+    }
+}
+
+/// How a node behaves during an [`Outage`] window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutageKind {
+    /// Crash-and-restart: messages delivered to processes on the node
+    /// while it is down are lost. Process memory survives the restart —
+    /// a modelling shortcut that is faithful for the stateless EFS
+    /// servers this layer exists to exercise.
+    Down,
+    /// The node stops consuming messages; deliveries are deferred to the
+    /// end of the window (in their original order) instead of lost.
+    Paused,
+}
+
+/// A scheduled node outage: `node` is down or paused for `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// The affected node.
+    pub node: NodeId,
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive); delivery resumes at this instant.
+    pub until: SimTime,
+    /// Whether deliveries inside the window are lost or deferred.
+    pub kind: OutageKind,
+}
+
+/// A targeted disk fault: the addressed block fails the next `fails`
+/// operations that touch it, then recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockFaultRule {
+    /// Which disk the rule applies to — an embedder-chosen index (the
+    /// Bridge machine uses the LFS node ordinal).
+    pub disk: u32,
+    /// Linear block index on that disk.
+    pub block: u32,
+    /// Number of consecutive failures before the block heals.
+    pub fails: u32,
+}
+
+/// Transient disk I/O faults. The scheduler ignores this section; the
+/// simulated disk consumes it via its own fault state seeded from
+/// [`FaultPlan::seed`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DiskFaults {
+    /// Probability (‰) that a block operation fails with a transient
+    /// error and must be retried by the driver.
+    pub error_per_mille: u16,
+    /// Hard cap on consecutive transient failures per disk, so a bounded
+    /// driver retry loop always succeeds. Zero disables random errors.
+    pub max_consecutive: u32,
+    /// Targeted "block X fails N times then succeeds" rules.
+    pub targets: Vec<BlockFaultRule>,
+}
+
+impl DiskFaults {
+    /// True when no disk fault can ever fire.
+    pub fn is_inert(&self) -> bool {
+        (self.error_per_mille == 0 || self.max_consecutive == 0) && self.targets.is_empty()
+    }
+}
+
+/// A complete, deterministic description of the faults a run will see.
+///
+/// # Examples
+///
+/// ```
+/// use parsim::{FaultPlan, MsgFaults, SimConfig, SimDuration, Simulation};
+///
+/// let plan = FaultPlan {
+///     seed: 7,
+///     msg: MsgFaults {
+///         drop_per_mille: 100,
+///         max_consecutive_drops: 8,
+///         ..MsgFaults::default()
+///     },
+///     ..FaultPlan::none()
+/// };
+/// let sim = Simulation::new(SimConfig {
+///     faults: plan,
+///     ..SimConfig::default()
+/// });
+/// drop(sim);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the plan's PRNG streams. Two runs with equal plans see
+    /// identical faults.
+    pub seed: u64,
+    /// Message drop/duplicate/delay rates.
+    pub msg: MsgFaults,
+    /// Scheduled node outage windows.
+    pub outages: Vec<Outage>,
+    /// Transient disk error configuration (consumed by the disk layer).
+    pub disk: DiskFaults,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, and no fault state installed — the
+    /// simulation takes the exact pre-fault-layer code path.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the scheduler has nothing to do for this plan (disk
+    /// faults do not count: they are the disk layer's business).
+    pub fn is_inert_for_scheduler(&self) -> bool {
+        self.msg.is_inert() && self.outages.is_empty()
+    }
+}
+
+/// The fate of one posted message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MsgFate {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay(SimDuration),
+}
+
+/// Live message-fault state owned by the scheduler. Only exists when the
+/// plan is not inert, so `FaultPlan::none()` has zero runtime footprint.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    rng: u64,
+    msg: MsgFaults,
+    outages: Vec<Outage>,
+    consecutive_drops: u32,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: &FaultPlan) -> Self {
+        assert!(
+            plan.msg.drop_per_mille <= 1000
+                && plan.msg.dup_per_mille <= 1000
+                && plan.msg.delay_per_mille <= 1000,
+            "per-mille fault rates must be <= 1000"
+        );
+        for o in &plan.outages {
+            assert!(o.from <= o.until, "outage window ends before it starts");
+        }
+        FaultState {
+            rng: mix64(plan.seed, 0x6d73_675f_6661_7465), // "msg_fate"
+            msg: plan.msg,
+            outages: plan.outages.clone(),
+            consecutive_drops: 0,
+        }
+    }
+
+    /// Draws the fate of the next posted message. Exactly one PRNG step
+    /// per message regardless of outcome, so editing rates perturbs the
+    /// stream as little as possible.
+    pub(crate) fn next_fate(&mut self) -> MsgFate {
+        let x = splitmix64(&mut self.rng);
+        let drop_roll = (x % 1000) as u16;
+        let dup_roll = ((x >> 10) % 1000) as u16;
+        let delay_roll = ((x >> 20) % 1000) as u16;
+        if drop_roll < self.msg.drop_per_mille {
+            if self.consecutive_drops < self.msg.max_consecutive_drops {
+                self.consecutive_drops += 1;
+                return MsgFate::Drop;
+            }
+            // Cap reached: force this one through and reset the streak.
+            self.consecutive_drops = 0;
+            return MsgFate::Deliver;
+        }
+        self.consecutive_drops = 0;
+        if dup_roll < self.msg.dup_per_mille {
+            return MsgFate::Duplicate;
+        }
+        if delay_roll < self.msg.delay_per_mille && !self.msg.delay_max.is_zero() {
+            let frac = (x >> 32) % 1_000_000;
+            let extra = self.msg.delay_max.as_nanos() / 1_000_000 * frac
+                + self.msg.delay_max.as_nanos() % 1_000_000 * frac / 1_000_000;
+            return MsgFate::Delay(SimDuration::from_nanos(extra));
+        }
+        MsgFate::Deliver
+    }
+
+    /// The outage window covering `node` at `now`, if any.
+    pub(crate) fn outage_at(&self, node: NodeId, now: SimTime) -> Option<&Outage> {
+        self.outages
+            .iter()
+            .find(|o| o.node == node && o.from <= now && now < o.until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_moves() {
+        let mut a = 42;
+        let mut b = 42;
+        let xs: Vec<u64> = (0..4).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..4).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(xs.len(), 4);
+        assert!(xs.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn none_plan_is_inert() {
+        assert!(FaultPlan::none().is_inert_for_scheduler());
+        assert!(FaultPlan::none().disk.is_inert());
+        // A drop rate without a consecutive cap can never fire.
+        let plan = MsgFaults {
+            drop_per_mille: 500,
+            max_consecutive_drops: 0,
+            ..MsgFaults::default()
+        };
+        assert!(plan.is_inert());
+    }
+
+    #[test]
+    fn drop_streaks_are_capped() {
+        let plan = FaultPlan {
+            seed: 1,
+            msg: MsgFaults {
+                drop_per_mille: 1000, // always drop...
+                max_consecutive_drops: 3,
+                ..MsgFaults::default()
+            },
+            ..FaultPlan::none()
+        };
+        let mut state = FaultState::new(&plan);
+        let fates: Vec<MsgFate> = (0..8).map(|_| state.next_fate()).collect();
+        assert_eq!(
+            fates,
+            vec![
+                MsgFate::Drop,
+                MsgFate::Drop,
+                MsgFate::Drop,
+                MsgFate::Deliver, // ...but every 4th is forced through
+                MsgFate::Drop,
+                MsgFate::Drop,
+                MsgFate::Drop,
+                MsgFate::Deliver,
+            ]
+        );
+    }
+
+    #[test]
+    fn delay_fates_are_bounded() {
+        let plan = FaultPlan {
+            seed: 9,
+            msg: MsgFaults {
+                delay_per_mille: 1000,
+                delay_max: SimDuration::from_millis(5),
+                ..MsgFaults::default()
+            },
+            ..FaultPlan::none()
+        };
+        let mut state = FaultState::new(&plan);
+        for _ in 0..256 {
+            match state.next_fate() {
+                MsgFate::Delay(d) => assert!(d < SimDuration::from_millis(5)),
+                other => panic!("expected a delay fate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outage_lookup_is_half_open() {
+        let node = NodeId(2);
+        let plan = FaultPlan {
+            outages: vec![Outage {
+                node,
+                from: SimTime::from_nanos(10),
+                until: SimTime::from_nanos(20),
+                kind: OutageKind::Down,
+            }],
+            ..FaultPlan::none()
+        };
+        let state = FaultState::new(&plan);
+        assert!(state.outage_at(node, SimTime::from_nanos(9)).is_none());
+        assert!(state.outage_at(node, SimTime::from_nanos(10)).is_some());
+        assert!(state.outage_at(node, SimTime::from_nanos(19)).is_some());
+        assert!(state.outage_at(node, SimTime::from_nanos(20)).is_none());
+        assert!(state
+            .outage_at(NodeId(3), SimTime::from_nanos(15))
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-mille")]
+    fn rates_above_1000_are_rejected() {
+        let plan = FaultPlan {
+            msg: MsgFaults {
+                drop_per_mille: 1001,
+                max_consecutive_drops: 1,
+                ..MsgFaults::default()
+            },
+            ..FaultPlan::none()
+        };
+        let _ = FaultState::new(&plan);
+    }
+}

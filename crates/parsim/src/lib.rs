@@ -48,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 mod envelope;
+mod fault;
 mod process;
 mod scheduler;
 mod time;
@@ -55,6 +56,9 @@ mod topology;
 pub mod trace;
 
 pub use envelope::Envelope;
+pub use fault::{
+    mix64, splitmix64, BlockFaultRule, DiskFaults, FaultPlan, MsgFaults, Outage, OutageKind,
+};
 pub use process::{Ctx, ProcFn, ProcId};
 pub use scheduler::{RunStats, SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -1,6 +1,6 @@
 //! Simulated processes and the context handle they run with.
 
-use crate::envelope::Envelope;
+use crate::envelope::{Envelope, PayloadCloner};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NodeId;
 use crate::trace::{TraceArg, Tracer, TracerHandle};
@@ -19,6 +19,13 @@ impl ProcId {
     /// The process's index in spawn order (0-based).
     pub const fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The id of the process spawned at `index` (spawn-order ids, the
+    /// mirror of [`ProcId::index`]); for fixtures that need process ids
+    /// without a live simulation.
+    pub const fn from_index(index: usize) -> ProcId {
+        ProcId(index as u32)
     }
 }
 
@@ -54,6 +61,8 @@ pub(crate) enum Syscall {
         dst: ProcId,
         payload: Box<dyn Any + Send>,
         bytes: usize,
+        /// Present for cloneable sends; lets the fault layer duplicate.
+        cloner: Option<PayloadCloner>,
     },
     /// Create a new process; replies with its id on `reply`.
     Spawn {
@@ -87,6 +96,8 @@ pub struct Ctx {
     stash: VecDeque<Envelope>,
     rng: SmallRng,
     tracer: TracerHandle,
+    /// Next value handed out by [`Ctx::unique_id`].
+    next_unique: u64,
 }
 
 impl Ctx {
@@ -107,6 +118,7 @@ impl Ctx {
             stash: VecDeque::new(),
             rng: SmallRng::seed_from_u64(rng_seed),
             tracer,
+            next_unique: 0,
         }
     }
 
@@ -214,7 +226,44 @@ impl Ctx {
             dst,
             payload: Box::new(msg),
             bytes,
+            cloner: None,
         });
+    }
+
+    /// Like [`Ctx::send_sized`], for `Clone` payloads: the message carries
+    /// a duplicator so an active [`FaultPlan`](crate::FaultPlan) can
+    /// deliver it twice. Use this for protocol requests and replies —
+    /// whose receivers are expected to tolerate duplicates — so
+    /// duplicate-delivery faults actually exercise that path; messages
+    /// sent without it deliver once regardless of the plan.
+    pub fn send_sized_cloneable<M: Clone + Send + 'static>(
+        &mut self,
+        dst: ProcId,
+        msg: M,
+        bytes: usize,
+    ) {
+        self.syscall(Syscall::Post {
+            dst,
+            payload: Box::new(msg),
+            bytes,
+            cloner: Some(|payload| {
+                let m = payload
+                    .downcast_ref::<M>()
+                    .expect("cloner called with the payload type it was built for");
+                Box::new(m.clone())
+            }),
+        });
+    }
+
+    /// A process-unique identifier: 1, 2, 3, ... in call order.
+    ///
+    /// Intended for request ids: every RPC client on this process draws
+    /// from the same counter, so a server-side dedup window keyed by
+    /// (sender, id) never sees two distinct requests under one key even
+    /// when a process runs several client instances.
+    pub fn unique_id(&mut self) -> u64 {
+        self.next_unique += 1;
+        self.next_unique
     }
 
     /// Receives the next message, blocking in virtual time until one is
@@ -277,6 +326,51 @@ impl Ctx {
             }
             self.stash.push_back(env);
         }
+    }
+
+    /// Receives the first message matching `pred`, stashing non-matches,
+    /// or returns `None` once `d` has elapsed with no match.
+    ///
+    /// The timeout is measured from the call; messages that arrive and
+    /// fail the predicate do not extend it. This is the receive a
+    /// retrying RPC client needs: wait for *this* reply, set everything
+    /// else aside, give up at the deadline.
+    pub fn recv_where_timeout(
+        &mut self,
+        mut pred: impl FnMut(&Envelope) -> bool,
+        d: SimDuration,
+    ) -> Option<Envelope> {
+        if let Some(pos) = self.stash.iter().position(&mut pred) {
+            return Some(self.stash.remove(pos).expect("position is in range"));
+        }
+        let deadline = self.now + d;
+        loop {
+            let remaining = deadline.saturating_duration_since(self.now);
+            self.syscall(Syscall::BlockRecvTimeout(remaining));
+            match self.wait_resume() {
+                Resume::Msg { env, now } => {
+                    self.now = now;
+                    if pred(&env) {
+                        return Some(env);
+                    }
+                    self.stash.push_back(env);
+                }
+                Resume::Timeout { now } => {
+                    self.now = now;
+                    return None;
+                }
+                _ => unreachable!("recv_where_timeout resumed with unexpected variant"),
+            }
+        }
+    }
+
+    /// Drops every stashed message matching `pred`.
+    ///
+    /// A retrying client uses this after a request completes to purge
+    /// duplicate replies to it (matched by exact request id) that earlier
+    /// receives set aside, so they never surface from a later `recv`.
+    pub fn discard_stashed(&mut self, mut pred: impl FnMut(&Envelope) -> bool) {
+        self.stash.retain(|env| !pred(env));
     }
 
     /// Receives the next message whose payload is of type `M`, stashing

@@ -7,6 +7,7 @@
 //! reproducible regardless of host scheduling.
 
 use crate::envelope::Envelope;
+use crate::fault::{FaultPlan, FaultState, MsgFate, OutageKind};
 use crate::process::{Ctx, ProcFn, ProcId, Resume, ShutdownSignal, Syscall};
 use crate::time::SimTime;
 use crate::topology::{LatencyModel, NodeId, UniformLatency};
@@ -29,6 +30,10 @@ pub struct SimConfig {
     /// only: installing one never changes scheduling, [`RunStats`], or the
     /// virtual end time.
     pub tracer: Option<TracerHandle>,
+    /// Deterministic fault plan. [`FaultPlan::none`] (the default)
+    /// installs no fault state at all: the run takes the exact
+    /// pre-fault-layer code path, bit-identical stats and timestamps.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -37,6 +42,7 @@ impl Default for SimConfig {
             latency: Box::new(UniformLatency::default()),
             seed: 0x0b71dce5,
             tracer: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -47,6 +53,7 @@ impl std::fmt::Debug for SimConfig {
             .field("latency", &"<dyn LatencyModel>")
             .field("seed", &self.seed)
             .field("tracer", &self.tracer)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -167,6 +174,15 @@ pub struct Simulation {
     tracer: TracerHandle,
     /// Next message id handed to the tracer's flow events.
     flow_seq: u64,
+    /// Message-fault state; `None` when the plan is inert, which keeps
+    /// the fault-free paths untouched.
+    faults: Option<FaultState>,
+    /// Pending [`EventKind::Wake`] events already superseded by a message
+    /// resume. They are queue residue, not simulation activity, so the
+    /// dispatcher discards them clock-free and the high-water mark
+    /// excludes them — arming recv timeouts that never fire must leave
+    /// [`RunStats`] bit-identical to the timeout-free run.
+    stale_wakes: usize,
 }
 
 /// Suppress the panic-hook output for the internal shutdown unwind while
@@ -212,6 +228,12 @@ impl Simulation {
             stats: RunStats::default(),
             tracer: config.tracer.unwrap_or_else(nop_tracer),
             flow_seq: 0,
+            faults: if config.faults.is_inert_for_scheduler() {
+                None
+            } else {
+                Some(FaultState::new(&config.faults))
+            },
+            stale_wakes: 0,
         }
     }
 
@@ -259,8 +281,9 @@ impl Simulation {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { time, seq, kind }));
-        if self.events.len() > self.stats.queue_high_water {
-            self.stats.queue_high_water = self.events.len();
+        let live = self.events.len() - self.stale_wakes;
+        if live > self.stats.queue_high_water {
+            self.stats.queue_high_water = live;
         }
     }
 
@@ -376,6 +399,14 @@ impl Simulation {
             }
             let Reverse(ev) = self.events.pop().expect("peeked event exists");
             debug_assert!(ev.time >= self.now, "event time regression");
+            if let EventKind::Wake { pid, gen } = ev.kind {
+                // Superseded by a message or a later block: discard
+                // without advancing the clock or counting an event.
+                if self.procs[pid.index()].wake_gen != gen {
+                    self.stale_wakes -= 1;
+                    continue;
+                }
+            }
             self.now = ev.time;
             self.stats.events += 1;
             match ev.kind {
@@ -385,6 +416,35 @@ impl Simulation {
                     self.run_process(pid);
                 }
                 EventKind::Deliver { dst, env } => {
+                    // Outage windows act at delivery time, so one window
+                    // covers every message in flight toward the node.
+                    if let Some(f) = self.faults.as_ref() {
+                        let node = self.procs[dst.index()].node;
+                        if let Some(o) = f.outage_at(node, self.now) {
+                            match o.kind {
+                                OutageKind::Down => {
+                                    if self.tracer.enabled() {
+                                        self.tracer.instant(
+                                            dst,
+                                            "fault",
+                                            "fault.outage_drop",
+                                            self.now,
+                                            &[],
+                                        );
+                                    }
+                                    continue;
+                                }
+                                OutageKind::Paused => {
+                                    // Re-queue at the window's end; the
+                                    // fresh seq keeps deferred messages in
+                                    // their original relative order.
+                                    let until = o.until;
+                                    self.push_event(until, EventKind::Deliver { dst, env });
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     self.stats.messages += 1;
                     if self.tracer.enabled() {
                         self.tracer.flow_recv(env.flow, env.from, dst, self.now);
@@ -393,6 +453,9 @@ impl Simulation {
                     match slot.state {
                         ProcState::BlockedRecv | ProcState::BlockedRecvTimeout => {
                             // Invalidate any pending recv-timeout wake.
+                            if slot.state == ProcState::BlockedRecvTimeout {
+                                self.stale_wakes += 1;
+                            }
                             slot.wake_gen += 1;
                             self.resume(dst, Resume::Msg { env, now: self.now });
                             self.run_process(dst);
@@ -408,9 +471,7 @@ impl Simulation {
                 }
                 EventKind::Wake { pid, gen } => {
                     let slot = &self.procs[pid.index()];
-                    if slot.wake_gen != gen {
-                        continue; // stale: superseded by a message or later block
-                    }
+                    debug_assert_eq!(slot.wake_gen, gen, "stale wakes are pre-filtered");
                     match slot.state {
                         ProcState::BlockedDelay => {
                             self.resume(pid, Resume::Go { now: self.now });
@@ -466,6 +527,7 @@ impl Simulation {
                     dst,
                     payload,
                     bytes,
+                    cloner,
                 } => {
                     assert!(
                         dst.index() < self.procs.len(),
@@ -482,14 +544,77 @@ impl Simulation {
                     if self.tracer.enabled() {
                         self.tracer.flow_send(flow, pid, dst, self.now, bytes);
                     }
-                    let env = Envelope {
+                    let mut env = Envelope {
                         from: pid,
                         sent_at: self.now,
                         delivered_at: self.now + lat,
                         payload,
                         flow,
+                        cloner,
                     };
-                    self.push_event(self.now + lat, EventKind::Deliver { dst, env });
+                    // One fate draw per post, even when it resolves to a
+                    // plain delivery, so the fault stream is a function of
+                    // the post sequence alone.
+                    let fate = match self.faults.as_mut() {
+                        Some(f) => f.next_fate(),
+                        None => MsgFate::Deliver,
+                    };
+                    match fate {
+                        MsgFate::Deliver => {
+                            self.push_event(self.now + lat, EventKind::Deliver { dst, env });
+                        }
+                        MsgFate::Drop => {
+                            if self.tracer.enabled() {
+                                self.tracer.instant(
+                                    pid,
+                                    "fault",
+                                    "fault.msg_drop",
+                                    self.now,
+                                    &[("dst", u64::from(dst.0))],
+                                );
+                            }
+                            // The envelope falls on the floor: the flow's
+                            // send was traced, its delivery never happens.
+                        }
+                        MsgFate::Duplicate => {
+                            let copy = env.duplicate();
+                            self.push_event(self.now + lat, EventKind::Deliver { dst, env });
+                            if let Some(mut copy) = copy {
+                                copy.flow = self.flow_seq;
+                                self.flow_seq += 1;
+                                if self.tracer.enabled() {
+                                    self.tracer.flow_send(copy.flow, pid, dst, self.now, 0);
+                                    self.tracer.instant(
+                                        pid,
+                                        "fault",
+                                        "fault.msg_dup",
+                                        self.now,
+                                        &[("dst", u64::from(dst.0))],
+                                    );
+                                }
+                                self.push_event(
+                                    self.now + lat,
+                                    EventKind::Deliver { dst, env: copy },
+                                );
+                            }
+                        }
+                        MsgFate::Delay(extra) => {
+                            env.delivered_at = self.now + lat + extra;
+                            if self.tracer.enabled() {
+                                self.tracer.instant(
+                                    pid,
+                                    "fault",
+                                    "fault.msg_delay",
+                                    self.now,
+                                    &[("extra_nanos", extra.as_nanos())],
+                                );
+                            }
+                            self.push_event(
+                                self.now + lat + extra,
+                                EventKind::Deliver { dst, env },
+                            );
+                        }
+                    }
                 }
                 Syscall::Spawn {
                     node,

@@ -23,6 +23,14 @@ impl NodeId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The id of the node created at `index`. Ids are nothing but
+    /// creation-order indices, so this lets fault plans and test fixtures
+    /// name nodes without holding the simulation that created them; using
+    /// an index no simulation reaches is simply inert.
+    pub const fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
 }
 
 impl fmt::Display for NodeId {

@@ -11,6 +11,7 @@ fn sim_with(latency: impl parsim::LatencyModel + 'static) -> Simulation {
         latency: Box::new(latency),
         seed: 7,
         tracer: None,
+        ..SimConfig::default()
     })
 }
 
@@ -241,6 +242,7 @@ fn determinism_identical_runs() {
             latency: Box::new(UniformLatency::default()),
             seed: 1234,
             tracer: None,
+            ..SimConfig::default()
         });
         let nodes = sim.add_nodes("n", 4);
         let trace = Arc::new(Mutex::new(Vec::new()));
@@ -405,6 +407,7 @@ fn per_process_rng_is_deterministic_and_distinct() {
             latency: Box::new(ZeroLatency),
             seed,
             tracer: None,
+            ..SimConfig::default()
         });
         let n = sim.add_node("n");
         sim.block_on(n, "main", move |ctx| {

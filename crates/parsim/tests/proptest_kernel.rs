@@ -12,6 +12,7 @@ fn run_workload(seed: u64, senders: usize, delays: &[u16]) -> Vec<(u64, u32, u32
         latency: Box::new(UniformLatency::default()),
         seed,
         tracer: None,
+        ..SimConfig::default()
     });
     let nodes: Vec<_> = (0..senders.max(1))
         .map(|i| sim.add_node(format!("n{i}")))

@@ -41,10 +41,94 @@ pub mod sched;
 pub use sched::{RequestQueue, SchedConfig, SchedPolicy};
 
 use bytes::Bytes;
-use parsim::{Ctx, SimDuration};
+use parsim::{mix64, splitmix64, Ctx, SimDuration};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+
+/// Maximum failed attempts the simulated device driver absorbs per request
+/// before giving up with [`DiskError::Transient`]. Fault plans whose
+/// per-disk caps stay below this bound therefore never surface an error to
+/// the file system — the faults show up purely as extra service time.
+pub const DRIVER_RETRY_LIMIT: u32 = 16;
+
+/// Live transient-fault state for one disk, derived from a
+/// [`parsim::FaultPlan`]'s [`DiskFaults`](parsim::DiskFaults) section.
+///
+/// Failed attempts are absorbed by a bounded driver retry loop inside the
+/// disk: each failure re-positions the head (charging the profile's
+/// positioning cost) and tries again. Randomness comes from a splitmix64
+/// stream stepped once per attempt, so runs are bit-reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskFaultState {
+    rng: u64,
+    error_per_mille: u16,
+    max_consecutive: u32,
+    /// (block, remaining failures) targeted rules for this disk.
+    targets: Vec<(u32, u32)>,
+    /// Consecutive random failures so far (capped by `max_consecutive`).
+    consecutive: u32,
+}
+
+impl DiskFaultState {
+    /// Builds the fault state for disk number `disk` from a plan's disk
+    /// section, or `None` when no fault can ever hit this disk (so the
+    /// fault-free fast path stays untouched).
+    pub fn from_plan(plan: &parsim::DiskFaults, seed: u64, disk: u32) -> Option<DiskFaultState> {
+        let targets: Vec<(u32, u32)> = plan
+            .targets
+            .iter()
+            .filter(|t| t.disk == disk && t.fails > 0)
+            .map(|t| (t.block, t.fails))
+            .collect();
+        let random_active = plan.error_per_mille > 0 && plan.max_consecutive > 0;
+        if !random_active && targets.is_empty() {
+            return None;
+        }
+        assert!(
+            plan.error_per_mille <= 1000,
+            "per-mille fault rates must be <= 1000"
+        );
+        Some(DiskFaultState {
+            rng: mix64(seed, 0x6469_736b_0000_0000 | u64::from(disk)), // "disk" | index
+            error_per_mille: if random_active {
+                plan.error_per_mille
+            } else {
+                0
+            },
+            max_consecutive: plan.max_consecutive,
+            targets,
+            consecutive: 0,
+        })
+    }
+
+    /// Number of failed attempts the driver must absorb for a request
+    /// touching `blocks`, consuming targeted-rule budget and stepping the
+    /// random stream until a success draw (or the consecutive cap).
+    fn failures_for(&mut self, blocks: impl Iterator<Item = BlockAddr>) -> u32 {
+        let mut failures = 0u32;
+        for b in blocks {
+            for t in self.targets.iter_mut() {
+                if t.0 == b.index() && t.1 > 0 {
+                    failures = failures.saturating_add(t.1);
+                    t.1 = 0;
+                }
+            }
+        }
+        while self.error_per_mille > 0 {
+            let x = splitmix64(&mut self.rng);
+            if ((x % 1000) as u16) < self.error_per_mille && self.consecutive < self.max_consecutive
+            {
+                self.consecutive += 1;
+                failures += 1;
+            } else {
+                self.consecutive = 0;
+                break;
+            }
+        }
+        failures
+    }
+}
 
 /// The address of a block on one disk (0-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -244,6 +328,16 @@ pub enum DiskError {
         /// Bytes required (the geometry's block size).
         required: usize,
     },
+    /// An injected transient fault outlasted the driver's bounded retry
+    /// loop ([`DRIVER_RETRY_LIMIT`] attempts). Only reachable under a
+    /// fault plan whose per-request failure budget exceeds the limit;
+    /// nothing is charged and no data moves when the driver gives up.
+    Transient {
+        /// The (first) addressed block of the failed request.
+        addr: BlockAddr,
+        /// Failed attempts the request would have needed.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -255,6 +349,13 @@ impl fmt::Display for DiskError {
             DiskError::Unwritten { addr } => write!(f, "block {addr} has never been written"),
             DiskError::WrongBlockSize { provided, required } => {
                 write!(f, "write of {provided} bytes, block size is {required}")
+            }
+            DiskError::Transient { addr, attempts } => {
+                write!(
+                    f,
+                    "transient fault on block {addr} outlasted the driver \
+                     ({attempts} failed attempts, limit {DRIVER_RETRY_LIMIT})"
+                )
             }
         }
     }
@@ -276,6 +377,9 @@ pub struct DiskStats {
     /// Tracks of head travel accumulated by positionings (always zero
     /// under the flat profile, which does not model head distance).
     pub head_travel: u64,
+    /// Injected transient failures absorbed by the driver's retry loop
+    /// (always zero without a fault plan).
+    pub transient_faults: u64,
     /// Total virtual time this disk spent servicing requests.
     pub busy: SimDuration,
 }
@@ -391,6 +495,8 @@ pub struct SimDisk {
     deferred: VecDeque<parsim::SimTime>,
     /// Track the head is currently positioned over (starts at track 0).
     head_track: u32,
+    /// Injected transient-fault state (`None` = the fault-free fast path).
+    faults: Option<DiskFaultState>,
     stats: DiskStats,
 }
 
@@ -407,8 +513,16 @@ impl SimDisk {
             free_at: parsim::SimTime::ZERO,
             deferred: VecDeque::new(),
             head_track: 0,
+            faults: None,
             stats: DiskStats::default(),
         }
+    }
+
+    /// Installs (or clears) transient-fault injection for this disk.
+    /// Passing `None` — or a state [`DiskFaultState::from_plan`] declined
+    /// to build — keeps the exact fault-free code path.
+    pub fn inject_faults(&mut self, faults: Option<DiskFaultState>) {
+        self.faults = faults;
     }
 
     /// Enables write-behind: writes return once buffered (paying only the
@@ -554,6 +668,55 @@ impl SimDisk {
         self.deferred.len()
     }
 
+    /// Consults the fault state for a request touching `addrs` and returns
+    /// the extra service time the driver's bounded retry loop absorbed:
+    /// each failed attempt re-positions the head over the target track and
+    /// tries again, so a failure costs one positioning charge (full travel
+    /// for the first, settle-only under a seek curve thereafter). With no
+    /// fault state installed this is a single branch returning zero.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Transient`] when the request would need more than
+    /// [`DRIVER_RETRY_LIMIT`] attempts; nothing is charged in that case.
+    fn fault_penalty(
+        &mut self,
+        ctx: &mut Ctx,
+        addrs: &[BlockAddr],
+    ) -> Result<SimDuration, DiskError> {
+        let failures = match self.faults.as_mut() {
+            None => 0,
+            Some(f) => f.failures_for(addrs.iter().copied()),
+        };
+        if failures == 0 {
+            return Ok(SimDuration::ZERO);
+        }
+        self.stats.transient_faults += u64::from(failures);
+        let addr = addrs[0];
+        if ctx.trace_enabled() {
+            ctx.trace_instant(
+                "fault",
+                "fault.disk_transient",
+                &[
+                    ("block", u64::from(addr.index())),
+                    ("retries", u64::from(failures)),
+                ],
+            );
+        }
+        if failures > DRIVER_RETRY_LIMIT {
+            return Err(DiskError::Transient {
+                addr,
+                attempts: failures,
+            });
+        }
+        let track = self.geometry.track_of(addr);
+        let mut extra = SimDuration::ZERO;
+        for _ in 0..failures {
+            extra += self.seek_to(track);
+        }
+        Ok(extra)
+    }
+
     /// Reads one block, charging virtual time.
     ///
     /// A miss positions the head and streams the whole track into the track
@@ -561,21 +724,24 @@ impl SimDisk {
     ///
     /// # Errors
     ///
-    /// [`DiskError::OutOfRange`] or [`DiskError::Unwritten`].
+    /// [`DiskError::OutOfRange`], [`DiskError::Unwritten`], or
+    /// [`DiskError::Transient`] under an unbounded fault rule.
     pub fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Bytes, DiskError> {
         let idx = self.check_addr(addr)?;
+        let extra = self.fault_penalty(ctx, &[addr])?;
         let track = self.geometry.track_of(addr);
         self.stats.reads += 1;
         let t0 = ctx.now();
         let hit = self.buffer_hit(addr);
-        let d = if hit {
-            self.stats.buffer_hits += 1;
-            self.profile.transfer_per_block
-        } else {
-            self.stats.track_loads += 1;
-            self.seek_to(track)
-                + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track)
-        };
+        let d = extra
+            + if hit {
+                self.stats.buffer_hits += 1;
+                self.profile.transfer_per_block
+            } else {
+                self.stats.track_loads += 1;
+                self.seek_to(track)
+                    + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track)
+            };
         self.charge(ctx, d);
         if !hit {
             self.buffer_load(track);
@@ -613,7 +779,7 @@ impl SimDisk {
         for &addr in addrs {
             idxs.push(self.check_addr(addr)?);
         }
-        let mut total = SimDuration::ZERO;
+        let mut total = self.fault_penalty(ctx, addrs)?;
         let mut run_loads = 0u64;
         let mut run_hits = 0u64;
         for &addr in addrs {
@@ -694,6 +860,7 @@ impl SimDisk {
             }
             return Ok(());
         }
+        let extra = self.fault_penalty(ctx, &writes.iter().map(|(a, _)| *a).collect::<Vec<_>>())?;
         // Group the run per track, first-seen order, keeping each track's
         // blocks in caller order.
         let mut track_order: Vec<u32> = Vec::new();
@@ -708,7 +875,7 @@ impl SimDisk {
                 }
             }
         }
-        let mut total = SimDuration::ZERO;
+        let mut total = extra;
         for (group, &track) in groups.iter().zip(&track_order) {
             total += self.seek_to(track) + self.profile.transfer_per_block * group.len() as u64;
             for &i in group {
@@ -749,8 +916,10 @@ impl SimDisk {
                 required: self.geometry.block_size,
             });
         }
+        let extra = self.fault_penalty(ctx, &[addr])?;
         self.stats.writes += 1;
-        let d = self.seek_to(self.geometry.track_of(addr)) + self.profile.transfer_per_block;
+        let d =
+            extra + self.seek_to(self.geometry.track_of(addr)) + self.profile.transfer_per_block;
         let t0 = ctx.now();
         if self.write_behind.is_some() {
             self.charge_deferred(ctx, d, self.profile.transfer_per_block);
@@ -1411,5 +1580,132 @@ mod tests {
             disk.clear_raw(BlockAddr::new(3));
             assert_eq!(disk.blocks_in_use(), 0);
         });
+    }
+
+    fn targeted(disk: u32, block: u32, fails: u32) -> parsim::DiskFaults {
+        parsim::DiskFaults {
+            targets: vec![parsim::BlockFaultRule { disk, block, fails }],
+            ..parsim::DiskFaults::default()
+        }
+    }
+
+    #[test]
+    fn inert_plans_install_no_fault_state() {
+        assert!(DiskFaultState::from_plan(&parsim::DiskFaults::default(), 7, 0).is_none());
+        // Rules for a different disk index are equally inert here.
+        assert!(DiskFaultState::from_plan(&targeted(3, 0, 2), 7, 0).is_none());
+        // A rate without a consecutive cap can never fire.
+        let uncapped = parsim::DiskFaults {
+            error_per_mille: 500,
+            max_consecutive: 0,
+            ..parsim::DiskFaults::default()
+        };
+        assert!(DiskFaultState::from_plan(&uncapped, 7, 0).is_none());
+    }
+
+    #[test]
+    fn targeted_rule_charges_positioning_per_failure_then_heals() {
+        let (t_faulted, t_healed, stats) = on_disk(DiskProfile::wren(), |ctx, disk| {
+            for i in 0..8u32 {
+                disk.write_raw(BlockAddr::new(i), &block_of(0));
+            }
+            disk.inject_faults(DiskFaultState::from_plan(&targeted(0, 0, 2), 7, 0));
+            let t0 = ctx.now();
+            // Two absorbed failures (15ms positioning each) + normal miss.
+            let data = disk.read(ctx, BlockAddr::new(0)).unwrap();
+            assert_eq!(data, block_of(0), "retried read still returns the data");
+            let t1 = ctx.now();
+            disk.read(ctx, BlockAddr::new(1)).unwrap(); // healed: plain hit
+            (t1 - t0, ctx.now() - t1, disk.stats())
+        });
+        assert_eq!(t_faulted, SimDuration::from_millis(2 * 15 + 23));
+        assert_eq!(t_healed, SimDuration::from_millis(1));
+        assert_eq!(stats.transient_faults, 2);
+    }
+
+    #[test]
+    fn random_failures_are_capped_per_request() {
+        let plan = parsim::DiskFaults {
+            error_per_mille: 1000, // every attempt fails...
+            max_consecutive: 2,    // ...but at most twice in a row
+            ..parsim::DiskFaults::default()
+        };
+        let (t_read, stats) = on_disk(DiskProfile::wren(), move |ctx, disk| {
+            for i in 0..8u32 {
+                disk.write_raw(BlockAddr::new(i), &block_of(0));
+            }
+            disk.inject_faults(DiskFaultState::from_plan(&plan, 7, 0));
+            let t0 = ctx.now();
+            disk.read(ctx, BlockAddr::new(0)).unwrap();
+            (ctx.now() - t0, disk.stats())
+        });
+        // Exactly the cap's worth of failures, then the forced success.
+        assert_eq!(t_read, SimDuration::from_millis(2 * 15 + 23));
+        assert_eq!(stats.transient_faults, 2);
+    }
+
+    #[test]
+    fn fault_outlasting_the_driver_escapes_uncharged() {
+        on_disk(DiskProfile::wren(), |ctx, disk| {
+            for i in 0..8u32 {
+                disk.write_raw(BlockAddr::new(i), &block_of(0));
+            }
+            let fails = DRIVER_RETRY_LIMIT + 4;
+            disk.inject_faults(DiskFaultState::from_plan(&targeted(0, 0, fails), 7, 0));
+            let t0 = ctx.now();
+            let err = disk.read(ctx, BlockAddr::new(0)).unwrap_err();
+            assert_eq!(
+                err,
+                DiskError::Transient {
+                    addr: BlockAddr::new(0),
+                    attempts: fails,
+                }
+            );
+            assert_eq!(ctx.now(), t0, "a given-up request charges nothing");
+            // The rule's budget is spent: the retried request succeeds.
+            disk.read(ctx, BlockAddr::new(0)).unwrap();
+            assert_eq!(disk.stats().transient_faults, u64::from(fails));
+        });
+    }
+
+    #[test]
+    fn run_requests_absorb_faults_once_per_request() {
+        let (t_run, stats) = on_disk(DiskProfile::wren(), |ctx, disk| {
+            disk.inject_faults(DiskFaultState::from_plan(&targeted(0, 9, 3), 7, 0));
+            let writes: Vec<(BlockAddr, Bytes)> = (8..16u32)
+                .map(|i| (BlockAddr::new(i), Bytes::from(block_of(i as u8))))
+                .collect();
+            let t0 = ctx.now();
+            // One track, one positioning, 8 transfers + 3 absorbed failures.
+            disk.write_many(ctx, &writes).unwrap();
+            (ctx.now() - t0, disk.stats())
+        });
+        assert_eq!(t_run, SimDuration::from_millis(3 * 15 + 15 + 8));
+        assert_eq!(stats.transient_faults, 3);
+    }
+
+    #[test]
+    fn fault_streams_are_deterministic_per_seed() {
+        let plan = parsim::DiskFaults {
+            error_per_mille: 400,
+            max_consecutive: 3,
+            ..parsim::DiskFaults::default()
+        };
+        let run = |seed: u64| {
+            let plan = plan.clone();
+            on_disk(DiskProfile::wren(), move |ctx, disk| {
+                disk.inject_faults(DiskFaultState::from_plan(&plan, seed, 2));
+                for i in 0..64u32 {
+                    disk.write(ctx, BlockAddr::new(i), &block_of(1)).unwrap();
+                }
+                (ctx.now(), disk.stats())
+            })
+        };
+        assert_eq!(run(11), run(11), "same seed, same faults");
+        assert_ne!(
+            run(11).1.transient_faults,
+            run(12).1.transient_faults,
+            "different seeds draw different streams"
+        );
     }
 }

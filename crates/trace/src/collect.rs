@@ -47,6 +47,13 @@ pub struct InstantEvent {
     pub args: Vec<TraceArg>,
 }
 
+impl InstantEvent {
+    /// Looks up a numeric annotation by key.
+    pub fn arg(&self, key: &str) -> Option<u64> {
+        self.args.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+}
+
 /// One side of a message transfer: the send or the matching delivery.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowEvent {

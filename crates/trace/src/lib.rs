@@ -52,4 +52,4 @@ mod metrics;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
 pub use collect::{FlowEvent, InstantEvent, ProcMeta, SpanEvent, TraceCollector, TraceData};
-pub use metrics::{DiskUtilization, Histogram, Metrics, QueueMetrics};
+pub use metrics::{DiskUtilization, Histogram, Metrics, QueueMetrics, RetryMetrics};

@@ -15,7 +15,7 @@ const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB + SUB;
 
 /// A log-linear histogram of durations in nanoseconds.
 ///
-/// Each power-of-two octave is split into [`SUB`] linear sub-buckets (the
+/// Each power-of-two octave is split into `SUB` linear sub-buckets (the
 /// HDR-histogram scheme), so recording is a couple of shifts and quantile
 /// bounds are precise to 12.5% instead of a factor of two, while the whole
 /// `u64` range still fits in a few hundred buckets.
@@ -151,6 +151,75 @@ impl QueueMetrics {
     }
 }
 
+/// Fault-injection and recovery statistics, aggregated from the fault
+/// layer's `fault.*` markers and the retrying clients' / dedup windows'
+/// `retry.*` markers. All-zero (and unrendered) on a fault-free run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetryMetrics {
+    /// Requests resent after a reply timeout (`retry.resend`).
+    pub resends: u64,
+    /// Calls that succeeded after more than one attempt
+    /// (`retry.recovered`).
+    pub recovered: u64,
+    /// Calls that spent their whole retry budget without a reply
+    /// (`retry.exhausted`).
+    pub exhausted: u64,
+    /// Retransmits dropped because the original was still in service
+    /// (`retry.dup_dropped`).
+    pub dup_dropped: u64,
+    /// Retransmits answered from the dedup window's reply cache instead
+    /// of re-executing (`retry.replay`).
+    pub replays: u64,
+    /// Messages the fault plan silently dropped (`fault.msg_drop`).
+    pub msg_drops: u64,
+    /// Messages the fault plan delivered twice (`fault.msg_dup`).
+    pub msg_dups: u64,
+    /// Messages the fault plan delivered late (`fault.msg_delay`).
+    pub msg_delays: u64,
+    /// Deliveries lost to a down-node outage window
+    /// (`fault.outage_drop`).
+    pub outage_drops: u64,
+    /// Transient disk failures absorbed by the driver's retry loop
+    /// (`fault.disk_transient`, summing its `retries` argument).
+    pub disk_transients: u64,
+    /// Recovery latency of calls that needed a resend: first send to
+    /// accepted reply (`retry.recovered`'s `latency_nanos`).
+    pub recovery: Histogram,
+}
+
+impl RetryMetrics {
+    /// True when no fault fired and no retry was needed — nothing worth
+    /// rendering.
+    pub fn is_empty(&self) -> bool {
+        *self == RetryMetrics::default()
+    }
+
+    /// Total duplicate deliveries the servers suppressed (in-flight drops
+    /// plus cached-reply replays).
+    pub fn dups_suppressed(&self) -> u64 {
+        self.dup_dropped + self.replays
+    }
+
+    fn observe(&mut self, name: &str, args: &crate::collect::InstantEvent) {
+        match name {
+            "retry.resend" => self.resends += 1,
+            "retry.recovered" => {
+                self.recovered += 1;
+                self.recovery.record(args.arg("latency_nanos").unwrap_or(0));
+            }
+            "retry.exhausted" => self.exhausted += 1,
+            "retry.dup_dropped" => self.dup_dropped += 1,
+            "retry.replay" => self.replays += 1,
+            "fault.msg_drop" => self.msg_drops += 1,
+            "fault.msg_dup" => self.msg_dups += 1,
+            "fault.msg_delay" => self.msg_delays += 1,
+            "fault.outage_drop" => self.outage_drops += 1,
+            "fault.disk_transient" => self.disk_transients += args.arg("retries").unwrap_or(1),
+            _ => {}
+        }
+    }
+}
+
 /// Counters and histograms aggregated from one [`TraceData`].
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -169,6 +238,9 @@ pub struct Metrics {
     /// LFS request-queue statistics (empty when no `lfs.queue_wait`
     /// spans were traced).
     pub queue: QueueMetrics,
+    /// Fault-injection and timeout/retry recovery statistics (all zero
+    /// when the run was fault-free).
+    pub retry: RetryMetrics,
     /// The trace's end time (denominator of utilization).
     pub end_time: SimTime,
 }
@@ -200,6 +272,9 @@ impl Metrics {
                 *disk_busy.entry(span.pid).or_insert(0) +=
                     span.arg("busy").unwrap_or_else(|| span.dur_nanos());
             }
+        }
+        for inst in &data.instants {
+            m.retry.observe(&inst.name, inst);
         }
         for flow in data.flows.iter().filter(|f| f.send) {
             m.msg_sends += 1;
@@ -270,6 +345,34 @@ impl Metrics {
                 self.queue.depth_mean(),
                 self.queue.depth_max
             );
+        }
+        if !self.retry.is_empty() {
+            let r = &self.retry;
+            let _ = writeln!(
+                out,
+                "  faults: {} drops, {} dups, {} delays, {} outage drops, {} disk transients",
+                r.msg_drops, r.msg_dups, r.msg_delays, r.outage_drops, r.disk_transients
+            );
+            let _ = writeln!(
+                out,
+                "  retries: {} resends, {} recovered, {} exhausted, {} dups suppressed \
+                 ({} dropped + {} replayed)",
+                r.resends,
+                r.recovered,
+                r.exhausted,
+                r.dups_suppressed(),
+                r.dup_dropped,
+                r.replays
+            );
+            if r.recovery.count() > 0 {
+                let _ = writeln!(
+                    out,
+                    "  recovery latency: mean {}, p99 <= {}, max {}",
+                    r.recovery.mean(),
+                    SimDuration::from_nanos(r.recovery.quantile_bound(0.99)),
+                    r.recovery.max()
+                );
+            }
         }
         if !self.disks.is_empty() {
             let _ = writeln!(out, "  disk utilization");
@@ -386,6 +489,56 @@ mod tests {
         let empty = Metrics::from_trace(&TraceData::default());
         assert_eq!(empty.queue, QueueMetrics::default());
         assert!(!empty.render().contains("lfs queue"));
+    }
+
+    #[test]
+    fn retry_metrics_aggregate_instants() {
+        let mut data = TraceData::default();
+        let instant = |name: &str, args: Vec<(&'static str, u64)>| crate::collect::InstantEvent {
+            pid: 0,
+            cat: if name.starts_with("fault") {
+                "fault"
+            } else {
+                "retry"
+            },
+            name: name.to_string(),
+            at: SimTime::from_nanos(5),
+            args,
+        };
+        data.instants.push(instant("fault.msg_drop", vec![]));
+        data.instants.push(instant("fault.msg_drop", vec![]));
+        data.instants.push(instant("fault.msg_dup", vec![]));
+        data.instants
+            .push(instant("fault.disk_transient", vec![("retries", 3)]));
+        data.instants
+            .push(instant("retry.resend", vec![("id", 1), ("attempt", 1)]));
+        data.instants.push(instant(
+            "retry.recovered",
+            vec![("id", 1), ("attempts", 2), ("latency_nanos", 40_000)],
+        ));
+        data.instants
+            .push(instant("retry.exhausted", vec![("id", 2), ("attempts", 4)]));
+        data.instants.push(instant("retry.replay", vec![("id", 1)]));
+        data.instants
+            .push(instant("retry.dup_dropped", vec![("id", 3)]));
+
+        let m = Metrics::from_trace(&data);
+        assert_eq!(m.retry.msg_drops, 2);
+        assert_eq!(m.retry.msg_dups, 1);
+        assert_eq!(m.retry.disk_transients, 3);
+        assert_eq!(m.retry.resends, 1);
+        assert_eq!(m.retry.recovered, 1);
+        assert_eq!(m.retry.exhausted, 1);
+        assert_eq!(m.retry.dups_suppressed(), 2);
+        assert_eq!(m.retry.recovery.count(), 1);
+        assert_eq!(m.retry.recovery.max(), SimDuration::from_nanos(40_000));
+        let rendered = m.render();
+        assert!(rendered.contains("faults: 2 drops"));
+        assert!(rendered.contains("recovery latency"));
+        // A fault-free trace renders no fault lines at all.
+        let clean = Metrics::from_trace(&TraceData::default());
+        assert!(clean.retry.is_empty());
+        assert!(!clean.render().contains("faults:"));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   and redundancy (mirroring / rotating parity).
 //! * [`tools`] — copy/filter/grep/summary/sort tools.
 //! * [`baseline`] — §2's striped sets and storage arrays under one FS.
-//! * [`model`] — the analytical companion (the paper's reference [17]).
+//! * [`model`] — the analytical companion (the paper's reference \[17\]).
 //! * [`trace`] — virtual-time tracing: Chrome trace export and a metrics
 //!   registry, observation-only by construction.
 

@@ -1,0 +1,470 @@
+//! Chaos tests: the headline fault-tolerance invariant.
+//!
+//! For any *bounded* fault plan — drop/duplicate/delay rates with a
+//! consecutive-drop cap, finite outage windows, transient disk errors
+//! under the driver retry limit — a workload run against a Bridge machine
+//! with retries enabled produces **exactly** the client-visible replies
+//! and final file contents of the fault-free run. Faults may only change
+//! timing, never observable behaviour.
+//!
+//! Three entry points exercise it:
+//!
+//! * `bounded_faults_preserve_observable_behavior` — proptest over random
+//!   plan seeds, a quick subset on every `cargo test`.
+//! * `chaos_soak` — the CI soak hook. `CHAOS_SEED` picks the seed block
+//!   (nightly CI derives it from the date), `CHAOS_CASES` the case count,
+//!   and `CHAOS_REPLAY` replays one failing plan seed exactly. A failing
+//!   seed is written to `target/chaos_failures/` so CI can attach it, and
+//!   the panic message carries the replay command.
+//! * `fault_seed_corpus_replays_clean` — regression corpus: every seed in
+//!   `tests/fault_seeds/` replays on plain `cargo test`, forever.
+
+use bridge_repro::core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec, PlacementSpec};
+use bridge_repro::parsim::{
+    mix64, splitmix64, BlockFaultRule, DiskFaults, FaultPlan, MsgFaults, NodeId, Outage,
+    OutageKind, RunStats, SimDuration, SimTime,
+};
+use bridge_repro::trace::{Metrics, TraceCollector};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Node indexes in a [`BridgeMachine`] build: the server node is added
+/// first, then the frontend, then one node per LFS.
+const SERVER_NODE: usize = 0;
+const FIRST_LFS_NODE: usize = 2;
+
+/// Machine breadth used by every chaos run.
+const BREADTH: u32 = 3;
+
+/// Draws a bounded fault plan from a seed. Every knob stays inside the
+/// convergence envelope: drop runs are capped, outage windows are short
+/// (their sum plus `delay_max` is far below the servers' dedup
+/// retention), and disk error bursts stay under the driver retry limit.
+fn plan_from_seed(seed: u64) -> FaultPlan {
+    let mut s = mix64(seed, 0x00C4_A05B);
+    let mut draw = move || splitmix64(&mut s);
+    let msg = MsgFaults {
+        drop_per_mille: (draw() % 250) as u16,
+        dup_per_mille: (draw() % 250) as u16,
+        delay_per_mille: (draw() % 300) as u16,
+        delay_max: SimDuration::from_micros(1 + draw() % 100_000),
+        max_consecutive_drops: 2 + (draw() % 6) as u32,
+    };
+    let mut outages = Vec::new();
+    for _ in 0..draw() % 3 {
+        // Hit the Bridge server node or one of the LFS nodes, never the
+        // frontend the driving client runs on.
+        let node = match draw() % 4 {
+            0 => SERVER_NODE,
+            pick => FIRST_LFS_NODE + (pick as usize - 1),
+        };
+        let from = SimTime::ZERO + SimDuration::from_millis(draw() % 1_500);
+        let len = SimDuration::from_millis(10 + draw() % 800);
+        outages.push(Outage {
+            node: NodeId::from_index(node),
+            from,
+            until: from + len,
+            kind: if draw() % 2 == 0 {
+                OutageKind::Down
+            } else {
+                OutageKind::Paused
+            },
+        });
+    }
+    let mut targets = Vec::new();
+    for _ in 0..draw() % 3 {
+        targets.push(BlockFaultRule {
+            disk: (draw() % u64::from(BREADTH)) as u32,
+            block: (draw() % 256) as u32,
+            fails: 1 + (draw() % 4) as u32,
+        });
+    }
+    let disk = DiskFaults {
+        error_per_mille: (draw() % 150) as u16,
+        max_consecutive: 1 + (draw() % 6) as u32,
+        targets,
+    };
+    FaultPlan {
+        seed,
+        msg,
+        outages,
+        disk,
+    }
+}
+
+/// Deterministic payload for append/overwrite `i` of stream `tag`.
+fn content(tag: u8, i: u64) -> Vec<u8> {
+    vec![tag ^ (i as u8), (i >> 8) as u8, tag, 0x42]
+        .into_iter()
+        .cycle()
+        .take(64 + (i as usize % 7) * 16)
+        .collect()
+}
+
+/// FNV-1a, to log block contents compactly.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs the fixed chaos workload and returns the transcript of every
+/// client-visible reply (results and read-back contents, no timing),
+/// plus the run's scheduler counters.
+fn run_workload(config: &BridgeConfig) -> (Vec<String>, RunStats) {
+    let (mut sim, machine) = BridgeMachine::build(config);
+    let server = machine.server;
+    let retry = config.server.lfs_retry;
+    let log = sim.block_on(machine.frontend, "chaos-client", move |ctx| {
+        let mut bridge = BridgeClient::with_retry(server, retry);
+        let mut log: Vec<String> = Vec::new();
+        let a = bridge
+            .create(
+                ctx,
+                CreateSpec {
+                    placement: PlacementSpec::RoundRobin,
+                    size_hint: Some(64),
+                    ..CreateSpec::default()
+                },
+            )
+            .expect("create a");
+        let b = bridge
+            .create(
+                ctx,
+                CreateSpec {
+                    placement: PlacementSpec::Chunked,
+                    size_hint: Some(32),
+                    ..CreateSpec::default()
+                },
+            )
+            .expect("create b");
+        log.push(format!("create a={a:?} b={b:?}"));
+        for i in 0..40 {
+            let n = bridge
+                .seq_write(ctx, a, content(0xA0, i))
+                .expect("append a");
+            log.push(format!("a.append[{i}] -> {n}"));
+        }
+        for i in 0..24 {
+            let n = bridge
+                .seq_write(ctx, b, content(0xB0, i))
+                .expect("append b");
+            log.push(format!("b.append[{i}] -> {n}"));
+        }
+        for at in [3u64, 17, 29] {
+            bridge
+                .rand_write(ctx, a, at, content(0xEE, at))
+                .expect("overwrite a");
+            log.push(format!("a.overwrite[{at}]"));
+        }
+        for (name, file) in [("a", a), ("b", b)] {
+            let info = bridge.open(ctx, file).expect("open");
+            let mut line = format!("{name}.read size={}:", info.size);
+            while let Some(block) = bridge.seq_read(ctx, file).expect("seq read") {
+                write!(line, " {:016x}", fnv(&block)).unwrap();
+            }
+            log.push(line);
+        }
+        let freed = bridge.delete(ctx, b).expect("delete b");
+        log.push(format!("b.delete -> {freed}"));
+        for i in 40..48 {
+            let n = bridge
+                .seq_write(ctx, a, content(0xA0, i))
+                .expect("append a");
+            log.push(format!("a.append[{i}] -> {n}"));
+        }
+        for at in [0u64, 17, 44, 47] {
+            let block = bridge.rand_read(ctx, a, at).expect("rand read a");
+            log.push(format!("a.rand_read[{at}] -> {:016x}", fnv(&block)));
+        }
+        let info = bridge.open(ctx, a).expect("reopen a");
+        let mut line = format!("a.final size={}:", info.size);
+        while let Some(block) = bridge.seq_read(ctx, a).expect("final read") {
+            write!(line, " {:016x}", fnv(&block)).unwrap();
+        }
+        log.push(line);
+        log
+    });
+    (log, sim.stats())
+}
+
+/// The headline invariant for one plan: transcript under faults+retries
+/// equals the fault-free transcript. Panics with a replayable report on
+/// mismatch. Returns both runs' scheduler counters so directed tests can
+/// assert that the faults actually fired.
+fn check_plan(label: &str, plan: FaultPlan) -> (RunStats, RunStats) {
+    let (baseline, base_stats) = run_workload(&BridgeConfig::instant(BREADTH));
+    let (faulted, fault_stats) =
+        run_workload(&BridgeConfig::instant(BREADTH).with_faults(plan.clone()));
+    if baseline == faulted {
+        return (base_stats, fault_stats);
+    }
+    let divergence = baseline
+        .iter()
+        .zip(faulted.iter())
+        .position(|(b, f)| b != f)
+        .unwrap_or_else(|| baseline.len().min(faulted.len()));
+    record_failure(plan.seed);
+    panic!(
+        "chaos invariant violated ({label}, plan seed {seed}):\n\
+         first divergence at reply {divergence}:\n\
+           fault-free: {base:?}\n\
+           faulted:    {fault:?}\n\
+         replay with: CHAOS_REPLAY={seed} cargo test --test chaos chaos_soak\n\
+         plan: {plan:?}",
+        seed = plan.seed,
+        base = baseline.get(divergence),
+        fault = faulted.get(divergence),
+    );
+}
+
+fn check_seed(label: &str, seed: u64) {
+    check_plan(label, plan_from_seed(seed));
+}
+
+/// A mid-rate everything-on plan for tests that need fault activity
+/// rather than coverage breadth.
+fn storm_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        msg: MsgFaults {
+            drop_per_mille: 200,
+            dup_per_mille: 150,
+            delay_per_mille: 200,
+            delay_max: SimDuration::from_millis(20),
+            max_consecutive_drops: 4,
+        },
+        disk: DiskFaults {
+            error_per_mille: 150,
+            max_consecutive: 4,
+            targets: Vec::new(),
+        },
+        ..FaultPlan::none()
+    }
+}
+
+/// Saves a failing plan seed under `target/chaos_failures/` so CI can
+/// upload it as an artifact (and a developer can move it into
+/// `tests/fault_seeds/` to pin the regression).
+fn record_failure(seed: u64) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("chaos_failures");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{seed}.seed")), format!("{seed}\n"));
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a u64, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+/// The CI soak hook (also a normal quick test when the env is unset).
+#[test]
+fn chaos_soak() {
+    if let Ok(replay) = std::env::var("CHAOS_REPLAY") {
+        let seed = replay
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("CHAOS_REPLAY must be a u64, got {replay:?}"));
+        check_seed("replay", seed);
+        return;
+    }
+    let base = env_u64("CHAOS_SEED", 0x00B2_1D6E);
+    let cases = env_u64("CHAOS_CASES", 6);
+    for case in 0..cases {
+        check_seed("soak", mix64(base, case));
+    }
+}
+
+/// Every seed ever caught in the wild replays clean, forever.
+#[test]
+fn fault_seed_corpus_replays_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fault_seeds");
+    let mut seeds = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("tests/fault_seeds exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "seed") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable seed file");
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let seed: u64 = line
+                .parse()
+                .unwrap_or_else(|_| panic!("bad seed line {line:?} in {path:?}"));
+            seeds.push(seed);
+        }
+    }
+    assert!(!seeds.is_empty(), "corpus must hold at least one seed");
+    for seed in seeds {
+        check_seed("corpus", seed);
+    }
+}
+
+/// Directed plan: heavy drops on every message stream, nothing else.
+/// Drops force timeouts, so the faulted run must take strictly longer in
+/// virtual time — proof the plan was not inert.
+#[test]
+fn drop_storm_converges() {
+    let (base, faulted) = check_plan(
+        "drop storm",
+        FaultPlan {
+            seed: 11,
+            msg: MsgFaults {
+                drop_per_mille: 400,
+                max_consecutive_drops: 4,
+                ..MsgFaults::default()
+            },
+            ..FaultPlan::none()
+        },
+    );
+    assert!(
+        faulted.end_time > base.end_time,
+        "drops must cost retry waits: {:?} vs {:?}",
+        faulted.end_time,
+        base.end_time
+    );
+}
+
+/// Directed plan: duplicate and delay without ever dropping — exercises
+/// the dedup window and reply-duplicate discard rather than timeouts.
+/// Duplicates mean strictly more deliveries than the fault-free run.
+#[test]
+fn dup_delay_storm_converges() {
+    let (base, faulted) = check_plan(
+        "dup+delay storm",
+        FaultPlan {
+            seed: 12,
+            msg: MsgFaults {
+                dup_per_mille: 350,
+                delay_per_mille: 350,
+                delay_max: SimDuration::from_millis(50),
+                ..MsgFaults::default()
+            },
+            ..FaultPlan::none()
+        },
+    );
+    assert!(
+        faulted.messages > base.messages,
+        "duplicates must inflate deliveries: {} vs {}",
+        faulted.messages,
+        base.messages
+    );
+}
+
+/// Directed plan: the Bridge server node crashes right out of the gate
+/// and an LFS node pauses shortly after.
+#[test]
+fn outage_windows_converge() {
+    let (base, faulted) = check_plan(
+        "outages",
+        FaultPlan {
+            seed: 13,
+            outages: vec![
+                Outage {
+                    node: NodeId::from_index(SERVER_NODE),
+                    from: SimTime::ZERO,
+                    until: SimTime::ZERO + SimDuration::from_millis(400),
+                    kind: OutageKind::Down,
+                },
+                Outage {
+                    node: NodeId::from_index(FIRST_LFS_NODE + 1),
+                    from: SimTime::ZERO + SimDuration::from_millis(300),
+                    until: SimTime::ZERO + SimDuration::from_millis(900),
+                    kind: OutageKind::Paused,
+                },
+            ],
+            ..FaultPlan::none()
+        },
+    );
+    assert!(
+        faulted.end_time > base.end_time,
+        "riding out the outages must take longer: {:?} vs {:?}",
+        faulted.end_time,
+        base.end_time
+    );
+}
+
+/// Directed plan: disk-only faults — random transients plus targeted
+/// block failures; the driver absorbs all of it below the protocol.
+#[test]
+fn disk_transients_converge() {
+    check_plan(
+        "disk transients",
+        FaultPlan {
+            seed: 14,
+            disk: DiskFaults {
+                error_per_mille: 200,
+                max_consecutive: 6,
+                targets: vec![
+                    BlockFaultRule {
+                        disk: 0,
+                        block: 0,
+                        fails: 3,
+                    },
+                    BlockFaultRule {
+                        disk: 2,
+                        block: 17,
+                        fails: 2,
+                    },
+                ],
+            },
+            ..FaultPlan::none()
+        },
+    );
+}
+
+/// A traced storm run surfaces its fault and recovery activity through
+/// the metrics pipeline: resends happened, every one of them recovered
+/// (none exhausted), and both message and disk faults were recorded.
+#[test]
+fn storm_activity_surfaces_in_retry_metrics() {
+    let collector = TraceCollector::install();
+    let mut config = BridgeConfig::instant(BREADTH).with_faults(storm_plan(15));
+    config.tracer = Some(collector.as_tracer());
+    run_workload(&config);
+    let metrics = Metrics::from_trace(&collector.snapshot());
+    let retry = &metrics.retry;
+    assert!(!retry.is_empty(), "storm must leave a trace");
+    assert!(retry.resends > 0, "drops must force resends");
+    assert!(retry.recovered > 0, "resends must recover");
+    assert_eq!(retry.exhausted, 0, "bounded faults never spend the budget");
+    assert!(retry.msg_drops > 0, "drop instants recorded");
+    assert!(retry.msg_dups > 0, "dup instants recorded");
+    assert!(
+        retry.disk_transients > 0,
+        "disk transient instants recorded"
+    );
+    assert!(
+        retry.recovery.count() > 0,
+        "recovery latency histogram populated"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// The headline invariant over random bounded plans.
+    #[test]
+    fn bounded_faults_preserve_observable_behavior(seed in any::<u64>()) {
+        check_seed("proptest", seed);
+    }
+}
