@@ -99,16 +99,19 @@ impl BlockDevice for StripedDisk {
         self.stats.reads += 1;
         let t0 = ctx.now();
         let hit = self.buffered[member] == Some(track) && self.buffered_valid[member][offset];
-        let d = if hit {
+        let (position, xfer) = if hit {
             self.stats.buffer_hits += 1;
-            self.profile.transfer_per_block
+            (SimDuration::ZERO, self.profile.transfer_per_block)
         } else {
             // All members position and stream in parallel; the caller
             // waits one track's worth, the stripe set loads p tracks.
             self.stats.track_loads += 1;
-            self.profile.positioning
-                + self.profile.transfer_per_block * u64::from(self.member_geometry.blocks_per_track)
+            (
+                self.profile.positioning,
+                self.profile.transfer_per_block * u64::from(self.member_geometry.blocks_per_track),
+            )
         };
+        let d = position + xfer;
         self.charge(ctx, d);
         if !hit {
             for (b, valid) in self.buffered.iter_mut().zip(&mut self.buffered_valid) {
@@ -122,7 +125,16 @@ impl BlockDevice for StripedDisk {
             } else {
                 "disk.read.load"
             };
-            ctx.trace_span("disk", name, t0, &[("busy", d.as_nanos())]);
+            ctx.trace_span(
+                "disk",
+                name,
+                t0,
+                &[
+                    ("busy", d.as_nanos()),
+                    ("position", position.as_nanos()),
+                    ("transfer", xfer.as_nanos()),
+                ],
+            );
         }
         match &self.blocks[idx] {
             Some(data) => Ok(data.clone()),
@@ -144,7 +156,16 @@ impl BlockDevice for StripedDisk {
         let t0 = ctx.now();
         self.charge(ctx, d);
         if ctx.trace_enabled() {
-            ctx.trace_span("disk", "disk.write", t0, &[("busy", d.as_nanos())]);
+            ctx.trace_span(
+                "disk",
+                "disk.write",
+                t0,
+                &[
+                    ("busy", d.as_nanos()),
+                    ("position", self.profile.positioning.as_nanos()),
+                    ("transfer", self.profile.transfer_per_block.as_nanos()),
+                ],
+            );
         }
         self.blocks[idx] = Some(Bytes::copy_from_slice(data));
         // Only the transferred block becomes valid in the member's buffer;

@@ -15,12 +15,13 @@
 //! with the same seed produce identical setup traffic, so the difference
 //! is the measured phase alone.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::{count, kernel_stats, secs, Table};
 use bridge_bench::results::{emit, Metric};
 use bridge_bench::{file_blocks, speedup, write_workload};
 use bridge_core::{BatchPolicy, BridgeClient, BridgeConfig, BridgeMachine};
 use bridge_tools::{copy, ToolOptions};
-use parsim::{Ctx, RunStats, SimDuration};
+use parsim::{Ctx, RunStats, SimDuration, TracerHandle};
 use std::sync::mpsc;
 
 const DEPTHS: [u32; 4] = [1, 2, 8, 32];
@@ -40,10 +41,12 @@ fn policy(depth: u32) -> BatchPolicy {
 fn run_instrumented<R: Send + 'static>(
     p: u32,
     server_batch: BatchPolicy,
+    tracer: Option<TracerHandle>,
     body: impl FnOnce(&mut Ctx, &mut BridgeClient) -> R + Send + 'static,
 ) -> (R, RunStats) {
     let mut config = BridgeConfig::paper(p);
     config.server.batch = server_batch;
+    config.tracer = tracer;
     let (mut sim, machine) = BridgeMachine::build(&config);
     let server = machine.server;
     let (tx, rx) = mpsc::channel();
@@ -69,15 +72,15 @@ fn sweep_cursors(blocks: u64) {
         let batch = policy(depth);
         // Run A: create only. Run B: create + write. Run C: create +
         // write + read. Subtraction isolates the write and read phases.
-        let (_, base) = run_instrumented(p, batch, move |ctx, bridge| {
+        let (_, base) = run_instrumented(p, batch, None, move |ctx, bridge| {
             bridge.create(ctx, Default::default()).expect("create");
         });
-        let (write_t, with_write) = run_instrumented(p, batch, move |ctx, bridge| {
+        let (write_t, with_write) = run_instrumented(p, batch, None, move |ctx, bridge| {
             let t0 = ctx.now();
             write_workload(ctx, bridge, blocks, 42);
             ctx.now() - t0
         });
-        let (read_t, with_read) = run_instrumented(p, batch, move |ctx, bridge| {
+        let (read_t, with_read) = run_instrumented(p, batch, None, move |ctx, bridge| {
             let file = write_workload(ctx, bridge, blocks, 42);
             bridge.open(ctx, file).expect("open");
             let t0 = ctx.now();
@@ -136,25 +139,33 @@ fn sweep_cursors(blocks: u64) {
     }
 }
 
-fn sweep_copy(blocks: u64) {
+fn sweep_copy(blocks: u64, profiler: &mut Profiler) {
     println!("### Sweep 2 — copy tool ({blocks} blocks, per-worker column streams)\n");
-    let measure = |p: u32, depth: u32| -> (PhaseCost, String) {
+    let mut measure = |p: u32, depth: u32| -> (PhaseCost, String) {
         let batch = policy(depth);
         // Setup (write_workload) runs unbatched in both runs so the
         // subtraction isolates the copy phase exactly.
-        let (_, base) = run_instrumented(p, BatchPolicy::Off, move |ctx, bridge| {
+        let (_, base) = run_instrumented(p, BatchPolicy::Off, None, move |ctx, bridge| {
             write_workload(ctx, bridge, blocks, 42);
         });
-        let (elapsed, with_copy) = run_instrumented(p, BatchPolicy::Off, move |ctx, bridge| {
-            let src = write_workload(ctx, bridge, blocks, 42);
-            let opts = ToolOptions {
-                batch,
-                ..ToolOptions::default()
-            };
-            let (_, stats) = copy(ctx, bridge, src, &opts).expect("copy");
-            assert_eq!(stats.blocks, blocks);
-            stats.elapsed
-        });
+        // Under --profile, attribute the headline-breadth copies.
+        let tracer = if p == 32 && (depth == 1 || depth == 8) {
+            profiler.arm(&format!("copy_p{p}_depth{depth}"))
+        } else {
+            None
+        };
+        let (elapsed, with_copy) =
+            run_instrumented(p, BatchPolicy::Off, tracer, move |ctx, bridge| {
+                let src = write_workload(ctx, bridge, blocks, 42);
+                let opts = ToolOptions {
+                    batch,
+                    ..ToolOptions::default()
+                };
+                let (_, stats) = copy(ctx, bridge, src, &opts).expect("copy");
+                assert_eq!(stats.blocks, blocks);
+                stats.elapsed
+            });
+        profiler.capture();
         let cost = PhaseCost {
             elapsed,
             messages: with_copy.messages - base.messages,
@@ -240,6 +251,7 @@ fn main() {
         blocks,
         blocks as f64 * 1024.0 / (1024.0 * 1024.0)
     );
+    let mut profiler = Profiler::new("ablate_batch_io");
     sweep_cursors(blocks);
-    sweep_copy(blocks);
+    sweep_copy(blocks, &mut profiler);
 }

@@ -23,6 +23,7 @@
 //! from the same trace histograms `bridge-trace` aggregates; queue-wait
 //! and depth come from the server's `lfs.queue_wait` spans.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::{count, secs, Table};
 use bridge_bench::results::{emit, Metric};
 use bridge_bench::{records_per_second, scale};
@@ -93,7 +94,7 @@ struct RunResult {
     head_travel: u64,
 }
 
-fn run_policy(policy: SchedPolicy) -> RunResult {
+fn run_policy(policy: SchedPolicy, profiler: &Profiler) -> RunResult {
     let collector = TraceCollector::install();
     let mut sim = Simulation::new(SimConfig {
         latency: Box::new(UniformLatency::default()),
@@ -213,7 +214,10 @@ fn run_policy(policy: SchedPolicy) -> RunResult {
         }
     });
 
-    let metrics = Metrics::from_trace(&collector.take());
+    let data = collector.take();
+    // Under --profile, the same trace also yields the causal profile.
+    profiler.report(&format!("sched_{policy}"), &data);
+    let metrics = Metrics::from_trace(&data);
     let op = metrics
         .latency
         .get("sched.op")
@@ -244,9 +248,10 @@ fn main() {
          zipf-like mix over {FILES} files on a seek-sensitive platter\n"
     );
 
+    let profiler = Profiler::new("ablate_disk_sched");
     let results: Vec<RunResult> = [SchedPolicy::Fifo, SchedPolicy::Sstf, SchedPolicy::CScan]
         .into_iter()
-        .map(run_policy)
+        .map(|policy| run_policy(policy, &profiler))
         .collect();
 
     let mut table = Table::new([

@@ -14,6 +14,7 @@
 //!    byte-identical; throughput degrades and the trace's recovery
 //!    histogram prices the availability cost.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::{secs, Table};
 use bridge_bench::results::{emit, Metric};
 use bridge_bench::{file_blocks, records_per_second};
@@ -109,7 +110,11 @@ fn main() {
     let mut storm_config = BridgeConfig::paper(BREADTH).with_faults(storm_plan());
     storm_config.tracer = Some(collector.as_tracer());
     let storm = run(&storm_config, RetryPolicy::standard());
-    let retry = Metrics::from_trace(&collector.take()).retry;
+    let data = collector.take();
+    // Under --profile, the storm trace also yields a causal profile
+    // (retry backoff shows up as its own attribution category).
+    Profiler::new("ablate_faults").report("storm", &data);
+    let retry = Metrics::from_trace(&data).retry;
 
     // Correctness bars: arming retries without faults is free, and the
     // storm changes nothing the client can observe except timing.

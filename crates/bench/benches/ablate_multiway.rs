@@ -7,13 +7,17 @@
 //! measures exactly that: sort speedup curves under 2-way vs multi-way
 //! local merges.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::{mins, Table};
-use bridge_bench::{file_blocks, paper_machine, speedup, write_workload};
-use bridge_core::BridgeClient;
+use bridge_bench::{file_blocks, speedup, write_workload};
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine};
 use bridge_tools::{sort, LocalMergeArity, SortOptions, SortStats};
+use parsim::TracerHandle;
 
-fn run(p: u32, blocks: u64, arity: LocalMergeArity) -> SortStats {
-    let (mut sim, machine) = paper_machine(p);
+fn run(p: u32, blocks: u64, arity: LocalMergeArity, tracer: Option<TracerHandle>) -> SortStats {
+    let mut config = BridgeConfig::paper(p);
+    config.tracer = tracer;
+    let (mut sim, machine) = BridgeMachine::build(&config);
     let server = machine.server;
     sim.block_on(machine.frontend, "bench", move |ctx| {
         let mut bridge = BridgeClient::new(server);
@@ -37,13 +41,33 @@ fn main() {
     println!("## Ablation A2 — 2-way vs multi-way local merge ({blocks} records)\n");
 
     let ps = [2u32, 4, 8, 16, 32];
+    let mut profiler = Profiler::new("ablate_multiway");
+    // Under --profile, attribute the widest sort of each arity.
+    let mut run_one = |p: u32, arity: LocalMergeArity, label: Option<&str>| {
+        let tracer = label.and_then(|l| profiler.arm(l));
+        let stats = run(p, blocks, arity, tracer);
+        profiler.capture();
+        stats
+    };
     let binary: Vec<SortStats> = ps
         .iter()
-        .map(|&p| run(p, blocks, LocalMergeArity::Binary))
+        .map(|&p| {
+            run_one(
+                p,
+                LocalMergeArity::Binary,
+                (p == 32).then_some("sort_p32_2way"),
+            )
+        })
         .collect();
     let multi: Vec<SortStats> = ps
         .iter()
-        .map(|&p| run(p, blocks, LocalMergeArity::MultiWay))
+        .map(|&p| {
+            run_one(
+                p,
+                LocalMergeArity::MultiWay,
+                (p == 32).then_some("sort_p32_multiway"),
+            )
+        })
         .collect();
 
     let mut t = Table::new([

@@ -5,13 +5,14 @@
 //! consecutive blocks land on p distinct nodes, and (b) measured
 //! parallel-open read throughput under each placement.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::Table;
 use bridge_bench::{records_per_second, scale};
 use bridge_core::{
     BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, CreateSpec, JobDeliver, Placement,
     PlacementKind, PlacementSpec,
 };
-use parsim::{Ctx, SimDuration};
+use parsim::{Ctx, SimDuration, TracerHandle};
 use std::collections::HashSet;
 
 fn distinct_window_fraction(kind: PlacementKind, breadth: u32, windows: u64) -> f64 {
@@ -30,8 +31,15 @@ fn distinct_window_fraction(kind: PlacementKind, breadth: u32, windows: u64) -> 
 
 /// Reads the whole file through a parallel open of width p, with sink
 /// workers, and returns the elapsed virtual time.
-fn job_read_throughput(p: u32, blocks: u64, spec: PlacementSpec) -> SimDuration {
-    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(p));
+fn job_read_throughput(
+    p: u32,
+    blocks: u64,
+    spec: PlacementSpec,
+    tracer: Option<TracerHandle>,
+) -> SimDuration {
+    let mut config = BridgeConfig::paper(p);
+    config.tracer = tracer;
+    let (mut sim, machine) = BridgeMachine::build(&config);
     let server = machine.server;
     let worker_nodes = machine.lfs_nodes.clone();
     sim.block_on(machine.frontend, "bench", move |ctx| {
@@ -136,13 +144,17 @@ fn main() {
     let blocks = 2048 / scale();
     let p = 8u32;
     let mut t = Table::new(["placement", "elapsed", "records/s", "vs round-robin"]);
-    let rr = job_read_throughput(p, blocks, PlacementSpec::RoundRobin);
-    for (name, spec) in [
-        ("round-robin", PlacementSpec::RoundRobin),
-        ("hashed", PlacementSpec::Hashed { seed: 11 }),
-        ("chunked", PlacementSpec::Chunked),
+    let mut profiler = Profiler::new("ablate_placement");
+    let rr = job_read_throughput(p, blocks, PlacementSpec::RoundRobin, None);
+    for (name, slug, spec) in [
+        ("round-robin", "rr", PlacementSpec::RoundRobin),
+        ("hashed", "hashed", PlacementSpec::Hashed { seed: 11 }),
+        ("chunked", "chunked", PlacementSpec::Chunked),
     ] {
-        let e = job_read_throughput(p, blocks, spec);
+        // Under --profile, attribute each placement's job-read pass.
+        let tracer = profiler.arm(&format!("job_read_p8_{slug}"));
+        let e = job_read_throughput(p, blocks, spec, tracer);
+        profiler.capture();
         t.row([
             name.to_string(),
             format!("{:.1} s", e.as_secs_f64()),

@@ -12,12 +12,13 @@
 //! (p/(p−1) — the scheme they thought obstructed), plus the degraded-read
 //! penalty while a node is down.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::Table;
 use bridge_bench::scale;
 use bridge_core::{
     BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, CreateSpec, Redundancy,
 };
-use parsim::{Ctx, SimDuration};
+use parsim::{Ctx, SimDuration, TracerHandle};
 
 struct Run {
     write: SimDuration,
@@ -26,8 +27,10 @@ struct Run {
     blocks_stored: f64, // physical blocks per logical block
 }
 
-fn measure(p: u32, blocks: u64, redundancy: Redundancy) -> Run {
-    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(p));
+fn measure(p: u32, blocks: u64, redundancy: Redundancy, tracer: Option<TracerHandle>) -> Run {
+    let mut config = BridgeConfig::paper(p);
+    config.tracer = tracer;
+    let (mut sim, machine) = BridgeMachine::build(&config);
     let server = machine.server;
     let victim = machine.lfs[1];
     sim.block_on(machine.frontend, "bench", move |ctx| {
@@ -98,12 +101,16 @@ fn main() {
         "read/blk",
         "degraded read/blk",
     ]);
-    for (name, r) in [
-        ("none (the prototype)", Redundancy::None),
-        ("mirrored", Redundancy::Mirrored),
-        ("rotating parity", Redundancy::Parity),
+    let mut profiler = Profiler::new("ablate_redundancy");
+    for (name, slug, r) in [
+        ("none (the prototype)", "none", Redundancy::None),
+        ("mirrored", "mirrored", Redundancy::Mirrored),
+        ("rotating parity", "parity", Redundancy::Parity),
     ] {
-        let run = measure(p, blocks, r);
+        // Under --profile, attribute each redundancy mode's run.
+        let tracer = profiler.arm(&format!("rw_p8_{slug}"));
+        let run = measure(p, blocks, r, tracer);
+        profiler.capture();
         t.row([
             name.to_string(),
             format!("{:.2}x", run.blocks_stored),

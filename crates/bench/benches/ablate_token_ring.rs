@@ -9,15 +9,17 @@
 //! We measure merge-phase throughput vs p on the paper's interconnect, and
 //! again on a 20× slower one, where saturation arrives within reach.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::Table;
 use bridge_bench::{records_per_second, scale, write_workload};
 use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine};
 use bridge_tools::{sort, SortOptions, SortStats};
-use parsim::{SimDuration, UniformLatency};
+use parsim::{SimDuration, TracerHandle, UniformLatency};
 
-fn run(p: u32, blocks: u64, latency: UniformLatency) -> SortStats {
+fn run(p: u32, blocks: u64, latency: UniformLatency, tracer: Option<TracerHandle>) -> SortStats {
     let mut config = BridgeConfig::paper(p);
     config.latency = latency;
+    config.tracer = tracer;
     let (mut sim, machine) = BridgeMachine::build(&config);
     let server = machine.server;
     sim.block_on(machine.frontend, "bench", move |ctx| {
@@ -39,15 +41,23 @@ fn main() {
         per_byte: fast.per_byte * 20,
     };
 
-    for (name, latency) in [
-        ("paper-like interconnect", fast),
-        ("20× slower interconnect", slow),
+    let mut profiler = Profiler::new("ablate_token_ring");
+    for (name, slug, latency) in [
+        ("paper-like interconnect", "fast", fast),
+        ("20× slower interconnect", "slow20x", slow),
     ] {
         println!("### {name} (remote base {})", latency.remote_base);
         let mut t = Table::new(["p", "merge time", "merge records/s", "gain vs previous p"]);
         let mut prev: Option<SimDuration> = None;
         for &p in &[2u32, 4, 8, 16, 32, 64] {
-            let stats = run(p, blocks, latency);
+            // Under --profile, attribute the widest sort per interconnect.
+            let tracer = if p == 64 {
+                profiler.arm(&format!("sort_p64_{slug}"))
+            } else {
+                None
+            };
+            let stats = run(p, blocks, latency, tracer);
+            profiler.capture();
             let gain = prev.map_or("-".to_string(), |q| {
                 format!("{:.2}x", q.as_secs_f64() / stats.merge.as_secs_f64())
             });

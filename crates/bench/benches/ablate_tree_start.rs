@@ -11,11 +11,12 @@
 //! 2. **Tool worker startup**: the copy tool's O(n/p + log p) bound
 //!    assumes tree-structured worker creation.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::Table;
 use bridge_bench::write_workload;
 use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine, CreateFanout, CreateSpec};
 use bridge_tools::{copy, Fanout, ToolOptions};
-use parsim::SimDuration;
+use parsim::{SimDuration, TracerHandle};
 
 fn create_time(p: u32, fanout: CreateFanout) -> SimDuration {
     let mut config = BridgeConfig::paper(p);
@@ -33,9 +34,16 @@ fn create_time(p: u32, fanout: CreateFanout) -> SimDuration {
     })
 }
 
-fn copy_time(p: u32, blocks: u64, create: CreateFanout, workers: Fanout) -> SimDuration {
+fn copy_time(
+    p: u32,
+    blocks: u64,
+    create: CreateFanout,
+    workers: Fanout,
+    tracer: Option<TracerHandle>,
+) -> SimDuration {
     let mut config = BridgeConfig::paper(p);
     config.server.create_fanout = create;
+    config.tracer = tracer;
     let (mut sim, machine) = BridgeMachine::build(&config);
     let server = machine.server;
     sim.block_on(machine.frontend, "bench", move |ctx| {
@@ -52,6 +60,7 @@ fn copy_time(p: u32, blocks: u64, create: CreateFanout, workers: Fanout) -> SimD
 
 fn main() {
     println!("## Ablation A4 — serial vs embedded-binary-tree startup\n");
+    let mut profiler = Profiler::new("ablate_tree_start");
 
     println!("### Create (Table 2's serial 145 + 17.5p vs the paper's suggested tree)");
     let mut t = Table::new(["p", "serial create", "tree create", "tree advantage"]);
@@ -70,8 +79,23 @@ fn main() {
     println!("\n### Copy tool, startup-dominated (one block per node), both fan-outs applied");
     let mut t = Table::new(["p", "all-serial", "all-tree", "advantage"]);
     for &p in &[8u32, 16, 32, 64] {
-        let serial = copy_time(p, u64::from(p), CreateFanout::Serial, Fanout::Serial);
-        let tree = copy_time(p, u64::from(p), CreateFanout::Tree, Fanout::Tree);
+        // Under --profile, attribute the widest startup-dominated copies.
+        let tracer = (p == 64)
+            .then(|| profiler.arm("copy_start_p64_serial"))
+            .flatten();
+        let serial = copy_time(
+            p,
+            u64::from(p),
+            CreateFanout::Serial,
+            Fanout::Serial,
+            tracer,
+        );
+        profiler.capture();
+        let tracer = (p == 64)
+            .then(|| profiler.arm("copy_start_p64_tree"))
+            .flatten();
+        let tree = copy_time(p, u64::from(p), CreateFanout::Tree, Fanout::Tree, tracer);
+        profiler.capture();
         t.row([
             p.to_string(),
             format!("{:.0} ms", serial.as_millis_f64()),
@@ -84,8 +108,8 @@ fn main() {
     println!("\n### Copy tool, I/O-dominated (2048-block file): startup is in the noise");
     let mut t = Table::new(["p", "all-serial", "all-tree", "advantage"]);
     for &p in &[8u32, 32] {
-        let serial = copy_time(p, 2048, CreateFanout::Serial, Fanout::Serial);
-        let tree = copy_time(p, 2048, CreateFanout::Tree, Fanout::Tree);
+        let serial = copy_time(p, 2048, CreateFanout::Serial, Fanout::Serial, None);
+        let tree = copy_time(p, 2048, CreateFanout::Tree, Fanout::Tree, None);
         t.row([
             p.to_string(),
             format!("{:.1} s", serial.as_secs_f64()),

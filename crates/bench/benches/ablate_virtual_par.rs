@@ -8,14 +8,22 @@
 //! and across the interconnect*, even the best parallel-open width loses
 //! to a tool that reads each column on its own node.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::Table;
 use bridge_bench::{records_per_second, scale, write_workload};
 use bridge_core::{BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, JobDeliver};
 use bridge_tools::{summarize, ToolOptions};
-use parsim::{Ctx, SimDuration};
+use parsim::{Ctx, SimDuration, TracerHandle};
 
-fn measure(p: u32, blocks: u64, widths: &[u32]) -> (Vec<SimDuration>, SimDuration, SimDuration) {
-    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::paper(p));
+fn measure(
+    p: u32,
+    blocks: u64,
+    widths: &[u32],
+    tracer: Option<TracerHandle>,
+) -> (Vec<SimDuration>, SimDuration, SimDuration) {
+    let mut config = BridgeConfig::paper(p);
+    config.tracer = tracer;
+    let (mut sim, machine) = BridgeMachine::build(&config);
     let server = machine.server;
     let lfs_nodes = machine.lfs_nodes.clone();
     let frontend = machine.frontend;
@@ -108,7 +116,11 @@ fn main() {
         "## Ablation A5 — virtual parallelism and the three views (p = {p}, {blocks} blocks)\n"
     );
 
-    let (job_times, naive, tool) = measure(p, blocks, &widths);
+    // Under --profile, attribute the whole three-view comparison run.
+    let mut profiler = Profiler::new("ablate_virtual_par");
+    let tracer = profiler.arm("views_p8");
+    let (job_times, naive, tool) = measure(p, blocks, &widths, tracer);
+    profiler.capture();
 
     let mut t = Table::new(["view", "width t", "elapsed", "records/s"]);
     t.row([

@@ -6,11 +6,12 @@
 //! write-through; this ablation turns on a bounded write-behind queue per
 //! disk and measures what the assumption buys.
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::Table;
 use bridge_bench::{records_per_second, scale, write_workload};
 use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine};
 use bridge_tools::{copy, sort, SortOptions, ToolOptions};
-use parsim::SimDuration;
+use parsim::{SimDuration, TracerHandle};
 
 struct Run {
     write: SimDuration,
@@ -19,9 +20,10 @@ struct Run {
     sort_total: SimDuration,
 }
 
-fn measure(p: u32, blocks: u64, write_behind: Option<u32>) -> Run {
+fn measure(p: u32, blocks: u64, write_behind: Option<u32>, tracer: Option<TracerHandle>) -> Run {
     let mut config = BridgeConfig::paper(p);
     config.write_behind = write_behind;
+    config.tracer = tracer;
     let (mut sim, machine) = BridgeMachine::build(&config);
     let server = machine.server;
     sim.block_on(machine.frontend, "bench", move |ctx| {
@@ -56,8 +58,14 @@ fn main() {
     let blocks = 1024 / scale();
     println!("## Ablation A7 — write-behind at the LFS (p = {p}, {blocks} blocks)\n");
 
-    let through = measure(p, blocks, None);
-    let behind = measure(p, blocks, Some(8));
+    // Under --profile, attribute both regimes for comparison.
+    let mut profiler = Profiler::new("ablate_write_behind");
+    let tracer = profiler.arm("write_through_p8");
+    let through = measure(p, blocks, None, tracer);
+    profiler.capture();
+    let tracer = profiler.arm("write_behind_p8_depth8");
+    let behind = measure(p, blocks, Some(8), tracer);
+    profiler.capture();
 
     let mut t = Table::new([
         "workload",

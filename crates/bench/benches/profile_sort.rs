@@ -1,0 +1,102 @@
+//! Causal-profiler regression bench: one traced sort at p = 8 whose
+//! virtual-time phase costs feed the `bench_gate` baseline, and whose
+//! profiler invariants run as hard asserts on every invocation:
+//!
+//! - the trace passes [`validate_causality`],
+//! - every op's category breakdown sums exactly to its latency,
+//! - the whole-run critical path partitions `[0, makespan]` exactly and
+//!   agrees with the kernel's `RunStats` end time,
+//! - the worst untraced fraction stays under 5%.
+//!
+//! The gated metrics are sort-phase virtual times (which tracing must not
+//! change — it is observation-only) plus the critical path's disk
+//! fraction, so a profiler change that silently loses disk attribution
+//! fails the gate even when timings hold.
+
+use bridge_bench::profile::{Profiler, PROFILE_BINS};
+use bridge_bench::results::{emit, Metric};
+use bridge_bench::{file_blocks, paper_machine_traced, write_workload};
+use bridge_core::BridgeClient;
+use bridge_tools::{sort, SortOptions};
+use bridge_trace::{validate_causality, Category, ProfileReport, TraceCollector};
+
+const P: u32 = 8;
+
+fn main() {
+    let blocks = file_blocks();
+    println!("## Causal-profiler regression bench — traced sort, p = {P}, {blocks} records\n");
+
+    let collector = TraceCollector::install();
+    let (mut sim, machine) = paper_machine_traced(P, collector.as_tracer());
+    let server = machine.server;
+    let stats = sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let src = write_workload(ctx, &mut bridge, blocks, 7);
+        let (_, stats) = sort(ctx, &mut bridge, src, &SortOptions::default()).expect("sort");
+        stats
+    });
+    let run = sim.stats();
+    let data = collector.take();
+
+    validate_causality(&data).expect("trace causality holds");
+    let report = ProfileReport::from_trace(&data, PROFILE_BINS);
+    let profile = &report.profile;
+    let cp = &profile.critical_path;
+
+    for op in &profile.ops {
+        assert_eq!(
+            op.breakdown.total(),
+            op.latency_nanos(),
+            "op {} ({}): breakdown must partition its latency exactly",
+            op.id,
+            op.name,
+        );
+    }
+    assert_eq!(
+        cp.breakdown.total(),
+        cp.makespan_nanos,
+        "critical path must partition [0, makespan] exactly"
+    );
+    assert_eq!(
+        cp.makespan_nanos,
+        run.end_time.as_nanos(),
+        "profiler makespan must agree with the kernel's RunStats end time"
+    );
+    let worst = profile.worst_untraced_fraction();
+    assert!(
+        worst <= 0.05,
+        "worst untraced fraction {worst:.4} exceeds the 5% bar"
+    );
+
+    let disk = cp.breakdown.get(Category::DiskPosition) + cp.breakdown.get(Category::DiskTransfer);
+    let disk_frac = disk as f64 / cp.makespan_nanos as f64;
+
+    println!(
+        "ops attributed: {} (worst untraced fraction {worst:.4})",
+        profile.ops.len()
+    );
+    println!(
+        "critical path: {:.2} s over {} flow hops, disk fraction {disk_frac:.3}",
+        cp.makespan_nanos as f64 / 1e9,
+        cp.hops
+    );
+    println!(
+        "sort phases: local {:.2} s, merge {:.2} s, total {:.2} s",
+        stats.local_sort.as_secs_f64(),
+        stats.merge.as_secs_f64(),
+        stats.total.as_secs_f64()
+    );
+
+    // Under --profile, also print and write the full report.
+    Profiler::new("profile_sort").report(&format!("sort_p{P}"), &data);
+
+    emit(
+        "profile_sort",
+        &[
+            Metric::lower("sort_p8.local_secs", stats.local_sort.as_secs_f64()),
+            Metric::lower("sort_p8.merge_secs", stats.merge.as_secs_f64()),
+            Metric::lower("sort_p8.total_secs", stats.total.as_secs_f64()),
+            Metric::higher("sort_p8.cp_disk_frac", disk_frac),
+        ],
+    );
+}

@@ -2,6 +2,7 @@
 //! for p ∈ {2, 4, 8, 16, 32}, plus the records-per-second series plotted
 //! beside the table (475 records/s at p = 32 in the paper).
 
+use bridge_bench::profile::Profiler;
 use bridge_bench::report::{ascii_series, kernel_stats, secs, Table};
 use bridge_bench::{
     file_blocks, paper_machine, paper_machine_traced, records_per_second, speedup, write_workload,
@@ -71,11 +72,12 @@ fn main() {
         PAPER_SECONDS[0] / PAPER_SECONDS[4]
     );
 
-    // BRIDGE_TRACE=1: re-run the p=4 row with the trace collector
-    // installed and render the metrics registry next to the kernel
-    // counters. Tracing is observation-only, so the traced run must land
-    // on exactly the table's p=4 virtual time.
-    if std::env::var("BRIDGE_TRACE").is_ok() {
+    // BRIDGE_TRACE=1 (or --profile): re-run the p=4 row with the trace
+    // collector installed and render the metrics registry next to the
+    // kernel counters. Tracing is observation-only, so the traced run must
+    // land on exactly the table's p=4 virtual time.
+    let profiler = Profiler::new("table3_copy");
+    if std::env::var("BRIDGE_TRACE").is_ok() || profiler.enabled() {
         let collector = TraceCollector::install();
         let (mut sim, machine) = paper_machine_traced(4, collector.as_tracer());
         let server = machine.server;
@@ -88,6 +90,8 @@ fn main() {
         assert_eq!(t, elapsed[1], "tracing changed the p=4 copy time");
         println!("\n### Trace metrics — p = 4 copy (BRIDGE_TRACE)");
         println!("{}", kernel_stats(&sim.stats()));
-        print!("{}", Metrics::from_trace(&collector.snapshot()).render());
+        let data = collector.snapshot();
+        print!("{}", Metrics::from_trace(&data).render());
+        profiler.report("copy_p4", &data);
     }
 }

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod profile;
 pub mod report;
 pub mod results;
 pub mod workload;

@@ -1,0 +1,166 @@
+//! Opt-in causal-profile emission for the bench binaries.
+//!
+//! Every ablation bench accepts `--profile` (or `BENCH_PROFILE=1`): when
+//! set, the bench traces its headline run(s), builds a
+//! [`ProfileReport`] — per-op critical-path attribution by category plus
+//! the flight-recorder series — prints the ASCII rendering next to the
+//! bench's own tables, and writes the report JSON under
+//! [`profiles_dir`] (`target/bench_profiles/` by default, overridable
+//! with `BENCH_PROFILES_DIR`). The profile files live *outside*
+//! [`results_dir`](crate::results::results_dir) so the regression gate
+//! never mistakes a profile artifact for bench results.
+//!
+//! Without the flag every hook is a no-op and the bench runs untraced —
+//! and since tracing is observation-only, `--profile` never changes the
+//! numbers a bench reports either.
+
+use bridge_trace::{validate_profile_json, ProfileReport, TraceCollector, TraceData};
+use parsim::TracerHandle;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Flight-recorder columns in an emitted profile.
+pub const PROFILE_BINS: usize = 48;
+
+/// Whether this bench invocation asked for causal profiles
+/// (`--profile` argument or `BENCH_PROFILE=1`).
+pub fn profile_requested() -> bool {
+    std::env::args().any(|a| a == "--profile")
+        || std::env::var("BENCH_PROFILE").is_ok_and(|v| v == "1")
+}
+
+/// Where profile reports go: `BENCH_PROFILES_DIR`, or the workspace's
+/// `target/bench_profiles/`.
+pub fn profiles_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_PROFILES_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+        .join("bench_profiles")
+}
+
+/// Per-bench profile hook. Construct one in `main`, [`arm`](Self::arm) a
+/// run you want attributed, and [`capture`](Self::capture) it afterwards;
+/// benches that already collect a trace hand it to
+/// [`report`](Self::report) directly.
+#[derive(Debug)]
+pub struct Profiler {
+    bench: String,
+    enabled: bool,
+    pending: Option<(String, Arc<TraceCollector>)>,
+}
+
+impl Profiler {
+    /// A profiler for `bench`, enabled iff [`profile_requested`].
+    pub fn new(bench: &str) -> Self {
+        Profiler {
+            bench: bench.to_string(),
+            enabled: profile_requested(),
+            pending: None,
+        }
+    }
+
+    /// Whether profiles will actually be emitted.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Arms the next run under `label`, returning the tracer to install
+    /// in its `BridgeConfig`/`SimConfig`. `None` (and no bookkeeping)
+    /// when profiling was not requested.
+    pub fn arm(&mut self, label: &str) -> Option<TracerHandle> {
+        if !self.enabled {
+            return None;
+        }
+        let collector = TraceCollector::install();
+        let tracer = collector.as_tracer();
+        self.pending = Some((label.to_string(), collector));
+        Some(tracer)
+    }
+
+    /// Captures the armed run's trace into a profile report. No-op when
+    /// nothing is armed.
+    pub fn capture(&mut self) {
+        if let Some((label, collector)) = self.pending.take() {
+            let data = collector.take();
+            self.report(&label, &data);
+        }
+    }
+
+    /// Builds, prints, and writes the profile for one labelled run from
+    /// an already-collected trace. No-op when profiling is off.
+    pub fn report(&self, label: &str, data: &TraceData) {
+        if !self.enabled {
+            return;
+        }
+        let report = ProfileReport::from_trace(data, PROFILE_BINS);
+        println!("\n### causal profile — {} / {label}\n", self.bench);
+        print!("{}", report.render());
+        let json = report.to_json();
+        if let Err(err) = validate_profile_json(&json) {
+            eprintln!("warning: profile {label} failed self-validation: {err}");
+        }
+        let dir = profiles_dir();
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {err}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.{label}.json", self.bench));
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("[bench_profile: {}]", path.display()),
+            Err(err) => eprintln!("warning: cannot write {}: {err}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim::{SimConfig, SimDuration, Simulation};
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        // The test environment does not pass --profile, so the default
+        // profiler must arm nothing and capture nothing.
+        if profile_requested() {
+            return; // explicitly requested in this environment; skip
+        }
+        let mut p = Profiler::new("unit");
+        assert!(!p.enabled());
+        assert!(p.arm("x").is_none());
+        p.capture();
+    }
+
+    #[test]
+    fn enabled_profiler_writes_a_valid_report() {
+        let dir = std::env::temp_dir().join("bench_profiles_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut p = Profiler {
+            bench: "unit".to_string(),
+            enabled: true,
+            pending: None,
+        };
+        std::env::set_var("BENCH_PROFILES_DIR", &dir);
+        let tracer = p.arm("echo").expect("enabled profiler arms");
+        let mut sim = Simulation::new(SimConfig {
+            tracer: Some(tracer),
+            ..SimConfig::default()
+        });
+        let node = sim.add_node("n0");
+        let echo = sim.spawn(node, "echo", |ctx| loop {
+            let (from, n) = ctx.recv_as::<u64>();
+            ctx.delay(SimDuration::from_micros(5));
+            ctx.send(from, n);
+        });
+        sim.block_on(node, "main", move |ctx| {
+            ctx.send(echo, 1u64);
+            let _ = ctx.recv_as::<u64>();
+        });
+        p.capture();
+        std::env::remove_var("BENCH_PROFILES_DIR");
+        let written = std::fs::read_to_string(dir.join("unit.echo.json")).expect("report written");
+        validate_profile_json(&written).expect("written report validates");
+    }
+}

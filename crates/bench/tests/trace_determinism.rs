@@ -74,3 +74,38 @@ fn tracing_does_not_change_copy_timing() {
         assert!(spans > 0, "p={p}: the traced run recorded no spans");
     }
 }
+
+/// Building a causal profile is pure analysis over the collected trace:
+/// the profiled run's kernel counters stay bit-identical to the untraced
+/// run's, the attribution partitions every op's latency exactly, and the
+/// critical path lands on the kernel's own end time.
+#[test]
+fn profiling_reconciles_against_untraced_run() {
+    let p = 4u32;
+    let (_, plain_stats, _) = measure(p, false, table3_style_copy);
+
+    let collector = TraceCollector::install();
+    let (mut sim, machine) = paper_machine_traced(p, collector.as_tracer());
+    let server = machine.server;
+    sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        table3_style_copy(ctx, &mut bridge)
+    });
+    let traced_stats = sim.stats();
+    assert_eq!(plain_stats, traced_stats, "profiled run counters changed");
+
+    let profile = bridge_trace::profile(&collector.take());
+    assert!(!profile.ops.is_empty(), "copy run produced no client ops");
+    for op in &profile.ops {
+        assert_eq!(
+            op.breakdown.total(),
+            op.latency_nanos(),
+            "op {} breakdown must partition its latency",
+            op.id
+        );
+    }
+    let cp = &profile.critical_path;
+    assert_eq!(cp.breakdown.total(), cp.makespan_nanos);
+    assert_eq!(cp.makespan_nanos, traced_stats.end_time.as_nanos());
+    assert!(profile.worst_untraced_fraction() <= 0.05);
+}

@@ -9,7 +9,7 @@ use crate::protocol::{
 };
 use bridge_efs::RetryPolicy;
 use bytes::Bytes;
-use parsim::{Ctx, ProcId};
+use parsim::{Ctx, ProcId, SimTime};
 
 /// A typed client for the Bridge Server.
 ///
@@ -36,6 +36,10 @@ pub struct BridgeClient {
     /// enabled so `wait` can resend them. Host-side bookkeeping: recording
     /// a command has no effect on virtual time.
     pending: Vec<(u64, BridgeCmd)>,
+    /// Send time and command name per in-flight request, kept only while
+    /// tracing so the reply can close a `client.rpc` span. Host-side
+    /// bookkeeping: has no effect on virtual time.
+    sent: Vec<(u64, SimTime, &'static str)>,
 }
 
 impl BridgeClient {
@@ -51,6 +55,7 @@ impl BridgeClient {
             server,
             retry,
             pending: Vec::new(),
+            sent: Vec::new(),
         }
     }
 
@@ -71,8 +76,31 @@ impl BridgeClient {
         if self.retry.is_enabled() {
             self.pending.push((id, cmd.clone()));
         }
+        if ctx.trace_enabled() {
+            self.sent.push((id, ctx.now(), cmd.name()));
+        }
         ctx.send_sized_cloneable(self.server, BridgeRequest { id, cmd }, bytes);
         id
+    }
+
+    /// Closes the `client.rpc` span opened by [`send`](Self::send) once the
+    /// reply for `id` is in hand. No-op when the send was not traced.
+    fn trace_reply(&mut self, ctx: &mut Ctx, id: u64, ok: bool) {
+        if let Some(slot) = self.sent.iter().position(|(s, _, _)| *s == id) {
+            let (_, t0, name) = self.sent.swap_remove(slot);
+            if ctx.trace_enabled() {
+                ctx.trace_span(
+                    "client",
+                    &format!("client.{name}"),
+                    t0,
+                    &[
+                        ("id", id),
+                        ("server", self.server.index() as u64),
+                        ("ok", u64::from(ok)),
+                    ],
+                );
+            }
+        }
     }
 
     /// Waits for the reply to a previously sent request, resending it on
@@ -95,7 +123,9 @@ impl BridgeClient {
                     e.from() == server
                         && e.downcast_ref::<BridgeReply>().is_some_and(|r| r.id == id)
                 });
-                env.downcast::<BridgeReply>().expect("matched type").result
+                let result = env.downcast::<BridgeReply>().expect("matched type").result;
+                self.trace_reply(ctx, id, result.is_ok());
+                result
             }
         }
     }
@@ -155,7 +185,9 @@ impl BridgeClient {
                             ],
                         );
                     }
-                    return env.downcast::<BridgeReply>().expect("matched type").result;
+                    let result = env.downcast::<BridgeReply>().expect("matched type").result;
+                    self.trace_reply(ctx, id, result.is_ok());
+                    return result;
                 }
                 None if attempt >= self.retry.budget => {
                     if ctx.trace_enabled() {
@@ -165,6 +197,9 @@ impl BridgeClient {
                             &[("id", id), ("attempts", u64::from(attempt))],
                         );
                     }
+                    // No reply ever arrived: drop the span bookkeeping so
+                    // a later id reuse cannot pair with this send.
+                    self.sent.retain(|(s, _, _)| *s != id);
                     return Err(BridgeError::TimedOut { attempts: attempt });
                 }
                 None => {

@@ -331,7 +331,11 @@ pub fn spawn_bridge_server(
                             "bridge",
                             cmd_name,
                             t0,
-                            &[("ok", u64::from(result.is_ok()))],
+                            &[
+                                ("ok", u64::from(result.is_ok())),
+                                ("id", req.id),
+                                ("client", from.index() as u64),
+                            ],
                         );
                     }
                     let reply = BridgeReply { id: req.id, result };

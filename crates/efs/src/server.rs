@@ -512,7 +512,12 @@ fn service_one<D: BlockDevice>(
             "lfs",
             "lfs.queue_wait",
             q.delivered_at,
-            &[("wait", wait.as_nanos()), ("depth", depth)],
+            &[
+                ("wait", wait.as_nanos()),
+                ("depth", depth),
+                ("id", q.req.id),
+                ("client", q.from.index() as u64),
+            ],
         );
     }
     let from = q.from;
@@ -568,7 +573,12 @@ pub fn serve<D: simdisk::BlockDevice>(
         LfsOp::DiskStats => Ok(LfsData::DiskCounters(efs.disk().stats())),
     };
     if ctx.trace_enabled() {
-        ctx.trace_span("lfs", op_name, t0, &[("ok", u64::from(result.is_ok()))]);
+        ctx.trace_span(
+            "lfs",
+            op_name,
+            t0,
+            &[("ok", u64::from(result.is_ok())), ("id", req.id)],
+        );
     }
     LfsReply { id: req.id, result }
 }
@@ -613,6 +623,10 @@ pub struct LfsClient {
     /// so `wait` can resend them. Host-side bookkeeping: recording an op
     /// has no effect on virtual time.
     pending: Vec<(u64, LfsOp)>,
+    /// Send time, server, and op name per in-flight request, kept only
+    /// while tracing so the reply can close a `client.rpc` span.
+    /// Host-side bookkeeping: has no effect on virtual time.
+    sent: Vec<(u64, SimTime, ProcId, &'static str)>,
 }
 
 impl LfsClient {
@@ -626,6 +640,7 @@ impl LfsClient {
         LfsClient {
             retry,
             pending: Vec::new(),
+            sent: Vec::new(),
         }
     }
 
@@ -641,8 +656,31 @@ impl LfsClient {
         if self.retry.is_enabled() {
             self.pending.push((id, op.clone()));
         }
+        if ctx.trace_enabled() {
+            self.sent.push((id, ctx.now(), server, op.name()));
+        }
         ctx.send_sized_cloneable(server, LfsRequest { id, op }, bytes);
         id
+    }
+
+    /// Closes the `client.rpc` span opened by [`send`](Self::send) once the
+    /// reply for `id` is in hand. No-op when the send was not traced.
+    fn trace_reply(&mut self, ctx: &mut Ctx, id: u64, ok: bool) {
+        if let Some(slot) = self.sent.iter().position(|(s, _, _, _)| *s == id) {
+            let (_, t0, server, name) = self.sent.swap_remove(slot);
+            if ctx.trace_enabled() {
+                ctx.trace_span(
+                    "client",
+                    &format!("client.{name}"),
+                    t0,
+                    &[
+                        ("id", id),
+                        ("server", server.index() as u64),
+                        ("ok", u64::from(ok)),
+                    ],
+                );
+            }
+        }
     }
 
     /// Waits for the reply to `id` from `server`, resending the request on
@@ -663,9 +701,12 @@ impl LfsClient {
                 let env = ctx.recv_where(|e| {
                     e.from() == server && e.downcast_ref::<LfsReply>().is_some_and(|r| r.id == id)
                 });
-                env.downcast::<LfsReply>()
+                let result = env
+                    .downcast::<LfsReply>()
                     .expect("predicate guarantees type")
-                    .result
+                    .result;
+                self.trace_reply(ctx, id, result.is_ok());
+                result
             }
         }
     }
@@ -721,10 +762,12 @@ impl LfsClient {
                             ],
                         );
                     }
-                    return env
+                    let result = env
                         .downcast::<LfsReply>()
                         .expect("predicate guarantees type")
                         .result;
+                    self.trace_reply(ctx, id, result.is_ok());
+                    return result;
                 }
                 None if attempt >= self.retry.budget => {
                     if ctx.trace_enabled() {
@@ -734,6 +777,9 @@ impl LfsClient {
                             &[("id", id), ("attempts", u64::from(attempt))],
                         );
                     }
+                    // No reply ever arrived: drop the span bookkeeping so
+                    // a later id reuse cannot pair with this send.
+                    self.sent.retain(|(s, _, _, _)| *s != id);
                     return Err(EfsError::TimedOut { attempts: attempt });
                 }
                 None => {

@@ -103,6 +103,10 @@ struct ProcSlot {
     /// in one. Delays do not end an interval — they model the process
     /// actively computing or waiting on a device, not sitting idle.
     run_started: Option<SimTime>,
+    /// Tracing only: the parent process and flow id of the spawn edge, so
+    /// the child's start is stitched to its spawner in the trace's
+    /// causality graph. `None` for processes spawned from the host.
+    start_flow: Option<(ProcId, u64)>,
 }
 
 enum EventKind {
@@ -348,6 +352,7 @@ impl Simulation {
             mailbox: VecDeque::new(),
             wake_gen: 0,
             run_started: None,
+            start_flow: None,
         });
         self.stats.spawned += 1;
         self.push_event(self.now, EventKind::Start { pid });
@@ -412,6 +417,11 @@ impl Simulation {
             match ev.kind {
                 EventKind::Start { pid } => {
                     debug_assert_eq!(self.procs[pid.index()].state, ProcState::Starting);
+                    if let Some((parent, flow)) = self.procs[pid.index()].start_flow.take() {
+                        if self.tracer.enabled() {
+                            self.tracer.flow_recv(flow, parent, pid, self.now);
+                        }
+                    }
                     self.resume(pid, Resume::Go { now: self.now });
                     self.run_process(pid);
                 }
@@ -623,6 +633,16 @@ impl Simulation {
                     reply,
                 } => {
                     let child = self.spawn_boxed(node, name, f);
+                    // Spawn edges carry a flow so the trace's causality
+                    // graph reaches the child from its parent. The id is
+                    // allocated unconditionally (like Post) so traced and
+                    // untraced runs stay bit-identical.
+                    let flow = self.flow_seq;
+                    self.flow_seq += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.flow_send(flow, pid, child, self.now, 0);
+                        self.procs[child.index()].start_flow = Some((pid, flow));
+                    }
                     reply
                         .send(child)
                         .expect("spawning process vanished mid-spawn");

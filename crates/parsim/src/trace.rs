@@ -84,11 +84,17 @@ pub trait Tracer: Send + Sync + fmt::Debug {
 
     /// A message left `from` for `to` at virtual time `at`. `id` is unique
     /// per message and pairs this event with its [`Tracer::flow_recv`].
+    ///
+    /// Besides every posted message (request, reply, and retry-resend legs
+    /// alike), the scheduler emits a zero-byte flow for each process spawn,
+    /// from the parent at spawn time to the child at its `Start` event, so
+    /// causal analyses can reach spawned processes from their spawner.
     fn flow_send(&self, id: u64, from: ProcId, to: ProcId, at: SimTime, bytes: usize) {
         let _ = (id, from, to, at, bytes);
     }
 
-    /// The message `id` reached `to`'s mailbox at virtual time `at`.
+    /// The message `id` reached `to`'s mailbox at virtual time `at`. For
+    /// spawn flows this is the child's start time.
     fn flow_recv(&self, id: u64, from: ProcId, to: ProcId, at: SimTime) {
         let _ = (id, from, to, at);
     }

@@ -733,15 +733,18 @@ impl SimDisk {
         self.stats.reads += 1;
         let t0 = ctx.now();
         let hit = self.buffer_hit(addr);
-        let d = extra
-            + if hit {
-                self.stats.buffer_hits += 1;
-                self.profile.transfer_per_block
-            } else {
-                self.stats.track_loads += 1;
-                self.seek_to(track)
-                    + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track)
-            };
+        let (seek, xfer) = if hit {
+            self.stats.buffer_hits += 1;
+            (SimDuration::ZERO, self.profile.transfer_per_block)
+        } else {
+            self.stats.track_loads += 1;
+            (
+                self.seek_to(track),
+                self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track),
+            )
+        };
+        let position = extra + seek;
+        let d = position + xfer;
         self.charge(ctx, d);
         if !hit {
             self.buffer_load(track);
@@ -752,7 +755,16 @@ impl SimDisk {
             } else {
                 "disk.read.load"
             };
-            ctx.trace_span("disk", name, t0, &[("busy", d.as_nanos())]);
+            ctx.trace_span(
+                "disk",
+                name,
+                t0,
+                &[
+                    ("busy", d.as_nanos()),
+                    ("position", position.as_nanos()),
+                    ("transfer", xfer.as_nanos()),
+                ],
+            );
         }
         match &self.blocks[idx] {
             Some(data) => Ok(data.clone()),
@@ -779,7 +791,8 @@ impl SimDisk {
         for &addr in addrs {
             idxs.push(self.check_addr(addr)?);
         }
-        let mut total = self.fault_penalty(ctx, addrs)?;
+        let mut position = self.fault_penalty(ctx, addrs)?;
+        let mut transfer = SimDuration::ZERO;
         let mut run_loads = 0u64;
         let mut run_hits = 0u64;
         for &addr in addrs {
@@ -788,15 +801,17 @@ impl SimDisk {
             if self.buffer_hit(addr) {
                 self.stats.buffer_hits += 1;
                 run_hits += 1;
-                total += self.profile.transfer_per_block;
+                transfer += self.profile.transfer_per_block;
             } else {
                 self.stats.track_loads += 1;
                 run_loads += 1;
-                total += self.seek_to(track)
-                    + self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track);
+                position += self.seek_to(track);
+                transfer +=
+                    self.profile.transfer_per_block * u64::from(self.geometry.blocks_per_track);
                 self.buffer_load(track);
             }
         }
+        let total = position + transfer;
         let t0 = ctx.now();
         self.charge(ctx, total);
         if ctx.trace_enabled() {
@@ -809,6 +824,8 @@ impl SimDisk {
                     ("track_loads", run_loads),
                     ("hits", run_hits),
                     ("busy", total.as_nanos()),
+                    ("position", position.as_nanos()),
+                    ("transfer", transfer.as_nanos()),
                 ],
             );
         }
@@ -875,9 +892,11 @@ impl SimDisk {
                 }
             }
         }
-        let mut total = extra;
+        let mut position = extra;
+        let mut transfer = SimDuration::ZERO;
         for (group, &track) in groups.iter().zip(&track_order) {
-            total += self.seek_to(track) + self.profile.transfer_per_block * group.len() as u64;
+            position += self.seek_to(track);
+            transfer += self.profile.transfer_per_block * group.len() as u64;
             for &i in group {
                 let (addr, data) = &writes[i];
                 self.stats.writes += 1;
@@ -885,6 +904,7 @@ impl SimDisk {
                 self.buffer_note_write(*addr);
             }
         }
+        let total = position + transfer;
         let t0 = ctx.now();
         self.charge(ctx, total);
         if ctx.trace_enabled() {
@@ -896,6 +916,8 @@ impl SimDisk {
                     ("blocks", writes.len() as u64),
                     ("tracks", groups.len() as u64),
                     ("busy", total.as_nanos()),
+                    ("position", position.as_nanos()),
+                    ("transfer", transfer.as_nanos()),
                 ],
             );
         }
@@ -918,8 +940,8 @@ impl SimDisk {
         }
         let extra = self.fault_penalty(ctx, &[addr])?;
         self.stats.writes += 1;
-        let d =
-            extra + self.seek_to(self.geometry.track_of(addr)) + self.profile.transfer_per_block;
+        let position = extra + self.seek_to(self.geometry.track_of(addr));
+        let d = position + self.profile.transfer_per_block;
         let t0 = ctx.now();
         if self.write_behind.is_some() {
             self.charge_deferred(ctx, d, self.profile.transfer_per_block);
@@ -927,7 +949,16 @@ impl SimDisk {
             self.charge(ctx, d);
         }
         if ctx.trace_enabled() {
-            ctx.trace_span("disk", "disk.write", t0, &[("busy", d.as_nanos())]);
+            ctx.trace_span(
+                "disk",
+                "disk.write",
+                t0,
+                &[
+                    ("busy", d.as_nanos()),
+                    ("position", position.as_nanos()),
+                    ("transfer", self.profile.transfer_per_block.as_nanos()),
+                ],
+            );
         }
         self.blocks[idx] = Some(Bytes::copy_from_slice(data));
         // The controller retains the image of the block it just transferred

@@ -9,7 +9,11 @@
 //!   Perfetto / `chrome://tracing`, with one "process" per simulated node
 //!   and one "thread" per simulated process;
 //! * [`Metrics`] — counters, latency histograms, and per-disk utilization
-//!   suitable for printing next to a bench report's kernel stats.
+//!   suitable for printing next to a bench report's kernel stats;
+//! * [`ProfileReport`] — causal profiling: per-operation critical-path
+//!   attribution by [`Category`] (see [`profile()`]) plus a binned
+//!   flight-recorder [`TimeSeries`], exportable as hand-rolled JSON or
+//!   ASCII tables.
 //!
 //! The recording side is a [`TraceCollector`], an implementation of
 //! [`parsim::Tracer`] installed via
@@ -49,7 +53,15 @@ mod chrome;
 mod collect;
 pub mod json;
 mod metrics;
+pub mod profile;
+mod report;
+pub mod series;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
 pub use collect::{FlowEvent, InstantEvent, ProcMeta, SpanEvent, TraceCollector, TraceData};
 pub use metrics::{DiskUtilization, Histogram, Metrics, QueueMetrics, RetryMetrics};
+pub use profile::{
+    profile, validate_causality, Breakdown, Category, CriticalPath, OpProfile, Profile,
+};
+pub use report::{validate_profile_json, ProfileReport};
+pub use series::{sample, DiskBusySeries, TimeSeries};

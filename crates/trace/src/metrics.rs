@@ -89,11 +89,23 @@ impl Histogram {
     }
 
     /// Upper bound (exclusive, in nanoseconds) of the smallest bucket
-    /// prefix containing at least `q` (0..=1) of the samples — a quantile
-    /// bound precise to 12.5% of the value.
+    /// prefix containing at least `q` (0..=1) of the samples.
+    ///
+    /// # Error bound
+    ///
+    /// Values below `SUB` (= 8) ns are recorded exactly. Above that, a
+    /// value `v` lands in a bucket of width `2^(floor(log2 v) - 3)`, so
+    /// the returned bound `b` satisfies `v < b <= v + v/8 + 1`: the true
+    /// quantile is never overstated by more than 12.5% (plus one
+    /// nanosecond of rounding). A histogram holding exactly one sample
+    /// short-circuits and returns that sample's value exactly.
     pub fn quantile_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if self.count == 1 {
+            // One sample: every quantile is that sample, exactly.
+            return self.max;
         }
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
         let mut seen = 0;
@@ -422,12 +434,53 @@ mod tests {
     #[test]
     fn histogram_quantile_bounds_are_log_linear_tight() {
         for v in [0u64, 5, 9, 100, 1_000, 12_345, 1_000_000, 987_654_321] {
+            // Two identical samples exercise the bucket math (a single
+            // sample short-circuits to the exact value).
             let mut h = Histogram::default();
+            h.record(v);
             h.record(v);
             let bound = h.quantile_bound(1.0);
             assert!(bound > v, "bound {bound} must exceed the sample {v}");
             assert!(bound <= v + v / 8 + 1, "bound {bound} too loose for {v}");
         }
+    }
+
+    #[test]
+    fn single_sample_histogram_quantiles_are_exact() {
+        for v in [0u64, 7, 8, 12_345, 987_654_321] {
+            let mut h = Histogram::default();
+            h.record(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile_bound(q), v, "q={q} for single sample {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_at_bucket_boundaries() {
+        // Powers of two sit exactly on bucket starts: 1024 opens the
+        // bucket [1024, 1152). With many samples at both 1024 and a far
+        // larger value, p50 must report 1024's bucket bound and p99 the
+        // large value's.
+        let mut h = Histogram::default();
+        for _ in 0..50 {
+            h.record(1024);
+        }
+        for _ in 0..50 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile_bound(0.50);
+        assert!(p50 > 1024 && p50 <= 1024 + 1024 / 8, "p50 = {p50}");
+        let p99 = h.quantile_bound(0.99);
+        assert!(
+            p99 > 1_000_000 && p99 <= 1_000_000 + 1_000_000 / 8 + 1,
+            "p99 = {p99}"
+        );
+        // A boundary value and its predecessor land in adjacent buckets:
+        // 1151 is the last value of 1024's bucket, 1152 opens the next.
+        let (a, b) = (Histogram::bucket_of(1151), Histogram::bucket_of(1152));
+        assert_eq!(a + 1, b, "1151 and 1152 straddle a bucket boundary");
+        assert_eq!(Histogram::bucket_upper(a), 1152);
     }
 
     #[test]

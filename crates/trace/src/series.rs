@@ -1,0 +1,291 @@
+//! Flight recorder: fixed-width virtual-time binning of trace counters.
+//!
+//! Where [`profile`](crate::profile()) answers *where did each operation's
+//! latency go*, the [`TimeSeries`] answers *what was the system doing at
+//! minute N*: operations completed, queue-depth high-water, per-disk busy
+//! fraction, and retry resends, each binned into equal virtual-time
+//! columns. Sampling is a pure post-hoc pass over the recorded
+//! [`TraceData`], so it is deterministic and has no effect on the run.
+
+use crate::collect::TraceData;
+use crate::json::write_str;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One disk's busy fraction per bin. Disk spans are emitted by the LFS
+/// process driving the device, so a "disk" here is identified by that
+/// process.
+#[derive(Debug, Clone)]
+pub struct DiskBusySeries {
+    /// Process index of the LFS server driving the disk.
+    pub pid: usize,
+    /// That process's spawn name (e.g. `"lfs3"`).
+    pub name: String,
+    /// Busy nanoseconds in each bin divided by the bin width. Deferred
+    /// (write-behind) service can push a bin past 1.0; the value is
+    /// reported as-is rather than clamped.
+    pub busy_fraction: Vec<f64>,
+}
+
+/// Per-bin counters over one run, all vectors the same length.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    /// Width of each bin in virtual nanoseconds.
+    pub bin_nanos: u64,
+    /// Client RPCs whose reply landed in the bin.
+    pub ops_completed: Vec<u64>,
+    /// Highest LFS queue depth observed at any service start in the bin.
+    pub queue_depth_high: Vec<u64>,
+    /// `retry.resend` instants in the bin.
+    pub retry_resends: Vec<u64>,
+    /// Per-disk busy fractions, ordered by process index.
+    pub disks: Vec<DiskBusySeries>,
+}
+
+impl TimeSeries {
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.ops_completed.len()
+    }
+
+    /// Renders every series as one compact ASCII sparkline per row.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: {} bins x {:.3} ms",
+            self.bins(),
+            self.bin_nanos as f64 / 1e6
+        );
+        render_line(&mut out, "ops completed", &to_f64(&self.ops_completed));
+        render_line(&mut out, "queue depth hw", &to_f64(&self.queue_depth_high));
+        render_line(&mut out, "retry resends", &to_f64(&self.retry_resends));
+        for disk in &self.disks {
+            render_line(
+                &mut out,
+                &format!("{} busy", disk.name),
+                &disk.busy_fraction,
+            );
+        }
+        out
+    }
+
+    /// Serialises the series as a JSON object (hand-rolled, no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(out, "\"bin_nanos\":{},", self.bin_nanos);
+        write_u64_array(&mut out, "ops_completed", &self.ops_completed);
+        out.push(',');
+        write_u64_array(&mut out, "queue_depth_high", &self.queue_depth_high);
+        out.push(',');
+        write_u64_array(&mut out, "retry_resends", &self.retry_resends);
+        out.push_str(",\"disks\":[");
+        for (i, disk) in self.disks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let _ = write!(out, "\"pid\":{},\"name\":", disk.pid);
+            write_str(&mut out, &disk.name);
+            out.push_str(",\"busy_fraction\":[");
+            for (j, f) in disk.busy_fraction.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{f:.6}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Bins the trace's counters into `bins` fixed-width virtual-time
+/// columns covering `[0, last_time]`. With an empty trace (or `bins ==
+/// 0`) every series is empty.
+pub fn sample(data: &TraceData, bins: usize) -> TimeSeries {
+    let end = data.last_time().as_nanos();
+    if bins == 0 || end == 0 {
+        return TimeSeries::default();
+    }
+    let bin_nanos = end.div_ceil(bins as u64).max(1);
+    let bin_of = |t: u64| ((t / bin_nanos) as usize).min(bins - 1);
+    let mut series = TimeSeries {
+        bin_nanos,
+        ops_completed: vec![0; bins],
+        queue_depth_high: vec![0; bins],
+        retry_resends: vec![0; bins],
+        disks: Vec::new(),
+    };
+    let mut disk_busy: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for span in &data.spans {
+        match span.cat {
+            "client" => series.ops_completed[bin_of(span.end.as_nanos())] += 1,
+            "lfs" if span.name == "lfs.queue_wait" => {
+                let depth = span.arg("depth").unwrap_or(0);
+                let bin = bin_of(span.end.as_nanos());
+                let cell = &mut series.queue_depth_high[bin];
+                *cell = (*cell).max(depth);
+            }
+            "disk" => {
+                let busy = span.arg("busy").unwrap_or(span.dur_nanos());
+                let row = disk_busy.entry(span.pid).or_insert_with(|| vec![0; bins]);
+                spread(
+                    row,
+                    bin_nanos,
+                    span.start.as_nanos(),
+                    span.end.as_nanos(),
+                    busy,
+                );
+            }
+            _ => {}
+        }
+    }
+    for inst in &data.instants {
+        if inst.name == "retry.resend" {
+            series.retry_resends[bin_of(inst.at.as_nanos())] += 1;
+        }
+    }
+    series.disks = disk_busy
+        .into_iter()
+        .map(|(pid, row)| DiskBusySeries {
+            pid,
+            name: data.proc_name(pid).to_string(),
+            busy_fraction: row.iter().map(|&ns| ns as f64 / bin_nanos as f64).collect(),
+        })
+        .collect();
+    series
+}
+
+/// Distributes `busy` nanoseconds across the bins `[start, end]`
+/// overlaps, proportionally to wall-time overlap (all in the start bin
+/// for zero-width spans).
+fn spread(row: &mut [u64], bin_nanos: u64, start: u64, end: u64, busy: u64) {
+    let bins = row.len();
+    let clamp_bin = |t: u64| ((t / bin_nanos) as usize).min(bins - 1);
+    if end <= start {
+        row[clamp_bin(start)] += busy;
+        return;
+    }
+    let wall = end - start;
+    let (first, last) = (clamp_bin(start), clamp_bin(end.saturating_sub(1)));
+    let mut assigned = 0u64;
+    for (bin, cell) in row.iter_mut().enumerate().take(last + 1).skip(first) {
+        let bin_start = bin as u64 * bin_nanos;
+        let bin_end = bin_start + bin_nanos;
+        let overlap = end.min(bin_end).saturating_sub(start.max(bin_start));
+        let share = if bin == last {
+            busy - assigned
+        } else {
+            busy * overlap / wall
+        };
+        *cell += share;
+        assigned += share;
+    }
+}
+
+fn to_f64(values: &[u64]) -> Vec<f64> {
+    values.iter().map(|&v| v as f64).collect()
+}
+
+/// One sparkline row: a ten-step ASCII ramp scaled to the series max.
+fn render_line(out: &mut String, label: &str, values: &[f64]) {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    let _ = write!(out, "  {label:<16} |");
+    for &v in values {
+        let step = if max <= 0.0 || v <= 0.0 {
+            0
+        } else {
+            (((v / max) * (RAMP.len() - 1) as f64).round() as usize).clamp(1, RAMP.len() - 1)
+        };
+        out.push(RAMP[step] as char);
+    }
+    let _ = writeln!(out, "| max {max:.2}");
+}
+
+fn write_u64_array(out: &mut String, key: &str, values: &[u64]) {
+    write_str(out, key);
+    out.push_str(":[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{SpanEvent, TraceData};
+    use parsim::SimTime;
+
+    fn span(
+        pid: usize,
+        cat: &'static str,
+        name: &str,
+        start: u64,
+        end: u64,
+        args: &[(&'static str, u64)],
+    ) -> SpanEvent {
+        SpanEvent {
+            pid,
+            cat,
+            name: name.to_string(),
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+            args: args.to_vec(),
+        }
+    }
+
+    #[test]
+    fn busy_spread_conserves_nanoseconds() {
+        let mut row = vec![0u64; 4];
+        spread(&mut row, 250, 100, 900, 800);
+        assert_eq!(row.iter().sum::<u64>(), 800);
+        assert!(
+            row.iter().all(|&b| b > 0),
+            "every overlapped bin gets a share"
+        );
+    }
+
+    #[test]
+    fn sample_bins_ops_and_disks() {
+        let mut data = TraceData::default();
+        data.procs.resize(2, Default::default());
+        data.procs[1].name = "lfs0".to_string();
+        data.spans
+            .push(span(0, "client", "client.lfs.read", 0, 400, &[("id", 1)]));
+        data.spans.push(span(
+            1,
+            "disk",
+            "disk.read.load",
+            100,
+            300,
+            &[("busy", 200), ("position", 120)],
+        ));
+        data.spans
+            .push(span(1, "lfs", "lfs.queue_wait", 50, 90, &[("depth", 3)]));
+        let s = sample(&data, 4);
+        assert_eq!(s.bins(), 4);
+        assert_eq!(s.ops_completed.iter().sum::<u64>(), 1);
+        assert_eq!(s.queue_depth_high.iter().max(), Some(&3));
+        assert_eq!(s.disks.len(), 1);
+        assert_eq!(s.disks[0].name, "lfs0");
+        let busy: f64 = s.disks[0].busy_fraction.iter().sum::<f64>() * s.bin_nanos as f64;
+        assert!((busy - 200.0).abs() < 1e-6, "busy is conserved, got {busy}");
+        let json = s.to_json();
+        crate::json::parse(&json).expect("series JSON parses");
+        assert!(s.render().contains("lfs0 busy"));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_series() {
+        let s = sample(&TraceData::default(), 8);
+        assert_eq!(s.bins(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the causal profiler: on randomized Bridge
+//! workloads, attribution must be an exact partition, the critical path
+//! must agree with the kernel clock, and profiling must be deterministic
+//! and observation-only.
+
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec};
+use bridge_tools::{copy, ToolOptions};
+use bridge_trace::{profile, validate_causality, Category, ProfileReport, TraceCollector};
+use parsim::RunStats;
+use proptest::prelude::*;
+
+/// Runs a randomized write → read-back (→ optional copy tool) workload
+/// on the paper machine, optionally traced, returning the kernel's run
+/// counters and the trace (empty when untraced).
+fn run_workload(
+    p: u32,
+    blocks: u64,
+    seed: u64,
+    copy_after: bool,
+    traced: bool,
+) -> (RunStats, bridge_trace::TraceData) {
+    let collector = traced.then(TraceCollector::install);
+    let mut config = BridgeConfig::paper(p);
+    config.tracer = collector.as_ref().map(|c| c.as_tracer());
+    let (mut sim, machine) = BridgeMachine::build(&config);
+    let server = machine.server;
+    sim.block_on(machine.frontend, "prop", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge.create(ctx, CreateSpec::default()).expect("create");
+        for i in 0..blocks {
+            let mut rec = (i.wrapping_mul(0x9E37_79B9).wrapping_add(seed))
+                .to_be_bytes()
+                .to_vec();
+            rec.extend_from_slice(b" prop record");
+            bridge.seq_write(ctx, file, rec).expect("write");
+        }
+        bridge.open(ctx, file).expect("open");
+        while bridge.seq_read(ctx, file).expect("read").is_some() {}
+        if copy_after {
+            let (out, _) = copy(ctx, &mut bridge, file, &ToolOptions::default()).expect("copy");
+            bridge.delete(ctx, out).expect("delete");
+        }
+    });
+    let stats = sim.stats();
+    let data = collector.map(|c| c.take()).unwrap_or_default();
+    (stats, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The whole-run critical path partitions `[0, makespan]` exactly,
+    /// lands on the kernel's own end time, and can never be shorter than
+    /// the longest single traced span.
+    #[test]
+    fn critical_path_is_exact_and_bounded(
+        p in 2u32..=4,
+        blocks in 1u64..20,
+        seed in any::<u64>(),
+        copy_after in any::<bool>(),
+    ) {
+        let (stats, data) = run_workload(p, blocks, seed, copy_after, true);
+        prop_assert!(validate_causality(&data).is_ok());
+        let prof = profile(&data);
+        let cp = &prof.critical_path;
+        prop_assert_eq!(cp.breakdown.total(), cp.makespan_nanos);
+        prop_assert_eq!(cp.makespan_nanos, stats.end_time.as_nanos());
+        let longest = data
+            .spans
+            .iter()
+            .map(|s| s.end.as_nanos().saturating_sub(s.start.as_nanos()))
+            .max()
+            .unwrap_or(0);
+        prop_assert!(
+            cp.makespan_nanos >= longest,
+            "makespan {} < longest span {}",
+            cp.makespan_nanos,
+            longest
+        );
+    }
+
+    /// Every operation's category breakdown partitions its latency
+    /// exactly: the categories sum to the measured latency, and whatever
+    /// the trace cannot explain is reported as `untraced`, never absorbed.
+    #[test]
+    fn per_op_breakdowns_partition_latency(
+        p in 2u32..=4,
+        blocks in 1u64..20,
+        seed in any::<u64>(),
+        copy_after in any::<bool>(),
+    ) {
+        let (_, data) = run_workload(p, blocks, seed, copy_after, true);
+        let prof = profile(&data);
+        prop_assert!(!prof.ops.is_empty(), "workload produced no client ops");
+        for op in &prof.ops {
+            prop_assert!(op.end_nanos >= op.start_nanos);
+            prop_assert_eq!(
+                op.breakdown.total(),
+                op.latency_nanos(),
+                "op {} ({}) does not partition its latency",
+                op.id,
+                op.name.clone()
+            );
+            prop_assert_eq!(op.breakdown.get(Category::Untraced), op.untraced_nanos());
+            prop_assert!(op.untraced_nanos() <= op.latency_nanos());
+        }
+    }
+
+    /// Profiling is deterministic and observation-only: a traced re-run
+    /// reproduces the untraced run's kernel counters bit for bit, and two
+    /// traced runs render byte-identical profile reports.
+    #[test]
+    fn profiling_is_deterministic_and_observation_only(
+        p in 2u32..=4,
+        blocks in 1u64..16,
+        seed in any::<u64>(),
+    ) {
+        let (plain, _) = run_workload(p, blocks, seed, false, false);
+        let (traced_a, data_a) = run_workload(p, blocks, seed, false, true);
+        let (traced_b, data_b) = run_workload(p, blocks, seed, false, true);
+        prop_assert_eq!(&plain, &traced_a, "tracing changed the kernel counters");
+        prop_assert_eq!(&traced_a, &traced_b, "traced runs diverged");
+        let json_a = ProfileReport::from_trace(&data_a, 32).to_json();
+        let json_b = ProfileReport::from_trace(&data_b, 32).to_json();
+        prop_assert_eq!(json_a, json_b, "profile reports diverged");
+    }
+}

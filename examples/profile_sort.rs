@@ -1,0 +1,397 @@
+//! Causal profile of the two-phase parallel merge sort: run the paper's
+//! sort tool traced, attribute every operation's latency to a category
+//! (`disk.position`, `lfs.queue_wait`, `interconnect`, ...), split the
+//! attribution by phase (local external sorts vs token-passing merge),
+//! and reconcile the profiler's arithmetic against the independent
+//! bookkeeping paths — `DiskStats` counters and the scheduler's
+//! `RunStats` — exactly.
+//!
+//! The disk reconciliation is an exact accounting identity, not a bound:
+//! every nanosecond of `DiskStats` busy time is either attributed to some
+//! operation's critical path or counted as *fan-out shadow* — disk work
+//! that ran concurrently on several disks under one parallel command
+//! (`create`'s agent tree, `delete_many`), where wall-clock attribution
+//! can only credit one disk at a time. The shadow is recomputed here from
+//! the raw trace by an independent request-matching pass, so
+//!
+//! ```text
+//! profiler disk attribution + fan-out shadow == DiskStats busy   (0 ns slack)
+//! ```
+//!
+//! Run with: `cargo run --release --example profile_sort [out.json]`
+//! (default output `target/profile_sort.json`). Exits nonzero if the
+//! causality DAG is broken, any sum is off by a nanosecond, or any
+//! operation's `untraced` bucket exceeds 5% of its latency — the same
+//! gate CI's profile-smoke step enforces.
+
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec};
+use bridge_efs::{LfsClient, LfsData, LfsOp};
+use bridge_tools::{sort, SortOptions, SortStats};
+use bridge_trace::{
+    validate_causality, validate_profile_json, Breakdown, Category, ProfileReport, TraceCollector,
+    TraceData,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simdisk::DiskStats;
+use std::collections::{HashMap, HashSet};
+use std::process::ExitCode;
+
+const P: u32 = 4;
+const RECORDS: u64 = 256;
+const BINS: usize = 48;
+
+fn main() -> ExitCode {
+    let collector = TraceCollector::install();
+    let mut config = BridgeConfig::paper(P);
+    config.tracer = Some(collector.as_tracer());
+    let (mut sim, machine) = BridgeMachine::build(&config);
+    let server = machine.server;
+    let lfs = machine.lfs.clone();
+
+    let (stats, disks) = sim.block_on(machine.frontend, "profile-sort", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge.create(ctx, CreateSpec::default()).expect("create");
+        let mut rng = SmallRng::seed_from_u64(1988);
+        for _ in 0..RECORDS {
+            let key: u64 = rng.random_range(0..1_000_000);
+            let mut rec = key.to_be_bytes().to_vec();
+            rec.extend_from_slice(format!(" payload for key {key:06}").as_bytes());
+            bridge.seq_write(ctx, file, rec).expect("write");
+        }
+        // A small in-core buffer so phase 1 does real external merging.
+        let opts = SortOptions {
+            in_core_records: 32,
+            ..SortOptions::default()
+        };
+        let (_, stats) = sort(ctx, &mut bridge, file, &opts).expect("sort");
+        assert_eq!(stats.records, RECORDS);
+        // Pull each disk's own counters so the reconciliation below
+        // compares the profiler against independent bookkeeping.
+        let mut client = LfsClient::new();
+        let disks: Vec<DiskStats> = lfs
+            .iter()
+            .map(
+                |&proc| match client.call(ctx, proc, LfsOp::DiskStats).expect("stats") {
+                    LfsData::DiskCounters(s) => s,
+                    other => panic!("unexpected DiskStats reply {other:?}"),
+                },
+            )
+            .collect();
+        (stats, disks)
+    });
+
+    let run = sim.stats();
+    let data = collector.take();
+    println!(
+        "p={P} sort of {RECORDS} records: {} virtual, {} spans, {} flows",
+        stats.total,
+        data.spans.len(),
+        data.flows.len()
+    );
+
+    // The DAG must close: every successful client op reachable from its
+    // request span through to its reply span.
+    if let Err(e) = validate_causality(&data) {
+        eprintln!("FAIL: causality audit: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let report = ProfileReport::from_trace(&data, BINS);
+    print!("{}", report.render());
+
+    // Phase-by-phase attribution: the sort tool brackets each phase with
+    // a span on the controller, so its window selects the phase's ops.
+    let phase = |name: &str| {
+        data.spans
+            .iter()
+            .find(|s| s.cat == "tool" && s.name == name)
+            .map(|s| (s.start.as_nanos(), s.end.as_nanos()))
+    };
+    let Some(local) = phase("tool.sort.local") else {
+        eprintln!("FAIL: trace has no tool.sort.local span");
+        return ExitCode::FAILURE;
+    };
+    let Some(merge) = phase("tool.sort.merge") else {
+        eprintln!("FAIL: trace has no tool.sort.merge span");
+        return ExitCode::FAILURE;
+    };
+    print_phase(
+        "phase 1: local external sorts",
+        &report.profile.breakdown_between(local.0, local.1),
+        local,
+    );
+    print_phase(
+        "phase 2: token-passing merge",
+        &report.profile.breakdown_between(merge.0, merge.1),
+        merge,
+    );
+
+    if !reconcile(&report, run.end_time.as_nanos(), &stats, &disks, &data) {
+        return ExitCode::FAILURE;
+    }
+
+    // Every op must be essentially fully explained; CI fails the run on
+    // the same threshold.
+    let worst = report.profile.worst_untraced_fraction();
+    println!(
+        "worst untraced fraction across {} ops: {:.4}",
+        report.profile.ops.len(),
+        worst
+    );
+    if worst > 0.05 {
+        eprintln!("FAIL: an op has more than 5% untraced latency");
+        return ExitCode::FAILURE;
+    }
+
+    // Export the report and audit the artifact's own arithmetic.
+    let json = report.to_json();
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/profile_sort.json".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("FAIL: cannot create {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("FAIL: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = validate_profile_json(&json) {
+        eprintln!("FAIL: exported report is invalid: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}: {} bytes", json.len());
+    println!("OK: profile reconciles with DiskStats and RunStats");
+    ExitCode::SUCCESS
+}
+
+/// Prints one phase's summed per-op attribution as a table.
+fn print_phase(label: &str, bd: &Breakdown, window: (u64, u64)) {
+    println!(
+        "{label}: {:.3} ms wall, {:.3} ms summed op latency",
+        (window.1 - window.0) as f64 / 1e6,
+        bd.total() as f64 / 1e6
+    );
+    let total = bd.total().max(1);
+    for (cat, ns) in bd.iter() {
+        if ns > 0 {
+            println!(
+                "  {:<16} {:>14} ns  {:>5.1}%",
+                cat.label(),
+                ns,
+                ns as f64 * 100.0 / total as f64
+            );
+        }
+    }
+}
+
+/// Audits the profiler's sums against the run's independent bookkeeping.
+/// Every check is exact — zero slack beyond the reported `untraced`
+/// buckets and the separately-computed fan-out shadow.
+fn reconcile(
+    report: &ProfileReport,
+    end_nanos: u64,
+    stats: &SortStats,
+    disks: &[DiskStats],
+    data: &TraceData,
+) -> bool {
+    let mut ok = true;
+
+    // 1. Each op's categories partition its latency exactly.
+    for op in &report.profile.ops {
+        if op.breakdown.total() != op.latency_nanos() {
+            eprintln!(
+                "FAIL: op {} (id {}) categories sum to {} ns, latency is {} ns",
+                op.name,
+                op.id,
+                op.breakdown.total(),
+                op.latency_nanos()
+            );
+            ok = false;
+        }
+    }
+
+    // 2. The critical path partitions the makespan, and the makespan is
+    // the scheduler's own end time.
+    let cp = &report.profile.critical_path;
+    if cp.breakdown.total() != cp.makespan_nanos {
+        eprintln!(
+            "FAIL: critical path sums to {} ns over a {} ns makespan",
+            cp.breakdown.total(),
+            cp.makespan_nanos
+        );
+        ok = false;
+    }
+    if cp.makespan_nanos != end_nanos {
+        eprintln!(
+            "FAIL: profiler makespan {} ns != RunStats end_time {end_nanos} ns",
+            cp.makespan_nanos
+        );
+        ok = false;
+    }
+
+    // 3. The phase spans' wall times agree with the tool's own phase
+    // timings (two independent measurements of the same barriers).
+    let tool_total: u64 = data
+        .spans
+        .iter()
+        .filter(|s| s.cat == "tool" && (s.name == "tool.sort.local" || s.name == "tool.sort.merge"))
+        .map(|s| s.dur_nanos())
+        .sum();
+    let stats_total = stats.local_sort.as_nanos() + stats.merge.as_nanos();
+    if tool_total != stats_total {
+        eprintln!("FAIL: phase spans cover {tool_total} ns, SortStats reports {stats_total} ns");
+        ok = false;
+    }
+
+    // 4. Disk time, exactly. First the two recording paths must agree:
+    // the devices' own busy counters vs the trace spans' position +
+    // transfer args.
+    let counter_busy: u64 = disks.iter().map(|s| s.busy.as_nanos()).sum();
+    let span_busy: u64 = data
+        .spans_in("disk")
+        .filter_map(|s| Some(s.arg("position")? + s.arg("transfer").unwrap_or(0)))
+        .sum();
+    if counter_busy != span_busy {
+        eprintln!(
+            "FAIL: disk span args carry {span_busy} ns, DiskStats counters say {counter_busy} ns"
+        );
+        ok = false;
+    }
+
+    // Then the accounting identity: the profiler's per-op disk buckets
+    // plus the fan-out shadow (computed below, independently) must equal
+    // the counters. Per op the profiler may only under-attribute — the
+    // shadow is concurrent disk work that cannot fit in a wall-time
+    // partition — never over-attribute.
+    let expected = expected_disk_per_op(data);
+    let mut shadow = 0u64;
+    let mut claimed: HashMap<(usize, u64), u64> = HashMap::new();
+    for op in &report.profile.ops {
+        let got =
+            op.breakdown.get(Category::DiskPosition) + op.breakdown.get(Category::DiskTransfer);
+        let want = expected.get(&(op.client, op.id)).copied().unwrap_or(0);
+        if got > want {
+            eprintln!(
+                "FAIL: op {} (id {}) attributes {got} ns of disk time but only {want} ns \
+                 of disk service ran on its behalf",
+                op.name, op.id
+            );
+            ok = false;
+        } else {
+            shadow += want - got;
+        }
+        *claimed.entry((op.client, op.id)).or_default() += 1;
+    }
+    let totals = report.profile.total();
+    let prof_disk = totals.get(Category::DiskPosition) + totals.get(Category::DiskTransfer);
+    println!(
+        "reconcile disk: counters busy={counter_busy}ns = attributed {prof_disk}ns \
+         + fan-out shadow {shadow}ns"
+    );
+    if prof_disk + shadow != counter_busy {
+        eprintln!(
+            "FAIL: attributed {prof_disk} + shadow {shadow} = {} ns, counters say {counter_busy} ns",
+            prof_disk + shadow
+        );
+        ok = false;
+    }
+    ok
+}
+
+/// Recomputes, straight from the raw trace with none of the profiler's
+/// machinery, how much disk service ran on behalf of each top-level
+/// client operation: every disk span is matched to its covering LFS
+/// service span, the service span to the client request it answered (by
+/// server pid, request id, and the queue-wait span's client arg), and
+/// requests issued by the Bridge Server mid-dispatch are folded into the
+/// client command that triggered them.
+fn expected_disk_per_op(data: &TraceData) -> HashMap<(usize, u64), u64> {
+    struct Op {
+        pid: usize,
+        id: u64,
+        server: usize,
+        s: u64,
+        e: u64,
+    }
+    let mut ops: Vec<Op> = Vec::new();
+    for s in &data.spans {
+        if s.cat == "client" {
+            ops.push(Op {
+                pid: s.pid,
+                id: s.arg("id").unwrap_or(u64::MAX),
+                server: s.arg("server").unwrap_or(u64::MAX) as usize,
+                s: s.start.as_nanos(),
+                e: s.end.as_nanos(),
+            });
+        }
+    }
+    // LFS service spans (pid, id, window) and queue-wait keys.
+    let mut services: Vec<(usize, u64, u64, u64)> = Vec::new();
+    let mut queue_waits: HashSet<(usize, u64, usize)> = HashSet::new();
+    let mut bridge_svcs: Vec<(u64, usize, u64, u64)> = Vec::new();
+    let mut bridge_pids: HashSet<usize> = HashSet::new();
+    for s in &data.spans {
+        match s.cat {
+            "lfs" if s.name == "lfs.queue_wait" => {
+                if let (Some(id), Some(client)) = (s.arg("id"), s.arg("client")) {
+                    queue_waits.insert((s.pid, id, client as usize));
+                }
+            }
+            "lfs" => services.push((
+                s.pid,
+                s.arg("id").unwrap_or(u64::MAX),
+                s.start.as_nanos(),
+                s.end.as_nanos(),
+            )),
+            "bridge" => {
+                bridge_pids.insert(s.pid);
+                if let (Some(id), Some(client)) = (s.arg("id"), s.arg("client")) {
+                    bridge_svcs.push((id, client as usize, s.start.as_nanos(), s.end.as_nanos()));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Disk span -> covering service -> claiming client op.
+    let mut direct: HashMap<(usize, u64), u64> = HashMap::new();
+    for d in data.spans_in("disk") {
+        let busy = d.arg("position").unwrap_or(0) + d.arg("transfer").unwrap_or(0);
+        let Some(&(pid, id, s0, s1)) = services.iter().find(|&&(pid, _, s0, s1)| {
+            pid == d.pid && s0 <= d.start.as_nanos() && d.end.as_nanos() <= s1
+        }) else {
+            continue;
+        };
+        if let Some(o) = ops.iter().find(|o| {
+            o.id == id
+                && o.server == pid
+                && o.s <= s0
+                && s1 <= o.e
+                && queue_waits.contains(&(pid, id, o.pid))
+        }) {
+            *direct.entry((o.pid, o.id)).or_default() += busy;
+        }
+    }
+    // Fold requests the Bridge Server issued while dispatching a command
+    // into that command's own op (mirroring the profiler's nesting).
+    let mut top: HashMap<(usize, u64), u64> = HashMap::new();
+    for ((pid, id), busy) in direct {
+        if bridge_pids.contains(&pid) {
+            let op = ops.iter().find(|o| o.pid == pid && o.id == id);
+            let cover = op.and_then(|o| {
+                bridge_svcs
+                    .iter()
+                    .find(|&&(_, _, b0, b1)| b0 <= o.s && o.e <= b1)
+            });
+            if let Some(&(bid, bclient, _, _)) = cover {
+                *top.entry((bclient, bid)).or_default() += busy;
+                continue;
+            }
+        }
+        *top.entry((pid, id)).or_default() += busy;
+    }
+    top
+}
