@@ -91,7 +91,10 @@ fn main() {
         println!("\n### Trace metrics — p = 4 copy (BRIDGE_TRACE)");
         println!("{}", kernel_stats(&sim.stats()));
         let data = collector.snapshot();
-        print!("{}", Metrics::from_trace(&data).render());
+        print!(
+            "{}",
+            Metrics::from_trace(&data).with_kernel(sim.stats()).render()
+        );
         profiler.report("copy_p4", &data);
     }
 }

@@ -23,6 +23,12 @@ pub const PAPER_FILE_BLOCKS: u64 = 10 * 1024;
 /// The processor counts in the paper's Tables 3 and 4.
 pub const PAPER_PROCESSORS: [u32; 5] = [2, 4, 8, 16, 32];
 
+/// The extended processor counts past the paper's largest machine, used
+/// by the >32-processor scaling curves (EXPERIMENTS.md §A12) and the
+/// engine ablation. Runs at this scale are only tractable on the
+/// run-to-completion engine.
+pub const SCALE_PROCESSORS: [u32; 4] = [32, 64, 256, 1024];
+
 /// Scale factor for a bench run: `full` replays the paper's sizes,
 /// `quick` (set `BRIDGE_SCALE=quick`) shrinks the file 8× for smoke runs.
 pub fn scale() -> u64 {
@@ -40,6 +46,13 @@ pub fn file_blocks() -> u64 {
 /// Builds the paper's machine at breadth `p`.
 pub fn paper_machine(p: u32) -> (parsim::Simulation, BridgeMachine) {
     BridgeMachine::build(&BridgeConfig::paper(p))
+}
+
+/// Builds the paper's machine at breadth `p`, pinned to `engine`. The
+/// engine-equivalence tests and the `ablate_sim_scale` bench run the same
+/// machine on both engines and assert bit-identical results.
+pub fn paper_machine_on(p: u32, engine: parsim::Engine) -> (parsim::Simulation, BridgeMachine) {
+    BridgeMachine::build(&BridgeConfig::paper(p).with_engine(engine))
 }
 
 /// Builds the paper's machine at breadth `p` with `tracer` installed.

@@ -65,16 +65,22 @@ impl Table {
 }
 
 /// One-line summary of a run's kernel-side costs: event count, delivered
-/// messages, payload bytes, and the event-queue high-water mark. Printed
-/// by the benches so batching wins show up as hard counter deltas, not
-/// just virtual-time ones.
+/// messages, payload bytes, the event-queue high-water mark, and the
+/// engine-level counters (dispatches, serviced syscalls, elided timer
+/// wakes, peak ready-set depth). Printed by the benches so batching wins
+/// show up as hard counter deltas, not just virtual-time ones.
 pub fn kernel_stats(stats: &RunStats) -> String {
     format!(
-        "events={} messages={} bytes_sent={} queue_high_water={}",
+        "events={} messages={} bytes_sent={} queue_high_water={} \
+         dispatches={} syscalls={} wakes_elided={} ready_peak={}",
         stats.events,
         stats.messages,
         count(stats.bytes_sent),
         stats.queue_high_water,
+        count(stats.dispatches),
+        count(stats.syscalls),
+        stats.wakes_elided,
+        stats.ready_peak,
     )
 }
 
@@ -222,6 +228,10 @@ mod tests {
             messages: 4,
             bytes_sent: 123_456,
             queue_high_water: 7,
+            dispatches: 11,
+            syscalls: 25,
+            wakes_elided: 3,
+            ready_peak: 6,
             ..RunStats::default()
         };
         let line = kernel_stats(&stats);
@@ -229,6 +239,10 @@ mod tests {
         assert!(line.contains("messages=4"));
         assert!(line.contains("bytes_sent=123_456"));
         assert!(line.contains("queue_high_water=7"));
+        assert!(line.contains("dispatches=11"));
+        assert!(line.contains("syscalls=25"));
+        assert!(line.contains("wakes_elided=3"));
+        assert!(line.contains("ready_peak=6"));
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! The run-to-completion fiber engine and the threaded engine must be
+//! interchangeable on the full Bridge machine: identical virtual phase
+//! times, identical [`parsim::RunStats`], identical trace spans, and
+//! identical read-back bytes under an active fault plan with retries.
+//! These pin the ISSUE's bit-for-bit guarantee at the system level, on
+//! top of the kernel-level `engine_equiv` suite in parsim.
+
+use bridge_bench::{paper_machine_on, write_workload};
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine, RetryPolicy};
+use bridge_tools::{copy, ToolOptions};
+use bridge_trace::TraceCollector;
+use parsim::{Engine, FaultPlan, MsgFaults, RunStats, SimDuration};
+
+const ENGINES: [Engine; 2] = [Engine::RunToCompletion, Engine::Threaded];
+
+/// Copy-workload measurement on the plain paper machine at breadth `p`.
+fn measure_copy(p: u32, engine: Engine, blocks: u64) -> (SimDuration, RunStats) {
+    let (mut sim, machine) = paper_machine_on(p, engine);
+    let server = machine.server;
+    let elapsed = sim.block_on(machine.frontend, "bench", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let src = write_workload(ctx, &mut bridge, blocks, 42);
+        let (_, stats) = copy(ctx, &mut bridge, src, &ToolOptions::default()).expect("copy");
+        assert_eq!(stats.blocks, blocks);
+        stats.elapsed
+    });
+    (elapsed, sim.stats())
+}
+
+#[test]
+fn copy_is_bit_identical_across_engines() {
+    for p in [2u32, 4, 8] {
+        let fiber = measure_copy(p, Engine::RunToCompletion, 128);
+        let thread = measure_copy(p, Engine::Threaded, 128);
+        assert_eq!(fiber, thread, "p={p}: copy diverged across engines");
+    }
+}
+
+#[test]
+fn trace_spans_are_bit_identical_across_engines() {
+    let traces: Vec<_> = ENGINES
+        .map(|engine| {
+            let collector = TraceCollector::install();
+            let mut config = BridgeConfig::paper(4).with_engine(engine);
+            config.tracer = Some(collector.as_tracer());
+            let (mut sim, machine) = BridgeMachine::build(&config);
+            let server = machine.server;
+            sim.block_on(machine.frontend, "bench", move |ctx| {
+                let mut bridge = BridgeClient::new(server);
+                let src = write_workload(ctx, &mut bridge, 96, 42);
+                copy(ctx, &mut bridge, src, &ToolOptions::default()).expect("copy");
+            });
+            (collector.take(), sim.stats())
+        })
+        .into_iter()
+        .collect();
+    let (fiber_trace, fiber_stats) = &traces[0];
+    let (thread_trace, thread_stats) = &traces[1];
+    assert!(
+        !fiber_trace.spans.is_empty(),
+        "traced run recorded no spans"
+    );
+    assert_eq!(
+        fiber_trace, thread_trace,
+        "trace data diverged across engines"
+    );
+    assert_eq!(fiber_stats, thread_stats, "kernel counters diverged");
+}
+
+#[test]
+fn chaos_run_is_bit_identical_across_engines() {
+    let plan = FaultPlan {
+        seed: 0xFA,
+        msg: MsgFaults {
+            drop_per_mille: 120,
+            dup_per_mille: 80,
+            delay_per_mille: 80,
+            delay_max: SimDuration::from_millis(2),
+            max_consecutive_drops: 4,
+        },
+        ..FaultPlan::none()
+    };
+    let runs: Vec<_> = ENGINES
+        .map(|engine| {
+            let mut config = BridgeConfig::paper(4)
+                .with_engine(engine)
+                .with_faults(plan.clone());
+            config.server.lfs_retry = RetryPolicy::standard();
+            let (mut sim, machine) = BridgeMachine::build(&config);
+            let server = machine.server;
+            let contents = sim.block_on(machine.frontend, "bench", move |ctx| {
+                let mut bridge = BridgeClient::with_retry(server, RetryPolicy::standard());
+                let file = write_workload(ctx, &mut bridge, 64, 7);
+                bridge.open(ctx, file).expect("open");
+                let mut bytes = Vec::new();
+                while let Some(rec) = bridge.seq_read(ctx, file).expect("read") {
+                    bytes.extend_from_slice(&rec);
+                }
+                bytes
+            });
+            (contents, sim.stats())
+        })
+        .into_iter()
+        .collect();
+    assert!(!runs[0].0.is_empty(), "chaos run read nothing back");
+    assert_eq!(runs[0], runs[1], "chaos transcript diverged across engines");
+}

@@ -1,0 +1,49 @@
+//! CI smoke for the scaling claim: a p = 256 paper machine must build and
+//! copy a file within a fixed host wall-clock budget. Before the
+//! run-to-completion engine this took minutes (one OS thread per simulated
+//! process); now it is sub-second in release builds. The budget is
+//! generous — it exists to catch an order-of-magnitude regression (e.g.
+//! the engine silently falling back to threaded), not to benchmark; CI
+//! runs this in release with a tighter `BRIDGE_SMOKE_BUDGET_SECS`.
+
+use bridge_bench::{paper_machine_on, write_workload};
+use bridge_core::BridgeClient;
+use bridge_tools::{copy, ToolOptions};
+use parsim::Engine;
+use std::time::{Duration, Instant};
+
+const BLOCKS: u64 = 512;
+
+fn budget() -> Duration {
+    let secs = std::env::var("BRIDGE_SMOKE_BUDGET_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    Duration::from_secs(secs)
+}
+
+#[test]
+fn p256_copy_fits_the_wall_clock_budget() {
+    let budget = budget();
+    let t0 = Instant::now();
+    let (mut sim, machine) = paper_machine_on(256, Engine::auto());
+    assert_eq!(
+        sim.engine(),
+        Engine::RunToCompletion,
+        "fiber engine unavailable on this host — the scaling claim needs it"
+    );
+    let server = machine.server;
+    let elapsed = sim.block_on(machine.frontend, "smoke", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let src = write_workload(ctx, &mut bridge, BLOCKS, 42);
+        let (_, stats) = copy(ctx, &mut bridge, src, &ToolOptions::default()).expect("copy");
+        assert_eq!(stats.blocks, BLOCKS);
+        stats.elapsed
+    });
+    let wall = t0.elapsed();
+    assert!(!elapsed.is_zero(), "copy advanced no virtual time");
+    assert!(
+        wall <= budget,
+        "p=256 copy of {BLOCKS} blocks took {wall:.1?} against a {budget:.0?} budget"
+    );
+}

@@ -8,7 +8,8 @@
 use crate::server::{spawn_bridge_agent, spawn_bridge_server, BridgeServerConfig};
 use bridge_efs::{spawn_lfs_sched, Efs, EfsConfig, RetryPolicy};
 use parsim::{
-    FaultPlan, NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle, UniformLatency,
+    Engine, FaultPlan, NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle,
+    UniformLatency,
 };
 use simdisk::{DiskFaultState, DiskGeometry, DiskProfile, SchedConfig, SimDisk};
 
@@ -51,6 +52,10 @@ pub struct BridgeConfig {
     /// [`BridgeClient::with_retry`](crate::BridgeClient::with_retry) for
     /// the application leg.
     pub faults: FaultPlan,
+    /// Simulator execution engine. [`Engine::auto`] (the default) picks
+    /// the run-to-completion fiber engine wherever supported; results are
+    /// bit-identical either way, only host-side speed differs.
+    pub engine: Engine,
 }
 
 impl BridgeConfig {
@@ -69,6 +74,7 @@ impl BridgeConfig {
             seed: 0x00B2_1D6E,
             tracer: None,
             faults: FaultPlan::none(),
+            engine: Engine::auto(),
         }
     }
 
@@ -99,6 +105,7 @@ impl BridgeConfig {
             seed: 0x00B2_1D6E,
             tracer: None,
             faults: FaultPlan::none(),
+            engine: Engine::auto(),
         }
     }
 
@@ -108,6 +115,13 @@ impl BridgeConfig {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self.server.lfs_retry = RetryPolicy::standard();
+        self
+    }
+
+    /// `self` pinned to `engine` (equivalence tests and the engine
+    /// ablation bench run the same machine on both).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -149,6 +163,7 @@ impl BridgeMachine {
             seed: config.seed,
             tracer: config.tracer.clone(),
             faults: config.faults.clone(),
+            engine: config.engine,
         });
         let machine = BridgeMachine::build_in(&mut sim, config);
         (sim, machine)

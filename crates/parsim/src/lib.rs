@@ -7,9 +7,15 @@
 //! rotational delay. `parsim` recreates that environment as a discrete-event
 //! simulation:
 //!
-//! * Every simulated process is a real OS thread running ordinary Rust code,
-//!   so file-system servers and tools are written exactly like the paper's
-//!   pseudo-code (loops around `recv`/`send`), not as state machines.
+//! * Every simulated process runs ordinary Rust code, so file-system
+//!   servers and tools are written exactly like the paper's pseudo-code
+//!   (loops around `recv`/`send`), not as state machines. Under the default
+//!   [`Engine::RunToCompletion`] each process executes on a stackful fiber
+//!   on the scheduler's own thread — one event dispatch is a pair of
+//!   register-window swaps, which is what lets machines of 1024 simulated
+//!   processors run in seconds. [`Engine::Threaded`] (one OS thread per
+//!   process) remains as the compatibility tier; both engines produce
+//!   bit-identical results.
 //! * Blocking operations advance a *virtual* clock instead of wall time, so
 //!   experiments the paper ran for six hours replay in seconds.
 //! * Exactly one process executes at any instant and events are ordered by
@@ -49,6 +55,7 @@
 
 mod envelope;
 mod fault;
+mod fiber;
 mod process;
 mod scheduler;
 mod time;
@@ -60,7 +67,7 @@ pub use fault::{
     mix64, splitmix64, BlockFaultRule, DiskFaults, FaultPlan, MsgFaults, Outage, OutageKind,
 };
 pub use process::{Ctx, ProcFn, ProcId};
-pub use scheduler::{RunStats, SimConfig, Simulation};
+pub use scheduler::{Engine, RunStats, SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LatencyModel, NodeId, UniformLatency, ZeroLatency};
 pub use trace::{nop_tracer, NopTracer, TraceArg, Tracer, TracerHandle};

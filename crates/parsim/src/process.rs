@@ -1,15 +1,17 @@
 //! Simulated processes and the context handle they run with.
 
 use crate::envelope::{Envelope, PayloadCloner};
+use crate::fiber::{self, TransferCell};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NodeId;
 use crate::trace::{TraceArg, Tracer, TracerHandle};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::Sender;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Identifies a simulated process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,11 +40,12 @@ impl fmt::Display for ProcId {
 /// The body of a simulated process.
 pub type ProcFn = Box<dyn FnOnce(&mut Ctx) + Send + 'static>;
 
-/// Payload used to unwind a process thread when the simulation shuts down.
+/// Payload used to unwind a process when the simulation shuts down.
 /// Never observed by user code.
 pub(crate) struct ShutdownSignal;
 
-/// Scheduler → process wake-ups. Each carries the authoritative clock.
+/// Scheduler → process wake-ups. Each control transfer carries the
+/// authoritative clock.
 pub(crate) enum Resume {
     /// Start running, or resume after a delay.
     Go { now: SimTime },
@@ -50,6 +53,11 @@ pub(crate) enum Resume {
     Msg { env: Envelope, now: SimTime },
     /// A `recv_timeout` expired with no message.
     Timeout { now: SimTime },
+    /// Reply to a `Spawn` syscall: the child's id.
+    Spawned(ProcId),
+    /// Fiber engine only: acknowledges a fire-and-forget syscall (the
+    /// threaded engine lets the process run ahead instead).
+    Continue,
     /// The simulation is being torn down; unwind.
     Shutdown,
 }
@@ -58,18 +66,24 @@ pub(crate) enum Resume {
 pub(crate) enum Syscall {
     /// Fire-and-forget message post; the process keeps running.
     Post {
+        /// Destination process.
         dst: ProcId,
+        /// Type-erased message payload.
         payload: Box<dyn Any + Send>,
+        /// Payload size charged to the latency model.
         bytes: usize,
         /// Present for cloneable sends; lets the fault layer duplicate.
         cloner: Option<PayloadCloner>,
     },
-    /// Create a new process; replies with its id on `reply`.
+    /// Create a new process; the scheduler replies with
+    /// [`Resume::Spawned`].
     Spawn {
+        /// Node to spawn on.
         node: NodeId,
+        /// Process name.
         name: String,
+        /// Process body.
         f: ProcFn,
-        reply: Sender<ProcId>,
     },
     /// Block until a message arrives.
     BlockRecv,
@@ -78,21 +92,82 @@ pub(crate) enum Syscall {
     /// Block for a fixed span of virtual time.
     BlockDelay(SimDuration),
     /// The process body returned (or panicked, carrying the message).
-    Exit { panic: Option<String> },
+    Exit {
+        /// The panic message, if the body panicked.
+        panic: Option<String>,
+    },
+}
+
+/// The scheduler-owned wake-up mailbox of one threaded-engine process: a
+/// single slot plus a condvar. Replaces the old per-process unbounded
+/// crossbeam channel pair — a resume is one mutex hand-off with no
+/// allocation, and the slot lives in the scheduler's process table (the
+/// process thread holds only an `Arc`).
+#[derive(Default)]
+pub(crate) struct ResumeSlot {
+    slot: Mutex<Option<Resume>>,
+    ready: Condvar,
+}
+
+impl fmt::Debug for ResumeSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResumeSlot").finish_non_exhaustive()
+    }
+}
+
+impl ResumeSlot {
+    pub(crate) fn new() -> Arc<ResumeSlot> {
+        Arc::new(ResumeSlot::default())
+    }
+
+    /// Parks a resume for the process. At most one resume is ever in
+    /// flight (the process is either running or blocked on exactly one
+    /// thing), so the slot can never be occupied here.
+    pub(crate) fn put(&self, r: Resume) {
+        let mut slot = self.slot.lock().expect("resume slot poisoned");
+        debug_assert!(slot.is_none(), "second resume parked before take");
+        *slot = Some(r);
+        drop(slot);
+        self.ready.notify_one();
+    }
+
+    /// Blocks the calling process thread until a resume is parked.
+    pub(crate) fn take(&self) -> Resume {
+        let mut slot = self.slot.lock().expect("resume slot poisoned");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.ready.wait(slot).expect("resume slot poisoned");
+        }
+    }
+}
+
+/// How a process body talks to the scheduler: over channels from its own
+/// OS thread (threaded engine), or through its fiber's transfer cell
+/// (run-to-completion engine).
+enum Port {
+    Thread {
+        syscall_tx: Sender<(ProcId, Syscall)>,
+        resume: Arc<ResumeSlot>,
+    },
+    Fiber {
+        cell: *mut TransferCell,
+    },
 }
 
 /// Handle through which a simulated process interacts with virtual time,
 /// the interconnect, and other processes.
 ///
 /// A `&mut Ctx` is passed to every process body. All methods that block do
-/// so in *virtual* time: the calling OS thread parks and the scheduler
-/// advances the clock.
+/// so in *virtual* time: the process yields to the scheduler (a stack
+/// switch on the run-to-completion engine, an OS park on the threaded
+/// engine) and the scheduler advances the clock.
 pub struct Ctx {
     pid: ProcId,
     node: NodeId,
     now: SimTime,
-    syscall_tx: Sender<(ProcId, Syscall)>,
-    resume_rx: Receiver<Resume>,
+    port: Port,
     stash: VecDeque<Envelope>,
     rng: SmallRng,
     tracer: TracerHandle,
@@ -101,20 +176,12 @@ pub struct Ctx {
 }
 
 impl Ctx {
-    pub(crate) fn new(
-        pid: ProcId,
-        node: NodeId,
-        syscall_tx: Sender<(ProcId, Syscall)>,
-        resume_rx: Receiver<Resume>,
-        rng_seed: u64,
-        tracer: TracerHandle,
-    ) -> Self {
+    fn new(pid: ProcId, node: NodeId, port: Port, rng_seed: u64, tracer: TracerHandle) -> Self {
         Ctx {
             pid,
             node,
             now: SimTime::ZERO,
-            syscall_tx,
-            resume_rx,
+            port,
             stash: VecDeque::new(),
             rng: SmallRng::seed_from_u64(rng_seed),
             tracer,
@@ -122,31 +189,101 @@ impl Ctx {
         }
     }
 
-    /// Parks until the scheduler starts this process; returns the start time.
+    /// A context for a threaded-engine process (runs on its own OS
+    /// thread).
+    pub(crate) fn new_thread(
+        pid: ProcId,
+        node: NodeId,
+        syscall_tx: Sender<(ProcId, Syscall)>,
+        resume: Arc<ResumeSlot>,
+        rng_seed: u64,
+        tracer: TracerHandle,
+    ) -> Self {
+        Ctx::new(
+            pid,
+            node,
+            Port::Thread { syscall_tx, resume },
+            rng_seed,
+            tracer,
+        )
+    }
+
+    /// A context for a fiber-engine process (runs on the scheduler's
+    /// thread, on its own stack).
+    pub(crate) fn new_fiber(
+        pid: ProcId,
+        node: NodeId,
+        cell: *mut TransferCell,
+        rng_seed: u64,
+        tracer: TracerHandle,
+    ) -> Self {
+        Ctx::new(pid, node, Port::Fiber { cell }, rng_seed, tracer)
+    }
+
+    /// Parks until the scheduler starts this process; records the start
+    /// time.
     pub(crate) fn wait_start(&mut self) {
-        match self.wait_resume() {
+        let r = match &self.port {
+            Port::Thread { resume, .. } => resume.take(),
+            // SAFETY: we are running on the fiber that owns `cell`; the
+            // scheduler parked the initial resume before entering it.
+            Port::Fiber { cell } => unsafe { fiber::take_initial_resume(*cell) },
+        };
+        match r {
             Resume::Go { now } => self.now = now,
+            Resume::Shutdown => std::panic::panic_any(ShutdownSignal),
             _ => unreachable!("first resume must be Go or Shutdown"),
         }
     }
 
-    fn wait_resume(&mut self) -> Resume {
-        match self.resume_rx.recv() {
-            Ok(Resume::Shutdown) | Err(_) => std::panic::panic_any(ShutdownSignal),
-            Ok(r) => r,
+    /// Issues a fire-and-forget syscall. On the threaded engine the
+    /// process keeps running while the scheduler services it; on the
+    /// fiber engine the scheduler services it synchronously and
+    /// acknowledges with [`Resume::Continue`].
+    fn post(&mut self, sc: Syscall) {
+        match &self.port {
+            Port::Thread { syscall_tx, .. } => {
+                // A send can only fail if the scheduler is gone, in which
+                // case the simulation is being torn down.
+                if syscall_tx.send((self.pid, sc)).is_err() {
+                    std::panic::panic_any(ShutdownSignal);
+                }
+            }
+            Port::Fiber { cell } => {
+                // SAFETY: we are running on the fiber that owns `cell`.
+                match unsafe { fiber::yield_syscall(*cell, sc) } {
+                    Resume::Continue => {}
+                    Resume::Shutdown => std::panic::panic_any(ShutdownSignal),
+                    _ => unreachable!("fire-and-forget syscall resumed with a payload"),
+                }
+            }
         }
     }
 
-    fn syscall(&mut self, sc: Syscall) {
-        // A send can only fail if the scheduler is gone, in which case the
-        // simulation is being torn down.
-        if self.syscall_tx.send((self.pid, sc)).is_err() {
-            std::panic::panic_any(ShutdownSignal);
+    /// Issues a syscall and waits for the scheduler's resume.
+    fn call(&mut self, sc: Syscall) -> Resume {
+        let r = match &self.port {
+            Port::Thread { syscall_tx, resume } => {
+                if syscall_tx.send((self.pid, sc)).is_err() {
+                    std::panic::panic_any(ShutdownSignal);
+                }
+                resume.take()
+            }
+            // SAFETY: we are running on the fiber that owns `cell`.
+            Port::Fiber { cell } => unsafe { fiber::yield_syscall(*cell, sc) },
+        };
+        match r {
+            Resume::Shutdown => std::panic::panic_any(ShutdownSignal),
+            r => r,
         }
     }
 
+    /// Threaded engine only: reports the body's completion (or panic) to
+    /// the scheduler. Fiber bodies return their exit syscall instead.
     pub(crate) fn exit(&mut self, panic: Option<String>) {
-        let _ = self.syscall_tx.send((self.pid, Syscall::Exit { panic }));
+        if let Port::Thread { syscall_tx, .. } = &self.port {
+            let _ = syscall_tx.send((self.pid, Syscall::Exit { panic }));
+        }
     }
 
     /// The current virtual time.
@@ -202,27 +339,26 @@ impl Ctx {
         if d.is_zero() {
             return;
         }
-        self.syscall(Syscall::BlockDelay(d));
-        match self.wait_resume() {
+        match self.call(Syscall::BlockDelay(d)) {
             Resume::Go { now } => self.now = now,
             _ => unreachable!("delay resumed with non-Go"),
         }
     }
 
     /// Sends `msg` to `dst`, charged as a zero-byte message (header-only
-    /// cost under the latency model). Never blocks.
+    /// cost under the latency model). Never blocks in virtual time.
     pub fn send<M: Send + 'static>(&mut self, dst: ProcId, msg: M) {
         self.send_sized(dst, msg, 0);
     }
 
     /// Sends `msg` to `dst`, charging the latency model for a payload of
-    /// `bytes` bytes. Never blocks.
+    /// `bytes` bytes. Never blocks in virtual time.
     ///
     /// Delivery order between the same (sender, receiver) pair is FIFO when
     /// latencies are equal; the scheduler breaks virtual-time ties in post
     /// order.
     pub fn send_sized<M: Send + 'static>(&mut self, dst: ProcId, msg: M, bytes: usize) {
-        self.syscall(Syscall::Post {
+        self.post(Syscall::Post {
             dst,
             payload: Box::new(msg),
             bytes,
@@ -242,7 +378,7 @@ impl Ctx {
         msg: M,
         bytes: usize,
     ) {
-        self.syscall(Syscall::Post {
+        self.post(Syscall::Post {
             dst,
             payload: Box::new(msg),
             bytes,
@@ -278,8 +414,7 @@ impl Ctx {
 
     /// Receives directly from the mailbox, bypassing the stash.
     fn recv_fresh(&mut self) -> Envelope {
-        self.syscall(Syscall::BlockRecv);
-        match self.wait_resume() {
+        match self.call(Syscall::BlockRecv) {
             Resume::Msg { env, now } => {
                 self.now = now;
                 env
@@ -295,8 +430,7 @@ impl Ctx {
         if let Some(env) = self.stash.pop_front() {
             return Some(env);
         }
-        self.syscall(Syscall::BlockRecvTimeout(d));
-        match self.wait_resume() {
+        match self.call(Syscall::BlockRecvTimeout(d)) {
             Resume::Msg { env, now } => {
                 self.now = now;
                 Some(env)
@@ -346,8 +480,7 @@ impl Ctx {
         let deadline = self.now + d;
         loop {
             let remaining = deadline.saturating_duration_since(self.now);
-            self.syscall(Syscall::BlockRecvTimeout(remaining));
-            match self.wait_resume() {
+            match self.call(Syscall::BlockRecvTimeout(remaining)) {
                 Resume::Msg { env, now } => {
                     self.now = now;
                     if pred(&env) {
@@ -401,16 +534,13 @@ impl Ctx {
         name: impl Into<String>,
         f: impl FnOnce(&mut Ctx) + Send + 'static,
     ) -> ProcId {
-        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-        self.syscall(Syscall::Spawn {
+        match self.call(Syscall::Spawn {
             node,
             name: name.into(),
             f: Box::new(f),
-            reply: reply_tx,
-        });
-        match reply_rx.recv() {
-            Ok(pid) => pid,
-            Err(_) => std::panic::panic_any(ShutdownSignal),
+        }) {
+            Resume::Spawned(pid) => pid,
+            _ => unreachable!("spawn resumed without Spawned"),
         }
     }
 }

@@ -1,14 +1,28 @@
 //! The deterministic event scheduler.
 //!
-//! Exactly one simulated process executes at any instant. Each process is an
-//! OS thread; when it blocks (message receive, delay) it parks and hands
-//! control back to the scheduler, which pops the next event in
-//! (virtual-time, sequence) order. Runs are therefore bit-for-bit
+//! Exactly one simulated process executes at any instant. The scheduler
+//! pops events in (virtual-time, sequence) order and *dispatches* each to
+//! its process, servicing the syscalls the process issues until it blocks
+//! (message receive, delay) or exits. Runs are therefore bit-for-bit
 //! reproducible regardless of host scheduling.
+//!
+//! Two engines execute process bodies (see [`Engine`]):
+//!
+//! * **Run-to-completion** (default): each process runs on a stackful
+//!   fiber on the scheduler's own thread; a dispatch is two register-window
+//!   swaps ([`crate::fiber`]).
+//! * **Threaded** (compatibility tier): each process is an OS thread that
+//!   parks on a scheduler-owned [`ResumeSlot`] mailbox; a dispatch is two
+//!   OS context switches.
+//!
+//! Both engines run identical process code and observe the identical
+//! syscall sequence at identical virtual times, so [`RunStats`], traces,
+//! and fault behavior are bit-for-bit equal across them.
 
 use crate::envelope::Envelope;
 use crate::fault::{FaultPlan, FaultState, MsgFate, OutageKind};
-use crate::process::{Ctx, ProcFn, ProcId, Resume, ShutdownSignal, Syscall};
+use crate::fiber;
+use crate::process::{Ctx, ProcFn, ProcId, Resume, ResumeSlot, ShutdownSignal, Syscall};
 use crate::time::SimTime;
 use crate::topology::{LatencyModel, NodeId, UniformLatency};
 use crate::trace::{nop_tracer, TracerHandle};
@@ -17,8 +31,41 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Once;
+use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
+
+/// How simulated process bodies execute. Either engine produces
+/// bit-identical virtual times, [`RunStats`], traces, and fault behavior;
+/// they differ only in host-side cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Stackful fibers on the scheduler's thread: one event dispatch is a
+    /// pair of register-window swaps. The default wherever supported.
+    RunToCompletion,
+    /// One OS thread per process, parked on a scheduler-owned resume
+    /// slot. Kept as the compatibility tier (targets without fiber
+    /// support) and as the reference engine for equivalence tests.
+    Threaded,
+}
+
+impl Engine {
+    /// The best engine for this target: [`Engine::RunToCompletion`] where
+    /// a fiber context switch is implemented (x86-64, aarch64), else
+    /// [`Engine::Threaded`].
+    pub fn auto() -> Engine {
+        if fiber::SUPPORTED {
+            Engine::RunToCompletion
+        } else {
+            Engine::Threaded
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::auto()
+    }
+}
 
 /// Configuration for a [`Simulation`].
 pub struct SimConfig {
@@ -34,6 +81,9 @@ pub struct SimConfig {
     /// installs no fault state at all: the run takes the exact
     /// pre-fault-layer code path, bit-identical stats and timestamps.
     pub faults: FaultPlan,
+    /// Execution engine. [`Engine::auto`] (the default) picks the fiber
+    /// engine wherever supported; results are bit-identical either way.
+    pub engine: Engine,
 }
 
 impl Default for SimConfig {
@@ -43,6 +93,7 @@ impl Default for SimConfig {
             seed: 0x0b71dce5,
             tracer: None,
             faults: FaultPlan::none(),
+            engine: Engine::auto(),
         }
     }
 }
@@ -54,11 +105,16 @@ impl std::fmt::Debug for SimConfig {
             .field("seed", &self.seed)
             .field("tracer", &self.tracer)
             .field("faults", &self.faults)
+            .field("engine", &self.engine)
             .finish()
     }
 }
 
 /// Counters describing a completed [`Simulation::run`].
+///
+/// Every field is a function of the simulation alone, not of the
+/// [`Engine`] executing it: equivalence tests assert bit-identical
+/// `RunStats` across engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunStats {
     /// Events popped from the queue.
@@ -73,6 +129,21 @@ pub struct RunStats {
     /// High-water mark of the pending event queue — the scheduler's peak
     /// working-set, which batching should shrink.
     pub queue_high_water: usize,
+    /// Control transfers into a process carrying a start, message, or
+    /// timer wake-up — the unit the engine pays for (a fiber switch pair,
+    /// or an OS park/unpark pair under [`Engine::Threaded`]).
+    pub dispatches: u64,
+    /// Syscalls serviced across all dispatches: posts, spawns, blocks,
+    /// exits. The scheduler's instruction count, one level below
+    /// `dispatches`.
+    pub syscalls: u64,
+    /// Timer wake-ups batched out: recv-timeout wakes superseded by a
+    /// message and discarded clock-free, without a dispatch.
+    pub wakes_elided: u64,
+    /// Peak number of consecutive events dispatched at one virtual
+    /// instant — the instantaneous ready-set depth the scheduler
+    /// serializes, which grows with machine breadth.
+    pub ready_peak: u64,
     /// Virtual time when the run stopped.
     pub end_time: SimTime,
 }
@@ -89,11 +160,28 @@ enum ProcState {
     Dead,
 }
 
+/// The execution resource behind one process, per its engine.
+enum Body {
+    /// Run-to-completion, not yet started: the body closure waits for the
+    /// start event, when it is wrapped into a fiber (so a built fiber is
+    /// always entered immediately, and abandoned processes never leak an
+    /// un-entered stack).
+    Pending { f: Option<ProcFn> },
+    /// Run-to-completion, started: the process's fiber.
+    Fiber(fiber::Fiber),
+    /// Threaded engine: the process's OS thread and its resume slot.
+    Thread {
+        resume: Arc<ResumeSlot>,
+        join: Option<JoinHandle<()>>,
+    },
+    /// Exited fiber; its stack has been freed.
+    Done,
+}
+
 struct ProcSlot {
     name: String,
     node: NodeId,
-    resume_tx: Sender<Resume>,
-    join: Option<JoinHandle<()>>,
+    body: Body,
     state: ProcState,
     mailbox: VecDeque<Envelope>,
     /// Generation counter invalidating stale wake events.
@@ -170,6 +258,7 @@ pub struct Simulation {
     events: BinaryHeap<Reverse<Event>>,
     procs: Vec<ProcSlot>,
     nodes: Vec<String>,
+    engine: Engine,
     syscall_tx: Sender<(ProcId, Syscall)>,
     syscall_rx: Receiver<(ProcId, Syscall)>,
     latency: Box<dyn LatencyModel>,
@@ -187,6 +276,11 @@ pub struct Simulation {
     /// excludes them — arming recv timeouts that never fire must leave
     /// [`RunStats`] bit-identical to the timeout-free run.
     stale_wakes: usize,
+    /// Length of the current run of events sharing one timestamp (feeds
+    /// [`RunStats::ready_peak`]).
+    ready_run: u64,
+    /// Timestamp of the most recently dispatched event.
+    last_event_time: Option<SimTime>,
 }
 
 /// Suppress the panic-hook output for the internal shutdown unwind while
@@ -225,6 +319,11 @@ impl Simulation {
             events: BinaryHeap::new(),
             procs: Vec::new(),
             nodes: Vec::new(),
+            engine: if fiber::SUPPORTED {
+                config.engine
+            } else {
+                Engine::Threaded
+            },
             syscall_tx,
             syscall_rx,
             latency: config.latency,
@@ -238,7 +337,15 @@ impl Simulation {
                 Some(FaultState::new(&config.faults))
             },
             stale_wakes: 0,
+            ready_run: 0,
+            last_event_time: None,
         }
+    }
+
+    /// The engine actually executing this simulation (the configured one,
+    /// downgraded to [`Engine::Threaded`] on targets without fibers).
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Adds a processing node and returns its id.
@@ -315,39 +422,50 @@ impl Simulation {
         if self.tracer.enabled() {
             self.tracer.proc_named(pid, node, &name);
         }
-        let (resume_tx, resume_rx) = unbounded();
-        let syscall_tx = self.syscall_tx.clone();
-        let rng_seed = mix_seed(self.seed, pid.0);
-        let tracer = self.tracer.clone();
-        let serial = THREAD_SERIAL.fetch_add(1, Ordering::Relaxed);
-        let thread_name = format!("parsim-{serial}-{name}");
-        let join = std::thread::Builder::new()
-            .name(thread_name)
-            .spawn(move || {
-                let mut ctx = Ctx::new(pid, node, syscall_tx, resume_rx, rng_seed, tracer);
-                // The shutdown unwind raises ShutdownSignal from inside
-                // wait_start/recv/delay; catch it here so the thread exits
-                // quietly. Genuine panics are reported back to the scheduler.
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    ctx.wait_start();
-                    f(&mut ctx);
-                }));
-                match result {
-                    Ok(()) => ctx.exit(None),
-                    Err(payload) => {
-                        if payload.downcast_ref::<ShutdownSignal>().is_none() {
-                            let msg = panic_message(&*payload);
-                            ctx.exit(Some(msg));
+        let body = match self.engine {
+            Engine::RunToCompletion => Body::Pending { f: Some(f) },
+            Engine::Threaded => {
+                let resume = ResumeSlot::new();
+                let resume_proc = Arc::clone(&resume);
+                let syscall_tx = self.syscall_tx.clone();
+                let rng_seed = mix_seed(self.seed, pid.0);
+                let tracer = self.tracer.clone();
+                let serial = THREAD_SERIAL.fetch_add(1, Ordering::Relaxed);
+                let thread_name = format!("parsim-{serial}-{name}");
+                let join = std::thread::Builder::new()
+                    .name(thread_name)
+                    .spawn(move || {
+                        let mut ctx =
+                            Ctx::new_thread(pid, node, syscall_tx, resume_proc, rng_seed, tracer);
+                        // The shutdown unwind raises ShutdownSignal from
+                        // inside wait_start/recv/delay; catch it here so the
+                        // thread exits quietly. Genuine panics are reported
+                        // back to the scheduler.
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            ctx.wait_start();
+                            f(&mut ctx);
+                        }));
+                        match result {
+                            Ok(()) => ctx.exit(None),
+                            Err(payload) => {
+                                if payload.downcast_ref::<ShutdownSignal>().is_none() {
+                                    let msg = panic_message(&*payload);
+                                    ctx.exit(Some(msg));
+                                }
+                            }
                         }
-                    }
+                    })
+                    .expect("failed to spawn simulation thread");
+                Body::Thread {
+                    resume,
+                    join: Some(join),
                 }
-            })
-            .expect("failed to spawn simulation thread");
+            }
+        };
         self.procs.push(ProcSlot {
             name,
             node,
-            resume_tx,
-            join: Some(join),
+            body,
             state: ProcState::Starting,
             mailbox: VecDeque::new(),
             wake_gen: 0,
@@ -357,6 +475,46 @@ impl Simulation {
         self.stats.spawned += 1;
         self.push_event(self.now, EventKind::Start { pid });
         pid
+    }
+
+    /// Wraps a pending run-to-completion body into its fiber. Called at
+    /// the process's start event, immediately before its first dispatch.
+    fn ensure_fiber(&mut self, pid: ProcId) {
+        if !matches!(self.procs[pid.index()].body, Body::Pending { .. }) {
+            return;
+        }
+        let rng_seed = mix_seed(self.seed, pid.0);
+        let tracer = self.tracer.clone();
+        let slot = &mut self.procs[pid.index()];
+        let node = slot.node;
+        let f = match &mut slot.body {
+            Body::Pending { f } => f.take().expect("pending body taken twice"),
+            _ => unreachable!("checked above"),
+        };
+        let body: fiber::FiberBody = Box::new(move |cell| {
+            let mut ctx = Ctx::new_fiber(pid, node, cell, rng_seed, tracer);
+            // Same unwind contract as the threaded engine: the shutdown
+            // unwind exits quietly, genuine panics carry their message
+            // back to the scheduler in the Exit syscall.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                ctx.wait_start();
+                f(&mut ctx);
+            }));
+            drop(ctx);
+            match result {
+                Ok(()) => Syscall::Exit { panic: None },
+                Err(payload) => {
+                    if payload.downcast_ref::<ShutdownSignal>().is_some() {
+                        Syscall::Exit { panic: None }
+                    } else {
+                        Syscall::Exit {
+                            panic: Some(panic_message(&*payload)),
+                        }
+                    }
+                }
+            }
+        });
+        slot.body = Body::Fiber(fiber::Fiber::new(fiber::DEFAULT_STACK_BYTES, body));
     }
 
     /// Runs until no events remain (all processes exited or are blocked
@@ -409,11 +567,21 @@ impl Simulation {
                 // without advancing the clock or counting an event.
                 if self.procs[pid.index()].wake_gen != gen {
                     self.stale_wakes -= 1;
+                    self.stats.wakes_elided += 1;
                     continue;
                 }
             }
             self.now = ev.time;
             self.stats.events += 1;
+            if self.last_event_time == Some(ev.time) {
+                self.ready_run += 1;
+            } else {
+                self.last_event_time = Some(ev.time);
+                self.ready_run = 1;
+            }
+            if self.ready_run > self.stats.ready_peak {
+                self.stats.ready_peak = self.ready_run;
+            }
             match ev.kind {
                 EventKind::Start { pid } => {
                     debug_assert_eq!(self.procs[pid.index()].state, ProcState::Starting);
@@ -422,8 +590,8 @@ impl Simulation {
                             self.tracer.flow_recv(flow, parent, pid, self.now);
                         }
                     }
-                    self.resume(pid, Resume::Go { now: self.now });
-                    self.run_process(pid);
+                    self.ensure_fiber(pid);
+                    self.dispatch(pid, Resume::Go { now: self.now });
                 }
                 EventKind::Deliver { dst, env } => {
                     // Outage windows act at delivery time, so one window
@@ -467,8 +635,7 @@ impl Simulation {
                                 self.stale_wakes += 1;
                             }
                             slot.wake_gen += 1;
-                            self.resume(dst, Resume::Msg { env, now: self.now });
-                            self.run_process(dst);
+                            self.dispatch(dst, Resume::Msg { env, now: self.now });
                         }
                         ProcState::Dead => { /* dropped on the floor */ }
                         ProcState::Starting | ProcState::BlockedDelay => {
@@ -484,12 +651,10 @@ impl Simulation {
                     debug_assert_eq!(slot.wake_gen, gen, "stale wakes are pre-filtered");
                     match slot.state {
                         ProcState::BlockedDelay => {
-                            self.resume(pid, Resume::Go { now: self.now });
-                            self.run_process(pid);
+                            self.dispatch(pid, Resume::Go { now: self.now });
                         }
                         ProcState::BlockedRecvTimeout => {
-                            self.resume(pid, Resume::Timeout { now: self.now });
-                            self.run_process(pid);
+                            self.dispatch(pid, Resume::Timeout { now: self.now });
                         }
                         _ => { /* stale */ }
                     }
@@ -502,19 +667,6 @@ impl Simulation {
         }
     }
 
-    fn resume(&mut self, pid: ProcId, r: Resume) {
-        let slot = &mut self.procs[pid.index()];
-        slot.state = ProcState::Running;
-        // A run interval opens when the process leaves a receive wait (or
-        // starts); a delay wake-up resumes the interval already open.
-        if slot.run_started.is_none() {
-            slot.run_started = Some(self.now);
-        }
-        slot.resume_tx
-            .send(r)
-            .expect("process thread terminated without Exit");
-    }
-
     /// Closes `pid`'s run interval (if open) and reports it to the tracer.
     fn trace_run_end(&mut self, pid: ProcId) {
         if let Some(start) = self.procs[pid.index()].run_started.take() {
@@ -524,14 +676,56 @@ impl Simulation {
         }
     }
 
-    /// Services syscalls from `pid` until it blocks or exits.
-    fn run_process(&mut self, pid: ProcId) {
+    /// Hands `r` to the process (if any is due) and returns the next
+    /// syscall it issues: a fiber switch pair under run-to-completion, a
+    /// resume-slot put plus a channel receive under the threaded engine
+    /// (where fire-and-forget posts need no resume at all — the process
+    /// runs ahead).
+    fn deliver(&mut self, pid: ProcId, r: Option<Resume>) -> Syscall {
+        let resume = match &mut self.procs[pid.index()].body {
+            Body::Fiber(fib) => {
+                let (sc, finished) = fib.resume(r.unwrap_or(Resume::Continue));
+                debug_assert_eq!(
+                    finished,
+                    matches!(sc, Syscall::Exit { .. }),
+                    "a fiber's final switch carries exactly its Exit"
+                );
+                return sc;
+            }
+            Body::Thread { resume, .. } => Arc::clone(resume),
+            Body::Pending { .. } | Body::Done => {
+                unreachable!("dispatch to a process with no runnable body")
+            }
+        };
+        if let Some(r) = r {
+            resume.put(r);
+        }
+        let (from, sc) = self
+            .syscall_rx
+            .recv()
+            .expect("syscall channel closed while a process was running");
+        debug_assert_eq!(from, pid, "syscall from a process that is not running");
+        sc
+    }
+
+    /// Transfers control to `pid` carrying `first` (a start, message, or
+    /// timer wake-up) and services its syscalls until it blocks or exits.
+    fn dispatch(&mut self, pid: ProcId, first: Resume) {
+        {
+            let slot = &mut self.procs[pid.index()];
+            slot.state = ProcState::Running;
+            // A run interval opens when the process leaves a receive wait
+            // (or starts); a delay wake-up resumes the interval already
+            // open.
+            if slot.run_started.is_none() {
+                slot.run_started = Some(self.now);
+            }
+        }
+        self.stats.dispatches += 1;
+        let mut carry = Some(first);
         loop {
-            let (from, sc) = self
-                .syscall_rx
-                .recv()
-                .expect("syscall channel closed while a process was running");
-            debug_assert_eq!(from, pid, "syscall from a process that is not running");
+            let sc = self.deliver(pid, carry.take());
+            self.stats.syscalls += 1;
             match sc {
                 Syscall::Post {
                     dst,
@@ -626,12 +820,7 @@ impl Simulation {
                         }
                     }
                 }
-                Syscall::Spawn {
-                    node,
-                    name,
-                    f,
-                    reply,
-                } => {
+                Syscall::Spawn { node, name, f } => {
                     let child = self.spawn_boxed(node, name, f);
                     // Spawn edges carry a flow so the trace's causality
                     // graph reaches the child from its parent. The id is
@@ -643,16 +832,13 @@ impl Simulation {
                         self.tracer.flow_send(flow, pid, child, self.now, 0);
                         self.procs[child.index()].start_flow = Some((pid, flow));
                     }
-                    reply
-                        .send(child)
-                        .expect("spawning process vanished mid-spawn");
+                    carry = Some(Resume::Spawned(child));
                 }
                 Syscall::BlockRecv => {
                     let slot = &mut self.procs[pid.index()];
                     if let Some(env) = slot.mailbox.pop_front() {
-                        slot.resume_tx
-                            .send(Resume::Msg { env, now: self.now })
-                            .expect("process thread terminated without Exit");
+                        self.stats.dispatches += 1;
+                        carry = Some(Resume::Msg { env, now: self.now });
                     } else {
                         slot.state = ProcState::BlockedRecv;
                         self.trace_run_end(pid);
@@ -662,9 +848,8 @@ impl Simulation {
                 Syscall::BlockRecvTimeout(d) => {
                     let slot = &mut self.procs[pid.index()];
                     if let Some(env) = slot.mailbox.pop_front() {
-                        slot.resume_tx
-                            .send(Resume::Msg { env, now: self.now })
-                            .expect("process thread terminated without Exit");
+                        self.stats.dispatches += 1;
+                        carry = Some(Resume::Msg { env, now: self.now });
                     } else {
                         slot.wake_gen += 1;
                         slot.state = ProcState::BlockedRecvTimeout;
@@ -686,6 +871,12 @@ impl Simulation {
                     self.trace_run_end(pid);
                     let slot = &mut self.procs[pid.index()];
                     slot.state = ProcState::Dead;
+                    // Free an exited fiber's stack eagerly — at p=1024 the
+                    // stacks are the dominant allocation. Thread bodies
+                    // keep their join handle for teardown.
+                    if matches!(slot.body, Body::Fiber(_)) {
+                        slot.body = Body::Done;
+                    }
                     if let Some(msg) = panic {
                         let name = slot.name.clone();
                         panic!("simulated process '{name}' ({pid}) panicked: {msg}");
@@ -724,13 +915,37 @@ impl Simulation {
 impl Drop for Simulation {
     fn drop(&mut self) {
         for slot in &mut self.procs {
-            if slot.state != ProcState::Dead {
-                let _ = slot.resume_tx.send(Resume::Shutdown);
+            if slot.state == ProcState::Dead {
+                continue;
+            }
+            match &mut slot.body {
+                Body::Thread { resume, .. } => resume.put(Resume::Shutdown),
+                Body::Fiber(fib) => {
+                    // Unwind the parked process on its own stack; its
+                    // final switch hands back the Exit syscall.
+                    let mut r = Resume::Shutdown;
+                    loop {
+                        let (sc, finished) = fib.resume(r);
+                        if finished {
+                            break;
+                        }
+                        // Only reachable if a destructor issued a syscall
+                        // mid-unwind: acknowledge posts (the message goes
+                        // nowhere), re-shutdown anything blocking.
+                        r = match sc {
+                            Syscall::Post { .. } => Resume::Continue,
+                            _ => Resume::Shutdown,
+                        };
+                    }
+                }
+                Body::Pending { .. } | Body::Done => {}
             }
         }
         for slot in &mut self.procs {
-            if let Some(join) = slot.join.take() {
-                let _ = join.join();
+            if let Body::Thread { join, .. } = &mut slot.body {
+                if let Some(join) = join.take() {
+                    let _ = join.join();
+                }
             }
         }
     }
@@ -740,6 +955,7 @@ impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
+            .field("engine", &self.engine)
             .field("nodes", &self.nodes.len())
             .field("processes", &self.procs.len())
             .field("pending_events", &self.events.len())

@@ -1,0 +1,181 @@
+//! Engine equivalence: the run-to-completion fiber engine and the
+//! threaded compatibility engine must produce bit-identical results — the
+//! same delivery transcripts (timestamps included), the same
+//! [`RunStats`], under plain runs, armed-and-fired timeouts, mid-run
+//! spawns, and active fault plans. Determinism is structural (both
+//! engines run the same process code against the same event order), and
+//! these tests pin it.
+
+use parsim::{
+    Ctx, Engine, FaultPlan, MsgFaults, RunStats, SimConfig, SimDuration, Simulation, UniformLatency,
+};
+use proptest::prelude::*;
+use rand::Rng;
+use std::sync::{Arc, Mutex};
+
+const ENGINES: [Engine; 2] = [Engine::RunToCompletion, Engine::Threaded];
+
+/// A kernel workout touching every syscall: `senders` processes send
+/// numbered messages (cloneable, so fault plans can duplicate them) to a
+/// hub draining with `recv_timeout`, each sender spawns a child mid-run,
+/// and think times come from per-process RNGs. Returns the hub's
+/// transcript and the run's counters.
+fn run_workload(
+    engine: Engine,
+    seed: u64,
+    senders: usize,
+    delays: &[u16],
+    faults: FaultPlan,
+) -> (Vec<(u64, u32, u32)>, RunStats) {
+    let mut sim = Simulation::new(SimConfig {
+        latency: Box::new(UniformLatency::default()),
+        seed,
+        tracer: None,
+        faults,
+        engine,
+    });
+    let nodes: Vec<_> = (0..senders.max(1))
+        .map(|i| sim.add_node(format!("n{i}")))
+        .collect();
+    let hub_node = sim.add_node("hub");
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    let sunk = trace.clone();
+    let hub = sim.spawn(hub_node, "hub", move |ctx| {
+        while let Some(env) = ctx.recv_timeout(SimDuration::from_millis(50)) {
+            let (who, k) = *env.downcast_ref::<(u32, u32)>().expect("sender payload");
+            sunk.lock().unwrap().push((ctx.now().as_nanos(), who, k));
+        }
+    });
+    let delays = delays.to_vec();
+    for (i, &node) in nodes.iter().enumerate().take(senders) {
+        let delays = delays.clone();
+        sim.spawn(node, format!("s{i}"), move |ctx: &mut Ctx| {
+            for (k, &d) in delays.iter().enumerate() {
+                ctx.delay(SimDuration::from_micros(u64::from(d)));
+                // Cloneable, so duplicate-delivery faults exercise their
+                // real path.
+                ctx.send_sized_cloneable(hub, (i as u32, k as u32), 64);
+            }
+            // A mid-run spawn: the child posts one tail message after a
+            // think time drawn from its own deterministic RNG.
+            let tail = delays.len() as u32;
+            let _child = ctx.spawn(node, format!("s{i}-child"), move |c: &mut Ctx| {
+                let jitter = u64::from(c.rng().random_range(0u16..500));
+                c.delay(SimDuration::from_micros(jitter));
+                c.send_sized_cloneable(hub, (i as u32, tail), 16);
+            });
+        });
+    }
+    sim.run();
+    let t = trace.lock().unwrap().clone();
+    (t, sim.stats())
+}
+
+fn lossy_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        msg: MsgFaults {
+            drop_per_mille: 80,
+            max_consecutive_drops: 3,
+            dup_per_mille: 60,
+            delay_per_mille: 60,
+            delay_max: SimDuration::from_millis(2),
+        },
+        ..FaultPlan::none()
+    }
+}
+
+#[test]
+fn engines_agree_on_fixed_seed_workload() {
+    let delays = [0u16, 13, 200, 7, 4999, 0, 42];
+    let fiber = run_workload(
+        Engine::RunToCompletion,
+        0xB71D6E,
+        5,
+        &delays,
+        FaultPlan::none(),
+    );
+    let thread = run_workload(Engine::Threaded, 0xB71D6E, 5, &delays, FaultPlan::none());
+    assert_eq!(fiber.0, thread.0, "delivery transcripts diverged");
+    assert_eq!(fiber.1, thread.1, "RunStats diverged");
+    assert!(fiber.1.dispatches > 0 && fiber.1.syscalls > fiber.1.dispatches);
+}
+
+#[test]
+fn engines_agree_under_faults() {
+    let delays = [3u16, 0, 77, 1200, 5];
+    let fiber = run_workload(Engine::RunToCompletion, 99, 4, &delays, lossy_plan(7));
+    let thread = run_workload(Engine::Threaded, 99, 4, &delays, lossy_plan(7));
+    assert_eq!(fiber.0, thread.0, "chaos transcripts diverged");
+    assert_eq!(fiber.1, thread.1, "RunStats diverged under faults");
+}
+
+#[test]
+fn engines_agree_on_panic_propagation() {
+    for engine in ENGINES {
+        let result = std::panic::catch_unwind(move || {
+            let mut sim = Simulation::new(SimConfig {
+                engine,
+                ..SimConfig::default()
+            });
+            let n = sim.add_node("n");
+            sim.spawn(n, "doomed", |ctx| {
+                ctx.delay(SimDuration::from_micros(5));
+                panic!("intentional test panic");
+            });
+            sim.run();
+        });
+        let msg = *result
+            .expect_err("simulated panic must propagate")
+            .downcast::<String>()
+            .expect("panic carries a message");
+        assert!(
+            msg.contains("doomed") && msg.contains("intentional test panic"),
+            "engine {engine:?}: unexpected panic message {msg:?}"
+        );
+    }
+}
+
+#[test]
+fn teardown_unwinds_blocked_processes_on_both_engines() {
+    for engine in ENGINES {
+        let mut sim = Simulation::new(SimConfig {
+            engine,
+            ..SimConfig::default()
+        });
+        let n = sim.add_node("n");
+        // A server blocked forever in recv, and one parked in a delay:
+        // dropping the simulation must unwind both without hanging or
+        // leaking (fiber stacks are freed by the unwind; threads join).
+        sim.spawn(n, "receiver", |ctx| {
+            let _ = ctx.recv();
+            unreachable!("no message ever arrives");
+        });
+        sim.spawn(n, "sleeper", |ctx| {
+            ctx.delay(SimDuration::from_secs(3600));
+        });
+        sim.run_until(parsim::SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(sim.live_processes(), 2);
+        drop(sim);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Property form: arbitrary seeds/workloads, with and without faults,
+    /// produce identical transcripts and counters on both engines.
+    #[test]
+    fn engines_bit_identical(
+        seed in any::<u64>(),
+        senders in 1usize..5,
+        delays in proptest::collection::vec(0u16..5000, 1..12),
+        faulty in any::<bool>(),
+    ) {
+        let plan = if faulty { lossy_plan(seed ^ 0x5eed) } else { FaultPlan::none() };
+        let fiber = run_workload(Engine::RunToCompletion, seed, senders, &delays, plan.clone());
+        let thread = run_workload(Engine::Threaded, seed, senders, &delays, plan);
+        prop_assert_eq!(fiber.0, thread.0);
+        prop_assert_eq!(fiber.1, thread.1);
+    }
+}

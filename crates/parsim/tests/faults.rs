@@ -12,6 +12,7 @@ fn sim_with_plan(faults: FaultPlan) -> Simulation {
         seed: 7,
         tracer: None,
         faults,
+        engine: parsim::Engine::auto(),
     })
 }
 
@@ -137,6 +138,7 @@ fn down_outage_loses_in_window_messages() {
             }],
             ..FaultPlan::none()
         },
+        engine: parsim::Engine::auto(),
     });
     let node = sim.add_node("n");
     let peer = sim.add_node("peer");
@@ -173,6 +175,7 @@ fn paused_outage_defers_in_order_to_window_end() {
             }],
             ..FaultPlan::none()
         },
+        engine: parsim::Engine::auto(),
     });
     let node = sim.add_node("n");
     let peer = sim.add_node("peer");
@@ -225,6 +228,7 @@ fn none_plan_matches_a_config_without_faults() {
             seed: 42,
             tracer: None,
             faults,
+            engine: parsim::Engine::auto(),
         });
         let nodes = sim.add_nodes("n", 3);
         let hub = sim.spawn(nodes[0], "hub", |ctx| {

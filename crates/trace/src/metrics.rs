@@ -3,7 +3,7 @@
 //! bench reports.
 
 use crate::collect::TraceData;
-use parsim::{SimDuration, SimTime};
+use parsim::{RunStats, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -253,6 +253,10 @@ pub struct Metrics {
     /// Fault-injection and timeout/retry recovery statistics (all zero
     /// when the run was fault-free).
     pub retry: RetryMetrics,
+    /// Engine-level kernel counters, attached via
+    /// [`Metrics::with_kernel`] (traces do not carry them). `None` when
+    /// the caller only had the trace.
+    pub kernel: Option<RunStats>,
     /// The trace's end time (denominator of utilization).
     pub end_time: SimTime,
 }
@@ -308,6 +312,15 @@ impl Metrics {
         m
     }
 
+    /// Attaches the simulation's [`RunStats`] so [`Metrics::render`] can
+    /// report the engine-level costs (dispatches, serviced syscalls,
+    /// elided timer wakes, peak ready-set depth) next to the
+    /// trace-derived counters.
+    pub fn with_kernel(mut self, stats: RunStats) -> Metrics {
+        self.kernel = Some(stats);
+        self
+    }
+
     /// Number of spans recorded under `name`.
     pub fn count(&self, name: &str) -> u64 {
         self.latency.get(name).map(Histogram::count).unwrap_or(0)
@@ -348,6 +361,19 @@ impl Metrics {
             "  messages: {} sends, {} payload bytes",
             self.msg_sends, self.msg_bytes
         );
+        if let Some(k) = &self.kernel {
+            let _ = writeln!(
+                out,
+                "  engine: {} events, {} dispatches, {} syscalls, \
+                 {} wakes elided, ready peak {}, queue high water {}",
+                k.events,
+                k.dispatches,
+                k.syscalls,
+                k.wakes_elided,
+                k.ready_peak,
+                k.queue_high_water
+            );
+        }
         if self.queue.wait.count() > 0 {
             let _ = writeln!(
                 out,
@@ -599,5 +625,24 @@ mod tests {
         let m = Metrics::from_trace(&TraceData::default());
         assert_eq!(m.count("anything"), 0);
         assert!(m.render().contains("trace metrics"));
+    }
+
+    #[test]
+    fn kernel_counters_render_when_attached() {
+        let without = Metrics::from_trace(&TraceData::default());
+        assert!(!without.render().contains("engine:"));
+        let stats = parsim::RunStats {
+            events: 9,
+            dispatches: 9,
+            syscalls: 21,
+            wakes_elided: 4,
+            ready_peak: 3,
+            queue_high_water: 5,
+            ..parsim::RunStats::default()
+        };
+        let with = Metrics::from_trace(&TraceData::default()).with_kernel(stats);
+        let rendered = with.render();
+        assert!(rendered.contains("engine: 9 events, 9 dispatches, 21 syscalls"));
+        assert!(rendered.contains("4 wakes elided, ready peak 3, queue high water 5"));
     }
 }

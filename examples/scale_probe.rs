@@ -1,0 +1,85 @@
+//! The >32-processor scaling curves (EXPERIMENTS.md §A12): copy and
+//! merge-sort the paper's 10 240-record file on machines far past the
+//! largest Butterfly the paper measured, and report where Bridge-the-
+//! design stops scaling. Runs on the run-to-completion engine — a p=1024
+//! machine simulates in seconds; it was intractable on one-OS-thread-
+//! per-process.
+//!
+//! ```text
+//! cargo run --release --example scale_probe -- [blocks] [p ...]
+//! ```
+//!
+//! Defaults: the paper's 10 240 blocks at p ∈ {32, 64, 128, 256, 512,
+//! 1024}.
+
+use bridge_bench::{records_per_second, write_workload};
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine};
+use bridge_tools::{copy, sort, SortOptions, SortStats, ToolOptions};
+use parsim::SimDuration;
+use std::time::Instant;
+
+fn build(p: u32) -> (parsim::Simulation, BridgeMachine) {
+    BridgeMachine::build(&BridgeConfig::paper(p))
+}
+
+fn run_copy(p: u32, blocks: u64) -> (SimDuration, u64, f64) {
+    let t0 = Instant::now();
+    let (mut sim, machine) = build(p);
+    let server = machine.server;
+    let elapsed = sim.block_on(machine.frontend, "probe", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let src = write_workload(ctx, &mut bridge, blocks, 42);
+        let (_, stats) = copy(ctx, &mut bridge, src, &ToolOptions::default()).expect("copy");
+        assert_eq!(stats.blocks, blocks);
+        stats.elapsed
+    });
+    (elapsed, sim.stats().events, t0.elapsed().as_secs_f64())
+}
+
+fn run_sort(p: u32, blocks: u64) -> (SortStats, f64) {
+    let t0 = Instant::now();
+    let (mut sim, machine) = build(p);
+    let server = machine.server;
+    let stats = sim.block_on(machine.frontend, "probe", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let src = write_workload(ctx, &mut bridge, blocks, 7);
+        let (out, stats) = sort(ctx, &mut bridge, src, &SortOptions::default()).expect("sort");
+        assert_eq!(bridge.open(ctx, out).expect("open").size, blocks);
+        stats
+    });
+    (stats, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let blocks = args.first().copied().unwrap_or(10 * 1024);
+    let ps: Vec<u32> = if args.len() > 1 {
+        args[1..].iter().map(|&p| p as u32).collect()
+    } else {
+        vec![32, 64, 128, 256, 512, 1024]
+    };
+
+    println!("## Scaling curves past p = 32 — {blocks}-record file\n");
+    println!(
+        "| p | Copy (virtual) | Copy rec/s | Sort local | Sort merge | Sort total | Host wall | Events |"
+    );
+    println!(
+        "|---|----------------|------------|------------|------------|------------|-----------|--------|"
+    );
+    for &p in &ps {
+        let (copy_t, events, copy_wall) = run_copy(p, blocks);
+        let (sort_stats, sort_wall) = run_sort(p, blocks);
+        println!(
+            "| {p} | {:.1} s | {:.0} | {:.1} s | {:.1} s | {:.1} s | {:.1} s | {events} |",
+            copy_t.as_secs_f64(),
+            records_per_second(blocks, copy_t),
+            sort_stats.local_sort.as_secs_f64(),
+            sort_stats.merge.as_secs_f64(),
+            sort_stats.total.as_secs_f64(),
+            copy_wall + sort_wall,
+        );
+    }
+}

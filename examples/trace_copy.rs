@@ -56,7 +56,10 @@ fn main() -> ExitCode {
         data.spans.len(),
         data.flows.len()
     );
-    print!("{}", Metrics::from_trace(&data).render());
+    print!(
+        "{}",
+        Metrics::from_trace(&data).with_kernel(sim.stats()).render()
+    );
 
     // Export + validate the Chrome trace.
     let json = chrome_trace_json(&data);
