@@ -11,7 +11,7 @@ use parsim::{
     Engine, FaultPlan, NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle,
     UniformLatency,
 };
-use simdisk::{DiskFaultState, DiskGeometry, DiskProfile, SchedConfig, SimDisk};
+use simdisk::{CrashSchedule, DiskFaultState, DiskGeometry, DiskProfile, SchedConfig, SimDisk};
 
 /// Everything needed to stand up a Bridge machine.
 #[derive(Debug, Clone)]
@@ -124,6 +124,18 @@ impl BridgeConfig {
         self.engine = engine;
         self
     }
+
+    /// `self` with the standard per-LFS write-ahead log
+    /// ([`WalConfig::standard`](bridge_efs::WalConfig::standard)): every
+    /// mutating operation's intent record is group-committed to a log
+    /// ring on the node's own disk before the operation is acknowledged,
+    /// which is what makes crash faults
+    /// ([`CrashAt`](parsim::CrashAt)) survivable without losing
+    /// acknowledged writes.
+    pub fn with_wal(mut self) -> Self {
+        self.efs.wal = bridge_efs::WalConfig::standard();
+        self
+    }
 }
 
 impl Default for BridgeConfig {
@@ -195,6 +207,7 @@ impl BridgeMachine {
                 config.faults.seed,
                 i,
             ));
+            disk.schedule_crashes(CrashSchedule::from_plan(&config.faults.crashes, i));
             let efs = Efs::format(disk, config.efs);
             let proc = spawn_lfs_sched(sim, node, format!("lfs{i}"), efs, config.sched);
             agents.push(spawn_bridge_agent(

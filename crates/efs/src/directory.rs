@@ -98,6 +98,29 @@ impl Directory {
         }
     }
 
+    /// The bucket region as `(start block, bucket count)` — what a fresh
+    /// [`Directory::new`] needs to re-cover the same region after a crash.
+    pub(crate) fn region(&self) -> (u32, u32) {
+        (self.start, self.buckets)
+    }
+
+    /// Number of bucket blocks.
+    pub(crate) fn bucket_count(&self) -> u32 {
+        self.buckets
+    }
+
+    /// Loads bucket `bucket` (timed when cold, cached when warm) and
+    /// returns its entries — the fsck scan's unit of pipelining.
+    pub(crate) fn load_bucket(
+        &mut self,
+        ctx: &mut Ctx,
+        disk: &mut dyn BlockDevice,
+        bucket: u32,
+    ) -> Result<Vec<DirEntry>, EfsError> {
+        self.load(ctx, disk, bucket)?;
+        Ok(self.cache[&bucket].entries.clone())
+    }
+
     /// Formats the bucket region with empty buckets (raw, untimed).
     pub(crate) fn format(&self, disk: &mut dyn BlockDevice) {
         let empty = Bucket::default().encode();
@@ -230,6 +253,136 @@ impl Directory {
         *slot = entry;
         self.dirty.insert(bucket, true);
         Ok(())
+    }
+
+    /// Adds a new entry in memory only, marking the bucket dirty (WAL
+    /// mode: membership is made durable by the log record at commit and
+    /// the bucket itself at the next checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::FileExists`] or [`EfsError::DirectoryFull`].
+    pub(crate) fn insert_deferred(
+        &mut self,
+        ctx: &mut Ctx,
+        disk: &mut dyn BlockDevice,
+        entry: DirEntry,
+    ) -> Result<(), EfsError> {
+        let bucket = self.bucket_of(entry.file);
+        self.load(ctx, disk, bucket)?;
+        let b = self.cache.get_mut(&bucket).expect("just loaded");
+        if b.entries.iter().any(|e| e.file == entry.file) {
+            return Err(EfsError::FileExists(entry.file));
+        }
+        if b.entries.len() >= BUCKET_CAPACITY {
+            return Err(EfsError::DirectoryFull { bucket });
+        }
+        b.entries.push(entry);
+        self.dirty.insert(bucket, true);
+        Ok(())
+    }
+
+    /// Removes a file's entry in memory only, marking the bucket dirty
+    /// (WAL mode counterpart of [`Directory::remove`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::UnknownFile`] if absent.
+    pub(crate) fn remove_deferred(
+        &mut self,
+        ctx: &mut Ctx,
+        disk: &mut dyn BlockDevice,
+        file: LfsFileId,
+    ) -> Result<DirEntry, EfsError> {
+        let bucket = self.bucket_of(file);
+        self.load(ctx, disk, bucket)?;
+        let b = self.cache.get_mut(&bucket).expect("just loaded");
+        let pos = b
+            .entries
+            .iter()
+            .position(|e| e.file == file)
+            .ok_or(EfsError::UnknownFile(file))?;
+        let entry = b.entries.remove(pos);
+        self.dirty.insert(bucket, true);
+        Ok(entry)
+    }
+
+    /// Loads a bucket from the raw disk image (untimed; recovery/fsck).
+    fn load_raw(&mut self, disk: &dyn BlockDevice, bucket: u32) -> Result<(), EfsError> {
+        if self.cache.contains_key(&bucket) {
+            return Ok(());
+        }
+        let decoded = match disk.read_raw(self.addr_of_bucket(bucket)) {
+            Some(bytes) => Bucket::decode(bytes)?,
+            None => Bucket::default(),
+        };
+        self.cache.insert(bucket, decoded);
+        Ok(())
+    }
+
+    /// Upserts an entry to an absolute state (untimed; recovery replay —
+    /// idempotent, so replaying a record twice is harmless).
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::Corrupt`] if the bucket fails to decode,
+    /// [`EfsError::DirectoryFull`] if a fresh entry cannot fit.
+    pub(crate) fn set_absolute(
+        &mut self,
+        disk: &dyn BlockDevice,
+        entry: DirEntry,
+    ) -> Result<(), EfsError> {
+        let bucket = self.bucket_of(entry.file);
+        self.load_raw(disk, bucket)?;
+        let b = self.cache.get_mut(&bucket).expect("just loaded");
+        match b.entries.iter_mut().find(|e| e.file == entry.file) {
+            Some(slot) => *slot = entry,
+            None => {
+                if b.entries.len() >= BUCKET_CAPACITY {
+                    return Err(EfsError::DirectoryFull { bucket });
+                }
+                b.entries.push(entry);
+            }
+        }
+        self.dirty.insert(bucket, true);
+        Ok(())
+    }
+
+    /// Removes an entry if present (untimed; recovery replay —
+    /// idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::Corrupt`] if the bucket fails to decode.
+    pub(crate) fn remove_absolute(
+        &mut self,
+        disk: &dyn BlockDevice,
+        file: LfsFileId,
+    ) -> Result<(), EfsError> {
+        let bucket = self.bucket_of(file);
+        self.load_raw(disk, bucket)?;
+        let b = self.cache.get_mut(&bucket).expect("just loaded");
+        if let Some(pos) = b.entries.iter().position(|e| e.file == file) {
+            b.entries.remove(pos);
+            self.dirty.insert(bucket, true);
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty cached bucket to the raw disk image (untimed;
+    /// end of recovery, before the fresh checkpoint record).
+    pub(crate) fn flush_raw(&mut self, disk: &mut dyn BlockDevice) {
+        let mut dirty: Vec<u32> = self
+            .dirty
+            .iter()
+            .filter_map(|(&b, &d)| d.then_some(b))
+            .collect();
+        dirty.sort_unstable();
+        for bucket in dirty {
+            let bytes = self.cache[&bucket].encode();
+            disk.write_raw(self.addr_of_bucket(bucket), &bytes);
+            self.dirty.insert(bucket, false);
+        }
     }
 
     /// Writes back all dirty buckets.

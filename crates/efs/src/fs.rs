@@ -12,15 +12,17 @@ use crate::cache::{LinkCache, LinkInfo};
 use crate::directory::{DirEntry, Directory};
 use crate::error::EfsError;
 use crate::layout::{
-    decode_block, decode_header, encode_block, encode_free_block, is_free_block, EfsHeader,
-    LfsFileId, EFS_PAYLOAD,
+    decode_block, decode_header, encode_block, is_free_block, EfsHeader, LfsFileId,
+    EFS_HEADER_SIZE, EFS_PAYLOAD,
 };
+use crate::wal::{scan_and_resume, RecoveredOp, Wal, WalConfig, WalRecord};
 use bytes::{Buf, BufMut, Bytes};
 use parsim::{Ctx, SimDuration};
 use simdisk::{BlockAddr, BlockDevice, SimDisk};
+use std::collections::HashMap;
 
 const SUPERBLOCK_MAGIC: u32 = 0xB21D_6EF5;
-const SUPERBLOCK_VERSION: u32 = 1;
+const SUPERBLOCK_VERSION: u32 = 2;
 
 /// Tuning knobs for one EFS instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +35,9 @@ pub struct EfsConfig {
     /// threading a request through the server; the paper's Table 2
     /// constants include this).
     pub cpu_per_request: SimDuration,
+    /// Write-ahead log configuration (disabled by default; see
+    /// [`WalConfig`]).
+    pub wal: WalConfig,
 }
 
 impl Default for EfsConfig {
@@ -41,6 +46,7 @@ impl Default for EfsConfig {
             dir_buckets: 128,
             link_cache_capacity: 256,
             cpu_per_request: SimDuration::from_millis(5),
+            wal: WalConfig::disabled(),
         }
     }
 }
@@ -77,7 +83,7 @@ pub struct EfsStats {
     pub hint_probes: u64,
 }
 
-/// Result of an offline consistency check ([`Efs::fsck`]).
+/// Result of a consistency check ([`Efs::fsck`] / [`Efs::fsck_timed`]).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FsckReport {
     /// Files found in the directory.
@@ -86,6 +92,23 @@ pub struct FsckReport {
     pub blocks: u32,
     /// Inconsistencies found (empty means clean).
     pub errors: Vec<String>,
+    /// Inconsistencies repaired (repair mode only).
+    pub repaired: u32,
+}
+
+/// A corruption a test or CI smoke step can plant with
+/// [`Efs::seed_corruption`], for exercising [`Efs::fsck_timed`] repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Clobber the last block of the largest file: a torn tail the check
+    /// must truncate away.
+    TornTail,
+    /// Mark a free block allocated with no file referencing it: the check
+    /// must return it to the allocator.
+    OrphanBlock,
+    /// Plant a directory entry whose first block is garbage: the check
+    /// must drop the dangling entry.
+    DanglingEntry,
 }
 
 /// One Elementary File System instance over one block device (a plain
@@ -102,22 +125,36 @@ pub struct Efs<D: BlockDevice = SimDisk> {
     data_start: u32,
     bitmap_start: u32,
     bitmap_blocks: u32,
+    wal_start: u32,
+    wal_blocks: u32,
+    wal: Option<Wal>,
+    /// In-memory shadow of every file's block chain, in block order.
+    /// Maintained by create/append/delete and rebuilt from raw chain
+    /// walks at mount/recovery; this is what makes Delete O(1) in disk
+    /// operations — the addresses to free are already known.
+    chains: HashMap<LfsFileId, Vec<BlockAddr>>,
+    /// (client process index, request id) of the request being served,
+    /// echoed into WAL records so recovery can reconstruct the reply.
+    req: (u32, u64),
 }
 
 struct Layout {
     dir_start: u32,
     bitmap_start: u32,
     bitmap_blocks: u32,
+    wal_start: u32,
+    wal_blocks: u32,
     data_start: u32,
 }
 
-fn layout_for(disk: &dyn BlockDevice, dir_buckets: u32) -> Layout {
+fn layout_for(disk: &dyn BlockDevice, dir_buckets: u32, wal_blocks: u32) -> Layout {
     let capacity = disk.capacity_blocks();
     let bits_per_block = (disk.geometry().block_size * 8) as u32;
     let dir_start = 1;
     let bitmap_start = dir_start + dir_buckets;
     let bitmap_blocks = capacity.div_ceil(bits_per_block);
-    let data_start = bitmap_start + bitmap_blocks;
+    let wal_start = bitmap_start + bitmap_blocks;
+    let data_start = wal_start + wal_blocks;
     assert!(
         data_start < capacity,
         "disk too small for metadata ({data_start} metadata blocks, {capacity} total)"
@@ -126,6 +163,8 @@ fn layout_for(disk: &dyn BlockDevice, dir_buckets: u32) -> Layout {
         dir_start,
         bitmap_start,
         bitmap_blocks,
+        wal_start,
+        wal_blocks,
         data_start,
     }
 }
@@ -134,7 +173,7 @@ impl<D: BlockDevice> Efs<D> {
     /// Formats `disk` and returns a fresh file system. Formatting is
     /// untimed (it happens before the machine "boots").
     pub fn format(mut disk: D, config: EfsConfig) -> Self {
-        let layout = layout_for(&disk, config.dir_buckets);
+        let layout = layout_for(&disk, config.dir_buckets, config.wal.log_blocks);
         let capacity = disk.capacity_blocks();
 
         let dir = Directory::new(layout.dir_start, config.dir_buckets);
@@ -153,9 +192,19 @@ impl<D: BlockDevice> Efs<D> {
         sb.put_u32_le(layout.bitmap_blocks);
         sb.put_u32_le(layout.data_start);
         sb.put_u32_le(capacity);
+        sb.put_u32_le(layout.wal_start);
+        sb.put_u32_le(layout.wal_blocks);
         sb.resize(block_size, 0);
         disk.write_raw(BlockAddr::new(0), &sb);
 
+        let wal = config.wal.is_enabled().then(|| {
+            Wal::format(
+                &mut disk,
+                layout.wal_start,
+                layout.wal_blocks,
+                config.wal.group_commit,
+            )
+        });
         let mut efs = Efs {
             disk,
             config,
@@ -166,6 +215,11 @@ impl<D: BlockDevice> Efs<D> {
             data_start: layout.data_start,
             bitmap_start: layout.bitmap_start,
             bitmap_blocks: layout.bitmap_blocks,
+            wal_start: layout.wal_start,
+            wal_blocks: layout.wal_blocks,
+            wal,
+            chains: HashMap::new(),
+            req: (0, 0),
         };
         efs.write_bitmap_raw();
         efs
@@ -200,6 +254,8 @@ impl<D: BlockDevice> Efs<D> {
         let bitmap_blocks = buf.get_u32_le();
         let data_start = buf.get_u32_le();
         let capacity = buf.get_u32_le();
+        let wal_start = buf.get_u32_le();
+        let wal_blocks = buf.get_u32_le();
         if capacity != disk.capacity_blocks() {
             return Err(EfsError::Corrupt(
                 "superblock capacity disagrees with device".into(),
@@ -228,7 +284,7 @@ impl<D: BlockDevice> Efs<D> {
             }
         }
 
-        Ok(Efs {
+        let mut efs = Efs {
             dir: Directory::new(dir_start, dir_buckets),
             alloc,
             links: LinkCache::new(config.link_cache_capacity),
@@ -236,9 +292,24 @@ impl<D: BlockDevice> Efs<D> {
             data_start,
             bitmap_start,
             bitmap_blocks,
+            wal_start,
+            wal_blocks,
+            wal: None,
+            chains: HashMap::new(),
+            req: (0, 0),
             disk,
             config,
-        })
+        };
+        if wal_blocks > 0 {
+            // A WAL-formatted disk mounts through the recovery path: any
+            // committed-but-unapplied records are replayed, and the
+            // allocator is rebuilt from reachability rather than the
+            // (possibly stale) persisted bitmap.
+            efs.recover()?;
+        } else {
+            efs.rebuild_chains_raw();
+        }
+        Ok(efs)
     }
 
     /// This instance's configuration.
@@ -284,23 +355,30 @@ impl<D: BlockDevice> Efs<D> {
         ctx.delay(self.config.cpu_per_request);
     }
 
-    /// Creates an empty file.
+    /// Creates an empty file. With a WAL, the directory entry stays in
+    /// memory until the intent record commits (and is persisted at the
+    /// next checkpoint); without one it is written through.
     ///
     /// # Errors
     ///
     /// [`EfsError::FileExists`] or [`EfsError::DirectoryFull`].
     pub fn create(&mut self, ctx: &mut Ctx, file: LfsFileId) -> Result<(), EfsError> {
         self.charge_cpu(ctx);
-        self.dir.insert(
-            ctx,
-            &mut self.disk,
-            DirEntry {
-                file,
-                first: BlockAddr::new(0),
-                last: BlockAddr::new(0),
-                size: 0,
-            },
-        )
+        let entry = DirEntry {
+            file,
+            first: BlockAddr::new(0),
+            last: BlockAddr::new(0),
+            size: 0,
+        };
+        if let Some(wal) = self.wal.as_mut() {
+            self.dir.insert_deferred(ctx, &mut self.disk, entry)?;
+            let (client, id) = self.req;
+            wal.log(WalRecord::Create { client, id, file });
+        } else {
+            self.dir.insert(ctx, &mut self.disk, entry)?;
+        }
+        self.chains.insert(file, Vec::new());
+        Ok(())
     }
 
     /// File metadata; the returned addresses make good hints.
@@ -391,18 +469,22 @@ impl<D: BlockDevice> Efs<D> {
             .dir
             .lookup(ctx, &mut self.disk, file)?
             .ok_or(EfsError::UnknownFile(file))?;
-        match block_no.cmp(&entry.size) {
-            std::cmp::Ordering::Less => self.overwrite(ctx, &entry, block_no, payload, hint),
+        let addr = match block_no.cmp(&entry.size) {
+            std::cmp::Ordering::Less => self.overwrite(ctx, &entry, block_no, payload, hint)?,
             std::cmp::Ordering::Equal => {
                 self.stats.appends += 1;
-                self.append(ctx, entry, payload)
+                self.append(ctx, entry, payload)?
             }
-            std::cmp::Ordering::Greater => Err(EfsError::WriteBeyondEnd {
-                file,
-                block_no,
-                size: entry.size,
-            }),
-        }
+            std::cmp::Ordering::Greater => {
+                return Err(EfsError::WriteBeyondEnd {
+                    file,
+                    block_no,
+                    size: entry.size,
+                })
+            }
+        };
+        self.log_set_chain(ctx, file, false, vec![addr])?;
+        Ok(addr)
     }
 
     /// Reads `count` consecutive local blocks starting at `first` in one
@@ -535,7 +617,9 @@ impl<D: BlockDevice> Efs<D> {
             });
         }
         if first == entry.size {
-            return self.append_run(ctx, entry, payloads);
+            let addrs = self.append_run(ctx, entry, payloads)?;
+            self.log_set_chain(ctx, file, true, addrs.clone())?;
+            return Ok(addrs);
         }
         // The run overwrites existing blocks (and possibly appends past
         // the end): block-at-a-time, but still one message and one CPU
@@ -558,40 +642,118 @@ impl<D: BlockDevice> Efs<D> {
             hint = Some(addr);
             addrs.push(addr);
         }
+        self.log_set_chain(ctx, file, true, addrs.clone())?;
         Ok(addrs)
     }
 
-    /// Deletes a file, sequentially freeing every block — the Cronus
-    /// resiliency remnant that makes Delete O(size): "a file deletion
-    /// algorithm that traverses the file sequentially, explicitly freeing
-    /// each block". Returns the number of blocks freed.
+    /// Deletes a file as a logical free: one directory-bucket operation
+    /// and an in-memory allocator update. This retires the Cronus
+    /// resiliency remnant ("a file deletion algorithm that traverses the
+    /// file sequentially, explicitly freeing each block") — the block
+    /// addresses come from the in-memory chain shadow, so Delete is O(1)
+    /// in disk operations regardless of file size, and an interrupted
+    /// delete can no longer leave a half-tombstoned file. With a WAL the
+    /// free is made durable by the logged record; without one the
+    /// directory write-through removes the file and the bitmap catches up
+    /// at [`Efs::sync`], exactly as appends already did. Returns the
+    /// number of blocks freed.
     ///
     /// # Errors
     ///
-    /// [`EfsError::UnknownFile`] or [`EfsError::Corrupt`].
+    /// [`EfsError::UnknownFile`].
     pub fn delete(&mut self, ctx: &mut Ctx, file: LfsFileId) -> Result<u32, EfsError> {
         self.charge_cpu(ctx);
-        let entry = self.dir.remove(ctx, &mut self.disk, file)?;
-        let mut addr = entry.first;
-        let tombstone = encode_free_block();
-        for block_no in 0..entry.size {
-            let (header, _) = self.read_and_check(ctx, addr, file, block_no)?;
-            self.disk.write(ctx, addr, &tombstone)?;
+        let entry = if self.wal.is_some() {
+            self.dir.remove_deferred(ctx, &mut self.disk, file)?
+        } else {
+            self.dir.remove(ctx, &mut self.disk, file)?
+        };
+        let chain = self.chains.remove(&file).unwrap_or_default();
+        debug_assert_eq!(
+            chain.len(),
+            entry.size as usize,
+            "chain shadow out of step with {file}"
+        );
+        for &addr in &chain {
             self.alloc.release(addr);
-            self.stats.blocks_freed += 1;
-            addr = header.next;
         }
+        self.stats.blocks_freed += chain.len() as u64;
         self.links.invalidate_file(file);
+        if let Some(wal) = self.wal.as_mut() {
+            let (client, id) = self.req;
+            wal.log(WalRecord::Delete {
+                client,
+                id,
+                file,
+                freed: entry.size,
+            });
+        }
         Ok(entry.size)
     }
 
-    /// Flushes the directory and allocation bitmap to disk (timed).
+    /// Flushes the directory and allocation bitmap to disk (timed). With
+    /// a WAL this is a full commit + checkpoint, so everything is durable
+    /// at home when it returns.
     ///
     /// # Errors
     ///
     /// Propagates device errors.
     pub fn sync(&mut self, ctx: &mut Ctx) -> Result<(), EfsError> {
+        if self.wal.is_some() {
+            if let Some(wal) = self.wal.as_mut() {
+                wal.commit(ctx, &mut self.disk)?;
+            }
+            return self.checkpoint_inner(ctx);
+        }
         self.dir.sync(ctx, &mut self.disk)?;
+        self.write_bitmap(ctx)
+    }
+
+    /// Makes every pending intent record durable (group commit): writes
+    /// the batch into the log ring, flushes the device, and — only once
+    /// nothing is pending — checkpoints if half the ring is live. The
+    /// server calls this before acknowledging any mutating operation; a
+    /// no-op without a WAL.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors ([`simdisk::DiskError::Crashed`] when the
+    /// node died mid-commit).
+    pub fn commit(&mut self, ctx: &mut Ctx) -> Result<(), EfsError> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        if wal.has_pending() {
+            let t0 = ctx.now();
+            let records = wal.commit(ctx, &mut self.disk)?;
+            if ctx.trace_enabled() {
+                ctx.trace_span("wal", "wal.commit", t0, &[("records", records as u64)]);
+            }
+        }
+        if self.wal.as_ref().expect("checked").needs_checkpoint() {
+            self.checkpoint_inner(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Persists directory + bitmap, then stamps a checkpoint record.
+    /// Must only run with no records pending (commit ordering rule): a
+    /// checkpoint persists in-memory effects, which must all be of
+    /// committed operations.
+    fn checkpoint_inner(&mut self, ctx: &mut Ctx) -> Result<(), EfsError> {
+        let t0 = ctx.now();
+        self.dir.sync(ctx, &mut self.disk)?;
+        self.write_bitmap(ctx)?;
+        let wal = self.wal.as_mut().expect("checkpoint needs a wal");
+        wal.checkpoint(ctx, &mut self.disk)?;
+        if ctx.trace_enabled() {
+            ctx.trace_span("wal", "wal.checkpoint", t0, &[]);
+        }
+        Ok(())
+    }
+
+    /// Writes the allocation bitmap (timed).
+    fn write_bitmap(&mut self, ctx: &mut Ctx) -> Result<(), EfsError> {
         let block_size = self.disk.geometry().block_size;
         let bytes = self.alloc.to_bytes();
         for i in 0..self.bitmap_blocks {
@@ -625,8 +787,8 @@ impl<D: BlockDevice> Efs<D> {
     }
 
     /// Offline consistency check (untimed): walks every file's block list,
-    /// validates headers and back-pointers, and rebuilds the allocator from
-    /// what it finds.
+    /// validates headers and back-pointers, and rebuilds the allocator and
+    /// chain shadow from what it finds.
     pub fn fsck(&mut self) -> FsckReport {
         let mut report = FsckReport::default();
         let entries = match self.dir.scan_raw(&self.disk) {
@@ -638,8 +800,10 @@ impl<D: BlockDevice> Efs<D> {
         };
         let capacity = self.disk.capacity_blocks();
         let mut rebuilt = BlockAllocator::new(self.data_start, capacity);
+        let mut chains: HashMap<LfsFileId, Vec<BlockAddr>> = HashMap::new();
         for entry in entries {
             report.files += 1;
+            let chain = chains.entry(entry.file).or_default();
             let mut addr = entry.first;
             let mut prev_addr = entry.last;
             for block_no in 0..entry.size {
@@ -675,6 +839,7 @@ impl<D: BlockDevice> Efs<D> {
                             ));
                         }
                         rebuilt.reserve(addr);
+                        chain.push(addr);
                         report.blocks += 1;
                         prev_addr = addr;
                         addr = header.next;
@@ -689,10 +854,437 @@ impl<D: BlockDevice> Efs<D> {
             }
         }
         self.alloc = rebuilt;
+        self.chains = chains;
         report
     }
 
+    /// Online consistency check over timed disk reads — the per-instance
+    /// half of the `pfsck` tool. Passes are *pipelined within the
+    /// instance*: as each directory bucket read completes, the chains of
+    /// its entries are walked and cross-labeled while later buckets are
+    /// still unread; the allocator cross-check runs over the accumulated
+    /// reachability set at the end. With `repair` set, the check also
+    /// fixes what it finds — truncating torn chain tails, dropping
+    /// dangling directory entries, rewriting bad back-pointers, and
+    /// returning orphaned blocks to the allocator — and persists the
+    /// repaired state before returning, so a second pass reports clean.
+    ///
+    /// Emits `fsck.scan` and `fsck.alloc` trace spans and an
+    /// `fsck.repair` instant per repair when tracing is enabled.
+    pub fn fsck_timed(&mut self, ctx: &mut Ctx, repair: bool) -> FsckReport {
+        self.charge_cpu(ctx);
+        let mut report = FsckReport::default();
+        let t0 = ctx.now();
+        let capacity = self.disk.capacity_blocks();
+        let mut rebuilt = BlockAllocator::new(self.data_start, capacity);
+        let mut chains: HashMap<LfsFileId, Vec<BlockAddr>> = HashMap::new();
+        // (entry, new size, new last) truncations and outright drops,
+        // applied after the scan so bucket iteration stays stable.
+        let mut truncate: Vec<(DirEntry, u32, BlockAddr)> = Vec::new();
+        let buckets = self.dir.bucket_count();
+
+        // Pass 1+2, pipelined per bucket: bucket read, then chain walks.
+        for b in 0..buckets {
+            let entries = match self.dir.load_bucket(ctx, &mut self.disk, b) {
+                Ok(e) => e,
+                Err(e) => {
+                    report.errors.push(format!("bucket {b} unreadable: {e}"));
+                    continue;
+                }
+            };
+            for entry in entries {
+                report.files += 1;
+                let chain = chains.entry(entry.file).or_default();
+                let mut addr = entry.first;
+                let mut prev_addr = entry.last;
+                let mut torn_at: Option<u32> = None;
+                for block_no in 0..entry.size {
+                    let header = match self.disk.read(ctx, addr) {
+                        Err(e) => {
+                            report
+                                .errors
+                                .push(format!("{}: block {block_no} at {addr}: {e}", entry.file));
+                            torn_at = Some(block_no);
+                            break;
+                        }
+                        Ok(bytes) => match decode_header(&bytes) {
+                            Err(e) => {
+                                report.errors.push(format!(
+                                    "{}: block {block_no} at {addr}: {e}",
+                                    entry.file
+                                ));
+                                torn_at = Some(block_no);
+                                break;
+                            }
+                            Ok(h) if h.file != entry.file || h.block_no != block_no => {
+                                report.errors.push(format!(
+                                    "{}: block {block_no} at {addr} labeled {} #{}",
+                                    entry.file, h.file, h.block_no
+                                ));
+                                torn_at = Some(block_no);
+                                break;
+                            }
+                            Ok(mut h) => {
+                                // The head's back-pointer is represented by
+                                // the directory's `last` field and repaired
+                                // lazily, so only interior links are
+                                // checked — the same rule appends rely on.
+                                if block_no > 0 && h.prev != prev_addr {
+                                    report.errors.push(format!(
+                                        "{}: block {block_no} back-pointer {} != {}",
+                                        entry.file, h.prev, prev_addr
+                                    ));
+                                    if repair {
+                                        let payload = bytes.slice(EFS_HEADER_SIZE..);
+                                        h.prev = prev_addr;
+                                        let _ =
+                                            self.disk.write(ctx, addr, &encode_block(&h, &payload));
+                                        self.note_repair(ctx, &mut report, "back-pointer");
+                                    }
+                                }
+                                h
+                            }
+                        },
+                    };
+                    rebuilt.reserve(addr);
+                    chain.push(addr);
+                    report.blocks += 1;
+                    prev_addr = addr;
+                    addr = header.next;
+                }
+                if let Some(n) = torn_at {
+                    let last_good = if n == 0 { entry.first } else { prev_addr };
+                    truncate.push((entry, n, last_good));
+                }
+            }
+        }
+        if ctx.trace_enabled() {
+            ctx.trace_span(
+                "fsck",
+                "fsck.scan",
+                t0,
+                &[
+                    ("files", u64::from(report.files)),
+                    ("blocks", u64::from(report.blocks)),
+                ],
+            );
+        }
+
+        // Pass 3: allocator cross-check against the reachability set.
+        let t_alloc = ctx.now();
+        let live = self.alloc.to_bytes();
+        let want = rebuilt.to_bytes();
+        let mut orphaned = 0u32;
+        let mut unreserved = 0u32;
+        for (a, w) in live.iter().zip(want.iter()) {
+            orphaned += (a & !w).count_ones();
+            unreserved += (!a & w).count_ones();
+        }
+        if orphaned > 0 {
+            report.errors.push(format!(
+                "{orphaned} allocated blocks unreachable (orphaned)"
+            ));
+        }
+        if unreserved > 0 {
+            report
+                .errors
+                .push(format!("{unreserved} reachable blocks not allocated"));
+        }
+        if ctx.trace_enabled() {
+            ctx.trace_span(
+                "fsck",
+                "fsck.alloc",
+                t_alloc,
+                &[
+                    ("orphaned", u64::from(orphaned)),
+                    ("unreserved", u64::from(unreserved)),
+                ],
+            );
+        }
+
+        if repair {
+            for (mut entry, size, last) in truncate {
+                self.links.invalidate_file(entry.file);
+                if size == 0 {
+                    let _ = self.dir.remove(ctx, &mut self.disk, entry.file);
+                    chains.remove(&entry.file);
+                    self.note_repair(ctx, &mut report, "drop-entry");
+                } else {
+                    entry.size = size;
+                    entry.last = last;
+                    let _ = self.dir.update(ctx, &mut self.disk, entry);
+                    if let Some(chain) = chains.get_mut(&entry.file) {
+                        chain.truncate(size as usize);
+                    }
+                    self.note_repair(ctx, &mut report, "truncate");
+                }
+            }
+            for _ in 0..orphaned.saturating_add(unreserved) {
+                self.note_repair(ctx, &mut report, "allocator");
+            }
+            self.alloc = rebuilt;
+            self.chains = chains;
+            // Persist the repaired state so the verdict survives a
+            // remount (and, with a WAL, stamp a checkpoint).
+            let _ = self.sync(ctx);
+        }
+        report
+    }
+
+    fn note_repair(&mut self, ctx: &mut Ctx, report: &mut FsckReport, what: &'static str) {
+        report.repaired += 1;
+        if ctx.trace_enabled() {
+            ctx.trace_instant("fsck", "fsck.repair", &[(what, 1)]);
+        }
+    }
+
+    /// Plants one corruption for repair tests and the CI pfsck smoke step
+    /// (untimed, raw). Returns a description of what was corrupted, or
+    /// `None` when the instance has no suitable target.
+    pub fn seed_corruption(&mut self, kind: CorruptionKind) -> Option<String> {
+        match kind {
+            CorruptionKind::OrphanBlock => {
+                let addr = self.alloc.allocate()?;
+                Some(format!("orphaned allocated block at {addr}"))
+            }
+            CorruptionKind::TornTail => {
+                let (&file, chain) = self
+                    .chains
+                    .iter()
+                    .filter(|(_, c)| c.len() >= 2)
+                    .max_by_key(|(_, c)| c.len())?;
+                let addr = *chain.last().expect("len >= 2");
+                let block_size = self.disk.geometry().block_size;
+                self.disk.write_raw(addr, &vec![0u8; block_size]);
+                self.links.invalidate_file(file);
+                Some(format!("torn tail of {file} at {addr}"))
+            }
+            CorruptionKind::DanglingEntry => {
+                let mut id = 0xDEAD_0000u32;
+                while self.chains.contains_key(&LfsFileId(id)) {
+                    id += 1;
+                }
+                let target = BlockAddr::new(self.data_start);
+                self.dir
+                    .set_absolute(
+                        &self.disk,
+                        DirEntry {
+                            file: LfsFileId(id),
+                            first: target,
+                            last: target,
+                            size: 1,
+                        },
+                    )
+                    .ok()?;
+                Some(format!("dangling entry {} -> {target}", LfsFileId(id)))
+            }
+        }
+    }
+
+    /// Brings the instance back after its node's crash fault: revives the
+    /// device, discards all in-memory state, replays committed WAL
+    /// records above the newest durable checkpoint, rebuilds the
+    /// allocator and chain shadow from directory reachability, persists
+    /// the result, and stamps a fresh checkpoint. Untimed — the crash
+    /// schedule's down window stands in for reboot time.
+    ///
+    /// Returns every operation whose intent record survived in the ring
+    /// (committed before the crash, including already-checkpointed ones
+    /// not yet overwritten), so the server can re-seed its dedup window:
+    /// a delayed duplicate of a committed operation must replay its
+    /// reply, never re-execute against the recovered state.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::Corrupt`] if replay cannot apply a committed record.
+    pub fn recover(&mut self) -> Result<Vec<RecoveredOp>, EfsError> {
+        self.disk.revive();
+        self.links = LinkCache::new(self.config.link_cache_capacity);
+        let (dir_start, dir_buckets) = self.dir.region();
+        self.dir = Directory::new(dir_start, dir_buckets);
+        self.req = (0, 0);
+        let mut recovered = Vec::new();
+        if self.wal_blocks == 0 {
+            self.rebuild_from_directory();
+            return Ok(recovered);
+        }
+        let (mut wal, ckpt, batches) = scan_and_resume(
+            &self.disk,
+            self.wal_start,
+            self.wal_blocks,
+            self.config.wal.group_commit,
+        );
+        for (lsn, records) in &batches {
+            for record in records {
+                if let Some(op) = record.recovered() {
+                    recovered.push(op);
+                }
+                if *lsn <= ckpt {
+                    continue;
+                }
+                match record {
+                    WalRecord::Create { file, .. } => self.dir.set_absolute(
+                        &self.disk,
+                        DirEntry {
+                            file: *file,
+                            first: BlockAddr::new(0),
+                            last: BlockAddr::new(0),
+                            size: 0,
+                        },
+                    )?,
+                    WalRecord::SetChain {
+                        file,
+                        first,
+                        last,
+                        size,
+                        ..
+                    } => self.dir.set_absolute(
+                        &self.disk,
+                        DirEntry {
+                            file: *file,
+                            first: *first,
+                            last: *last,
+                            size: *size,
+                        },
+                    )?,
+                    WalRecord::Delete { file, .. } => {
+                        self.dir.remove_absolute(&self.disk, *file)?
+                    }
+                    WalRecord::Checkpoint => {}
+                }
+            }
+        }
+        self.rebuild_from_directory();
+        self.dir.flush_raw(&mut self.disk);
+        self.write_bitmap_raw();
+        wal.append_checkpoint_raw(&mut self.disk);
+        self.wal = Some(wal);
+        Ok(recovered)
+    }
+
+    /// Tags the requesting `(client process index, request id)` so the
+    /// WAL records logged while serving it can reconstruct the reply at
+    /// recovery. The server calls this before dispatching each request.
+    pub fn begin_request(&mut self, client: u32, id: u64) {
+        self.req = (client, id);
+    }
+
+    /// Whether the device is dead from a scheduled crash fault, and if so
+    /// for how long it stays down. The server polls this after each
+    /// operation: a crashed instance must not acknowledge anything.
+    pub fn crash_down(&self) -> Option<SimDuration> {
+        self.disk.crash_down()
+    }
+
+    /// True when this instance runs a write-ahead log.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Requests the server may buffer into one group commit (1 without a
+    /// WAL — every operation acknowledges immediately, as before).
+    pub fn group_commit_width(&self) -> u32 {
+        self.wal.as_ref().map_or(1, |w| w.group_commit)
+    }
+
+    /// `(commits, checkpoints)` performed since mount/recovery.
+    pub fn wal_counters(&self) -> (u64, u64) {
+        self.wal
+            .as_ref()
+            .map_or((0, 0), |w| (w.commits, w.checkpoints))
+    }
+
     // ----- internals ---------------------------------------------------
+
+    /// Logs the absolute post-write chain state of `file` (no-op without
+    /// a WAL). The entry lookup is free: the serving operation has just
+    /// loaded and updated the bucket, so it is cached.
+    fn log_set_chain(
+        &mut self,
+        ctx: &mut Ctx,
+        file: LfsFileId,
+        run: bool,
+        addrs: Vec<BlockAddr>,
+    ) -> Result<(), EfsError> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let entry = self
+            .dir
+            .lookup(ctx, &mut self.disk, file)?
+            .ok_or(EfsError::UnknownFile(file))?;
+        let (client, id) = self.req;
+        self.wal
+            .as_mut()
+            .expect("checked")
+            .log(WalRecord::SetChain {
+                client,
+                id,
+                file,
+                first: entry.first,
+                last: entry.last,
+                size: entry.size,
+                run,
+                addrs,
+            });
+        Ok(())
+    }
+
+    /// Rebuilds the allocator *and* the chain shadow from directory
+    /// reachability: every entry's chain is raw-walked from its first
+    /// block, and exactly the reachable blocks are marked allocated.
+    fn rebuild_from_directory(&mut self) {
+        let capacity = self.disk.capacity_blocks();
+        let mut alloc = BlockAllocator::new(self.data_start, capacity);
+        let mut chains = HashMap::new();
+        if let Ok(entries) = self.dir.scan_raw(&self.disk) {
+            for entry in entries {
+                let chain = self.walk_chain_raw(&entry);
+                for &addr in &chain {
+                    alloc.reserve(addr);
+                }
+                chains.insert(entry.file, chain);
+            }
+        }
+        self.alloc = alloc;
+        self.chains = chains;
+    }
+
+    /// Rebuilds only the chain shadow (non-WAL mount: the allocator comes
+    /// from the persisted bitmap, exactly as before).
+    fn rebuild_chains_raw(&mut self) {
+        let mut chains = HashMap::new();
+        if let Ok(entries) = self.dir.scan_raw(&self.disk) {
+            for entry in entries {
+                chains.insert(entry.file, self.walk_chain_raw(&entry));
+            }
+        }
+        self.chains = chains;
+    }
+
+    /// Raw (untimed) walk of one file's chain, stopping at the first
+    /// block that is missing, freed, or labeled for someone else.
+    fn walk_chain_raw(&self, entry: &DirEntry) -> Vec<BlockAddr> {
+        let mut chain = Vec::with_capacity(entry.size as usize);
+        let mut addr = entry.first;
+        for block_no in 0..entry.size {
+            let Some(bytes) = self.disk.read_raw(addr) else {
+                break;
+            };
+            if is_free_block(bytes) {
+                break;
+            }
+            let Ok(header) = decode_header(bytes) else {
+                break;
+            };
+            if header.file != entry.file || header.block_no != block_no {
+                break;
+            }
+            chain.push(addr);
+            addr = header.next;
+        }
+        chain
+    }
 
     /// Reads and validates a data block.
     fn read_and_check(
@@ -874,6 +1466,7 @@ impl<D: BlockDevice> Efs<D> {
             entry.last = addr;
             entry.size = 1;
             self.dir.update(ctx, &mut self.disk, entry)?;
+            self.chains.entry(file).or_default().push(addr);
             return Ok(addr);
         }
 
@@ -922,6 +1515,7 @@ impl<D: BlockDevice> Efs<D> {
         entry.last = addr;
         entry.size += 1;
         self.dir.update(ctx, &mut self.disk, entry)?;
+        self.chains.entry(file).or_default().push(addr);
         Ok(addr)
     }
 
@@ -1017,6 +1611,10 @@ impl<D: BlockDevice> Efs<D> {
         entry.last = new_last;
         entry.size += n;
         self.dir.update(ctx, &mut self.disk, entry)?;
+        self.chains
+            .entry(file)
+            .or_default()
+            .extend_from_slice(&addrs);
         Ok(addrs)
     }
 

@@ -47,10 +47,11 @@ mod fs;
 mod layout;
 mod retry;
 mod server;
+mod wal;
 
 pub use directory::{DirEntry, BUCKET_CAPACITY};
 pub use error::EfsError;
-pub use fs::{Efs, EfsConfig, EfsStats, FileInfo, FsckReport};
+pub use fs::{CorruptionKind, Efs, EfsConfig, EfsStats, FileInfo, FsckReport};
 pub use layout::{
     decode_block, decode_header, encode_block, encode_free_block, is_free_block, EfsHeader,
     LfsFileId, BLOCK_MAGIC, BLOCK_SIZE, EFS_HEADER_SIZE, EFS_PAYLOAD, FREE_MAGIC,
@@ -59,4 +60,7 @@ pub use retry::{Admission, DedupWindow, RetryPolicy, DEDUP_RETENTION, DEDUP_WIND
 pub use server::{
     reply_wire_size, request_wire_size, serve, set_failed, spawn_lfs, spawn_lfs_sched, LfsClient,
     LfsData, LfsFailAck, LfsFailControl, LfsOp, LfsReply, LfsRequest,
+};
+pub use wal::{
+    RecoveredOp, RecoveredReply, WalConfig, WAL_BLOCK_PAYLOAD, WAL_HEADER_SIZE, WAL_MAGIC,
 };

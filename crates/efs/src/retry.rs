@@ -171,6 +171,21 @@ impl<R: Clone> DedupWindow<R> {
         }
     }
 
+    /// Seeds the replay cache after a crash recovery: the reply of a
+    /// committed operation reconstructed from the WAL is restored as if
+    /// [`DedupWindow::complete`] had recorded it, so a delayed duplicate
+    /// still in the network replays instead of re-executing against the
+    /// recovered state. Idempotent per id; any stale in-flight mark for
+    /// the id is cleared.
+    pub fn restore(&mut self, client: ProcId, id: u64, now: SimTime, reply: R) {
+        self.in_flight.remove(&(client, id));
+        let ring = self.done.entry(client).or_default();
+        if ring.iter().any(|(done_id, _, _)| *done_id == id) {
+            return;
+        }
+        ring.push_back((id, now, reply));
+    }
+
     /// Forgets an admitted request that was discarded without executing
     /// (fail-stop drain), so a later retransmit runs it fresh.
     pub fn forget(&mut self, client: ProcId, id: u64) {

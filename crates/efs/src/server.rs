@@ -7,9 +7,10 @@
 //! requests to many LFS instances and collect replies out of order.
 
 use crate::error::EfsError;
-use crate::fs::{Efs, FileInfo};
+use crate::fs::{Efs, FileInfo, FsckReport};
 use crate::layout::{LfsFileId, BLOCK_SIZE};
 use crate::retry::{Admission, DedupWindow, RetryPolicy};
+use crate::wal::RecoveredReply;
 use bytes::Bytes;
 use parsim::{Ctx, ProcId, SimDuration, SimTime, Simulation};
 use simdisk::{BlockAddr, BlockDevice, RequestQueue, SchedConfig};
@@ -95,6 +96,14 @@ pub enum LfsOp {
     /// reach the per-node [`simdisk::DiskStats`] that only the LFS
     /// process can see.
     DiskStats,
+    /// Run the timed consistency check ([`Efs::fsck_timed`]) on this
+    /// instance, optionally repairing what it finds. A barrier op: it
+    /// orders after every pending operation of its client.
+    Fsck {
+        /// Repair inconsistencies (and persist the repaired state) rather
+        /// than only reporting them.
+        repair: bool,
+    },
 }
 
 impl LfsOp {
@@ -110,6 +119,7 @@ impl LfsOp {
             LfsOp::Stat { .. } => "lfs.stat",
             LfsOp::Sync => "lfs.sync",
             LfsOp::DiskStats => "lfs.disk_stats",
+            LfsOp::Fsck { .. } => "lfs.fsck",
         }
     }
 
@@ -125,7 +135,7 @@ impl LfsOp {
             | LfsOp::ReadRun { file, .. }
             | LfsOp::WriteRun { file, .. }
             | LfsOp::Stat { file } => Some(*file),
-            LfsOp::Sync | LfsOp::DiskStats => None,
+            LfsOp::Sync | LfsOp::DiskStats | LfsOp::Fsck { .. } => None,
         }
     }
 }
@@ -173,6 +183,9 @@ pub enum LfsData {
     Info(FileInfo),
     /// DiskStats completed.
     DiskCounters(simdisk::DiskStats),
+    /// Fsck completed: the instance's verdict (clean when
+    /// [`FsckReport::errors`] is empty).
+    Fsck(FsckReport),
 }
 
 /// Fault-injection control for an LFS server process (experiments only):
@@ -376,7 +389,11 @@ fn track_hint<D: BlockDevice>(efs: &Efs<D>, op: &LfsOp) -> u32 {
             .or_else(|| efs.link_addr(*file, first.saturating_sub(1))),
         // Metadata ops work against the directory and bitmap at the front
         // of the disk.
-        LfsOp::Create { .. } | LfsOp::Delete { .. } | LfsOp::Stat { .. } | LfsOp::Sync => {
+        LfsOp::Create { .. }
+        | LfsOp::Delete { .. }
+        | LfsOp::Stat { .. }
+        | LfsOp::Sync
+        | LfsOp::Fsck { .. } => {
             return 0;
         }
         // A pure control query touches no media: wherever the head is.
@@ -417,9 +434,12 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
             // Drain the mailbox into the scheduler. Block only when idle.
             let env = if state.has_work() {
                 let Some(env) = ctx.recv_timeout(SimDuration::ZERO) else {
-                    // Nothing more deliverable now: service one request,
-                    // then come back for whatever arrived meanwhile.
-                    service_one(ctx, &mut efs, &mut state, &mut dedup);
+                    // Nothing more deliverable now: service a batch (one
+                    // request, or up to the group-commit width with a
+                    // WAL), then come back for whatever arrived meanwhile.
+                    if service_batch(ctx, &mut efs, &mut state, &mut dedup) {
+                        crash_recover(ctx, &mut efs, &mut state, &mut dedup);
+                    }
                     continue;
                 };
                 env
@@ -492,42 +512,119 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
     })
 }
 
-/// Serves the scheduler's next request: queue-wait span, the operation
-/// itself, the reply (recorded in the dedup window for retransmits), and
-/// a refresh of the client's schedulable prefix.
-fn service_one<D: BlockDevice>(
+/// Serves one scheduler batch: up to [`Efs::group_commit_width`]
+/// requests back-to-back, one group commit, then the acknowledgements.
+/// Nothing is acknowledged before its intent records are durable — the
+/// WAL's commit-before-ack rule. Without a WAL the width is 1 and the
+/// commit is a no-op, so the cycle is exactly the pre-WAL
+/// serve-then-reply, bit for bit.
+///
+/// Returns `true` when the node's crash fault fired mid-batch: the
+/// caller must run [`crash_recover`]. Nothing unacknowledged survives —
+/// buffered replies are forgotten so retransmits re-execute (or replay
+/// from the WAL if their records committed before the crash).
+fn service_batch<D: BlockDevice>(
+    ctx: &mut Ctx,
+    efs: &mut Efs<D>,
+    state: &mut SchedState,
+    dedup: &mut DedupWindow<LfsReply>,
+) -> bool {
+    let width = efs.group_commit_width().max(1);
+    let mut replies: Vec<(ProcId, LfsReply)> = Vec::new();
+    for _ in 0..width {
+        // Queue depth at service start, this request included.
+        let depth = state.queued.len() as u64;
+        let Some(q) = state.take_next(efs) else {
+            break;
+        };
+        if ctx.trace_enabled() {
+            let wait = ctx.now().saturating_duration_since(q.delivered_at);
+            ctx.trace_span(
+                "lfs",
+                "lfs.queue_wait",
+                q.delivered_at,
+                &[
+                    ("wait", wait.as_nanos()),
+                    ("depth", depth),
+                    ("id", q.req.id),
+                    ("client", q.from.index() as u64),
+                ],
+            );
+        }
+        let from = q.from;
+        efs.begin_request(from.index() as u32, q.req.id);
+        let reply = serve(ctx, efs, q.req);
+        if efs.crash_down().is_some() {
+            // The node died mid-operation: the op is not acknowledged
+            // (its record may or may not have committed — recovery and
+            // the dedup re-seed decide), and neither is anything
+            // buffered behind the commit barrier.
+            dedup.forget(from, reply.id);
+            for (client, r) in &replies {
+                dedup.forget(*client, r.id);
+            }
+            return true;
+        }
+        replies.push((from, reply));
+        // Serving this request may unblock the next op of its
+        // (client, file) chain — possibly into this same batch.
+        state.offer_lane(efs, from);
+    }
+    if efs.commit(ctx).is_err() || efs.crash_down().is_some() {
+        for (client, r) in &replies {
+            dedup.forget(*client, r.id);
+        }
+        return true;
+    }
+    for (from, reply) in replies {
+        dedup.complete(from, reply.id, ctx.now(), reply.clone());
+        let bytes = reply_wire_size(&reply);
+        ctx.send_sized_cloneable(from, reply, bytes);
+    }
+    false
+}
+
+/// Rides out a node crash: everything queued in memory dies silently
+/// (clients recover by retransmit), the node stays down for the fault's
+/// window, messages that arrived meanwhile are lost, and the instance
+/// comes back through [`Efs::recover`]. The fresh dedup window is seeded
+/// from the WAL's committed records, so a delayed duplicate of a
+/// committed operation replays its reconstructed reply instead of
+/// re-executing against the recovered state.
+fn crash_recover<D: BlockDevice>(
     ctx: &mut Ctx,
     efs: &mut Efs<D>,
     state: &mut SchedState,
     dedup: &mut DedupWindow<LfsReply>,
 ) {
-    // Queue depth at service start, this request included.
-    let depth = state.queued.len() as u64;
-    let Some(q) = state.take_next(efs) else {
-        return;
-    };
-    if ctx.trace_enabled() {
-        let wait = ctx.now().saturating_duration_since(q.delivered_at);
-        ctx.trace_span(
-            "lfs",
-            "lfs.queue_wait",
-            q.delivered_at,
-            &[
-                ("wait", wait.as_nanos()),
-                ("depth", depth),
-                ("id", q.req.id),
-                ("client", q.from.index() as u64),
-            ],
-        );
+    let down = efs.crash_down().unwrap_or(SimDuration::ZERO);
+    for q in state.drain_all() {
+        dedup.forget(q.from, q.req.id);
     }
-    let from = q.from;
-    let reply = serve(ctx, efs, q.req);
-    dedup.complete(from, reply.id, ctx.now(), reply.clone());
-    let bytes = reply_wire_size(&reply);
-    ctx.send_sized_cloneable(from, reply, bytes);
-    // Serving this request may unblock the next op of its (client, file)
-    // chain.
-    state.offer_lane(efs, from);
+    if ctx.trace_enabled() {
+        ctx.trace_instant("lfs", "lfs.crash", &[("down_nanos", down.as_nanos())]);
+    }
+    ctx.delay(down);
+    // Messages delivered while the node was dead are lost.
+    while ctx.recv_timeout(SimDuration::ZERO).is_some() {}
+    let recovered = efs
+        .recover()
+        .expect("recovery replays only committed records");
+    let records = recovered.len() as u64;
+    *dedup = DedupWindow::standard();
+    for op in recovered {
+        let client = ProcId::from_index(op.client as usize);
+        let result = Ok(match op.reply {
+            RecoveredReply::Done => LfsData::Done,
+            RecoveredReply::Written(addr) => LfsData::Written { addr },
+            RecoveredReply::WrittenRun(addrs) => LfsData::WrittenRun { addrs },
+            RecoveredReply::Freed(freed) => LfsData::Freed(freed),
+        });
+        dedup.restore(client, op.id, ctx.now(), LfsReply { id: op.id, result });
+    }
+    if ctx.trace_enabled() {
+        ctx.trace_instant("lfs", "lfs.recover", &[("records", records)]);
+    }
 }
 
 /// Handles one request against `efs`, producing the reply.
@@ -571,6 +668,7 @@ pub fn serve<D: simdisk::BlockDevice>(
         LfsOp::Stat { file } => efs.stat(ctx, file).map(LfsData::Info),
         LfsOp::Sync => efs.sync(ctx).map(|()| LfsData::Done),
         LfsOp::DiskStats => Ok(LfsData::DiskCounters(efs.disk().stats())),
+        LfsOp::Fsck { repair } => Ok(LfsData::Fsck(efs.fsck_timed(ctx, repair))),
     };
     if ctx.trace_enabled() {
         ctx.trace_span(

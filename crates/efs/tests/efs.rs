@@ -248,8 +248,12 @@ fn sequential_read_costs_match_table2_shape() {
 }
 
 #[test]
-fn delete_time_scales_linearly_with_size() {
-    let time_delete = |blocks: u32| -> SimDuration {
+fn delete_time_is_constant_in_file_size() {
+    // The Cronus resiliency remnant ("traverses the file sequentially,
+    // explicitly freeing each block") is retired: delete is one
+    // directory-bucket write plus an in-memory allocator update, so its
+    // cost must not grow with the file.
+    let time_delete = |blocks: u32| -> (SimDuration, u32) {
         let mut sim = Simulation::new(SimConfig::default());
         let node = sim.add_node("n");
         sim.block_on(node, "driver", move |ctx| {
@@ -259,23 +263,24 @@ fn delete_time_scales_linearly_with_size() {
             for b in 0..blocks {
                 efs.write(ctx, f, b, b"x", None).unwrap();
             }
+            let free_before = efs.free_blocks();
             let t0 = ctx.now();
-            efs.delete(ctx, f).unwrap();
-            ctx.now() - t0
+            let freed = efs.delete(ctx, f).unwrap();
+            assert_eq!(freed, blocks);
+            assert_eq!(efs.free_blocks(), free_before + blocks, "blocks reusable");
+            (ctx.now() - t0, efs.disk().stats().writes as u32)
         })
     };
-    let t200 = time_delete(200);
-    let t400 = time_delete(400);
+    let (t200, _) = time_delete(200);
+    let (t400, _) = time_delete(400);
     let ratio = t400.as_secs_f64() / t200.as_secs_f64();
     assert!(
-        (1.8..2.2).contains(&ratio),
-        "delete is O(n): t400/t200 = {ratio:.2}"
+        (0.8..1.2).contains(&ratio),
+        "delete must be O(1): t400/t200 = {ratio:.2}"
     );
-    // Paper's Table 2: ~20ms per block.
-    let per_block = t400.as_millis_f64() / 400.0;
     assert!(
-        (10.0..35.0).contains(&per_block),
-        "per-block delete cost {per_block:.1}ms in the Table-2 ballpark"
+        t400 < SimDuration::from_millis(80),
+        "a 400-block delete costs one bucket write, not a traversal: {t400}"
     );
 }
 

@@ -28,7 +28,9 @@ pub struct Constants {
     pub thrashed_read_ms: f64,
     /// Block append through an LFS (write-through, tail fix-up).
     pub write_ms: f64,
-    /// Per-block cost of the sequential-delete remnant.
+    /// Cost of one whole-file delete at an LFS: a single directory-bucket
+    /// rewrite plus the O(1) allocator-bitmap update. Size-independent —
+    /// the per-block sequential-free remnant is retired.
     pub delete_ms: f64,
     /// One interprocessor message hop (small control message).
     pub hop_ms: f64,
@@ -53,7 +55,7 @@ impl Constants {
             seq_read_ms: 10.4,
             thrashed_read_ms: 29.0,
             write_ms: 41.5,
-            delete_ms: 20.0,
+            delete_ms: 22.4,
             hop_ms: 0.1,
             block_hop_ms: 0.16,
             token_cpu_ms: 0.1,
@@ -70,7 +72,7 @@ impl Constants {
             seq_read_ms: 9.0,
             thrashed_read_ms: 31.0,
             write_ms: 31.0,
-            delete_ms: 20.0,
+            delete_ms: 35.0,
             hop_ms: 0.5,
             block_hop_ms: 2.0,
             token_cpu_ms: 0.5,
@@ -87,10 +89,14 @@ pub fn create_ms(c: &Constants, p: u32) -> f64 {
     c.create_base_ms + c.create_init_ms * f64::from(p)
 }
 
-/// Predicted cost of `Delete` for an `n`-block file at breadth `p`, in ms
-/// — Table 2's `delete_ms · n / p` (parallel sequential frees).
-pub fn delete_ms(c: &Constants, n: u64, p: u32) -> f64 {
-    c.delete_ms * n as f64 / f64::from(p)
+/// Predicted cost of `Delete` for an `n`-block file at breadth `p`, in ms.
+/// Each of the (at most `p`) instances holding a column frees its blocks
+/// with one directory-bucket rewrite and an in-memory bitmap update, all
+/// in parallel — so the cost is a constant, independent of `n` and `p`.
+/// (The seed's Table-2 form was `delete_ms · n / p`: the per-block
+/// sequential-free remnant, since retired.)
+pub fn delete_ms(c: &Constants, _n: u64, _p: u32) -> f64 {
+    c.delete_ms
 }
 
 /// Predicted copy-tool time for an `n`-block file at breadth `p`, in
@@ -128,8 +134,9 @@ pub struct SortPrediction {
 /// Local phase: run formation reads the column sequentially and writes
 /// runs; each 2-way merge pass re-reads and re-writes the column with
 /// *thrashed* locality (two input runs and an output stream compete for
-/// one head) and pays the sequential-delete remnant for the consumed
-/// runs. The pass count `⌈log2(runs)⌉` falling as p grows is what makes
+/// one head). Discarding the consumed runs is an O(1)-per-file directory
+/// update — negligible per record, so it no longer appears in the pass
+/// cost. The pass count `⌈log2(runs)⌉` falling as p grows is what makes
 /// the phase super-linear — "doubling the number of processors … also
 /// moves one pass of merging out of the local sorting phase".
 pub fn sort_prediction(c: &Constants, n: u64, p: u32, in_core: u32) -> SortPrediction {
@@ -142,7 +149,7 @@ pub fn sort_prediction(c: &Constants, n: u64, p: u32, in_core: u32) -> SortPredi
     };
 
     let run_formation = col * (c.seq_read_ms + c.write_ms);
-    let per_pass = col * (c.thrashed_read_ms + c.write_ms + c.delete_ms);
+    let per_pass = col * (c.thrashed_read_ms + c.write_ms);
     let local_ms = run_formation + f64::from(local_passes) * per_pass;
 
     // Merge phase: log2(p) passes; pass k runs p/2^k concurrent token
@@ -158,10 +165,11 @@ pub fn sort_prediction(c: &Constants, n: u64, p: u32, in_core: u32) -> SortPredi
     for k in 1..=merge_passes {
         let t = 2u64.pow(k).min(u64::from(p)); // ring size of each merge
                                                // Disk-limited rate: each node serves one read + one write per
-                                               // record it owns, plus its share of discarding the pass's input
-                                               // files ("discard the old files in parallel" — the O(n/p)
-                                               // sequential-delete remnant); records per pass per node = n/p.
-        let disk_ms_per_record = c.thrashed_read_ms + c.write_ms + c.delete_ms;
+                                               // record it owns; discarding the pass's input files ("discard
+                                               // the old files in parallel") is now one O(1) directory update
+                                               // per file and vanishes per record. Records per pass per node
+                                               // = n/p.
+        let disk_ms_per_record = c.thrashed_read_ms + c.write_ms;
         let disk_pass = (n as f64 / f64::from(p)) * disk_ms_per_record;
         // Token-limited rate: the token must visit a reader per record;
         // circuit time grows with the ring.
@@ -201,8 +209,10 @@ mod tests {
     #[test]
     fn create_and_delete_match_table2_forms() {
         assert!((create_ms(&c(), 2) - (24.0 + 34.0)).abs() < 1e-9);
+        // Delete is O(1): the same constant regardless of size or breadth.
         let d = delete_ms(&c(), 1024, 8);
-        assert!((d - 20.0 * 128.0).abs() < 1e-9);
+        assert!((d - c().delete_ms).abs() < 1e-9);
+        assert!((delete_ms(&c(), 1_048_576, 1) - d).abs() < 1e-9);
     }
 
     #[test]

@@ -112,6 +112,34 @@ pub struct BlockFaultRule {
     pub fails: u32,
 }
 
+/// A scheduled node kill expressed in *disk write ordinals*: the node
+/// owning `disk` crashes immediately after that disk persists its
+/// `after_writes`-th elementary block write, stays silent for `down`,
+/// then restarts from its durable state.
+///
+/// Counting elementary writes (rather than wall-clock windows, which
+/// [`Outage`] already covers) is what makes the kill schedulable *between
+/// any two dependent block writes*: a multi-block operation can be torn
+/// at every intermediate step, and a sweep over `after_writes = 1..=N`
+/// visits every such crash point exactly once. The scheduler ignores
+/// this section; the simulated disk consumes it (like [`DiskFaults`]) and
+/// the embedding server turns the disk's dead state into a node restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashAt {
+    /// Which disk's write stream to count — an embedder-chosen index (the
+    /// Bridge machine uses the LFS node ordinal, as for
+    /// [`BlockFaultRule::disk`]).
+    pub disk: u32,
+    /// Crash fires right after this many elementary block writes have
+    /// persisted over the disk's lifetime (cumulative across restarts).
+    /// The `after_writes`-th write itself is durable; everything the
+    /// operation would have written after it is lost.
+    pub after_writes: u64,
+    /// How long the node stays silent before recovering. Messages
+    /// delivered during the window are lost.
+    pub down: SimDuration,
+}
+
 /// Transient disk I/O faults. The scheduler ignores this section; the
 /// simulated disk consumes it via its own fault state seeded from
 /// [`FaultPlan::seed`].
@@ -167,6 +195,9 @@ pub struct FaultPlan {
     pub outages: Vec<Outage>,
     /// Transient disk error configuration (consumed by the disk layer).
     pub disk: DiskFaults,
+    /// Crash-at-any-point node kills, keyed by disk write ordinal
+    /// (consumed by the disk layer; empty = no crash state installed).
+    pub crashes: Vec<CrashAt>,
 }
 
 impl FaultPlan {
@@ -177,7 +208,8 @@ impl FaultPlan {
     }
 
     /// True when the scheduler has nothing to do for this plan (disk
-    /// faults do not count: they are the disk layer's business).
+    /// faults and crash kills do not count: they are the disk layer's
+    /// business).
     pub fn is_inert_for_scheduler(&self) -> bool {
         self.msg.is_inert() && self.outages.is_empty()
     }
@@ -278,6 +310,7 @@ mod tests {
     fn none_plan_is_inert() {
         assert!(FaultPlan::none().is_inert_for_scheduler());
         assert!(FaultPlan::none().disk.is_inert());
+        assert!(FaultPlan::none().crashes.is_empty());
         // A drop rate without a consecutive cap can never fire.
         let plan = MsgFaults {
             drop_per_mille: 500,

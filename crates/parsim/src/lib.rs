@@ -64,7 +64,8 @@ pub mod trace;
 
 pub use envelope::Envelope;
 pub use fault::{
-    mix64, splitmix64, BlockFaultRule, DiskFaults, FaultPlan, MsgFaults, Outage, OutageKind,
+    mix64, splitmix64, BlockFaultRule, CrashAt, DiskFaults, FaultPlan, MsgFaults, Outage,
+    OutageKind,
 };
 pub use process::{Ctx, ProcFn, ProcId};
 pub use scheduler::{Engine, RunStats, SimConfig, Simulation};

@@ -130,6 +130,47 @@ impl DiskFaultState {
     }
 }
 
+/// Live crash schedule for one disk, derived from a
+/// [`parsim::FaultPlan`]'s [`CrashAt`](parsim::CrashAt) section.
+///
+/// The disk counts every elementary block write it persists; when the
+/// count reaches the next scheduled ordinal the disk goes *dead*: the
+/// triggering write is durable, every later timed operation fails with
+/// [`DiskError::Crashed`] (tearing multi-block operations mid-run), and
+/// the embedding server is expected to observe the dead state, stay
+/// silent for the schedule's `down` window, and then [`SimDisk::revive`]
+/// the device and run recovery. Untimed raw access keeps working — that
+/// is what recovery reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// Remaining `(after_writes, down)` triggers, ascending by ordinal.
+    pending: Vec<(u64, SimDuration)>,
+    /// Elementary block writes persisted over the disk's lifetime.
+    persisted: u64,
+}
+
+impl CrashSchedule {
+    /// Builds the crash schedule for disk number `disk` from a plan's
+    /// crash section, or `None` when no kill targets this disk (so the
+    /// fault-free fast path stays untouched).
+    pub fn from_plan(crashes: &[parsim::CrashAt], disk: u32) -> Option<CrashSchedule> {
+        let mut pending: Vec<(u64, SimDuration)> = crashes
+            .iter()
+            .filter(|c| c.disk == disk && c.after_writes > 0)
+            .map(|c| (c.after_writes, c.down))
+            .collect();
+        if pending.is_empty() {
+            return None;
+        }
+        pending.sort_by_key(|&(at, _)| at);
+        pending.dedup_by_key(|&mut (at, _)| at);
+        Some(CrashSchedule {
+            pending,
+            persisted: 0,
+        })
+    }
+}
+
 /// The address of a block on one disk (0-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockAddr(u32);
@@ -338,6 +379,11 @@ pub enum DiskError {
         /// Failed attempts the request would have needed.
         attempts: u32,
     },
+    /// The disk is dead under a [`CrashSchedule`] kill: the node crashed
+    /// between two elementary writes. Timed operations fail until the
+    /// embedder calls [`SimDisk::revive`]; a multi-block write that was
+    /// in flight persisted only its pre-crash prefix (a torn run).
+    Crashed,
 }
 
 impl fmt::Display for DiskError {
@@ -357,6 +403,7 @@ impl fmt::Display for DiskError {
                      ({attempts} failed attempts, limit {DRIVER_RETRY_LIMIT})"
                 )
             }
+            DiskError::Crashed => write!(f, "disk is down: its node crashed mid-operation"),
         }
     }
 }
@@ -442,6 +489,32 @@ pub trait BlockDevice: Send + std::fmt::Debug {
         Ok(())
     }
 
+    /// Forces every accepted write to durable media before returning — the
+    /// write ordering point a write-ahead log commits through. Devices
+    /// with a write-behind queue wait for it to drain (charging the wait);
+    /// synchronous devices return immediately, so calling `flush` on an
+    /// idle device never changes timing.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Crashed`] if the device is dead under a crash kill.
+    fn flush(&mut self, ctx: &mut Ctx) -> Result<(), DiskError> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// When the device is dead under a crash kill: how long its node
+    /// stays down before recovery may run. `None` means alive (the
+    /// default for devices that do not model crashes).
+    fn crash_down(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Restarts a dead device: clears the crash state and every volatile
+    /// buffer (track buffer, queued write-behind work). Durable blocks
+    /// survive. A no-op on devices that do not model crashes.
+    fn revive(&mut self) {}
+
     /// Reads a block without charging time (formatting, tests, recovery).
     fn read_raw(&self, addr: BlockAddr) -> Option<&[u8]>;
 
@@ -497,6 +570,10 @@ pub struct SimDisk {
     head_track: u32,
     /// Injected transient-fault state (`None` = the fault-free fast path).
     faults: Option<DiskFaultState>,
+    /// Scheduled crash kills (`None` = the crash-free fast path).
+    crash: Option<CrashSchedule>,
+    /// `Some(down)` while the disk is dead under a crash kill.
+    dead: Option<SimDuration>,
     stats: DiskStats,
 }
 
@@ -514,6 +591,8 @@ impl SimDisk {
             deferred: VecDeque::new(),
             head_track: 0,
             faults: None,
+            crash: None,
+            dead: None,
             stats: DiskStats::default(),
         }
     }
@@ -523,6 +602,88 @@ impl SimDisk {
     /// to build — keeps the exact fault-free code path.
     pub fn inject_faults(&mut self, faults: Option<DiskFaultState>) {
         self.faults = faults;
+    }
+
+    /// Installs (or clears) a crash-kill schedule for this disk. Passing
+    /// `None` — or a schedule [`CrashSchedule::from_plan`] declined to
+    /// build — keeps the exact crash-free code path: no write counting,
+    /// no timing change, bit-identical [`DiskStats`].
+    pub fn schedule_crashes(&mut self, crash: Option<CrashSchedule>) {
+        self.crash = crash;
+    }
+
+    /// `Err(Crashed)` when the disk is dead under a crash kill.
+    fn check_alive(&self) -> Result<(), DiskError> {
+        if self.dead.is_some() {
+            Err(DiskError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Counts one persisted elementary write against the crash schedule.
+    /// Returns `true` when that write was the scheduled trigger: it is
+    /// durable, but the disk is dead from this instant on.
+    fn note_write_crash(&mut self) -> bool {
+        let Some(cs) = self.crash.as_mut() else {
+            return false;
+        };
+        cs.persisted += 1;
+        if let Some(&(at, down)) = cs.pending.first() {
+            if cs.persisted >= at {
+                cs.pending.remove(0);
+                self.dead = Some(down);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// When the disk is dead under a crash kill: the scheduled down
+    /// window its node must stay silent for. `None` means alive.
+    pub fn crash_down(&self) -> Option<SimDuration> {
+        self.dead
+    }
+
+    /// Restarts a dead disk. Durable blocks survive; everything volatile
+    /// is gone: the track buffer is invalidated and queued write-behind
+    /// completions are dropped (their data already persisted — the queue
+    /// models timing, not durability). Crash triggers whose ordinal has
+    /// already passed are discarded so a restart cannot re-fire them.
+    pub fn revive(&mut self) {
+        self.dead = None;
+        self.buffered_track = None;
+        self.buffered_valid.fill(false);
+        self.deferred.clear();
+        if let Some(cs) = self.crash.as_mut() {
+            while cs
+                .pending
+                .first()
+                .is_some_and(|&(at, _)| at <= cs.persisted)
+            {
+                cs.pending.remove(0);
+            }
+        }
+    }
+
+    /// Waits for every accepted write to reach durable media: the commit
+    /// ordering point. With write-behind enabled this drains the queue
+    /// (charging the wait); on a synchronous disk — or an idle queue — it
+    /// is free, so flushing never perturbs timing on the fault-free path.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Crashed`] if the disk is dead under a crash kill.
+    pub fn flush(&mut self, ctx: &mut Ctx) -> Result<(), DiskError> {
+        self.check_alive()?;
+        if self.write_behind.is_some() {
+            let wake = self.free_at;
+            if wake > ctx.now() {
+                ctx.delay(wake.saturating_duration_since(ctx.now()));
+            }
+            self.retire_deferred(ctx.now());
+        }
+        Ok(())
     }
 
     /// Enables write-behind: writes return once buffered (paying only the
@@ -727,6 +888,7 @@ impl SimDisk {
     /// [`DiskError::OutOfRange`], [`DiskError::Unwritten`], or
     /// [`DiskError::Transient`] under an unbounded fault rule.
     pub fn read(&mut self, ctx: &mut Ctx, addr: BlockAddr) -> Result<Bytes, DiskError> {
+        self.check_alive()?;
         let idx = self.check_addr(addr)?;
         let extra = self.fault_penalty(ctx, &[addr])?;
         let track = self.geometry.track_of(addr);
@@ -787,6 +949,7 @@ impl SimDisk {
         ctx: &mut Ctx,
         addrs: &[BlockAddr],
     ) -> Result<Vec<Bytes>, DiskError> {
+        self.check_alive()?;
         let mut idxs = Vec::with_capacity(addrs.len());
         for &addr in addrs {
             idxs.push(self.check_addr(addr)?);
@@ -862,6 +1025,7 @@ impl SimDisk {
         ctx: &mut Ctx,
         writes: &[(BlockAddr, Bytes)],
     ) -> Result<(), DiskError> {
+        self.check_alive()?;
         for (addr, data) in writes {
             self.check_addr(*addr)?;
             if data.len() != self.geometry.block_size {
@@ -902,6 +1066,12 @@ impl SimDisk {
                 self.stats.writes += 1;
                 self.blocks[addr.0 as usize] = Some(data.clone());
                 self.buffer_note_write(*addr);
+                if self.note_write_crash() {
+                    // The run tore here: this block persisted, the rest of
+                    // the run never reached media. The node is dead — no
+                    // time is charged because no one is left to wait.
+                    return Err(DiskError::Crashed);
+                }
             }
         }
         let total = position + transfer;
@@ -931,6 +1101,7 @@ impl SimDisk {
     ///
     /// [`DiskError::OutOfRange`] or [`DiskError::WrongBlockSize`].
     pub fn write(&mut self, ctx: &mut Ctx, addr: BlockAddr, data: &[u8]) -> Result<(), DiskError> {
+        self.check_alive()?;
         let idx = self.check_addr(addr)?;
         if data.len() != self.geometry.block_size {
             return Err(DiskError::WrongBlockSize {
@@ -967,6 +1138,10 @@ impl SimDisk {
         // read-modify-write of a block this process previously wrote or
         // loaded, e.g. the EFS tail-pointer fixup, still hits.)
         self.buffer_note_write(addr);
+        // A scheduled kill after this write leaves it durable; the caller
+        // sees Ok but the next timed operation — or the server's own
+        // crash_down check before acknowledging — observes the dead disk.
+        self.note_write_crash();
         Ok(())
     }
 
@@ -1033,6 +1208,18 @@ impl BlockDevice for SimDisk {
         SimDisk::write_many(self, ctx, writes)
     }
 
+    fn flush(&mut self, ctx: &mut Ctx) -> Result<(), DiskError> {
+        SimDisk::flush(self, ctx)
+    }
+
+    fn crash_down(&self) -> Option<SimDuration> {
+        SimDisk::crash_down(self)
+    }
+
+    fn revive(&mut self) {
+        SimDisk::revive(self);
+    }
+
     fn read_raw(&self, addr: BlockAddr) -> Option<&[u8]> {
         SimDisk::read_raw(self, addr)
     }
@@ -1061,6 +1248,7 @@ impl fmt::Debug for SimDisk {
             .field("profile", &self.profile)
             .field("buffered_track", &self.buffered_track)
             .field("head_track", &self.head_track)
+            .field("dead", &self.dead)
             .field("stats", &self.stats)
             .finish()
     }
@@ -1290,6 +1478,139 @@ mod tests {
             for i in 0..32u32 {
                 assert_eq!(disk.read(ctx, BlockAddr::new(i)).unwrap()[0], i as u8);
             }
+        });
+    }
+
+    #[test]
+    fn crash_fires_after_the_scheduled_write_and_revive_restores() {
+        use parsim::CrashAt;
+        on_disk(DiskProfile::instant(), |ctx, disk| {
+            let down = SimDuration::from_millis(100);
+            disk.schedule_crashes(CrashSchedule::from_plan(
+                &[CrashAt {
+                    disk: 0,
+                    after_writes: 3,
+                    down,
+                }],
+                0,
+            ));
+            disk.write(ctx, BlockAddr::new(0), &block_of(1)).unwrap();
+            disk.write(ctx, BlockAddr::new(1), &block_of(2)).unwrap();
+            assert!(disk.crash_down().is_none());
+            // The third write is durable, but the node dies right after it.
+            disk.write(ctx, BlockAddr::new(2), &block_of(3)).unwrap();
+            assert_eq!(disk.crash_down(), Some(down));
+            assert_eq!(
+                disk.read(ctx, BlockAddr::new(0)).unwrap_err(),
+                DiskError::Crashed
+            );
+            assert_eq!(
+                disk.write(ctx, BlockAddr::new(3), &block_of(4))
+                    .unwrap_err(),
+                DiskError::Crashed
+            );
+            assert_eq!(disk.flush(ctx).unwrap_err(), DiskError::Crashed);
+            // Recovery still sees the durable image through raw access.
+            assert_eq!(disk.read_raw(BlockAddr::new(2)).unwrap()[0], 3);
+            disk.revive();
+            assert!(disk.crash_down().is_none());
+            assert_eq!(disk.read(ctx, BlockAddr::new(2)).unwrap()[0], 3);
+        });
+    }
+
+    #[test]
+    fn crash_tears_a_multi_block_run() {
+        use parsim::CrashAt;
+        on_disk(DiskProfile::instant(), |ctx, disk| {
+            disk.schedule_crashes(CrashSchedule::from_plan(
+                &[CrashAt {
+                    disk: 0,
+                    after_writes: 3,
+                    down: SimDuration::from_millis(1),
+                }],
+                0,
+            ));
+            let writes: Vec<(BlockAddr, Bytes)> = (0..6u32)
+                .map(|i| (BlockAddr::new(i), Bytes::from(block_of(i as u8 + 1))))
+                .collect();
+            assert_eq!(
+                disk.write_many(ctx, &writes).unwrap_err(),
+                DiskError::Crashed
+            );
+            // The pre-crash prefix persisted; the tail never reached media.
+            for i in 0..3u32 {
+                assert_eq!(disk.read_raw(BlockAddr::new(i)).unwrap()[0], i as u8 + 1);
+            }
+            for i in 3..6u32 {
+                assert!(disk.read_raw(BlockAddr::new(i)).is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn crash_schedule_ignores_other_disks_and_stale_triggers() {
+        use parsim::CrashAt;
+        let kill = CrashAt {
+            disk: 1,
+            after_writes: 2,
+            down: SimDuration::from_millis(1),
+        };
+        assert!(CrashSchedule::from_plan(&[kill], 0).is_none());
+        assert!(CrashSchedule::from_plan(&[], 1).is_none());
+        on_disk(DiskProfile::instant(), |ctx, disk| {
+            // Two triggers; after the first fires and the disk revives,
+            // the second (later ordinal) still arms, but a trigger whose
+            // ordinal already passed is dropped at revive.
+            disk.schedule_crashes(CrashSchedule::from_plan(
+                &[
+                    CrashAt {
+                        disk: 0,
+                        after_writes: 1,
+                        down: SimDuration::from_millis(1),
+                    },
+                    CrashAt {
+                        disk: 0,
+                        after_writes: 2,
+                        down: SimDuration::from_millis(2),
+                    },
+                ],
+                0,
+            ));
+            disk.write(ctx, BlockAddr::new(0), &block_of(1)).unwrap();
+            assert!(disk.crash_down().is_some());
+            disk.revive();
+            disk.write(ctx, BlockAddr::new(1), &block_of(2)).unwrap();
+            assert_eq!(disk.crash_down(), Some(SimDuration::from_millis(2)));
+            disk.revive();
+            disk.write(ctx, BlockAddr::new(2), &block_of(3)).unwrap();
+            assert!(disk.crash_down().is_none(), "no triggers left");
+        });
+    }
+
+    #[test]
+    fn flush_is_free_when_idle_and_drains_write_behind() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let node = sim.add_node("io");
+        sim.block_on(node, "driver", |ctx| {
+            let mut disk = SimDisk::new(DiskGeometry::default(), DiskProfile::wren());
+            let t0 = ctx.now();
+            disk.flush(ctx).unwrap();
+            assert_eq!(ctx.now(), t0, "flush on a synchronous disk is free");
+            disk.enable_write_behind(8);
+            for i in 0..4u32 {
+                disk.write(ctx, BlockAddr::new(i), &block_of(i as u8))
+                    .unwrap();
+            }
+            let t1 = ctx.now();
+            disk.flush(ctx).unwrap();
+            assert!(
+                ctx.now() - t1 > SimDuration::from_millis(30),
+                "flush waits for the queued media work"
+            );
+            assert_eq!(disk.deferred_outstanding(ctx.now()), 0);
+            let t2 = ctx.now();
+            disk.flush(ctx).unwrap();
+            assert_eq!(ctx.now(), t2, "flush on a drained queue is free");
         });
     }
 

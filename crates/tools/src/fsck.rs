@@ -1,0 +1,153 @@
+//! pfsck — whole-machine consistency checking, one checker per LFS.
+//!
+//! A Bridge file is striped over every instance, so a "file system check"
+//! is really `p` independent checks: each LFS audits its own directory,
+//! chains, and allocator ([`Efs::fsck_timed`](bridge_efs::Efs)). pfsck is
+//! the tool that runs them — in parallel, one worker per node, the same
+//! move-the-computation shape as the copy and scan tools — and folds the
+//! per-instance [`FsckReport`]s into a single machine-wide verdict. The
+//! serial mode visits instances one at a time from the controller and
+//! exists as the baseline the `fsck_speedup` bench measures against.
+
+use crate::error::ToolError;
+use crate::options::ToolOptions;
+use crate::toolkit::{run_workers, WorkerSpec};
+use bridge_efs::{FsckReport, LfsClient, LfsData, LfsOp, RetryPolicy};
+use parsim::{Ctx, NodeId, ProcId, SimDuration};
+
+/// How pfsck visits the instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsckMode {
+    /// One checking worker per LFS node, all instances audited
+    /// concurrently — the tool's point.
+    #[default]
+    Parallel,
+    /// The controller checks instances one at a time: the serial baseline
+    /// the parallel speedup is measured against.
+    Serial,
+}
+
+/// pfsck tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FsckOptions {
+    /// Repair what can be repaired (truncate torn tails, drop dangling
+    /// entries, rebuild the allocator); `false` is check-only.
+    pub repair: bool,
+    /// Parallel or serial visit order.
+    pub mode: FsckMode,
+    /// Worker startup topology and costs (parallel mode).
+    pub tool: ToolOptions,
+    /// Retry policy for the per-instance Fsck calls. The default
+    /// ([`RetryPolicy::none`]) waits indefinitely; checks run against a
+    /// machine with crash faults armed should use
+    /// [`RetryPolicy::standard`] so a kill mid-check is ridden out.
+    pub retry: RetryPolicy,
+}
+
+/// The machine-wide outcome of a pfsck run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckVerdict {
+    /// Per-instance reports, by LFS ordinal.
+    pub reports: Vec<FsckReport>,
+    /// Total inconsistencies repaired across all instances.
+    pub repaired: u32,
+    /// Virtual time the whole check took.
+    pub elapsed: SimDuration,
+}
+
+impl FsckVerdict {
+    /// True when no instance found any inconsistency.
+    pub fn clean(&self) -> bool {
+        self.reports.iter().all(|r| r.errors.is_empty())
+    }
+
+    /// Every inconsistency message, prefixed with its LFS ordinal.
+    pub fn errors(&self) -> Vec<String> {
+        self.reports
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.errors.iter().map(move |e| format!("lfs{i}: {e}")))
+            .collect()
+    }
+}
+
+/// Checks (and with [`FsckOptions::repair`], repairs) every LFS instance
+/// of a machine. `lfs` pairs each instance's server process with the node
+/// it runs on, by LFS ordinal — zip a
+/// [`BridgeMachine`](bridge_core::BridgeMachine)'s `lfs` and `lfs_nodes`.
+///
+/// Emits a `fsck.pfsck` span covering the whole run; each instance's
+/// passes emit their own `fsck.*` spans server-side.
+///
+/// # Errors
+///
+/// Propagates LFS errors and worker protocol failures.
+pub fn pfsck(
+    ctx: &mut Ctx,
+    lfs: &[(ProcId, NodeId)],
+    opts: &FsckOptions,
+) -> Result<FsckVerdict, ToolError> {
+    let t0 = ctx.now();
+    let repair = opts.repair;
+    let reports = match opts.mode {
+        FsckMode::Serial => {
+            let mut client = LfsClient::with_retry(opts.retry);
+            let mut reports = Vec::with_capacity(lfs.len());
+            for &(proc, _) in lfs {
+                reports.push(expect_report(client.call(
+                    ctx,
+                    proc,
+                    LfsOp::Fsck { repair },
+                )?)?);
+            }
+            reports
+        }
+        FsckMode::Parallel => {
+            let specs: Vec<WorkerSpec<FsckReport>> = lfs
+                .iter()
+                .enumerate()
+                .map(|(i, &(proc, node))| {
+                    let retry = opts.retry;
+                    WorkerSpec {
+                        node,
+                        name: format!("pfsck{i}"),
+                        run: Box::new(move |c: &mut Ctx| {
+                            let mut client = LfsClient::with_retry(retry);
+                            expect_report(client.call(c, proc, LfsOp::Fsck { repair })?)
+                        }),
+                    }
+                })
+                .collect();
+            run_workers(ctx, &opts.tool, specs)?
+        }
+    };
+    let repaired = reports.iter().map(|r| r.repaired).sum();
+    let verdict = FsckVerdict {
+        repaired,
+        elapsed: ctx.now().duration_since(t0),
+        reports,
+    };
+    if ctx.trace_enabled() {
+        ctx.trace_span(
+            "fsck",
+            "fsck.pfsck",
+            t0,
+            &[
+                ("instances", lfs.len() as u64),
+                ("repaired", u64::from(verdict.repaired)),
+                ("errors", verdict.errors().len() as u64),
+                ("clean", u64::from(verdict.clean())),
+            ],
+        );
+    }
+    Ok(verdict)
+}
+
+fn expect_report(data: LfsData) -> Result<FsckReport, ToolError> {
+    match data {
+        LfsData::Fsck(report) => Ok(report),
+        other => Err(ToolError::Protocol(format!(
+            "unexpected fsck reply: {other:?}"
+        ))),
+    }
+}

@@ -16,6 +16,8 @@
 //!   return "a small amount of information at completion time".
 //! * [`sort`] — the §5.2 two-phase merge sort: local external sorts, then
 //!   log(p) passes of the Figure-4 token-passing parallel merge.
+//! * [`pfsck`] — whole-machine consistency check and repair, auditing all
+//!   `p` LFS instances in parallel (with a serial baseline mode).
 //!
 //! ## Example
 //!
@@ -46,6 +48,7 @@
 mod column;
 mod copy;
 mod error;
+mod fsck;
 mod options;
 mod scan;
 mod sort;
@@ -54,6 +57,7 @@ mod toolkit;
 pub use column::{ColumnReader, ColumnWriter};
 pub use copy::{copy, copy_with, transforms, BlockTransform, CopyStats};
 pub use error::ToolError;
+pub use fsck::{pfsck, FsckMode, FsckOptions, FsckVerdict};
 pub use options::{Fanout, ToolOptions};
 pub use scan::{grep, summarize, Match, Summary};
 pub use sort::{key_of, sort, LocalMergeArity, SortOptions, SortStats, KEY_LEN};

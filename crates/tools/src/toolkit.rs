@@ -7,10 +7,22 @@
 //! (3) a lengthy series of interactions between the subprocesses and the
 //! instances of LFS." This module is phase (2), with completion handled by
 //! the same topology.
+//!
+//! Completion is delivered with an at-least-once protocol: each worker
+//! tags its result batch with a sender-unique id, resends it on a capped
+//! exponential backoff until the collector acknowledges, and collectors
+//! merge batches idempotently by worker index. A fault plan that drops,
+//! duplicates, or delays messages therefore cannot strand the join — the
+//! property pfsck relies on when it audits a machine whose interconnect
+//! is still under an armed [`FaultPlan`](parsim::FaultPlan). Only node
+//! outages that kill a worker process outright are out of scope; tools
+//! start their workers after forming a plan and assume the nodes they
+//! picked stay up for the (short) completion exchange.
 
 use crate::error::ToolError;
 use crate::options::{Fanout, ToolOptions};
-use parsim::{Ctx, NodeId, ProcId};
+use parsim::{Ctx, NodeId, ProcId, SimDuration};
+use std::collections::BTreeSet;
 
 /// The boxed body a worker runs on its node.
 pub type WorkerBody<R> = Box<dyn FnOnce(&mut Ctx) -> Result<R, ToolError> + Send>;
@@ -37,6 +49,94 @@ impl<R> std::fmt::Debug for WorkerSpec<R> {
 
 type Batch<R> = Vec<(usize, Result<R, ToolError>)>;
 
+/// Wire form of a completion batch: the results plus a sender-unique tag
+/// the collector echoes back in its [`BatchAck`]. Sent cloneable so
+/// duplicate-delivery faults exercise the collectors' dedup.
+#[derive(Debug, Clone)]
+struct TaggedBatch<R> {
+    delivery: u64,
+    batch: Batch<R>,
+}
+
+/// Collector → worker acknowledgement of a [`TaggedBatch`].
+#[derive(Debug, Clone, Copy)]
+struct BatchAck {
+    delivery: u64,
+}
+
+/// First ack wait; doubles per resend up to [`DELIVERY_BACKOFF_CAP_MS`].
+const DELIVERY_TIMEOUT_MS: u64 = 250;
+const DELIVERY_BACKOFF_CAP_MS: u64 = 4_000;
+/// Send attempts before a worker stops waiting for its ack. Far above any
+/// bounded fault plan's consecutive-drop cap, so the batch itself always
+/// lands; only the terminal ack can be abandoned, and an unacked worker
+/// exits instead of resending forever.
+const DELIVERY_ATTEMPTS: u32 = 32;
+
+/// Sends `batch` to `parent` until acknowledged (at-least-once). While
+/// waiting for the ack, keeps re-acknowledging any child batch resends so
+/// a relay's own children are never stranded by a lost ack.
+fn deliver_batch<R: Clone + Send + 'static>(ctx: &mut Ctx, parent: ProcId, batch: Batch<R>) {
+    let delivery = ctx.unique_id();
+    let mut wait = SimDuration::from_millis(DELIVERY_TIMEOUT_MS);
+    let cap = SimDuration::from_millis(DELIVERY_BACKOFF_CAP_MS);
+    for _ in 0..DELIVERY_ATTEMPTS {
+        ctx.send_sized_cloneable(
+            parent,
+            TaggedBatch {
+                delivery,
+                batch: batch.clone(),
+            },
+            0,
+        );
+        loop {
+            let is_my_ack = |e: &parsim::Envelope| {
+                e.from() == parent
+                    && e.downcast_ref::<BatchAck>()
+                        .is_some_and(|a| a.delivery == delivery)
+            };
+            let Some(env) =
+                ctx.recv_where_timeout(|e| is_my_ack(e) || e.is::<TaggedBatch<R>>(), wait)
+            else {
+                break; // timed out: resend
+            };
+            if env.is::<TaggedBatch<R>>() {
+                // A child's resend of a batch this relay already merged:
+                // re-acknowledge so the child can stop.
+                ack_batch::<R>(ctx, env);
+            } else {
+                ctx.discard_stashed(is_my_ack);
+                return;
+            }
+        }
+        wait = SimDuration::from_nanos(wait.as_nanos().saturating_mul(2)).min(cap);
+    }
+    // The ack never arrived. Under a bounded fault plan the batch itself
+    // has long since been delivered; give up on the receipt and exit.
+}
+
+/// Receives the next [`TaggedBatch`], acknowledges it, and returns it.
+fn recv_batch<R: Send + 'static>(ctx: &mut Ctx) -> Batch<R> {
+    let env = ctx.recv_where(|e| e.is::<TaggedBatch<R>>());
+    ack_batch::<R>(ctx, env)
+}
+
+/// Acknowledges a received batch envelope and unwraps its payload.
+fn ack_batch<R: Send + 'static>(ctx: &mut Ctx, env: parsim::Envelope) -> Batch<R> {
+    let from = env.from();
+    let tb = env
+        .downcast::<TaggedBatch<R>>()
+        .expect("caller matched the type");
+    ctx.send_sized_cloneable(
+        from,
+        BatchAck {
+            delivery: tb.delivery,
+        },
+        0,
+    );
+    tb.batch
+}
+
 /// Starts every worker, waits for all of them, and returns their results
 /// in spec order.
 ///
@@ -47,7 +147,7 @@ type Batch<R> = Vec<(usize, Result<R, ToolError>)>;
 /// # Errors
 ///
 /// Returns the first failing worker's error (by spec order).
-pub fn run_workers<R: Send + 'static>(
+pub fn run_workers<R: Clone + Send + 'static>(
     ctx: &mut Ctx,
     opts: &ToolOptions,
     specs: Vec<WorkerSpec<R>>,
@@ -66,26 +166,32 @@ pub fn run_workers<R: Send + 'static>(
                 ctx.delay(opts.spawn_cost);
                 ctx.spawn(spec.node, spec.name, move |c: &mut Ctx| {
                     let r = (spec.run)(c);
-                    c.send(me, vec![(idx, r)] as Batch<R>);
+                    deliver_batch(c, me, vec![(idx, r)]);
                 });
-            }
-            for _ in 0..n {
-                let (_, batch) = ctx.recv_as::<Batch<R>>();
-                for (idx, r) in batch {
-                    collected[idx] = Some(r);
-                }
             }
         }
         Fanout::Tree => {
             let indexed: Vec<(usize, WorkerSpec<R>)> = specs.into_iter().enumerate().collect();
             let spawn_cost = opts.spawn_cost;
             spawn_subtree(ctx, me, indexed, spawn_cost);
-            let (_, batch) = ctx.recv_as::<Batch<R>>();
-            for (idx, r) in batch {
-                collected[idx] = Some(r);
+        }
+    }
+
+    // Merge until every worker index has reported; duplicates re-deliver
+    // indices that are already filled and are ignored.
+    let mut remaining = n;
+    while remaining > 0 {
+        for (idx, r) in recv_batch::<R>(ctx) {
+            let slot = &mut collected[idx];
+            if slot.is_none() {
+                *slot = Some(r);
+                remaining -= 1;
             }
         }
     }
+    // Late resends may still be parked in the stash; they are merged
+    // already, so drop them rather than leak them to later receives.
+    ctx.discard_stashed(|e| e.is::<TaggedBatch<R>>());
 
     let mut out = Vec::with_capacity(n);
     for (idx, slot) in collected.into_iter().enumerate() {
@@ -99,9 +205,9 @@ pub fn run_workers<R: Send + 'static>(
 }
 
 /// Spawns the head of `specs` as a relay worker that starts the two halves
-/// of the remainder, runs its own body, and sends the aggregated batch to
-/// `parent`.
-fn spawn_subtree<R: Send + 'static>(
+/// of the remainder, runs its own body, collects its subtree's batches,
+/// and delivers the aggregate to `parent`.
+fn spawn_subtree<R: Clone + Send + 'static>(
     ctx: &mut Ctx,
     parent: ProcId,
     mut specs: Vec<(usize, WorkerSpec<R>)>,
@@ -113,33 +219,35 @@ fn spawn_subtree<R: Send + 'static>(
     ctx.delay(spawn_cost);
     ctx.spawn(spec.node, spec.name, move |c: &mut Ctx| {
         let me = c.me();
-        let mid = rest.len() / 2;
+        let below = rest.len();
+        let mid = below / 2;
         let mut rest = rest;
         let right = rest.split_off(mid);
         let left = rest;
-        let mut children = 0;
         if !left.is_empty() {
             spawn_subtree(c, me, left, spawn_cost);
-            children += 1;
         }
         if !right.is_empty() {
             spawn_subtree(c, me, right, spawn_cost);
-            children += 1;
         }
         let mine = (spec.run)(c);
         let mut batch: Batch<R> = vec![(idx, mine)];
-        for _ in 0..children {
-            let (_, sub) = c.recv_as::<Batch<R>>();
-            batch.extend(sub);
+        let mut have: BTreeSet<usize> = BTreeSet::new();
+        while have.len() < below {
+            for (i, r) in recv_batch::<R>(c) {
+                if have.insert(i) {
+                    batch.push((i, r));
+                }
+            }
         }
-        c.send(parent, batch);
+        deliver_batch(c, parent, batch);
     });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parsim::{SimConfig, SimDuration, SimTime, Simulation};
+    use parsim::{FaultPlan, MsgFaults, SimConfig, SimDuration, SimTime, Simulation};
 
     fn run_with(fanout: Fanout, workers: usize) -> (Vec<u32>, SimDuration) {
         let mut sim = Simulation::new(SimConfig::default());
@@ -227,5 +335,55 @@ mod tests {
         });
         assert!(out.is_empty());
         assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    /// The join must survive an interconnect that drops, duplicates, and
+    /// delays completion traffic — the regression that stranded pfsck
+    /// under crash-era chaos plans.
+    #[test]
+    fn join_survives_message_faults_both_modes() {
+        for fanout in [Fanout::Serial, Fanout::Tree] {
+            for seed in 1..=8u64 {
+                let config = SimConfig {
+                    faults: FaultPlan {
+                        seed,
+                        msg: MsgFaults {
+                            drop_per_mille: 300,
+                            dup_per_mille: 250,
+                            delay_per_mille: 300,
+                            delay_max: SimDuration::from_millis(80),
+                            max_consecutive_drops: 4,
+                        },
+                        ..FaultPlan::default()
+                    },
+                    ..SimConfig::default()
+                };
+                let mut sim = Simulation::new(config);
+                let nodes: Vec<NodeId> = (0..9).map(|i| sim.add_node(format!("n{i}"))).collect();
+                let ctrl = sim.add_node("ctrl");
+                let opts = ToolOptions {
+                    spawn_cost: SimDuration::from_millis(10),
+                    fanout,
+                    ..ToolOptions::default()
+                };
+                let results = sim.block_on(ctrl, "controller", move |ctx| {
+                    let specs: Vec<WorkerSpec<u32>> = nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &node)| WorkerSpec {
+                            node,
+                            name: format!("w{i}"),
+                            run: Box::new(move |_c: &mut Ctx| Ok(i as u32 * 10)),
+                        })
+                        .collect();
+                    run_workers(ctx, &opts, specs).unwrap()
+                });
+                assert_eq!(
+                    results,
+                    (0..9).map(|i| i * 10).collect::<Vec<_>>(),
+                    "fanout {fanout:?} seed {seed}"
+                );
+            }
+        }
     }
 }

@@ -18,12 +18,26 @@
 //!   the panic message carries the replay command.
 //! * `fault_seed_corpus_replays_clean` — regression corpus: every seed in
 //!   `tests/fault_seeds/` replays on plain `cargo test`, forever.
+//!
+//! The WAL era adds **crash-at-any-point** kills to the bounded envelope:
+//! on a machine with the per-LFS write-ahead log enabled, a plan may also
+//! kill nodes between any two elementary disk writes
+//! ([`CrashAt`]). The invariant is the same — every acknowledged
+//! operation survives, replies and final contents equal the fault-free
+//! run's — and each crash run additionally ends with a machine-wide
+//! `pfsck --check` whose clean verdict joins the transcript. The crash
+//! entry points mirror the originals: the
+//! `crash_schedules_preserve_acknowledged_writes` proptest, the
+//! `crash_soak` CI hook (`CRASH_SEED` / `CRASH_CASES` / `CRASH_REPLAY`),
+//! and `crash_seed_corpus_replays_clean` over `tests/fault_seeds/
+//! *.crashseed`.
 
 use bridge_repro::core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec, PlacementSpec};
 use bridge_repro::parsim::{
-    mix64, splitmix64, BlockFaultRule, DiskFaults, FaultPlan, MsgFaults, NodeId, Outage,
-    OutageKind, RunStats, SimDuration, SimTime,
+    mix64, splitmix64, BlockFaultRule, CrashAt, DiskFaults, FaultPlan, MsgFaults, NodeId, Outage,
+    OutageKind, ProcId, RunStats, SimDuration, SimTime,
 };
+use bridge_repro::tools::{pfsck, FsckOptions};
 use bridge_repro::trace::{Metrics, TraceCollector};
 use proptest::prelude::*;
 use std::fmt::Write as _;
@@ -90,7 +104,26 @@ fn plan_from_seed(seed: u64) -> FaultPlan {
         msg,
         outages,
         disk,
+        crashes: Vec::new(),
     }
+}
+
+/// Draws a crash-era plan: the bounded envelope of [`plan_from_seed`]
+/// plus one or two crash-at-any-point node kills. Write ordinals stay
+/// small enough to land inside (or just past) the workload's write
+/// stream, and down windows stay far below the retry budget.
+fn crash_plan_from_seed(seed: u64) -> FaultPlan {
+    let mut plan = plan_from_seed(seed);
+    let mut s = mix64(seed, 0x0C4A_511E);
+    let mut draw = move || splitmix64(&mut s);
+    for _ in 0..1 + draw() % 2 {
+        plan.crashes.push(CrashAt {
+            disk: (draw() % u64::from(BREADTH)) as u32,
+            after_writes: 1 + draw() % 256,
+            down: SimDuration::from_millis(200 + draw() % 1_800),
+        });
+    }
+    plan
 }
 
 /// Deterministic payload for append/overwrite `i` of stream `tag`.
@@ -115,8 +148,26 @@ fn fnv(bytes: &[u8]) -> u64 {
 /// client-visible reply (results and read-back contents, no timing),
 /// plus the run's scheduler counters.
 fn run_workload(config: &BridgeConfig) -> (Vec<String>, RunStats) {
+    run_workload_with(config, false)
+}
+
+/// [`run_workload`] on a WAL-era machine: the transcript additionally
+/// ends with a machine-wide `pfsck --check` verdict, so a crash plan must
+/// not only preserve replies and contents but also leave every instance
+/// consistent.
+fn run_wal_workload(config: &BridgeConfig) -> (Vec<String>, RunStats) {
+    run_workload_with(config, true)
+}
+
+fn run_workload_with(config: &BridgeConfig, pfsck_tail: bool) -> (Vec<String>, RunStats) {
     let (mut sim, machine) = BridgeMachine::build(config);
     let server = machine.server;
+    let pairs: Vec<(ProcId, NodeId)> = machine
+        .lfs
+        .iter()
+        .copied()
+        .zip(machine.lfs_nodes.iter().copied())
+        .collect();
     let retry = config.server.lfs_retry;
     let log = sim.block_on(machine.frontend, "chaos-client", move |ctx| {
         let mut bridge = BridgeClient::with_retry(server, retry);
@@ -186,6 +237,23 @@ fn run_workload(config: &BridgeConfig) -> (Vec<String>, RunStats) {
             write!(line, " {:016x}", fnv(&block)).unwrap();
         }
         log.push(line);
+        if pfsck_tail {
+            let verdict = pfsck(
+                ctx,
+                &pairs,
+                &FsckOptions {
+                    retry,
+                    ..FsckOptions::default()
+                },
+            )
+            .expect("pfsck");
+            log.push(format!(
+                "pfsck clean={} repaired={} errors={:?}",
+                verdict.clean(),
+                verdict.repaired,
+                verdict.errors(),
+            ));
+        }
         log
     });
     (log, sim.stats())
@@ -207,7 +275,7 @@ fn check_plan(label: &str, plan: FaultPlan) -> (RunStats, RunStats) {
         .zip(faulted.iter())
         .position(|(b, f)| b != f)
         .unwrap_or_else(|| baseline.len().min(faulted.len()));
-    record_failure(plan.seed);
+    record_failure(plan.seed, "seed");
     panic!(
         "chaos invariant violated ({label}, plan seed {seed}):\n\
          first divergence at reply {divergence}:\n\
@@ -223,6 +291,42 @@ fn check_plan(label: &str, plan: FaultPlan) -> (RunStats, RunStats) {
 
 fn check_seed(label: &str, seed: u64) {
     check_plan(label, plan_from_seed(seed));
+}
+
+/// The crash-era headline invariant for one plan, on a WAL machine:
+/// transcript (replies, contents, **and** the closing pfsck verdict)
+/// under crashes+faults+retries equals the fault-free transcript.
+fn check_crash_plan(label: &str, plan: FaultPlan) -> (RunStats, RunStats) {
+    let (baseline, base_stats) = run_wal_workload(&BridgeConfig::instant(BREADTH).with_wal());
+    let (faulted, fault_stats) = run_wal_workload(
+        &BridgeConfig::instant(BREADTH)
+            .with_wal()
+            .with_faults(plan.clone()),
+    );
+    if baseline == faulted {
+        return (base_stats, fault_stats);
+    }
+    let divergence = baseline
+        .iter()
+        .zip(faulted.iter())
+        .position(|(b, f)| b != f)
+        .unwrap_or_else(|| baseline.len().min(faulted.len()));
+    record_failure(plan.seed, "crashseed");
+    panic!(
+        "crash invariant violated ({label}, plan seed {seed}):\n\
+         first divergence at reply {divergence}:\n\
+           fault-free: {base:?}\n\
+           faulted:    {fault:?}\n\
+         replay with: CRASH_REPLAY={seed} cargo test --test chaos crash_soak\n\
+         plan: {plan:?}",
+        seed = plan.seed,
+        base = baseline.get(divergence),
+        fault = faulted.get(divergence),
+    );
+}
+
+fn check_crash_seed(label: &str, seed: u64) {
+    check_crash_plan(label, crash_plan_from_seed(seed));
 }
 
 /// A mid-rate everything-on plan for tests that need fault activity
@@ -248,13 +352,15 @@ fn storm_plan(seed: u64) -> FaultPlan {
 
 /// Saves a failing plan seed under `target/chaos_failures/` so CI can
 /// upload it as an artifact (and a developer can move it into
-/// `tests/fault_seeds/` to pin the regression).
-fn record_failure(seed: u64) {
+/// `tests/fault_seeds/` to pin the regression). The extension picks the
+/// replay command: `.seed` for `CHAOS_REPLAY`, `.crashseed` for
+/// `CRASH_REPLAY`.
+fn record_failure(seed: u64, ext: &str) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("target")
         .join("chaos_failures");
     if std::fs::create_dir_all(&dir).is_ok() {
-        let _ = std::fs::write(dir.join(format!("{seed}.seed")), format!("{seed}\n"));
+        let _ = std::fs::write(dir.join(format!("{seed}.{ext}")), format!("{seed}\n"));
     }
 }
 
@@ -283,6 +389,61 @@ fn chaos_soak() {
     let cases = env_u64("CHAOS_CASES", 6);
     for case in 0..cases {
         check_seed("soak", mix64(base, case));
+    }
+}
+
+/// The crash-soak CI hook: date-seeded crash schedules on a WAL machine
+/// (also a normal quick test when the env is unset). `CRASH_REPLAY`
+/// replays one failing plan seed exactly; failing seeds land in
+/// `target/chaos_failures/` for CI to attach.
+#[test]
+fn crash_soak() {
+    if let Ok(replay) = std::env::var("CRASH_REPLAY") {
+        let seed = replay
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("CRASH_REPLAY must be a u64, got {replay:?}"));
+        check_crash_seed("replay", seed);
+        return;
+    }
+    let base = env_u64("CRASH_SEED", 0x00C4_A5F0);
+    let cases = env_u64("CRASH_CASES", 4);
+    for case in 0..cases {
+        check_crash_seed("crash soak", mix64(base, case));
+    }
+}
+
+/// Every crash-plan seed ever caught in the wild replays clean, forever
+/// (`tests/fault_seeds/*.crashseed`).
+#[test]
+fn crash_seed_corpus_replays_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fault_seeds");
+    let mut seeds = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("tests/fault_seeds exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "crashseed") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable seed file");
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let seed: u64 = line
+                .parse()
+                .unwrap_or_else(|_| panic!("bad seed line {line:?} in {path:?}"));
+            seeds.push(seed);
+        }
+    }
+    assert!(
+        !seeds.is_empty(),
+        "crash corpus must hold at least one seed"
+    );
+    for seed in seeds {
+        check_crash_seed("crash corpus", seed);
     }
 }
 
@@ -429,6 +590,97 @@ fn disk_transients_converge() {
     );
 }
 
+/// Arming a crash schedule that never fires must not change anything:
+/// the write counting is host-side only, so the run is RunStats-bit-
+/// identical to — and transcript-identical with — the same machine with
+/// no plan at all.
+#[test]
+fn inert_crash_plan_is_bit_identical() {
+    let fault_free = BridgeConfig::instant(BREADTH).with_wal();
+    let (base_log, base_stats) = run_wal_workload(&fault_free);
+    let mut armed = fault_free;
+    armed.faults = FaultPlan {
+        seed: 16,
+        crashes: vec![CrashAt {
+            disk: 0,
+            after_writes: u64::MAX,
+            down: SimDuration::from_secs(1),
+        }],
+        ..FaultPlan::none()
+    };
+    let (armed_log, armed_stats) = run_wal_workload(&armed);
+    assert_eq!(base_log, armed_log, "inert crash plan changed a reply");
+    assert_eq!(
+        base_stats, armed_stats,
+        "inert crash plan changed the event stream"
+    );
+}
+
+/// Directed plan: a single node kill in the middle of the write stream,
+/// nothing else. The downtime must cost virtual time (retries riding out
+/// the window), and every acknowledged op must survive recovery.
+#[test]
+fn crash_mid_run_converges() {
+    let (base, faulted) = check_crash_plan(
+        "mid-run crash",
+        FaultPlan {
+            seed: 17,
+            crashes: vec![CrashAt {
+                disk: 1,
+                after_writes: 40,
+                down: SimDuration::from_millis(500),
+            }],
+            ..FaultPlan::none()
+        },
+    );
+    assert!(
+        faulted.end_time > base.end_time,
+        "riding out the crash must take longer: {:?} vs {:?}",
+        faulted.end_time,
+        base.end_time
+    );
+}
+
+/// Directed plan for the replay path: heavy duplicates and delays *plus*
+/// node kills. A delayed duplicate of an operation that committed to the
+/// WAL but had not yet been applied when the node died must be answered
+/// from the recovered dedup window (seeded from the log), never
+/// re-executed against the recovered state.
+#[test]
+fn crash_with_duplicate_storm_replays_committed_ops() {
+    let (base, faulted) = check_crash_plan(
+        "crash + dup storm",
+        FaultPlan {
+            seed: 18,
+            msg: MsgFaults {
+                dup_per_mille: 350,
+                delay_per_mille: 350,
+                delay_max: SimDuration::from_millis(50),
+                ..MsgFaults::default()
+            },
+            crashes: vec![
+                CrashAt {
+                    disk: 0,
+                    after_writes: 25,
+                    down: SimDuration::from_millis(400),
+                },
+                CrashAt {
+                    disk: 2,
+                    after_writes: 60,
+                    down: SimDuration::from_millis(300),
+                },
+            ],
+            ..FaultPlan::none()
+        },
+    );
+    assert!(
+        faulted.messages > base.messages,
+        "duplicates must inflate deliveries: {} vs {}",
+        faulted.messages,
+        base.messages
+    );
+}
+
 /// A traced storm run surfaces its fault and recovery activity through
 /// the metrics pipeline: resends happened, every one of them recovered
 /// (none exhausted), and both message and disk faults were recorded.
@@ -466,5 +718,20 @@ proptest! {
     #[test]
     fn bounded_faults_preserve_observable_behavior(seed in any::<u64>()) {
         check_seed("proptest", seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// The crash-era invariant over random crash schedules layered on
+    /// random bounded plans: acknowledged writes survive, nothing is
+    /// half-applied, and pfsck stays clean.
+    #[test]
+    fn crash_schedules_preserve_acknowledged_writes(seed in any::<u64>()) {
+        check_crash_seed("crash proptest", seed);
     }
 }

@@ -1,0 +1,397 @@
+//! Crash-point and consistency-check coverage for the WAL era (PR 7):
+//!
+//! * `crash_at_every_write_preserves_acknowledged_state` — the exhaustive
+//!   sweep: measure how many elementary disk writes the reference run
+//!   performs on each disk, then re-run the workload killing the node
+//!   after write 1, 2, …, N of each disk. Every run must produce the
+//!   byte-identical client transcript (replies, read-back contents, and
+//!   the closing machine-wide `pfsck --check` verdict).
+//! * `random_crash_schedules_preserve_acknowledged_state` — proptest over
+//!   seeded multi-crash schedules on the same workload.
+//! * `pfsck_detects_and_repairs_seeded_corruptions` /
+//!   `seeded_corruption_mixes_repair_to_clean` — every
+//!   [`CorruptionKind`] planted on a live instance is detected by
+//!   `pfsck`, repaired under `--repair`, and a second pass reports clean.
+//! * `pfsck_smoke` — the quick single-instance detect/repair/clean pass
+//!   the CI pfsck-smoke step runs on every push.
+
+use bridge_repro::core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec, PlacementSpec};
+use bridge_repro::efs::{
+    spawn_lfs, CorruptionKind, Efs, EfsConfig, LfsClient, LfsData, LfsFileId, LfsOp,
+};
+use bridge_repro::parsim::{
+    mix64, splitmix64, CrashAt, FaultPlan, NodeId, ProcId, SimConfig, SimDuration, Simulation,
+};
+use bridge_repro::simdisk::{DiskGeometry, DiskProfile, SimDisk};
+use bridge_repro::tools::{pfsck, FsckOptions};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// Breadth of the sweep machine. Small on purpose: the sweep runs the
+/// workload once per elementary write per disk.
+const BREADTH: u32 = 2;
+
+/// Deterministic payload for append/overwrite `i` of stream `tag`.
+fn content(tag: u8, i: u64) -> Vec<u8> {
+    vec![tag ^ (i as u8), (i >> 8) as u8, tag, 0x42]
+        .into_iter()
+        .cycle()
+        .take(48 + (i as usize % 5) * 16)
+        .collect()
+}
+
+/// FNV-1a, to log block contents compactly.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs the fixed sweep workload on a WAL machine and returns the client
+/// transcript (ending with the machine-wide `pfsck --check` verdict) plus
+/// each disk's elementary write count at the end of the run — the crash
+/// ordinal space the sweep walks.
+fn sweep_workload(config: &BridgeConfig) -> (Vec<String>, Vec<u64>) {
+    let (mut sim, machine) = BridgeMachine::build(config);
+    let server = machine.server;
+    let pairs: Vec<(ProcId, NodeId)> = machine
+        .lfs
+        .iter()
+        .copied()
+        .zip(machine.lfs_nodes.iter().copied())
+        .collect();
+    let retry = config.server.lfs_retry;
+    sim.block_on(machine.frontend, "sweep-client", move |ctx| {
+        let mut bridge = BridgeClient::with_retry(server, retry);
+        let mut log: Vec<String> = Vec::new();
+        let a = bridge
+            .create(
+                ctx,
+                CreateSpec {
+                    placement: PlacementSpec::RoundRobin,
+                    size_hint: Some(16),
+                    ..CreateSpec::default()
+                },
+            )
+            .expect("create a");
+        let b = bridge
+            .create(
+                ctx,
+                CreateSpec {
+                    placement: PlacementSpec::Chunked,
+                    size_hint: Some(8),
+                    ..CreateSpec::default()
+                },
+            )
+            .expect("create b");
+        log.push(format!("create a={a:?} b={b:?}"));
+        for i in 0..10 {
+            let n = bridge
+                .seq_write(ctx, a, content(0xC0, i))
+                .expect("append a");
+            log.push(format!("a.append[{i}] -> {n}"));
+        }
+        for i in 0..6 {
+            let n = bridge
+                .seq_write(ctx, b, content(0xD0, i))
+                .expect("append b");
+            log.push(format!("b.append[{i}] -> {n}"));
+        }
+        bridge
+            .rand_write(ctx, a, 4, content(0xEE, 4))
+            .expect("overwrite a");
+        log.push("a.overwrite[4]".to_string());
+        for (name, file) in [("a", a), ("b", b)] {
+            let info = bridge.open(ctx, file).expect("open");
+            let mut line = format!("{name}.read size={}:", info.size);
+            while let Some(block) = bridge.seq_read(ctx, file).expect("seq read") {
+                write!(line, " {:016x}", fnv(&block)).unwrap();
+            }
+            log.push(line);
+        }
+        let freed = bridge.delete(ctx, b).expect("delete b");
+        log.push(format!("b.delete -> {freed}"));
+        for i in 10..12 {
+            let n = bridge
+                .seq_write(ctx, a, content(0xC0, i))
+                .expect("append a");
+            log.push(format!("a.append[{i}] -> {n}"));
+        }
+        let info = bridge.open(ctx, a).expect("reopen a");
+        let mut line = format!("a.final size={}:", info.size);
+        while let Some(block) = bridge.seq_read(ctx, a).expect("final read") {
+            write!(line, " {:016x}", fnv(&block)).unwrap();
+        }
+        log.push(line);
+        let verdict = pfsck(
+            ctx,
+            &pairs,
+            &FsckOptions {
+                retry,
+                ..FsckOptions::default()
+            },
+        )
+        .expect("pfsck");
+        log.push(format!(
+            "pfsck clean={} repaired={} errors={:?}",
+            verdict.clean(),
+            verdict.repaired,
+            verdict.errors(),
+        ));
+        let mut client = LfsClient::with_retry(retry);
+        let mut writes = Vec::new();
+        for &(proc, _) in &pairs {
+            match client
+                .call(ctx, proc, LfsOp::DiskStats)
+                .expect("disk stats")
+            {
+                LfsData::DiskCounters(stats) => writes.push(stats.writes),
+                other => panic!("unexpected DiskStats reply: {other:?}"),
+            }
+        }
+        (log, writes)
+    })
+}
+
+/// The fault-free reference run, computed once per process.
+fn reference() -> &'static (Vec<String>, Vec<u64>) {
+    static REF: OnceLock<(Vec<String>, Vec<u64>)> = OnceLock::new();
+    REF.get_or_init(|| sweep_workload(&BridgeConfig::instant(BREADTH).with_wal()))
+}
+
+/// Runs the sweep workload under `crashes` and asserts the transcript is
+/// identical to the fault-free reference.
+fn check_crashes(label: &str, crashes: Vec<CrashAt>) {
+    let (baseline, _) = reference();
+    let plan = FaultPlan {
+        seed: 0x0C4A_0007,
+        crashes,
+        ..FaultPlan::none()
+    };
+    let (crashed, _) = sweep_workload(
+        &BridgeConfig::instant(BREADTH)
+            .with_wal()
+            .with_faults(plan.clone()),
+    );
+    assert_eq!(
+        &crashed, baseline,
+        "crash invariant violated ({label}): plan {plan:?}"
+    );
+}
+
+/// The headline sweep: kill each node after every single elementary disk
+/// write it performs (including the WAL appends, commit records,
+/// checkpoints, and the recovery-era writes of earlier crash points in
+/// multi-crash plans — the ordinal space is the reference run's), and
+/// require the acknowledged state to survive every cut.
+#[test]
+fn crash_at_every_write_preserves_acknowledged_state() {
+    let (_, writes) = reference();
+    assert_eq!(writes.len(), BREADTH as usize);
+    let mut swept = 0u64;
+    for (disk, &n) in writes.iter().enumerate() {
+        assert!(n > 0, "disk {disk} never wrote — workload too small");
+        for k in 1..=n {
+            check_crashes(
+                &format!("disk {disk}, write {k}/{n}"),
+                vec![CrashAt {
+                    disk: disk as u32,
+                    after_writes: k,
+                    down: SimDuration::from_millis(300),
+                }],
+            );
+            swept += 1;
+        }
+    }
+    eprintln!("swept {swept} crash points across {} disks", writes.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// Seeded multi-crash schedules (1–3 kills, random disks, ordinals
+    /// and down windows) on the sweep workload: same invariant.
+    #[test]
+    fn random_crash_schedules_preserve_acknowledged_state(seed in any::<u64>()) {
+        let (_, writes) = reference();
+        let max_writes = writes.iter().copied().max().unwrap_or(1);
+        let mut s = mix64(seed, 0x5EED_0C4A);
+        let mut draw = move || splitmix64(&mut s);
+        let mut crashes = Vec::new();
+        for _ in 0..1 + draw() % 3 {
+            crashes.push(CrashAt {
+                disk: (draw() % u64::from(BREADTH)) as u32,
+                // Past-the-end ordinals (never firing) are legal and must
+                // behave like no fault; bias toward in-range cuts.
+                after_writes: 1 + draw() % (max_writes + max_writes / 4 + 1),
+                down: SimDuration::from_millis(100 + draw() % 1_200),
+            });
+        }
+        check_crashes("random schedule", crashes);
+    }
+}
+
+/// Builds one LFS instance per requested corruption: populate a fresh
+/// Efs with a few files, plant the corruption, then hand the damaged
+/// instance to a live LFS server. Returns the simulation, the pfsck
+/// targets, a controller node, and what was corrupted.
+fn corrupted_machine(
+    kinds: &[CorruptionKind],
+) -> (Simulation, Vec<(ProcId, NodeId)>, NodeId, Vec<String>) {
+    let mut sim = Simulation::new(SimConfig::default());
+    let frontend = sim.add_node("frontend");
+    let geometry = DiskGeometry {
+        block_size: 1024,
+        blocks_per_track: 8,
+        tracks: 64,
+    };
+    let mut pairs = Vec::new();
+    let mut planted = Vec::new();
+    for (i, &kind) in kinds.iter().enumerate() {
+        let node = sim.add_node(format!("p{i}"));
+        let mut efs = sim.block_on(node, format!("loader{i}"), move |ctx| {
+            let mut efs = Efs::format(
+                SimDisk::new(geometry, DiskProfile::instant()),
+                EfsConfig {
+                    cpu_per_request: SimDuration::ZERO,
+                    ..EfsConfig::default()
+                },
+            );
+            for f in 0..3u32 {
+                let file = LfsFileId(f);
+                efs.create(ctx, file).expect("create");
+                for block_no in 0..4u32 {
+                    efs.write(
+                        ctx,
+                        file,
+                        block_no,
+                        &content(f as u8, u64::from(block_no)),
+                        None,
+                    )
+                    .expect("write");
+                }
+            }
+            efs.sync(ctx).expect("sync");
+            efs
+        });
+        let desc = efs
+            .seed_corruption(kind)
+            .expect("instance has a corruption target");
+        planted.push(format!("lfs{i}: {desc}"));
+        pairs.push((spawn_lfs(&mut sim, node, format!("lfs{i}"), efs), node));
+    }
+    (sim, pairs, frontend, planted)
+}
+
+/// Runs `pfsck --repair` then `pfsck --check` against `pairs` and
+/// returns both verdicts.
+fn repair_then_check(
+    sim: &mut Simulation,
+    frontend: NodeId,
+    pairs: Vec<(ProcId, NodeId)>,
+) -> (
+    bridge_repro::tools::FsckVerdict,
+    bridge_repro::tools::FsckVerdict,
+) {
+    sim.block_on(frontend, "pfsck-ctl", move |ctx| {
+        let first = pfsck(
+            ctx,
+            &pairs,
+            &FsckOptions {
+                repair: true,
+                ..FsckOptions::default()
+            },
+        )
+        .expect("pfsck --repair");
+        let second = pfsck(ctx, &pairs, &FsckOptions::default()).expect("pfsck --check");
+        (first, second)
+    })
+}
+
+/// Every corruption kind, one per instance: all are detected, all are
+/// repaired, and the second machine-wide pass is clean.
+#[test]
+fn pfsck_detects_and_repairs_seeded_corruptions() {
+    let kinds = [
+        CorruptionKind::TornTail,
+        CorruptionKind::OrphanBlock,
+        CorruptionKind::DanglingEntry,
+    ];
+    let (mut sim, pairs, frontend, planted) = corrupted_machine(&kinds);
+    let (first, second) = repair_then_check(&mut sim, frontend, pairs);
+    assert_eq!(first.reports.len(), kinds.len());
+    for (i, report) in first.reports.iter().enumerate() {
+        assert!(
+            !report.errors.is_empty(),
+            "instance {i} corruption went undetected ({})",
+            planted[i]
+        );
+        assert!(
+            report.repaired > 0,
+            "instance {i} corruption not repaired ({})",
+            planted[i]
+        );
+    }
+    assert!(
+        second.clean(),
+        "second pass must be clean, got {:?}",
+        second.errors()
+    );
+    assert_eq!(second.repaired, 0, "nothing left to repair");
+}
+
+/// The CI pfsck-smoke step: one instance, one corruption, detect →
+/// repair → clean, in well under a second.
+#[test]
+fn pfsck_smoke() {
+    let (mut sim, pairs, frontend, planted) = corrupted_machine(&[CorruptionKind::TornTail]);
+    let (first, second) = repair_then_check(&mut sim, frontend, pairs);
+    assert!(!first.clean(), "corruption undetected ({planted:?})");
+    assert!(first.repaired > 0);
+    assert!(
+        second.clean(),
+        "not repaired to clean: {:?}",
+        second.errors()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random mixes of seeded corruptions across 1–4 instances: pfsck
+    /// with repair always converges to a clean second pass.
+    #[test]
+    fn seeded_corruption_mixes_repair_to_clean(seed in any::<u64>()) {
+        let mut s = mix64(seed, 0xF5C6_u64);
+        let mut draw = move || splitmix64(&mut s);
+        let all = [
+            CorruptionKind::TornTail,
+            CorruptionKind::OrphanBlock,
+            CorruptionKind::DanglingEntry,
+        ];
+        let kinds: Vec<CorruptionKind> = (0..1 + draw() % 4)
+            .map(|_| all[(draw() % 3) as usize])
+            .collect();
+        let (mut sim, pairs, frontend, planted) = corrupted_machine(&kinds);
+        let (first, second) = repair_then_check(&mut sim, frontend, pairs);
+        for (i, report) in first.reports.iter().enumerate() {
+            prop_assert!(
+                !report.errors.is_empty(),
+                "instance {} corruption went undetected ({})", i, planted[i]
+            );
+        }
+        prop_assert!(
+            second.clean(),
+            "second pass not clean: {:?}", second.errors()
+        );
+    }
+}
