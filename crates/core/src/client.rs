@@ -5,7 +5,7 @@ use crate::error::BridgeError;
 use crate::ids::{BridgeFileId, JobId};
 use crate::protocol::{
     request_wire_size, BridgeCmd, BridgeData, BridgeReply, BridgeRequest, CreateSpec, JobDeliver,
-    JobRequest, JobSupply, MachineInfo, OpenInfo,
+    JobRequest, JobSupply, MachineInfo, MachineManifest, OpenInfo,
 };
 use bridge_efs::RetryPolicy;
 use bytes::Bytes;
@@ -428,6 +428,19 @@ impl BridgeClient {
         match self.call(ctx, BridgeCmd::GetInfo)? {
             BridgeData::Info(info) => Ok(info),
             other => Err(unexpected("Info", &other)),
+        }
+    }
+
+    /// Fetches the server's directory manifest and 2PC decision history
+    /// (the input to `pfsck`'s machine-wide pass).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn get_manifest(&mut self, ctx: &mut Ctx) -> Result<MachineManifest, BridgeError> {
+        match self.call(ctx, BridgeCmd::GetManifest)? {
+            BridgeData::Manifest(m) => Ok(m),
+            other => Err(unexpected("Manifest", &other)),
         }
     }
 }

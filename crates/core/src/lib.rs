@@ -50,6 +50,7 @@ mod placement;
 mod protocol;
 mod redundancy;
 mod server;
+mod txlog;
 
 pub use client::{BridgeClient, JobWorker};
 pub use error::BridgeError;
@@ -63,12 +64,13 @@ pub use placement::{Placement, PlacementCursor, PlacementKind};
 pub use protocol::{
     reply_wire_size, request_wire_size, BridgeCmd, BridgeData, BridgeReply, BridgeRequest,
     CreateSpec, FanoutAck, FanoutCreate, JobDeliver, JobRequest, JobSupply, LfsSlice, MachineInfo,
-    OpenInfo, PlacementSpec,
+    MachineManifest, ManifestEntry, OpenInfo, PlacementSpec,
 };
 pub use redundancy::{xor_into, ParityLayout, Redundancy};
 pub use server::{
     spawn_bridge_agent, spawn_bridge_server, BatchPolicy, BridgeServerConfig, CreateFanout,
 };
+pub use txlog::{LoggedDecision, TxLog, TxParticipant, TxRecord, TXLOG_MAGIC};
 // Re-exported so machine builders can set a policy without naming simdisk.
 pub use simdisk::{SchedConfig, SchedPolicy};
 // Re-exported so applications can install client retries (and fault plans

@@ -6,10 +6,11 @@
 //! interconnect.
 
 use crate::server::{spawn_bridge_agent, spawn_bridge_server, BridgeServerConfig};
+use crate::txlog::TxLog;
 use bridge_efs::{spawn_lfs_sched, Efs, EfsConfig, RetryPolicy};
 use parsim::{
     Engine, FaultPlan, NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle,
-    UniformLatency,
+    UniformLatency, SERVER_DISK,
 };
 use simdisk::{CrashSchedule, DiskFaultState, DiskGeometry, DiskProfile, SchedConfig, SimDisk};
 
@@ -56,6 +57,13 @@ pub struct BridgeConfig {
     /// the run-to-completion fiber engine wherever supported; results are
     /// bit-identical either way, only host-side speed differs.
     pub engine: Engine,
+    /// Give the server a decision log on its own disk and route every
+    /// multi-instance mutation through presumed-abort two-phase commit
+    /// (see [`TxLog`]). Off by default: without it the machine takes the
+    /// exact pre-2PC code path, bit for bit. Implies per-LFS WALs — the
+    /// participants' PREPARE records live there — so enable via
+    /// [`BridgeConfig::with_2pc`].
+    pub two_pc: bool,
 }
 
 impl BridgeConfig {
@@ -75,6 +83,7 @@ impl BridgeConfig {
             tracer: None,
             faults: FaultPlan::none(),
             engine: Engine::auto(),
+            two_pc: false,
         }
     }
 
@@ -106,6 +115,7 @@ impl BridgeConfig {
             tracer: None,
             faults: FaultPlan::none(),
             engine: Engine::auto(),
+            two_pc: false,
         }
     }
 
@@ -134,6 +144,18 @@ impl BridgeConfig {
     /// acknowledged writes.
     pub fn with_wal(mut self) -> Self {
         self.efs.wal = bridge_efs::WalConfig::standard();
+        self
+    }
+
+    /// `self` with machine-wide atomicity: [`with_wal`](Self::with_wal)
+    /// plus a presumed-abort two-phase commit coordinator in the server,
+    /// logging its decisions to a ring on the server node's own disk.
+    /// Every Create and Delete/DeleteMany then either lands on all of a
+    /// file's placement nodes or on none, across any crash point —
+    /// participant or coordinator.
+    pub fn with_2pc(mut self) -> Self {
+        self = self.with_wal();
+        self.two_pc = true;
         self
     }
 }
@@ -222,6 +244,17 @@ impl BridgeMachine {
         }
         let pairs: Vec<(ProcId, NodeId)> =
             lfs.iter().copied().zip(lfs_nodes.iter().copied()).collect();
+        let txlog = config.two_pc.then(|| {
+            // The coordinator's decision log rides its own small disk on
+            // the server node; crash plans address it as [`SERVER_DISK`],
+            // so LFS-ordinal rules never alias it.
+            let mut disk = SimDisk::new(TxLog::geometry(), config.disk_profile);
+            disk.schedule_crashes(CrashSchedule::from_plan(
+                &config.faults.crashes,
+                SERVER_DISK,
+            ));
+            TxLog::format(disk)
+        });
         let server = spawn_bridge_server(
             sim,
             server_node,
@@ -230,6 +263,7 @@ impl BridgeMachine {
             agents.clone(),
             config.server,
             config.sched.policy,
+            txlog,
         );
         BridgeMachine {
             server,

@@ -152,6 +152,10 @@ pub enum BridgeCmd {
     },
     /// Structural information for tools.
     GetInfo,
+    /// The full directory — every file with its placement — plus the
+    /// coordinator's logged 2PC decisions. `pfsck`'s machine-wide pass
+    /// cross-checks this manifest against what each LFS actually holds.
+    GetManifest,
 }
 
 impl BridgeCmd {
@@ -172,6 +176,7 @@ impl BridgeCmd {
             BridgeCmd::JobClose { .. } => "bridge.job_close",
             BridgeCmd::Rebuild { .. } => "bridge.rebuild",
             BridgeCmd::GetInfo => "bridge.get_info",
+            BridgeCmd::GetManifest => "bridge.get_manifest",
         }
     }
 }
@@ -230,6 +235,8 @@ pub enum BridgeData {
     },
     /// `GetInfo` result.
     Info(MachineInfo),
+    /// `GetManifest` result.
+    Manifest(MachineManifest),
 }
 
 /// Everything a tool needs to bypass the server: the paper's `Open` returns
@@ -279,6 +286,38 @@ pub struct MachineInfo {
     pub server_node: NodeId,
     /// The request-scheduling policy the LFS instances run.
     pub sched: simdisk::SchedPolicy,
+}
+
+/// One directory entry as `pfsck`'s machine-wide pass sees it: which LFS
+/// columns the server believes this file occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The Bridge file.
+    pub file: BridgeFileId,
+    /// Its numeric local name on every constituent LFS.
+    pub lfs_file: LfsFileId,
+    /// The redundancy companion's local name (mirror/parity), if any.
+    pub companion: Option<LfsFileId>,
+    /// Machine indexes of the LFS instances holding its columns. Entries
+    /// here are *claims*: an index may be stale (≥ the current breadth
+    /// after a placement-spec change), which the machine pass must report
+    /// rather than chase.
+    pub nodes: Vec<u32>,
+}
+
+/// `GetManifest` reply: the server's directory plus the decision history
+/// of its two-phase commit log (empty when 2PC is off). Cross-checking
+/// the two against per-instance listings is how the machine-wide fsck
+/// pass tells an orphaned column (a crash artefact with a logged verdict)
+/// from unexplained damage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineManifest {
+    /// Machine breadth (p) — listings index space.
+    pub breadth: u32,
+    /// Every live directory entry, sorted by file id for determinism.
+    pub files: Vec<ManifestEntry>,
+    /// Logged 2PC decisions still in the ring, oldest first.
+    pub decisions: Vec<crate::txlog::LoggedDecision>,
 }
 
 /// Server → worker: one lock-step block delivery (`None` = no block for
@@ -354,6 +393,14 @@ pub fn reply_wire_size(reply: &BridgeReply) -> usize {
         Ok(BridgeData::Block(data)) => 48 + data.len(),
         Ok(BridgeData::Opened(info)) => 64 + info.nodes.len() * 24,
         Ok(BridgeData::Info(info)) => 48 + info.lfs.len() * 16,
+        Ok(BridgeData::Manifest(m)) => {
+            48 + m
+                .files
+                .iter()
+                .map(|f| 24 + f.nodes.len() * 4)
+                .sum::<usize>()
+                + m.decisions.len() * 32
+        }
         _ => 48,
     }
 }

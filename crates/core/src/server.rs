@@ -15,17 +15,19 @@ use crate::ids::{BridgeFileId, JobId, LfsIndex};
 use crate::placement::{Placement, PlacementCursor, PlacementKind};
 use crate::protocol::{
     reply_wire_size, BridgeCmd, BridgeData, BridgeReply, BridgeRequest, CreateSpec, FanoutAck,
-    FanoutCreate, JobDeliver, JobRequest, JobSupply, LfsSlice, MachineInfo, OpenInfo,
-    PlacementSpec,
+    FanoutCreate, JobDeliver, JobRequest, JobSupply, LfsSlice, MachineInfo, MachineManifest,
+    ManifestEntry, OpenInfo, PlacementSpec,
 };
 use crate::redundancy::{xor_into, ParityLayout, Redundancy};
+use crate::txlog::{TxLog, TxParticipant};
 use bridge_efs::{
-    Admission, DedupWindow, EfsError, LfsClient, LfsData, LfsFileId, LfsOp, RetryPolicy,
+    Admission, DedupWindow, EfsError, LfsClient, LfsData, LfsFileId, LfsOp, PrepareIntent,
+    RetryPolicy,
 };
 use bytes::Bytes;
 use parsim::{Ctx, NodeId, ProcId, SimDuration, Simulation};
 use simdisk::{BlockAddr, SchedPolicy};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Tuning knobs for the Bridge Server.
 ///
@@ -274,12 +276,24 @@ struct Server {
     next_fanout: u64,
     pending: Option<PendingAppends>,
     client: LfsClient,
+    /// The presumed-abort decision log; `Some` switches every
+    /// multi-instance mutation (Create, Delete/DeleteMany) onto the
+    /// two-phase commit path.
+    txlog: Option<TxLog>,
+    /// Next transaction id. Monotonic across the server's life — a
+    /// modeling shortcut: the real coordinator would recover the high
+    /// txn from its log, and [`TxLog::reseat`] shows where it would.
+    next_txn: u64,
 }
 
 /// Spawns the Bridge Server on `node`, gluing together the given LFS
 /// server processes. `agents` are the per-node fan-out agents (one per
-/// LFS, or empty to force serial creates). Returns the server's process
-/// id.
+/// LFS, or empty to force serial creates). `txlog` is the coordinator's
+/// presumed-abort decision log; passing `Some` routes every
+/// multi-instance mutation through two-phase commit over the per-LFS
+/// WALs (which every instance must then run). Returns the server's
+/// process id.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_bridge_server(
     sim: &mut Simulation,
     node: NodeId,
@@ -288,6 +302,7 @@ pub fn spawn_bridge_server(
     agents: Vec<ProcId>,
     config: BridgeServerConfig,
     sched: SchedPolicy,
+    txlog: Option<TxLog>,
 ) -> ProcId {
     assert!(!lfs.is_empty(), "a Bridge machine needs at least one LFS");
     assert!(
@@ -310,6 +325,8 @@ pub fn spawn_bridge_server(
             next_fanout: 1,
             pending: None,
             client: LfsClient::with_retry(config.lfs_retry),
+            txlog,
+            next_txn: 1,
         };
         // Duplicate suppression for retransmitted requests: the server is
         // single-threaded (one dispatch at a time), so a retransmit either
@@ -485,6 +502,36 @@ impl Server {
                 server_node: self.my_node,
                 sched: self.sched,
             })),
+            BridgeCmd::GetManifest => Ok(BridgeData::Manifest(self.manifest())),
+        }
+    }
+
+    /// The directory as [`ManifestEntry`] claims plus the decision log's
+    /// history, for `pfsck`'s machine-wide pass.
+    fn manifest(&self) -> MachineManifest {
+        let mut files: Vec<ManifestEntry> = self
+            .files
+            .iter()
+            .map(|(&file, meta)| ManifestEntry {
+                file,
+                lfs_file: meta.lfs_file,
+                companion: match meta.redundancy {
+                    Redundancy::None => None,
+                    Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
+                    Redundancy::Parity => Some(LfsFileId(file.0 | PARITY_BIT)),
+                },
+                nodes: meta.nodes.clone(),
+            })
+            .collect();
+        files.sort_by_key(|e| e.file);
+        MachineManifest {
+            breadth: self.breadth(),
+            files,
+            decisions: self
+                .txlog
+                .as_ref()
+                .map(|log| log.decisions())
+                .unwrap_or_default(),
         }
     }
 
@@ -577,6 +624,60 @@ impl Server {
             Redundancy::Parity => Some(LfsFileId(file.0 | PARITY_BIT)),
         };
 
+        if self.txlog.is_some() {
+            // Machine-wide atomicity: every column's create prepares
+            // tentatively under 2PC, so a crash anywhere in the fan-out
+            // leaves the file on all its placement nodes or on none.
+            // Creates tolerate no participant failure — the legacy path
+            // propagates every error too, it just can't undo.
+            let participants: Vec<TxParticipant> = nodes
+                .iter()
+                .map(|&n| {
+                    let mut files = vec![lfs_file];
+                    if let Some(companion) = companion {
+                        files.push(companion);
+                    }
+                    TxParticipant {
+                        node: n,
+                        intent: PrepareIntent::CreateFiles(files),
+                    }
+                })
+                .collect();
+            let tolerant = vec![false; participants.len()];
+            self.run_2pc(ctx, &participants, &tolerant, true)?;
+        } else {
+            self.create_fanout(ctx, &nodes, lfs_file, companion)?;
+        }
+
+        let hints = vec![None; machine_breadth as usize];
+        self.files.insert(
+            file,
+            FileMeta {
+                lfs_file,
+                redundancy: spec.redundancy,
+                linked_locals: vec![0; nodes.len()],
+                nodes,
+                placement: Placement::new(kind, breadth),
+                size: 0,
+                head: None,
+                tail: None,
+                hashed_cache: Vec::new(),
+                hashed_cursor: None,
+                hints,
+            },
+        );
+        Ok(BridgeData::Created(file))
+    }
+
+    /// The legacy (non-transactional) Create fan-out: serial initiation
+    /// or the embedded binary tree of agents.
+    fn create_fanout(
+        &mut self,
+        ctx: &mut Ctx,
+        nodes: &[u32],
+        lfs_file: LfsFileId,
+        companion: Option<LfsFileId>,
+    ) -> Result<(), BridgeError> {
         match self.config.create_fanout {
             CreateFanout::Serial => {
                 // "The Create operation must create an LFS file on each
@@ -584,7 +685,7 @@ impl Server {
                 // LFS operations before waiting for them, but the
                 // initiation and termination are sequential."
                 let mut pending = Vec::with_capacity(nodes.len() * 2);
-                for &n in &nodes {
+                for &n in nodes {
                     ctx.delay(self.config.create_init_cpu);
                     let proc = self.lfs[n as usize].0;
                     let id = self
@@ -633,25 +734,7 @@ impl Server {
                 ack.result?;
             }
         }
-
-        let hints = vec![None; machine_breadth as usize];
-        self.files.insert(
-            file,
-            FileMeta {
-                lfs_file,
-                redundancy: spec.redundancy,
-                linked_locals: vec![0; nodes.len()],
-                nodes,
-                placement: Placement::new(kind, breadth),
-                size: 0,
-                head: None,
-                tail: None,
-                hashed_cache: Vec::new(),
-                hashed_cursor: None,
-                hints,
-            },
-        );
-        Ok(BridgeData::Created(file))
+        Ok(())
     }
 
     fn delete(
@@ -659,17 +742,44 @@ impl Server {
         ctx: &mut Ctx,
         files: Vec<BridgeFileId>,
     ) -> Result<BridgeData, BridgeError> {
+        // Validate the whole batch before touching anything: an unknown
+        // id (or an in-batch duplicate, which the second removal would
+        // have reported as unknown) must leave the directory and every
+        // LFS exactly as they were. Removing entries up front orphaned
+        // the already-processed prefix of the batch and leaked its
+        // blocks whenever a later file was unknown or an LFS errored.
+        let mut seen: HashSet<BridgeFileId> = HashSet::with_capacity(files.len());
+        for &file in &files {
+            if !self.files.contains_key(&file) || !seen.insert(file) {
+                return Err(BridgeError::UnknownFile(file));
+            }
+        }
+        let blocks = if self.txlog.is_some() {
+            self.delete_2pc(ctx, &files)?
+        } else {
+            self.delete_fanout(ctx, &files)?
+        };
+        // Only a fully successful fan-out retires the metadata; on error
+        // the directory still names every file, so a client can retry.
+        for &file in &files {
+            self.files.remove(&file);
+            self.cursors.retain(|&(_, f), _| f != file);
+            self.jobs.retain(|_, j| j.file != file);
+        }
+        Ok(BridgeData::Deleted { blocks })
+    }
+
+    /// The legacy (non-transactional) Delete fan-out. Returns the blocks
+    /// freed on surviving instances.
+    fn delete_fanout(&mut self, ctx: &mut Ctx, files: &[BridgeFileId]) -> Result<u64, BridgeError> {
         // "The Delete operation runs in parallel on all instances of the
         // LFS, but it takes time O(n/p)." Batched deletes additionally
         // pipeline across files, so tools can discard a whole generation of
         // intermediates in one parallel wave.
         let mut calls: Vec<(ProcId, LfsOp)> = Vec::new();
         let mut tolerant = Vec::new();
-        for &file in &files {
-            let meta = self
-                .files
-                .remove(&file)
-                .ok_or(BridgeError::UnknownFile(file))?;
+        for &file in files {
+            let meta = &self.files[&file];
             let companion = match meta.redundancy {
                 Redundancy::None => None,
                 Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
@@ -689,8 +799,6 @@ impl Server {
                     tolerant.push(true);
                 }
             }
-            self.cursors.retain(|&(_, f), _| f != file);
-            self.jobs.retain(|_, j| j.file != file);
         }
         let mut blocks = 0u64;
         for (r, tolerant) in self.call_many(ctx, calls).into_iter().zip(tolerant) {
@@ -705,7 +813,254 @@ impl Server {
                 Err(e) => return Err(BridgeError::Lfs(e)),
             }
         }
-        Ok(BridgeData::Deleted { blocks })
+        Ok(blocks)
+    }
+
+    /// Transactional Delete: one PREPARE per participating node covering
+    /// every doomed file (and companion) it holds, committed through the
+    /// decision log. A participant is tolerant — its vote may come back
+    /// `NodeFailed` without aborting the transaction — only when every
+    /// *primary* column it holds belongs to a redundant file (companion
+    /// columns are always expendable); the column on the failed node is
+    /// already lost, and deleting the rest must still succeed.
+    fn delete_2pc(&mut self, ctx: &mut Ctx, files: &[BridgeFileId]) -> Result<u64, BridgeError> {
+        let breadth = self.breadth() as usize;
+        let mut per_node: Vec<Vec<LfsFileId>> = vec![Vec::new(); breadth];
+        let mut node_tolerant: Vec<bool> = vec![true; breadth];
+        for &file in files {
+            let meta = &self.files[&file];
+            let companion = match meta.redundancy {
+                Redundancy::None => None,
+                Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
+                Redundancy::Parity => Some(LfsFileId(file.0 | PARITY_BIT)),
+            };
+            for &n in &meta.nodes {
+                per_node[n as usize].push(meta.lfs_file);
+                if meta.redundancy == Redundancy::None {
+                    node_tolerant[n as usize] = false;
+                }
+                if let Some(companion) = companion {
+                    per_node[n as usize].push(companion);
+                }
+            }
+        }
+        let participants: Vec<TxParticipant> = per_node
+            .into_iter()
+            .enumerate()
+            .filter(|(_, files)| !files.is_empty())
+            .map(|(n, files)| TxParticipant {
+                node: n as u32,
+                intent: PrepareIntent::DeleteFiles(files),
+            })
+            .collect();
+        let tolerant: Vec<bool> = participants
+            .iter()
+            .map(|p| node_tolerant[p.node as usize])
+            .collect();
+        self.run_2pc(ctx, &participants, &tolerant, false)
+    }
+
+    /// One presumed-abort two-phase commit round over `participants`.
+    ///
+    /// The wire protocol: PREPAREs are pipelined to every participant,
+    /// the BEGIN record (txn + participants) is forced to the decision
+    /// log while they are in flight, votes are collected in order, the
+    /// COMMIT record is forced, and the decision is fanned out. The
+    /// server's only elementary disk writes are the two log forces, so a
+    /// crash schedule against [`parsim::SERVER_DISK`] kills the
+    /// coordinator at exactly those two points per transaction:
+    ///
+    /// * killed on BEGIN — participants hold durable PREPAREs with no
+    ///   decision on record. Recovery presumes abort, drives the logged
+    ///   participants' rollback, and re-executes with a fresh txn.
+    /// * killed on COMMIT — the decision is durable. Recovery redoes
+    ///   phase 2 from the log; participants apply it idempotently.
+    ///
+    /// A no-vote (any hard error, or `NodeFailed` where `tolerant` is
+    /// false) aborts without writing anything: no decision record is the
+    /// abort record. After a durable COMMIT nothing fails the operation
+    /// short of corruption — a participant dead at decision time is
+    /// repaired later from the logged decision (`pfsck`'s machine pass).
+    ///
+    /// `create_costs` charges the paper's serial initiation/termination
+    /// CPU per participant, making a 2PC Create cost-comparable to the
+    /// legacy serial fan-out; the decision round is charged nothing —
+    /// with pipelined fan-out and group commit at the participants it is
+    /// the prepare round's cheap echo. Returns the blocks freed by the
+    /// commit (zero for creates and aborts).
+    fn run_2pc(
+        &mut self,
+        ctx: &mut Ctx,
+        participants: &[TxParticipant],
+        tolerant: &[bool],
+        create_costs: bool,
+    ) -> Result<u64, BridgeError> {
+        'retry: loop {
+            let txn = self.next_txn;
+            self.next_txn += 1;
+            // Phase 1: pipeline a PREPARE to every participant.
+            let mut pending = Vec::with_capacity(participants.len());
+            for p in participants {
+                if create_costs {
+                    ctx.delay(self.config.create_init_cpu);
+                }
+                let proc = self.lfs[p.node as usize].0;
+                let id = self.client.send(
+                    ctx,
+                    proc,
+                    LfsOp::Prepare {
+                        txn,
+                        intent: p.intent.clone(),
+                    },
+                );
+                pending.push((proc, id));
+            }
+            // Force BEGIN while the prepares are in flight, so a kill on
+            // this write leaves exactly the in-doubt window the protocol
+            // must survive: durable PREPAREs, no decision.
+            let txlog = self.txlog.as_mut().expect("run_2pc requires a log");
+            txlog.begin(ctx, txn, participants);
+            if txlog.crash_down().is_some() {
+                if self.server_crash_recover(ctx, txn, &pending)? {
+                    return self.decide_all(ctx, txn, true, participants);
+                }
+                continue 'retry;
+            }
+            // Collect votes in order (the serial termination of Create).
+            let mut veto: Option<EfsError> = None;
+            for (i, &(proc, id)) in pending.iter().enumerate() {
+                let vote = self.client.wait(ctx, proc, id);
+                if create_costs {
+                    ctx.delay(self.config.create_ack_cpu);
+                }
+                match vote {
+                    Ok(_) => {}
+                    // A tolerant participant's column is already lost
+                    // with its node; the transaction proceeds without it
+                    // and the decision fan-out skips... no — still sent,
+                    // and its NodeFailed ack is tolerated there too.
+                    Err(EfsError::NodeFailed) if tolerant[i] => {}
+                    Err(e) => veto = veto.or(Some(e)),
+                }
+            }
+            if let Some(e) = veto {
+                // Presumed abort: no log write. Participants that never
+                // prepared (the vetoer included) apply the abort intent
+                // idempotently as a no-op.
+                self.decide_all(ctx, txn, false, participants)?;
+                return Err(BridgeError::Lfs(e));
+            }
+            // The commit point.
+            let txlog = self.txlog.as_mut().expect("checked");
+            txlog.commit(ctx, txn);
+            if txlog.crash_down().is_some() && !self.server_crash_recover(ctx, txn, &[])? {
+                unreachable!("a forced COMMIT record cannot be lost");
+            }
+            // Phase 2: fan the decision out.
+            return self.decide_all(ctx, txn, true, participants);
+        }
+    }
+
+    /// Fans `commit`/abort for `txn` out to every participant (pipelined)
+    /// and collects acknowledgements, returning the blocks they freed.
+    /// `NodeFailed` is tolerated: before the commit point the participant
+    /// never prepared or is already being abandoned; after it, the logged
+    /// decision repairs the column when the node returns (or `pfsck`
+    /// does). Hard errors are corruption and surface after every ack has
+    /// been consumed, so no acknowledgement is left orphaned in flight.
+    fn decide_all(
+        &mut self,
+        ctx: &mut Ctx,
+        txn: u64,
+        commit: bool,
+        participants: &[TxParticipant],
+    ) -> Result<u64, BridgeError> {
+        let mut pending = Vec::with_capacity(participants.len());
+        for p in participants {
+            let proc = self.lfs[p.node as usize].0;
+            let id = self.client.send(
+                ctx,
+                proc,
+                LfsOp::Decide {
+                    txn,
+                    commit,
+                    intent: p.intent.clone(),
+                },
+            );
+            pending.push((proc, id));
+        }
+        let mut freed = 0u64;
+        let mut hard: Option<EfsError> = None;
+        for (proc, id) in pending {
+            match self.client.wait(ctx, proc, id) {
+                Ok(LfsData::Freed(n)) => freed += u64::from(n),
+                Ok(_) => {}
+                Err(EfsError::NodeFailed) => {
+                    if ctx.trace_enabled() {
+                        ctx.trace_instant("2pc", "2pc.decide_lost", &[("txn", txn)]);
+                    }
+                }
+                Err(e) => hard = hard.or(Some(e)),
+            }
+        }
+        match hard {
+            Some(e) => Err(BridgeError::Lfs(e)),
+            None => Ok(freed),
+        }
+    }
+
+    /// Inline fail-stop recovery for the coordinator, entered when a
+    /// decision-log force finds the server's disk dead: the crash
+    /// schedule killed this node on that (durable) write. The server's
+    /// volatile state is gone, so it forgets its in-flight LFS calls,
+    /// stays silent for the scheduled down window, discards everything
+    /// that arrived meanwhile (clients retransmit; vote replies died
+    /// with the old incarnation), revives the log, and applies presumed
+    /// abort: the at-most-one in-doubt transaction — the serial
+    /// coordinator never overlaps two — is aborted at the participants
+    /// named by its own BEGIN record. Returns whether `txn` has a
+    /// durable COMMIT, i.e. whether the caller must redo phase 2 instead
+    /// of re-executing.
+    fn server_crash_recover(
+        &mut self,
+        ctx: &mut Ctx,
+        txn: u64,
+        pending: &[(ProcId, u64)],
+    ) -> Result<bool, BridgeError> {
+        let down = self
+            .txlog
+            .as_ref()
+            .expect("recovering a log")
+            .crash_down()
+            .expect("called on a dead log");
+        if ctx.trace_enabled() {
+            ctx.trace_instant(
+                "fault",
+                "crash.server",
+                &[("txn", txn), ("down", down.as_nanos())],
+            );
+        }
+        for &(_, id) in pending {
+            self.client.forget(id);
+        }
+        ctx.delay(down);
+        // Everything delivered while the node was down is lost.
+        while ctx.recv_timeout(SimDuration::ZERO).is_some() {}
+        let txlog = self.txlog.as_mut().expect("checked");
+        txlog.revive();
+        txlog.reseat();
+        if let Some(d) = txlog.in_doubt() {
+            // Presumed abort: no decision on record means abort. Driving
+            // the rollback now (rather than waiting for participants to
+            // ask) keeps the client-visible retry path simple: by the
+            // time the operation re-executes, every column is rolled
+            // back and acknowledged.
+            if ctx.trace_enabled() {
+                ctx.trace_instant("2pc", "2pc.presume_abort", &[("txn", d.txn)]);
+            }
+            self.decide_all(ctx, d.txn, false, &d.participants)?;
+        }
+        Ok(self.txlog.as_ref().expect("checked").is_committed(txn))
     }
 
     fn open(

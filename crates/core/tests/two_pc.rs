@@ -1,0 +1,218 @@
+//! Machine-wide atomicity of the Bridge Server's multi-instance
+//! mutations. Two families of checks:
+//!
+//! - **Delete staging**: a `DeleteMany` that fails validation (unknown
+//!   file, in-batch duplicate) must leave the directory untouched — the
+//!   surviving files stay fully readable and a corrected batch succeeds.
+//!   This holds on both the legacy fan-out and the 2PC path, because the
+//!   server validates the whole batch before mutating anything.
+//! - **Freed-block accounting**: `Deleted { blocks }` must equal exactly
+//!   the blocks freed on surviving instances when a node is down and the
+//!   batch mixes `Redundancy::None` and `Redundancy::Mirrored` files.
+//!   Tolerant skips (redundant columns on the dead node) never
+//!   under-count the survivors; an intolerable loss (a `None` file
+//!   placed on the dead node) errors — and under 2PC removes nothing.
+
+use bridge_core::{
+    BridgeClient, BridgeConfig, BridgeError, BridgeFileId, BridgeMachine, CreateSpec, Redundancy,
+};
+use bridge_efs::{set_failed, EfsError, LfsClient, LfsData, LfsFileId, LfsOp};
+use parsim::{Ctx, ProcId};
+
+/// Companion-id bit for mirrored columns (mirrors `core::server`).
+const MIRROR_BIT: u32 = 0x4000_0000;
+
+const BREADTH: u32 = 4;
+
+fn config(two_pc: bool) -> BridgeConfig {
+    let base = BridgeConfig::instant(BREADTH);
+    if two_pc {
+        base.with_2pc()
+    } else {
+        base.with_wal()
+    }
+}
+
+fn record(tag: u32, block: u64) -> Vec<u8> {
+    let mut data = vec![0u8; 80];
+    data[..4].copy_from_slice(&tag.to_le_bytes());
+    data[4..12].copy_from_slice(&block.to_le_bytes());
+    for (i, b) in data.iter_mut().enumerate().skip(12) {
+        *b = (tag as usize * 7 + block as usize * 13 + i) as u8;
+    }
+    data
+}
+
+fn write_file(
+    ctx: &mut Ctx,
+    bridge: &mut BridgeClient,
+    tag: u32,
+    blocks: u64,
+    spec: CreateSpec,
+) -> BridgeFileId {
+    let file = bridge.create(ctx, spec).unwrap();
+    for b in 0..blocks {
+        assert_eq!(bridge.seq_write(ctx, file, record(tag, b)).unwrap(), b);
+    }
+    file
+}
+
+fn assert_readable(ctx: &mut Ctx, bridge: &mut BridgeClient, file: BridgeFileId, tag: u32) {
+    bridge.open(ctx, file).unwrap();
+    let mut blocks = 0u64;
+    while let Some(block) = bridge.seq_read(ctx, file).unwrap() {
+        assert_eq!(&block[..80], &record(tag, blocks)[..], "file {file:?}");
+        blocks += 1;
+    }
+    assert!(blocks > 0, "file {file:?} lost its contents");
+}
+
+/// Size in blocks of one column (primary or companion) on one instance;
+/// 0 when the instance has no such file.
+fn column_blocks(ctx: &mut Ctx, client: &mut LfsClient, lfs: ProcId, id: LfsFileId) -> u64 {
+    match client.call(ctx, lfs, LfsOp::Stat { file: id }) {
+        Ok(LfsData::Info(info)) => u64::from(info.size),
+        Err(EfsError::UnknownFile(_)) => 0,
+        other => panic!("stat {id:?}: unexpected {other:?}"),
+    }
+}
+
+/// Satellite regression: a `DeleteMany` batch that trips validation —
+/// an unknown id, or the same id listed twice — must reject the whole
+/// batch without removing anything. Before the fix, the server removed
+/// directory entries as it scanned, so `[a, bogus]` destroyed `a`'s
+/// metadata while its columns survived on the LFS instances.
+#[test]
+fn failed_delete_many_leaves_directory_intact() {
+    for two_pc in [false, true] {
+        let (mut sim, machine) = BridgeMachine::build(&config(two_pc));
+        let server = machine.server;
+        sim.block_on(machine.frontend, "app", move |ctx| {
+            let mut bridge = BridgeClient::new(server);
+            let spec = |redundancy| CreateSpec {
+                redundancy,
+                ..CreateSpec::default()
+            };
+            let a = write_file(ctx, &mut bridge, 1, 6, spec(Redundancy::Mirrored));
+            let c = write_file(ctx, &mut bridge, 2, 4, spec(Redundancy::None));
+            let bogus = BridgeFileId(0xDEAD);
+
+            let err = bridge.delete_many(ctx, vec![a, bogus, c]).unwrap_err();
+            assert_eq!(err, BridgeError::UnknownFile(bogus), "two_pc={two_pc}");
+            assert_readable(ctx, &mut bridge, a, 1);
+            assert_readable(ctx, &mut bridge, c, 2);
+
+            let err = bridge.delete_many(ctx, vec![a, a]).unwrap_err();
+            assert_eq!(err, BridgeError::UnknownFile(a), "duplicate in batch");
+            assert_readable(ctx, &mut bridge, a, 1);
+
+            let freed = bridge.delete_many(ctx, vec![a, c]).unwrap();
+            assert!(freed > 0, "corrected batch frees blocks");
+            assert_eq!(
+                bridge.open(ctx, a).unwrap_err(),
+                BridgeError::UnknownFile(a)
+            );
+            assert_eq!(
+                bridge.open(ctx, c).unwrap_err(),
+                BridgeError::UnknownFile(c)
+            );
+        });
+    }
+}
+
+/// Satellite: `Deleted { blocks }` is exact under a node failure. The
+/// batch mixes a mirrored file spanning all instances (the dead node's
+/// columns are an expendable loss) with a `None` file placed away from
+/// the victim; the reply must equal the stat-derived sum of every
+/// surviving column, on both the legacy fan-out and the 2PC path.
+#[test]
+fn delete_many_accounting_is_exact_under_node_failure() {
+    for two_pc in [false, true] {
+        let (mut sim, machine) = BridgeMachine::build(&config(two_pc));
+        let server = machine.server;
+        let lfs = machine.lfs.clone();
+        sim.block_on(machine.frontend, "app", move |ctx| {
+            let mut bridge = BridgeClient::new(server);
+            let mut probe = LfsClient::new();
+            let victim = 2usize;
+
+            let m = write_file(
+                ctx,
+                &mut bridge,
+                3,
+                9,
+                CreateSpec {
+                    redundancy: Redundancy::Mirrored,
+                    ..CreateSpec::default()
+                },
+            );
+            let s = write_file(
+                ctx,
+                &mut bridge,
+                4,
+                5,
+                CreateSpec {
+                    nodes: Some(vec![0, 1, 3]),
+                    ..CreateSpec::default()
+                },
+            );
+
+            // Stat every column before the failure; the expected freed
+            // count is what the *surviving* instances hold.
+            let mut expected = 0u64;
+            for (n, &proc) in lfs.iter().enumerate() {
+                if n == victim {
+                    continue;
+                }
+                for file in [m, s] {
+                    expected += column_blocks(ctx, &mut probe, proc, LfsFileId(file.0));
+                    expected +=
+                        column_blocks(ctx, &mut probe, proc, LfsFileId(file.0 | MIRROR_BIT));
+                }
+            }
+            assert!(expected > 0, "columns landed on survivors");
+
+            set_failed(ctx, lfs[victim], true);
+            let freed = bridge.delete_many(ctx, vec![m, s]).unwrap();
+            assert_eq!(
+                freed, expected,
+                "two_pc={two_pc}: tolerant skips must not under-count"
+            );
+            set_failed(ctx, lfs[victim], false);
+            assert_eq!(
+                bridge.open(ctx, m).unwrap_err(),
+                BridgeError::UnknownFile(m)
+            );
+        });
+    }
+}
+
+/// An intolerable loss — a `Redundancy::None` file with a column on the
+/// dead node — fails the batch, and under 2PC the abort rolls back the
+/// prepares on the surviving instances: after the node revives, every
+/// file in the batch is still whole and a retry deletes all of it.
+#[test]
+fn vetoed_delete_rolls_back_every_prepare() {
+    let (mut sim, machine) = BridgeMachine::build(&config(true));
+    let server = machine.server;
+    let lfs = machine.lfs.clone();
+    sim.block_on(machine.frontend, "app", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let victim = 1usize;
+        let spec = |redundancy| CreateSpec {
+            redundancy,
+            ..CreateSpec::default()
+        };
+        let frail = write_file(ctx, &mut bridge, 5, 7, spec(Redundancy::None));
+        let sturdy = write_file(ctx, &mut bridge, 6, 6, spec(Redundancy::Mirrored));
+
+        set_failed(ctx, lfs[victim], true);
+        let err = bridge.delete_many(ctx, vec![frail, sturdy]).unwrap_err();
+        assert_eq!(err, BridgeError::Lfs(EfsError::NodeFailed));
+        set_failed(ctx, lfs[victim], false);
+
+        assert_readable(ctx, &mut bridge, frail, 5);
+        assert_readable(ctx, &mut bridge, sturdy, 6);
+        assert!(bridge.delete_many(ctx, vec![frail, sturdy]).unwrap() > 0);
+    });
+}

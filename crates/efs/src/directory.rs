@@ -348,6 +348,24 @@ impl Directory {
         Ok(())
     }
 
+    /// Looks up an entry without charging time (recovery replay: a
+    /// prepared delete being re-applied needs the entry it is about to
+    /// remove so a presumed abort can restore it).
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::Corrupt`] if the bucket fails to decode.
+    pub(crate) fn lookup_absolute(
+        &mut self,
+        disk: &dyn BlockDevice,
+        file: LfsFileId,
+    ) -> Result<Option<DirEntry>, EfsError> {
+        let bucket = self.bucket_of(file);
+        self.load_raw(disk, bucket)?;
+        let b = self.cache.get(&bucket).expect("just loaded");
+        Ok(b.entries.iter().find(|e| e.file == file).copied())
+    }
+
     /// Removes an entry if present (untimed; recovery replay —
     /// idempotent).
     ///

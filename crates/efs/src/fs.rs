@@ -15,11 +15,11 @@ use crate::layout::{
     decode_block, decode_header, encode_block, is_free_block, EfsHeader, LfsFileId,
     EFS_HEADER_SIZE, EFS_PAYLOAD,
 };
-use crate::wal::{scan_and_resume, RecoveredOp, Wal, WalConfig, WalRecord};
+use crate::wal::{scan_and_resume, PrepareIntent, RecoveredOp, Wal, WalConfig, WalRecord};
 use bytes::{Buf, BufMut, Bytes};
 use parsim::{Ctx, SimDuration};
 use simdisk::{BlockAddr, BlockDevice, SimDisk};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 const SUPERBLOCK_MAGIC: u32 = 0xB21D_6EF5;
 const SUPERBLOCK_VERSION: u32 = 2;
@@ -136,6 +136,21 @@ pub struct Efs<D: BlockDevice = SimDisk> {
     /// (client process index, request id) of the request being served,
     /// echoed into WAL records so recovery can reconstruct the reply.
     req: (u32, u64),
+    /// Machine-wide transactions this participant has prepared but not
+    /// yet seen a decision for. While any are pending, checkpoints are
+    /// deferred — a checkpoint persists in-memory state, and tentative
+    /// effects must stay revocable until the coordinator decides.
+    prepared: HashMap<u64, PreparedTxn>,
+}
+
+/// Tentative state held between [`Efs::prepare`] and [`Efs::decide`].
+#[derive(Debug)]
+struct PreparedTxn {
+    intent: PrepareIntent,
+    /// For delete intents: the removed directory entries and their block
+    /// chains, so an abort restores the files and a commit frees exactly
+    /// these blocks. Empty for create intents.
+    stashed: Vec<(DirEntry, Vec<BlockAddr>)>,
 }
 
 struct Layout {
@@ -220,6 +235,7 @@ impl<D: BlockDevice> Efs<D> {
             wal,
             chains: HashMap::new(),
             req: (0, 0),
+            prepared: HashMap::new(),
         };
         efs.write_bitmap_raw();
         efs
@@ -297,6 +313,7 @@ impl<D: BlockDevice> Efs<D> {
             wal: None,
             chains: HashMap::new(),
             req: (0, 0),
+            prepared: HashMap::new(),
             disk,
             config,
         };
@@ -691,6 +708,209 @@ impl<D: BlockDevice> Efs<D> {
         Ok(entry.size)
     }
 
+    /// Phase 1 of a machine-wide transaction (presumed-abort 2PC):
+    /// applies `intent` tentatively, logs a `WalRecord::Prepare`, and
+    /// returns the number of blocks this participant will free if the
+    /// transaction commits. The yes-vote becomes binding once the server
+    /// loop's group commit makes the record durable and acknowledges it;
+    /// until a [`Efs::decide`] arrives, a crash rolls the tentative
+    /// effect back (presumed abort).
+    ///
+    /// Tentative semantics: a create intent inserts size-0 directory
+    /// entries (deferred, like [`Efs::create`]); a delete intent removes
+    /// its entries and stashes them with their block chains *without
+    /// releasing any block*, so an abort restores the files bit-for-bit
+    /// and a commit frees exactly the stashed chains. Files named by a
+    /// delete intent but absent from the directory are skipped — a
+    /// column can be legitimately missing on a node that was failed when
+    /// the file was created — and contribute nothing to the freed count.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::FileExists`] / [`EfsError::DirectoryFull`] when a
+    /// create intent cannot apply (any partial tentative insert is
+    /// undone before the no-vote propagates); [`EfsError::Corrupt`] when
+    /// this instance runs no WAL (2PC requires one) or `txn` is already
+    /// prepared.
+    pub fn prepare(
+        &mut self,
+        ctx: &mut Ctx,
+        txn: u64,
+        intent: PrepareIntent,
+    ) -> Result<u32, EfsError> {
+        self.charge_cpu(ctx);
+        if self.wal.is_none() {
+            return Err(EfsError::Corrupt("prepare requires a WAL".into()));
+        }
+        if self.prepared.contains_key(&txn) {
+            return Err(EfsError::Corrupt(format!("txn {txn} already prepared")));
+        }
+        let mut stashed: Vec<(DirEntry, Vec<BlockAddr>)> = Vec::new();
+        let mut freed = 0u32;
+        match &intent {
+            PrepareIntent::CreateFiles(files) => {
+                let mut inserted: Vec<LfsFileId> = Vec::new();
+                for &file in files {
+                    let entry = DirEntry {
+                        file,
+                        first: BlockAddr::new(0),
+                        last: BlockAddr::new(0),
+                        size: 0,
+                    };
+                    if let Err(e) = self.dir.insert_deferred(ctx, &mut self.disk, entry) {
+                        for f in inserted {
+                            self.dir.remove_absolute(&self.disk, f)?;
+                            self.chains.remove(&f);
+                        }
+                        return Err(e);
+                    }
+                    self.chains.insert(file, Vec::new());
+                    inserted.push(file);
+                }
+            }
+            PrepareIntent::DeleteFiles(files) => {
+                for &file in files {
+                    let entry = match self.dir.remove_deferred(ctx, &mut self.disk, file) {
+                        Ok(e) => e,
+                        Err(EfsError::UnknownFile(_)) => continue,
+                        Err(e) => return Err(e),
+                    };
+                    let chain = self.chains.remove(&file).unwrap_or_default();
+                    debug_assert_eq!(
+                        chain.len(),
+                        entry.size as usize,
+                        "chain shadow out of step with {file}"
+                    );
+                    freed += entry.size;
+                    stashed.push((entry, chain));
+                }
+            }
+        }
+        let (client, id) = self.req;
+        self.wal.as_mut().expect("checked").log(WalRecord::Prepare {
+            client,
+            id,
+            txn,
+            intent: intent.clone(),
+            freed,
+        });
+        self.prepared.insert(txn, PreparedTxn { intent, stashed });
+        Ok(freed)
+    }
+
+    /// Phase 2 of a machine-wide transaction: applies the coordinator's
+    /// decision, logs a `WalRecord::Decide`, and returns the blocks
+    /// actually freed (non-zero only for a committed delete — the figure
+    /// a coordinator redoing phase 2 after its own crash needs, since the
+    /// original prepare acknowledgements died with it). Idempotent, and
+    /// defined even when `txn` is not prepared here — because this
+    /// participant's recovery already rolled it back (presumed abort), or
+    /// the decision is a re-delivery. The intent rides along with the
+    /// decision for exactly that case: commit-create inserts whatever is
+    /// missing, commit-delete removes and frees whatever is still
+    /// present, abort-create removes whatever is present, abort-delete
+    /// leaves the (already restored) files alone.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::Corrupt`] when this instance runs no WAL or a bucket
+    /// fails to decode.
+    pub fn decide(
+        &mut self,
+        ctx: &mut Ctx,
+        txn: u64,
+        commit: bool,
+        intent: PrepareIntent,
+    ) -> Result<u32, EfsError> {
+        self.charge_cpu(ctx);
+        if self.wal.is_none() {
+            return Err(EfsError::Corrupt("decide requires a WAL".into()));
+        }
+        let mut freed = 0u32;
+        match self.prepared.remove(&txn) {
+            Some(p) => {
+                if commit {
+                    // Creates are already in place; deletes free their
+                    // stashed chains now that the outcome is settled.
+                    for (entry, chain) in p.stashed {
+                        for &addr in &chain {
+                            self.alloc.release(addr);
+                        }
+                        freed += chain.len() as u32;
+                        self.stats.blocks_freed += chain.len() as u64;
+                        self.links.invalidate_file(entry.file);
+                    }
+                } else {
+                    match &p.intent {
+                        PrepareIntent::CreateFiles(files) => {
+                            for &file in files {
+                                self.dir.remove_absolute(&self.disk, file)?;
+                                self.chains.remove(&file);
+                            }
+                        }
+                        PrepareIntent::DeleteFiles(_) => {
+                            for (entry, chain) in p.stashed {
+                                self.dir.set_absolute(&self.disk, entry)?;
+                                self.chains.insert(entry.file, chain);
+                            }
+                        }
+                    }
+                }
+            }
+            None => match (&intent, commit) {
+                (PrepareIntent::CreateFiles(files), true) => {
+                    for &file in files {
+                        if self.dir.lookup_absolute(&self.disk, file)?.is_none() {
+                            self.dir.set_absolute(
+                                &self.disk,
+                                DirEntry {
+                                    file,
+                                    first: BlockAddr::new(0),
+                                    last: BlockAddr::new(0),
+                                    size: 0,
+                                },
+                            )?;
+                            self.chains.insert(file, Vec::new());
+                        }
+                    }
+                }
+                (PrepareIntent::CreateFiles(files), false) => {
+                    for &file in files {
+                        if self.dir.lookup_absolute(&self.disk, file)?.is_some() {
+                            self.dir.remove_absolute(&self.disk, file)?;
+                            self.chains.remove(&file);
+                        }
+                    }
+                }
+                (PrepareIntent::DeleteFiles(files), true) => {
+                    for &file in files {
+                        if self.dir.lookup_absolute(&self.disk, file)?.is_some() {
+                            self.dir.remove_absolute(&self.disk, file)?;
+                            let chain = self.chains.remove(&file).unwrap_or_default();
+                            for &addr in &chain {
+                                self.alloc.release(addr);
+                            }
+                            freed += chain.len() as u32;
+                            self.stats.blocks_freed += chain.len() as u64;
+                            self.links.invalidate_file(file);
+                        }
+                    }
+                }
+                (PrepareIntent::DeleteFiles(_), false) => {}
+            },
+        }
+        let (client, id) = self.req;
+        self.wal.as_mut().expect("checked").log(WalRecord::Decide {
+            client,
+            id,
+            txn,
+            commit,
+            intent,
+            freed,
+        });
+        Ok(freed)
+    }
+
     /// Flushes the directory and allocation bitmap to disk (timed). With
     /// a WAL this is a full commit + checkpoint, so everything is durable
     /// at home when it returns.
@@ -703,7 +923,14 @@ impl<D: BlockDevice> Efs<D> {
             if let Some(wal) = self.wal.as_mut() {
                 wal.commit(ctx, &mut self.disk)?;
             }
-            return self.checkpoint_inner(ctx);
+            // A checkpoint persists in-memory effects; tentative 2PC
+            // state must stay revocable, so it is deferred while any
+            // transaction is in doubt. The committed Prepare records
+            // keep everything recoverable in the meantime.
+            if self.prepared.is_empty() {
+                return self.checkpoint_inner(ctx);
+            }
+            return Ok(());
         }
         self.dir.sync(ctx, &mut self.disk)?;
         self.write_bitmap(ctx)
@@ -730,7 +957,7 @@ impl<D: BlockDevice> Efs<D> {
                 ctx.trace_span("wal", "wal.commit", t0, &[("records", records as u64)]);
             }
         }
-        if self.wal.as_ref().expect("checked").needs_checkpoint() {
+        if self.prepared.is_empty() && self.wal.as_ref().expect("checked").needs_checkpoint() {
             self.checkpoint_inner(ctx)?;
         }
         Ok(())
@@ -1103,10 +1330,16 @@ impl<D: BlockDevice> Efs<D> {
         let (dir_start, dir_buckets) = self.dir.region();
         self.dir = Directory::new(dir_start, dir_buckets);
         self.req = (0, 0);
-        let mut recovered = Vec::new();
+        self.prepared = HashMap::new();
+        // Each recovered op is tagged with its Prepare txn (None for
+        // ordinary records) so in-doubt prepares can be dropped from the
+        // dedup re-seed at the end: their effects are rolled back, and a
+        // coordinator retransmit must re-execute, not replay a stale
+        // "prepared" acknowledgement.
+        let mut recovered: Vec<(Option<u64>, RecoveredOp)> = Vec::new();
         if self.wal_blocks == 0 {
             self.rebuild_from_directory();
-            return Ok(recovered);
+            return Ok(Vec::new());
         }
         let (mut wal, ckpt, batches) = scan_and_resume(
             &self.disk,
@@ -1114,10 +1347,18 @@ impl<D: BlockDevice> Efs<D> {
             self.wal_blocks,
             self.config.wal.group_commit,
         );
+        // Machine-wide transactions whose Prepare replayed but whose
+        // Decide has not (yet) been seen, with the directory entries the
+        // tentative delete displaced. BTree order keeps the presumed-
+        // abort rollback below deterministic. Checkpoints are deferred
+        // while any transaction is in doubt, so a Prepare at or below
+        // `ckpt` always has its Decide at or below `ckpt` too — skipping
+        // both is sound.
+        let mut prepared_replay: BTreeMap<u64, (PrepareIntent, Vec<DirEntry>)> = BTreeMap::new();
         for (lsn, records) in &batches {
             for record in records {
                 if let Some(op) = record.recovered() {
-                    recovered.push(op);
+                    recovered.push((record.prepare_txn(), op));
                 }
                 if *lsn <= ckpt {
                     continue;
@@ -1151,6 +1392,106 @@ impl<D: BlockDevice> Efs<D> {
                         self.dir.remove_absolute(&self.disk, *file)?
                     }
                     WalRecord::Checkpoint => {}
+                    WalRecord::Prepare { txn, intent, .. } => {
+                        let mut stash = Vec::new();
+                        match intent {
+                            PrepareIntent::CreateFiles(files) => {
+                                for &file in files {
+                                    self.dir.set_absolute(
+                                        &self.disk,
+                                        DirEntry {
+                                            file,
+                                            first: BlockAddr::new(0),
+                                            last: BlockAddr::new(0),
+                                            size: 0,
+                                        },
+                                    )?;
+                                }
+                            }
+                            PrepareIntent::DeleteFiles(files) => {
+                                for &file in files {
+                                    if let Some(entry) =
+                                        self.dir.lookup_absolute(&self.disk, file)?
+                                    {
+                                        self.dir.remove_absolute(&self.disk, file)?;
+                                        stash.push(entry);
+                                    }
+                                }
+                            }
+                        }
+                        prepared_replay.insert(*txn, (intent.clone(), stash));
+                    }
+                    WalRecord::Decide {
+                        txn,
+                        commit,
+                        intent,
+                        ..
+                    } => match prepared_replay.remove(txn) {
+                        Some((pintent, stash)) => {
+                            // The tentative apply already ran. Commit
+                            // needs nothing further (the allocator is
+                            // rebuilt from reachability below); abort
+                            // undoes it.
+                            if !*commit {
+                                match &pintent {
+                                    PrepareIntent::CreateFiles(files) => {
+                                        for &file in files {
+                                            self.dir.remove_absolute(&self.disk, file)?;
+                                        }
+                                    }
+                                    PrepareIntent::DeleteFiles(_) => {
+                                        for entry in stash {
+                                            self.dir.set_absolute(&self.disk, entry)?;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        // No replayed Prepare (it predates the surviving
+                        // ring): apply the decision directly, exactly as
+                        // the live [`Efs::decide`] path does.
+                        None => match (intent, *commit) {
+                            (PrepareIntent::CreateFiles(files), true) => {
+                                for &file in files {
+                                    if self.dir.lookup_absolute(&self.disk, file)?.is_none() {
+                                        self.dir.set_absolute(
+                                            &self.disk,
+                                            DirEntry {
+                                                file,
+                                                first: BlockAddr::new(0),
+                                                last: BlockAddr::new(0),
+                                                size: 0,
+                                            },
+                                        )?;
+                                    }
+                                }
+                            }
+                            (PrepareIntent::CreateFiles(files), false)
+                            | (PrepareIntent::DeleteFiles(files), true) => {
+                                for &file in files {
+                                    self.dir.remove_absolute(&self.disk, file)?;
+                                }
+                            }
+                            (PrepareIntent::DeleteFiles(_), false) => {}
+                        },
+                    },
+                }
+            }
+        }
+        // Presumed abort: any Prepare still undecided rolls back, and its
+        // recovered op is dropped from the dedup re-seed.
+        let in_doubt: std::collections::HashSet<u64> = prepared_replay.keys().copied().collect();
+        for (_, (intent, stash)) in prepared_replay {
+            match intent {
+                PrepareIntent::CreateFiles(files) => {
+                    for file in files {
+                        self.dir.remove_absolute(&self.disk, file)?;
+                    }
+                }
+                PrepareIntent::DeleteFiles(_) => {
+                    for entry in stash {
+                        self.dir.set_absolute(&self.disk, entry)?;
+                    }
                 }
             }
         }
@@ -1159,7 +1500,11 @@ impl<D: BlockDevice> Efs<D> {
         self.write_bitmap_raw();
         wal.append_checkpoint_raw(&mut self.disk);
         self.wal = Some(wal);
-        Ok(recovered)
+        Ok(recovered
+            .into_iter()
+            .filter(|(txn, _)| txn.is_none_or(|t| !in_doubt.contains(&t)))
+            .map(|(_, op)| op)
+            .collect())
     }
 
     /// Tags the requesting `(client process index, request id)` so the

@@ -62,5 +62,6 @@ pub use server::{
     LfsData, LfsFailAck, LfsFailControl, LfsOp, LfsReply, LfsRequest,
 };
 pub use wal::{
-    RecoveredOp, RecoveredReply, WalConfig, WAL_BLOCK_PAYLOAD, WAL_HEADER_SIZE, WAL_MAGIC,
+    PrepareIntent, RecoveredOp, RecoveredReply, WalConfig, WAL_BLOCK_PAYLOAD, WAL_HEADER_SIZE,
+    WAL_MAGIC,
 };

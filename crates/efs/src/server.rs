@@ -10,7 +10,7 @@ use crate::error::EfsError;
 use crate::fs::{Efs, FileInfo, FsckReport};
 use crate::layout::{LfsFileId, BLOCK_SIZE};
 use crate::retry::{Admission, DedupWindow, RetryPolicy};
-use crate::wal::RecoveredReply;
+use crate::wal::{PrepareIntent, RecoveredReply};
 use bytes::Bytes;
 use parsim::{Ctx, ProcId, SimDuration, SimTime, Simulation};
 use simdisk::{BlockAddr, BlockDevice, RequestQueue, SchedConfig};
@@ -104,6 +104,35 @@ pub enum LfsOp {
         /// than only reporting them.
         repair: bool,
     },
+    /// List every file on this instance (directory scan; a control query,
+    /// untimed like `DiskStats`). `pfsck`'s machine-wide pass collects one
+    /// listing per instance to cross-check against the server's manifest.
+    /// A barrier op: it orders after every pending operation of its
+    /// client.
+    ListFiles,
+    /// Phase 1 of a machine-wide transaction ([`Efs::prepare`]): apply
+    /// `intent` tentatively and vote. The [`LfsData::Prepared`] ack is a
+    /// binding yes-vote — it is only sent after the server loop's group
+    /// commit made the Prepare record durable. A barrier op: it orders
+    /// after every pending operation of its client.
+    Prepare {
+        /// Coordinator-assigned transaction id.
+        txn: u64,
+        /// What to apply tentatively.
+        intent: PrepareIntent,
+    },
+    /// Phase 2 ([`Efs::decide`]): the coordinator's commit/abort decision.
+    /// Idempotent; the intent rides along so a participant whose recovery
+    /// already rolled the transaction back can apply the decision
+    /// directly. A barrier op like `Prepare`.
+    Decide {
+        /// Coordinator-assigned transaction id.
+        txn: u64,
+        /// True = commit, false = abort.
+        commit: bool,
+        /// The intent being decided.
+        intent: PrepareIntent,
+    },
 }
 
 impl LfsOp {
@@ -120,6 +149,9 @@ impl LfsOp {
             LfsOp::Sync => "lfs.sync",
             LfsOp::DiskStats => "lfs.disk_stats",
             LfsOp::Fsck { .. } => "lfs.fsck",
+            LfsOp::ListFiles => "lfs.list_files",
+            LfsOp::Prepare { .. } => "lfs.prepare",
+            LfsOp::Decide { .. } => "lfs.decide",
         }
     }
 
@@ -135,7 +167,12 @@ impl LfsOp {
             | LfsOp::ReadRun { file, .. }
             | LfsOp::WriteRun { file, .. }
             | LfsOp::Stat { file } => Some(*file),
-            LfsOp::Sync | LfsOp::DiskStats | LfsOp::Fsck { .. } => None,
+            LfsOp::Sync
+            | LfsOp::DiskStats
+            | LfsOp::Fsck { .. }
+            | LfsOp::ListFiles
+            | LfsOp::Prepare { .. }
+            | LfsOp::Decide { .. } => None,
         }
     }
 }
@@ -186,6 +223,14 @@ pub enum LfsData {
     /// Fsck completed: the instance's verdict (clean when
     /// [`FsckReport::errors`] is empty).
     Fsck(FsckReport),
+    /// ListFiles completed: every file on the instance.
+    Files(Vec<FileInfo>),
+    /// Prepare completed: this participant votes yes, and will free this
+    /// many blocks if the transaction commits (zero for creates).
+    Prepared {
+        /// Blocks to be freed at commit.
+        freed: u32,
+    },
 }
 
 /// Fault-injection control for an LFS server process (experiments only):
@@ -393,11 +438,13 @@ fn track_hint<D: BlockDevice>(efs: &Efs<D>, op: &LfsOp) -> u32 {
         | LfsOp::Delete { .. }
         | LfsOp::Stat { .. }
         | LfsOp::Sync
-        | LfsOp::Fsck { .. } => {
+        | LfsOp::Fsck { .. }
+        | LfsOp::Prepare { .. }
+        | LfsOp::Decide { .. } => {
             return 0;
         }
         // A pure control query touches no media: wherever the head is.
-        LfsOp::DiskStats => return efs.disk().head_track(),
+        LfsOp::DiskStats | LfsOp::ListFiles => return efs.disk().head_track(),
     };
     match addr {
         Some(a) => geometry.track_of(a),
@@ -619,6 +666,7 @@ fn crash_recover<D: BlockDevice>(
             RecoveredReply::Written(addr) => LfsData::Written { addr },
             RecoveredReply::WrittenRun(addrs) => LfsData::WrittenRun { addrs },
             RecoveredReply::Freed(freed) => LfsData::Freed(freed),
+            RecoveredReply::Prepared(freed) => LfsData::Prepared { freed },
         });
         dedup.restore(client, op.id, ctx.now(), LfsReply { id: op.id, result });
     }
@@ -669,6 +717,15 @@ pub fn serve<D: simdisk::BlockDevice>(
         LfsOp::Sync => efs.sync(ctx).map(|()| LfsData::Done),
         LfsOp::DiskStats => Ok(LfsData::DiskCounters(efs.disk().stats())),
         LfsOp::Fsck { repair } => Ok(LfsData::Fsck(efs.fsck_timed(ctx, repair))),
+        LfsOp::ListFiles => efs.list_files_raw().map(LfsData::Files),
+        LfsOp::Prepare { txn, intent } => efs
+            .prepare(ctx, txn, intent)
+            .map(|freed| LfsData::Prepared { freed }),
+        LfsOp::Decide {
+            txn,
+            commit,
+            intent,
+        } => efs.decide(ctx, txn, commit, intent).map(LfsData::Freed),
     };
     if ctx.trace_enabled() {
         ctx.trace_span(
@@ -686,6 +743,9 @@ pub fn request_wire_size(op: &LfsOp) -> usize {
     match op {
         LfsOp::Write { data, .. } => 32 + data.len(),
         LfsOp::WriteRun { data, .. } => 32 + data.iter().map(|d| d.len() + 8).sum::<usize>(),
+        LfsOp::Prepare { intent, .. } | LfsOp::Decide { intent, .. } => {
+            32 + intent.files().len() * 4
+        }
         _ => 32,
     }
 }
@@ -696,6 +756,7 @@ pub fn reply_wire_size(reply: &LfsReply) -> usize {
         Ok(LfsData::Block { .. }) => BLOCK_SIZE + 16,
         Ok(LfsData::Run { blocks }) => 16 + blocks.len() * (BLOCK_SIZE + 8),
         Ok(LfsData::WrittenRun { addrs }) => 32 + addrs.len() * 8,
+        Ok(LfsData::Files(files)) => 32 + files.len() * 24,
         _ => 32,
     }
 }
@@ -807,6 +868,16 @@ impl LfsClient {
                 result
             }
         }
+    }
+
+    /// Abandons an in-flight request: drops the retry and tracing
+    /// bookkeeping for `id` without waiting for its reply. The 2PC
+    /// coordinator uses this after a crash for prepares whose acks died
+    /// with it — recovery re-drives the transaction under fresh ids, so
+    /// the old replies (if any straggle in) are simply stale traffic.
+    pub fn forget(&mut self, id: u64) {
+        self.pending.retain(|(p, _)| *p != id);
+        self.sent.retain(|(s, _, _, _)| *s != id);
     }
 
     /// Round trip: send and wait, resending on timeout when the client

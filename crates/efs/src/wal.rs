@@ -105,6 +105,69 @@ impl Default for WalConfig {
     }
 }
 
+/// What a machine-wide transaction asks this participant to do. One
+/// prepare covers every file the coordinator touches on this instance
+/// (a Bridge primary plus its mirror/parity companion, or a whole
+/// `DeleteMany` batch's columns), so a fan-out needs exactly one prepare
+/// round trip per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrepareIntent {
+    /// Create these files (empty) on this instance.
+    CreateFiles(Vec<LfsFileId>),
+    /// Delete these files on this instance. Files absent from the
+    /// directory are skipped (they contribute nothing to the freed
+    /// count): a column can be legitimately missing on a node that was
+    /// failed when the file was created.
+    DeleteFiles(Vec<LfsFileId>),
+}
+
+impl PrepareIntent {
+    /// The files this intent touches.
+    pub fn files(&self) -> &[LfsFileId] {
+        match self {
+            PrepareIntent::CreateFiles(f) | PrepareIntent::DeleteFiles(f) => f,
+        }
+    }
+
+    /// Serializes the intent (kind byte, count, file ids). Public so the
+    /// coordinator's decision log can embed intents in its BEGIN records
+    /// with the exact same wire format the participant WALs use.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let (kind, files) = match self {
+            PrepareIntent::CreateFiles(f) => (0u8, f),
+            PrepareIntent::DeleteFiles(f) => (1u8, f),
+        };
+        buf.put_u8(kind);
+        buf.put_u32_le(files.len() as u32);
+        for f in files {
+            buf.put_u32_le(f.0);
+        }
+    }
+
+    /// Inverse of [`PrepareIntent::encode`], consuming from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`EfsError::Corrupt`] on truncation or an unknown kind byte.
+    pub fn decode(buf: &mut &[u8]) -> Result<PrepareIntent, EfsError> {
+        let corrupt = |why: &str| EfsError::Corrupt(format!("wal intent: {why}"));
+        if buf.len() < 5 {
+            return Err(corrupt("truncated"));
+        }
+        let kind = buf.get_u8();
+        let n = buf.get_u32_le() as usize;
+        if buf.len() < n.saturating_mul(4) {
+            return Err(corrupt("truncated"));
+        }
+        let files = (0..n).map(|_| LfsFileId(buf.get_u32_le())).collect();
+        match kind {
+            0 => Ok(PrepareIntent::CreateFiles(files)),
+            1 => Ok(PrepareIntent::DeleteFiles(files)),
+            k => Err(corrupt(&format!("unknown intent kind {k}"))),
+        }
+    }
+}
+
 /// One logged intent. `client`/`id` echo the request so recovery can
 /// reconstruct the exact reply and seed the dedup window — a retransmit
 /// of a committed-but-crash-interrupted operation replays instead of
@@ -149,6 +212,37 @@ pub(crate) enum WalRecord {
     },
     /// Directory and bitmap state up to this LSN is durable at home.
     Checkpoint,
+    /// Phase 1 of a machine-wide transaction: this participant applied
+    /// `intent` tentatively and votes yes. A Prepare with no later
+    /// [`WalRecord::Decide`] for the same `txn` is *in doubt*: recovery
+    /// rolls the tentative effect back (presumed abort) and drops the
+    /// record from the dedup re-seed, so a coordinator retransmit
+    /// re-executes against the rolled-back state instead of replaying a
+    /// stale "prepared" acknowledgement.
+    Prepare {
+        client: u32,
+        id: u64,
+        /// Coordinator-assigned transaction id.
+        txn: u64,
+        intent: PrepareIntent,
+        /// Blocks this participant will free if the transaction commits,
+        /// echoed in the prepare acknowledgement (zero for creates).
+        freed: u32,
+    },
+    /// Phase 2: the coordinator's decision reached this participant. The
+    /// intent rides along so a participant that already rolled back (or
+    /// never prepared) can apply the decision directly and idempotently.
+    Decide {
+        client: u32,
+        id: u64,
+        txn: u64,
+        /// True = commit, false = abort.
+        commit: bool,
+        intent: PrepareIntent,
+        /// Blocks actually freed by applying the decision (non-zero only
+        /// for a committed delete), echoed in the acknowledgement.
+        freed: u32,
+    },
 }
 
 /// A committed operation reconstructed by recovery, for re-arming the
@@ -175,6 +269,9 @@ pub enum RecoveredReply {
     WrittenRun(Vec<BlockAddr>),
     /// Delete completed, freeing this many blocks.
     Freed(u32),
+    /// Prepare completed: this participant voted yes, with this many
+    /// blocks to free at commit.
+    Prepared(u32),
 }
 
 impl WalRecord {
@@ -222,6 +319,36 @@ impl WalRecord {
                 buf.put_u32_le(*freed);
             }
             WalRecord::Checkpoint => buf.put_u8(4),
+            WalRecord::Prepare {
+                client,
+                id,
+                txn,
+                intent,
+                freed,
+            } => {
+                buf.put_u8(5);
+                buf.put_u32_le(*client);
+                buf.put_u64_le(*id);
+                buf.put_u64_le(*txn);
+                buf.put_u32_le(*freed);
+                intent.encode(buf);
+            }
+            WalRecord::Decide {
+                client,
+                id,
+                txn,
+                commit,
+                intent,
+                freed,
+            } => {
+                buf.put_u8(6);
+                buf.put_u32_le(*client);
+                buf.put_u64_le(*id);
+                buf.put_u64_le(*txn);
+                buf.put_u8(u8::from(*commit));
+                buf.put_u32_le(*freed);
+                intent.encode(buf);
+            }
         }
     }
 
@@ -280,6 +407,38 @@ impl WalRecord {
                 })
             }
             4 => Ok(WalRecord::Checkpoint),
+            5 => {
+                need(buf, 24)?;
+                let client = buf.get_u32_le();
+                let id = buf.get_u64_le();
+                let txn = buf.get_u64_le();
+                let freed = buf.get_u32_le();
+                let intent = PrepareIntent::decode(buf)?;
+                Ok(WalRecord::Prepare {
+                    client,
+                    id,
+                    txn,
+                    intent,
+                    freed,
+                })
+            }
+            6 => {
+                need(buf, 25)?;
+                let client = buf.get_u32_le();
+                let id = buf.get_u64_le();
+                let txn = buf.get_u64_le();
+                let commit = buf.get_u8() != 0;
+                let freed = buf.get_u32_le();
+                let intent = PrepareIntent::decode(buf)?;
+                Ok(WalRecord::Decide {
+                    client,
+                    id,
+                    txn,
+                    commit,
+                    intent,
+                    freed,
+                })
+            }
             t => Err(corrupt(&format!("unknown tag {t}"))),
         }
     }
@@ -315,6 +474,29 @@ impl WalRecord {
                 reply: RecoveredReply::Freed(*freed),
             }),
             WalRecord::Checkpoint => None,
+            WalRecord::Prepare {
+                client, id, freed, ..
+            } => Some(RecoveredOp {
+                client: *client,
+                id: *id,
+                reply: RecoveredReply::Prepared(*freed),
+            }),
+            WalRecord::Decide {
+                client, id, freed, ..
+            } => Some(RecoveredOp {
+                client: *client,
+                id: *id,
+                reply: RecoveredReply::Freed(*freed),
+            }),
+        }
+    }
+
+    /// The transaction id of a [`WalRecord::Prepare`], for the recovery
+    /// rule that excludes in-doubt prepares from the dedup re-seed.
+    pub(crate) fn prepare_txn(&self) -> Option<u64> {
+        match self {
+            WalRecord::Prepare { txn, .. } => Some(*txn),
+            _ => None,
         }
     }
 }

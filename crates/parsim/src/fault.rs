@@ -140,6 +140,15 @@ pub struct CrashAt {
     pub down: SimDuration,
 }
 
+/// Reserved [`CrashAt::disk`] ordinal addressing the *server* node's own
+/// disk rather than an LFS instance. The Bridge machine keys its
+/// coordinator decision-log disk on this value, so a sweep over
+/// `CrashAt { disk: SERVER_DISK, after_writes: 1..=N, .. }` fail-stops
+/// the server after each of its elementary decision-record writes —
+/// between any two steps of a machine-wide commit. Embedders without a
+/// server-side disk never match it, keeping such plans inert for them.
+pub const SERVER_DISK: u32 = u32::MAX;
+
 /// Transient disk I/O faults. The scheduler ignores this section; the
 /// simulated disk consumes it via its own fault state seeded from
 /// [`FaultPlan::seed`].

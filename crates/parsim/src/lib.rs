@@ -65,7 +65,7 @@ pub mod trace;
 pub use envelope::Envelope;
 pub use fault::{
     mix64, splitmix64, BlockFaultRule, CrashAt, DiskFaults, FaultPlan, MsgFaults, Outage,
-    OutageKind,
+    OutageKind, SERVER_DISK,
 };
 pub use process::{Ctx, ProcFn, ProcId};
 pub use scheduler::{Engine, RunStats, SimConfig, Simulation};

@@ -57,7 +57,9 @@ mod toolkit;
 pub use column::{ColumnReader, ColumnWriter};
 pub use copy::{copy, copy_with, transforms, BlockTransform, CopyStats};
 pub use error::ToolError;
-pub use fsck::{pfsck, FsckMode, FsckOptions, FsckVerdict};
+pub use fsck::{
+    machine_check, pfsck, FsckMode, FsckOptions, FsckVerdict, MachineFinding, MachineReport,
+};
 pub use options::{Fanout, ToolOptions};
 pub use scan::{grep, summarize, Match, Summary};
 pub use sort::{key_of, sort, LocalMergeArity, SortOptions, SortStats, KEY_LEN};

@@ -35,7 +35,7 @@
 use bridge_repro::core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec, PlacementSpec};
 use bridge_repro::parsim::{
     mix64, splitmix64, BlockFaultRule, CrashAt, DiskFaults, FaultPlan, MsgFaults, NodeId, Outage,
-    OutageKind, ProcId, RunStats, SimDuration, SimTime,
+    OutageKind, ProcId, RunStats, SimDuration, SimTime, SERVER_DISK,
 };
 use bridge_repro::tools::{pfsck, FsckOptions};
 use bridge_repro::trace::{Metrics, TraceCollector};
@@ -126,6 +126,25 @@ fn crash_plan_from_seed(seed: u64) -> FaultPlan {
     plan
 }
 
+/// Draws a machine-atomicity plan: the crash-era envelope of
+/// [`crash_plan_from_seed`] plus one fail-stop of the *coordinator*,
+/// addressed by [`SERVER_DISK`]. The workload issues three machine-wide
+/// mutations (two creates, one delete), each costing exactly two
+/// decision-log writes (BEGIN, COMMIT), so an ordinal in `1..=8` lands
+/// the kill on any BEGIN (an in-doubt transaction: durable prepares, no
+/// decision), any COMMIT, or just past the stream.
+fn two_pc_crash_plan_from_seed(seed: u64) -> FaultPlan {
+    let mut plan = crash_plan_from_seed(seed);
+    let mut s = mix64(seed, 0x7C10_2BC0);
+    let mut draw = move || splitmix64(&mut s);
+    plan.crashes.push(CrashAt {
+        disk: SERVER_DISK,
+        after_writes: 1 + draw() % 8,
+        down: SimDuration::from_millis(200 + draw() % 800),
+    });
+    plan
+}
+
 /// Deterministic payload for append/overwrite `i` of stream `tag`.
 fn content(tag: u8, i: u64) -> Vec<u8> {
     vec![tag ^ (i as u8), (i >> 8) as u8, tag, 0x42]
@@ -148,7 +167,7 @@ fn fnv(bytes: &[u8]) -> u64 {
 /// client-visible reply (results and read-back contents, no timing),
 /// plus the run's scheduler counters.
 fn run_workload(config: &BridgeConfig) -> (Vec<String>, RunStats) {
-    run_workload_with(config, false)
+    run_workload_with(config, false, false)
 }
 
 /// [`run_workload`] on a WAL-era machine: the transcript additionally
@@ -156,10 +175,21 @@ fn run_workload(config: &BridgeConfig) -> (Vec<String>, RunStats) {
 /// not only preserve replies and contents but also leave every instance
 /// consistent.
 fn run_wal_workload(config: &BridgeConfig) -> (Vec<String>, RunStats) {
-    run_workload_with(config, true)
+    run_workload_with(config, true, false)
 }
 
-fn run_workload_with(config: &BridgeConfig, pfsck_tail: bool) -> (Vec<String>, RunStats) {
+/// [`run_wal_workload`] on a 2PC machine: the closing pfsck additionally
+/// runs the machine-wide pass (directory vs every instance, orphans
+/// resolved by the coordinator's logged decisions).
+fn run_two_pc_workload(config: &BridgeConfig) -> (Vec<String>, RunStats) {
+    run_workload_with(config, true, true)
+}
+
+fn run_workload_with(
+    config: &BridgeConfig,
+    pfsck_tail: bool,
+    machine_pass: bool,
+) -> (Vec<String>, RunStats) {
     let (mut sim, machine) = BridgeMachine::build(config);
     let server = machine.server;
     let pairs: Vec<(ProcId, NodeId)> = machine
@@ -243,6 +273,7 @@ fn run_workload_with(config: &BridgeConfig, pfsck_tail: bool) -> (Vec<String>, R
                 &pairs,
                 &FsckOptions {
                     retry,
+                    server: machine_pass.then_some(server),
                     ..FsckOptions::default()
                 },
             )
@@ -329,6 +360,40 @@ fn check_crash_seed(label: &str, seed: u64) {
     check_crash_plan(label, crash_plan_from_seed(seed));
 }
 
+/// The machine-atomicity invariant for one plan, on a 2PC machine:
+/// transcript — replies, contents, and the closing machine-wide pfsck
+/// verdict — under node kills *and* a coordinator fail-stop equals the
+/// fault-free transcript. A crash on a BEGIN write leaves an in-doubt
+/// transaction that presumed-abort recovery must roll back; a crash on a
+/// COMMIT write must still complete the decided transaction everywhere.
+fn check_two_pc_crash_plan(label: &str, plan: FaultPlan) {
+    let (baseline, _) = run_two_pc_workload(&BridgeConfig::instant(BREADTH).with_2pc());
+    let (faulted, _) = run_two_pc_workload(
+        &BridgeConfig::instant(BREADTH)
+            .with_2pc()
+            .with_faults(plan.clone()),
+    );
+    if baseline == faulted {
+        return;
+    }
+    let divergence = baseline
+        .iter()
+        .zip(faulted.iter())
+        .position(|(b, f)| b != f)
+        .unwrap_or_else(|| baseline.len().min(faulted.len()));
+    record_failure(plan.seed, "crashseed");
+    panic!(
+        "machine atomicity violated ({label}, plan seed {seed}):\n\
+         first divergence at reply {divergence}:\n\
+           fault-free: {base:?}\n\
+           faulted:    {fault:?}\n\
+         plan: {plan:?}",
+        seed = plan.seed,
+        base = baseline.get(divergence),
+        fault = faulted.get(divergence),
+    );
+}
+
 /// A mid-rate everything-on plan for tests that need fault activity
 /// rather than coverage breadth.
 fn storm_plan(seed: u64) -> FaultPlan {
@@ -413,17 +478,16 @@ fn crash_soak() {
     }
 }
 
-/// Every crash-plan seed ever caught in the wild replays clean, forever
-/// (`tests/fault_seeds/*.crashseed`).
-#[test]
-fn crash_seed_corpus_replays_clean() {
+/// Reads every seed (decimal u64, one per line, `#` comments) from the
+/// `tests/fault_seeds/*.{ext}` corpus files.
+fn corpus_seeds(ext: &str) -> Vec<u64> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("fault_seeds");
     let mut seeds = Vec::new();
     for entry in std::fs::read_dir(&dir).expect("tests/fault_seeds exists") {
         let path = entry.expect("readable dir entry").path();
-        if path.extension().is_none_or(|e| e != "crashseed") {
+        if path.extension().is_none_or(|e| e != ext) {
             continue;
         }
         let text = std::fs::read_to_string(&path).expect("readable seed file");
@@ -438,41 +502,35 @@ fn crash_seed_corpus_replays_clean() {
             seeds.push(seed);
         }
     }
-    assert!(
-        !seeds.is_empty(),
-        "crash corpus must hold at least one seed"
-    );
-    for seed in seeds {
+    assert!(!seeds.is_empty(), "corpus holds at least one .{ext} seed");
+    seeds
+}
+
+/// Every crash-plan seed ever caught in the wild replays clean, forever
+/// (`tests/fault_seeds/*.crashseed`).
+#[test]
+fn crash_seed_corpus_replays_clean() {
+    for seed in corpus_seeds("crashseed") {
         check_crash_seed("crash corpus", seed);
+    }
+}
+
+/// Every crash-plan seed also replays clean on the 2PC machine with a
+/// coordinator fail-stop layered on top (`two_pc_crash_plan_from_seed`).
+/// `tests/fault_seeds/two_pc.crashseed` pins seeds whose server-kill
+/// ordinal lands on each BEGIN write — the in-doubt-participant states
+/// presumed-abort recovery exists for.
+#[test]
+fn two_pc_crash_seed_corpus_replays_clean() {
+    for seed in corpus_seeds("crashseed") {
+        check_two_pc_crash_plan("2pc crash corpus", two_pc_crash_plan_from_seed(seed));
     }
 }
 
 /// Every seed ever caught in the wild replays clean, forever.
 #[test]
 fn fault_seed_corpus_replays_clean() {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests")
-        .join("fault_seeds");
-    let mut seeds = Vec::new();
-    for entry in std::fs::read_dir(&dir).expect("tests/fault_seeds exists") {
-        let path = entry.expect("readable dir entry").path();
-        if path.extension().is_none_or(|e| e != "seed") {
-            continue;
-        }
-        let text = std::fs::read_to_string(&path).expect("readable seed file");
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let seed: u64 = line
-                .parse()
-                .unwrap_or_else(|_| panic!("bad seed line {line:?} in {path:?}"));
-            seeds.push(seed);
-        }
-    }
-    assert!(!seeds.is_empty(), "corpus must hold at least one seed");
-    for seed in seeds {
+    for seed in corpus_seeds("seed") {
         check_seed("corpus", seed);
     }
 }

@@ -1,4 +1,5 @@
-//! Crash-point and consistency-check coverage for the WAL era (PR 7):
+//! Crash-point and consistency-check coverage for the WAL (PR 7) and
+//! two-phase-commit eras:
 //!
 //! * `crash_at_every_write_preserves_acknowledged_state` — the exhaustive
 //!   sweep: measure how many elementary disk writes the reference run
@@ -6,24 +7,39 @@
 //!   after write 1, 2, …, N of each disk. Every run must produce the
 //!   byte-identical client transcript (replies, read-back contents, and
 //!   the closing machine-wide `pfsck --check` verdict).
-//! * `random_crash_schedules_preserve_acknowledged_state` — proptest over
-//!   seeded multi-crash schedules on the same workload.
+//! * `server_kill_at_every_decision_point_preserves_atomicity` — the same
+//!   workload on a 2PC machine, killing the *coordinator* on each of its
+//!   decision-log writes: every BEGIN (in-doubt window, presumed abort)
+//!   and every COMMIT (phase-2 redo) of every Create/Delete fan-out.
+//! * `crash_at_every_lfs_write_under_2pc_preserves_atomicity` — the
+//!   participant side of the same sweep: PREPARE and DECIDE records die
+//!   with their node at every ordinal.
+//! * `random_crash_schedules_preserve_acknowledged_state` /
+//!   `random_schedules_mixing_server_and_node_kills_under_2pc` — proptest
+//!   over seeded multi-crash schedules on the same workload.
 //! * `pfsck_detects_and_repairs_seeded_corruptions` /
 //!   `seeded_corruption_mixes_repair_to_clean` — every
 //!   [`CorruptionKind`] planted on a live instance is detected by
 //!   `pfsck`, repaired under `--repair`, and a second pass reports clean.
+//! * `orphan_column_is_resolved_by_the_logged_decision` — a column left
+//!   behind on a node that missed phase 2 is repaired by `pfsck`'s
+//!   machine-wide pass exactly as the decision log says.
 //! * `pfsck_smoke` — the quick single-instance detect/repair/clean pass
 //!   the CI pfsck-smoke step runs on every push.
 
-use bridge_repro::core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec, PlacementSpec};
+use bridge_repro::core::{
+    BridgeClient, BridgeConfig, BridgeFileId, BridgeMachine, CreateSpec, MachineManifest,
+    ManifestEntry, PlacementSpec, Redundancy,
+};
 use bridge_repro::efs::{
-    spawn_lfs, CorruptionKind, Efs, EfsConfig, LfsClient, LfsData, LfsFileId, LfsOp,
+    set_failed, spawn_lfs, CorruptionKind, Efs, EfsConfig, LfsClient, LfsData, LfsFileId, LfsOp,
 };
 use bridge_repro::parsim::{
     mix64, splitmix64, CrashAt, FaultPlan, NodeId, ProcId, SimConfig, SimDuration, Simulation,
+    SERVER_DISK,
 };
 use bridge_repro::simdisk::{DiskGeometry, DiskProfile, SimDisk};
-use bridge_repro::tools::{pfsck, FsckOptions};
+use bridge_repro::tools::{machine_check, pfsck, FsckOptions, MachineFinding};
 use proptest::prelude::*;
 use std::fmt::Write as _;
 use std::sync::OnceLock;
@@ -51,10 +67,11 @@ fn fnv(bytes: &[u8]) -> u64 {
 }
 
 /// Runs the fixed sweep workload on a WAL machine and returns the client
-/// transcript (ending with the machine-wide `pfsck --check` verdict) plus
+/// transcript (ending with the machine-wide `pfsck --check` verdict),
 /// each disk's elementary write count at the end of the run — the crash
-/// ordinal space the sweep walks.
-fn sweep_workload(config: &BridgeConfig) -> (Vec<String>, Vec<u64>) {
+/// ordinal space the sweep walks — and the run's elapsed virtual time
+/// (not part of the transcript: recovery legitimately costs time).
+fn sweep_workload(config: &BridgeConfig) -> (Vec<String>, Vec<u64>, u64) {
     let (mut sim, machine) = BridgeMachine::build(config);
     let server = machine.server;
     let pairs: Vec<(ProcId, NodeId)> = machine
@@ -131,6 +148,10 @@ fn sweep_workload(config: &BridgeConfig) -> (Vec<String>, Vec<u64>) {
             &pairs,
             &FsckOptions {
                 retry,
+                // The machine-wide pass cross-checks the server's
+                // directory (and, on a 2PC machine, its decision log)
+                // against every instance — the all-or-nothing check.
+                server: Some(server),
                 ..FsckOptions::default()
             },
         )
@@ -152,33 +173,63 @@ fn sweep_workload(config: &BridgeConfig) -> (Vec<String>, Vec<u64>) {
                 other => panic!("unexpected DiskStats reply: {other:?}"),
             }
         }
-        (log, writes)
+        (log, writes, ctx.now().as_nanos())
     })
 }
 
 /// The fault-free reference run, computed once per process.
-fn reference() -> &'static (Vec<String>, Vec<u64>) {
-    static REF: OnceLock<(Vec<String>, Vec<u64>)> = OnceLock::new();
+fn reference() -> &'static (Vec<String>, Vec<u64>, u64) {
+    static REF: OnceLock<(Vec<String>, Vec<u64>, u64)> = OnceLock::new();
     REF.get_or_init(|| sweep_workload(&BridgeConfig::instant(BREADTH).with_wal()))
 }
 
-/// Runs the sweep workload under `crashes` and asserts the transcript is
-/// identical to the fault-free reference.
-fn check_crashes(label: &str, crashes: Vec<CrashAt>) {
-    let (baseline, _) = reference();
+/// The fault-free reference run on the two-phase-commit machine.
+fn reference_2pc() -> &'static (Vec<String>, Vec<u64>, u64) {
+    static REF: OnceLock<(Vec<String>, Vec<u64>, u64)> = OnceLock::new();
+    REF.get_or_init(|| sweep_workload(&BridgeConfig::instant(BREADTH).with_2pc()))
+}
+
+/// Machine-wide mutations in the sweep workload: two Creates and one
+/// Delete. On the 2PC machine each costs the coordinator exactly two
+/// elementary decision-log writes (BEGIN, COMMIT), which fixes the
+/// server-kill ordinal space at `2 * SWEEP_MACHINE_OPS`.
+const SWEEP_MACHINE_OPS: u64 = 3;
+
+/// Runs the sweep workload under `crashes` on `base` and asserts the
+/// transcript is identical to `baseline`.
+fn check_crashes_on(label: &str, base: BridgeConfig, baseline: &[String], crashes: Vec<CrashAt>) {
     let plan = FaultPlan {
         seed: 0x0C4A_0007,
         crashes,
         ..FaultPlan::none()
     };
-    let (crashed, _) = sweep_workload(
-        &BridgeConfig::instant(BREADTH)
-            .with_wal()
-            .with_faults(plan.clone()),
-    );
+    let (crashed, _, _) = sweep_workload(&base.with_faults(plan.clone()));
     assert_eq!(
-        &crashed, baseline,
+        crashed, baseline,
         "crash invariant violated ({label}): plan {plan:?}"
+    );
+}
+
+/// Runs the sweep workload under `crashes` and asserts the transcript is
+/// identical to the fault-free reference.
+fn check_crashes(label: &str, crashes: Vec<CrashAt>) {
+    let (baseline, _, _) = reference();
+    check_crashes_on(
+        label,
+        BridgeConfig::instant(BREADTH).with_wal(),
+        baseline,
+        crashes,
+    );
+}
+
+/// The 2PC variant of [`check_crashes`].
+fn check_crashes_2pc(label: &str, crashes: Vec<CrashAt>) {
+    let (baseline, _, _) = reference_2pc();
+    check_crashes_on(
+        label,
+        BridgeConfig::instant(BREADTH).with_2pc(),
+        baseline,
+        crashes,
     );
 }
 
@@ -189,7 +240,7 @@ fn check_crashes(label: &str, crashes: Vec<CrashAt>) {
 /// require the acknowledged state to survive every cut.
 #[test]
 fn crash_at_every_write_preserves_acknowledged_state() {
-    let (_, writes) = reference();
+    let (_, writes, _) = reference();
     assert_eq!(writes.len(), BREADTH as usize);
     let mut swept = 0u64;
     for (disk, &n) in writes.iter().enumerate() {
@@ -209,6 +260,91 @@ fn crash_at_every_write_preserves_acknowledged_state() {
     eprintln!("swept {swept} crash points across {} disks", writes.len());
 }
 
+/// Routing the workload through two-phase commit is client-invisible: the
+/// fault-free 2PC transcript — every reply, every read-back, the pfsck
+/// verdict with its machine-wide pass — matches the plain WAL machine's.
+#[test]
+fn fault_free_two_pc_transcript_matches_wal_machine() {
+    assert_eq!(reference_2pc().0, reference().0);
+}
+
+/// The headline 2PC sweep: fail-stop the *coordinator* on every
+/// elementary write of its decision log — each BEGIN (participants hold
+/// durable PREPAREs, no decision on record: the in-doubt window presumed
+/// abort must resolve) and each COMMIT (decision durable: phase 2 must be
+/// redone) of every Create/Delete fan-out — plus one past-the-end ordinal
+/// that must never fire. Every cut recovers to the byte-identical
+/// transcript: files exist on all their placement nodes or on none, the
+/// freed-block accounting matches, and pfsck's machine-wide pass finds
+/// nothing to repair.
+#[test]
+fn server_kill_at_every_decision_point_preserves_atomicity() {
+    let n = 2 * SWEEP_MACHINE_OPS;
+    for k in 1..=n + 1 {
+        check_crashes_2pc(
+            &format!("server write {k}/{n}"),
+            vec![CrashAt {
+                disk: SERVER_DISK,
+                after_writes: k,
+                down: SimDuration::from_millis(300),
+            }],
+        );
+    }
+    eprintln!("swept {n} coordinator crash points (+1 past the end)");
+}
+
+/// Guard against an inert sweep: a kill on the very first decision-log
+/// write must actually fire — transcript identical, but the run pays at
+/// least the 300 ms down window in virtual time.
+#[test]
+fn server_kill_sweep_is_not_inert() {
+    let &(_, _, fault_free) = reference_2pc();
+    let plan = FaultPlan {
+        seed: 0x0C4A_0007,
+        crashes: vec![CrashAt {
+            disk: SERVER_DISK,
+            after_writes: 1,
+            down: SimDuration::from_millis(300),
+        }],
+        ..FaultPlan::none()
+    };
+    let (_, _, crashed) =
+        sweep_workload(&BridgeConfig::instant(BREADTH).with_2pc().with_faults(plan));
+    assert!(
+        crashed >= fault_free + SimDuration::from_millis(300).as_nanos(),
+        "the coordinator kill never fired: {crashed} vs fault-free {fault_free}"
+    );
+}
+
+/// The participant side: on the 2PC machine, kill each LFS node after
+/// every elementary write of its disk — now including the PREPARE records
+/// (a node dies holding a tentative intent whose vote never leaves) and
+/// the DECIDE records (a node dies mid-finalization and must replay it).
+#[test]
+fn crash_at_every_lfs_write_under_2pc_preserves_atomicity() {
+    let (_, writes, _) = reference_2pc();
+    assert_eq!(writes.len(), BREADTH as usize);
+    let mut swept = 0u64;
+    for (disk, &n) in writes.iter().enumerate() {
+        assert!(n > 0, "disk {disk} never wrote — workload too small");
+        for k in 1..=n {
+            check_crashes_2pc(
+                &format!("2pc disk {disk}, write {k}/{n}"),
+                vec![CrashAt {
+                    disk: disk as u32,
+                    after_writes: k,
+                    down: SimDuration::from_millis(300),
+                }],
+            );
+            swept += 1;
+        }
+    }
+    eprintln!(
+        "swept {swept} participant crash points across {} disks",
+        writes.len()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8,
@@ -219,7 +355,7 @@ proptest! {
     /// and down windows) on the sweep workload: same invariant.
     #[test]
     fn random_crash_schedules_preserve_acknowledged_state(seed in any::<u64>()) {
-        let (_, writes) = reference();
+        let (_, writes, _) = reference();
         let max_writes = writes.iter().copied().max().unwrap_or(1);
         let mut s = mix64(seed, 0x5EED_0C4A);
         let mut draw = move || splitmix64(&mut s);
@@ -235,6 +371,165 @@ proptest! {
         }
         check_crashes("random schedule", crashes);
     }
+
+    /// Seeded schedules on the 2PC machine mixing coordinator kills with
+    /// node kills — in-doubt windows stacked on participant recoveries.
+    #[test]
+    fn random_schedules_mixing_server_and_node_kills_under_2pc(seed in any::<u64>()) {
+        let (_, writes, _) = reference_2pc();
+        let max_writes = writes.iter().copied().max().unwrap_or(1);
+        let mut s = mix64(seed, 0x5EED_2BC0);
+        let mut draw = move || splitmix64(&mut s);
+        let mut crashes = Vec::new();
+        for _ in 0..1 + draw() % 3 {
+            // One in three kills targets the coordinator's decision log.
+            let (disk, span) = if draw() % 3 == 0 {
+                (SERVER_DISK, 2 * SWEEP_MACHINE_OPS)
+            } else {
+                ((draw() % u64::from(BREADTH)) as u32, max_writes)
+            };
+            crashes.push(CrashAt {
+                disk,
+                after_writes: 1 + draw() % (span + span / 4 + 1),
+                down: SimDuration::from_millis(100 + draw() % 1_200),
+            });
+        }
+        check_crashes_2pc("random 2pc schedule", crashes);
+    }
+}
+
+/// A node that misses phase 2 keeps its column: fail-stop one node, let a
+/// Delete commit around it (its vote and its decision ack are both
+/// tolerated as lost), revive it — the machine is now exactly the state
+/// the ISSUE's headline names, a file deleted everywhere except one
+/// orphaned column. `pfsck`'s machine-wide pass must find the orphan,
+/// resolve it by the logged COMMIT decision under `--repair`, and report
+/// clean on a second pass.
+#[test]
+fn orphan_column_is_resolved_by_the_logged_decision() {
+    let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(3).with_2pc());
+    let server = machine.server;
+    let victim = machine.lfs[1];
+    let pairs: Vec<(ProcId, NodeId)> = machine
+        .lfs
+        .iter()
+        .copied()
+        .zip(machine.lfs_nodes.iter().copied())
+        .collect();
+    sim.block_on(machine.frontend, "orphan-ctl", move |ctx| {
+        let mut bridge = BridgeClient::new(server);
+        let file = bridge
+            .create(
+                ctx,
+                CreateSpec {
+                    redundancy: Redundancy::Mirrored,
+                    ..CreateSpec::default()
+                },
+            )
+            .expect("create");
+        for i in 0..6 {
+            bridge
+                .seq_write(ctx, file, content(0xAB, i))
+                .expect("append");
+        }
+        set_failed(ctx, victim, true);
+        bridge
+            .delete(ctx, file)
+            .expect("delete commits around the dead node");
+        set_failed(ctx, victim, false);
+        // The revived node still holds its columns (primary + mirror).
+        let check = pfsck(
+            ctx,
+            &pairs,
+            &FsckOptions {
+                server: Some(server),
+                ..FsckOptions::default()
+            },
+        )
+        .expect("pfsck --check");
+        let machine_report = check.machine.as_ref().expect("machine pass ran");
+        let orphans: Vec<_> = machine_report
+            .findings
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f,
+                    MachineFinding::OrphanColumn {
+                        node: 1,
+                        resolvable: true,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(
+            orphans.len(),
+            2,
+            "primary and mirror columns orphaned: {machine_report:?}"
+        );
+        assert!(!check.clean());
+        let repair = pfsck(
+            ctx,
+            &pairs,
+            &FsckOptions {
+                repair: true,
+                server: Some(server),
+                ..FsckOptions::default()
+            },
+        )
+        .expect("pfsck --repair");
+        assert_eq!(repair.machine.as_ref().expect("machine pass").repaired, 2);
+        let second = pfsck(
+            ctx,
+            &pairs,
+            &FsckOptions {
+                server: Some(server),
+                ..FsckOptions::default()
+            },
+        )
+        .expect("second pass");
+        assert!(
+            second.clean(),
+            "not clean after repair: {:?}",
+            second.errors()
+        );
+    });
+}
+
+/// A directory entry naming a node beyond the machine's breadth (a stale
+/// placement spec) is *reported* by the machine-wide pass — not chased
+/// into an out-of-bounds instance index.
+#[test]
+fn machine_check_reports_out_of_range_placement() {
+    let manifest = MachineManifest {
+        breadth: 2,
+        files: vec![ManifestEntry {
+            file: BridgeFileId(7),
+            lfs_file: LfsFileId(7),
+            companion: None,
+            nodes: vec![0, 5],
+        }],
+        decisions: Vec::new(),
+    };
+    // Node 0 holds the column; "node 5" exists only in the stale entry.
+    let listings = vec![
+        vec![bridge_repro::efs::FileInfo {
+            file: LfsFileId(7),
+            size: 0,
+            first: None,
+            last: None,
+        }],
+        Vec::new(),
+    ];
+    let findings = machine_check(&manifest, &listings);
+    assert_eq!(
+        findings,
+        vec![MachineFinding::NodeOutOfRange {
+            file: BridgeFileId(7),
+            node: 5,
+            breadth: 2,
+        }]
+    );
 }
 
 /// Builds one LFS instance per requested corruption: populate a fresh
