@@ -53,7 +53,7 @@ fn churn_cycle(ctx: &mut parsim::Ctx, bridge: &mut BridgeClient) {
         .create(
             ctx,
             CreateSpec {
-                redundancy: Redundancy::Mirrored,
+                redundancy: Redundancy::Mirror,
                 ..CreateSpec::default()
             },
         )

@@ -419,6 +419,58 @@ impl BridgeClient {
         }
     }
 
+    /// Repairs one chunk of a redundant file — blocks `[first, first +
+    /// count)`, clipped to the file's size. Chunks must be driven
+    /// front-to-back: repairs onto a fresh spare land as appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn rebuild_range(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        first: u64,
+        count: u64,
+    ) -> Result<u64, BridgeError> {
+        match self.call(ctx, BridgeCmd::RebuildRange { file, first, count })? {
+            BridgeData::Rebuilt { repaired } => Ok(repaired),
+            other => Err(unexpected("Rebuilt", &other)),
+        }
+    }
+
+    /// Drives a full rebuild of `file` as a sequence of `chunk`-block
+    /// [`Self::rebuild_range`] calls with `pause` simulated time between
+    /// them. The chunk size and pause are the rebuild-rate knob: small
+    /// chunks and long pauses keep the single-fiber server responsive to
+    /// foreground traffic (low p99) at the cost of a longer rebuild;
+    /// large chunks finish sooner but stall concurrent requests. Returns
+    /// the total number of components rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn rebuild_paced(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        chunk: u64,
+        pause: parsim::SimDuration,
+    ) -> Result<u64, BridgeError> {
+        assert!(chunk > 0, "rebuild chunk must be at least one block");
+        let size = self.open(ctx, file)?.size;
+        let mut repaired = 0;
+        let mut first = 0;
+        while first < size {
+            repaired += self.rebuild_range(ctx, file, first, chunk)?;
+            first += chunk;
+            if first < size {
+                ctx.delay(pause);
+            }
+        }
+        Ok(repaired)
+    }
+
     /// Structural information about the machine (the tool bootstrap).
     ///
     /// # Errors

@@ -76,4 +76,4 @@ pub use simdisk::{SchedConfig, SchedPolicy};
 // Re-exported so applications can install client retries (and fault plans
 // via `BridgeConfig::faults`) without naming the lower crates.
 pub use bridge_efs::RetryPolicy;
-pub use parsim::{FaultPlan, MsgFaults, Outage, OutageKind};
+pub use parsim::{DiskLost, FaultPlan, MsgFaults, Outage, OutageKind};

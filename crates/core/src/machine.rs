@@ -5,6 +5,7 @@
 //! running the centralized Bridge Server; all connected by a uniform
 //! interconnect.
 
+use crate::redundancy::Redundancy;
 use crate::server::{spawn_bridge_agent, spawn_bridge_server, BridgeServerConfig};
 use crate::txlog::TxLog;
 use bridge_efs::{spawn_lfs_sched, Efs, EfsConfig, RetryPolicy};
@@ -12,7 +13,9 @@ use parsim::{
     Engine, FaultPlan, NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle,
     UniformLatency, SERVER_DISK,
 };
-use simdisk::{CrashSchedule, DiskFaultState, DiskGeometry, DiskProfile, SchedConfig, SimDisk};
+use simdisk::{
+    CrashSchedule, DiskFaultState, DiskGeometry, DiskProfile, LossSchedule, SchedConfig, SimDisk,
+};
 
 /// Everything needed to stand up a Bridge machine.
 #[derive(Debug, Clone)]
@@ -158,6 +161,16 @@ impl BridgeConfig {
         self.two_pc = true;
         self
     }
+
+    /// `self` creating every file with redundancy `r` unless the
+    /// [`CreateSpec`](crate::CreateSpec) overrides it. Redundant
+    /// mutations only survive crashes atomically (data and its mirror or
+    /// parity never diverge) when combined with
+    /// [`with_2pc`](Self::with_2pc).
+    pub fn with_redundancy(mut self, r: Redundancy) -> Self {
+        self.server.default_redundancy = r;
+        self
+    }
 }
 
 impl Default for BridgeConfig {
@@ -230,6 +243,7 @@ impl BridgeMachine {
                 i,
             ));
             disk.schedule_crashes(CrashSchedule::from_plan(&config.faults.crashes, i));
+            disk.schedule_loss(LossSchedule::from_plan(&config.faults.losses, i));
             let efs = Efs::format(disk, config.efs);
             let proc = spawn_lfs_sched(sim, node, format!("lfs{i}"), efs, config.sched);
             agents.push(spawn_bridge_agent(

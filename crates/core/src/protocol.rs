@@ -150,6 +150,19 @@ pub enum BridgeCmd {
         /// File to repair.
         file: BridgeFileId,
     },
+    /// Repair only global blocks `[first, first + count)` of a redundant
+    /// file (plus the parity stripes they touch). A paced rebuild driver
+    /// issues these in small chunks so foreground traffic interleaves at
+    /// the LFS schedulers between chunks — the rebuild-rate vs foreground
+    /// p99 tradeoff is the chunk size.
+    RebuildRange {
+        /// File to repair.
+        file: BridgeFileId,
+        /// First global block of the range.
+        first: u64,
+        /// Number of global blocks (clipped at the file size).
+        count: u64,
+    },
     /// Structural information for tools.
     GetInfo,
     /// The full directory — every file with its placement — plus the
@@ -175,6 +188,7 @@ impl BridgeCmd {
             BridgeCmd::JobWrite { .. } => "bridge.job_write",
             BridgeCmd::JobClose { .. } => "bridge.job_close",
             BridgeCmd::Rebuild { .. } => "bridge.rebuild",
+            BridgeCmd::RebuildRange { .. } => "bridge.rebuild_range",
             BridgeCmd::GetInfo => "bridge.get_info",
             BridgeCmd::GetManifest => "bridge.get_manifest",
         }
@@ -298,6 +312,15 @@ pub struct ManifestEntry {
     pub lfs_file: LfsFileId,
     /// The redundancy companion's local name (mirror/parity), if any.
     pub companion: Option<LfsFileId>,
+    /// The file's redundancy mode (drives `pfsck`'s parity audit).
+    pub redundancy: Redundancy,
+    /// The server's cached global size in blocks — the stripe extent the
+    /// parity audit recomputes.
+    pub size: u64,
+    /// Round-robin start rotation: block 0's position within `nodes`.
+    /// The mirror audit needs it to map blocks to columns; parity files
+    /// ignore it (the parity layout pins its own rotation).
+    pub start: u32,
     /// Machine indexes of the LFS instances holding its columns. Entries
     /// here are *claims*: an index may be stale (≥ the current breadth
     /// after a placement-spec change), which the machine pass must report
@@ -397,7 +420,7 @@ pub fn reply_wire_size(reply: &BridgeReply) -> usize {
             48 + m
                 .files
                 .iter()
-                .map(|f| 24 + f.nodes.len() * 4)
+                .map(|f| 28 + f.nodes.len() * 4)
                 .sum::<usize>()
                 + m.decisions.len() * 32
         }

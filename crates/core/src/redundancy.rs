@@ -11,12 +11,12 @@
 //!
 //! This module implements both options the authors weighed:
 //!
-//! * [`Redundancy::Mirrored`] — every block is written twice, on adjacent
+//! * [`Redundancy::Mirror`] — every block is written twice, on adjacent
 //!   LFS positions (the 2× capacity cost the paper notes);
 //! * [`Redundancy::Parity`] — the scheme the paper thought obstructed:
-//!   blocks are grouped into stripes of `p−1`, each stripe's XOR parity
-//!   stored on a rotating parity position ([`ParityLayout`]), for a
-//!   capacity overhead of `p/(p−1)` and single-failure tolerance. (RAID
+//!   blocks are grouped into stripes, each stripe's XOR parity stored on
+//!   a rotating parity position ([`ParityLayout`]), for a capacity
+//!   overhead of `g/(g−1)` and single-failure tolerance per group. (RAID
 //!   level 5 was published the same year as Bridge; this is its
 //!   block-interleaved MIMD realization.)
 
@@ -32,36 +32,92 @@ pub enum Redundancy {
     None,
     /// Every block mirrored on the next LFS position: survives one
     /// failure at 2× capacity.
-    Mirrored,
-    /// Rotating XOR parity over stripes of `p−1` blocks: survives one
-    /// failure at `p/(p−1)` capacity.
-    Parity,
+    Mirror,
+    /// Rotating XOR parity over stripes of `group − 1` data blocks:
+    /// survives one failure *per group* at `group/(group−1)` capacity.
+    /// `group == 0` means "the file's whole breadth" (one machine-wide
+    /// group); otherwise `group` must divide the breadth, partitioning
+    /// the positions into `breadth / group` independent parity groups.
+    Parity {
+        /// Positions per parity group (data + parity); `0` = breadth.
+        group: u32,
+    },
 }
 
-/// The rotating-parity layout for breadth `p` (positions, not machine
-/// indexes): stripe `s` holds data blocks `s·(p−1) .. (s+1)·(p−1)` on the
-/// `p−1` positions that are not `s mod p`, and its parity block on
-/// position `s mod p`. Every position holds exactly one block (data or
-/// parity) per stripe, so all local files grow in lock step.
+impl Redundancy {
+    /// Machine-wide rotating parity: one group spanning the file's whole
+    /// breadth (`Parity { group: 0 }`).
+    pub fn parity() -> Redundancy {
+        Redundancy::Parity { group: 0 }
+    }
+
+    /// A small stable discriminant (0 = none, 1 = mirror, 2 = parity) —
+    /// what tests and tools stamp into record payloads.
+    pub fn tag(&self) -> u32 {
+        match self {
+            Redundancy::None => 0,
+            Redundancy::Mirror => 1,
+            Redundancy::Parity { .. } => 2,
+        }
+    }
+}
+
+/// The rotating-parity layout for breadth `p` positions partitioned into
+/// `p / g` independent groups of `g` positions each (positions, not
+/// machine indexes). Stripes are `g − 1` consecutive data blocks;
+/// stripe `s` lands in group `s mod (p/g)`, its row within that group is
+/// `r = s div (p/g)`, and its parity block sits on the row's rotating
+/// hole position `r mod g`. Every position holds exactly one block (data
+/// or parity) per row of its group, so all local files grow in lock
+/// step. `g == p` (one group) is the classic machine-wide RAID-5
+/// rotation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParityLayout {
     breadth: u32,
+    group: u32,
 }
 
 impl ParityLayout {
-    /// Creates the layout for `breadth` positions.
+    /// Creates the machine-wide layout: one parity group spanning all
+    /// `breadth` positions.
     ///
     /// # Panics
     ///
     /// Panics if `breadth < 2` (parity needs somewhere else to stand).
     pub fn new(breadth: u32) -> Self {
-        assert!(breadth >= 2, "parity needs at least two LFS positions");
-        ParityLayout { breadth }
+        ParityLayout::grouped(breadth, breadth)
+    }
+
+    /// Creates the layout with `group`-position parity groups
+    /// (`group == 0` means `breadth`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group < 2` (after 0 → breadth normalization) or if
+    /// `group` does not divide `breadth`.
+    pub fn grouped(breadth: u32, group: u32) -> Self {
+        let group = if group == 0 { breadth } else { group };
+        assert!(group >= 2, "parity needs at least two LFS positions");
+        assert!(
+            breadth.is_multiple_of(group),
+            "parity group ({group}) must divide the breadth ({breadth})"
+        );
+        ParityLayout { breadth, group }
+    }
+
+    /// Positions per parity group.
+    pub fn group(&self) -> u32 {
+        self.group
+    }
+
+    /// Number of parity groups.
+    fn group_count(&self) -> u64 {
+        u64::from(self.breadth / self.group)
     }
 
     /// Data blocks per stripe.
     pub fn stripe_width(&self) -> u64 {
-        u64::from(self.breadth) - 1
+        u64::from(self.group) - 1
     }
 
     /// The stripe containing data block `block`.
@@ -69,28 +125,34 @@ impl ParityLayout {
         block / self.stripe_width()
     }
 
+    /// Stripe `s`'s group ordinal and row within that group.
+    fn group_row(&self, stripe: u64) -> (u64, u64) {
+        (stripe % self.group_count(), stripe / self.group_count())
+    }
+
     /// The position holding stripe `s`'s parity block.
     pub fn parity_position(&self, stripe: u64) -> u32 {
-        (stripe % u64::from(self.breadth)) as u32
+        let (gi, r) = self.group_row(stripe);
+        (gi * u64::from(self.group) + r % u64::from(self.group)) as u32
     }
 
     /// The position holding data block `block`.
     pub fn data_position(&self, block: u64) -> u32 {
+        let s = self.stripe_of(block);
+        let (gi, r) = self.group_row(s);
         let j = (block % self.stripe_width()) as u32;
-        let hole = self.parity_position(self.stripe_of(block));
-        if j < hole {
-            j
-        } else {
-            j + 1
-        }
+        let hole = (r % u64::from(self.group)) as u32;
+        let in_group = if j < hole { j } else { j + 1 };
+        (gi * u64::from(self.group)) as u32 + in_group
     }
 
-    /// How many stripes in `[0, stripe)` put their parity on `position`.
-    fn parity_count_before(&self, position: u32, stripe: u64) -> u64 {
-        let p = u64::from(self.breadth);
-        let n = u64::from(position);
-        if stripe > n {
-            (stripe - n - 1) / p + 1
+    /// How many rows in `[0, row)` of a group put their parity on the
+    /// group's position `q`.
+    fn parity_count_before(&self, q: u32, row: u64) -> u64 {
+        let g = u64::from(self.group);
+        let n = u64::from(q);
+        if row > n {
+            (row - n - 1) / g + 1
         } else {
             0
         }
@@ -100,8 +162,9 @@ impl ParityLayout {
     /// *data* LFS file (dense: parity blocks live in a separate file).
     pub fn data_local(&self, block: u64) -> u32 {
         let s = self.stripe_of(block);
-        let pos = self.data_position(block);
-        (s - self.parity_count_before(pos, s)) as u32
+        let (_, r) = self.group_row(s);
+        let q = self.data_position(block) % self.group;
+        (r - self.parity_count_before(q, r)) as u32
     }
 
     /// The full location of data block `block`, as (position, data-local).
@@ -115,7 +178,9 @@ impl ParityLayout {
     /// The local index of stripe `s`'s parity block within the parity
     /// LFS file of its position.
     pub fn parity_local(&self, stripe: u64) -> u32 {
-        self.parity_count_before(self.parity_position(stripe), stripe) as u32
+        let (_, r) = self.group_row(stripe);
+        let q = self.parity_position(stripe) % self.group;
+        self.parity_count_before(q, r) as u32
     }
 
     /// The data blocks of `block`'s stripe other than `block` itself,
@@ -145,6 +210,30 @@ mod tests {
     use std::collections::{HashMap, HashSet};
 
     #[test]
+    fn every_stripe_stays_inside_one_group() {
+        for (p, g) in [(4u32, 2u32), (6, 3), (8, 4), (8, 2)] {
+            let layout = ParityLayout::grouped(p, g);
+            for s in 0..60u64 {
+                let (gi, _) = layout.group_row(s);
+                let lo = (gi * u64::from(g)) as u32;
+                let hi = lo + g;
+                let pp = layout.parity_position(s);
+                assert!((lo..hi).contains(&pp), "p={p} g={g} stripe {s}");
+                let mut positions: HashSet<u32> = HashSet::new();
+                positions.insert(pp);
+                for j in 0..layout.stripe_width() {
+                    let b = s * layout.stripe_width() + j;
+                    assert_eq!(layout.stripe_of(b), s);
+                    let dp = layout.data_position(b);
+                    assert!((lo..hi).contains(&dp), "p={p} g={g} stripe {s}");
+                    positions.insert(dp);
+                }
+                assert_eq!(positions.len(), g as usize, "p={p} g={g} stripe {s}");
+            }
+        }
+    }
+
+    #[test]
     fn every_stripe_touches_every_position_once() {
         for p in [2u32, 3, 5, 8] {
             let layout = ParityLayout::new(p);
@@ -163,8 +252,8 @@ mod tests {
 
     #[test]
     fn data_locals_are_dense_per_position() {
-        for p in [2u32, 4, 7] {
-            let layout = ParityLayout::new(p);
+        for (p, g) in [(2u32, 2u32), (4, 4), (7, 7), (6, 3), (8, 2)] {
+            let layout = ParityLayout::grouped(p, g);
             let mut per_pos: HashMap<u32, Vec<u32>> = HashMap::new();
             for b in 0..(200 * layout.stripe_width()) {
                 per_pos
@@ -174,7 +263,7 @@ mod tests {
             }
             for (pos, locals) in per_pos {
                 for (i, l) in locals.iter().enumerate() {
-                    assert_eq!(*l as usize, i, "p={p} position {pos}");
+                    assert_eq!(*l as usize, i, "p={p} g={g} position {pos}");
                 }
             }
         }
@@ -182,29 +271,51 @@ mod tests {
 
     #[test]
     fn parity_locals_are_dense_per_position() {
-        let p = 5u32;
-        let layout = ParityLayout::new(p);
-        let mut per_pos: HashMap<u32, Vec<u32>> = HashMap::new();
-        for s in 0..100u64 {
-            per_pos
-                .entry(layout.parity_position(s))
-                .or_default()
-                .push(layout.parity_local(s));
-        }
-        for (pos, locals) in per_pos {
-            for (i, l) in locals.iter().enumerate() {
-                assert_eq!(*l as usize, i, "position {pos}");
+        for (p, g) in [(5u32, 5u32), (6, 3), (8, 4)] {
+            let layout = ParityLayout::grouped(p, g);
+            let mut per_pos: HashMap<u32, Vec<u32>> = HashMap::new();
+            for s in 0..100u64 {
+                per_pos
+                    .entry(layout.parity_position(s))
+                    .or_default()
+                    .push(layout.parity_local(s));
+            }
+            for (pos, locals) in per_pos {
+                for (i, l) in locals.iter().enumerate() {
+                    assert_eq!(*l as usize, i, "p={p} g={g} position {pos}");
+                }
             }
         }
     }
 
     #[test]
     fn data_never_shares_a_position_with_its_parity() {
-        let layout = ParityLayout::new(6);
-        for b in 0..600u64 {
-            let s = layout.stripe_of(b);
-            assert_ne!(layout.data_position(b), layout.parity_position(s));
+        for (p, g) in [(6u32, 6u32), (6, 3), (8, 2)] {
+            let layout = ParityLayout::grouped(p, g);
+            for b in 0..600u64 {
+                let s = layout.stripe_of(b);
+                assert_ne!(layout.data_position(b), layout.parity_position(s));
+            }
         }
+    }
+
+    #[test]
+    fn grouped_rows_fill_every_position_in_lock_step() {
+        // After any whole number of rows, every position of every group
+        // holds the same number of blocks (data + parity combined).
+        let layout = ParityLayout::grouped(6, 3);
+        let rows = 30u64;
+        let stripes = rows * layout.group_count();
+        let mut per_pos: HashMap<u32, u64> = HashMap::new();
+        for s in 0..stripes {
+            *per_pos.entry(layout.parity_position(s)).or_default() += 1;
+            for j in 0..layout.stripe_width() {
+                let b = s * layout.stripe_width() + j;
+                *per_pos.entry(layout.data_position(b)).or_default() += 1;
+            }
+        }
+        assert_eq!(per_pos.len(), 6);
+        assert!(per_pos.values().all(|&n| n == rows));
     }
 
     #[test]
@@ -237,5 +348,11 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn parity_needs_two_positions() {
         let _ = ParityLayout::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn parity_group_must_divide_breadth() {
+        let _ = ParityLayout::grouped(6, 4);
     }
 }

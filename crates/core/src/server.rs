@@ -57,6 +57,10 @@ pub struct BridgeServerConfig {
     /// the pre-retry behaviour; under a fault plan that drops server↔LFS
     /// traffic, install [`RetryPolicy::standard`].
     pub lfs_retry: RetryPolicy,
+    /// Redundancy applied to files whose [`CreateSpec`] asks for
+    /// [`Redundancy::None`] (the spec default) — the machine-wide mode
+    /// installed by [`BridgeConfig::with_redundancy`](crate::BridgeConfig::with_redundancy).
+    pub default_redundancy: Redundancy,
 }
 
 /// Scatter-gather batching policy for server ↔ LFS traffic.
@@ -105,6 +109,7 @@ impl Default for BridgeServerConfig {
             create_fanout: CreateFanout::Serial,
             batch: BatchPolicy::Off,
             lfs_retry: RetryPolicy::none(),
+            default_redundancy: Redundancy::None,
         }
     }
 }
@@ -114,13 +119,21 @@ const MIRROR_BIT: u32 = 0x4000_0000;
 /// LFS file-id bit marking a parity companion file.
 const PARITY_BIT: u32 = 0x2000_0000;
 
+/// Is this LFS error "the column is gone" — its node failed, its disk
+/// was lost, or a freshly formatted spare doesn't hold the file yet?
+/// Redundant paths degrade through these; everything else is a real
+/// error.
+fn column_lost(e: &EfsError) -> bool {
+    matches!(e, EfsError::NodeFailed | EfsError::UnknownFile(_))
+}
+
 /// Collapses a write outcome for redundant files: `Ok(true)` = landed,
-/// `Ok(false)` = that component's node has failed (tolerable alone),
+/// `Ok(false)` = that component's column is gone (tolerable alone),
 /// `Err` = a real error.
 fn ok_or_failed<T>(r: Result<T, BridgeError>) -> Result<bool, BridgeError> {
     match r {
         Ok(_) => Ok(true),
-        Err(BridgeError::Lfs(EfsError::NodeFailed)) => Ok(false),
+        Err(BridgeError::Lfs(e)) if column_lost(&e) => Ok(false),
         Err(e) => Err(e),
     }
 }
@@ -150,8 +163,8 @@ impl FileMeta {
     /// Position-space location of a strictly placed global block (lfs =
     /// position within `nodes`, not a machine index).
     fn locate_pos(&mut self, block: u64) -> Result<GlobalPtr, BridgeError> {
-        if self.redundancy == Redundancy::Parity {
-            return Ok(ParityLayout::new(self.placement.breadth()).locate(block));
+        if let Redundancy::Parity { group } = self.redundancy {
+            return Ok(ParityLayout::grouped(self.placement.breadth(), group).locate(block));
         }
         let pos = match self.placement.kind() {
             PlacementKind::Hashed { .. } => {
@@ -193,6 +206,27 @@ impl FileMeta {
         GlobalPtr {
             lfs: LfsIndex((pos.lfs.0 + 1) % self.placement.breadth()),
             local: pos.local,
+        }
+    }
+
+    /// The parity layout of a [`Redundancy::Parity`] file.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-parity files.
+    fn parity_layout(&self) -> ParityLayout {
+        match self.redundancy {
+            Redundancy::Parity { group } => ParityLayout::grouped(self.placement.breadth(), group),
+            _ => unreachable!("parity layout of a non-parity file"),
+        }
+    }
+
+    /// The redundancy companion's LFS file name, if any.
+    fn companion(&self, file: BridgeFileId) -> Option<LfsFileId> {
+        match self.redundancy {
+            Redundancy::None => None,
+            Redundancy::Mirror => Some(LfsFileId(file.0 | MIRROR_BIT)),
+            Redundancy::Parity { .. } => Some(LfsFileId(file.0 | PARITY_BIT)),
         }
     }
 }
@@ -495,7 +529,13 @@ impl Server {
                 }
                 Ok(BridgeData::JobClosed)
             }
-            BridgeCmd::Rebuild { file } => self.rebuild(ctx, file),
+            BridgeCmd::Rebuild { file } => {
+                let size = self.meta(file)?.size;
+                self.rebuild_range(ctx, file, 0, size)
+            }
+            BridgeCmd::RebuildRange { file, first, count } => {
+                self.rebuild_range(ctx, file, first, count)
+            }
             BridgeCmd::GetInfo => Ok(BridgeData::Info(MachineInfo {
                 breadth: self.breadth(),
                 lfs: self.lfs.clone(),
@@ -515,10 +555,12 @@ impl Server {
             .map(|(&file, meta)| ManifestEntry {
                 file,
                 lfs_file: meta.lfs_file,
-                companion: match meta.redundancy {
-                    Redundancy::None => None,
-                    Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
-                    Redundancy::Parity => Some(LfsFileId(file.0 | PARITY_BIT)),
+                companion: meta.companion(file),
+                redundancy: meta.redundancy,
+                size: meta.size,
+                start: match meta.placement.kind() {
+                    PlacementKind::RoundRobin { start } => start,
+                    _ => 0,
                 },
                 nodes: meta.nodes.clone(),
             })
@@ -602,7 +644,14 @@ impl Server {
             PlacementSpec::Linked => PlacementKind::Linked,
         };
 
-        if spec.redundancy != Redundancy::None {
+        // A spec that asks for nothing inherits the machine-wide default
+        // installed by `BridgeConfig::with_redundancy`.
+        let mut redundancy = if spec.redundancy == Redundancy::None {
+            self.config.default_redundancy
+        } else {
+            spec.redundancy
+        };
+        if redundancy != Redundancy::None {
             if breadth < 2 {
                 return Err(BridgeError::RedundancyUnsupported {
                     why: "breadth must be at least 2",
@@ -614,22 +663,41 @@ impl Server {
                 });
             }
         }
+        if let Redundancy::Parity { group } = redundancy {
+            // Normalize "whole breadth" and pin the group so the layout
+            // is stable even if the machine's shape ever changes.
+            let group = if group == 0 { breadth } else { group };
+            if group < 2 {
+                return Err(BridgeError::RedundancyUnsupported {
+                    why: "a parity group needs at least two positions",
+                });
+            }
+            if !breadth.is_multiple_of(group) {
+                return Err(BridgeError::RedundancyUnsupported {
+                    why: "the parity group must divide the file's breadth",
+                });
+            }
+            redundancy = Redundancy::Parity { group };
+        }
 
         let file = BridgeFileId(self.next_file);
         self.next_file += 1;
         let lfs_file = LfsFileId(file.0);
-        let companion = match spec.redundancy {
+        let companion = match redundancy {
             Redundancy::None => None,
-            Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
-            Redundancy::Parity => Some(LfsFileId(file.0 | PARITY_BIT)),
+            Redundancy::Mirror => Some(LfsFileId(file.0 | MIRROR_BIT)),
+            Redundancy::Parity { .. } => Some(LfsFileId(file.0 | PARITY_BIT)),
         };
 
         if self.txlog.is_some() {
             // Machine-wide atomicity: every column's create prepares
             // tentatively under 2PC, so a crash anywhere in the fan-out
             // leaves the file on all its placement nodes or on none.
-            // Creates tolerate no participant failure — the legacy path
-            // propagates every error too, it just can't undo.
+            // An unprotected file's create tolerates no participant
+            // failure — the legacy path propagates every error too, it
+            // just can't undo. A redundant file's create proceeds
+            // without a lost column: its (empty) constituent files
+            // appear on the spare when a rebuild reaches it.
             let participants: Vec<TxParticipant> = nodes
                 .iter()
                 .map(|&n| {
@@ -643,7 +711,7 @@ impl Server {
                     }
                 })
                 .collect();
-            let tolerant = vec![false; participants.len()];
+            let tolerant = vec![redundancy != Redundancy::None; participants.len()];
             self.run_2pc(ctx, &participants, &tolerant, true)?;
         } else {
             self.create_fanout(ctx, &nodes, lfs_file, companion)?;
@@ -654,7 +722,7 @@ impl Server {
             file,
             FileMeta {
                 lfs_file,
-                redundancy: spec.redundancy,
+                redundancy,
                 linked_locals: vec![0; nodes.len()],
                 nodes,
                 placement: Placement::new(kind, breadth),
@@ -780,11 +848,7 @@ impl Server {
         let mut tolerant = Vec::new();
         for &file in files {
             let meta = &self.files[&file];
-            let companion = match meta.redundancy {
-                Redundancy::None => None,
-                Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
-                Redundancy::Parity => Some(LfsFileId(file.0 | PARITY_BIT)),
-            };
+            let companion = meta.companion(file);
             for &n in &meta.nodes {
                 let proc = self.lfs[n as usize].0;
                 calls.push((
@@ -829,11 +893,7 @@ impl Server {
         let mut node_tolerant: Vec<bool> = vec![true; breadth];
         for &file in files {
             let meta = &self.files[&file];
-            let companion = match meta.redundancy {
-                Redundancy::None => None,
-                Redundancy::Mirrored => Some(LfsFileId(file.0 | MIRROR_BIT)),
-                Redundancy::Parity => Some(LfsFileId(file.0 | PARITY_BIT)),
-            };
+            let companion = meta.companion(file);
             for &n in &meta.nodes {
                 per_node[n as usize].push(meta.lfs_file);
                 if meta.redundancy == Redundancy::None {
@@ -858,6 +918,7 @@ impl Server {
             .map(|p| node_tolerant[p.node as usize])
             .collect();
         self.run_2pc(ctx, &participants, &tolerant, false)
+            .map(|(freed, _)| freed)
     }
 
     /// One presumed-abort two-phase commit round over `participants`.
@@ -887,14 +948,18 @@ impl Server {
     /// legacy serial fan-out; the decision round is charged nothing —
     /// with pipelined fan-out and group commit at the participants it is
     /// the prepare round's cheap echo. Returns the blocks freed by the
-    /// commit (zero for creates and aborts).
+    /// commit (zero for creates and aborts) and the number of tolerated
+    /// lost columns — participants whose vote came back `NodeFailed` (or
+    /// `UnknownFile`, a freshly formatted spare not yet rebuilt) and were
+    /// carried anyway. Redundant-write callers use the count to tell a
+    /// degraded-but-landed write from one that landed nowhere.
     fn run_2pc(
         &mut self,
         ctx: &mut Ctx,
         participants: &[TxParticipant],
         tolerant: &[bool],
         create_costs: bool,
-    ) -> Result<u64, BridgeError> {
+    ) -> Result<(u64, u32), BridgeError> {
         'retry: loop {
             let txn = self.next_txn;
             self.next_txn += 1;
@@ -922,12 +987,18 @@ impl Server {
             txlog.begin(ctx, txn, participants);
             if txlog.crash_down().is_some() {
                 if self.server_crash_recover(ctx, txn, &pending)? {
-                    return self.decide_all(ctx, txn, true, participants);
+                    // The redo path cannot recount votes; report every
+                    // column landed — the logged decision repairs any
+                    // that were lost.
+                    return self
+                        .decide_all(ctx, txn, true, participants)
+                        .map(|f| (f, 0));
                 }
                 continue 'retry;
             }
             // Collect votes in order (the serial termination of Create).
             let mut veto: Option<EfsError> = None;
+            let mut lost = 0u32;
             for (i, &(proc, id)) in pending.iter().enumerate() {
                 let vote = self.client.wait(ctx, proc, id);
                 if create_costs {
@@ -936,10 +1007,11 @@ impl Server {
                 match vote {
                     Ok(_) => {}
                     // A tolerant participant's column is already lost
-                    // with its node; the transaction proceeds without it
-                    // and the decision fan-out skips... no — still sent,
-                    // and its NodeFailed ack is tolerated there too.
-                    Err(EfsError::NodeFailed) if tolerant[i] => {}
+                    // with its node (or sits on a spare that has not been
+                    // rebuilt yet); the transaction proceeds without it —
+                    // the decision is still sent, and its failure ack is
+                    // tolerated there too.
+                    Err(e) if tolerant[i] && column_lost(&e) => lost += 1,
                     Err(e) => veto = veto.or(Some(e)),
                 }
             }
@@ -957,7 +1029,9 @@ impl Server {
                 unreachable!("a forced COMMIT record cannot be lost");
             }
             // Phase 2: fan the decision out.
-            return self.decide_all(ctx, txn, true, participants);
+            return self
+                .decide_all(ctx, txn, true, participants)
+                .map(|f| (f, lost));
         }
     }
 
@@ -995,7 +1069,10 @@ impl Server {
             match self.client.wait(ctx, proc, id) {
                 Ok(LfsData::Freed(n)) => freed += u64::from(n),
                 Ok(_) => {}
-                Err(EfsError::NodeFailed) => {
+                // `UnknownFile` here is a column on a freshly formatted
+                // spare: the decision has nothing to apply to until a
+                // rebuild repopulates the instance.
+                Err(e) if column_lost(&e) => {
                     if ctx.trace_enabled() {
                         ctx.trace_instant("2pc", "2pc.decide_lost", &[("txn", txn)]);
                     }
@@ -1099,7 +1176,7 @@ impl Server {
                         local_size: info.size,
                     });
                 }
-                Err(EfsError::NodeFailed) if meta.redundancy != Redundancy::None => {
+                Err(ref e) if meta.redundancy != Redundancy::None && column_lost(e) => {
                     // Degraded open: report the column as empty and trust
                     // the directory's cached size below.
                     failures += 1;
@@ -1296,15 +1373,25 @@ impl Server {
         let ptr = meta.to_machine(pos);
         match self.read_at(ctx, file, block, ptr) {
             Ok((header, body, _)) => Ok((header, body)),
-            Err(BridgeError::Lfs(EfsError::NodeFailed)) => {
+            Err(BridgeError::Lfs(e)) if column_lost(&e) => {
+                if redundancy == Redundancy::None {
+                    return Err(BridgeError::Lfs(e));
+                }
+                if ctx.trace_enabled() {
+                    ctx.trace_instant(
+                        "redundancy",
+                        "redundancy.degraded_read",
+                        &[("file", u64::from(file.0)), ("block", block)],
+                    );
+                }
                 let payload = match redundancy {
-                    Redundancy::None => return Err(BridgeError::Lfs(EfsError::NodeFailed)),
-                    Redundancy::Mirrored => {
+                    Redundancy::None => unreachable!("returned above"),
+                    Redundancy::Mirror => {
                         let meta = self.files.get_mut(&file).expect("exists");
                         let m = meta.to_machine(meta.mirror_pos(pos));
                         self.lfs_read_payload(ctx, m.lfs, LfsFileId(file.0 | MIRROR_BIT), m.local)?
                     }
-                    Redundancy::Parity => self.reconstruct_payload(ctx, file, block)?.into(),
+                    Redundancy::Parity { .. } => self.reconstruct_payload(ctx, file, block)?.into(),
                 };
                 let (header, body) = decode_payload(&payload)?;
                 if header.file != file || header.global_block != block {
@@ -1329,8 +1416,7 @@ impl Server {
     ) -> Result<Vec<u8>, BridgeError> {
         let (layout, size, lfs_file) = {
             let meta = self.files.get_mut(&file).expect("exists");
-            let layout = ParityLayout::new(meta.placement.breadth());
-            (layout, meta.size, meta.lfs_file)
+            (meta.parity_layout(), meta.size, meta.lfs_file)
         };
         let stripe = layout.stripe_of(block);
         let parity_pos = GlobalPtr {
@@ -1377,7 +1463,35 @@ impl Server {
             Redundancy::None => {
                 self.write_at(ctx, file, ptr, &header, data)?;
             }
-            Redundancy::Mirrored => {
+            Redundancy::Mirror if self.txlog.is_some() => {
+                // Atomic pair: both copies prepare (payload in each WAL),
+                // the decision is logged, both apply on commit.
+                let lfs_file = self.files[&file].lfs_file;
+                let m = {
+                    let meta = self.files.get_mut(&file).expect("exists");
+                    meta.to_machine(meta.mirror_pos(pos))
+                };
+                let participants = vec![
+                    TxParticipant {
+                        node: ptr.lfs.0,
+                        intent: PrepareIntent::WriteBlock {
+                            file: lfs_file,
+                            block_no: ptr.local,
+                            payload: payload.clone(),
+                        },
+                    },
+                    TxParticipant {
+                        node: m.lfs.0,
+                        intent: PrepareIntent::WriteBlock {
+                            file: LfsFileId(file.0 | MIRROR_BIT),
+                            block_no: m.local,
+                            payload,
+                        },
+                    },
+                ];
+                self.redundant_write_2pc(ctx, participants)?;
+            }
+            Redundancy::Mirror => {
                 let r = self.write_at(ctx, file, ptr, &header, data).map(|_| ());
                 let primary = ok_or_failed(r)?;
                 let m = {
@@ -1396,11 +1510,105 @@ impl Server {
                     return Err(BridgeError::Lfs(EfsError::NodeFailed));
                 }
             }
-            Redundancy::Parity => {
+            Redundancy::Parity { .. } if self.txlog.is_some() => {
+                self.parity_write_2pc(ctx, file, block, ptr, payload, size)?;
+            }
+            Redundancy::Parity { .. } => {
                 self.parity_write(ctx, file, block, ptr, payload, size)?;
             }
         }
         Ok(())
+    }
+
+    /// Commits a redundant write's columns through the decision log: every
+    /// column's `WriteBlock` intent prepares (payload durable in that
+    /// participant's WAL), the coordinator forces its decision, and the
+    /// columns apply on decide — so a crash at any point leaves the data
+    /// block and its mirror/parity companion either both updated or both
+    /// untouched, never a stale companion behind an updated primary. Lost
+    /// columns (failed node, lost disk, unrebuilt spare) are tolerated;
+    /// a write that would land on no column at all fails instead.
+    fn redundant_write_2pc(
+        &mut self,
+        ctx: &mut Ctx,
+        participants: Vec<TxParticipant>,
+    ) -> Result<(), BridgeError> {
+        let tolerant = vec![true; participants.len()];
+        let (_, lost) = self.run_2pc(ctx, &participants, &tolerant, false)?;
+        if lost as usize >= participants.len() {
+            return Err(BridgeError::Lfs(EfsError::NodeFailed));
+        }
+        Ok(())
+    }
+
+    /// Parity-mode write through two-phase commit: the parity
+    /// read-modify-write happens *before* the round (the single-threaded
+    /// server is the only writer, so the values read cannot go stale, and
+    /// an abort leaves them valid for the retry), then data and parity
+    /// commit or roll back together.
+    fn parity_write_2pc(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        block: u64,
+        ptr: GlobalPtr,
+        payload: Bytes,
+        size: u64,
+    ) -> Result<(), BridgeError> {
+        let (layout, lfs_file) = {
+            let meta = self.files.get_mut(&file).expect("exists");
+            (meta.parity_layout(), meta.lfs_file)
+        };
+        let stripe = layout.stripe_of(block);
+        let j = block % layout.stripe_width();
+        let parity_pos = GlobalPtr {
+            lfs: LfsIndex(layout.parity_position(stripe)),
+            local: layout.parity_local(stripe),
+        };
+        let m = self.files[&file].to_machine(parity_pos);
+        let parity_file = LfsFileId(file.0 | PARITY_BIT);
+        let overwrite = block < size;
+        let new_parity: Option<Bytes> = if !overwrite && j == 0 {
+            // First member of a fresh stripe: parity = payload.
+            Some(payload.clone())
+        } else {
+            match self.lfs_read_payload(ctx, m.lfs, parity_file, m.local) {
+                Ok(p) => {
+                    let mut acc = p.to_vec();
+                    if overwrite {
+                        // parity ^= old ^ new (old reconstructed if the
+                        // data column itself is lost).
+                        let old = self.data_payload(ctx, file, block)?;
+                        xor_into(&mut acc, &old);
+                    }
+                    xor_into(&mut acc, &payload);
+                    Some(acc.into())
+                }
+                // The parity column is gone: write the data degraded; a
+                // rebuild recomputes the parity later.
+                Err(BridgeError::Lfs(e)) if column_lost(&e) => None,
+                Err(e) => return Err(e),
+            }
+        };
+        let mut participants = vec![TxParticipant {
+            node: ptr.lfs.0,
+            intent: PrepareIntent::WriteBlock {
+                file: lfs_file,
+                block_no: ptr.local,
+                payload,
+            },
+        }];
+        if let Some(parity) = new_parity {
+            participants.push(TxParticipant {
+                node: m.lfs.0,
+                intent: PrepareIntent::WriteBlock {
+                    file: parity_file,
+                    block_no: m.local,
+                    payload: parity,
+                },
+            });
+        }
+        self.redundant_write_2pc(ctx, participants)
     }
 
     /// Parity-mode write: data block plus the stripe's parity
@@ -1417,7 +1625,7 @@ impl Server {
     ) -> Result<(), BridgeError> {
         let (layout, lfs_file) = {
             let meta = self.files.get_mut(&file).expect("exists");
-            (ParityLayout::new(meta.placement.breadth()), meta.lfs_file)
+            (meta.parity_layout(), meta.lfs_file)
         };
         let overwrite = block < size;
         let old = if overwrite {
@@ -1484,33 +1692,43 @@ impl Server {
         }
     }
 
-    /// Repairs a redundant file after node failures: every data block,
-    /// mirror copy, and parity block is checked against its recoverable
-    /// value and rewritten if missing or stale. Blocks are visited in
-    /// global order, so repaired locals land as ordinary appends.
-    fn rebuild(&mut self, ctx: &mut Ctx, file: BridgeFileId) -> Result<BridgeData, BridgeError> {
-        let (redundancy, size, lfs_file, breadth) = {
+    /// Repairs global blocks `[first, first + count)` (clipped at the
+    /// file size) of a redundant file after node failures: every data
+    /// block, mirror copy, and parity block of a stripe the range touches
+    /// is checked against its recoverable value and rewritten if missing
+    /// or stale. Blocks are visited in global order, so repaired locals
+    /// land as ordinary appends — which is also why a chunked rebuild of
+    /// a freshly installed spare must walk ranges front to back.
+    fn rebuild_range(
+        &mut self,
+        ctx: &mut Ctx,
+        file: BridgeFileId,
+        first: u64,
+        count: u64,
+    ) -> Result<BridgeData, BridgeError> {
+        let (redundancy, size, lfs_file) = {
             let meta = self.meta(file)?;
-            (
-                meta.redundancy,
-                meta.size,
-                meta.lfs_file,
-                meta.placement.breadth(),
-            )
+            (meta.redundancy, meta.size, meta.lfs_file)
         };
         if redundancy == Redundancy::None {
             return Err(BridgeError::RedundancyUnsupported {
                 why: "rebuild applies only to redundant files",
             });
         }
+        let first = first.min(size);
+        let end = first.saturating_add(count).min(size);
+        // A freshly installed spare holds no files at all: recreate this
+        // file's columns there before repairing, so the repair writes
+        // below land as ordinary appends instead of `UnknownFile`.
+        self.ensure_columns(ctx, file)?;
         // Under `Runs(d)`, pool the canonical primary reads into per-LFS
         // runs up front; blocks whose run fails (a lost node) fall back to
         // the per-block recovery path below. Repairs only touch blocks
         // absent from this map, so prefetching cannot go stale.
         let mut prefetched: HashMap<u64, Bytes> = HashMap::new();
-        if self.config.batch.depth() > 1 && size > 0 {
-            let mut ptrs = Vec::with_capacity(size as usize);
-            for block in 0..size {
+        if self.config.batch.depth() > 1 && end > first {
+            let mut ptrs = Vec::with_capacity((end - first) as usize);
+            for block in first..end {
                 let meta = self.files.get_mut(&file).expect("exists");
                 let pos = meta.locate_pos(block)?;
                 ptrs.push((block, meta.to_machine(pos)));
@@ -1542,7 +1760,7 @@ impl Server {
             }
         }
         let mut repaired = 0u64;
-        for block in 0..size {
+        for block in first..end {
             let (pos, ptr) = {
                 let meta = self.files.get_mut(&file).expect("exists");
                 let pos = meta.locate_pos(block)?;
@@ -1557,7 +1775,7 @@ impl Server {
                 Ok(p) => p,
                 Err(_) => {
                     let p = match redundancy {
-                        Redundancy::Mirrored => {
+                        Redundancy::Mirror => {
                             let meta = self.files.get_mut(&file).expect("exists");
                             let m = meta.to_machine(meta.mirror_pos(pos));
                             self.lfs_read_payload(
@@ -1567,7 +1785,9 @@ impl Server {
                                 m.local,
                             )?
                         }
-                        Redundancy::Parity => self.reconstruct_payload(ctx, file, block)?.into(),
+                        Redundancy::Parity { .. } => {
+                            self.reconstruct_payload(ctx, file, block)?.into()
+                        }
                         Redundancy::None => unreachable!("checked above"),
                     };
                     self.lfs_write_payload(ctx, ptr.lfs, lfs_file, ptr.local, p.clone())?;
@@ -1575,7 +1795,7 @@ impl Server {
                     p
                 }
             };
-            if redundancy == Redundancy::Mirrored {
+            if redundancy == Redundancy::Mirror {
                 let m = {
                     let meta = self.files.get_mut(&file).expect("exists");
                     meta.to_machine(meta.mirror_pos(pos))
@@ -1591,14 +1811,21 @@ impl Server {
                 }
             }
         }
-        if redundancy == Redundancy::Parity && size > 0 {
-            // Recompute each stripe's parity and compare.
-            let layout = ParityLayout::new(breadth);
-            let stripes = layout.stripe_of(size - 1) + 1;
+        if matches!(redundancy, Redundancy::Parity { .. }) && end > first {
+            // Recompute the parity of every stripe the range touches —
+            // except a stripe spilling past a chunk boundary, whose tail
+            // blocks a spare may not hold yet; the next (front-to-back)
+            // chunk covers that stripe once its tail is repaired.
+            let layout = self.files[&file].parity_layout();
+            let stripes = layout.stripe_of(first)..layout.stripe_of(end - 1) + 1;
             let parity_file = LfsFileId(file.0 | PARITY_BIT);
-            for stripe in 0..stripes {
+            for stripe in stripes {
                 let start = stripe * layout.stripe_width();
-                let end = ((stripe + 1) * layout.stripe_width()).min(size);
+                let hi = ((stripe + 1) * layout.stripe_width()).min(size);
+                if hi > end {
+                    continue;
+                }
+                let end = hi;
                 let mut expected = Vec::new();
                 for block in start..end {
                     let p = self.data_payload(ctx, file, block)?;
@@ -1622,8 +1849,43 @@ impl Server {
         Ok(BridgeData::Rebuilt { repaired })
     }
 
-    /// A data block's raw payload, reconstructed from parity if its node
-    /// has failed.
+    /// Stats every column of `file` (and its companion) and recreates the
+    /// LFS files missing on otherwise healthy nodes — the state of a
+    /// freshly installed spare. Nodes that are down still fail rebuild:
+    /// repair needs somewhere to write.
+    fn ensure_columns(&mut self, ctx: &mut Ctx, file: BridgeFileId) -> Result<(), BridgeError> {
+        let (nodes, lfs_file, companion) = {
+            let meta = self.files.get_mut(&file).expect("exists");
+            (meta.nodes.clone(), meta.lfs_file, meta.companion(file))
+        };
+        let mut names = vec![lfs_file];
+        names.extend(companion);
+        let mut targets: Vec<(ProcId, LfsFileId)> = Vec::new();
+        for &n in &nodes {
+            for &name in &names {
+                targets.push((self.lfs[n as usize].0, name));
+            }
+        }
+        let calls = targets
+            .iter()
+            .map(|&(proc, name)| (proc, LfsOp::Stat { file: name }))
+            .collect();
+        let mut creates: Vec<(ProcId, LfsOp)> = Vec::new();
+        for (&(proc, name), stat) in targets.iter().zip(self.call_many(ctx, calls)) {
+            match stat {
+                Ok(_) => {}
+                Err(EfsError::UnknownFile(_)) => creates.push((proc, LfsOp::Create { file: name })),
+                Err(e) => return Err(BridgeError::Lfs(e)),
+            }
+        }
+        for r in self.call_many(ctx, creates) {
+            r.map_err(BridgeError::Lfs)?;
+        }
+        Ok(())
+    }
+
+    /// A data block's raw payload, reconstructed from parity if its
+    /// column is gone.
     fn data_payload(
         &mut self,
         ctx: &mut Ctx,
@@ -1637,7 +1899,7 @@ impl Server {
         };
         match self.lfs_read_payload(ctx, ptr.lfs, lfs_file, ptr.local) {
             Ok(p) => Ok(p),
-            Err(BridgeError::Lfs(EfsError::NodeFailed)) => {
+            Err(BridgeError::Lfs(e)) if column_lost(&e) => {
                 self.reconstruct_payload(ctx, file, block).map(Bytes::from)
             }
             Err(e) => Err(e),
@@ -1807,9 +2069,9 @@ impl Server {
                         "unexpected LFS reply {other:?}"
                     )))
                 }
-                // A failed node fails its whole run; recover block by
+                // A lost column fails its whole run; recover block by
                 // block (mirror/parity), as the unbatched path would.
-                Err(EfsError::NodeFailed) => {
+                Err(ref e) if column_lost(e) => {
                     for &global in &run.globals {
                         let (_, body) = self.read_block(ctx, file, global)?;
                         out.insert(global, body);
@@ -2209,7 +2471,7 @@ impl Server {
                             )))
                         }
                         // Degraded read: recover through the redundancy path.
-                        Err(EfsError::NodeFailed) => self.read_block(ctx, file, block)?.1,
+                        Err(ref e) if column_lost(e) => self.read_block(ctx, file, block)?.1,
                         Err(e) => return Err(BridgeError::Lfs(e)),
                     };
                     let worker = workers[(block - cursor) as usize];

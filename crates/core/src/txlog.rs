@@ -106,13 +106,18 @@ pub struct TxLog {
 }
 
 impl TxLog {
-    /// The geometry of the coordinator's log device: eight one-kilobyte
+    /// The geometry of the coordinator's log device: eight four-kilobyte
     /// blocks on a single track — two machine-wide mutations of history,
     /// which is more than the one in-doubt transaction presumed abort
-    /// ever needs, while keeping the server-kill crash sweep short.
+    /// ever needs, while keeping the server-kill crash sweep short. The
+    /// blocks are four kilobytes (not the data disks' one) because a
+    /// redundant write's BEGIN carries the full [`PrepareIntent::WriteBlock`]
+    /// payload for each participant: redo after a coordinator crash must
+    /// be able to re-drive the commit to a participant whose own recovery
+    /// already presumed-abort-rolled-back its prepare.
     pub fn geometry() -> DiskGeometry {
         DiskGeometry {
-            block_size: 1024,
+            block_size: 4096,
             blocks_per_track: 8,
             tracks: 1,
         }

@@ -270,14 +270,14 @@ fn batched_job_writes_land_identically() {
 
 #[test]
 fn batched_reads_recover_from_a_failed_node() {
-    for redundancy in [Redundancy::Mirrored, Redundancy::Parity] {
+    for redundancy in [Redundancy::Mirror, Redundancy::parity()] {
         for batch in [BatchPolicy::Off, BatchPolicy::Runs(8)] {
             let (mut sim, machine) = BridgeMachine::build(&config(4, batch));
             let server = machine.server;
             let victim = machine.lfs[1];
             sim.block_on(machine.frontend, "app", move |ctx| {
                 let mut bridge = BridgeClient::new(server);
-                let tag = 10 + redundancy as u32;
+                let tag = 10 + redundancy.tag();
                 let file = write_file(ctx, &mut bridge, tag, 21, redundancy);
                 fail_node(ctx, victim, true);
                 // The whole file still reads, batched or not; blocks whose
@@ -298,7 +298,7 @@ fn batched_reads_recover_from_a_failed_node() {
 
 #[test]
 fn batched_rebuild_repairs_like_unbatched() {
-    for redundancy in [Redundancy::Mirrored, Redundancy::Parity] {
+    for redundancy in [Redundancy::Mirror, Redundancy::parity()] {
         let mut repaired = Vec::new();
         for batch in [BatchPolicy::Off, BatchPolicy::Runs(8)] {
             let (mut sim, machine) = BridgeMachine::build(&config(4, batch));
@@ -307,7 +307,7 @@ fn batched_rebuild_repairs_like_unbatched() {
             let other = machine.lfs[0];
             let n = sim.block_on(machine.frontend, "app", move |ctx| {
                 let mut bridge = BridgeClient::new(server);
-                let tag = 20 + redundancy as u32;
+                let tag = 20 + redundancy.tag();
                 let file = write_file(ctx, &mut bridge, tag, 12, redundancy);
                 bridge
                     .rand_write(ctx, file, 1, record(tag + 50, 1))
@@ -376,8 +376,8 @@ proptest! {
     ) {
         let redundancy = match mode {
             0 => Redundancy::None,
-            1 => Redundancy::Mirrored,
-            _ => Redundancy::Parity,
+            1 => Redundancy::Mirror,
+            _ => Redundancy::parity(),
         };
         let fail = fail && redundancy != Redundancy::None;
         let run = move |batch: BatchPolicy| {

@@ -101,7 +101,7 @@ fn degraded_open_keeps_cached_size() {
             .create(
                 ctx,
                 CreateSpec {
-                    redundancy: Redundancy::Mirrored,
+                    redundancy: Redundancy::Mirror,
                     ..CreateSpec::default()
                 },
             )

@@ -42,7 +42,7 @@ fn write_redundant(
         .unwrap();
     for b in 0..blocks {
         bridge
-            .seq_write(ctx, file, record(redundancy as u32, b))
+            .seq_write(ctx, file, record(redundancy.tag(), b))
             .unwrap();
     }
     file
@@ -88,9 +88,9 @@ fn mirrored_files_survive_one_failure() {
     sim.block_on(machine.frontend, "app", move |ctx| {
         let mut bridge = BridgeClient::new(server);
         let blocks = 24;
-        let file = write_redundant(ctx, &mut bridge, Redundancy::Mirrored, blocks);
+        let file = write_redundant(ctx, &mut bridge, Redundancy::Mirror, blocks);
         fail_node(ctx, victim, true);
-        check_all(ctx, &mut bridge, file, Redundancy::Mirrored as u32, blocks);
+        check_all(ctx, &mut bridge, file, Redundancy::Mirror.tag(), blocks);
     });
 }
 
@@ -104,9 +104,9 @@ fn parity_files_survive_one_failure_anywhere() {
             sim.block_on(machine.frontend, "app", move |ctx| {
                 let mut bridge = BridgeClient::new(server);
                 let blocks = 3 * u64::from(p) + 1; // a ragged final stripe
-                let file = write_redundant(ctx, &mut bridge, Redundancy::Parity, blocks);
+                let file = write_redundant(ctx, &mut bridge, Redundancy::parity(), blocks);
                 fail_node(ctx, victim, true);
-                check_all(ctx, &mut bridge, file, Redundancy::Parity as u32, blocks);
+                check_all(ctx, &mut bridge, file, Redundancy::parity().tag(), blocks);
             });
         }
     }
@@ -120,7 +120,7 @@ fn parity_overwrites_keep_parity_consistent() {
     sim.block_on(machine.frontend, "app", move |ctx| {
         let mut bridge = BridgeClient::new(server);
         let blocks = 15;
-        let file = write_redundant(ctx, &mut bridge, Redundancy::Parity, blocks);
+        let file = write_redundant(ctx, &mut bridge, Redundancy::parity(), blocks);
         // Overwrite a few blocks (parity must follow via RMW).
         for &b in &[0u64, 7, 14] {
             bridge.rand_write(ctx, file, b, record(99, b)).unwrap();
@@ -132,7 +132,7 @@ fn parity_overwrites_keep_parity_consistent() {
             let expected = if [0u64, 7, 14].contains(&b) {
                 record(99, b)
             } else {
-                record(Redundancy::Parity as u32, b)
+                record(Redundancy::parity().tag(), b)
             };
             assert_eq!(&data[..96], &expected[..], "block {b}");
         }
@@ -141,14 +141,14 @@ fn parity_overwrites_keep_parity_consistent() {
 
 #[test]
 fn degraded_writes_land_and_rebuild_restores_health() {
-    for redundancy in [Redundancy::Mirrored, Redundancy::Parity] {
+    for redundancy in [Redundancy::Mirror, Redundancy::parity()] {
         let (mut sim, machine) = BridgeMachine::build(&BridgeConfig::instant(4));
         let server = machine.server;
         let victim = machine.lfs[2];
         let other = machine.lfs[0];
         sim.block_on(machine.frontend, "app", move |ctx| {
             let mut bridge = BridgeClient::new(server);
-            let tag = redundancy as u32;
+            let tag = redundancy.tag();
             let file = write_redundant(ctx, &mut bridge, redundancy, 10);
 
             // Node 2 dies; we keep appending and overwriting.
@@ -204,7 +204,7 @@ fn double_failure_is_fatal_even_with_redundancy() {
     let v2 = machine.lfs[1];
     sim.block_on(machine.frontend, "app", move |ctx| {
         let mut bridge = BridgeClient::new(server);
-        let file = write_redundant(ctx, &mut bridge, Redundancy::Parity, 16);
+        let file = write_redundant(ctx, &mut bridge, Redundancy::parity(), 16);
         fail_node(ctx, v1, true);
         fail_node(ctx, v2, true);
         // Some block has its data on v1 and a stripe peer or parity on v2.
@@ -230,7 +230,7 @@ fn redundancy_constraints_enforced() {
             bridge.create(
                 ctx,
                 CreateSpec {
-                    redundancy: Redundancy::Parity,
+                    redundancy: Redundancy::parity(),
                     nodes: Some(vec![0]),
                     ..CreateSpec::default()
                 }
@@ -242,7 +242,7 @@ fn redundancy_constraints_enforced() {
             bridge.create(
                 ctx,
                 CreateSpec {
-                    redundancy: Redundancy::Mirrored,
+                    redundancy: Redundancy::Mirror,
                     placement: PlacementSpec::Hashed { seed: 1 },
                     ..CreateSpec::default()
                 }
@@ -267,7 +267,7 @@ fn parallel_open_reads_survive_failure() {
     sim.block_on(machine.frontend, "controller", move |ctx| {
         let mut bridge = BridgeClient::new(server);
         let blocks = 12u64;
-        let file = write_redundant(ctx, &mut bridge, Redundancy::Parity, blocks);
+        let file = write_redundant(ctx, &mut bridge, Redundancy::parity(), blocks);
         fail_node(ctx, victim, true);
 
         let me = ctx.me();
@@ -299,7 +299,7 @@ fn parallel_open_reads_survive_failure() {
         for _ in 0..4 {
             let (_, got) = ctx.recv_as::<Vec<(u64, Vec<u8>)>>();
             for (b, data) in &got {
-                assert_eq!(&data[..96], &record(Redundancy::Parity as u32, *b)[..]);
+                assert_eq!(&data[..96], &record(Redundancy::parity().tag(), *b)[..]);
             }
             total += got.len();
         }

@@ -8,7 +8,7 @@
 //!   server validates the whole batch before mutating anything.
 //! - **Freed-block accounting**: `Deleted { blocks }` must equal exactly
 //!   the blocks freed on surviving instances when a node is down and the
-//!   batch mixes `Redundancy::None` and `Redundancy::Mirrored` files.
+//!   batch mixes `Redundancy::None` and `Redundancy::Mirror` files.
 //!   Tolerant skips (redundant columns on the dead node) never
 //!   under-count the survivors; an intolerable loss (a `None` file
 //!   placed on the dead node) errors — and under 2PC removes nothing.
@@ -93,7 +93,7 @@ fn failed_delete_many_leaves_directory_intact() {
                 redundancy,
                 ..CreateSpec::default()
             };
-            let a = write_file(ctx, &mut bridge, 1, 6, spec(Redundancy::Mirrored));
+            let a = write_file(ctx, &mut bridge, 1, 6, spec(Redundancy::Mirror));
             let c = write_file(ctx, &mut bridge, 2, 4, spec(Redundancy::None));
             let bogus = BridgeFileId(0xDEAD);
 
@@ -142,7 +142,7 @@ fn delete_many_accounting_is_exact_under_node_failure() {
                 3,
                 9,
                 CreateSpec {
-                    redundancy: Redundancy::Mirrored,
+                    redundancy: Redundancy::Mirror,
                     ..CreateSpec::default()
                 },
             );
@@ -204,7 +204,7 @@ fn vetoed_delete_rolls_back_every_prepare() {
             ..CreateSpec::default()
         };
         let frail = write_file(ctx, &mut bridge, 5, 7, spec(Redundancy::None));
-        let sturdy = write_file(ctx, &mut bridge, 6, 6, spec(Redundancy::Mirrored));
+        let sturdy = write_file(ctx, &mut bridge, 6, 6, spec(Redundancy::Mirror));
 
         set_failed(ctx, lfs[victim], true);
         let err = bridge.delete_many(ctx, vec![frail, sturdy]).unwrap_err();

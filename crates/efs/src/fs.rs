@@ -151,6 +151,13 @@ struct PreparedTxn {
     /// chains, so an abort restores the files and a commit frees exactly
     /// these blocks. Empty for create intents.
     stashed: Vec<(DirEntry, Vec<BlockAddr>)>,
+    /// For an appending write intent: a block held out of the allocator
+    /// so the yes-vote guarantees commit cannot fail with `NoSpace`.
+    /// Returned to the allocator at decide (the commit path re-allocates
+    /// through the normal append), and implicitly dropped by a crash —
+    /// recovery rebuilds the allocator from reachability, which matches
+    /// the presumed-abort rollback.
+    reserved: Option<BlockAddr>,
 }
 
 struct Layout {
@@ -746,6 +753,7 @@ impl<D: BlockDevice> Efs<D> {
             return Err(EfsError::Corrupt(format!("txn {txn} already prepared")));
         }
         let mut stashed: Vec<(DirEntry, Vec<BlockAddr>)> = Vec::new();
+        let mut reserved: Option<BlockAddr> = None;
         let mut freed = 0u32;
         match &intent {
             PrepareIntent::CreateFiles(files) => {
@@ -785,6 +793,38 @@ impl<D: BlockDevice> Efs<D> {
                     stashed.push((entry, chain));
                 }
             }
+            PrepareIntent::WriteBlock {
+                file,
+                block_no,
+                payload,
+            } => {
+                // Deferred apply: validate now, write at decide(commit).
+                // The payload rides in the logged intent, so nothing
+                // tentative touches the data region and presumed-abort
+                // rollback has no block state to unwind.
+                if payload.len() > EFS_PAYLOAD {
+                    return Err(EfsError::PayloadTooLarge {
+                        provided: payload.len(),
+                    });
+                }
+                let entry = self
+                    .dir
+                    .lookup(ctx, &mut self.disk, *file)?
+                    .ok_or(EfsError::UnknownFile(*file))?;
+                match block_no.cmp(&entry.size) {
+                    std::cmp::Ordering::Less => {}
+                    std::cmp::Ordering::Equal => {
+                        reserved = Some(self.alloc.allocate().ok_or(EfsError::NoSpace)?);
+                    }
+                    std::cmp::Ordering::Greater => {
+                        return Err(EfsError::WriteBeyondEnd {
+                            file: *file,
+                            block_no: *block_no,
+                            size: entry.size,
+                        })
+                    }
+                }
+            }
         }
         let (client, id) = self.req;
         self.wal.as_mut().expect("checked").log(WalRecord::Prepare {
@@ -794,7 +834,14 @@ impl<D: BlockDevice> Efs<D> {
             intent: intent.clone(),
             freed,
         });
-        self.prepared.insert(txn, PreparedTxn { intent, stashed });
+        self.prepared.insert(
+            txn,
+            PreparedTxn {
+                intent,
+                stashed,
+                reserved,
+            },
+        );
         Ok(freed)
     }
 
@@ -829,7 +876,23 @@ impl<D: BlockDevice> Efs<D> {
         let mut freed = 0u32;
         match self.prepared.remove(&txn) {
             Some(p) => {
-                if commit {
+                if let PrepareIntent::WriteBlock {
+                    file,
+                    block_no,
+                    payload,
+                } = &p.intent
+                {
+                    // The prepare's allocation hold is returned either
+                    // way; a commit re-allocates through the normal
+                    // (ordered-journaling) write path, which also logs
+                    // the SetChain record replay needs.
+                    if let Some(addr) = p.reserved {
+                        self.alloc.release(addr);
+                    }
+                    if commit {
+                        self.write(ctx, *file, *block_no, payload, None)?;
+                    }
+                } else if commit {
                     // Creates are already in place; deletes free their
                     // stashed chains now that the outcome is settled.
                     for (entry, chain) in p.stashed {
@@ -854,6 +917,7 @@ impl<D: BlockDevice> Efs<D> {
                                 self.chains.insert(entry.file, chain);
                             }
                         }
+                        PrepareIntent::WriteBlock { .. } => unreachable!("handled above"),
                     }
                 }
             }
@@ -897,6 +961,22 @@ impl<D: BlockDevice> Efs<D> {
                     }
                 }
                 (PrepareIntent::DeleteFiles(_), false) => {}
+                (
+                    PrepareIntent::WriteBlock {
+                        file,
+                        block_no,
+                        payload,
+                    },
+                    true,
+                ) => {
+                    // Re-drive after this participant's presumed-abort
+                    // rollback (or a post-recovery duplicate): the normal
+                    // write path *is* the idempotent apply — an
+                    // already-applied append shows up as an in-range
+                    // overwrite of identical bytes.
+                    self.write(ctx, *file, *block_no, payload, None)?;
+                }
+                (PrepareIntent::WriteBlock { .. }, false) => {}
             },
         }
         let (client, id) = self.req;
@@ -1418,6 +1498,10 @@ impl<D: BlockDevice> Efs<D> {
                                     }
                                 }
                             }
+                            // Deferred apply: a prepared write touched
+                            // nothing, so there is nothing to replay (and
+                            // nothing for presumed abort to undo).
+                            PrepareIntent::WriteBlock { .. } => {}
                         }
                         prepared_replay.insert(*txn, (intent.clone(), stash));
                     }
@@ -1444,6 +1528,7 @@ impl<D: BlockDevice> Efs<D> {
                                             self.dir.set_absolute(&self.disk, entry)?;
                                         }
                                     }
+                                    PrepareIntent::WriteBlock { .. } => {}
                                 }
                             }
                         }
@@ -1473,6 +1558,12 @@ impl<D: BlockDevice> Efs<D> {
                                 }
                             }
                             (PrepareIntent::DeleteFiles(_), false) => {}
+                            // The committed write's own SetChain record
+                            // rides in the same batch as this Decide and
+                            // has already replayed; the data went home
+                            // before the batch committed (ordered
+                            // journaling). Aborts applied nothing.
+                            (PrepareIntent::WriteBlock { .. }, _) => {}
                         },
                     },
                 }
@@ -1493,6 +1584,7 @@ impl<D: BlockDevice> Efs<D> {
                         self.dir.set_absolute(&self.disk, entry)?;
                     }
                 }
+                PrepareIntent::WriteBlock { .. } => {}
             }
         }
         self.rebuild_from_directory();
@@ -1519,6 +1611,26 @@ impl<D: BlockDevice> Efs<D> {
     /// operation: a crashed instance must not acknowledge anything.
     pub fn crash_down(&self) -> Option<SimDuration> {
         self.disk.crash_down()
+    }
+
+    /// True when the underlying medium is permanently lost
+    /// ([`BlockDevice::lost`]): every state this instance held is gone
+    /// and only reconstruction from redundancy elsewhere can bring its
+    /// columns back.
+    pub fn media_lost(&self) -> bool {
+        self.disk.lost()
+    }
+
+    /// Swaps in a factory-fresh spare medium ([`BlockDevice::spare`]) and
+    /// formats this instance onto it, discarding all prior state — the
+    /// rebuild driver then repopulates columns from the surviving group
+    /// members. Returns `false` when the device cannot produce a spare.
+    pub fn install_spare(&mut self) -> bool {
+        let Some(fresh) = self.disk.spare() else {
+            return false;
+        };
+        *self = Efs::format(fresh, self.config);
+        true
     }
 
     /// True when this instance runs a write-ahead log.

@@ -58,8 +58,9 @@ pub use layout::{
 };
 pub use retry::{Admission, DedupWindow, RetryPolicy, DEDUP_RETENTION, DEDUP_WINDOW};
 pub use server::{
-    reply_wire_size, request_wire_size, serve, set_failed, spawn_lfs, spawn_lfs_sched, LfsClient,
-    LfsData, LfsFailAck, LfsFailControl, LfsOp, LfsReply, LfsRequest,
+    install_spare, reply_wire_size, request_wire_size, serve, set_failed, spawn_lfs,
+    spawn_lfs_sched, LfsClient, LfsData, LfsFailAck, LfsFailControl, LfsOp, LfsReply, LfsRequest,
+    LfsSpareAck, LfsSpareControl,
 };
 pub use wal::{
     PrepareIntent, RecoveredOp, RecoveredReply, WalConfig, WAL_BLOCK_PAYLOAD, WAL_HEADER_SIZE,

@@ -270,6 +270,32 @@ pub fn set_failed(ctx: &mut Ctx, lfs: ProcId, failed: bool) {
     assert_eq!(ack.failed, failed, "server acknowledged the wrong state");
 }
 
+/// Control message: rack a factory-fresh spare medium into an LFS server
+/// whose disk was permanently lost. The server formats a blank instance
+/// onto the spare and resumes service; the rebuild driver then
+/// repopulates its columns from the surviving redundancy group members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfsSpareControl;
+
+/// Acknowledgement of an [`LfsSpareControl`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfsSpareAck {
+    /// `true` when a spare was installed; `false` when the device cannot
+    /// produce one ([`BlockDevice::spare`] returned `None`).
+    pub installed: bool,
+}
+
+/// Installs a spare medium on an LFS server and waits for the server's
+/// [`LfsSpareAck`] before returning (same ordering guarantee as
+/// [`set_failed`]). Returns whether a spare was actually installed.
+pub fn install_spare(ctx: &mut Ctx, lfs: ProcId) -> bool {
+    ctx.send_sized(lfs, LfsSpareControl, 16);
+    let env = ctx.recv_where(|e| e.from() == lfs && e.downcast_ref::<LfsSpareAck>().is_some());
+    env.downcast::<LfsSpareAck>()
+        .expect("predicate guarantees type")
+        .installed
+}
+
 /// Spawns an LFS server process owning `efs` on `node`; returns its id.
 ///
 /// The server loops forever serving [`LfsRequest`] messages in arrival
@@ -485,7 +511,16 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
                     // request, or up to the group-commit width with a
                     // WAL), then come back for whatever arrived meanwhile.
                     if service_batch(ctx, &mut efs, &mut state, &mut dedup) {
-                        crash_recover(ctx, &mut efs, &mut state, &mut dedup);
+                        if efs.media_lost() {
+                            // Permanent loss, not a restartable crash:
+                            // recovery has no medium to scan. Everything
+                            // queued fails over to the surviving group
+                            // members, and so does all later traffic
+                            // until a spare is racked in.
+                            media_lost_drain(ctx, &mut state, &mut dedup);
+                        } else {
+                            crash_recover(ctx, &mut efs, &mut state, &mut dedup);
+                        }
                     }
                     continue;
                 };
@@ -517,9 +552,25 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
                 }
                 Err(env) => env,
             };
+            let env = match env.downcast::<LfsSpareControl>() {
+                Ok(_) => {
+                    let installed = efs.install_spare();
+                    if installed {
+                        // The instance is factory-fresh: no request ever
+                        // executed on it, so the dedup window restarts.
+                        dedup = DedupWindow::standard();
+                        if ctx.trace_enabled() {
+                            ctx.trace_instant("lfs", "lfs.spare_installed", &[]);
+                        }
+                    }
+                    ctx.send_sized(from, LfsSpareAck { installed }, 16);
+                    continue;
+                }
+                Err(env) => env,
+            };
             match env.downcast::<LfsRequest>() {
                 Ok(req) => {
-                    if failed {
+                    if failed || efs.media_lost() {
                         let reply = LfsReply {
                             id: req.id,
                             result: Err(EfsError::NodeFailed),
@@ -601,7 +652,7 @@ fn service_batch<D: BlockDevice>(
         let from = q.from;
         efs.begin_request(from.index() as u32, q.req.id);
         let reply = serve(ctx, efs, q.req);
-        if efs.crash_down().is_some() {
+        if efs.crash_down().is_some() || efs.media_lost() {
             // The node died mid-operation: the op is not acknowledged
             // (its record may or may not have committed — recovery and
             // the dedup re-seed decide), and neither is anything
@@ -617,7 +668,7 @@ fn service_batch<D: BlockDevice>(
         // (client, file) chain — possibly into this same batch.
         state.offer_lane(efs, from);
     }
-    if efs.commit(ctx).is_err() || efs.crash_down().is_some() {
+    if efs.commit(ctx).is_err() || efs.crash_down().is_some() || efs.media_lost() {
         for (client, r) in &replies {
             dedup.forget(*client, r.id);
         }
@@ -629,6 +680,26 @@ fn service_batch<D: BlockDevice>(
         ctx.send_sized_cloneable(from, reply, bytes);
     }
     false
+}
+
+/// One-time transition into the media-lost state: every queued request
+/// dies with the medium and is answered [`EfsError::NodeFailed`], so
+/// clients fail over to the surviving redundancy group members instead
+/// of retrying into a void. Later requests are refused at admission
+/// until an [`LfsSpareControl`] racks in a fresh medium.
+fn media_lost_drain(ctx: &mut Ctx, state: &mut SchedState, dedup: &mut DedupWindow<LfsReply>) {
+    if ctx.trace_enabled() {
+        ctx.trace_instant("lfs", "lfs.media_lost", &[]);
+    }
+    for q in state.drain_all() {
+        dedup.forget(q.from, q.req.id);
+        let reply = LfsReply {
+            id: q.req.id,
+            result: Err(EfsError::NodeFailed),
+        };
+        let bytes = reply_wire_size(&reply);
+        ctx.send_sized_cloneable(q.from, reply, bytes);
+    }
 }
 
 /// Rides out a node crash: everything queued in memory dies silently
@@ -743,9 +814,7 @@ pub fn request_wire_size(op: &LfsOp) -> usize {
     match op {
         LfsOp::Write { data, .. } => 32 + data.len(),
         LfsOp::WriteRun { data, .. } => 32 + data.iter().map(|d| d.len() + 8).sum::<usize>(),
-        LfsOp::Prepare { intent, .. } | LfsOp::Decide { intent, .. } => {
-            32 + intent.files().len() * 4
-        }
+        LfsOp::Prepare { intent, .. } | LfsOp::Decide { intent, .. } => 32 + intent.wire_size(),
         _ => 32,
     }
 }

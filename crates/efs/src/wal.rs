@@ -119,6 +119,22 @@ pub enum PrepareIntent {
     /// count): a column can be legitimately missing on a node that was
     /// failed when the file was created.
     DeleteFiles(Vec<LfsFileId>),
+    /// Write one block of this file. The payload rides in the intent, so
+    /// the prepare itself applies *nothing*: the participant validates
+    /// the write (position, payload size, allocation headroom), forces
+    /// the intent, and votes yes. The data write runs at decide(commit)
+    /// through the normal write path — a redundant write (data column
+    /// plus its parity or mirror companion on another node) therefore
+    /// becomes durable on every participant or on none, and recovery has
+    /// no tentative block state to unwind.
+    WriteBlock {
+        /// The file whose block is written.
+        file: LfsFileId,
+        /// Position in the file: `< size` overwrites, `== size` appends.
+        block_no: u32,
+        /// The block payload to apply at commit.
+        payload: bytes::Bytes,
+    },
 }
 
 impl PrepareIntent {
@@ -126,6 +142,16 @@ impl PrepareIntent {
     pub fn files(&self) -> &[LfsFileId] {
         match self {
             PrepareIntent::CreateFiles(f) | PrepareIntent::DeleteFiles(f) => f,
+            PrepareIntent::WriteBlock { file, .. } => std::slice::from_ref(file),
+        }
+    }
+
+    /// Encoded size in bytes, which doubles as the simulated wire size of
+    /// a request carrying this intent.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            PrepareIntent::CreateFiles(f) | PrepareIntent::DeleteFiles(f) => 5 + f.len() * 4,
+            PrepareIntent::WriteBlock { payload, .. } => 13 + payload.len(),
         }
     }
 
@@ -133,14 +159,29 @@ impl PrepareIntent {
     /// coordinator's decision log can embed intents in its BEGIN records
     /// with the exact same wire format the participant WALs use.
     pub fn encode(&self, buf: &mut Vec<u8>) {
-        let (kind, files) = match self {
-            PrepareIntent::CreateFiles(f) => (0u8, f),
-            PrepareIntent::DeleteFiles(f) => (1u8, f),
-        };
-        buf.put_u8(kind);
-        buf.put_u32_le(files.len() as u32);
-        for f in files {
-            buf.put_u32_le(f.0);
+        match self {
+            PrepareIntent::CreateFiles(f) | PrepareIntent::DeleteFiles(f) => {
+                let kind = match self {
+                    PrepareIntent::CreateFiles(_) => 0u8,
+                    _ => 1u8,
+                };
+                buf.put_u8(kind);
+                buf.put_u32_le(f.len() as u32);
+                for file in f {
+                    buf.put_u32_le(file.0);
+                }
+            }
+            PrepareIntent::WriteBlock {
+                file,
+                block_no,
+                payload,
+            } => {
+                buf.put_u8(2);
+                buf.put_u32_le(file.0);
+                buf.put_u32_le(*block_no);
+                buf.put_u32_le(payload.len() as u32);
+                buf.put_slice(payload);
+            }
         }
     }
 
@@ -151,18 +192,44 @@ impl PrepareIntent {
     /// [`EfsError::Corrupt`] on truncation or an unknown kind byte.
     pub fn decode(buf: &mut &[u8]) -> Result<PrepareIntent, EfsError> {
         let corrupt = |why: &str| EfsError::Corrupt(format!("wal intent: {why}"));
-        if buf.len() < 5 {
+        if buf.is_empty() {
             return Err(corrupt("truncated"));
         }
         let kind = buf.get_u8();
-        let n = buf.get_u32_le() as usize;
-        if buf.len() < n.saturating_mul(4) {
-            return Err(corrupt("truncated"));
-        }
-        let files = (0..n).map(|_| LfsFileId(buf.get_u32_le())).collect();
         match kind {
-            0 => Ok(PrepareIntent::CreateFiles(files)),
-            1 => Ok(PrepareIntent::DeleteFiles(files)),
+            0 | 1 => {
+                if buf.len() < 4 {
+                    return Err(corrupt("truncated"));
+                }
+                let n = buf.get_u32_le() as usize;
+                if buf.len() < n.saturating_mul(4) {
+                    return Err(corrupt("truncated"));
+                }
+                let files = (0..n).map(|_| LfsFileId(buf.get_u32_le())).collect();
+                if kind == 0 {
+                    Ok(PrepareIntent::CreateFiles(files))
+                } else {
+                    Ok(PrepareIntent::DeleteFiles(files))
+                }
+            }
+            2 => {
+                if buf.len() < 12 {
+                    return Err(corrupt("truncated"));
+                }
+                let file = LfsFileId(buf.get_u32_le());
+                let block_no = buf.get_u32_le();
+                let len = buf.get_u32_le() as usize;
+                if buf.len() < len {
+                    return Err(corrupt("truncated"));
+                }
+                let payload = bytes::Bytes::copy_from_slice(&buf[..len]);
+                *buf = &buf[len..];
+                Ok(PrepareIntent::WriteBlock {
+                    file,
+                    block_no,
+                    payload,
+                })
+            }
             k => Err(corrupt(&format!("unknown intent kind {k}"))),
         }
     }
@@ -894,6 +961,22 @@ mod tests {
             torn.write_raw(BlockAddr::new(10 + i as u32), b);
         }
         assert!(scan_batches(&torn, 10, 8).is_empty(), "torn batch dropped");
+    }
+
+    #[test]
+    fn write_block_intent_round_trips() {
+        let intent = PrepareIntent::WriteBlock {
+            file: LfsFileId(7),
+            block_no: 3,
+            payload: bytes::Bytes::from_static(b"parity column"),
+        };
+        let mut buf = Vec::new();
+        intent.encode(&mut buf);
+        assert_eq!(buf.len(), intent.wire_size());
+        let mut slice = buf.as_slice();
+        assert_eq!(PrepareIntent::decode(&mut slice).unwrap(), intent);
+        assert!(slice.is_empty());
+        assert_eq!(intent.files(), &[LfsFileId(7)]);
     }
 
     #[test]

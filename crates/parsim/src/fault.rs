@@ -140,6 +140,32 @@ pub struct CrashAt {
     pub down: SimDuration,
 }
 
+/// A scheduled *permanent* media loss, expressed in the same disk write
+/// ordinals as [`CrashAt`]: immediately after `disk` persists its
+/// `after_writes`-th elementary block write, the medium dies for good.
+/// Every later operation on it fails, restarts do not help, and the data
+/// is unrecoverable from that disk — only a redundancy layer (mirroring
+/// or parity across other disks) can serve or rebuild its contents.
+///
+/// This is the fault class that distinguishes *availability* from
+/// *durability* testing: [`CrashAt`] exercises recovery from a disk that
+/// comes back, `DiskLost` exercises service and reconstruction when it
+/// never does. The scheduler ignores this section; the simulated disk
+/// consumes it (like [`DiskFaults`]) and stays dead until the embedder
+/// explicitly installs a spare medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskLost {
+    /// Which disk's write stream to count — an embedder-chosen index (the
+    /// Bridge machine uses the LFS node ordinal, as for
+    /// [`BlockFaultRule::disk`]).
+    pub disk: u32,
+    /// Loss fires right after this many elementary block writes have
+    /// persisted over the disk's lifetime. The `after_writes`-th write
+    /// itself is durable (but unreadable — the medium is gone); zero
+    /// means the disk is lost before it persists anything.
+    pub after_writes: u64,
+}
+
 /// Reserved [`CrashAt::disk`] ordinal addressing the *server* node's own
 /// disk rather than an LFS instance. The Bridge machine keys its
 /// coordinator decision-log disk on this value, so a sweep over
@@ -207,6 +233,9 @@ pub struct FaultPlan {
     /// Crash-at-any-point node kills, keyed by disk write ordinal
     /// (consumed by the disk layer; empty = no crash state installed).
     pub crashes: Vec<CrashAt>,
+    /// Permanent media losses, keyed by disk write ordinal (consumed by
+    /// the disk layer; empty = no loss state installed).
+    pub losses: Vec<DiskLost>,
 }
 
 impl FaultPlan {
@@ -320,6 +349,7 @@ mod tests {
         assert!(FaultPlan::none().is_inert_for_scheduler());
         assert!(FaultPlan::none().disk.is_inert());
         assert!(FaultPlan::none().crashes.is_empty());
+        assert!(FaultPlan::none().losses.is_empty());
         // A drop rate without a consecutive cap can never fire.
         let plan = MsgFaults {
             drop_per_mille: 500,

@@ -64,7 +64,7 @@ pub mod trace;
 
 pub use envelope::Envelope;
 pub use fault::{
-    mix64, splitmix64, BlockFaultRule, CrashAt, DiskFaults, FaultPlan, MsgFaults, Outage,
+    mix64, splitmix64, BlockFaultRule, CrashAt, DiskFaults, DiskLost, FaultPlan, MsgFaults, Outage,
     OutageKind, SERVER_DISK,
 };
 pub use process::{Ctx, ProcFn, ProcId};

@@ -171,6 +171,40 @@ impl CrashSchedule {
     }
 }
 
+/// Live permanent-loss schedule for one disk, derived from a
+/// [`parsim::FaultPlan`]'s [`DiskLost`](parsim::DiskLost) section.
+///
+/// Like [`CrashSchedule`] the trigger is keyed on the disk's cumulative
+/// persisted-write ordinal, but the consequence is final: once the
+/// ordinal passes, the medium is *lost*. Every operation — timed or raw —
+/// fails or returns nothing, [`SimDisk::revive`] does not help, and the
+/// only way forward is for the embedder to install a fresh spare device
+/// and rebuild its contents from redundancy elsewhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LossSchedule {
+    /// Write ordinal after which the medium dies (0 = lost from the
+    /// start, before anything persists).
+    at: u64,
+    /// Elementary block writes persisted over the disk's lifetime.
+    persisted: u64,
+}
+
+impl LossSchedule {
+    /// Builds the loss schedule for disk number `disk` from a plan's loss
+    /// section, or `None` when no loss targets this disk (so the
+    /// fault-free fast path stays untouched). Multiple entries for the
+    /// same disk collapse to the earliest — loss is permanent, so later
+    /// triggers can never fire.
+    pub fn from_plan(losses: &[parsim::DiskLost], disk: u32) -> Option<LossSchedule> {
+        losses
+            .iter()
+            .filter(|l| l.disk == disk)
+            .map(|l| l.after_writes)
+            .min()
+            .map(|at| LossSchedule { at, persisted: 0 })
+    }
+}
+
 /// The address of a block on one disk (0-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockAddr(u32);
@@ -384,6 +418,11 @@ pub enum DiskError {
     /// embedder calls [`SimDisk::revive`]; a multi-block write that was
     /// in flight persisted only its pre-crash prefix (a torn run).
     Crashed,
+    /// The medium is permanently gone under a [`LossSchedule`]: every
+    /// operation fails forever, [`SimDisk::revive`] does not help, and
+    /// the data is unrecoverable from this device. Only a redundancy
+    /// layer can serve or rebuild its contents (onto a spare).
+    Lost,
 }
 
 impl fmt::Display for DiskError {
@@ -404,6 +443,7 @@ impl fmt::Display for DiskError {
                 )
             }
             DiskError::Crashed => write!(f, "disk is down: its node crashed mid-operation"),
+            DiskError::Lost => write!(f, "disk medium is permanently lost"),
         }
     }
 }
@@ -512,8 +552,27 @@ pub trait BlockDevice: Send + std::fmt::Debug {
 
     /// Restarts a dead device: clears the crash state and every volatile
     /// buffer (track buffer, queued write-behind work). Durable blocks
-    /// survive. A no-op on devices that do not model crashes.
+    /// survive. A no-op on devices that do not model crashes — and on a
+    /// *lost* medium, which no restart brings back.
     fn revive(&mut self) {}
+
+    /// True once the device's medium is permanently lost (see
+    /// [`DiskError::Lost`]). `false` forever on devices that do not model
+    /// media loss.
+    fn lost(&self) -> bool {
+        false
+    }
+
+    /// A factory-fresh replacement device with the same geometry and
+    /// timing profile but none of this device's contents or scheduled
+    /// faults — what an operator racks in after a permanent media loss.
+    /// `None` on devices that cannot be hot-swapped (the default).
+    fn spare(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 
     /// Reads a block without charging time (formatting, tests, recovery).
     fn read_raw(&self, addr: BlockAddr) -> Option<&[u8]>;
@@ -574,6 +633,11 @@ pub struct SimDisk {
     crash: Option<CrashSchedule>,
     /// `Some(down)` while the disk is dead under a crash kill.
     dead: Option<SimDuration>,
+    /// Scheduled permanent loss (`None` = the loss-free fast path).
+    loss: Option<LossSchedule>,
+    /// True once the medium is permanently gone. Never cleared — not even
+    /// by [`SimDisk::revive`]; a lost disk can only be replaced.
+    lost: bool,
     stats: DiskStats,
 }
 
@@ -593,6 +657,8 @@ impl SimDisk {
             faults: None,
             crash: None,
             dead: None,
+            loss: None,
+            lost: false,
             stats: DiskStats::default(),
         }
     }
@@ -612,9 +678,25 @@ impl SimDisk {
         self.crash = crash;
     }
 
-    /// `Err(Crashed)` when the disk is dead under a crash kill.
+    /// Installs (or clears) a permanent-loss schedule for this disk.
+    /// Passing `None` — or a schedule [`LossSchedule::from_plan`] declined
+    /// to build — keeps the exact loss-free code path. An ordinal of zero
+    /// loses the medium immediately, before anything persists.
+    pub fn schedule_loss(&mut self, loss: Option<LossSchedule>) {
+        if let Some(ls) = &loss {
+            if ls.at == 0 {
+                self.lost = true;
+            }
+        }
+        self.loss = loss;
+    }
+
+    /// `Err(Lost)` when the medium is permanently gone, `Err(Crashed)`
+    /// when the disk is dead under a crash kill.
     fn check_alive(&self) -> Result<(), DiskError> {
-        if self.dead.is_some() {
+        if self.lost {
+            Err(DiskError::Lost)
+        } else if self.dead.is_some() {
             Err(DiskError::Crashed)
         } else {
             Ok(())
@@ -639,10 +721,40 @@ impl SimDisk {
         false
     }
 
+    /// Counts one persisted elementary write against the loss schedule.
+    /// Returns `true` when that write was the scheduled trigger: it is
+    /// durable but unreadable — the medium is gone from this instant on.
+    fn note_write_loss(&mut self) -> bool {
+        if self.lost {
+            return false;
+        }
+        let Some(ls) = self.loss.as_mut() else {
+            return false;
+        };
+        ls.persisted += 1;
+        if ls.persisted >= ls.at {
+            self.lost = true;
+            return true;
+        }
+        false
+    }
+
     /// When the disk is dead under a crash kill: the scheduled down
-    /// window its node must stay silent for. `None` means alive.
+    /// window its node must stay silent for. `None` means alive — and
+    /// also when the medium is *lost*: loss supersedes any crash window,
+    /// because no amount of downtime plus recovery brings the data back.
     pub fn crash_down(&self) -> Option<SimDuration> {
-        self.dead
+        if self.lost {
+            None
+        } else {
+            self.dead
+        }
+    }
+
+    /// True once the medium is permanently lost. Unlike a crash kill this
+    /// never clears; the embedder must replace the device with a spare.
+    pub fn lost(&self) -> bool {
+        self.lost
     }
 
     /// Restarts a dead disk. Durable blocks survive; everything volatile
@@ -650,6 +762,7 @@ impl SimDisk {
     /// completions are dropped (their data already persisted — the queue
     /// models timing, not durability). Crash triggers whose ordinal has
     /// already passed are discarded so a restart cannot re-fire them.
+    /// A permanently [`lost`](SimDisk::lost) medium stays lost.
     pub fn revive(&mut self) {
         self.dead = None;
         self.buffered_track = None;
@@ -1070,7 +1183,15 @@ impl SimDisk {
                     // The run tore here: this block persisted, the rest of
                     // the run never reached media. The node is dead — no
                     // time is charged because no one is left to wait.
+                    self.note_write_loss();
                     return Err(DiskError::Crashed);
+                }
+                if self.note_write_loss() {
+                    // The run tore here and the medium is gone for good.
+                    if ctx.trace_enabled() {
+                        ctx.trace_instant("fault", "fault.disk_lost", &[]);
+                    }
+                    return Err(DiskError::Lost);
                 }
             }
         }
@@ -1142,11 +1263,19 @@ impl SimDisk {
         // sees Ok but the next timed operation — or the server's own
         // crash_down check before acknowledging — observes the dead disk.
         self.note_write_crash();
+        if self.note_write_loss() && ctx.trace_enabled() {
+            ctx.trace_instant("fault", "fault.disk_lost", &[]);
+        }
         Ok(())
     }
 
     /// Reads a block without charging time (formatting, tests, debugging).
+    /// Returns `None` for every block once the medium is lost — raw access
+    /// models inspecting the platters, and there are no platters left.
     pub fn read_raw(&self, addr: BlockAddr) -> Option<&[u8]> {
+        if self.lost {
+            return None;
+        }
         self.blocks
             .get(addr.0 as usize)
             .and_then(|b| b.as_ref())
@@ -1220,6 +1349,14 @@ impl BlockDevice for SimDisk {
         SimDisk::revive(self);
     }
 
+    fn lost(&self) -> bool {
+        SimDisk::lost(self)
+    }
+
+    fn spare(&self) -> Option<Self> {
+        Some(SimDisk::new(self.geometry, self.profile))
+    }
+
     fn read_raw(&self, addr: BlockAddr) -> Option<&[u8]> {
         SimDisk::read_raw(self, addr)
     }
@@ -1249,6 +1386,7 @@ impl fmt::Debug for SimDisk {
             .field("buffered_track", &self.buffered_track)
             .field("head_track", &self.head_track)
             .field("dead", &self.dead)
+            .field("lost", &self.lost)
             .field("stats", &self.stats)
             .finish()
     }

@@ -22,14 +22,29 @@
 //! committed delete or an aborted create that a dead-at-decision-time
 //! node never heard about — is resolved the way the decision says:
 //! the column is deleted.
+//!
+//! The machine-wide pass also runs a **redundancy audit** over every
+//! mirrored or parity-protected file: each stripe's parity is recomputed
+//! from its data blocks and checked against the stored parity block
+//! ([`MachineFinding::StaleParity`]; `repair` rewrites it), mirror copies
+//! are compared ([`MachineFinding::MirrorMismatch`]; `repair` rewrites
+//! the mirror from the primary), and a *down* node's columns — unknowable
+//! for a plain file — are instead reconstructed from the surviving group
+//! members and counted in [`MachineReport::reconstructed`]; only blocks
+//! no surviving member can recover are reported
+//! ([`MachineFinding::UnrecoverableBlock`]).
 
 use crate::error::ToolError;
 use crate::options::ToolOptions;
 use crate::toolkit::{run_workers, WorkerSpec};
-use bridge_core::{BridgeClient, BridgeFileId, LoggedDecision, MachineManifest};
+use bridge_core::{
+    xor_into, BridgeClient, BridgeFileId, LoggedDecision, MachineManifest, ManifestEntry,
+    ParityLayout, Redundancy,
+};
 use bridge_efs::{
     FileInfo, FsckReport, LfsClient, LfsData, LfsFileId, LfsOp, PrepareIntent, RetryPolicy,
 };
+use bytes::Bytes;
 use parsim::{Ctx, NodeId, ProcId, SimDuration};
 use std::collections::BTreeSet;
 
@@ -106,6 +121,37 @@ pub enum MachineFinding {
         /// The machine's actual breadth.
         breadth: u32,
     },
+    /// The parity audit recomputed a stripe's parity from its data blocks
+    /// and the stored parity block disagrees. Repairable: under `repair`
+    /// the recomputed parity is rewritten.
+    StaleParity {
+        /// The parity-protected file.
+        file: BridgeFileId,
+        /// The inconsistent stripe.
+        stripe: u64,
+        /// The machine index holding the stripe's parity block.
+        node: u32,
+    },
+    /// A mirrored block whose two copies are both readable but disagree.
+    /// Repairable: under `repair` the mirror is rewritten from the
+    /// primary.
+    MirrorMismatch {
+        /// The mirrored file.
+        file: BridgeFileId,
+        /// The disagreeing global block.
+        block: u64,
+        /// The machine index holding the mirror copy.
+        node: u32,
+    },
+    /// A block of a redundant file that the surviving group members
+    /// cannot reconstruct — more than one column of its stripe (or both
+    /// mirror copies) is unavailable. Data loss to surface, not repair.
+    UnrecoverableBlock {
+        /// The redundant file.
+        file: BridgeFileId,
+        /// The unreconstructable global block.
+        block: u64,
+    },
 }
 
 impl MachineFinding {
@@ -136,6 +182,15 @@ impl MachineFinding {
             } => format!(
                 "file {file:?}: directory names node {node} but machine breadth is {breadth}"
             ),
+            MachineFinding::StaleParity { file, stripe, node } => {
+                format!("file {file:?}: stripe {stripe} parity on node {node} is stale")
+            }
+            MachineFinding::MirrorMismatch { file, block, node } => {
+                format!("file {file:?}: block {block} mirror on node {node} disagrees")
+            }
+            MachineFinding::UnrecoverableBlock { file, block } => {
+                format!("file {file:?}: block {block} is unreconstructable")
+            }
         }
     }
 }
@@ -145,8 +200,13 @@ impl MachineFinding {
 pub struct MachineReport {
     /// Every disagreement between the directory and the instances.
     pub findings: Vec<MachineFinding>,
-    /// Orphaned columns resolved (deleted) under `repair`.
+    /// Orphaned columns resolved (deleted) and stale parity/mirror blocks
+    /// rewritten under `repair`.
     pub repaired: u32,
+    /// Blocks on unavailable columns that the redundancy audit
+    /// reconstructed and verified from the surviving group members
+    /// (instead of writing the whole column off as unknowable).
+    pub reconstructed: u64,
 }
 
 /// The machine-wide outcome of a pfsck run.
@@ -266,9 +326,12 @@ fn decision_resolves(decisions: &[LoggedDecision], node: u32, lfs_file: LfsFileI
             d.participants
                 .iter()
                 .find(|p| p.node == node && p.intent.files().contains(&lfs_file))
-                .map(|p| match &p.intent {
-                    PrepareIntent::DeleteFiles(_) => d.committed,
-                    PrepareIntent::CreateFiles(_) => !d.committed,
+                .and_then(|p| match &p.intent {
+                    PrepareIntent::DeleteFiles(_) => Some(d.committed),
+                    PrepareIntent::CreateFiles(_) => Some(!d.committed),
+                    // A write neither creates nor deletes its column, so
+                    // it settles nothing; keep scanning earlier decisions.
+                    PrepareIntent::WriteBlock { .. } => None,
                 })
         })
         .unwrap_or(false)
@@ -292,16 +355,26 @@ pub fn pfsck(
 ) -> Result<FsckVerdict, ToolError> {
     let t0 = ctx.now();
     let repair = opts.repair;
+    // A failed instance answers `NodeFailed` to everything, its own Fsck
+    // included. Its local state is unknowable — contribute an empty
+    // report and let the machine-wide pass decide what that means: a
+    // redundant file's columns there are reconstructed from the group's
+    // survivors; a plain file's are simply not reportable yet.
+    let instance_report = |r: Result<LfsData, bridge_efs::EfsError>| match r {
+        Ok(data) => expect_report(data),
+        Err(bridge_efs::EfsError::NodeFailed) => Ok(FsckReport::default()),
+        Err(e) => Err(ToolError::Lfs(e)),
+    };
     let reports = match opts.mode {
         FsckMode::Serial => {
             let mut client = LfsClient::with_retry(opts.retry);
             let mut reports = Vec::with_capacity(lfs.len());
             for &(proc, _) in lfs {
-                reports.push(expect_report(client.call(
+                reports.push(instance_report(client.call(
                     ctx,
                     proc,
                     LfsOp::Fsck { repair },
-                )?)?);
+                ))?);
             }
             reports
         }
@@ -316,7 +389,11 @@ pub fn pfsck(
                         name: format!("pfsck{i}"),
                         run: Box::new(move |c: &mut Ctx| {
                             let mut client = LfsClient::with_retry(retry);
-                            expect_report(client.call(c, proc, LfsOp::Fsck { repair })?)
+                            match client.call(c, proc, LfsOp::Fsck { repair }) {
+                                Ok(data) => expect_report(data),
+                                Err(bridge_efs::EfsError::NodeFailed) => Ok(FsckReport::default()),
+                                Err(e) => Err(ToolError::Lfs(e)),
+                            }
                         }),
                     }
                 })
@@ -391,10 +468,21 @@ fn machine_pass(
         }
     }
     let mut findings = machine_check(&manifest, &listings);
-    // A failed node's columns look "missing" against the manifest; drop
-    // those findings — they are unknowable until the node returns.
+    // A failed node's columns look "missing" against the manifest. For a
+    // file without redundancy they are unknowable until the node returns,
+    // so those findings are dropped; a *redundant* file's columns are not
+    // withheld — the audit below reconstructs them from the surviving
+    // group members and reports only what really cannot be recovered.
+    let redundant: BTreeSet<BridgeFileId> = manifest
+        .files
+        .iter()
+        .filter(|e| e.redundancy != Redundancy::None)
+        .map(|e| e.file)
+        .collect();
     findings.retain(|f| match f {
-        MachineFinding::MissingColumn { node, .. } => !down[*node as usize],
+        MachineFinding::MissingColumn { node, file, .. } => {
+            !down[*node as usize] && !redundant.contains(file)
+        }
         _ => true,
     });
     let mut repaired = 0u32;
@@ -427,7 +515,236 @@ fn machine_pass(
         }
         findings = kept;
     }
-    Ok(MachineReport { findings, repaired })
+    let mut reconstructed = 0u64;
+    for entry in &manifest.files {
+        if entry.redundancy == Redundancy::None
+            || entry.size == 0
+            || entry.nodes.iter().any(|&n| n as usize >= lfs.len())
+        {
+            continue;
+        }
+        let audit = audit_entry(ctx, &mut client, lfs, &down, entry, opts.repair)?;
+        findings.extend(audit.findings);
+        repaired += audit.repaired;
+        reconstructed += audit.reconstructed;
+    }
+    Ok(MachineReport {
+        findings,
+        repaired,
+        reconstructed,
+    })
+}
+
+/// One manifest entry's worth of redundancy auditing.
+struct EntryAudit {
+    findings: Vec<MachineFinding>,
+    repaired: u32,
+    reconstructed: u64,
+}
+
+/// Reads one local block's payload; `Ok(None)` means the column is
+/// unavailable (its node failed, or the instance no longer holds the
+/// file) — the degraded case the audit reconstructs through.
+fn read_payload(
+    ctx: &mut Ctx,
+    client: &mut LfsClient,
+    proc: ProcId,
+    file: LfsFileId,
+    block: u32,
+) -> Result<Option<Bytes>, ToolError> {
+    match client.call(
+        ctx,
+        proc,
+        LfsOp::Read {
+            file,
+            block,
+            hint: None,
+        },
+    ) {
+        Ok(LfsData::Block { data, .. }) => Ok(Some(data)),
+        Ok(other) => Err(ToolError::Protocol(format!(
+            "unexpected Read reply: {other:?}"
+        ))),
+        Err(bridge_efs::EfsError::NodeFailed) | Err(bridge_efs::EfsError::UnknownFile(_)) => {
+            Ok(None)
+        }
+        Err(e) => Err(ToolError::Lfs(e)),
+    }
+}
+
+/// Rewrites one local block; `Ok(false)` when the target column is
+/// unavailable (the repair stands as a finding until the node returns).
+fn write_payload(
+    ctx: &mut Ctx,
+    client: &mut LfsClient,
+    proc: ProcId,
+    file: LfsFileId,
+    block: u32,
+    data: Bytes,
+) -> Result<bool, ToolError> {
+    match client.call(
+        ctx,
+        proc,
+        LfsOp::Write {
+            file,
+            block,
+            data,
+            hint: None,
+        },
+    ) {
+        Ok(_) => Ok(true),
+        Err(bridge_efs::EfsError::NodeFailed) | Err(bridge_efs::EfsError::UnknownFile(_)) => {
+            Ok(false)
+        }
+        Err(e) => Err(ToolError::Lfs(e)),
+    }
+}
+
+/// The redundancy audit for one manifest entry.
+///
+/// * **Mirror** — every global block's two copies are read; disagreeing
+///   copies are a [`MachineFinding::MirrorMismatch`] (repair rewrites the
+///   mirror from the primary), one unavailable copy counts as a verified
+///   reconstruction, two is an [`MachineFinding::UnrecoverableBlock`].
+/// * **Parity** — every stripe's parity is recomputed from its data
+///   blocks: with all members present a mismatch is a
+///   [`MachineFinding::StaleParity`] (repair rewrites the parity block);
+///   with exactly one member unavailable the stripe reconstructs the
+///   missing column from the survivors; with more than one its data
+///   blocks are unrecoverable.
+fn audit_entry(
+    ctx: &mut Ctx,
+    client: &mut LfsClient,
+    lfs: &[(ProcId, NodeId)],
+    down: &[bool],
+    entry: &ManifestEntry,
+    repair: bool,
+) -> Result<EntryAudit, ToolError> {
+    let mut audit = EntryAudit {
+        findings: Vec::new(),
+        repaired: 0,
+        reconstructed: 0,
+    };
+    let breadth = entry.nodes.len() as u32;
+    let companion = entry
+        .companion
+        .expect("redundant files always have a companion");
+    // Reads a column's payload unless its node is already known down
+    // (skipping the call keeps the audit from burning the retry budget on
+    // a node the listing round has already sentenced).
+    let column = |ctx: &mut Ctx,
+                  client: &mut LfsClient,
+                  pos: u32,
+                  file: LfsFileId,
+                  local: u32|
+     -> Result<Option<Bytes>, ToolError> {
+        let node = entry.nodes[pos as usize] as usize;
+        if down[node] {
+            return Ok(None);
+        }
+        read_payload(ctx, client, lfs[node].0, file, local)
+    };
+    match entry.redundancy {
+        Redundancy::None => {}
+        Redundancy::Mirror => {
+            for block in 0..entry.size {
+                let pos = ((block + u64::from(entry.start)) % u64::from(breadth)) as u32;
+                let local = (block / u64::from(breadth)) as u32;
+                let mpos = (pos + 1) % breadth;
+                let primary = column(ctx, client, pos, entry.lfs_file, local)?;
+                let mirror = column(ctx, client, mpos, companion, local)?;
+                match (primary, mirror) {
+                    (Some(p), Some(m)) => {
+                        if p != m {
+                            let node = entry.nodes[mpos as usize];
+                            let fixed = repair
+                                && write_payload(
+                                    ctx,
+                                    client,
+                                    lfs[node as usize].0,
+                                    companion,
+                                    local,
+                                    p,
+                                )?;
+                            if fixed {
+                                audit.repaired += 1;
+                            } else {
+                                audit.findings.push(MachineFinding::MirrorMismatch {
+                                    file: entry.file,
+                                    block,
+                                    node,
+                                });
+                            }
+                        }
+                    }
+                    (Some(_), None) | (None, Some(_)) => audit.reconstructed += 1,
+                    (None, None) => audit.findings.push(MachineFinding::UnrecoverableBlock {
+                        file: entry.file,
+                        block,
+                    }),
+                }
+            }
+        }
+        Redundancy::Parity { group } => {
+            let layout = ParityLayout::grouped(breadth, group);
+            let width = layout.stripe_width();
+            for stripe in 0..entry.size.div_ceil(width) {
+                let lo = stripe * width;
+                let hi = ((stripe + 1) * width).min(entry.size);
+                let mut lost_data: Vec<u64> = Vec::new();
+                let mut acc: Vec<u8> = Vec::new();
+                for block in lo..hi {
+                    let ptr = layout.locate(block);
+                    match column(ctx, client, ptr.lfs.0, entry.lfs_file, ptr.local)? {
+                        Some(p) => xor_into(&mut acc, &p),
+                        None => lost_data.push(block),
+                    }
+                }
+                let ppos = layout.parity_position(stripe);
+                let plocal = layout.parity_local(stripe);
+                let parity = column(ctx, client, ppos, companion, plocal)?;
+                let lost = lost_data.len() + usize::from(parity.is_none());
+                match (lost, parity) {
+                    (0, Some(stored)) => {
+                        acc.resize(stored.len(), 0);
+                        if acc != stored {
+                            let node = entry.nodes[ppos as usize];
+                            let fixed = repair
+                                && write_payload(
+                                    ctx,
+                                    client,
+                                    lfs[node as usize].0,
+                                    companion,
+                                    plocal,
+                                    Bytes::from(acc),
+                                )?;
+                            if fixed {
+                                audit.repaired += 1;
+                            } else {
+                                audit.findings.push(MachineFinding::StaleParity {
+                                    file: entry.file,
+                                    stripe,
+                                    node,
+                                });
+                            }
+                        }
+                    }
+                    // Exactly one member gone: the survivors XOR back to
+                    // the missing column — reconstructed and verified.
+                    (1, _) => audit.reconstructed += 1,
+                    (_, _) => {
+                        for block in lost_data {
+                            audit.findings.push(MachineFinding::UnrecoverableBlock {
+                                file: entry.file,
+                                block,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(audit)
 }
 
 fn expect_report(data: LfsData) -> Result<FsckReport, ToolError> {

@@ -460,7 +460,7 @@ fn copy_tool_preserves_redundancy_mode() {
             .create(
                 ctx,
                 CreateSpec {
-                    redundancy: Redundancy::Mirrored,
+                    redundancy: Redundancy::Mirror,
                     ..CreateSpec::default()
                 },
             )
@@ -471,7 +471,7 @@ fn copy_tool_preserves_redundancy_mode() {
         }
         let (dup, _) = copy(ctx, &mut bridge, file, &ToolOptions::default()).unwrap();
         let info = bridge.open(ctx, dup).unwrap();
-        assert_eq!(info.redundancy, Redundancy::Mirrored);
+        assert_eq!(info.redundancy, Redundancy::Mirror);
         // ecopy writes data columns directly; the tool then asks the
         // server to derive the mirror columns, so the copy survives a
         // node failure just like its source.

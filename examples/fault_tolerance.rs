@@ -27,8 +27,8 @@ fn main() {
         let mut files = Vec::new();
         for (name, redundancy) in [
             ("unprotected", Redundancy::None),
-            ("mirrored", Redundancy::Mirrored),
-            ("parity", Redundancy::Parity),
+            ("mirrored", Redundancy::Mirror),
+            ("parity", Redundancy::parity()),
         ] {
             let t0 = ctx.now();
             let file = bridge
@@ -50,8 +50,8 @@ fn main() {
                 ctx.now() - t0,
                 match redundancy {
                     Redundancy::None => "1.00x".to_string(),
-                    Redundancy::Mirrored => "2.00x".to_string(),
-                    Redundancy::Parity => format!("{:.2}x", p as f64 / (p - 1) as f64),
+                    Redundancy::Mirror => "2.00x".to_string(),
+                    Redundancy::Parity { .. } => format!("{:.2}x", p as f64 / (p - 1) as f64),
                 }
             );
             files.push((name, file));

@@ -105,6 +105,7 @@ fn plan_from_seed(seed: u64) -> FaultPlan {
         outages,
         disk,
         crashes: Vec::new(),
+        losses: Vec::new(),
     }
 }
 

@@ -422,7 +422,7 @@ fn orphan_column_is_resolved_by_the_logged_decision() {
             .create(
                 ctx,
                 CreateSpec {
-                    redundancy: Redundancy::Mirrored,
+                    redundancy: Redundancy::Mirror,
                     ..CreateSpec::default()
                 },
             )
@@ -508,6 +508,9 @@ fn machine_check_reports_out_of_range_placement() {
             lfs_file: LfsFileId(7),
             companion: None,
             nodes: vec![0, 5],
+            redundancy: Redundancy::None,
+            size: 0,
+            start: 0,
         }],
         decisions: Vec::new(),
     };
