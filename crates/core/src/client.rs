@@ -464,6 +464,17 @@ impl BridgeClient {
         while first < size {
             repaired += self.rebuild_range(ctx, file, first, chunk)?;
             first += chunk;
+            if ctx.trace_enabled() {
+                ctx.trace_instant(
+                    "redundancy",
+                    "redundancy.rebuild_progress",
+                    &[
+                        ("file", u64::from(file.0)),
+                        ("done", first.min(size)),
+                        ("total", size),
+                    ],
+                );
+            }
             if first < size {
                 ctx.delay(pause);
             }
@@ -493,6 +504,23 @@ impl BridgeClient {
         match self.call(ctx, BridgeCmd::GetManifest)? {
             BridgeData::Manifest(m) => Ok(m),
             other => Err(unexpected("Manifest", &other)),
+        }
+    }
+
+    /// Polls the machine's live health snapshot (see
+    /// [`BridgeCmd::GetHealth`]). An unarmed machine answers an empty
+    /// snapshot rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`BridgeError`].
+    pub fn get_health(
+        &mut self,
+        ctx: &mut Ctx,
+    ) -> Result<bridge_trace::HealthSnapshot, BridgeError> {
+        match self.call(ctx, BridgeCmd::GetHealth)? {
+            BridgeData::Health(h) => Ok(*h),
+            other => Err(unexpected("Health", &other)),
         }
     }
 }

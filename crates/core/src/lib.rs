@@ -77,3 +77,6 @@ pub use simdisk::{SchedConfig, SchedPolicy};
 // via `BridgeConfig::faults`) without naming the lower crates.
 pub use bridge_efs::RetryPolicy;
 pub use parsim::{DiskLost, FaultPlan, MsgFaults, Outage, OutageKind};
+// Re-exported so health pollers can name the snapshot types without
+// depending on bridge-trace directly.
+pub use bridge_trace::{HealthSnapshot, TelemetryRegistry, WatchdogConfig};

@@ -9,13 +9,37 @@ use crate::redundancy::Redundancy;
 use crate::server::{spawn_bridge_agent, spawn_bridge_server, BridgeServerConfig};
 use crate::txlog::TxLog;
 use bridge_efs::{spawn_lfs_sched, Efs, EfsConfig, RetryPolicy};
+use bridge_trace::{DiskCounters, TelemetryRegistry};
 use parsim::{
     Engine, FaultPlan, NodeId, ProcId, SimConfig, SimDuration, Simulation, TracerHandle,
     UniformLatency, SERVER_DISK,
 };
 use simdisk::{
-    CrashSchedule, DiskFaultState, DiskGeometry, DiskProfile, LossSchedule, SchedConfig, SimDisk,
+    CrashSchedule, DiskFaultState, DiskGeometry, DiskProfile, DiskStats, DiskTelemetrySink,
+    LossSchedule, SchedConfig, SimDisk,
 };
+use std::sync::Arc;
+
+/// Adapter carrying a disk's idempotent counter stores into the
+/// telemetry registry's per-instance mirror (`simdisk` stays
+/// dependency-free; the machine builder closes the loop).
+#[derive(Debug)]
+struct DiskCountersSink(Arc<DiskCounters>);
+
+impl DiskTelemetrySink for DiskCountersSink {
+    fn record(&self, stats: &DiskStats, lost: bool) {
+        self.0.store_stats(
+            stats.reads,
+            stats.writes,
+            stats.buffer_hits,
+            stats.track_loads,
+            stats.head_travel,
+            stats.transient_faults,
+            stats.busy.as_nanos(),
+        );
+        self.0.set_lost(lost);
+    }
+}
 
 /// Everything needed to stand up a Bridge machine.
 #[derive(Debug, Clone)]
@@ -67,6 +91,13 @@ pub struct BridgeConfig {
     /// participants' PREPARE records live there — so enable via
     /// [`BridgeConfig::with_2pc`].
     pub two_pc: bool,
+    /// Arm the live telemetry registry ([`TelemetryRegistry`]): lock-free
+    /// counters every layer updates in place, pollable mid-run via
+    /// [`BridgeCmd::GetHealth`](crate::BridgeCmd::GetHealth). On by
+    /// default — updating counters is host-side work only, so an armed
+    /// but unpolled machine produces bit-identical
+    /// [`RunStats`](parsim::RunStats) to a disarmed one.
+    pub telemetry: bool,
 }
 
 impl BridgeConfig {
@@ -87,6 +118,7 @@ impl BridgeConfig {
             faults: FaultPlan::none(),
             engine: Engine::auto(),
             two_pc: false,
+            telemetry: true,
         }
     }
 
@@ -119,6 +151,7 @@ impl BridgeConfig {
             faults: FaultPlan::none(),
             engine: Engine::auto(),
             two_pc: false,
+            telemetry: true,
         }
     }
 
@@ -195,6 +228,11 @@ pub struct BridgeMachine {
     /// A spare node for application / tool controller processes (a
     /// "front-end" not holding any disk).
     pub frontend: NodeId,
+    /// The live-telemetry registry all layers update in place (`None`
+    /// when the machine was built with `telemetry: false`). Host-side
+    /// handle: read it between [`Simulation`] steps, or poll in-band via
+    /// [`BridgeCmd::GetHealth`](crate::BridgeCmd::GetHealth).
+    pub telemetry: Option<Arc<TelemetryRegistry>>,
 }
 
 impl BridgeMachine {
@@ -228,6 +266,9 @@ impl BridgeMachine {
         );
         let server_node = sim.add_node("bridge-server");
         let frontend = sim.add_node("frontend");
+        let telemetry = config
+            .telemetry
+            .then(|| Arc::new(TelemetryRegistry::new(config.breadth)));
         let mut lfs = Vec::with_capacity(config.breadth as usize);
         let mut lfs_nodes = Vec::with_capacity(config.breadth as usize);
         let mut agents = Vec::with_capacity(config.breadth as usize);
@@ -244,7 +285,14 @@ impl BridgeMachine {
             ));
             disk.schedule_crashes(CrashSchedule::from_plan(&config.faults.crashes, i));
             disk.schedule_loss(LossSchedule::from_plan(&config.faults.losses, i));
-            let efs = Efs::format(disk, config.efs);
+            if let Some(reg) = &telemetry {
+                let mirror = Arc::clone(reg.lfs(i as usize).disk());
+                disk.set_telemetry_sink(Arc::new(DiskCountersSink(mirror)));
+            }
+            let mut efs = Efs::format(disk, config.efs);
+            if let Some(reg) = &telemetry {
+                efs.set_telemetry(Arc::clone(reg), i);
+            }
             let proc = spawn_lfs_sched(sim, node, format!("lfs{i}"), efs, config.sched);
             agents.push(spawn_bridge_agent(
                 sim,
@@ -278,6 +326,7 @@ impl BridgeMachine {
             config.server,
             config.sched.policy,
             txlog,
+            telemetry.clone(),
         );
         BridgeMachine {
             server,
@@ -286,6 +335,7 @@ impl BridgeMachine {
             lfs_nodes,
             agents,
             frontend,
+            telemetry,
         }
     }
 }

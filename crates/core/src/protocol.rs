@@ -165,6 +165,12 @@ pub enum BridgeCmd {
     },
     /// Structural information for tools.
     GetInfo,
+    /// Machine-wide health: the live telemetry snapshot
+    /// ([`bridge_trace::HealthSnapshot`]) — per-LFS disk/WAL/queue gauges,
+    /// 2PC and redundancy counters, the typed event journal, and any
+    /// watchdog alerts. Pollable mid-run; a control query that never
+    /// touches media.
+    GetHealth,
     /// The full directory — every file with its placement — plus the
     /// coordinator's logged 2PC decisions. `pfsck`'s machine-wide pass
     /// cross-checks this manifest against what each LFS actually holds.
@@ -190,6 +196,7 @@ impl BridgeCmd {
             BridgeCmd::Rebuild { .. } => "bridge.rebuild",
             BridgeCmd::RebuildRange { .. } => "bridge.rebuild_range",
             BridgeCmd::GetInfo => "bridge.get_info",
+            BridgeCmd::GetHealth => "bridge.get_health",
             BridgeCmd::GetManifest => "bridge.get_manifest",
         }
     }
@@ -249,6 +256,8 @@ pub enum BridgeData {
     },
     /// `GetInfo` result.
     Info(MachineInfo),
+    /// `GetHealth` result: the machine-wide telemetry snapshot.
+    Health(Box<bridge_trace::HealthSnapshot>),
     /// `GetManifest` result.
     Manifest(MachineManifest),
 }
@@ -416,6 +425,7 @@ pub fn reply_wire_size(reply: &BridgeReply) -> usize {
         Ok(BridgeData::Block(data)) => 48 + data.len(),
         Ok(BridgeData::Opened(info)) => 64 + info.nodes.len() * 24,
         Ok(BridgeData::Info(info)) => 48 + info.lfs.len() * 16,
+        Ok(BridgeData::Health(h)) => 256 + h.lfs.len() * 128 + h.events.len() * 24,
         Ok(BridgeData::Manifest(m)) => {
             48 + m
                 .files

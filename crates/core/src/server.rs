@@ -24,10 +24,12 @@ use bridge_efs::{
     Admission, DedupWindow, EfsError, LfsClient, LfsData, LfsFileId, LfsOp, PrepareIntent,
     RetryPolicy,
 };
+use bridge_trace::{HealthEvent, HealthSnapshot, TelemetryRegistry};
 use bytes::Bytes;
 use parsim::{Ctx, NodeId, ProcId, SimDuration, Simulation};
 use simdisk::{BlockAddr, SchedPolicy};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Tuning knobs for the Bridge Server.
 ///
@@ -318,6 +320,9 @@ struct Server {
     /// modeling shortcut: the real coordinator would recover the high
     /// txn from its log, and [`TxLog::reseat`] shows where it would.
     next_txn: u64,
+    /// The machine's live-telemetry registry (`None` = unarmed). Counter
+    /// updates are host-side only and never touch virtual time.
+    telemetry: Option<Arc<TelemetryRegistry>>,
 }
 
 /// Spawns the Bridge Server on `node`, gluing together the given LFS
@@ -337,6 +342,7 @@ pub fn spawn_bridge_server(
     config: BridgeServerConfig,
     sched: SchedPolicy,
     txlog: Option<TxLog>,
+    telemetry: Option<Arc<TelemetryRegistry>>,
 ) -> ProcId {
     assert!(!lfs.is_empty(), "a Bridge machine needs at least one LFS");
     assert!(
@@ -361,6 +367,7 @@ pub fn spawn_bridge_server(
             client: LfsClient::with_retry(config.lfs_retry),
             txlog,
             next_txn: 1,
+            telemetry,
         };
         // Duplicate suppression for retransmitted requests: the server is
         // single-threaded (one dispatch at a time), so a retransmit either
@@ -391,6 +398,9 @@ pub fn spawn_bridge_server(
                     }
                     let reply = BridgeReply { id: req.id, result };
                     dedup.complete(from, req.id, ctx.now(), reply.clone());
+                    if let Some(reg) = &server.telemetry {
+                        reg.server().note_request(dedup.len() as u64);
+                    }
                     reply
                 }
                 // Single-threaded service means an admitted id is always
@@ -399,6 +409,9 @@ pub fn spawn_bridge_server(
                 Admission::Replay(reply) => {
                     // Already executed: resend the recorded outcome rather
                     // than re-running a possibly non-idempotent command.
+                    if let Some(reg) = &server.telemetry {
+                        reg.server().note_replay();
+                    }
                     if ctx.trace_enabled() {
                         ctx.trace_instant("retry", "retry.replay", &[("id", req.id)]);
                     }
@@ -542,8 +555,26 @@ impl Server {
                 server_node: self.my_node,
                 sched: self.sched,
             })),
+            BridgeCmd::GetHealth => Ok(BridgeData::Health(Box::new(self.health_snapshot(ctx)))),
             BridgeCmd::GetManifest => Ok(BridgeData::Manifest(self.manifest())),
         }
+    }
+
+    /// Assembles the in-band health snapshot. Refreshes the gauges only
+    /// the server can compute (lost-column count from the per-LFS
+    /// media-lost mirrors, its LFS client's retransmit total) before
+    /// delegating to the registry. Unarmed machines answer an empty
+    /// snapshot rather than an error, so polling tools need no mode flag.
+    fn health_snapshot(&self, ctx: &Ctx) -> HealthSnapshot {
+        let Some(reg) = &self.telemetry else {
+            return HealthSnapshot::empty(ctx.now());
+        };
+        let lost = (0..reg.breadth())
+            .filter(|&i| reg.lfs(i).snapshot().media_lost)
+            .count() as u64;
+        reg.server().set_columns_lost(lost);
+        reg.server().set_lfs_resends(self.client.resends());
+        reg.snapshot(ctx.now(), None)
     }
 
     /// The directory as [`ManifestEntry`] claims plus the decision log's
@@ -963,6 +994,9 @@ impl Server {
         'retry: loop {
             let txn = self.next_txn;
             self.next_txn += 1;
+            if let Some(reg) = &self.telemetry {
+                reg.server().note_txn_begun();
+            }
             // Phase 1: pipeline a PREPARE to every participant.
             let mut pending = Vec::with_capacity(participants.len());
             for p in participants {
@@ -986,7 +1020,11 @@ impl Server {
             let txlog = self.txlog.as_mut().expect("run_2pc requires a log");
             txlog.begin(ctx, txn, participants);
             if txlog.crash_down().is_some() {
-                if self.server_crash_recover(ctx, txn, &pending)? {
+                let committed = self.server_crash_recover(ctx, txn, &pending)?;
+                if let Some(reg) = &self.telemetry {
+                    reg.server().note_txn_decided(committed);
+                }
+                if committed {
                     // The redo path cannot recount votes; report every
                     // column landed — the logged decision repairs any
                     // that were lost.
@@ -1019,6 +1057,9 @@ impl Server {
                 // Presumed abort: no log write. Participants that never
                 // prepared (the vetoer included) apply the abort intent
                 // idempotently as a no-op.
+                if let Some(reg) = &self.telemetry {
+                    reg.server().note_txn_decided(false);
+                }
                 self.decide_all(ctx, txn, false, participants)?;
                 return Err(BridgeError::Lfs(e));
             }
@@ -1027,6 +1068,9 @@ impl Server {
             txlog.commit(ctx, txn);
             if txlog.crash_down().is_some() && !self.server_crash_recover(ctx, txn, &[])? {
                 unreachable!("a forced COMMIT record cannot be lost");
+            }
+            if let Some(reg) = &self.telemetry {
+                reg.server().note_txn_decided(true);
             }
             // Phase 2: fan the decision out.
             return self
@@ -1132,10 +1176,23 @@ impl Server {
             // ask) keeps the client-visible retry path simple: by the
             // time the operation re-executes, every column is rolled
             // back and acknowledged.
+            if let Some(reg) = &self.telemetry {
+                reg.record_event(ctx.now(), HealthEvent::TxnInDoubt { txn: d.txn });
+            }
             if ctx.trace_enabled() {
                 ctx.trace_instant("2pc", "2pc.presume_abort", &[("txn", d.txn)]);
             }
-            self.decide_all(ctx, d.txn, false, &d.participants)?;
+            let resolved = d.txn;
+            self.decide_all(ctx, resolved, false, &d.participants)?;
+            if let Some(reg) = &self.telemetry {
+                reg.record_event(
+                    ctx.now(),
+                    HealthEvent::TxnResolved {
+                        txn: resolved,
+                        committed: false,
+                    },
+                );
+            }
         }
         Ok(self.txlog.as_ref().expect("checked").is_committed(txn))
     }
@@ -1376,6 +1433,20 @@ impl Server {
             Err(BridgeError::Lfs(e)) if column_lost(&e) => {
                 if redundancy == Redundancy::None {
                     return Err(BridgeError::Lfs(e));
+                }
+                if let Some(reg) = &self.telemetry {
+                    // Journal only the onset — the first degraded read —
+                    // so a long outage cannot flood the event ring.
+                    if reg.server().snapshot().degraded_reads == 0 {
+                        reg.record_event(
+                            ctx.now(),
+                            HealthEvent::DegradedOnset {
+                                lfs: ptr.lfs.0,
+                                file: u64::from(file.0),
+                            },
+                        );
+                    }
+                    reg.server().note_degraded_read();
                 }
                 if ctx.trace_enabled() {
                     ctx.trace_instant(
@@ -1717,6 +1788,18 @@ impl Server {
         }
         let first = first.min(size);
         let end = first.saturating_add(count).min(size);
+        if let Some(reg) = &self.telemetry {
+            if first == 0 {
+                reg.server().note_rebuild_start(size);
+                reg.record_event(
+                    ctx.now(),
+                    HealthEvent::RebuildStart {
+                        file: u64::from(file.0),
+                        total: size,
+                    },
+                );
+            }
+        }
         // A freshly installed spare holds no files at all: recreate this
         // file's columns there before repairing, so the repair writes
         // below land as ordinary appends instead of `UnknownFile`.
@@ -1845,6 +1928,40 @@ impl Server {
                     repaired += 1;
                 }
             }
+        }
+        if let Some(reg) = &self.telemetry {
+            reg.server().note_rebuild_progress(end, size);
+            reg.record_event(
+                ctx.now(),
+                HealthEvent::RebuildChunk {
+                    file: u64::from(file.0),
+                    chunk: first,
+                    done: end,
+                    total: size,
+                },
+            );
+            if end >= size {
+                reg.server().note_rebuild_done();
+                reg.record_event(
+                    ctx.now(),
+                    HealthEvent::RebuildDone {
+                        file: u64::from(file.0),
+                        total: size,
+                    },
+                );
+            }
+        }
+        if ctx.trace_enabled() {
+            ctx.trace_instant(
+                "redundancy",
+                "redundancy.rebuild_progress",
+                &[
+                    ("file", u64::from(file.0)),
+                    ("done", end),
+                    ("total", size),
+                    ("repaired", repaired),
+                ],
+            );
         }
         Ok(BridgeData::Rebuilt { repaired })
     }

@@ -16,10 +16,12 @@ use crate::layout::{
     EFS_HEADER_SIZE, EFS_PAYLOAD,
 };
 use crate::wal::{scan_and_resume, PrepareIntent, RecoveredOp, Wal, WalConfig, WalRecord};
+use bridge_trace::{FsGauges, LfsCounters, LfsTelemetry, TelemetryRegistry};
 use bytes::{Buf, BufMut, Bytes};
 use parsim::{Ctx, SimDuration};
 use simdisk::{BlockAddr, BlockDevice, SimDisk};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 const SUPERBLOCK_MAGIC: u32 = 0xB21D_6EF5;
 const SUPERBLOCK_VERSION: u32 = 2;
@@ -141,6 +143,23 @@ pub struct Efs<D: BlockDevice = SimDisk> {
     /// deferred — a checkpoint persists in-memory state, and tentative
     /// effects must stay revocable until the coordinator decides.
     prepared: HashMap<u64, PreparedTxn>,
+    /// Live-telemetry handle (`None` = unarmed, the fast path). Updating
+    /// counters is host-side only — arming telemetry never touches
+    /// virtual time.
+    telemetry: Option<EfsTelemetry>,
+}
+
+/// This instance's handle into the machine's shared telemetry registry:
+/// the registry itself (journal events), the instance's column index, and
+/// its live counters.
+#[derive(Debug, Clone)]
+pub struct EfsTelemetry {
+    /// The machine-wide registry; typed journal events go here.
+    pub registry: Arc<TelemetryRegistry>,
+    /// This instance's column index in the registry.
+    pub index: u32,
+    /// This instance's live counters.
+    pub counters: Arc<LfsCounters>,
 }
 
 /// Tentative state held between [`Efs::prepare`] and [`Efs::decide`].
@@ -243,6 +262,7 @@ impl<D: BlockDevice> Efs<D> {
             chains: HashMap::new(),
             req: (0, 0),
             prepared: HashMap::new(),
+            telemetry: None,
         };
         efs.write_bitmap_raw();
         efs
@@ -321,6 +341,7 @@ impl<D: BlockDevice> Efs<D> {
             chains: HashMap::new(),
             req: (0, 0),
             prepared: HashMap::new(),
+            telemetry: None,
             disk,
             config,
         };
@@ -1629,7 +1650,12 @@ impl<D: BlockDevice> Efs<D> {
         let Some(fresh) = self.disk.spare() else {
             return false;
         };
+        // The telemetry handle watches the drive bay, not the medium:
+        // carry it across the reformat so the replacement keeps reporting.
+        let telemetry = self.telemetry.take();
         *self = Efs::format(fresh, self.config);
+        self.telemetry = telemetry;
+        self.publish_telemetry();
         true
     }
 
@@ -1649,6 +1675,89 @@ impl<D: BlockDevice> Efs<D> {
         self.wal
             .as_ref()
             .map_or((0, 0), |w| (w.commits, w.checkpoints))
+    }
+
+    /// `(ring blocks used since the last durable checkpoint, ring
+    /// capacity)`. `(0, 0)` without a WAL.
+    pub fn wal_ring_usage(&self) -> (u32, u32) {
+        self.wal.as_ref().map_or((0, 0), |w| w.ring_usage())
+    }
+
+    /// Arms live telemetry: this instance publishes its gauges into the
+    /// machine-wide `registry` under column `index`. Observation-only —
+    /// counter updates are host-side and never touch virtual time.
+    pub fn set_telemetry(&mut self, registry: Arc<TelemetryRegistry>, index: u32) {
+        let counters = registry.lfs(index as usize);
+        self.telemetry = Some(EfsTelemetry {
+            registry,
+            index,
+            counters,
+        });
+        self.publish_telemetry();
+    }
+
+    /// The armed telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&EfsTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Publishes the current file-system gauges (WAL ring, group-commit
+    /// width, free space, media state) into the telemetry counters. No-op
+    /// when unarmed.
+    pub fn publish_telemetry(&self) {
+        let Some(t) = &self.telemetry else { return };
+        let (wal_commits, wal_checkpoints) = self.wal_counters();
+        let (used, capacity) = self.wal_ring_usage();
+        t.counters.publish_fs(FsGauges {
+            wal_enabled: self.wal_enabled(),
+            wal_commits,
+            wal_checkpoints,
+            wal_ring_used: u64::from(used),
+            wal_ring_capacity: u64::from(capacity),
+            group_commit_width: u64::from(self.group_commit_width()),
+            free_blocks: u64::from(self.free_blocks()),
+            media_lost: self.media_lost(),
+            crash_down: self.crash_down().is_some(),
+        });
+    }
+
+    /// A complete point-in-time [`LfsTelemetry`] for this instance. The
+    /// disk section is read straight from the device's own
+    /// [`DiskStats`](simdisk::DiskStats) so the snapshot reconciles
+    /// exactly, even mid-operation. Returns gauges-from-accessors with
+    /// zeroed counters when telemetry is unarmed.
+    pub fn telemetry_snapshot(&self) -> LfsTelemetry {
+        self.publish_telemetry();
+        let mut snap = match &self.telemetry {
+            Some(t) => t.counters.snapshot(),
+            None => {
+                let counters = LfsCounters::default();
+                let (wal_commits, wal_checkpoints) = self.wal_counters();
+                let (used, capacity) = self.wal_ring_usage();
+                counters.publish_fs(FsGauges {
+                    wal_enabled: self.wal_enabled(),
+                    wal_commits,
+                    wal_checkpoints,
+                    wal_ring_used: u64::from(used),
+                    wal_ring_capacity: u64::from(capacity),
+                    group_commit_width: u64::from(self.group_commit_width()),
+                    free_blocks: u64::from(self.free_blocks()),
+                    media_lost: self.media_lost(),
+                    crash_down: self.crash_down().is_some(),
+                });
+                counters.snapshot()
+            }
+        };
+        let d = self.disk.stats();
+        snap.disk.reads = d.reads;
+        snap.disk.writes = d.writes;
+        snap.disk.buffer_hits = d.buffer_hits;
+        snap.disk.track_loads = d.track_loads;
+        snap.disk.head_travel = d.head_travel;
+        snap.disk.transient_faults = d.transient_faults;
+        snap.disk.busy_nanos = d.busy.as_nanos();
+        snap.disk.lost = self.media_lost();
+        snap
     }
 
     // ----- internals ---------------------------------------------------

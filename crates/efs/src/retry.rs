@@ -196,6 +196,17 @@ impl<R: Clone> DedupWindow<R> {
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
     }
+
+    /// Total entries held: in-flight marks plus cached replies across all
+    /// clients — the occupancy gauge telemetry reports.
+    pub fn len(&self) -> usize {
+        self.in_flight.len() + self.done.values().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// True when the window holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use crate::fs::{Efs, FileInfo, FsckReport};
 use crate::layout::{LfsFileId, BLOCK_SIZE};
 use crate::retry::{Admission, DedupWindow, RetryPolicy};
 use crate::wal::{PrepareIntent, RecoveredReply};
+use bridge_trace::HealthEvent;
 use bytes::Bytes;
 use parsim::{Ctx, ProcId, SimDuration, SimTime, Simulation};
 use simdisk::{BlockAddr, BlockDevice, RequestQueue, SchedConfig};
@@ -110,6 +111,12 @@ pub enum LfsOp {
     /// A barrier op: it orders after every pending operation of its
     /// client.
     ListFiles,
+    /// Fetch this instance's live telemetry
+    /// ([`bridge_trace::LfsTelemetry`]): disk counters, WAL ring
+    /// occupancy, group-commit and queue gauges. A free control query
+    /// like `DiskStats` — pollable mid-run without perturbing the
+    /// workload's timing.
+    GetTelemetry,
     /// Phase 1 of a machine-wide transaction ([`Efs::prepare`]): apply
     /// `intent` tentatively and vote. The [`LfsData::Prepared`] ack is a
     /// binding yes-vote — it is only sent after the server loop's group
@@ -150,6 +157,7 @@ impl LfsOp {
             LfsOp::DiskStats => "lfs.disk_stats",
             LfsOp::Fsck { .. } => "lfs.fsck",
             LfsOp::ListFiles => "lfs.list_files",
+            LfsOp::GetTelemetry => "lfs.get_telemetry",
             LfsOp::Prepare { .. } => "lfs.prepare",
             LfsOp::Decide { .. } => "lfs.decide",
         }
@@ -171,6 +179,7 @@ impl LfsOp {
             | LfsOp::DiskStats
             | LfsOp::Fsck { .. }
             | LfsOp::ListFiles
+            | LfsOp::GetTelemetry
             | LfsOp::Prepare { .. }
             | LfsOp::Decide { .. } => None,
         }
@@ -231,6 +240,8 @@ pub enum LfsData {
         /// Blocks to be freed at commit.
         freed: u32,
     },
+    /// GetTelemetry completed: the instance's live telemetry snapshot.
+    Telemetry(Box<bridge_trace::LfsTelemetry>),
 }
 
 /// Fault-injection control for an LFS server process (experiments only):
@@ -338,6 +349,10 @@ struct SchedState {
     /// Sequence numbers currently offered to the policy queue.
     in_sched: HashSet<u64>,
     next_seq: u64,
+    /// Scratch for per-op service times within one batch, flushed to the
+    /// telemetry registry at batch end (kept here so the armed hot path
+    /// never allocates).
+    served_scratch: Vec<u64>,
 }
 
 impl SchedState {
@@ -348,6 +363,7 @@ impl SchedState {
             lanes: HashMap::new(),
             in_sched: HashSet::new(),
             next_seq: 0,
+            served_scratch: Vec::new(),
         }
     }
 
@@ -470,7 +486,9 @@ fn track_hint<D: BlockDevice>(efs: &Efs<D>, op: &LfsOp) -> u32 {
             return 0;
         }
         // A pure control query touches no media: wherever the head is.
-        LfsOp::DiskStats | LfsOp::ListFiles => return efs.disk().head_track(),
+        LfsOp::DiskStats | LfsOp::ListFiles | LfsOp::GetTelemetry => {
+            return efs.disk().head_track()
+        }
     };
     match addr {
         Some(a) => geometry.track_of(a),
@@ -517,6 +535,13 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
                             // queued fails over to the surviving group
                             // members, and so does all later traffic
                             // until a spare is racked in.
+                            if let Some(t) = efs.telemetry() {
+                                t.registry.record_event(
+                                    ctx.now(),
+                                    HealthEvent::DiskLost { lfs: t.index },
+                                );
+                            }
+                            efs.publish_telemetry();
                             media_lost_drain(ctx, &mut state, &mut dedup);
                         } else {
                             crash_recover(ctx, &mut efs, &mut state, &mut dedup);
@@ -559,6 +584,12 @@ pub fn spawn_lfs_sched<D: BlockDevice + 'static>(
                         // The instance is factory-fresh: no request ever
                         // executed on it, so the dedup window restarts.
                         dedup = DedupWindow::standard();
+                        if let Some(t) = efs.telemetry() {
+                            t.registry.record_event(
+                                ctx.now(),
+                                HealthEvent::SpareInstalled { lfs: t.index },
+                            );
+                        }
                         if ctx.trace_enabled() {
                             ctx.trace_instant("lfs", "lfs.spare_installed", &[]);
                         }
@@ -628,6 +659,14 @@ fn service_batch<D: BlockDevice>(
     dedup: &mut DedupWindow<LfsReply>,
 ) -> bool {
     let width = efs.group_commit_width().max(1);
+    let armed = efs.telemetry().is_some();
+    // Per-op measurements accumulate in plain locals and flush to the
+    // registry once per batch, so arming telemetry adds no per-op
+    // atomics or locks to this loop.
+    let mut served = std::mem::take(&mut state.served_scratch);
+    served.clear();
+    let mut wait_nanos = 0u64;
+    let mut depth_peak = 0u64;
     let mut replies: Vec<(ProcId, LfsReply)> = Vec::new();
     for _ in 0..width {
         // Queue depth at service start, this request included.
@@ -635,8 +674,12 @@ fn service_batch<D: BlockDevice>(
         let Some(q) = state.take_next(efs) else {
             break;
         };
+        let wait = ctx.now().saturating_duration_since(q.delivered_at);
+        if armed {
+            wait_nanos += wait.as_nanos();
+            depth_peak = depth_peak.max(depth);
+        }
         if ctx.trace_enabled() {
-            let wait = ctx.now().saturating_duration_since(q.delivered_at);
             ctx.trace_span(
                 "lfs",
                 "lfs.queue_wait",
@@ -651,7 +694,11 @@ fn service_batch<D: BlockDevice>(
         }
         let from = q.from;
         efs.begin_request(from.index() as u32, q.req.id);
+        let service_from = ctx.now();
         let reply = serve(ctx, efs, q.req);
+        if armed {
+            served.push(ctx.now().saturating_duration_since(service_from).as_nanos());
+        }
         if efs.crash_down().is_some() || efs.media_lost() {
             // The node died mid-operation: the op is not acknowledged
             // (its record may or may not have committed — recovery and
@@ -661,6 +708,7 @@ fn service_batch<D: BlockDevice>(
             for (client, r) in &replies {
                 dedup.forget(*client, r.id);
             }
+            state.served_scratch = served;
             return true;
         }
         replies.push((from, reply));
@@ -672,8 +720,15 @@ fn service_batch<D: BlockDevice>(
         for (client, r) in &replies {
             dedup.forget(*client, r.id);
         }
+        state.served_scratch = served;
         return true;
     }
+    if let Some(t) = efs.telemetry() {
+        t.counters
+            .flush_batch(&served, wait_nanos, depth_peak, state.queued.len() as u64);
+    }
+    state.served_scratch = served;
+    efs.publish_telemetry();
     for (from, reply) in replies {
         dedup.complete(from, reply.id, ctx.now(), reply.clone());
         let bytes = reply_wire_size(&reply);
@@ -719,6 +774,16 @@ fn crash_recover<D: BlockDevice>(
     for q in state.drain_all() {
         dedup.forget(q.from, q.req.id);
     }
+    if let Some(t) = efs.telemetry() {
+        t.registry.record_event(
+            ctx.now(),
+            HealthEvent::NodeCrash {
+                lfs: t.index,
+                down_nanos: down.as_nanos(),
+            },
+        );
+    }
+    efs.publish_telemetry();
     if ctx.trace_enabled() {
         ctx.trace_instant("lfs", "lfs.crash", &[("down_nanos", down.as_nanos())]);
     }
@@ -744,6 +809,7 @@ fn crash_recover<D: BlockDevice>(
     if ctx.trace_enabled() {
         ctx.trace_instant("lfs", "lfs.recover", &[("records", records)]);
     }
+    efs.publish_telemetry();
 }
 
 /// Handles one request against `efs`, producing the reply.
@@ -787,6 +853,7 @@ pub fn serve<D: simdisk::BlockDevice>(
         LfsOp::Stat { file } => efs.stat(ctx, file).map(LfsData::Info),
         LfsOp::Sync => efs.sync(ctx).map(|()| LfsData::Done),
         LfsOp::DiskStats => Ok(LfsData::DiskCounters(efs.disk().stats())),
+        LfsOp::GetTelemetry => Ok(LfsData::Telemetry(Box::new(efs.telemetry_snapshot()))),
         LfsOp::Fsck { repair } => Ok(LfsData::Fsck(efs.fsck_timed(ctx, repair))),
         LfsOp::ListFiles => efs.list_files_raw().map(LfsData::Files),
         LfsOp::Prepare { txn, intent } => efs
@@ -826,6 +893,7 @@ pub fn reply_wire_size(reply: &LfsReply) -> usize {
         Ok(LfsData::Run { blocks }) => 16 + blocks.len() * (BLOCK_SIZE + 8),
         Ok(LfsData::WrittenRun { addrs }) => 32 + addrs.len() * 8,
         Ok(LfsData::Files(files)) => 32 + files.len() * 24,
+        Ok(LfsData::Telemetry(_)) => 256,
         _ => 32,
     }
 }
@@ -855,6 +923,9 @@ pub struct LfsClient {
     /// while tracing so the reply can close a `client.rpc` span.
     /// Host-side bookkeeping: has no effect on virtual time.
     sent: Vec<(u64, SimTime, ProcId, &'static str)>,
+    /// Timed-out requests retransmitted so far (telemetry's retry-storm
+    /// gauge). Host-side bookkeeping: has no effect on virtual time.
+    resends: u64,
 }
 
 impl LfsClient {
@@ -869,12 +940,18 @@ impl LfsClient {
             retry,
             pending: Vec::new(),
             sent: Vec::new(),
+            resends: 0,
         }
     }
 
     /// The client's retry policy.
     pub fn retry(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// Timed-out requests this client has retransmitted so far.
+    pub fn resends(&self) -> u64 {
+        self.resends
     }
 
     /// Sends `op` to `server` and returns the request id.
@@ -1021,6 +1098,7 @@ impl LfsClient {
                     return Err(EfsError::TimedOut { attempts: attempt });
                 }
                 None => {
+                    self.resends += 1;
                     if ctx.trace_enabled() {
                         ctx.trace_instant(
                             "retry",

@@ -806,6 +806,12 @@ impl Wal {
         self.since_ckpt >= self.blocks / 2
     }
 
+    /// `(ring blocks live since the last durable checkpoint, ring
+    /// capacity)` — the occupancy gauge telemetry reports.
+    pub(crate) fn ring_usage(&self) -> (u32, u32) {
+        (self.since_ckpt.min(self.blocks), self.blocks)
+    }
+
     /// Appends and flushes a checkpoint batch (timed). The caller must
     /// have already persisted the directory and bitmap, and there must be
     /// no pending records.

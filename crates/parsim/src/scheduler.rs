@@ -23,7 +23,7 @@ use crate::envelope::Envelope;
 use crate::fault::{FaultPlan, FaultState, MsgFate, OutageKind};
 use crate::fiber;
 use crate::process::{Ctx, ProcFn, ProcId, Resume, ResumeSlot, ShutdownSignal, Syscall};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::topology::{LatencyModel, NodeId, UniformLatency};
 use crate::trace::{nop_tracer, TracerHandle};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -281,6 +281,20 @@ pub struct Simulation {
     ready_run: u64,
     /// Timestamp of the most recently dispatched event.
     last_event_time: Option<SimTime>,
+    /// Virtual-time sampler (see [`Simulation::set_sampler`]). `None`
+    /// keeps the hot loop's fast path untouched.
+    sampler: Option<SamplerSlot>,
+}
+
+/// The observer callback behind [`Simulation::set_sampler`].
+type SamplerHook = Box<dyn FnMut(SimTime, &RunStats)>;
+
+/// State behind [`Simulation::set_sampler`]: the interval, the next
+/// boundary to fire at, and the observer callback.
+struct SamplerSlot {
+    interval: SimDuration,
+    next: SimTime,
+    hook: SamplerHook,
 }
 
 /// Suppress the panic-hook output for the internal shutdown unwind while
@@ -339,7 +353,44 @@ impl Simulation {
             stale_wakes: 0,
             ready_run: 0,
             last_event_time: None,
+            sampler: None,
         }
+    }
+
+    /// Installs a virtual-time sampler: `hook` fires once per `interval`
+    /// boundary the clock crosses while running (carrying the boundary
+    /// time and the counters accumulated so far, `end_time` set to the
+    /// boundary), plus once more at quiescence with the final counters —
+    /// that last sample is bit-identical to the [`RunStats`] the run
+    /// returns.
+    ///
+    /// Sampling is observation-only, like tracing: the hook runs on the
+    /// host between event dispatches, consumes no virtual time, sends no
+    /// messages, and schedules nothing, so a run with a sampler installed
+    /// produces bit-identical `RunStats` to the same run without one.
+    /// Boundaries with no intervening events fire in order before the
+    /// event that crosses them; an event landing exactly on a boundary is
+    /// sampled before it dispatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn set_sampler(
+        &mut self,
+        interval: SimDuration,
+        hook: impl FnMut(SimTime, &RunStats) + 'static,
+    ) {
+        assert!(!interval.is_zero(), "sampler interval must be positive");
+        self.sampler = Some(SamplerSlot {
+            interval,
+            next: self.now + interval,
+            hook: Box::new(hook),
+        });
+    }
+
+    /// Removes the sampler installed by [`set_sampler`](Self::set_sampler).
+    pub fn clear_sampler(&mut self) {
+        self.sampler = None;
     }
 
     /// The engine actually executing this simulation (the configured one,
@@ -571,6 +622,20 @@ impl Simulation {
                     continue;
                 }
             }
+            if let Some(s) = self.sampler.as_mut() {
+                // Fire every boundary the clock is about to cross, before
+                // the crossing event dispatches, so each sample sees
+                // exactly the state as of its boundary instant.
+                while s.next <= ev.time {
+                    let at = s.next;
+                    s.next = at + s.interval;
+                    let stats = RunStats {
+                        end_time: at,
+                        ..self.stats
+                    };
+                    (s.hook)(at, &stats);
+                }
+            }
             self.now = ev.time;
             self.stats.events += 1;
             if self.last_event_time == Some(ev.time) {
@@ -661,10 +726,20 @@ impl Simulation {
                 }
             }
         }
-        RunStats {
+        let finished = RunStats {
             end_time: self.now,
             ..self.stats
+        };
+        if let Some(s) = self.sampler.as_mut() {
+            // One final sample at quiescence carrying the run's own
+            // counters verbatim — the end-of-run snapshot reconciles
+            // against the returned `RunStats` with zero slack.
+            (s.hook)(finished.end_time, &finished);
+            if s.next <= finished.end_time {
+                s.next = finished.end_time + s.interval;
+            }
         }
+        finished
     }
 
     /// Closes `pid`'s run interval (if open) and reports it to the tracer.

@@ -1,0 +1,160 @@
+//! `bridgetop` — live machine-health dashboard for a Bridge machine.
+//!
+//! Runs a canned scenario (a parity-protected workload, optionally with
+//! a seeded mid-stream disk loss) while polling the machine's telemetry
+//! on a virtual-time cadence, then renders each dashboard frame — or
+//! exports the whole poll series as a schema-validated JSON document.
+//!
+//! ```text
+//! cargo run -p bridge-tools --bin bridgetop -- [options]
+//!   --scenario faulted|control   workload to drive (default faulted)
+//!   --breadth N                  LFS instances (default 4)
+//!   --blocks N                   blocks appended (default 64)
+//!   --interval-us N              poll cadence in virtual µs (default 20000)
+//!   --seed N                     fault-plan seed (default 0xB71075)
+//!   --json PATH                  write the poll series as JSON ("-" = stdout)
+//!   --check                      validate the JSON export against the schema
+//!   --expect-alerts              exit 1 unless the loss→degraded→rebuild arc
+//!                                and a degraded-service alert appear
+//!   --expect-quiet               exit 1 if any frame carries an alert
+//!   --last                       render only the final (quiescence) frame
+//! ```
+//!
+//! The `telemetry-smoke` CI job runs `--scenario faulted --expect-alerts`
+//! and `--scenario control --expect-quiet` with `--json --check`.
+
+use bridge_tools::{run_scenario, TopOptions, TopScenario};
+use bridge_trace::{render_snapshot, snapshots_to_json, validate_health_json};
+use parsim::SimDuration;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bridgetop: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut opts = TopOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+    let mut expect_alerts = false;
+    let mut expect_quiet = false;
+    let mut last_only = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--scenario" => match value(&mut i).as_deref().and_then(TopScenario::parse) {
+                Some(s) => opts.scenario = s,
+                None => return fail("--scenario takes 'faulted' or 'control'"),
+            },
+            "--breadth" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 3 => opts.breadth = n,
+                _ => return fail("--breadth takes an integer >= 3 (parity needs 3 columns)"),
+            },
+            "--blocks" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => opts.blocks = n,
+                None => return fail("--blocks takes an integer"),
+            },
+            "--interval-us" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(us) if us > 0 => opts.interval = SimDuration::from_micros(us),
+                _ => return fail("--interval-us takes a positive integer"),
+            },
+            "--seed" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => return fail("--seed takes an integer"),
+            },
+            "--json" => match value(&mut i) {
+                Some(path) => json_path = Some(path),
+                None => return fail("--json takes a path (or '-')"),
+            },
+            "--check" => check = true,
+            "--expect-alerts" => expect_alerts = true,
+            "--expect-quiet" => expect_quiet = true,
+            "--last" => last_only = true,
+            other => return fail(&format!("unknown option {other:?} (see --help in the doc)")),
+        }
+        i += 1;
+    }
+
+    let frames = run_scenario(&opts);
+    let Some(final_frame) = frames.last() else {
+        return fail("scenario produced no frames");
+    };
+
+    if let Some(path) = &json_path {
+        let doc = snapshots_to_json(&frames);
+        if check {
+            if let Err(e) = validate_health_json(&doc) {
+                return fail(&format!("JSON export failed schema validation: {e}"));
+            }
+        }
+        if path == "-" {
+            print!("{doc}");
+        } else if let Err(e) = std::fs::write(path, &doc) {
+            return fail(&format!("writing {path}: {e}"));
+        }
+    } else {
+        let shown: Box<dyn Iterator<Item = _>> = if last_only {
+            Box::new(frames.iter().rev().take(1))
+        } else {
+            Box::new(frames.iter())
+        };
+        for (n, frame) in shown.enumerate() {
+            if n > 0 {
+                println!();
+            }
+            print!("{}", render_snapshot(frame));
+        }
+    }
+
+    if expect_alerts {
+        let arc_ok = final_frame.has_event("disk.lost")
+            && final_frame.has_event("redundancy.degraded_onset")
+            && final_frame.has_event("disk.spare_installed")
+            && final_frame.has_event("rebuild.start")
+            && final_frame.has_event("rebuild.done");
+        if !arc_ok {
+            return fail("expected the disk.lost → degraded → spare → rebuild event arc");
+        }
+        let degraded_alerted = frames
+            .iter()
+            .any(|f| f.alerts.iter().any(|a| a.rule.name() == "degraded-service"));
+        if !degraded_alerted {
+            return fail("no frame carried a degraded-service alert");
+        }
+        if final_frame.lfs.iter().any(|l| l.media_lost) {
+            return fail("final frame still shows a lost column after the rebuild");
+        }
+        eprintln!(
+            "bridgetop: alert arc verified across {} frames ({} events, {} degraded reads)",
+            frames.len(),
+            final_frame.events.len(),
+            final_frame.server.degraded_reads
+        );
+    }
+    if expect_quiet {
+        for (n, frame) in frames.iter().enumerate() {
+            if let Some(a) = frame.alerts.first() {
+                return fail(&format!(
+                    "control run raised [{}] in frame {n}: {}",
+                    a.rule.name(),
+                    a.detail
+                ));
+            }
+        }
+        if !final_frame.events.is_empty() {
+            return fail("control run journaled unexpected health events");
+        }
+        eprintln!(
+            "bridgetop: control run quiet across {} frames",
+            frames.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

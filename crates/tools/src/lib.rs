@@ -18,6 +18,9 @@
 //!   log(p) passes of the Figure-4 token-passing parallel merge.
 //! * [`pfsck`] — whole-machine consistency check and repair, auditing all
 //!   `p` LFS instances in parallel (with a serial baseline mode).
+//! * [`run_scenario`] / the `bridgetop` binary — the live machine-health
+//!   dashboard: polls a running machine's telemetry on a virtual-time
+//!   cadence and renders or exports the frames.
 //!
 //! ## Example
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bridgetop;
 mod column;
 mod copy;
 mod error;
@@ -54,6 +58,7 @@ mod scan;
 mod sort;
 mod toolkit;
 
+pub use bridgetop::{run_scenario, TopOptions, TopScenario};
 pub use column::{ColumnReader, ColumnWriter};
 pub use copy::{copy, copy_with, transforms, BlockTransform, CopyStats};
 pub use error::ToolError;

@@ -51,6 +51,7 @@
 
 mod chrome;
 mod collect;
+pub mod health;
 pub mod json;
 mod metrics;
 pub mod profile;
@@ -59,6 +60,11 @@ pub mod series;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
 pub use collect::{FlowEvent, InstantEvent, ProcMeta, SpanEvent, TraceCollector, TraceData};
+pub use health::{
+    render_snapshot, snapshot_to_json, snapshots_to_json, validate_health_json, Alert, AlertRule,
+    DiskCounters, DiskTelemetry, FsGauges, HealthEvent, HealthSnapshot, JournalEntry, LfsCounters,
+    LfsTelemetry, ServerCounters, ServerTelemetry, TelemetryRegistry, WatchdogConfig,
+};
 pub use metrics::{DiskUtilization, Histogram, Metrics, QueueMetrics, RetryMetrics};
 pub use profile::{
     profile, validate_causality, Breakdown, Category, CriticalPath, OpProfile, Profile,

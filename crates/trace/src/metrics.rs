@@ -88,6 +88,20 @@ impl Histogram {
         SimDuration::from_nanos(self.max)
     }
 
+    /// Folds another histogram into this one: bucket-by-bucket sums, so
+    /// the merged quantile bounds carry the same 12.5%-plus-one-nanosecond
+    /// guarantee over the union of both sample sets. Per-instance latency
+    /// histograms aggregate into machine-wide views this way (the health
+    /// snapshot and `bridge-top`).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Upper bound (exclusive, in nanoseconds) of the smallest bucket
     /// prefix containing at least `q` (0..=1) of the samples.
     ///
@@ -644,5 +658,70 @@ mod tests {
         let rendered = with.render();
         assert!(rendered.contains("engine: 9 events, 9 dispatches, 21 syscalls"));
         assert!(rendered.contains("4 wakes elided, ready peak 3, queue high water 5"));
+    }
+
+    #[test]
+    fn merge_folds_counts_sums_and_max() {
+        let mut a = Histogram::default();
+        a.record(5);
+        a.record(1_000);
+        let mut b = Histogram::default();
+        b.record(70);
+        b.record(2_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(
+            a.total(),
+            SimDuration::from_nanos(5 + 1_000 + 70 + 2_000_000)
+        );
+        assert_eq!(a.max(), SimDuration::from_nanos(2_000_000));
+        // Merging an empty histogram changes nothing.
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
+    }
+
+    proptest::proptest! {
+        /// The merged histogram's quantile bounds hold over the union of
+        /// both sample sets: for any quantile `q`, the bound is at least
+        /// the exact `q`-quantile of the combined samples and overstates
+        /// it by at most 12.5% plus one nanosecond — the same guarantee
+        /// one histogram gives over its own samples.
+        #[test]
+        fn merged_quantile_bounds_hold(
+            xs in proptest::collection::vec(0u64..=1_000_000_000_000, 1..64),
+            ys in proptest::collection::vec(0u64..=1_000_000_000_000, 1..64),
+            q_pcts in proptest::collection::vec(1u64..=100, 1..8),
+        ) {
+            let mut a = Histogram::default();
+            for &x in &xs {
+                a.record(x);
+            }
+            let mut b = Histogram::default();
+            for &y in &ys {
+                b.record(y);
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            let mut all: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+            all.sort_unstable();
+            proptest::prop_assert_eq!(merged.count(), all.len() as u64);
+            for &q_pct in &q_pcts {
+                let q = q_pct as f64 / 100.0;
+                let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+                let exact = all[rank - 1];
+                let bound = merged.quantile_bound(q);
+                proptest::prop_assert!(
+                    bound > exact || (bound == exact && merged.count() == 1),
+                    "q={} bound {} understates exact {}",
+                    q, bound, exact
+                );
+                proptest::prop_assert!(
+                    bound <= exact + exact / 8 + 1,
+                    "q={} bound {} overshoots exact {} past the 12.5%+1 guarantee",
+                    q, bound, exact
+                );
+            }
+        }
     }
 }

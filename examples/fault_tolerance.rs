@@ -4,12 +4,15 @@
 //! anywhere in the system is fatal; it ruins every file." This example
 //! kills a node under three files — unprotected, mirrored, and
 //! parity-protected — then repairs the redundant ones after the node
-//! returns.
+//! returns. Machine state between phases is printed through the shared
+//! health-snapshot renderer (the same code path as `bridgetop`), fed by
+//! in-band `GetHealth` polls of the live server.
 //!
 //! Run with: `cargo run --example fault_tolerance`
 
 use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine, CreateSpec, Redundancy};
 use bridge_efs::LfsFailControl;
+use bridge_trace::render_snapshot;
 use parsim::SimDuration;
 
 fn main() {
@@ -76,9 +79,11 @@ fn main() {
             }
             println!("{name:<12} {ok}/{blocks} blocks readable, {lost} lost");
         }
+        let health = bridge.get_health(ctx).expect("health");
+        println!("\n{}", render_snapshot(&health));
 
         // The node comes back blank for what it missed; rebuild repairs.
-        println!("\n*** node 3 revived; rebuilding redundant files ***\n");
+        println!("*** node 3 revived; rebuilding redundant files ***\n");
         ctx.send(victim, LfsFailControl { failed: false });
         ctx.delay(SimDuration::from_millis(1));
         for &(name, file) in &files[1..] {
@@ -102,5 +107,7 @@ fn main() {
                 ctx.now() - t0
             );
         }
+        let health = bridge.get_health(ctx).expect("health");
+        println!("\n{}", render_snapshot(&health));
     });
 }

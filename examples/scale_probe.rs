@@ -3,7 +3,9 @@
 //! largest Butterfly the paper measured, and report where Bridge-the-
 //! design stops scaling. Runs on the run-to-completion engine — a p=1024
 //! machine simulates in seconds; it was intractable on one-OS-thread-
-//! per-process.
+//! per-process. The first probed machine's end-of-run state is printed
+//! through the shared health-snapshot renderer (the same code path as
+//! `bridgetop`).
 //!
 //! ```text
 //! cargo run --release --example scale_probe -- [blocks] [p ...]
@@ -13,8 +15,9 @@
 //! 1024}.
 
 use bridge_bench::{records_per_second, write_workload};
-use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine};
+use bridge_core::{BridgeClient, BridgeConfig, BridgeMachine, HealthSnapshot};
 use bridge_tools::{copy, sort, SortOptions, SortStats, ToolOptions};
+use bridge_trace::render_snapshot;
 use parsim::SimDuration;
 use std::time::Instant;
 
@@ -22,7 +25,19 @@ fn build(p: u32) -> (parsim::Simulation, BridgeMachine) {
     BridgeMachine::build(&BridgeConfig::paper(p))
 }
 
-fn run_copy(p: u32, blocks: u64) -> (SimDuration, u64, f64) {
+/// The machine's quiescence dashboard frame: every layer's gauges plus
+/// the kernel's own counters — the one code path for rendering machine
+/// state, shared with `bridgetop` and `fault_tolerance`.
+fn final_frame(sim: &parsim::Simulation, machine: &BridgeMachine) -> HealthSnapshot {
+    let stats = sim.stats();
+    machine
+        .telemetry
+        .as_ref()
+        .expect("paper config arms telemetry")
+        .snapshot(stats.end_time, Some(stats))
+}
+
+fn run_copy(p: u32, blocks: u64) -> (SimDuration, HealthSnapshot, f64) {
     let t0 = Instant::now();
     let (mut sim, machine) = build(p);
     let server = machine.server;
@@ -33,7 +48,8 @@ fn run_copy(p: u32, blocks: u64) -> (SimDuration, u64, f64) {
         assert_eq!(stats.blocks, blocks);
         stats.elapsed
     });
-    (elapsed, sim.stats().events, t0.elapsed().as_secs_f64())
+    let frame = final_frame(&sim, &machine);
+    (elapsed, frame, t0.elapsed().as_secs_f64())
 }
 
 fn run_sort(p: u32, blocks: u64) -> (SortStats, f64) {
@@ -69,9 +85,11 @@ fn main() {
     println!(
         "|---|----------------|------------|------------|------------|------------|-----------|--------|"
     );
+    let mut first_frame = None;
     for &p in &ps {
-        let (copy_t, events, copy_wall) = run_copy(p, blocks);
+        let (copy_t, frame, copy_wall) = run_copy(p, blocks);
         let (sort_stats, sort_wall) = run_sort(p, blocks);
+        let events = frame.kernel.map_or(0, |k| k.events);
         println!(
             "| {p} | {:.1} s | {:.0} | {:.1} s | {:.1} s | {:.1} s | {:.1} s | {events} |",
             copy_t.as_secs_f64(),
@@ -81,5 +99,12 @@ fn main() {
             sort_stats.total.as_secs_f64(),
             copy_wall + sort_wall,
         );
+        if first_frame.is_none() {
+            first_frame = Some((p, frame));
+        }
+    }
+    if let Some((p, frame)) = first_frame {
+        println!("\n### Copy machine at quiescence (p = {p})\n");
+        print!("{}", render_snapshot(&frame));
     }
 }
